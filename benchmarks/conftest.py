@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+Set ``REPRO_FULL=1`` to include the CIFAR VGG models in Exp#1 accuracy
+benches (adds several minutes of numpy training); the default covers
+the six healthcare + MNIST models the paper's figures focus on.
+"""
+
+import os
+
+import pytest
+
+#: Models covered by default (the paper's Fig. 7/8/9 set).
+FAST_MODELS = ("breast", "heart", "cardio", "mnist-1", "mnist-2",
+               "mnist-3")
+
+ALL_MODELS = FAST_MODELS + ("cifar-10-1", "cifar-10-2", "cifar-10-3")
+
+
+def selected_models():
+    if os.environ.get("REPRO_FULL") == "1":
+        return ALL_MODELS
+    return FAST_MODELS
+
+
+@pytest.fixture(scope="session")
+def model_keys():
+    return selected_models()

@@ -1,0 +1,51 @@
+"""Ablation: end-to-end latency vs Paillier key size.
+
+Calibrates the cost model from this interpreter's *real* Paillier
+kernels at several key sizes and simulates the same plan under each —
+showing how the paper's fixed 2048-bit choice (NIST guidance) trades
+latency for security margin.
+"""
+
+import pytest
+
+from repro.costs import CostModel
+from repro.experiments.common import prepare_model
+from repro.planner.allocation import allocate_load_balanced
+from repro.planner.plan import ClusterSpec
+from repro.planner.profiling import profile_primitive_times
+from repro.simulate.simulator import PipelineSimulator
+
+KEY_SIZES = (128, 256, 512)
+
+
+def test_latency_vs_key_size(benchmark):
+    prepared = prepare_model("mnist-1")
+    stages = prepared.stages()
+    cluster = ClusterSpec.homogeneous(2, 1, 8)
+
+    def run():
+        results = {}
+        for key_size in KEY_SIZES:
+            cost_model = CostModel.calibrate(key_size, samples=24)
+            times = profile_primitive_times(stages, cost_model,
+                                            prepared.decimals)
+            allocation = allocate_load_balanced(
+                stages, times, cluster, method="water_filling"
+            )
+            results[key_size] = PipelineSimulator(
+                allocation.plan, cost_model, prepared.decimals
+            ).request_latency()
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("latency (s) vs key size on mnist-1 (calibrated kernels):")
+    for key_size, latency in results.items():
+        print(f"  {key_size:>5} bits: {latency:8.3f}s")
+
+    assert results[256] > results[128]
+    assert results[512] > results[256]
+    # the crypto cost curve is superlinear in the key size (the exact
+    # ratio is wall-clock dependent; 2x is a conservative floor for a
+    # 4x key growth whose modexp cost scales roughly cubically)
+    assert results[512] / results[128] > 2.0

@@ -1,0 +1,28 @@
+"""Ablation: operation-encapsulation strategies (Section IV-B).
+
+Quantifies the paper's argument for merging adjacent same-kind
+primitives: per-primitive stages pay extra serialization/transfer at
+every boundary; a single sequential stage loses the pipeline (and the
+privacy separation).
+"""
+
+from repro.experiments import ablation_merging
+
+
+def test_encapsulation_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablation_merging.run_merging_ablation(),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(ablation_merging.render_merging_ablation(rows))
+
+    for row in rows:
+        # Merging avoids the per-boundary serialization overhead; the
+        # per-primitive extreme can claw some of it back via
+        # finer-grained thread allocation, so the two are close —
+        # but merging never loses materially ...
+        assert row.merged <= row.unmerged * 1.02
+        # ... and both pipeline variants beat the single-stage extreme
+        # by a large margin.
+        assert row.merged < 0.5 * row.single_stage

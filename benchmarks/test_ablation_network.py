@@ -1,0 +1,62 @@
+"""Ablation: sensitivity to network bandwidth and latency.
+
+The paper's testbed uses 10 GbE.  This ablation re-simulates the
+full-featured plan under slower/faster networks to show where the
+pipeline becomes communication-bound — context for the tensor
+partitioning results (Exp#4).
+"""
+
+import dataclasses
+
+from repro.experiments.common import (
+    cluster_with_total_cores,
+    prepare_model,
+    reference_cost_model,
+)
+from repro.planner.allocation import allocate_load_balanced
+from repro.planner.profiling import profile_primitive_times
+from repro.simulate.simulator import PipelineSimulator
+from repro.simulate.stagecosts import make_comm_model
+
+#: Bandwidths swept: 1 GbE, 10 GbE (testbed), 40 GbE.
+BANDWIDTHS = (0.125e9, 1.25e9, 5.0e9)
+
+
+def test_latency_vs_bandwidth(benchmark):
+    prepared = prepare_model("mnist-2")
+    stages = prepared.stages()
+    decimals = prepared.decimals
+    cluster = cluster_with_total_cores("mnist-2", 48)
+
+    def run():
+        results = {}
+        for bandwidth in BANDWIDTHS:
+            cost_model = dataclasses.replace(
+                reference_cost_model(), network_bandwidth=bandwidth
+            )
+            times = profile_primitive_times(stages, cost_model,
+                                            decimals)
+            allocation = allocate_load_balanced(
+                stages, times, cluster, method="water_filling",
+                use_tensor_partitioning=True,
+                comm_model=make_comm_model(cost_model, True),
+            )
+            results[bandwidth] = PipelineSimulator(
+                allocation.plan, cost_model, decimals
+            ).request_latency()
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("latency (s) vs network bandwidth on mnist-2 (48 cores):")
+    for bandwidth, latency in sorted(results.items()):
+        print(f"  {bandwidth / 1.25e8:6.1f} Gbps: {latency:8.3f}s")
+
+    ordered = [results[b] for b in sorted(results)]
+    # slower networks can only hurt
+    assert ordered[0] >= ordered[1] >= ordered[2]
+    # at 48 cores the pipeline is mostly compute-bound at 10 GbE, so
+    # 4x more bandwidth moves latency by less than dropping to 1 GbE
+    gain_up = ordered[1] - ordered[2]
+    loss_down = ordered[0] - ordered[1]
+    assert loss_down >= gain_up

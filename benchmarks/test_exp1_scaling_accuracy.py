@@ -1,0 +1,28 @@
+"""Exp#1, Tables IV and V: accuracy vs scaling factor.
+
+Prints both tables (training and testing set) and checks the paper's
+qualitative findings: accuracy rises with the factor and the selected
+factor recovers the original test accuracy.
+"""
+
+from repro.experiments import exp1_scaling
+
+
+def test_tables_iv_and_v(benchmark, model_keys):
+    rows = benchmark.pedantic(
+        lambda: exp1_scaling.run_accuracy_tables(model_keys),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(exp1_scaling.render_accuracy_table(rows, "train"))
+    print()
+    print(exp1_scaling.render_accuracy_table(rows, "test"))
+
+    for row in rows:
+        train = row.train_by_decimals
+        # the largest factor is at least as accurate as the smallest
+        assert train[max(train)] >= train[min(train)] - 1e-9
+        # the selected factor preserves test accuracy (paper: exactly;
+        # we allow a small tolerance on synthetic data)
+        selected_test = row.test_by_decimals[row.selected_decimals]
+        assert abs(selected_test - row.original_test) < 2.0

@@ -1,0 +1,29 @@
+"""Exp#1, Figure 6: inference latency vs scaling factor.
+
+Simulated latency (all features on) for the MNIST and CIFAR models as
+the scaling factor sweeps 10^0..10^6.  The paper reports ~29% (MNIST)
+and ~23% (CIFAR) latency growth from 10^0 to 10^6.
+"""
+
+from repro.experiments import exp1_scaling
+
+#: Figure 6 covers the MNIST and CIFAR models.
+KEYS = ("mnist-1", "mnist-2", "mnist-3",
+        "cifar-10-1", "cifar-10-2", "cifar-10-3")
+
+
+def test_fig6_latency_vs_factor(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp1_scaling.run_latency_vs_factor(KEYS),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(exp1_scaling.render_latency_vs_factor(rows))
+
+    for row in rows:
+        latencies = row.latency_by_decimals
+        growth = latencies[6] / latencies[0] - 1.0
+        # latency must grow with the factor, by a modest factor
+        # (paper: 23-29%)
+        assert growth > 0.0
+        assert growth < 2.0

@@ -1,0 +1,36 @@
+"""Exp#2, Figure 8: distributed stream processing vs centralized.
+
+PlainBase / CipherBase / PP-Stream-25 / PP-Stream-50 latencies for the
+healthcare and MNIST models, with the paper's qualitative findings
+checked: PP-Stream cuts CipherBase latency by a large factor, more
+cores help, and PlainBase shows the raw crypto overhead.
+"""
+
+import numpy as np
+
+from repro.experiments import exp2_stream
+
+
+def test_fig8_stream_comparison(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp2_stream.run_stream_comparison(),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(exp2_stream.render_stream_comparison(rows))
+
+    for row in rows:
+        # privacy preservation is orders of magnitude over plaintext
+        assert row.cipher_base > 100 * row.plain_base
+        # stream processing wins big, and 50 cores beat 25
+        assert row.pp_stream_25 < row.cipher_base
+        assert row.pp_stream_50 < row.pp_stream_25
+        assert row.reduction_25 > 50.0
+
+    # paper: PP-Stream-50 reduces PP-Stream-25 by ~39% on average
+    mean_50_vs_25 = float(np.mean([
+        100.0 * (row.pp_stream_25 - row.pp_stream_50)
+        / row.pp_stream_25
+        for row in rows
+    ]))
+    assert 15.0 < mean_50_vs_25 < 75.0

@@ -1,0 +1,44 @@
+"""Exp#4, Figure 9: tensor partitioning.
+
+Partitioning on vs off across a core sweep.  The paper's findings:
+gains grow with core count, and convolutional models (MNIST-2/3) gain
+more than the FC-only models (healthcare, MNIST-1), which only benefit
+from output partitioning.
+"""
+
+import numpy as np
+
+from repro.experiments import exp4_partitioning
+
+
+def test_fig9_tensor_partitioning(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp4_partitioning.run_partitioning_comparison(),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(exp4_partitioning.render_partitioning_comparison(rows))
+
+    for row in rows:
+        # partitioning never makes latency worse
+        assert row.with_partitioning <= row.without_partitioning * 1.001
+
+    by_model: dict[str, dict[int, float]] = {}
+    for row in rows:
+        by_model.setdefault(row.model_key, {})[row.total_cores] = \
+            row.reduction
+
+    # gains grow with cores on the conv models
+    for key in ("mnist-2", "mnist-3"):
+        sweep = by_model[key]
+        assert sweep[max(sweep)] > sweep[min(sweep)]
+
+    # conv models gain more than FC-only models
+    conv_gain = float(np.mean(
+        [max(by_model[k].values()) for k in ("mnist-2", "mnist-3")]
+    ))
+    fc_gain = float(np.mean(
+        [max(by_model[k].values())
+         for k in ("breast", "heart", "cardio", "mnist-1")]
+    ))
+    assert conv_gain > fc_gain

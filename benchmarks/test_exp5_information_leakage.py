@@ -1,0 +1,27 @@
+"""Exp#5, Table VI: information-leakage measurement.
+
+Distance correlation between before/after-obfuscation tensors for
+lengths 2^5..2^13, using real activations exported from the trained
+MNIST models.  Paper values fall from 0.2898 (2^5) to 0.0200 (2^13).
+"""
+
+from repro.experiments import exp5_leakage
+
+
+def test_table_vi_leakage(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp5_leakage.run_leakage(trials=8,
+                                         source="activations"),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(exp5_leakage.render_leakage(rows))
+
+    values = {row.length: row.distance_correlation for row in rows}
+    # monotone decrease with tensor length (allowing tiny wiggles)
+    lengths = sorted(values)
+    for small, large in zip(lengths, lengths[2:]):
+        assert values[large] < values[small]
+    # paper magnitudes: ~0.29 at 2^5, ~0.02 at 2^13
+    assert 0.1 < values[2 ** 5] < 0.6
+    assert values[2 ** 13] < 0.06

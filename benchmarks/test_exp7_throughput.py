@@ -1,0 +1,38 @@
+"""Extension bench: steady-state throughput (design goal HP).
+
+Not a paper figure — the paper lists high throughput as a design goal
+and implies it via pipelining; this bench makes it measurable.
+"""
+
+from repro.experiments import exp7_throughput
+
+
+def test_throughput(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp7_throughput.run_throughput(requests=200),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(exp7_throughput.render_throughput(rows))
+
+    for row in rows:
+        # pipelining multiplies throughput well beyond the latency
+        # improvement: at 50 cores the pipeline completes one request
+        # per bottleneck interval
+        assert row.pp_stream_25 > row.cipher_base
+        assert row.pp_stream_50 >= row.pp_stream_25 * 0.95
+        assert row.speedup_50 > 3.0
+
+
+def test_latency_vs_load(benchmark):
+    load_rows = benchmark.pedantic(
+        lambda: exp7_throughput.run_latency_vs_load(),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(exp7_throughput.render_latency_vs_load(load_rows))
+
+    by_util = {row.utilization: row.mean_latency for row in load_rows}
+    # latency is flat-ish below saturation and blows up past it
+    assert by_util[0.5] < 2.0 * by_util[0.2]
+    assert by_util[1.2] > 3.0 * by_util[0.2]

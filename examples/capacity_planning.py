@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Scenario: capacity planning for a PP-Stream deployment.
+
+An operator wants to know how many CPU cores to buy for a target
+latency on a given model.  This example sweeps cluster sizes with the
+planner + simulator, compares even vs load-balanced allocation and
+tensor partitioning on/off (the Exp#3/#4 ablations), and prints the
+smallest configuration meeting the target — exactly the workflow the
+paper's resource-allocation machinery enables offline.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.costs import CostModel
+from repro.datasets import DATASET_SPECS
+from repro.experiments.common import prepare_model
+from repro.planner.allocation import allocate_even, \
+    allocate_load_balanced
+from repro.planner.plan import ClusterSpec
+from repro.planner.profiling import profile_primitive_times
+from repro.simulate.simulator import PipelineSimulator
+from repro.simulate.stagecosts import make_comm_model
+
+MODEL_KEY = "mnist-2"
+TARGET_LATENCY_S = 8.0
+CORE_OPTIONS = (12, 18, 24, 36, 48, 64)
+
+
+def main() -> None:
+    prepared = prepare_model(MODEL_KEY)
+    stages = prepared.stages()
+    decimals = prepared.decimals
+    cost_model = CostModel.reference()
+    times = profile_primitive_times(stages, cost_model, decimals)
+    spec = DATASET_SPECS[MODEL_KEY]
+    print(
+        f"planning for {MODEL_KEY} (scaling 10^{decimals}, "
+        f"{spec.model_servers} model / {spec.data_servers} data "
+        "servers)\n"
+    )
+    print(f"{'cores':>6} {'even':>10} {'balanced':>10} "
+          f"{'bal+no-TP':>10}  meets target?")
+    chosen = None
+    for cores in CORE_OPTIONS:
+        cluster = ClusterSpec.with_total_cores(
+            cores, spec.model_servers, spec.data_servers
+        )
+        even = PipelineSimulator(
+            allocate_even(stages, cluster).plan, cost_model, decimals
+        ).request_latency()
+        balanced_alloc = allocate_load_balanced(
+            stages, times, cluster, method="water_filling",
+            use_tensor_partitioning=True,
+            comm_model=make_comm_model(cost_model, True),
+        )
+        balanced = PipelineSimulator(
+            balanced_alloc.plan, cost_model, decimals
+        ).request_latency()
+        no_tp = PipelineSimulator(
+            allocate_load_balanced(
+                stages, times, cluster, method="water_filling",
+                use_tensor_partitioning=False,
+                comm_model=make_comm_model(cost_model, False),
+            ).plan,
+            cost_model, decimals,
+        ).request_latency()
+        meets = balanced <= TARGET_LATENCY_S
+        if meets and chosen is None:
+            chosen = (cores, balanced_alloc)
+        print(f"{cores:>6} {even:>9.2f}s {balanced:>9.2f}s "
+              f"{no_tp:>9.2f}s  {'YES' if meets else 'no'}")
+
+    if chosen is None:
+        print(f"\nno configuration meets {TARGET_LATENCY_S}s; "
+              "add servers or relax the target")
+        return
+    cores, allocation = chosen
+    print(f"\nsmallest configuration meeting {TARGET_LATENCY_S}s: "
+          f"{cores} cores.  Plan:")
+    print(allocation.plan.describe())
+    simulator = PipelineSimulator(allocation.plan, cost_model, decimals)
+    stream = simulator.simulate_stream(200)
+    print(f"steady-state throughput at that size: "
+          f"{stream.throughput:.2f} req/s "
+          f"(bottleneck stage service "
+          f"{simulator.bottleneck_service():.2f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Allows ``python setup.py develop`` in offline environments where the
+``wheel`` package (needed by PEP 660 editable installs) is unavailable.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""Top-level CLI: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo [--model KEY] [--samples N]`` — train a Table III model and
+  run collaborative encrypted inference on held-out samples, printing
+  predictions, agreement with plaintext, and transcript statistics.
+* ``summary`` — print the package's subsystem inventory.
+* ``experiments ...`` — forwarded to ``repro.experiments`` (all the
+  paper's tables and figures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .config import RuntimeConfig
+    from .experiments.common import prepare_model
+    from .protocol import DataProvider, InferenceSession, ModelProvider
+
+    prepared = prepare_model(args.model)
+    print(f"model {args.model}: trained to "
+          f"{prepared.train_accuracy:.1%} on the synthetic stand-in, "
+          f"scaling factor 10^{prepared.decimals}")
+    config = RuntimeConfig(key_size=args.key_size)
+    session = InferenceSession(
+        ModelProvider(prepared.model, decimals=prepared.decimals,
+                      config=config),
+        DataProvider(value_decimals=prepared.decimals, config=config),
+    )
+    dataset = prepared.dataset
+    agree = 0
+    for index in range(args.samples):
+        sample = dataset.test_x[index]
+        outcome = session.run(sample)
+        plain = int(prepared.model.predict(sample[None])[0])
+        agree += outcome.prediction == plain
+        print(f"  sample {index}: encrypted={outcome.prediction} "
+              f"plain={plain} true={dataset.test_y[index]} "
+              f"({outcome.wall_time:.2f}s, "
+              f"{outcome.transcript.total_elements} ciphertexts)")
+    print(f"encrypted/plaintext agreement: {agree}/{args.samples}; "
+          "wire carried ciphertexts only: "
+          f"{outcome.transcript.all_ciphertext()}")
+    return 0
+
+
+def _cmd_summary(_: argparse.Namespace) -> int:
+    from . import __doc__ as package_doc
+
+    print(package_doc)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "experiments":
+        from .experiments.__main__ import main as experiments_main
+
+        return experiments_main(argv[1:])
+
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser(
+        "demo", help="run collaborative encrypted inference"
+    )
+    demo.add_argument("--model", default="breast",
+                      help="Table III model key (default: breast)")
+    demo.add_argument("--samples", type=int, default=5)
+    demo.add_argument("--key-size", type=int, default=256,
+                      dest="key_size")
+    demo.set_defaults(func=_cmd_demo)
+
+    summary = subparsers.add_parser(
+        "summary", help="print the subsystem inventory"
+    )
+    summary.set_defaults(func=_cmd_summary)
+
+    subparsers.add_parser(
+        "experiments",
+        help="regenerate the paper's tables/figures "
+             "(python -m repro experiments --help)",
+    )
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    np.seterr(all="ignore")
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Baseline systems PP-Stream is compared against (Exp#2, Exp#6).
+
+* :mod:`plain` / :mod:`cipher` — the centralized PlainBase/CipherBase
+  variants of Exp#2, runnable for real on small models.
+* :mod:`secret_sharing` — additive secret sharing over Z_2^64 with
+  Beaver-triple multiplication (the arithmetic half of an
+  EzPC/ABY-style 2PC framework).
+* :mod:`garbled` — real garbled boolean circuits (SHA-256 garbling,
+  free-XOR, point-and-permute) with adder/comparator/ReLU circuit
+  builders (the Yao half).
+* :mod:`ezpc` — the combined EzPC-style baseline: secret-shared linear
+  layers + garbled-circuit ReLU with per-layer share-conversion rounds.
+* :mod:`reported` — published latencies of SecureML / CryptoNets /
+  CryptoDL, quoted the way the paper quotes them (Table VII).
+"""
+
+from .plain import PlainBase
+from .cipher import CipherBase
+from .secret_sharing import (
+    AdditiveShare,
+    BeaverTriple,
+    SecretSharingEngine,
+)
+from .garbled import (
+    Circuit,
+    CircuitBuilder,
+    GarbledCircuit,
+    build_relu_circuit,
+    evaluate_garbled,
+)
+from .ezpc import EzPCBaseline, EzPCLatency
+from .reported import REPORTED_LATENCIES, ReportedResult
+
+__all__ = [
+    "PlainBase",
+    "CipherBase",
+    "AdditiveShare",
+    "BeaverTriple",
+    "SecretSharingEngine",
+    "Circuit",
+    "CircuitBuilder",
+    "GarbledCircuit",
+    "build_relu_circuit",
+    "evaluate_garbled",
+    "EzPCBaseline",
+    "EzPCLatency",
+    "REPORTED_LATENCIES",
+    "ReportedResult",
+]

@@ -1,0 +1,118 @@
+"""CipherBase: centralized single-thread inference on ciphertexts.
+
+The Exp#2 baseline showing raw privacy-preservation overhead: the same
+hybrid workflow as PP-Stream (homomorphic linear layers, decrypted
+non-linear layers) but run sequentially on one server with one thread —
+no pipelining, no multi-threading, no partitioning.  Runnable for real
+on small models; the simulator-side analogue is
+:func:`repro.simulate.centralized_cipher_latency`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG, RuntimeConfig
+from ..crypto.paillier import generate_keypair
+from ..crypto.tensor import EncryptedTensor
+from ..errors import BaselineError
+from ..nn.layers import Flatten, LayerKind
+from ..nn.model import Sequential
+from ..planner.primitive import model_stages
+from ..scaling.fixed_point import scale_to_int, scaled_affine_for_layer
+
+
+@dataclass(frozen=True)
+class CipherResult:
+    """Outcome of one CipherBase inference."""
+
+    prediction: int
+    probabilities: np.ndarray
+    latency: float
+
+
+class CipherBase:
+    """Sequential encrypted inference on a single server."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        decimals: int,
+        config: RuntimeConfig = DEFAULT_CONFIG,
+    ):
+        self.decimals = decimals
+        self.config = config
+        self._rng = random.Random(config.seed ^ 0xCB)
+        self.public_key, self._private_key = generate_keypair(
+            config.key_size, seed=config.seed ^ 0xCB15
+        )
+        self.stages = model_stages(model)
+        self._stage_affines = {}
+        for stage in self.stages:
+            if stage.kind is not LayerKind.LINEAR:
+                continue
+            affines = []
+            for primitive in stage.primitives:
+                if isinstance(primitive.layer, Flatten):
+                    continue
+                affines.append(scaled_affine_for_layer(
+                    primitive.layer, primitive.input_shape, decimals,
+                ))
+            self._stage_affines[stage.index] = affines
+
+    def infer(self, x: np.ndarray) -> CipherResult:
+        """Run one encrypted inference end to end, sequentially."""
+        start = time.perf_counter()
+        x = np.asarray(x, dtype=np.float64)
+        tensor = EncryptedTensor.encrypt(
+            scale_to_int(x, self.decimals), self.public_key, self._rng,
+            exponent=self.decimals,
+        ).flatten()
+        result: np.ndarray | None = None
+        last_index = len(self.stages) - 1
+        for stage in self.stages:
+            if stage.kind is LayerKind.LINEAR:
+                for affine in self._stage_affines[stage.index]:
+                    tensor = tensor.affine(
+                        affine.weight,
+                        affine.bias_at(tensor.exponent),
+                        self._rng,
+                        weight_exponent=affine.decimals,
+                    )
+            else:
+                values = tensor.decrypt_float(self._private_key)
+                flat = values.reshape(-1)
+                for primitive in stage.primitives:
+                    flat = _activation(primitive.layer.name, flat)
+                if stage.index == last_index:
+                    result = flat
+                else:
+                    tensor = EncryptedTensor.encrypt(
+                        scale_to_int(flat, self.decimals),
+                        self.public_key, self._rng,
+                        exponent=self.decimals,
+                    )
+        if result is None:
+            raise BaselineError("model did not end with a non-linear stage")
+        latency = time.perf_counter() - start
+        return CipherResult(
+            prediction=int(result.argmax()),
+            probabilities=result,
+            latency=latency,
+        )
+
+
+def _activation(name: str, flat: np.ndarray) -> np.ndarray:
+    if name == "relu":
+        return np.maximum(flat, 0.0)
+    if name == "sigmoid":
+        return 1.0 / (1.0 + np.exp(-np.clip(flat, -500, 500)))
+    if name == "softmax":
+        shifted = flat - flat.max()
+        exp = np.exp(shifted)
+        return exp / exp.sum()
+    raise BaselineError(f"unknown activation {name!r}")

@@ -1,0 +1,275 @@
+"""The EzPC-style 2PC baseline: secret-shared linear + garbled ReLU.
+
+Reproduces the structure that makes EzPC slower than PP-Stream in the
+paper's Exp#6: strictly sequential per-layer execution with multiple
+communication rounds per layer (Beaver openings for linear layers,
+garbled-table + label transfer and a response round for each ReLU
+layer) and expensive protocol transitions between the arithmetic and
+boolean worlds.
+
+The linear layers run for real on :class:`SecretSharingEngine`
+(vectorized Z_2^64 arithmetic).  ReLU layers garble and evaluate the
+real circuit of :func:`build_relu_circuit` for up to
+``max_real_relu`` elements and extrapolate the measured per-element
+time to the rest (documented sampling — gate counts and table bytes are
+always exact).  Latency combines measured compute with a network model
+(rounds x RTT + bytes / bandwidth) from the same cost model PP-Stream's
+simulator uses, so the comparison is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..costs import CostModel
+from ..errors import BaselineError
+from ..nn.layers import Flatten, LayerKind
+from ..nn.model import Sequential
+from ..planner.primitive import model_stages
+from ..scaling.fixed_point import scaled_affine_for_layer
+from .garbled import build_relu_circuit, evaluate_garbled, garble
+from .secret_sharing import AdditiveShare, SecretSharingEngine
+
+#: Ring width used for the garbled ReLU circuits (matches the shares).
+RELU_BITS = 64
+
+#: Wire labels are 16 bytes; each AND gate ships a 4-row table.
+_LABEL_BYTES = 16
+
+
+@dataclass(frozen=True)
+class EzPCLatency:
+    """Latency breakdown of one EzPC-style inference.
+
+    Attributes:
+        compute_seconds: measured local computation (both parties).
+        network_seconds: modeled communication time.
+        rounds: sequential communication rounds.
+        bytes_exchanged: total bytes shipped.
+        and_gates: total AND gates garbled across all ReLU layers.
+    """
+
+    compute_seconds: float
+    network_seconds: float
+    rounds: int
+    bytes_exchanged: int
+    and_gates: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.network_seconds
+
+
+@dataclass
+class _RunState:
+    engine: SecretSharingEngine
+    compute_seconds: float = 0.0
+    gc_bytes: int = 0
+    gc_rounds: int = 0
+    and_gates: int = 0
+    relu_values: List[int] = field(default_factory=list)
+
+
+class EzPCBaseline:
+    """Sequential 2PC inference over a trained model."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        fraction_bits: int = 12,
+        seed: int = 0,
+        max_real_relu: int = 128,
+    ):
+        if fraction_bits < 1:
+            raise BaselineError("fraction_bits must be >= 1")
+        self.model = model
+        self.fraction_bits = fraction_bits
+        self.max_real_relu = max_real_relu
+        self._seed = seed
+        self.stages = model_stages(model)
+        # Pre-build the integer affine forms at 2^fraction_bits scale.
+        self._stage_matrices: dict[int, list[tuple[np.ndarray,
+                                                   np.ndarray]]] = {}
+        scale = 2 ** fraction_bits
+        for stage in self.stages:
+            if stage.kind is not LayerKind.LINEAR:
+                continue
+            mats = []
+            for primitive in stage.primitives:
+                if isinstance(primitive.layer, Flatten):
+                    continue
+                affine = scaled_affine_for_layer(
+                    primitive.layer, primitive.input_shape, 0,
+                )
+                # Re-scale the float parameters to base-2 fixed point.
+                weight = np.round(
+                    _layer_float_weight(primitive.layer,
+                                        primitive.input_shape) * scale
+                ).astype(np.int64)
+                bias = np.round(
+                    affine.raw_bias * scale * scale
+                ).astype(np.int64)
+                mats.append((weight, bias))
+            self._stage_matrices[stage.index] = mats
+        self._relu_circuit = build_relu_circuit(RELU_BITS)
+
+    # ------------------------------------------------------------------
+
+    def infer(self, x: np.ndarray) -> tuple[int, EzPCLatency]:
+        """Run one input through the 2PC pipeline.
+
+        Returns the predicted class and the latency breakdown.
+        """
+        state = _RunState(engine=SecretSharingEngine(seed=self._seed))
+        scale = 2 ** self.fraction_bits
+        flat = np.round(
+            np.asarray(x, dtype=np.float64).reshape(-1) * scale
+        ).astype(np.int64)
+        share0, share1 = state.engine.share(flat)
+
+        logits: np.ndarray | None = None
+        last = len(self.stages) - 1
+        for stage in self.stages:
+            if stage.kind is LayerKind.LINEAR:
+                share0, share1 = self._linear_stage(stage.index, share0,
+                                                    share1, state)
+            else:
+                names = [p.layer.name for p in stage.primitives]
+                if stage.index == last:
+                    values = state.engine.reconstruct(share0, share1)
+                    logits = values.astype(np.float64) / scale
+                    for name in names:
+                        if name == "softmax":
+                            shifted = logits - logits.max()
+                            exp = np.exp(shifted)
+                            logits = exp / exp.sum()
+                        elif name == "relu":
+                            logits = np.maximum(logits, 0.0)
+                        else:
+                            raise BaselineError(
+                                f"unsupported final activation {name!r}"
+                            )
+                else:
+                    for name in names:
+                        if name != "relu":
+                            raise BaselineError(
+                                "EzPC baseline supports ReLU hidden "
+                                f"activations, got {name!r}"
+                            )
+                        share0, share1 = self._relu_stage(share0, share1,
+                                                          state)
+        if logits is None:
+            raise BaselineError("model did not produce logits")
+        latency = self._latency(state)
+        return int(np.argmax(logits)), latency
+
+    # ------------------------------------------------------------------
+
+    def _linear_stage(
+        self, stage_index: int,
+        share0: AdditiveShare, share1: AdditiveShare,
+        state: _RunState,
+    ) -> tuple[AdditiveShare, AdditiveShare]:
+        engine = state.engine
+        start = time.perf_counter()
+        for weight, bias in self._stage_matrices[stage_index]:
+            w0, w1 = engine.share(weight)
+            share0, share1 = engine.matmul_shared(w0, w1, share0, share1)
+            share0 = engine.add_public(share0, bias)
+            # Rescale the doubled fraction bits from the product.
+            share0, share1 = engine.truncate(share0, share1,
+                                             self.fraction_bits)
+        state.compute_seconds += time.perf_counter() - start
+        return share0, share1
+
+    def _relu_stage(
+        self,
+        share0: AdditiveShare, share1: AdditiveShare,
+        state: _RunState,
+    ) -> tuple[AdditiveShare, AdditiveShare]:
+        engine = state.engine
+        size = share0.values.size
+        rng = np.random.default_rng(self._seed ^ size)
+        masks = rng.integers(0, 2 ** 62, size=size).astype(np.uint64)
+
+        real_count = min(size, self.max_real_relu)
+        start = time.perf_counter()
+        out = np.empty(size, dtype=np.uint64)
+        for index in range(real_count):
+            out[index] = self._garbled_relu(
+                int(share0.values[index]), int(share1.values[index]),
+                int(masks[index]),
+            )
+        measured = time.perf_counter() - start
+        if real_count < size:
+            # Extrapolate per-element GC time to the sampled-out rest;
+            # compute their values directly so correctness holds.
+            per_element = measured / max(real_count, 1)
+            state.compute_seconds += per_element * (size - real_count)
+            x = (share0.values[real_count:]
+                 + share1.values[real_count:]).astype(np.int64)
+            relu = np.maximum(x, 0).astype(np.uint64)
+            out[real_count:] = relu - masks[real_count:]
+        state.compute_seconds += measured
+
+        gates_per_relu = self._relu_circuit.and_count
+        state.and_gates += gates_per_relu * size
+        # Wire cost: garbled tables + input labels, plus the response.
+        table_bytes = gates_per_relu * 4 * _LABEL_BYTES
+        label_bytes = self._relu_circuit.num_inputs * _LABEL_BYTES
+        state.gc_bytes += size * (table_bytes + label_bytes
+                                  + RELU_BITS // 8)
+        state.gc_rounds += 2  # (tables+labels) down, shares back up
+
+        # Party 1 holds the circuit output (relu - r); party 0 holds r.
+        new0 = AdditiveShare(0, masks)
+        new1 = AdditiveShare(1, out)
+        return new0, new1
+
+    def _garbled_relu(self, a: int, b: int, mask: int) -> int:
+        bits = RELU_BITS
+        garbled = garble(
+            self._relu_circuit,
+            seed=f"{self._seed}:{a}:{b}".encode(),
+        )
+        input_bits = (
+            _to_bits(a, bits) + _to_bits(b, bits) + _to_bits(mask, bits)
+        )
+        labels = garbled.input_labels(input_bits)
+        output_labels = evaluate_garbled(garbled, labels)
+        return _from_bits(garbled.decode(output_labels))
+
+    def _latency(self, state: _RunState) -> EzPCLatency:
+        cost = CostModel.reference()
+        total_bytes = state.engine.bytes_exchanged + state.gc_bytes
+        total_rounds = state.engine.rounds + state.gc_rounds
+        network = (
+            total_rounds * 2 * cost.network_latency
+            + total_bytes / cost.network_bandwidth
+        )
+        return EzPCLatency(
+            compute_seconds=state.compute_seconds,
+            network_seconds=network,
+            rounds=total_rounds,
+            bytes_exchanged=total_bytes,
+            and_gates=state.and_gates,
+        )
+
+
+def _layer_float_weight(layer, input_shape) -> np.ndarray:
+    """The dense float weight matrix of a linear layer."""
+    affine = scaled_affine_for_layer(layer, input_shape, 6)
+    return affine.weight.astype(np.float64) / 10 ** 6
+
+
+def _to_bits(value: int, bits: int) -> list[int]:
+    value &= (1 << bits) - 1
+    return [(value >> i) & 1 for i in range(bits)]
+
+
+def _from_bits(bits: list[int]) -> int:
+    return sum(bit << i for i, bit in enumerate(bits)) & (2 ** 64 - 1)

@@ -1,0 +1,336 @@
+"""Garbled boolean circuits: the Yao half of the EzPC-style baseline.
+
+A real implementation of classic garbled-circuit machinery:
+
+* circuits of XOR / AND / NOT gates built by :class:`CircuitBuilder`
+  (ripple-carry adders, two's-complement negation, MUX, and the ReLU
+  circuit EzPC evaluates per activation);
+* garbling with **free-XOR** (Kolesnikov-Schneider: XOR gates cost
+  nothing — labels differ by a global offset R) and
+  **point-and-permute** (the low bit of each label selects the garbled
+  table row, so evaluation does one hash per AND gate);
+* SHA-256 as the key-derivation hash.
+
+Oblivious transfer is replaced by direct label lookup (the evaluator's
+input bits select labels in-process); its network cost is accounted by
+the EzPC latency model instead.  That substitution does not change gate
+counts, table sizes, or per-gate computation, which is what the
+baseline comparison measures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import BaselineError
+
+#: Label length in bytes (128-bit wire labels).
+LABEL_BYTES = 16
+
+XOR = "xor"
+AND = "and"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: output wire computed from two input wires."""
+
+    kind: str
+    left: int
+    right: int
+    output: int
+
+
+@dataclass
+class Circuit:
+    """A boolean circuit over numbered wires.
+
+    Wires 0..num_inputs-1 are inputs; gates assign strictly increasing
+    output wires; ``outputs`` lists the result wires.  Constant-true /
+    constant-false wires are modeled as dedicated inputs fixed by the
+    builder (``const_zero`` wire).
+    """
+
+    num_inputs: int
+    gates: List[Gate] = field(default_factory=list)
+    outputs: List[int] = field(default_factory=list)
+
+    @property
+    def num_wires(self) -> int:
+        return self.num_inputs + len(self.gates)
+
+    @property
+    def and_count(self) -> int:
+        return sum(1 for g in self.gates if g.kind == AND)
+
+    @property
+    def xor_count(self) -> int:
+        return sum(1 for g in self.gates if g.kind == XOR)
+
+    def evaluate_plain(self, inputs: Sequence[int]) -> List[int]:
+        """Reference plaintext evaluation (for tests).
+
+        Accepts either all input wires or just the free inputs — the
+        builder's two reserved constant wires (0, then 1) are appended
+        automatically when omitted.
+        """
+        if len(inputs) == self.num_inputs - 2:
+            inputs = list(inputs) + [0, 1]
+        if len(inputs) != self.num_inputs:
+            raise BaselineError(
+                f"expected {self.num_inputs} input bits, got {len(inputs)}"
+            )
+        wires = list(int(b) & 1 for b in inputs)
+        for gate in self.gates:
+            a, b = wires[gate.left], wires[gate.right]
+            wires.append(a ^ b if gate.kind == XOR else a & b)
+        return [wires[w] for w in self.outputs]
+
+
+class CircuitBuilder:
+    """Builds circuits from XOR/AND primitives (NOT = XOR with one)."""
+
+    def __init__(self, num_inputs: int):
+        # Reserve two extra input wires as constants 0 and 1.
+        self.circuit = Circuit(num_inputs=num_inputs + 2)
+        self.const_zero = num_inputs
+        self.const_one = num_inputs + 1
+        self._next_wire = self.circuit.num_inputs
+
+    def _emit(self, kind: str, left: int, right: int) -> int:
+        wire = self._next_wire
+        self.circuit.gates.append(Gate(kind, left, right, wire))
+        self._next_wire += 1
+        return wire
+
+    def xor(self, a: int, b: int) -> int:
+        return self._emit(XOR, a, b)
+
+    def and_(self, a: int, b: int) -> int:
+        return self._emit(AND, a, b)
+
+    def not_(self, a: int) -> int:
+        return self.xor(a, self.const_one)
+
+    def or_(self, a: int, b: int) -> int:
+        # a | b = (a ^ b) ^ (a & b)
+        return self.xor(self.xor(a, b), self.and_(a, b))
+
+    def mux(self, select: int, when_true: int, when_false: int) -> int:
+        """select ? when_true : when_false = f ^ (s & (t ^ f))."""
+        return self.xor(when_false,
+                        self.and_(select, self.xor(when_true, when_false)))
+
+    def full_adder(self, a: int, b: int, carry: int
+                   ) -> Tuple[int, int]:
+        """Returns (sum, carry_out); 1 AND gate via the standard trick.
+
+        sum = a ^ b ^ c;  carry_out = c ^ ((a ^ c) & (b ^ c)).
+        """
+        a_xor_c = self.xor(a, carry)
+        b_xor_c = self.xor(b, carry)
+        total = self.xor(a_xor_c, b_xor_c)
+        total = self.xor(total, carry)
+        carry_out = self.xor(carry, self.and_(a_xor_c, b_xor_c))
+        return total, carry_out
+
+    def add(self, a_bits: Sequence[int], b_bits: Sequence[int]
+            ) -> List[int]:
+        """Ripple-carry addition of two little-endian k-bit numbers
+        (mod 2^k)."""
+        if len(a_bits) != len(b_bits):
+            raise BaselineError("adder operands must have equal width")
+        carry = self.const_zero
+        out: List[int] = []
+        for a, b in zip(a_bits, b_bits):
+            total, carry = self.full_adder(a, b, carry)
+            out.append(total)
+        return out
+
+    def finish(self, outputs: Sequence[int]) -> Circuit:
+        self.circuit.outputs = list(outputs)
+        return self.circuit
+
+
+def build_relu_circuit(bits: int) -> Circuit:
+    """The EzPC per-activation circuit: y = (x > 0) ? x : 0, then mask.
+
+    Inputs (little-endian, two's complement):
+      * wires [0, bits)        — party A's additive share of x,
+      * wires [bits, 2*bits)   — party B's additive share of x,
+      * wires [2*bits, 3*bits) — party A's fresh output mask r.
+
+    Output: bits of ``ReLU(a + b) - r``, revealed to the evaluator, so
+    the two parties end with additive shares of the activation (the
+    standard Y2A conversion).
+    """
+    if bits < 2:
+        raise BaselineError("need at least 2 bits for signed ReLU")
+    builder = CircuitBuilder(3 * bits)
+    a_bits = list(range(0, bits))
+    b_bits = list(range(bits, 2 * bits))
+    r_bits = list(range(2 * bits, 3 * bits))
+    x_bits = builder.add(a_bits, b_bits)
+    sign = x_bits[-1]  # MSB = 1 means negative in two's complement
+    keep = builder.not_(sign)
+    relu_bits = [builder.and_(keep, bit) for bit in x_bits]
+    # Compute relu - r = relu + (~r) + 1 (two's complement).
+    not_r = [builder.not_(bit) for bit in r_bits]
+    one = [builder.const_one] + [builder.const_zero] * (bits - 1)
+    minus_r = builder.add(not_r, one)
+    out_bits = builder.add(relu_bits, minus_r)
+    return builder.finish(out_bits)
+
+
+# ---------------------------------------------------------------------
+# Garbling (free-XOR + point-and-permute, SHA-256 KDF)
+# ---------------------------------------------------------------------
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _hash_pair(left: bytes, right: bytes, gate_id: int) -> bytes:
+    digest = hashlib.sha256(
+        left + right + gate_id.to_bytes(4, "little")
+    ).digest()
+    return digest[:LABEL_BYTES]
+
+
+@dataclass
+class GarbledCircuit:
+    """A garbled circuit plus the garbler-side secrets.
+
+    Attributes:
+        circuit: the underlying boolean circuit.
+        tables: per-AND-gate 4-row tables (XOR gates have none).
+        zero_labels: label of bit 0 for every wire (garbler secret).
+        offset: the global free-XOR offset R (garbler secret).
+    """
+
+    circuit: Circuit
+    tables: Dict[int, List[bytes]]
+    zero_labels: List[bytes]
+    offset: bytes
+
+    def label_for(self, wire: int, bit: int) -> bytes:
+        label = self.zero_labels[wire]
+        if bit & 1:
+            label = _xor_bytes(label, self.offset)
+        return label
+
+    def input_labels(self, bits: Sequence[int]) -> List[bytes]:
+        """Labels for the evaluator's input bits (stands in for OT).
+
+        The two reserved constant wires are appended automatically.
+        """
+        expected = self.circuit.num_inputs - 2
+        if len(bits) != expected:
+            raise BaselineError(
+                f"expected {expected} input bits, got {len(bits)}"
+            )
+        labels = [
+            self.label_for(wire, bit) for wire, bit in enumerate(bits)
+        ]
+        labels.append(self.label_for(expected, 0))      # const 0
+        labels.append(self.label_for(expected + 1, 1))  # const 1
+        return labels
+
+    def decode(self, output_labels: Sequence[bytes]) -> List[int]:
+        """Garbler-side decoding of output labels to bits."""
+        bits = []
+        for wire, label in zip(self.circuit.outputs, output_labels):
+            if label == self.zero_labels[wire]:
+                bits.append(0)
+            elif label == _xor_bytes(self.zero_labels[wire], self.offset):
+                bits.append(1)
+            else:
+                raise BaselineError(
+                    f"output label for wire {wire} decodes to neither bit"
+                )
+        return bits
+
+    @property
+    def table_bytes(self) -> int:
+        """Wire size of the garbled tables (what EzPC ships per layer)."""
+        return sum(len(rows) * LABEL_BYTES for rows in self.tables.values())
+
+
+def garble(circuit: Circuit, seed: bytes | None = None) -> GarbledCircuit:
+    """Garble a circuit with free-XOR and point-and-permute."""
+    rng = secrets.token_bytes if seed is None else _DeterministicBytes(seed)
+    offset = bytearray(rng(LABEL_BYTES))
+    offset[0] |= 1  # point-and-permute: R's low bit must be 1
+    offset = bytes(offset)
+
+    zero_labels: List[bytes] = [b""] * circuit.num_wires
+    for wire in range(circuit.num_inputs):
+        zero_labels[wire] = rng(LABEL_BYTES)
+
+    tables: Dict[int, List[bytes]] = {}
+    for gate_id, gate in enumerate(circuit.gates):
+        left_zero = zero_labels[gate.left]
+        right_zero = zero_labels[gate.right]
+        if gate.kind == XOR:
+            # Free XOR: the output zero-label is the XOR of inputs'.
+            zero_labels[gate.output] = _xor_bytes(left_zero, right_zero)
+            continue
+        out_zero = rng(LABEL_BYTES)
+        zero_labels[gate.output] = out_zero
+        rows: List[bytes | None] = [None] * 4
+        for left_bit in (0, 1):
+            for right_bit in (0, 1):
+                left_label = left_zero if left_bit == 0 else \
+                    _xor_bytes(left_zero, offset)
+                right_label = right_zero if right_bit == 0 else \
+                    _xor_bytes(right_zero, offset)
+                out_bit = left_bit & right_bit
+                out_label = out_zero if out_bit == 0 else \
+                    _xor_bytes(out_zero, offset)
+                pad = _hash_pair(left_label, right_label, gate_id)
+                row_index = (left_label[0] & 1) * 2 + (right_label[0] & 1)
+                rows[row_index] = _xor_bytes(pad, out_label)
+        tables[gate_id] = [row for row in rows]  # type: ignore[misc]
+    return GarbledCircuit(circuit, tables, zero_labels, offset)
+
+
+def evaluate_garbled(
+    garbled: GarbledCircuit, input_labels: Sequence[bytes]
+) -> List[bytes]:
+    """Evaluator side: walk the gates knowing only one label per wire."""
+    circuit = garbled.circuit
+    if len(input_labels) != circuit.num_inputs:
+        raise BaselineError(
+            f"expected {circuit.num_inputs} input labels, got "
+            f"{len(input_labels)}"
+        )
+    labels: List[bytes] = list(input_labels) + [b""] * len(circuit.gates)
+    for gate_id, gate in enumerate(circuit.gates):
+        left = labels[gate.left]
+        right = labels[gate.right]
+        if gate.kind == XOR:
+            labels[gate.output] = _xor_bytes(left, right)
+            continue
+        rows = garbled.tables[gate_id]
+        row_index = (left[0] & 1) * 2 + (right[0] & 1)
+        pad = _hash_pair(left, right, gate_id)
+        labels[gate.output] = _xor_bytes(pad, rows[row_index])
+    return [labels[wire] for wire in circuit.outputs]
+
+
+class _DeterministicBytes:
+    """Deterministic byte source for reproducible garbling in tests."""
+
+    def __init__(self, seed: bytes):
+        self._state = hashlib.sha256(seed).digest()
+
+    def __call__(self, count: int) -> bytes:
+        out = b""
+        while len(out) < count:
+            self._state = hashlib.sha256(self._state).digest()
+            out += self._state
+        return out[:count]

@@ -1,0 +1,50 @@
+"""PlainBase: centralized plaintext inference (Exp#2 baseline).
+
+Runs the model directly on one "server" — no crypto, no privacy — and
+measures wall-clock latency.  The simulator-side analogue is
+:func:`repro.simulate.centralized_plain_latency`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import BaselineError
+from ..nn.model import Sequential
+
+
+@dataclass(frozen=True)
+class PlainResult:
+    """Outcome of one PlainBase inference."""
+
+    prediction: int
+    probabilities: np.ndarray
+    latency: float
+
+
+class PlainBase:
+    """Single-server plaintext inference runner."""
+
+    def __init__(self, model: Sequential):
+        self.model = model
+
+    def infer(self, x: np.ndarray) -> PlainResult:
+        """Run one input through the model, timing the forward pass."""
+        x = np.asarray(x, dtype=np.float64)
+        start = time.perf_counter()
+        out = self.model.forward(x[None, ...])[0]
+        latency = time.perf_counter() - start
+        return PlainResult(
+            prediction=int(out.argmax()),
+            probabilities=out,
+            latency=latency,
+        )
+
+    def infer_batch(self, batch: np.ndarray) -> list[PlainResult]:
+        batch = np.asarray(batch)
+        if batch.ndim < 2:
+            raise BaselineError("infer_batch expects a batch tensor")
+        return [self.infer(sample) for sample in batch]

@@ -1,0 +1,71 @@
+"""Published baseline latencies, quoted as the paper quotes them.
+
+Table VII compares PP-Stream against SecureML, CryptoNets, and CryptoDL
+"based on the numbers reported in their respective publications" (their
+artifacts are not public).  This module records those numbers with
+their provenance so the Exp#6 harness can print the same rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import BaselineError
+
+
+@dataclass(frozen=True)
+class ReportedResult:
+    """A latency quoted from a publication.
+
+    Attributes:
+        system: system name.
+        model_key: which Table III model the number applies to.
+        latency_seconds: reported inference latency.
+        environment: hardware the publication used.
+        source: citation string.
+    """
+
+    system: str
+    model_key: str
+    latency_seconds: float
+    environment: str
+    source: str
+
+
+REPORTED_LATENCIES: tuple[ReportedResult, ...] = (
+    ReportedResult(
+        system="SecureML",
+        model_key="mnist-1",
+        latency_seconds=4.88,
+        environment="two Amazon EC2 c4.8xlarge instances, 60 GB RAM each",
+        source="Mohassel & Zhang, IEEE S&P 2017 (as quoted in PP-Stream "
+               "Table VII)",
+    ),
+    ReportedResult(
+        system="CryptoNets",
+        model_key="mnist-2",
+        latency_seconds=297.5,
+        environment="single Intel Xeon E5-1620 3.5 GHz, 16 GB RAM",
+        source="Gilad-Bachrach et al., ICML 2016 (as quoted in PP-Stream "
+               "Table VII)",
+    ),
+    ReportedResult(
+        system="CryptoDL",
+        model_key="mnist-2",
+        latency_seconds=320.0,
+        environment="VM with 12 CPU cores, 48 GB RAM",
+        source="Hesamifard et al., PETS 2018 (as quoted in PP-Stream "
+               "Table VII)",
+    ),
+)
+
+
+def reported_for(system: str, model_key: str) -> ReportedResult:
+    """Look up a quoted number; raises when the pair was never published."""
+    for result in REPORTED_LATENCIES:
+        if result.system.lower() == system.lower() and \
+                result.model_key == model_key:
+            return result
+    raise BaselineError(
+        f"no published latency for {system} on {model_key}"
+    )

@@ -1,0 +1,217 @@
+"""Additive secret sharing over Z_2^64 with Beaver-triple products.
+
+The arithmetic half of an EzPC/ABY-style two-party framework: values
+are fixed-point integers split into two uniformly random additive
+shares; linear layers are evaluated share-wise (additions and
+public-by-share products are local), and share-by-share products use
+Beaver multiplication triples from a trusted dealer — the standard
+benchmark setup, matching how EzPC-style systems are measured.
+
+All share arithmetic is vectorized numpy uint64 (wrap-around is the
+ring reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import BaselineError
+
+#: Ring: Z_2^64 via uint64 wrap-around.
+RING_BITS = 64
+_DTYPE = np.uint64
+
+
+def _to_ring(values: np.ndarray) -> np.ndarray:
+    return np.asarray(values).astype(np.int64).astype(_DTYPE)
+
+
+def _from_ring(values: np.ndarray) -> np.ndarray:
+    return values.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class AdditiveShare:
+    """One party's share of a secret tensor (values in Z_2^64)."""
+
+    party: int
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.party not in (0, 1):
+            raise BaselineError("party must be 0 or 1")
+        object.__setattr__(
+            self, "values", np.asarray(self.values, dtype=_DTYPE)
+        )
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.values.shape
+
+
+@dataclass(frozen=True)
+class BeaverTriple:
+    """Dealer-issued shares of (a, b, c) with c = a * b element-wise."""
+
+    a0: np.ndarray
+    a1: np.ndarray
+    b0: np.ndarray
+    b1: np.ndarray
+    c0: np.ndarray
+    c1: np.ndarray
+
+
+class SecretSharingEngine:
+    """Two-party additive sharing with a trusted triple dealer.
+
+    Tracks communication: every value *opened* between the parties (the
+    d, e openings of Beaver multiplication and final reconstructions)
+    counts 8 bytes per element per direction, and every opening is one
+    communication round — the numbers the EzPC latency model consumes.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+        self.bytes_exchanged = 0
+        self.rounds = 0
+        self.triples_consumed = 0
+
+    # -- sharing ---------------------------------------------------------
+
+    def share(self, values: np.ndarray) -> tuple[AdditiveShare,
+                                                 AdditiveShare]:
+        """Split integers into two uniformly random additive shares."""
+        ring = _to_ring(values)
+        share0 = self._rng.integers(
+            0, 2 ** 63, size=ring.shape, dtype=np.int64
+        ).astype(_DTYPE) * _DTYPE(2) + self._rng.integers(
+            0, 2, size=ring.shape, dtype=np.int64
+        ).astype(_DTYPE)
+        share1 = ring - share0
+        return AdditiveShare(0, share0), AdditiveShare(1, share1)
+
+    def reconstruct(self, share0: AdditiveShare,
+                    share1: AdditiveShare) -> np.ndarray:
+        """Open a shared tensor (counts as one round of communication)."""
+        if share0.shape != share1.shape:
+            raise BaselineError("share shapes differ")
+        self._count_opening(share0.values.size)
+        return _from_ring(share0.values + share1.values)
+
+    def _count_opening(self, elements: int) -> None:
+        self.bytes_exchanged += 2 * 8 * elements
+        self.rounds += 1
+
+    # -- linear algebra on shares ----------------------------------------
+
+    @staticmethod
+    def add(x: AdditiveShare, y: AdditiveShare) -> AdditiveShare:
+        if x.party != y.party:
+            raise BaselineError("cannot add shares of different parties")
+        return AdditiveShare(x.party, x.values + y.values)
+
+    @staticmethod
+    def add_public(x: AdditiveShare, public: np.ndarray) -> AdditiveShare:
+        """Add a public constant (only party 0 adds it)."""
+        if x.party == 0:
+            return AdditiveShare(0, x.values + _to_ring(public))
+        return x
+
+    @staticmethod
+    def mul_public(x: AdditiveShare, public: np.ndarray) -> AdditiveShare:
+        """Multiply by a public constant (local for both parties)."""
+        return AdditiveShare(x.party, x.values * _to_ring(public))
+
+    @staticmethod
+    def matmul_public(matrix: np.ndarray, x: AdditiveShare
+                      ) -> AdditiveShare:
+        """Public-matrix times shared-vector (local)."""
+        ring_matrix = _to_ring(matrix)
+        return AdditiveShare(x.party, ring_matrix @ x.values)
+
+    # -- Beaver multiplication --------------------------------------------
+
+    def deal_triple(self, shape: tuple[int, ...]) -> BeaverTriple:
+        """Trusted dealer: element-wise triple shares of the given shape."""
+        a = self._rng.integers(0, 2 ** 62, size=shape).astype(_DTYPE)
+        b = self._rng.integers(0, 2 ** 62, size=shape).astype(_DTYPE)
+        c = a * b
+        a0 = self._rng.integers(0, 2 ** 62, size=shape).astype(_DTYPE)
+        b0 = self._rng.integers(0, 2 ** 62, size=shape).astype(_DTYPE)
+        c0 = self._rng.integers(0, 2 ** 62, size=shape).astype(_DTYPE)
+        return BeaverTriple(a0, a - a0, b0, b - b0, c0, c - c0)
+
+    def multiply(
+        self,
+        x0: AdditiveShare, x1: AdditiveShare,
+        y0: AdditiveShare, y1: AdditiveShare,
+    ) -> tuple[AdditiveShare, AdditiveShare]:
+        """Element-wise product of two shared tensors via one triple.
+
+        Opens d = x - a and e = y - b (one round, both directions), then
+        each party computes its share of x*y locally.
+        """
+        if x0.shape != y0.shape:
+            raise BaselineError("operand shapes differ")
+        triple = self.deal_triple(x0.shape)
+        self.triples_consumed += 1
+        d0 = x0.values - triple.a0
+        d1 = x1.values - triple.a1
+        e0 = y0.values - triple.b0
+        e1 = y1.values - triple.b1
+        self._count_opening(2 * x0.values.size)  # d and e together
+        d = d0 + d1
+        e = e0 + e1
+        z0 = triple.c0 + d * triple.b0 + e * triple.a0 + d * e
+        z1 = triple.c1 + d * triple.b1 + e * triple.a1
+        return AdditiveShare(0, z0), AdditiveShare(1, z1)
+
+    def matmul_shared(
+        self,
+        w0: AdditiveShare, w1: AdditiveShare,
+        x0: AdditiveShare, x1: AdditiveShare,
+    ) -> tuple[AdditiveShare, AdditiveShare]:
+        """Shared-matrix times shared-vector via a matrix Beaver triple.
+
+        Opens D = W - A (m x n elements) and e = x - b (n elements) in
+        one round; this is the communication-heavy step that makes
+        secret-sharing frameworks network-bound on large layers.
+        """
+        if w0.values.ndim != 2 or x0.values.ndim != 1:
+            raise BaselineError("matmul_shared expects (matrix, vector)")
+        m, n = w0.values.shape
+        if x0.values.shape != (n,):
+            raise BaselineError(
+                f"matrix {w0.values.shape} incompatible with vector "
+                f"{x0.values.shape}"
+            )
+        a = self._rng.integers(0, 2 ** 62, size=(m, n)).astype(_DTYPE)
+        b = self._rng.integers(0, 2 ** 62, size=n).astype(_DTYPE)
+        c = a @ b
+        a0 = self._rng.integers(0, 2 ** 62, size=(m, n)).astype(_DTYPE)
+        b0 = self._rng.integers(0, 2 ** 62, size=n).astype(_DTYPE)
+        c0 = self._rng.integers(0, 2 ** 62, size=m).astype(_DTYPE)
+        a1, b1, c1 = a - a0, b - b0, c - c0
+        self.triples_consumed += 1
+        d = (w0.values - a0) + (w1.values - a1)   # opened D
+        e = (x0.values - b0) + (x1.values - b1)   # opened e
+        self._count_opening(m * n + n)
+        z0 = c0 + d @ b0 + a0 @ e + d @ e
+        z1 = c1 + d @ b1 + a1 @ e
+        return AdditiveShare(0, z0), AdditiveShare(1, z1)
+
+    def truncate(
+        self, x0: AdditiveShare, x1: AdditiveShare, bits: int
+    ) -> tuple[AdditiveShare, AdditiveShare]:
+        """Fixed-point truncation by ``bits`` (SecureML local trick).
+
+        Each party arithmetic-shifts its own share; correct with
+        overwhelming probability for values far from the ring boundary.
+        """
+        if bits < 0:
+            raise BaselineError("truncation bits must be non-negative")
+        s0 = (x0.values.astype(np.int64) >> bits).astype(_DTYPE)
+        s1 = -((-x1.values.astype(np.int64)) >> bits).astype(_DTYPE)
+        return AdditiveShare(0, s0), AdditiveShare(1, s1)

@@ -1,0 +1,100 @@
+"""Runtime configuration for the PP-Stream reproduction.
+
+A single :class:`RuntimeConfig` object gathers the knobs that cut across
+subsystems: the Paillier key size, the default scaling factor bounds, RNG
+seeding, and whether latency experiments run against the live-calibrated
+cost model or the frozen reference profile.
+
+The paper's prototype fixes the key size at 2048 bits (Section V).  Pure
+Python is slower than the GMP-based prototype, so the *default* here is a
+smaller key that keeps tests fast; the key size is a parameter everywhere,
+never a separate code path, and the Fig. 1 benchmark exercises the real
+512/1024/2048-bit sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .errors import ConfigurationError
+
+#: Key size used by the paper's prototype (bits).
+PAPER_KEY_SIZE = 2048
+
+#: Default key size for tests and examples (bits).  Small enough that a
+#: full protocol round-trip over a small model completes in well under a
+#: second, large enough to exercise every code path (CRT split, signed
+#: encoding headroom checks).
+DEFAULT_KEY_SIZE = 256
+
+#: Maximum number of decimal places explored by parameter scaling (paper
+#: Section IV-A fixes this to 6).
+MAX_SCALING_DECIMALS = 6
+
+#: Accuracy-degradation threshold for accepting a scaling factor
+#: (paper default: 0.01 percentage points).
+SCALING_ACCURACY_THRESHOLD = 0.01
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Immutable bundle of cross-cutting runtime settings.
+
+    Attributes:
+        key_size: Paillier modulus size in bits.
+        seed: master RNG seed; all randomness in the package derives from
+            it so experiments are reproducible.
+        max_scaling_decimals: upper bound on the scaling exponent ``f``.
+        scaling_threshold: accuracy-drop tolerance (percentage points)
+            used when selecting the scaling factor.
+        hyperthreading: whether a physical core may host two threads
+            (constraint (8) of the allocation ILP multiplies capacity by 2).
+        cost_profile: name of the simulator cost profile, either
+            ``"reference"`` (frozen constants resembling the paper's
+            2048-bit GMP testbed) or ``"calibrated"`` (micro-benchmarked
+            from this interpreter at ``key_size``).
+    """
+
+    key_size: int = DEFAULT_KEY_SIZE
+    seed: int = 20240519
+    max_scaling_decimals: int = MAX_SCALING_DECIMALS
+    scaling_threshold: float = SCALING_ACCURACY_THRESHOLD
+    hyperthreading: bool = True
+    cost_profile: str = "reference"
+
+    def __post_init__(self) -> None:
+        if self.key_size < 64:
+            raise ConfigurationError(
+                f"key_size must be >= 64 bits, got {self.key_size}"
+            )
+        if self.key_size % 2 != 0:
+            raise ConfigurationError(
+                f"key_size must be even, got {self.key_size}"
+            )
+        if self.max_scaling_decimals < 0:
+            raise ConfigurationError(
+                "max_scaling_decimals must be non-negative, got "
+                f"{self.max_scaling_decimals}"
+            )
+        if self.scaling_threshold < 0:
+            raise ConfigurationError(
+                f"scaling_threshold must be non-negative, got "
+                f"{self.scaling_threshold}"
+            )
+        if self.cost_profile not in ("reference", "calibrated"):
+            raise ConfigurationError(
+                "cost_profile must be 'reference' or 'calibrated', got "
+                f"{self.cost_profile!r}"
+            )
+
+    def with_key_size(self, key_size: int) -> "RuntimeConfig":
+        """Return a copy of this config with a different key size."""
+        return replace(self, key_size=key_size)
+
+    def with_seed(self, seed: int) -> "RuntimeConfig":
+        """Return a copy of this config with a different master seed."""
+        return replace(self, seed=seed)
+
+
+#: Package-wide default configuration.
+DEFAULT_CONFIG = RuntimeConfig()

@@ -1,0 +1,136 @@
+"""Plaintext encodings for pushing neural-network values through Paillier.
+
+Paillier operates on residues of Z_n.  Neural networks operate on signed
+(and, before parameter scaling, floating-point) values.  Two encoders
+bridge the gap:
+
+* :class:`SignedEncoder` maps signed integers into Z_n with the usual
+  half-range convention: non-negative values map to themselves, negative
+  values to ``n + x``.  Homomorphic sums/products stay correct as long as
+  the magnitude of every intermediate value stays below ``n / 2`` — the
+  encoder exposes that headroom so callers can check it.
+
+* :class:`FixedPointEncoder` composes the signed encoding with the
+  paper's parameter scaling (Section IV-A): a value ``v`` is stored as
+  ``round(v * 10^f)``.  Multiplying two scaled values multiplies the
+  exponents, so the encoder tracks the *accumulated* exponent of a
+  homomorphic expression and divides it out on decode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import EncodingError
+from .paillier import PaillierPublicKey
+
+
+@dataclass(frozen=True)
+class SignedEncoder:
+    """Half-range signed-integer encoding into Z_n.
+
+    Values in ``[0, n/2)`` are positive; values in ``(n/2, n)`` decode to
+    ``value - n``.  The midpoint itself is rejected as ambiguous.
+    """
+
+    public_key: PaillierPublicKey
+
+    @property
+    def max_magnitude(self) -> int:
+        """Largest absolute value representable without wraparound."""
+        return (self.public_key.n - 1) // 2
+
+    def encode(self, value: int) -> int:
+        """Encode a signed integer into a residue of Z_n.
+
+        Raises:
+            EncodingError: if ``abs(value)`` exceeds the headroom.
+        """
+        if not isinstance(value, int):
+            raise EncodingError(
+                f"SignedEncoder encodes ints, got {type(value).__name__}"
+            )
+        if abs(value) > self.max_magnitude:
+            raise EncodingError(
+                f"value {value} exceeds signed headroom "
+                f"+/-{self.max_magnitude}"
+            )
+        return value % self.public_key.n
+
+    def decode(self, residue: int) -> int:
+        """Decode a residue of Z_n back to a signed integer."""
+        n = self.public_key.n
+        if not 0 <= residue < n:
+            raise EncodingError(f"residue {residue} out of range [0, n)")
+        if residue > n // 2:
+            return residue - n
+        return residue
+
+
+@dataclass(frozen=True)
+class FixedPointEncoder:
+    """Signed fixed-point encoding with a base-10 scaling exponent.
+
+    This realizes the paper's parameter scaling for the data path: a
+    float ``v`` is encoded as the signed integer ``round(v * 10^f)``.
+    The homomorphic linear layer multiplies encrypted inputs (exponent
+    ``f_in``) by scaled integer weights (exponent ``f_w``), producing
+    results at exponent ``f_in + f_w``; :meth:`decode` takes the
+    accumulated exponent and divides it back out.
+
+    Attributes:
+        public_key: Paillier public key providing the modulus.
+        exponent: decimal places ``f`` of this encoder (``F = 10^f``).
+    """
+
+    public_key: PaillierPublicKey
+    exponent: int
+
+    def __post_init__(self) -> None:
+        if self.exponent < 0:
+            raise EncodingError(
+                f"exponent must be non-negative, got {self.exponent}"
+            )
+
+    @property
+    def scale(self) -> int:
+        """The scaling factor ``F = 10^f``."""
+        return 10 ** self.exponent
+
+    @property
+    def signed(self) -> SignedEncoder:
+        return SignedEncoder(self.public_key)
+
+    def encode(self, value: float) -> int:
+        """Encode a float into a residue of Z_n at this exponent."""
+        scaled = round(float(value) * self.scale)
+        return self.signed.encode(scaled)
+
+    def decode(self, residue: int, accumulated_exponent: int | None = None
+               ) -> float:
+        """Decode a residue back to a float.
+
+        Args:
+            residue: decrypted residue of Z_n.
+            accumulated_exponent: total decimal exponent of the value
+                (defaults to this encoder's own exponent).
+        """
+        if accumulated_exponent is None:
+            accumulated_exponent = self.exponent
+        signed = self.signed.decode(residue)
+        return signed / (10 ** accumulated_exponent)
+
+    def headroom_exponent(self, max_abs_value: float) -> int:
+        """How many further decimal digits fit before wraparound.
+
+        Useful for validating that a chain of scaled multiplications
+        cannot overflow the signed range for inputs bounded by
+        ``max_abs_value``.
+        """
+        if max_abs_value <= 0:
+            raise EncodingError("max_abs_value must be positive")
+        budget = self.signed.max_magnitude / max_abs_value
+        digits = 0
+        while 10 ** (digits + 1) <= budget:
+            digits += 1
+        return digits

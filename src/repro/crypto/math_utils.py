@@ -1,0 +1,160 @@
+"""Number-theoretic building blocks for Paillier's cryptosystem.
+
+Pure-Python implementations of the primitives GMP provides to the paper's
+C++ prototype: Miller–Rabin primality testing, probable-prime generation,
+modular inverses, lcm, and Chinese-remainder recombination.  Python's
+arbitrary-precision integers and three-argument ``pow`` do the heavy
+lifting; everything here is deterministic given an explicit RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..errors import CryptoError
+
+# Small primes used to cheaply reject candidates before Miller-Rabin.
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+
+#: Number of Miller-Rabin rounds.  40 rounds gives a false-positive
+#: probability below 2^-80 for random candidates.
+_MILLER_RABIN_ROUNDS = 40
+
+
+def is_probable_prime(n: int, rng: random.Random | None = None) -> bool:
+    """Return True if ``n`` passes trial division and Miller–Rabin.
+
+    Args:
+        n: candidate integer.
+        rng: randomness source for witness selection; a fresh
+            ``random.Random(0xC0FFEE ^ n)`` is used when omitted so the
+            test is deterministic per candidate.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    if rng is None:
+        rng = random.Random(0xC0FFEE ^ (n & 0xFFFFFFFF))
+    # Write n - 1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(_MILLER_RABIN_ROUNDS):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a probable prime of exactly ``bits`` bits.
+
+    The top two bits are forced to 1 so that the product of two such
+    primes has exactly ``2 * bits`` bits, which key generation relies on.
+
+    Args:
+        bits: bit length of the prime; must be at least 16.
+        rng: randomness source.
+
+    Raises:
+        CryptoError: if ``bits`` is too small.
+    """
+    if bits < 16:
+        raise CryptoError(f"prime size too small: {bits} bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+def invmod(a: int, m: int) -> int:
+    """Return the inverse of ``a`` modulo ``m``.
+
+    Raises:
+        CryptoError: if ``a`` is not invertible mod ``m``.
+    """
+    try:
+        return pow(a, -1, m)
+    except ValueError as exc:
+        raise CryptoError(f"{a} is not invertible modulo {m}") from exc
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple of two positive integers."""
+    import math
+
+    return a // math.gcd(a, b) * b
+
+
+def crt_pair(
+    residue_p: int, residue_q: int, p: int, q: int, q_inv_p: int
+) -> int:
+    """Recombine residues mod ``p`` and mod ``q`` into a residue mod ``p*q``.
+
+    Uses Garner's formula with the precomputed ``q^{-1} mod p``:
+    ``x = r_q + q * ((r_p - r_q) * q_inv_p mod p)``.
+
+    Args:
+        residue_p: value mod ``p``.
+        residue_q: value mod ``q``.
+        p: first modulus.
+        q: second modulus.
+        q_inv_p: precomputed inverse of ``q`` modulo ``p``.
+    """
+    h = ((residue_p - residue_q) * q_inv_p) % p
+    return residue_q + q * h
+
+
+def sample_coprime(n: int, rng: random.Random) -> int:
+    """Sample a uniformly random unit of Z_n (an ``r`` with gcd(r, n) = 1)."""
+    import math
+
+    while True:
+        r = rng.randrange(1, n)
+        if math.gcd(r, n) == 1:
+            return r
+
+
+def keypair_primes(key_size: int, rng: random.Random) -> Tuple[int, int]:
+    """Generate two distinct primes whose product has ``key_size`` bits.
+
+    Args:
+        key_size: target modulus size in bits (must be even).
+        rng: randomness source.
+
+    Raises:
+        CryptoError: if a valid pair cannot be produced.
+    """
+    if key_size % 2 != 0:
+        raise CryptoError(f"key_size must be even, got {key_size}")
+    half = key_size // 2
+    for _ in range(64):
+        p = generate_prime(half, rng)
+        q = generate_prime(half, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() == key_size:
+            return p, q
+    raise CryptoError(
+        f"failed to generate a {key_size}-bit modulus after 64 attempts"
+    )

@@ -1,0 +1,155 @@
+"""Wire formats: byte-level serialization of keys and ciphertexts.
+
+The protocol transcripts estimate message sizes analytically (2 bytes
+per modulus bit); this module provides the *actual* wire format so
+deployments, tests, and byte-accounting agree:
+
+* public keys as JSON (modulus + key size),
+* private keys as JSON (p, q — only ever stored at the data provider),
+* encrypted tensors as a framed binary blob: a fixed header (magic,
+  version, key size, exponent, rank, dims) followed by fixed-width
+  big-endian ciphertexts (``2 * key_size / 8`` bytes each).
+
+All parsers validate framing and raise :class:`EncodingError` on
+malformed input rather than producing garbage tensors.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Tuple
+
+from ..errors import EncodingError, KeyMismatchError
+from .paillier import (
+    EncryptedNumber,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+)
+from .tensor import EncryptedTensor
+
+#: Frame magic for encrypted-tensor blobs.
+_MAGIC = b"PPST"
+_VERSION = 1
+_HEADER = struct.Struct(">4sBIiB")  # magic, ver, key_size, exp, rank
+
+
+def public_key_to_json(key: PaillierPublicKey) -> str:
+    """Serialize a public key (safe to share)."""
+    return json.dumps({
+        "kind": "paillier-public",
+        "key_size": key.key_size,
+        "n": hex(key.n),
+    })
+
+
+def public_key_from_json(text: str) -> PaillierPublicKey:
+    data = _load_key_json(text, "paillier-public")
+    return PaillierPublicKey(n=int(data["n"], 16),
+                             key_size=int(data["key_size"]))
+
+
+def private_key_to_json(key: PaillierPrivateKey) -> str:
+    """Serialize a private key (data-provider side only!)."""
+    return json.dumps({
+        "kind": "paillier-private",
+        "key_size": key.public_key.key_size,
+        "p": hex(key.p),
+        "q": hex(key.q),
+    })
+
+
+def private_key_from_json(text: str) -> PaillierPrivateKey:
+    data = _load_key_json(text, "paillier-private")
+    p, q = int(data["p"], 16), int(data["q"], 16)
+    public = PaillierPublicKey(n=p * q,
+                               key_size=int(data["key_size"]))
+    return PaillierPrivateKey(public_key=public, p=p, q=q)
+
+
+def _load_key_json(text: str, expected_kind: str) -> dict:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise EncodingError(f"malformed key JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("kind") != expected_kind:
+        raise EncodingError(
+            f"expected a {expected_kind} key, got "
+            f"{data.get('kind') if isinstance(data, dict) else data!r}"
+        )
+    return data
+
+
+def ciphertext_bytes(key_size: int) -> int:
+    """Fixed wire width of one ciphertext (an element of Z_{n^2})."""
+    return 2 * key_size // 8
+
+
+def tensor_to_bytes(tensor: EncryptedTensor) -> bytes:
+    """Serialize an encrypted tensor to the framed binary format."""
+    key_size = tensor.public_key.key_size
+    width = ciphertext_bytes(key_size)
+    if len(tensor.shape) > 255:
+        raise EncodingError("tensor rank exceeds the wire format's 255")
+    header = _HEADER.pack(_MAGIC, _VERSION, key_size, tensor.exponent,
+                          len(tensor.shape))
+    dims = b"".join(struct.pack(">I", dim) for dim in tensor.shape)
+    body = b"".join(
+        cell.ciphertext.to_bytes(width, "big")
+        for cell in tensor.cells()
+    )
+    return header + dims + body
+
+
+def tensor_from_bytes(
+    blob: bytes, public_key: PaillierPublicKey
+) -> EncryptedTensor:
+    """Parse a framed blob back into an encrypted tensor.
+
+    Raises:
+        EncodingError: on bad framing, truncation, or trailing bytes.
+        KeyMismatchError: when the frame's key size differs from the
+            supplied public key's.
+    """
+    if len(blob) < _HEADER.size:
+        raise EncodingError("blob shorter than the frame header")
+    magic, version, key_size, exponent, rank = _HEADER.unpack(
+        blob[:_HEADER.size]
+    )
+    if magic != _MAGIC:
+        raise EncodingError(f"bad magic {magic!r}")
+    if version != _VERSION:
+        raise EncodingError(f"unsupported wire version {version}")
+    if key_size != public_key.key_size:
+        raise KeyMismatchError(
+            f"frame was written for a {key_size}-bit key, reader has "
+            f"{public_key.key_size}-bit"
+        )
+    offset = _HEADER.size
+    dims: Tuple[int, ...] = ()
+    for _ in range(rank):
+        if offset + 4 > len(blob):
+            raise EncodingError("truncated dimension list")
+        (dim,) = struct.unpack(">I", blob[offset:offset + 4])
+        dims += (dim,)
+        offset += 4
+    size = 1
+    for dim in dims:
+        size *= dim
+    width = ciphertext_bytes(key_size)
+    expected = offset + size * width
+    if len(blob) != expected:
+        raise EncodingError(
+            f"body length {len(blob) - offset} != expected "
+            f"{size * width}"
+        )
+    cells = []
+    for index in range(size):
+        start = offset + index * width
+        value = int.from_bytes(blob[start:start + width], "big")
+        if not 0 < value < public_key.n_squared:
+            raise EncodingError(
+                f"ciphertext {index} out of range for the modulus"
+            )
+        cells.append(EncryptedNumber(public_key, value))
+    return EncryptedTensor(public_key, cells, dims, exponent)

@@ -1,0 +1,302 @@
+"""Encrypted tensors: Paillier homomorphisms lifted to whole arrays.
+
+The protocol exchanges multi-dimensional tensors (Section II-A), so the
+scalar homomorphic operations of :mod:`repro.crypto.paillier` are lifted
+here to an :class:`EncryptedTensor` — a shape plus a flat tuple of
+ciphertexts, with the accumulated fixed-point exponent threaded through so
+the data provider knows how to rescale after decryption.
+
+The linear primitives a neural network needs are provided directly:
+element-wise addition, element-wise plaintext multiplication, and the
+affine map ``y = W x + b`` (Eq. (3) of the paper), which fully-connected
+and (via im2col) convolution layers reduce to.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import EncodingError, KeyMismatchError
+from .encoding import SignedEncoder
+from .paillier import (
+    EncryptedNumber,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+)
+
+
+def _flatten_int_array(values: np.ndarray) -> list[int]:
+    """Flatten an integer ndarray to a list of Python ints (row-major)."""
+    if not np.issubdtype(np.asarray(values).dtype, np.integer) and \
+            np.asarray(values).dtype != object:
+        raise EncodingError(
+            "EncryptedTensor operations need integer arrays; scale "
+            "floats first (see repro.scaling)"
+        )
+    return [int(v) for v in np.asarray(values).reshape(-1)]
+
+
+class EncryptedTensor:
+    """An encrypted multi-dimensional array under a single public key.
+
+    Attributes:
+        public_key: the Paillier key all elements are encrypted under.
+        shape: logical tensor shape (row-major element order).
+        exponent: accumulated base-10 fixed-point exponent of the
+            plaintext values (decryption divides by ``10**exponent``).
+    """
+
+    __slots__ = ("public_key", "shape", "exponent", "_cells")
+
+    def __init__(
+        self,
+        public_key: PaillierPublicKey,
+        cells: Sequence[EncryptedNumber],
+        shape: Tuple[int, ...],
+        exponent: int = 0,
+    ):
+        size = 1
+        for dim in shape:
+            size *= dim
+        if size != len(cells):
+            raise EncodingError(
+                f"shape {shape} implies {size} elements, got {len(cells)}"
+            )
+        self.public_key = public_key
+        self.shape = tuple(shape)
+        self.exponent = exponent
+        self._cells = tuple(cells)
+
+    # ------------------------------------------------------------------
+    # Construction / deconstruction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def encrypt(
+        cls,
+        values: np.ndarray,
+        public_key: PaillierPublicKey,
+        rng: random.Random,
+        exponent: int = 0,
+    ) -> "EncryptedTensor":
+        """Encrypt an integer ndarray element by element.
+
+        Args:
+            values: integer array (already scaled to fixed point).
+            public_key: encryption key.
+            rng: randomness source for probabilistic encryption.
+            exponent: fixed-point exponent the integers carry.
+        """
+        values = np.asarray(values)
+        encoder = SignedEncoder(public_key)
+        cells = [
+            public_key.encrypt(encoder.encode(v), rng)
+            for v in _flatten_int_array(values)
+        ]
+        return cls(public_key, cells, values.shape, exponent)
+
+    def decrypt(self, private_key: PaillierPrivateKey) -> np.ndarray:
+        """Decrypt to a signed-integer ndarray (dtype=object for headroom)."""
+        encoder = SignedEncoder(self.public_key)
+        flat = [
+            encoder.decode(private_key.decrypt(cell)) for cell in self._cells
+        ]
+        return np.array(flat, dtype=object).reshape(self.shape)
+
+    def decrypt_float(self, private_key: PaillierPrivateKey) -> np.ndarray:
+        """Decrypt and rescale by the accumulated exponent to float64."""
+        ints = self.decrypt(private_key)
+        scale = 10 ** self.exponent
+        return np.array(
+            [int(v) / scale for v in ints.reshape(-1)], dtype=np.float64
+        ).reshape(self.shape)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._cells)
+
+    def cells(self) -> Tuple[EncryptedNumber, ...]:
+        """The flat row-major ciphertext cells (read-only view)."""
+        return self._cells
+
+    def reshape(self, shape: Tuple[int, ...]) -> "EncryptedTensor":
+        """Reinterpret the flat cells under a new shape (no crypto work)."""
+        return EncryptedTensor(self.public_key, self._cells, shape,
+                               self.exponent)
+
+    def flatten(self) -> "EncryptedTensor":
+        return self.reshape((self.size,))
+
+    def gather(self, indices: Sequence[int]) -> "EncryptedTensor":
+        """Select flat cells by index, e.g. a conv receptive field."""
+        cells = [self._cells[i] for i in indices]
+        return EncryptedTensor(
+            self.public_key, cells, (len(cells),), self.exponent
+        )
+
+    @classmethod
+    def concatenate(
+        cls, parts: Sequence["EncryptedTensor"]
+    ) -> "EncryptedTensor":
+        """Concatenate flat tensors produced by partitioned threads."""
+        if not parts:
+            raise EncodingError("cannot concatenate zero tensors")
+        key = parts[0].public_key
+        exponent = parts[0].exponent
+        cells: list[EncryptedNumber] = []
+        for part in parts:
+            if part.public_key.n != key.n:
+                raise KeyMismatchError(
+                    "cannot concatenate tensors under different keys"
+                )
+            if part.exponent != exponent:
+                raise EncodingError(
+                    "cannot concatenate tensors with different exponents: "
+                    f"{part.exponent} vs {exponent}"
+                )
+            cells.extend(part.cells())
+        return cls(key, cells, (len(cells),), exponent)
+
+    # ------------------------------------------------------------------
+    # Homomorphic arithmetic
+    # ------------------------------------------------------------------
+
+    def _check_compatible(self, other: "EncryptedTensor") -> None:
+        if other.public_key.n != self.public_key.n:
+            raise KeyMismatchError(
+                "operands are encrypted under different keys"
+            )
+        if other.shape != self.shape:
+            raise EncodingError(
+                f"shape mismatch: {self.shape} vs {other.shape}"
+            )
+        if other.exponent != self.exponent:
+            raise EncodingError(
+                "fixed-point exponents differ: "
+                f"{self.exponent} vs {other.exponent}"
+            )
+
+    def add(self, other: "EncryptedTensor") -> "EncryptedTensor":
+        """Element-wise homomorphic addition of two encrypted tensors."""
+        self._check_compatible(other)
+        cells = [a + b for a, b in zip(self._cells, other.cells())]
+        return EncryptedTensor(self.public_key, cells, self.shape,
+                               self.exponent)
+
+    def add_plain(
+        self, values: np.ndarray, rng: random.Random, exponent: int = 0
+    ) -> "EncryptedTensor":
+        """Add a plaintext integer array (encrypted on the fly)."""
+        plain = EncryptedTensor.encrypt(
+            np.asarray(values), self.public_key, rng, exponent
+        )
+        return self.add(plain)
+
+    def mul_plain(self, weights: np.ndarray) -> "EncryptedTensor":
+        """Element-wise homomorphic multiplication by integer weights.
+
+        The result's exponent is the sum of both operands' exponents
+        when the weights carry one; callers pass scaled-integer weights
+        and bump the exponent via :meth:`with_exponent`.
+        """
+        flat_w = _flatten_int_array(np.asarray(weights))
+        if len(flat_w) != self.size:
+            raise EncodingError(
+                f"weight count {len(flat_w)} != tensor size {self.size}"
+            )
+        cells = [c * w for c, w in zip(self._cells, flat_w)]
+        return EncryptedTensor(self.public_key, cells, self.shape,
+                               self.exponent)
+
+    def rerandomized(self, rng: random.Random) -> "EncryptedTensor":
+        """Refresh every cell's randomness (same plaintexts)."""
+        cells = [cell.rerandomized(rng) for cell in self._cells]
+        return EncryptedTensor(self.public_key, cells, self.shape,
+                               self.exponent)
+
+    def with_exponent(self, exponent: int) -> "EncryptedTensor":
+        """Return the same ciphertexts tagged with a new exponent."""
+        return EncryptedTensor(self.public_key, self._cells, self.shape,
+                               exponent)
+
+    def affine(
+        self,
+        weights: np.ndarray,
+        bias: "np.ndarray | EncryptedTensor",
+        rng: random.Random,
+        weight_exponent: int = 0,
+    ) -> "EncryptedTensor":
+        """Compute ``y = W x + b`` homomorphically (Eq. (3) of the paper).
+
+        Args:
+            weights: integer matrix of shape (out_dim, in_dim).
+            bias: either an integer vector of shape (out_dim,) — scaled
+                to the *output* exponent (input + weight exponent) and
+                encrypted on the fly — or an already-encrypted bias
+                tensor of the same shape (the model provider's bias is
+                static per stage, so callers cache its encryption).
+            rng: randomness for encrypting a plaintext bias.
+            weight_exponent: fixed-point exponent the weights carry; the
+                output tensor's exponent is input + weight exponent.
+
+        Returns:
+            encrypted vector of shape (out_dim,).
+        """
+        x = self.flatten()
+        weights = np.asarray(weights)
+        if weights.ndim != 2 or weights.shape[1] != x.size:
+            raise EncodingError(
+                f"weights shape {weights.shape} incompatible with input "
+                f"size {x.size}"
+            )
+        out_dim = weights.shape[0]
+        out_exponent = self.exponent + weight_exponent
+        if isinstance(bias, EncryptedTensor):
+            if bias.shape != (out_dim,):
+                raise EncodingError(
+                    f"encrypted bias shape {bias.shape} != ({out_dim},)"
+                )
+            if bias.public_key.n != self.public_key.n:
+                raise KeyMismatchError(
+                    "bias encrypted under a different key"
+                )
+            bias_cells = list(bias.cells())
+        else:
+            bias = np.asarray(bias)
+            if bias.shape != (out_dim,):
+                raise EncodingError(
+                    f"bias shape {bias.shape} != ({out_dim},)"
+                )
+            encoder = SignedEncoder(self.public_key)
+            bias_cells = [
+                self.public_key.encrypt(encoder.encode(int(b)), rng)
+                for b in bias
+            ]
+        out_cells: list[EncryptedNumber] = []
+        cells = x.cells()
+        for j in range(out_dim):
+            acc = bias_cells[j]
+            row = weights[j]
+            for i in range(x.size):
+                w = int(row[i])
+                if w == 0:
+                    continue
+                acc = acc + cells[i] * w
+            out_cells.append(acc)
+        return EncryptedTensor(
+            self.public_key, out_cells, (out_dim,), out_exponent
+        )
+
+
+    def __repr__(self) -> str:
+        return (
+            f"EncryptedTensor(shape={self.shape}, exponent={self.exponent}, "
+            f"key_size={self.public_key.key_size})"
+        )

@@ -1,0 +1,27 @@
+"""Synthetic stand-ins for the paper's datasets (Table III).
+
+No network access is available in this environment, so MNIST, CIFAR-10,
+and the Kaggle healthcare datasets are replaced by deterministic
+synthetic generators with matching shapes and class counts.  See
+DESIGN.md (substitution 2) for why this preserves the behaviour each
+experiment measures.
+"""
+
+from .synthetic import (
+    Dataset,
+    make_image_classification,
+    make_tabular_classification,
+)
+from .registry import DATASET_SPECS, DatasetSpec, load_dataset
+from .io import load_saved_dataset, save_dataset
+
+__all__ = [
+    "Dataset",
+    "make_image_classification",
+    "make_tabular_classification",
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "load_dataset",
+    "load_saved_dataset",
+    "save_dataset",
+]

@@ -1,0 +1,61 @@
+"""Dataset persistence: save/load the synthetic datasets as ``.npz``.
+
+Lets a study pin the exact tensors an experiment ran on (e.g. to share
+with an external tool or across machines), independent of generator
+code changes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DatasetError
+from .synthetic import Dataset
+
+#: Format marker stored inside the archive.
+_FORMAT = "repro-dataset-v1"
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> None:
+    """Write a dataset to a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path),
+        format=np.array(_FORMAT),
+        name=np.array(dataset.name),
+        num_classes=np.array(dataset.num_classes),
+        train_x=dataset.train_x,
+        train_y=dataset.train_y,
+        test_x=dataset.test_x,
+        test_y=dataset.test_y,
+    )
+
+
+def load_saved_dataset(path: str | Path) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Raises:
+        DatasetError: when the file is missing, not an archive, or not
+            in the expected format.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such dataset file: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if "format" not in archive or \
+                    str(archive["format"]) != _FORMAT:
+                raise DatasetError(
+                    f"{path} is not a {_FORMAT} archive"
+                )
+            return Dataset(
+                train_x=archive["train_x"],
+                train_y=archive["train_y"],
+                test_x=archive["test_x"],
+                test_y=archive["test_y"],
+                num_classes=int(archive["num_classes"]),
+                name=str(archive["name"]),
+            )
+    except (OSError, ValueError) as exc:
+        raise DatasetError(f"cannot read dataset {path}: {exc}") from exc

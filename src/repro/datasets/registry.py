@@ -1,0 +1,113 @@
+"""Table III dataset registry: the nine evaluation dataset/model pairs.
+
+Sample counts are scaled down from the paper's (e.g. 60,000 MNIST
+training images -> 1,200 synthetic ones) so pure-numpy training stays
+fast; the ``scale`` argument of :func:`load_dataset` restores larger
+sizes when wanted.  The server split (model-provider vs data-provider
+servers) follows Table III exactly and feeds the allocation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..errors import DatasetError
+from .synthetic import Dataset, make_image_classification, \
+    make_tabular_classification
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table III.
+
+    Attributes:
+        key: dataset/model key (matches ``repro.nn.model_zoo``).
+        kind: "tabular" or "image".
+        shape: per-sample shape.
+        num_classes: label count.
+        train_samples, test_samples: scaled-down default sizes.
+        paper_train, paper_test: the paper's sample counts (Table III).
+        model_servers, data_servers: server split of Table III.
+        difficulty: generator difficulty targeting the paper's accuracy
+            regime.
+    """
+
+    key: str
+    kind: str
+    shape: tuple[int, ...]
+    num_classes: int
+    train_samples: int
+    test_samples: int
+    paper_train: int
+    paper_test: int
+    model_servers: int
+    data_servers: int
+    difficulty: float
+
+
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    spec.key: spec
+    for spec in (
+        DatasetSpec("breast", "tabular", (30,), 2, 456, 113, 456, 113,
+                    2, 1, 0.35),
+        DatasetSpec("heart", "tabular", (13,), 2, 820, 205, 820, 205,
+                    2, 1, 0.30),
+        DatasetSpec("cardio", "tabular", (11,), 2, 1200, 300, 60000, 10000,
+                    2, 1, 1.60),
+        DatasetSpec("mnist-1", "image", (1, 28, 28), 10, 1200, 300,
+                    60000, 10000, 2, 1, 0.35),
+        DatasetSpec("mnist-2", "image", (1, 28, 28), 10, 1200, 300,
+                    60000, 10000, 2, 1, 0.35),
+        DatasetSpec("mnist-3", "image", (1, 28, 28), 10, 1200, 300,
+                    60000, 10000, 2, 2, 0.40),
+        DatasetSpec("cifar-10-1", "image", (3, 32, 32), 10, 800, 200,
+                    50000, 10000, 6, 3, 0.45),
+        DatasetSpec("cifar-10-2", "image", (3, 32, 32), 10, 800, 200,
+                    50000, 10000, 6, 3, 0.45),
+        DatasetSpec("cifar-10-3", "image", (3, 32, 32), 10, 800, 200,
+                    50000, 10000, 6, 3, 0.45),
+    )
+}
+
+
+@lru_cache(maxsize=32)
+def load_dataset(key: str, scale: float = 1.0, seed: int = 7) -> Dataset:
+    """Generate the synthetic stand-in for a Table III dataset.
+
+    Args:
+        key: dataset key (see :data:`DATASET_SPECS`).
+        scale: multiplier on the default (already scaled-down) sizes.
+        seed: generator seed.
+    """
+    spec = DATASET_SPECS.get(key.lower())
+    if spec is None:
+        raise DatasetError(
+            f"unknown dataset {key!r}; choose from {sorted(DATASET_SPECS)}"
+        )
+    total = max(int((spec.train_samples + spec.test_samples) * scale), 10)
+    test_fraction = spec.test_samples / (
+        spec.train_samples + spec.test_samples
+    )
+    if spec.kind == "tabular":
+        return make_tabular_classification(
+            samples=total,
+            features=spec.shape[0],
+            num_classes=spec.num_classes,
+            difficulty=spec.difficulty,
+            test_fraction=test_fraction,
+            seed=seed,
+            name=spec.key,
+        )
+    channels, height, width = spec.shape
+    return make_image_classification(
+        samples=total,
+        channels=channels,
+        height=height,
+        width=width,
+        num_classes=spec.num_classes,
+        difficulty=spec.difficulty,
+        test_fraction=test_fraction,
+        seed=seed,
+        name=spec.key,
+    )

@@ -1,0 +1,158 @@
+"""Deterministic synthetic classification datasets.
+
+Two generators cover the paper's dataset shapes:
+
+* :func:`make_tabular_classification` — Gaussian class prototypes in
+  feature space, for the Breast/Heart/Cardio healthcare stand-ins.
+* :func:`make_image_classification` — smooth per-class prototype images
+  with additive noise, for the MNIST/CIFAR-10 stand-ins.
+
+Both expose a ``difficulty`` knob (prototype separation vs noise) so the
+registry can roughly match the paper's accuracy regimes — e.g. the
+Cardio model plateaus near 71% in the paper, so its stand-in is
+generated with heavy class overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A train/test split with metadata.
+
+    Attributes:
+        train_x, train_y: training samples and integer labels.
+        test_x, test_y: held-out samples and labels.
+        num_classes: label count.
+        name: dataset identifier.
+    """
+
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+    num_classes: int
+    name: str
+
+    @property
+    def sample_shape(self) -> tuple[int, ...]:
+        return tuple(self.train_x.shape[1:])
+
+    def __post_init__(self) -> None:
+        if self.train_x.shape[0] != self.train_y.shape[0]:
+            raise DatasetError("train sample/label count mismatch")
+        if self.test_x.shape[0] != self.test_y.shape[0]:
+            raise DatasetError("test sample/label count mismatch")
+        if self.num_classes < 2:
+            raise DatasetError("num_classes must be >= 2")
+
+
+def _split(
+    x: np.ndarray, y: np.ndarray, test_fraction: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    if not 0 < test_fraction < 1:
+        raise DatasetError(
+            f"test_fraction must be in (0, 1), got {test_fraction}"
+        )
+    order = rng.permutation(x.shape[0])
+    x, y = x[order], y[order]
+    split_at = int(round(x.shape[0] * (1 - test_fraction)))
+    if split_at == 0 or split_at == x.shape[0]:
+        raise DatasetError("split produced an empty train or test set")
+    return x[:split_at], y[:split_at], x[split_at:], y[split_at:]
+
+
+def make_tabular_classification(
+    samples: int,
+    features: int,
+    num_classes: int = 2,
+    difficulty: float = 0.3,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+    name: str = "tabular",
+) -> Dataset:
+    """Gaussian-prototype tabular classification data.
+
+    Args:
+        samples: total samples (train + test).
+        features: feature dimension.
+        num_classes: label count.
+        difficulty: noise-to-separation ratio in (0, inf); ~0.3 gives
+            high-90s accuracy for a small MLP, ~1.2 lands near 70%.
+        test_fraction: held-out fraction.
+        seed: RNG seed; datasets are fully deterministic per seed.
+        name: dataset name for reporting.
+    """
+    if samples < 10:
+        raise DatasetError("need at least 10 samples")
+    if difficulty <= 0:
+        raise DatasetError("difficulty must be positive")
+    rng = np.random.default_rng(seed)
+    prototypes = rng.standard_normal((num_classes, features))
+    labels = rng.integers(0, num_classes, size=samples)
+    noise = rng.standard_normal((samples, features)) * difficulty
+    x = prototypes[labels] + noise
+    # Standardize features, as the Kaggle healthcare pipelines do.
+    x = (x - x.mean(axis=0)) / (x.std(axis=0) + 1e-9)
+    train_x, train_y, test_x, test_y = _split(x, labels, test_fraction, rng)
+    return Dataset(train_x, train_y, test_x, test_y, num_classes, name)
+
+
+def _smooth_prototype(
+    rng: np.random.Generator, channels: int, height: int, width: int
+) -> np.ndarray:
+    """A smooth random image: low-frequency cosine mixture per channel."""
+    ys = np.linspace(0, 1, height)[:, None]
+    xs = np.linspace(0, 1, width)[None, :]
+    proto = np.zeros((channels, height, width))
+    for c in range(channels):
+        image = np.zeros((height, width))
+        for _ in range(4):
+            fy, fx = rng.uniform(0.5, 3.0, size=2)
+            phase_y, phase_x = rng.uniform(0, 2 * np.pi, size=2)
+            amp = rng.uniform(0.5, 1.0)
+            image += amp * np.cos(2 * np.pi * fy * ys + phase_y) \
+                * np.cos(2 * np.pi * fx * xs + phase_x)
+        proto[c] = image
+    return proto / max(np.abs(proto).max(), 1e-9)
+
+
+def make_image_classification(
+    samples: int,
+    channels: int,
+    height: int,
+    width: int,
+    num_classes: int = 10,
+    difficulty: float = 0.35,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+    name: str = "images",
+) -> Dataset:
+    """Smooth-prototype image classification data (MNIST/CIFAR shapes).
+
+    Each class has a smooth low-frequency prototype image; samples are
+    the prototype plus white noise scaled by ``difficulty``, then
+    clipped to [0, 1]-ish range, mimicking normalized pixel data.
+    """
+    if samples < 10:
+        raise DatasetError("need at least 10 samples")
+    rng = np.random.default_rng(seed)
+    prototypes = np.stack([
+        _smooth_prototype(rng, channels, height, width)
+        for _ in range(num_classes)
+    ])
+    labels = rng.integers(0, num_classes, size=samples)
+    noise = rng.standard_normal(
+        (samples, channels, height, width)
+    ) * difficulty
+    x = prototypes[labels] + noise
+    x = np.clip((x + 1.0) / 2.0, 0.0, 1.0)
+    train_x, train_y, test_x, test_y = _split(x, labels, test_fraction, rng)
+    return Dataset(train_x, train_y, test_x, test_y, num_classes, name)

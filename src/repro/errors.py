@@ -1,0 +1,105 @@
+"""Exception hierarchy for the PP-Stream reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Subclasses are
+grouped by subsystem (crypto, protocol, planner, stream) and carry enough
+context in their messages to diagnose a failure without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent runtime configuration was supplied."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class KeyGenerationError(CryptoError):
+    """Paillier key generation failed (e.g. key size too small)."""
+
+
+class EncryptionError(CryptoError):
+    """A plaintext could not be encrypted (out of range, wrong key)."""
+
+
+class DecryptionError(CryptoError):
+    """A ciphertext could not be decrypted (corrupt or wrong key)."""
+
+
+class KeyMismatchError(CryptoError):
+    """Two ciphertexts under different public keys were combined."""
+
+
+class EncodingError(CryptoError):
+    """A value could not be encoded into / decoded from Z_n."""
+
+
+class ObfuscationError(ReproError):
+    """Permutation/obfuscation protocol misuse (bad seed, wrong length)."""
+
+
+class ModelError(ReproError):
+    """Invalid neural-network construction or shape mismatch."""
+
+
+class TrainingError(ReproError):
+    """Training diverged or was configured inconsistently."""
+
+
+class ScalingError(ReproError):
+    """Parameter scaling failed (no admissible scaling factor)."""
+
+
+class PlannerError(ReproError):
+    """Base class for planning/allocation failures."""
+
+
+class InfeasibleAllocationError(PlannerError):
+    """The resource-allocation ILP has no feasible solution."""
+
+
+class SolverError(PlannerError):
+    """The branch-and-bound MILP solver failed to converge."""
+
+
+class PartitioningError(ReproError):
+    """Tensor partitioning was requested on an unsupported layer/shape."""
+
+
+class StreamError(ReproError):
+    """Base class for stream-runtime failures."""
+
+
+class PipelineShutdownError(StreamError):
+    """An operation was attempted on a pipeline that is shut down."""
+
+
+class StageFailedError(StreamError):
+    """A stage worker raised; the original traceback is chained."""
+
+
+class ProtocolError(ReproError):
+    """The collaborative inference protocol was violated."""
+
+
+class SecurityViolationError(ProtocolError):
+    """An operation would leak information it must not (guard rails)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was misconfigured."""
+
+
+class DatasetError(ReproError):
+    """A dataset was requested with invalid parameters."""
+
+
+class BaselineError(ReproError):
+    """A baseline system (2PC engine, reported numbers) failed."""

@@ -1,0 +1,46 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment exposes a ``run_*`` function returning structured
+results plus a ``render_*`` helper printing the same rows/series the
+paper reports.  ``python -m repro.experiments <exp>`` runs them from
+the command line; the ``benchmarks/`` suite regenerates each under
+pytest-benchmark.
+
+Index (see DESIGN.md for the full mapping):
+
+* :mod:`fig1_paillier`  — Fig. 1 homomorphic-encryption micro-benchmark
+* :mod:`exp1_scaling`   — Tables IV/V + Fig. 6 (scaling factors)
+* :mod:`exp2_stream`    — Fig. 8 (distributed stream processing)
+* :mod:`exp3_allocation`— Fig. 7 (load-balanced resource allocation)
+* :mod:`exp4_partitioning` — Fig. 9 (tensor partitioning)
+* :mod:`exp5_leakage`   — Table VI (information leakage)
+* :mod:`exp6_comparison`— Table VII (state-of-the-art comparison)
+"""
+
+from . import (
+    ablation_merging,
+    common,
+    exp1_scaling,
+    exp2_stream,
+    exp3_allocation,
+    exp4_partitioning,
+    exp5_leakage,
+    exp6_comparison,
+    exp7_throughput,
+    fig1_paillier,
+    report,
+)
+
+__all__ = [
+    "ablation_merging",
+    "common",
+    "exp1_scaling",
+    "exp2_stream",
+    "exp3_allocation",
+    "exp4_partitioning",
+    "exp5_leakage",
+    "exp6_comparison",
+    "exp7_throughput",
+    "fig1_paillier",
+    "report",
+]

@@ -1,0 +1,127 @@
+"""Command-line entry point: ``python -m repro.experiments <exp> ...``.
+
+Runs one or more experiments and prints the paper's tables/figures as
+plain text.  ``all`` runs everything (minutes; the CIFAR models train
+on first use).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    ablation_merging,
+    exp1_scaling,
+    exp2_stream,
+    exp3_allocation,
+    exp4_partitioning,
+    exp5_leakage,
+    exp6_comparison,
+    exp7_throughput,
+    fig1_paillier,
+)
+from .common import FIG_MODELS
+
+
+def _run_fig1() -> None:
+    rows = fig1_paillier.run_fig1()
+    print(fig1_paillier.render_fig1(rows))
+
+
+def _run_exp1(fast: bool) -> None:
+    keys = FIG_MODELS if fast else None
+    accuracy = exp1_scaling.run_accuracy_tables(
+        keys or exp1_scaling.ALL_MODELS
+    )
+    print(exp1_scaling.render_accuracy_table(accuracy, "train"))
+    print()
+    print(exp1_scaling.render_accuracy_table(accuracy, "test"))
+    print()
+    latency = exp1_scaling.run_latency_vs_factor()
+    print(exp1_scaling.render_latency_vs_factor(latency))
+
+
+def _run_exp2(fast: bool) -> None:
+    rows = exp2_stream.run_stream_comparison()
+    print(exp2_stream.render_stream_comparison(rows))
+
+
+def _run_exp3(fast: bool) -> None:
+    rows = exp3_allocation.run_allocation_comparison()
+    print(exp3_allocation.render_allocation_comparison(rows))
+
+
+def _run_exp4(fast: bool) -> None:
+    rows = exp4_partitioning.run_partitioning_comparison()
+    print(exp4_partitioning.render_partitioning_comparison(rows))
+
+
+def _run_exp5(fast: bool) -> None:
+    rows = exp5_leakage.run_leakage(
+        source="gaussian" if fast else "activations"
+    )
+    print(exp5_leakage.render_leakage(rows))
+
+
+def _run_exp6(fast: bool) -> None:
+    rows = exp6_comparison.run_comparison(
+        ezpc_max_real_relu=16 if fast else 64
+    )
+    print(exp6_comparison.render_comparison(rows))
+
+
+def _run_exp7(fast: bool) -> None:
+    rows = exp7_throughput.run_throughput(
+        requests=50 if fast else 200
+    )
+    print(exp7_throughput.render_throughput(rows))
+
+
+def _run_ablation(fast: bool) -> None:
+    keys = ("mnist-1",) if fast else ("mnist-1", "mnist-2", "mnist-3")
+    rows = ablation_merging.run_merging_ablation(keys)
+    print(ablation_merging.render_merging_ablation(rows))
+
+
+_EXPERIMENTS = {
+    "fig1": lambda fast: _run_fig1(),
+    "exp1": _run_exp1,
+    "exp2": _run_exp2,
+    "exp3": _run_exp3,
+    "exp4": _run_exp4,
+    "exp5": _run_exp5,
+    "exp6": _run_exp6,
+    "exp7": _run_exp7,
+    "ablation": _run_ablation,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the PP-Stream paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which experiments to run",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smaller workloads (skips CIFAR models, samples harder)",
+    )
+    args = parser.parse_args(argv)
+    selected = (sorted(_EXPERIMENTS) if "all" in args.experiments
+                else args.experiments)
+    for name in selected:
+        print(f"=== {name} ===")
+        _EXPERIMENTS[name](args.fast)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

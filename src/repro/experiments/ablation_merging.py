@@ -1,0 +1,98 @@
+"""Ablation (beyond the paper's figures): operation encapsulation.
+
+Section IV-B argues against two encapsulation extremes: one stage per
+primitive layer (excessive serialization/transfer at every boundary)
+and one stage for everything (no privacy separation — and, as
+CipherBase shows, no pipeline parallelism).  This ablation quantifies
+the argument: simulated latency for
+
+* ``merged``   — PP-Stream's adjacent-same-kind merging (the paper),
+* ``unmerged`` — one stage per primitive layer,
+* ``single``   — everything in one sequential worker (CipherBase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..planner.allocation import allocate_load_balanced
+from ..planner.primitive import (
+    MergedPrimitive,
+    extract_primitives,
+    merge_primitives,
+)
+from ..planner.profiling import profile_primitive_times
+from ..simulate.stagecosts import make_comm_model
+from ..simulate.simulator import (
+    PipelineSimulator,
+    centralized_cipher_latency,
+)
+from .common import (
+    cluster_with_total_cores,
+    prepare_model,
+    reference_cost_model,
+)
+from .report import format_table
+
+
+def unmerged_stages(model) -> list[MergedPrimitive]:
+    """One stage per primitive layer — the rejected extreme."""
+    primitives = extract_primitives(model)
+    return [
+        MergedPrimitive(index, primitive.kind, (primitive,))
+        for index, primitive in enumerate(primitives)
+    ]
+
+
+@dataclass(frozen=True)
+class MergingAblationRow:
+    """Latencies (s) of the three encapsulation strategies."""
+
+    model_key: str
+    merged: float
+    unmerged: float
+    single_stage: float
+
+
+def run_merging_ablation(
+    keys: tuple[str, ...] = ("mnist-1", "mnist-2", "mnist-3"),
+    total_cores: int = 48,
+) -> list[MergingAblationRow]:
+    cost_model = reference_cost_model()
+    rows = []
+    for key in keys:
+        prepared = prepare_model(key)
+        decimals = prepared.decimals
+        cluster = cluster_with_total_cores(key, total_cores)
+
+        def latency(stages) -> float:
+            times = profile_primitive_times(stages, cost_model,
+                                            decimals)
+            allocation = allocate_load_balanced(
+                stages, times, cluster, method="water_filling",
+                use_tensor_partitioning=True,
+                comm_model=make_comm_model(cost_model, True),
+            )
+            return PipelineSimulator(
+                allocation.plan, cost_model, decimals
+            ).request_latency()
+
+        merged = merge_primitives(extract_primitives(prepared.model))
+        rows.append(MergingAblationRow(
+            model_key=key,
+            merged=latency(merged),
+            unmerged=latency(unmerged_stages(prepared.model)),
+            single_stage=centralized_cipher_latency(
+                merged, cost_model, decimals
+            ),
+        ))
+    return rows
+
+
+def render_merging_ablation(rows: list[MergingAblationRow]) -> str:
+    return format_table(
+        ["Model", "Merged (s)", "Per-primitive (s)", "Single stage (s)"],
+        [[r.model_key, r.merged, r.unmerged, r.single_stage]
+         for r in rows],
+        "Ablation - operation encapsulation strategies (Section IV-B)",
+    )

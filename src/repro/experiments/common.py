@@ -1,0 +1,121 @@
+"""Shared infrastructure for the experiment harness.
+
+Centralizes the per-model pieces every experiment needs — synthetic
+dataset, trained model, selected scaling factor, Table III cluster —
+behind in-process caches so a benchmark session trains each model once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..costs import CostModel
+from ..datasets import DATASET_SPECS, load_dataset
+from ..datasets.synthetic import Dataset
+from ..errors import ReproError
+from ..nn.model import Sequential
+from ..nn import model_zoo
+from ..nn.training import SGDTrainer
+from ..planner.plan import ClusterSpec
+from ..planner.primitive import MergedPrimitive, model_stages
+from ..scaling.parameter_scaling import ScalingDecision, \
+    select_scaling_factor
+
+#: Per-model training hyper-parameters (tuned for the synthetic data).
+_TRAINING = {
+    "breast": dict(learning_rate=0.1, epochs=15, batch_size=32),
+    "heart": dict(learning_rate=0.1, epochs=15, batch_size=32),
+    "cardio": dict(learning_rate=0.05, epochs=20, batch_size=64),
+    "mnist-1": dict(learning_rate=0.1, epochs=12, batch_size=64),
+    "mnist-2": dict(learning_rate=0.05, epochs=10, batch_size=32),
+    "mnist-3": dict(learning_rate=0.05, epochs=10, batch_size=32),
+    "cifar-10-1": dict(learning_rate=0.02, epochs=8, batch_size=32),
+    "cifar-10-2": dict(learning_rate=0.02, epochs=8, batch_size=32),
+    "cifar-10-3": dict(learning_rate=0.015, epochs=8, batch_size=32),
+}
+
+#: Cores per server in the paper's testbed.
+TESTBED_CORES_PER_SERVER = 24
+
+#: The six models Figures 7/8/9 report (healthcare + MNIST).
+FIG_MODELS = ("breast", "heart", "cardio", "mnist-1", "mnist-2", "mnist-3")
+
+#: All nine Table III models.
+ALL_MODELS = model_zoo.MODEL_KEYS
+
+
+@dataclass(frozen=True)
+class PreparedModel:
+    """A trained model with everything the experiments consume."""
+
+    key: str
+    model: Sequential
+    dataset: Dataset
+    scaling: ScalingDecision
+    train_accuracy: float
+
+    @property
+    def decimals(self) -> int:
+        return self.scaling.decimals
+
+    def stages(self) -> list[MergedPrimitive]:
+        return model_stages(self.model)
+
+
+@lru_cache(maxsize=16)
+def prepare_model(key: str, seed: int = 0) -> PreparedModel:
+    """Train (and cache) one Table III model on its synthetic dataset,
+    then run the paper's scaling-factor selection on the training set."""
+    if key not in DATASET_SPECS:
+        raise ReproError(f"unknown model key {key!r}")
+    dataset = load_dataset(key)
+    model = model_zoo.build_model(key, seed=seed)
+    params = _TRAINING[key]
+    trainer = SGDTrainer(
+        model,
+        learning_rate=params["learning_rate"],
+        batch_size=params["batch_size"],
+        seed=seed,
+    )
+    result = trainer.fit(dataset.train_x, dataset.train_y,
+                         epochs=params["epochs"])
+    scaling = select_scaling_factor(
+        model, dataset.train_x, dataset.train_y, dataset.num_classes
+    )
+    return PreparedModel(
+        key=key,
+        model=model,
+        dataset=dataset,
+        scaling=scaling,
+        train_accuracy=result.train_accuracy,
+    )
+
+
+def table_iii_cluster(
+    key: str, cores_per_server: int = TESTBED_CORES_PER_SERVER
+) -> ClusterSpec:
+    """The Table III server split for a model, at a given core count."""
+    spec = DATASET_SPECS[key]
+    return ClusterSpec.homogeneous(
+        model_servers=spec.model_servers,
+        data_servers=spec.data_servers,
+        cores_per_server=cores_per_server,
+    )
+
+
+def cluster_with_total_cores(key: str, total_cores: int) -> ClusterSpec:
+    """Table III server split with ``total_cores`` spread across servers
+    (the Exp#2/3/4 core sweeps)."""
+    spec = DATASET_SPECS[key]
+    return ClusterSpec.with_total_cores(
+        total_cores,
+        model_servers=spec.model_servers,
+        data_servers=spec.data_servers,
+    )
+
+
+def reference_cost_model() -> CostModel:
+    """The frozen 2048-bit testbed cost profile used by all latency
+    experiments (deterministic; see repro.costs)."""
+    return CostModel.reference()

@@ -1,0 +1,158 @@
+"""Exp#1: scaling factors — Tables IV and V, plus Figure 6.
+
+Tables IV/V: inference accuracy (the paper's (TP+TN)/(TP+TN+FP+FN)
+metric, in percent) versus the scaling factor 10^f on the training and
+testing sets of each model, with the factor the selection procedure
+picks in bold (here: returned separately).
+
+Figure 6: simulated inference latency versus the scaling factor, all
+PP-Stream features enabled — larger factors mean longer scalars inside
+Paillier scalar multiplications and hence higher latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MAX_SCALING_DECIMALS
+from ..planner.allocation import allocate_load_balanced
+from ..planner.profiling import profile_primitive_times
+from ..scaling.parameter_scaling import scaling_factor_sweep
+from ..simulate.simulator import PipelineSimulator
+from ..simulate.stagecosts import make_comm_model
+from .common import (
+    ALL_MODELS,
+    cluster_with_total_cores,
+    prepare_model,
+    reference_cost_model,
+)
+from .report import format_table
+
+
+@dataclass(frozen=True)
+class ScalingAccuracyRow:
+    """Accuracy sweep of one model (percent, like the paper's tables)."""
+
+    model_key: str
+    train_by_decimals: dict[int, float]
+    test_by_decimals: dict[int, float]
+    selected_decimals: int
+    original_train: float
+    original_test: float
+
+
+def run_accuracy_tables(
+    keys: tuple[str, ...] = ALL_MODELS,
+    max_decimals: int = MAX_SCALING_DECIMALS,
+) -> list[ScalingAccuracyRow]:
+    """Tables IV and V for the requested models."""
+    rows = []
+    for key in keys:
+        prepared = prepare_model(key)
+        dataset = prepared.dataset
+        train = scaling_factor_sweep(
+            prepared.model, dataset.train_x, dataset.train_y,
+            dataset.num_classes, max_decimals,
+        )
+        test = scaling_factor_sweep(
+            prepared.model, dataset.test_x, dataset.test_y,
+            dataset.num_classes, max_decimals,
+        )
+        from ..scaling.parameter_scaling import _model_accuracy
+
+        rows.append(ScalingAccuracyRow(
+            model_key=key,
+            train_by_decimals={f: 100 * a for f, a in train.items()},
+            test_by_decimals={f: 100 * a for f, a in test.items()},
+            selected_decimals=prepared.decimals,
+            original_train=100 * _model_accuracy(
+                prepared.model, dataset.train_x, dataset.train_y,
+                dataset.num_classes,
+            ),
+            original_test=100 * _model_accuracy(
+                prepared.model, dataset.test_x, dataset.test_y,
+                dataset.num_classes,
+            ),
+        ))
+    return rows
+
+
+def render_accuracy_table(
+    rows: list[ScalingAccuracyRow], which: str = "train"
+) -> str:
+    """Render Table IV (which="train") or Table V (which="test")."""
+    decimals = sorted(next(iter(rows)).train_by_decimals) if rows else []
+    headers = ["Model"] + [f"10^{f}" for f in decimals] \
+        + ["Original", "Selected"]
+    table_rows = []
+    for row in rows:
+        sweep = (row.train_by_decimals if which == "train"
+                 else row.test_by_decimals)
+        original = (row.original_train if which == "train"
+                    else row.original_test)
+        table_rows.append(
+            [row.model_key]
+            + [f"{sweep[f]:.2f}" for f in decimals]
+            + [f"{original:.2f}", f"10^{row.selected_decimals}"]
+        )
+    title = ("Table IV - accuracy vs scaling factor (training set, %)"
+             if which == "train"
+             else "Table V - accuracy vs scaling factor (testing set, %)")
+    return format_table(headers, table_rows, title)
+
+
+@dataclass(frozen=True)
+class ScalingLatencyRow:
+    """Figure 6: latency (s) per scaling factor for one model."""
+
+    model_key: str
+    latency_by_decimals: dict[int, float]
+
+
+def run_latency_vs_factor(
+    keys: tuple[str, ...] = ("mnist-1", "mnist-2", "mnist-3"),
+    total_cores: int = 48,
+    max_decimals: int = MAX_SCALING_DECIMALS,
+) -> list[ScalingLatencyRow]:
+    """Figure 6: simulated latency at each scaling factor.
+
+    All PP-Stream features on: merged stages, load-balanced allocation,
+    tensor partitioning.  Latency depends only on the model's structure
+    (operation counts), not its weights, so models are built untrained —
+    this keeps the CIFAR VGG rows cheap.
+    """
+    from ..nn import model_zoo
+    from ..planner.primitive import model_stages
+
+    cost_model = reference_cost_model()
+    rows = []
+    for key in keys:
+        stages = model_stages(model_zoo.build_model(key))
+        cluster = cluster_with_total_cores(key, total_cores)
+        latencies = {}
+        for decimals in range(max_decimals + 1):
+            times = profile_primitive_times(stages, cost_model, decimals)
+            allocation = allocate_load_balanced(
+                stages, times, cluster, method="water_filling",
+                use_tensor_partitioning=True,
+                comm_model=make_comm_model(cost_model, True),
+            )
+            simulator = PipelineSimulator(allocation.plan, cost_model,
+                                          decimals)
+            latencies[decimals] = simulator.request_latency()
+        rows.append(ScalingLatencyRow(key, latencies))
+    return rows
+
+
+def render_latency_vs_factor(rows: list[ScalingLatencyRow]) -> str:
+    decimals = sorted(next(iter(rows)).latency_by_decimals) if rows else []
+    headers = ["Model"] + [f"10^{f}" for f in decimals]
+    table_rows = [
+        [row.model_key]
+        + [f"{row.latency_by_decimals[f]:.3f}" for f in decimals]
+        for row in rows
+    ]
+    return format_table(
+        headers, table_rows,
+        "Fig. 6 - inference latency (s) vs scaling factor",
+    )

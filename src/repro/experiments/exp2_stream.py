@@ -1,0 +1,99 @@
+"""Exp#2 (Figure 8): effectiveness of distributed stream processing.
+
+Four variants per model:
+
+* PlainBase    — centralized single-server plaintext inference.
+* CipherBase   — centralized single-server, single-thread encrypted
+                 inference.
+* PP-Stream-25 — pipeline over 25 total CPU cores, CPU cores evenly
+                 distributed across stages, tensor partitioning OFF.
+* PP-Stream-50 — same with 50 total CPU cores.
+
+All latencies come from the calibrated simulator at the reference
+2048-bit cost profile (DESIGN.md, substitution 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..planner.allocation import allocate_even
+from ..simulate.simulator import (
+    PipelineSimulator,
+    centralized_cipher_latency,
+    centralized_plain_latency,
+)
+from .common import (
+    FIG_MODELS,
+    cluster_with_total_cores,
+    prepare_model,
+    reference_cost_model,
+)
+from .report import format_table, percent_reduction
+
+
+@dataclass(frozen=True)
+class StreamComparisonRow:
+    """Figure 8 latencies (seconds) for one model."""
+
+    model_key: str
+    plain_base: float
+    cipher_base: float
+    pp_stream_25: float
+    pp_stream_50: float
+
+    @property
+    def reduction_25(self) -> float:
+        """% latency reduction of PP-Stream-25 over CipherBase."""
+        return percent_reduction(self.cipher_base, self.pp_stream_25)
+
+    @property
+    def reduction_50(self) -> float:
+        return percent_reduction(self.cipher_base, self.pp_stream_50)
+
+
+def _pp_stream_latency(key: str, total_cores: int, decimals: int,
+                       stages) -> float:
+    cluster = cluster_with_total_cores(key, total_cores)
+    allocation = allocate_even(stages, cluster,
+                               use_tensor_partitioning=False)
+    simulator = PipelineSimulator(
+        allocation.plan, reference_cost_model(), decimals
+    )
+    return simulator.request_latency()
+
+
+def run_stream_comparison(
+    keys: tuple[str, ...] = FIG_MODELS,
+) -> list[StreamComparisonRow]:
+    """Figure 8 for the healthcare and MNIST models."""
+    cost_model = reference_cost_model()
+    rows = []
+    for key in keys:
+        prepared = prepare_model(key)
+        stages = prepared.stages()
+        decimals = prepared.decimals
+        rows.append(StreamComparisonRow(
+            model_key=key,
+            plain_base=centralized_plain_latency(stages, cost_model),
+            cipher_base=centralized_cipher_latency(stages, cost_model,
+                                                   decimals),
+            pp_stream_25=_pp_stream_latency(key, 25, decimals, stages),
+            pp_stream_50=_pp_stream_latency(key, 50, decimals, stages),
+        ))
+    return rows
+
+
+def render_stream_comparison(rows: list[StreamComparisonRow]) -> str:
+    table_rows = [
+        [row.model_key, row.plain_base, row.cipher_base,
+         row.pp_stream_25, row.pp_stream_50,
+         f"{row.reduction_25:.2f}%", f"{row.reduction_50:.2f}%"]
+        for row in rows
+    ]
+    return format_table(
+        ["Model", "PlainBase (s)", "CipherBase (s)", "PP-25 (s)",
+         "PP-50 (s)", "reduc. 25", "reduc. 50"],
+        table_rows,
+        "Fig. 8 - distributed stream processing vs centralized baselines",
+    )

@@ -1,0 +1,90 @@
+"""Exp#3 (Figure 7): load-balanced resource allocation.
+
+For each model and total-core budget: simulated latency with the
+even-split allocation versus the ILP/water-filling load-balanced
+allocation.  Stream processing and tensor partitioning are enabled in
+both arms, matching the paper's setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..planner.allocation import allocate_even, allocate_load_balanced
+from ..planner.profiling import profile_primitive_times
+from ..simulate.simulator import PipelineSimulator
+from ..simulate.stagecosts import make_comm_model
+from .common import (
+    FIG_MODELS,
+    cluster_with_total_cores,
+    prepare_model,
+    reference_cost_model,
+)
+from .report import format_table, percent_reduction
+
+#: Total-core sweep of Figure 7.
+CORE_SWEEP = (12, 18, 24, 36, 48)
+
+
+@dataclass(frozen=True)
+class AllocationRow:
+    """Latency (s) with/without load balancing at one core budget."""
+
+    model_key: str
+    total_cores: int
+    even_latency: float
+    balanced_latency: float
+
+    @property
+    def reduction(self) -> float:
+        return percent_reduction(self.even_latency,
+                                 self.balanced_latency)
+
+
+def run_allocation_comparison(
+    keys: tuple[str, ...] = FIG_MODELS,
+    core_sweep: tuple[int, ...] = CORE_SWEEP,
+) -> list[AllocationRow]:
+    """Figure 7 rows for the requested models and core budgets."""
+    cost_model = reference_cost_model()
+    rows = []
+    for key in keys:
+        prepared = prepare_model(key)
+        stages = prepared.stages()
+        decimals = prepared.decimals
+        times = profile_primitive_times(stages, cost_model, decimals)
+        for total_cores in core_sweep:
+            cluster = cluster_with_total_cores(key, total_cores)
+            even = allocate_even(stages, cluster,
+                                 use_tensor_partitioning=True)
+            balanced = allocate_load_balanced(
+                stages, times, cluster, method="water_filling",
+                use_tensor_partitioning=True,
+                comm_model=make_comm_model(cost_model, True),
+            )
+            even_latency = PipelineSimulator(
+                even.plan, cost_model, decimals
+            ).request_latency()
+            balanced_latency = PipelineSimulator(
+                balanced.plan, cost_model, decimals
+            ).request_latency()
+            rows.append(AllocationRow(
+                model_key=key,
+                total_cores=total_cores,
+                even_latency=even_latency,
+                balanced_latency=balanced_latency,
+            ))
+    return rows
+
+
+def render_allocation_comparison(rows: list[AllocationRow]) -> str:
+    table_rows = [
+        [row.model_key, row.total_cores, row.even_latency,
+         row.balanced_latency, f"{row.reduction:.2f}%"]
+        for row in rows
+    ]
+    return format_table(
+        ["Model", "Cores", "Even (s)", "Load-balanced (s)", "Reduction"],
+        table_rows,
+        "Fig. 7 - load-balanced resource allocation",
+    )

@@ -1,0 +1,93 @@
+"""Exp#4 (Figure 9): tensor partitioning.
+
+For each model and core budget: latency with tensor partitioning (input
+partitioning for convolution chains + output partitioning everywhere)
+versus without (every thread receives the whole input tensor and emits
+one output element at a time).  Stream processing and load-balanced
+allocation are enabled in both arms, matching the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..planner.allocation import allocate_load_balanced
+from ..planner.profiling import profile_primitive_times
+from ..simulate.simulator import PipelineSimulator
+from ..simulate.stagecosts import make_comm_model
+from .common import (
+    FIG_MODELS,
+    cluster_with_total_cores,
+    prepare_model,
+    reference_cost_model,
+)
+from .report import format_table, percent_reduction
+
+#: Total-core sweep of Figure 9.
+CORE_SWEEP = (12, 18, 24, 36, 48)
+
+
+@dataclass(frozen=True)
+class PartitioningRow:
+    """Latency (s) with/without tensor partitioning."""
+
+    model_key: str
+    total_cores: int
+    without_partitioning: float
+    with_partitioning: float
+
+    @property
+    def reduction(self) -> float:
+        return percent_reduction(self.without_partitioning,
+                                 self.with_partitioning)
+
+
+def run_partitioning_comparison(
+    keys: tuple[str, ...] = FIG_MODELS,
+    core_sweep: tuple[int, ...] = CORE_SWEEP,
+) -> list[PartitioningRow]:
+    """Figure 9 rows for the requested models and core budgets."""
+    cost_model = reference_cost_model()
+    rows = []
+    for key in keys:
+        prepared = prepare_model(key)
+        stages = prepared.stages()
+        decimals = prepared.decimals
+        times = profile_primitive_times(stages, cost_model, decimals)
+        for total_cores in core_sweep:
+            cluster = cluster_with_total_cores(key, total_cores)
+            with_tp = allocate_load_balanced(
+                stages, times, cluster, method="water_filling",
+                use_tensor_partitioning=True,
+                comm_model=make_comm_model(cost_model, True),
+            )
+            without_tp = allocate_load_balanced(
+                stages, times, cluster, method="water_filling",
+                use_tensor_partitioning=False,
+                comm_model=make_comm_model(cost_model, False),
+            )
+            rows.append(PartitioningRow(
+                model_key=key,
+                total_cores=total_cores,
+                without_partitioning=PipelineSimulator(
+                    without_tp.plan, cost_model, decimals
+                ).request_latency(),
+                with_partitioning=PipelineSimulator(
+                    with_tp.plan, cost_model, decimals
+                ).request_latency(),
+            ))
+    return rows
+
+
+def render_partitioning_comparison(rows: list[PartitioningRow]) -> str:
+    table_rows = [
+        [row.model_key, row.total_cores, row.without_partitioning,
+         row.with_partitioning, f"{row.reduction:.2f}%"]
+        for row in rows
+    ]
+    return format_table(
+        ["Model", "Cores", "No partitioning (s)", "Partitioning (s)",
+         "Reduction"],
+        table_rows,
+        "Fig. 9 - tensor partitioning",
+    )

@@ -1,0 +1,113 @@
+"""Exp#6 (Table VII): comparison with state-of-the-art systems.
+
+PP-Stream (all features, simulated at the Table III server split) is
+compared on the three MNIST models against:
+
+* SecureML / CryptoNets / CryptoDL — quoted published numbers, exactly
+  as the paper quotes them (their artifacts are not public);
+* EzPC — the in-repo 2PC engine (secret-shared linear layers, garbled
+  ReLU), executed for real with a modeled network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.ezpc import EzPCBaseline
+from ..baselines.reported import REPORTED_LATENCIES
+from ..planner.allocation import allocate_load_balanced
+from ..planner.profiling import profile_primitive_times
+from ..simulate.simulator import PipelineSimulator
+from ..simulate.stagecosts import make_comm_model
+from .common import prepare_model, reference_cost_model, \
+    table_iii_cluster
+from .report import format_table
+
+#: Models of Table VII.
+MNIST_MODELS = ("mnist-1", "mnist-2", "mnist-3")
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One system's latency on one MNIST model."""
+
+    system: str
+    model_key: str
+    latency_seconds: float
+    provenance: str
+
+
+def run_comparison(
+    keys: tuple[str, ...] = MNIST_MODELS,
+    ezpc_max_real_relu: int = 64,
+) -> list[ComparisonRow]:
+    """Table VII rows: reported baselines + EzPC engine + PP-Stream."""
+    cost_model = reference_cost_model()
+    rows: list[ComparisonRow] = []
+    for reported in REPORTED_LATENCIES:
+        if reported.model_key in keys:
+            rows.append(ComparisonRow(
+                system=reported.system,
+                model_key=reported.model_key,
+                latency_seconds=reported.latency_seconds,
+                provenance=f"reported ({reported.environment})",
+            ))
+    for key in keys:
+        prepared = prepare_model(key)
+        ezpc = EzPCBaseline(prepared.model,
+                            max_real_relu=ezpc_max_real_relu)
+        _, latency = ezpc.infer(prepared.dataset.test_x[0])
+        rows.append(ComparisonRow(
+            system="EzPC",
+            model_key=key,
+            latency_seconds=latency.total_seconds,
+            provenance=(
+                f"in-repo 2PC engine: {latency.rounds} rounds, "
+                f"{latency.bytes_exchanged / 1e6:.1f} MB, "
+                f"{latency.and_gates} AND gates"
+            ),
+        ))
+    for key in keys:
+        prepared = prepare_model(key)
+        stages = prepared.stages()
+        decimals = prepared.decimals
+        times = profile_primitive_times(stages, cost_model, decimals)
+        cluster = table_iii_cluster(key)
+        allocation = allocate_load_balanced(
+            stages, times, cluster, method="water_filling",
+            use_tensor_partitioning=True,
+            comm_model=make_comm_model(cost_model, True),
+        )
+        simulator = PipelineSimulator(allocation.plan, cost_model,
+                                      decimals)
+        rows.append(ComparisonRow(
+            system="PP-Stream",
+            model_key=key,
+            latency_seconds=simulator.request_latency(),
+            provenance="simulated, all features, Table III servers",
+        ))
+    return rows
+
+
+def render_comparison(rows: list[ComparisonRow]) -> str:
+    systems = []
+    for row in rows:
+        if row.system not in systems:
+            systems.append(row.system)
+    models = []
+    for row in rows:
+        if row.model_key not in models:
+            models.append(row.model_key)
+    by_pair = {(r.system, r.model_key): r for r in rows}
+    table_rows = []
+    for system in systems:
+        cells = [system]
+        for model in models:
+            row = by_pair.get((system, model))
+            cells.append(f"{row.latency_seconds:.2f}" if row else "-")
+        table_rows.append(cells)
+    return format_table(
+        ["System"] + list(models),
+        table_rows,
+        "Table VII - inference latency (s) vs state-of-the-art",
+    )

@@ -1,0 +1,161 @@
+"""Extension experiment: steady-state throughput (design goal HP).
+
+The paper's latency figures imply throughput gains via pipelining but
+never report them directly; this experiment fills that gap.  For each
+model it simulates a backlogged stream of requests through the
+full-featured PP-Stream plan and reports steady-state throughput
+(requests/second) against the centralized CipherBase (1 / latency),
+at 25 and 50 total cores.
+
+Pipelining decouples throughput from single-request latency: the
+pipeline completes one request per bottleneck-stage interval even
+though each request still traverses every stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..planner.allocation import allocate_load_balanced
+from ..planner.profiling import profile_primitive_times
+from ..simulate.simulator import (
+    PipelineSimulator,
+    centralized_cipher_latency,
+)
+from ..simulate.stagecosts import make_comm_model
+from .common import (
+    FIG_MODELS,
+    cluster_with_total_cores,
+    prepare_model,
+    reference_cost_model,
+)
+from .report import format_table
+
+
+@dataclass(frozen=True)
+class ThroughputRow:
+    """Requests/second for one model."""
+
+    model_key: str
+    cipher_base: float
+    pp_stream_25: float
+    pp_stream_50: float
+
+    @property
+    def speedup_50(self) -> float:
+        return self.pp_stream_50 / self.cipher_base
+
+
+def _pp_throughput(key: str, total_cores: int, decimals: int,
+                   stages, cost_model, requests: int) -> float:
+    cluster = cluster_with_total_cores(key, total_cores)
+    times = profile_primitive_times(stages, cost_model, decimals)
+    allocation = allocate_load_balanced(
+        stages, times, cluster, method="water_filling",
+        use_tensor_partitioning=True,
+        comm_model=make_comm_model(cost_model, True),
+    )
+    simulator = PipelineSimulator(allocation.plan, cost_model, decimals)
+    return simulator.simulate_stream(requests).throughput
+
+
+def run_throughput(
+    keys: tuple[str, ...] = FIG_MODELS,
+    requests: int = 200,
+) -> list[ThroughputRow]:
+    """Steady-state throughput rows for the requested models."""
+    cost_model = reference_cost_model()
+    rows = []
+    for key in keys:
+        prepared = prepare_model(key)
+        stages = prepared.stages()
+        decimals = prepared.decimals
+        cipher_latency = centralized_cipher_latency(stages, cost_model,
+                                                    decimals)
+        rows.append(ThroughputRow(
+            model_key=key,
+            cipher_base=1.0 / cipher_latency,
+            pp_stream_25=_pp_throughput(key, 25, decimals, stages,
+                                        cost_model, requests),
+            pp_stream_50=_pp_throughput(key, 50, decimals, stages,
+                                        cost_model, requests),
+        ))
+    return rows
+
+
+@dataclass(frozen=True)
+class LoadLatencyRow:
+    """Mean latency (s) at one offered arrival rate."""
+
+    model_key: str
+    arrival_rate: float
+    utilization: float
+    mean_latency: float
+
+
+def run_latency_vs_load(
+    key: str = "mnist-1",
+    total_cores: int = 48,
+    utilizations: tuple[float, ...] = (0.2, 0.5, 0.8, 0.95, 1.2),
+    requests: int = 300,
+) -> list[LoadLatencyRow]:
+    """Queueing behaviour: mean latency vs offered load.
+
+    Requests arrive at a fraction of the pipeline's capacity (the
+    bottleneck stage's service rate); below saturation the latency
+    stays near the unloaded path time, and beyond it queues build and
+    latency grows with the backlog — the standard pipeline-queueing
+    story, reproduced from the simulator's schedule.
+    """
+    cost_model = reference_cost_model()
+    prepared = prepare_model(key)
+    stages = prepared.stages()
+    decimals = prepared.decimals
+    cluster = cluster_with_total_cores(key, total_cores)
+    times = profile_primitive_times(stages, cost_model, decimals)
+    allocation = allocate_load_balanced(
+        stages, times, cluster, method="water_filling",
+        use_tensor_partitioning=True,
+        comm_model=make_comm_model(cost_model, True),
+    )
+    simulator = PipelineSimulator(allocation.plan, cost_model, decimals)
+    capacity = 1.0 / simulator.bottleneck_service()
+    rows = []
+    for utilization in utilizations:
+        rate = capacity * utilization
+        stream = simulator.simulate_stream(
+            requests, arrival_interval=1.0 / rate
+        )
+        rows.append(LoadLatencyRow(
+            model_key=key,
+            arrival_rate=rate,
+            utilization=utilization,
+            mean_latency=stream.mean_latency,
+        ))
+    return rows
+
+
+def render_latency_vs_load(rows: list[LoadLatencyRow]) -> str:
+    return format_table(
+        ["Model", "Offered load (x capacity)", "Rate (req/s)",
+         "Mean latency (s)"],
+        [
+            [row.model_key, f"{row.utilization:.2f}",
+             row.arrival_rate, row.mean_latency]
+            for row in rows
+        ],
+        "Extension - latency vs offered load (queueing behaviour)",
+    )
+
+
+def render_throughput(rows: list[ThroughputRow]) -> str:
+    return format_table(
+        ["Model", "CipherBase (req/s)", "PP-25 (req/s)",
+         "PP-50 (req/s)", "speedup @50"],
+        [
+            [row.model_key, row.cipher_base, row.pp_stream_25,
+             row.pp_stream_50, f"{row.speedup_50:.1f}x"]
+            for row in rows
+        ],
+        "Extension - steady-state inference throughput",
+    )

@@ -1,0 +1,110 @@
+"""Figure 1: homomorphic-encryption micro-benchmark.
+
+The paper encrypts a 28x28 tensor, scalar-multiplies it by 10^6, adds
+the result to the original, and decrypts, reporting per-step latency
+versus key size (seconds for encryption/decryption, milliseconds for
+the arithmetic).  This module reruns that exact experiment on the
+repository's own Paillier implementation.
+
+Pure Python is slower than the paper's GMP, so per-tensor times are
+measured on a sample of elements and scaled to the full tensor
+(``sample_elements``), keeping 2048-bit keys practical; the *ratios*
+between steps and the growth with key size are what Figure 1 shows.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from ..crypto.paillier import generate_keypair
+from ..errors import ReproError
+from .report import format_table
+
+#: The paper's tensor: 28 x 28 MNIST image.
+TENSOR_ELEMENTS = 28 * 28
+
+#: The paper's scalar multiplication constant.
+SCALAR = 10 ** 6
+
+#: Key sizes swept in Figure 1.
+KEY_SIZES = (512, 1024, 2048)
+
+
+@dataclass(frozen=True)
+class PaillierBenchRow:
+    """Per-tensor latencies (seconds) for one key size."""
+
+    key_size: int
+    encrypt_seconds: float
+    scalar_mul_seconds: float
+    add_seconds: float
+    decrypt_seconds: float
+
+
+def run_fig1(
+    key_sizes: tuple[int, ...] = KEY_SIZES,
+    sample_elements: int = 24,
+    repeats: int = 2,
+    seed: int = 0,
+) -> list[PaillierBenchRow]:
+    """Benchmark the four Figure 1 steps at each key size.
+
+    Args:
+        key_sizes: Paillier modulus sizes to sweep.
+        sample_elements: elements actually timed; per-tensor latency is
+            the per-element mean times 784.
+        repeats: timing repetitions averaged per step.
+        seed: RNG seed (key generation and plaintexts).
+    """
+    if sample_elements < 1 or repeats < 1:
+        raise ReproError("sample_elements and repeats must be >= 1")
+    rows = []
+    rng = random.Random(seed)
+    for key_size in key_sizes:
+        public, private = generate_keypair(key_size, seed=seed)
+        plaintexts = [rng.randrange(0, 256) for _ in
+                      range(sample_elements)]
+
+        def timed(fn) -> float:
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best / sample_elements * TENSOR_ELEMENTS
+
+        ciphers = [public.encrypt(m, rng) for m in plaintexts]
+        encrypt_s = timed(
+            lambda: [public.encrypt(m, rng) for m in plaintexts]
+        )
+        scaled = [c * SCALAR for c in ciphers]
+        scalar_s = timed(lambda: [c * SCALAR for c in ciphers])
+        add_s = timed(
+            lambda: [a + b for a, b in zip(ciphers, scaled)]
+        )
+        sums = [a + b for a, b in zip(ciphers, scaled)]
+        decrypt_s = timed(lambda: [private.decrypt(c) for c in sums])
+        rows.append(PaillierBenchRow(
+            key_size=key_size,
+            encrypt_seconds=encrypt_s,
+            scalar_mul_seconds=scalar_s,
+            add_seconds=add_s,
+            decrypt_seconds=decrypt_s,
+        ))
+    return rows
+
+
+def render_fig1(rows: list[PaillierBenchRow]) -> str:
+    """Render Figure 1 as a table (per 28x28 tensor, seconds)."""
+    return format_table(
+        headers=["Key size", "Encrypt (s)", "ScalarMul (s)", "Add (s)",
+                 "Decrypt (s)"],
+        rows=[
+            [row.key_size, row.encrypt_seconds, row.scalar_mul_seconds,
+             row.add_seconds, row.decrypt_seconds]
+            for row in rows
+        ],
+        title="Fig. 1 - Paillier micro-benchmark (per 28x28 tensor)",
+    )

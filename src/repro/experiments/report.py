@@ -1,0 +1,65 @@
+"""Plain-text table rendering shared by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ReproError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Floats are formatted to four significant decimals; everything else
+    through ``str``.
+    """
+    if not headers:
+        raise ReproError("table needs headers")
+    rendered_rows = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[i])),
+            *(len(row[i]) for row in rendered_rows)) if rendered_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(h).ljust(w) for h, w in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def percent_reduction(baseline: float, improved: float) -> float:
+    """Latency reduction in percent: 100 * (baseline - improved)/baseline."""
+    if baseline <= 0:
+        raise ReproError("baseline must be positive")
+    return 100.0 * (baseline - improved) / baseline

@@ -1,0 +1,54 @@
+"""Neural-network substrate: layers, models, training, metrics, zoo.
+
+The paper assumes a trained model exists (trained with PyTorch/Matlab);
+this reproduction trains its own models, so the subpackage provides a
+complete numpy inference *and* training engine for the layer types the
+paper's models use (Figure 2, Table III): fully-connected, convolution,
+batch normalization, ReLU, Sigmoid, SoftMax, max/average pooling, and
+flatten — plus the MaxPool -> stride-2-conv + ReLU rewrite of
+Section III-C.
+"""
+
+from .layers import (
+    AvgPool2d,
+    BatchNorm,
+    Conv2d,
+    ElementwiseScale,
+    Flatten,
+    FullyConnected,
+    Layer,
+    LayerKind,
+    MaxPool2d,
+    OpCounts,
+    ReLU,
+    ScaledSigmoid,
+    Sigmoid,
+    SoftMax,
+)
+from .model import Sequential
+from .metrics import accuracy, confusion_counts
+from .training import SGDTrainer, TrainingResult
+from . import model_zoo
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm",
+    "Conv2d",
+    "ElementwiseScale",
+    "Flatten",
+    "FullyConnected",
+    "Layer",
+    "LayerKind",
+    "MaxPool2d",
+    "OpCounts",
+    "ReLU",
+    "ScaledSigmoid",
+    "Sigmoid",
+    "SoftMax",
+    "Sequential",
+    "accuracy",
+    "confusion_counts",
+    "SGDTrainer",
+    "TrainingResult",
+    "model_zoo",
+]

@@ -1,0 +1,36 @@
+"""Layer implementations for the numpy NN engine."""
+
+from .base import Layer, LayerKind, OpCounts
+from .dense import FullyConnected
+from .conv import Conv2d
+from .normalization import BatchNorm
+from .activations import (
+    ElementwiseScale,
+    LeakyReLU,
+    ReLU,
+    ScaledSigmoid,
+    Sigmoid,
+    SoftMax,
+    Tanh,
+)
+from .pooling import AvgPool2d, MaxPool2d
+from .reshape import Flatten
+
+__all__ = [
+    "Layer",
+    "LayerKind",
+    "OpCounts",
+    "FullyConnected",
+    "Conv2d",
+    "BatchNorm",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "SoftMax",
+    "Tanh",
+    "ElementwiseScale",
+    "ScaledSigmoid",
+    "AvgPool2d",
+    "MaxPool2d",
+    "Flatten",
+]

@@ -1,0 +1,302 @@
+"""Activation layers: ReLU, Sigmoid, SoftMax, and the mixed ScaledSigmoid.
+
+The paper's protocol places these at the data provider.  ReLU and
+Sigmoid commute with permutations (element-wise), so they run on
+obfuscated tensors; SoftMax does not, so the protocol only ever applies
+it in the final, non-obfuscated round (Section III-C).
+
+``ScaledSigmoid`` reproduces the paper's canonical *mixed* layer
+(Figure 2's Sigmoid with a learnable scalar multiplication): it
+decomposes into an ``ElementwiseScale`` linear primitive followed by a
+``Sigmoid`` non-linear primitive.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ...errors import ModelError
+from .base import Layer, LayerKind, OpCounts
+
+
+def _flat_size(shape: Tuple[int, ...]) -> int:
+    size = 1
+    for dim in shape:
+        size *= dim
+    return size
+
+
+class ReLU(Layer):
+    """Element-wise ``max(0, x)`` — permutation-compatible non-linearity."""
+
+    name = "relu"
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.NONLINEAR
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x)
+        if training:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ModelError("backward called before a training forward")
+        return grad_output * self._mask
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return input_shape
+
+    def op_counts(self, input_shape: Tuple[int, ...]) -> OpCounts:
+        size = _flat_size(input_shape)
+        return OpCounts(plain_ops=size, input_size=size, output_size=size)
+
+
+class Sigmoid(Layer):
+    """Element-wise logistic function — permutation-compatible."""
+
+    name = "sigmoid"
+
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.NONLINEAR
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x)
+        out = np.empty_like(x, dtype=np.float64)
+        positive = x >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        exp_x = np.exp(x[~positive])
+        out[~positive] = exp_x / (1.0 + exp_x)
+        if training:
+            self._output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise ModelError("backward called before a training forward")
+        return grad_output * self._output * (1.0 - self._output)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return input_shape
+
+    def op_counts(self, input_shape: Tuple[int, ...]) -> OpCounts:
+        size = _flat_size(input_shape)
+        # exp + divide per element: count 4 elementary plain ops.
+        return OpCounts(plain_ops=4 * size, input_size=size,
+                        output_size=size)
+
+
+class Tanh(Layer):
+    """Element-wise hyperbolic tangent — permutation-compatible."""
+
+    name = "tanh"
+
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.NONLINEAR
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(np.asarray(x))
+        if training:
+            self._output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise ModelError("backward called before a training forward")
+        return grad_output * (1.0 - self._output ** 2)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return input_shape
+
+    def op_counts(self, input_shape: Tuple[int, ...]) -> OpCounts:
+        size = _flat_size(input_shape)
+        return OpCounts(plain_ops=4 * size, input_size=size,
+                        output_size=size)
+
+
+class LeakyReLU(Layer):
+    """Element-wise ``max(x, alpha * x)`` — permutation-compatible."""
+
+    name = "leaky_relu"
+
+    def __init__(self, alpha: float = 0.01):
+        if not 0 <= alpha < 1:
+            raise ModelError(f"alpha must be in [0, 1), got {alpha}")
+        self.alpha = alpha
+        self._mask: np.ndarray | None = None
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.NONLINEAR
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x)
+        if training:
+            self._mask = x > 0
+        return np.where(x > 0, x, self.alpha * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ModelError("backward called before a training forward")
+        return grad_output * np.where(self._mask, 1.0, self.alpha)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return input_shape
+
+    def op_counts(self, input_shape: Tuple[int, ...]) -> OpCounts:
+        size = _flat_size(input_shape)
+        return OpCounts(plain_ops=2 * size, input_size=size,
+                        output_size=size)
+
+
+class SoftMax(Layer):
+    """Row-wise softmax over (N, D) logits.
+
+    Position-sensitive, so the protocol never obfuscates its input
+    (Section III-C); the planner asserts it only appears in the final
+    non-linear primitive layer.
+    """
+
+    name = "softmax"
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.NONLINEAR
+
+    #: Planner flag: this non-linearity must see non-permuted input.
+    position_sensitive = True
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim != 2:
+            raise ModelError(
+                f"SoftMax expects (N, D) logits, got shape {x.shape}"
+            )
+        shifted = x - x.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if len(input_shape) != 1:
+            raise ModelError(
+                f"SoftMax expects flat input, got {input_shape}"
+            )
+        return input_shape
+
+    def op_counts(self, input_shape: Tuple[int, ...]) -> OpCounts:
+        size = _flat_size(input_shape)
+        return OpCounts(plain_ops=5 * size, input_size=size,
+                        output_size=size)
+
+
+class ElementwiseScale(Layer):
+    """Element-wise multiplication by a learnable scalar (linear).
+
+    The linear primitive that a mixed :class:`ScaledSigmoid` decomposes
+    into.
+    """
+
+    name = "scale"
+
+    def __init__(self, scale: float = 1.0):
+        self.scale = np.array([float(scale)])
+        self._grad_scale = np.zeros(1)
+        self._cached_input: np.ndarray | None = None
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.LINEAR
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x)
+        if training:
+            self._cached_input = x
+        return x * self.scale[0]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_input is None:
+            raise ModelError("backward called before a training forward")
+        self._grad_scale = np.array(
+            [float((grad_output * self._cached_input).sum())]
+        )
+        return grad_output * self.scale[0]
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return input_shape
+
+    def op_counts(self, input_shape: Tuple[int, ...]) -> OpCounts:
+        size = _flat_size(input_shape)
+        return OpCounts(ciphertext_muls=size, input_size=size,
+                        output_size=size)
+
+    def params(self) -> List[np.ndarray]:
+        return [self.scale]
+
+    def grads(self) -> List[np.ndarray]:
+        return [self._grad_scale]
+
+
+class ScaledSigmoid(Layer):
+    """``sigmoid(scale * x)`` — the paper's canonical MIXED layer.
+
+    Contains both a linear operation (scalar multiplication between the
+    input and a model parameter) and a non-linear one (exponentiation),
+    exactly the Figure 2 example.  The planner decomposes it into its
+    :class:`ElementwiseScale` and :class:`Sigmoid` primitives.
+    """
+
+    name = "scaled_sigmoid"
+
+    def __init__(self, scale: float = 1.0):
+        self._scale_layer = ElementwiseScale(scale)
+        self._sigmoid = Sigmoid()
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.MIXED
+
+    @property
+    def scale(self) -> np.ndarray:
+        return self._scale_layer.scale
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self._sigmoid.forward(
+            self._scale_layer.forward(x, training), training
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self._scale_layer.backward(
+            self._sigmoid.backward(grad_output)
+        )
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return input_shape
+
+    def op_counts(self, input_shape: Tuple[int, ...]) -> OpCounts:
+        return self._scale_layer.op_counts(input_shape).merge(
+            self._sigmoid.op_counts(input_shape)
+        )
+
+    def params(self) -> List[np.ndarray]:
+        return self._scale_layer.params()
+
+    def grads(self) -> List[np.ndarray]:
+        return self._scale_layer.grads()
+
+    def decompose(self) -> List[Layer]:
+        return [self._scale_layer, self._sigmoid]

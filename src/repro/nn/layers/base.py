@@ -1,0 +1,141 @@
+"""Layer abstraction shared by the whole NN engine.
+
+Every layer declares a :class:`LayerKind` — linear, non-linear, or mixed
+(Section II-A of the paper) — which drives the planner's primitive-layer
+extraction.  Layers also report :class:`OpCounts` for a given input
+shape, the per-inference homomorphic-operation counts that feed the
+simulator's cost model and the profiler's CPU-time estimates.
+
+Shape convention: activations are batch-first numpy arrays.  Image
+tensors are ``(N, C, H, W)``; flat tensors are ``(N, D)``.  ``forward``
+takes and returns a full batch; ``backward`` takes the loss gradient of
+the layer output and returns the gradient of the input, accumulating
+parameter gradients internally for the optimizer.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ...errors import ModelError
+
+
+class LayerKind(enum.Enum):
+    """Operation category of a hidden layer (paper Section II-A)."""
+
+    LINEAR = "linear"
+    NONLINEAR = "nonlinear"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Per-inference operation counts of one layer.
+
+    Homomorphic cost drivers (ciphertext ops) for linear layers, and
+    element counts for non-linear layers, for one input tensor (batch
+    size 1).
+
+    Attributes:
+        ciphertext_muls: scalar multiplications ``E(m)^w`` performed.
+        ciphertext_adds: ciphertext-ciphertext additions performed.
+        plain_ops: plaintext elementary operations (non-linear layers).
+        input_size: flat element count of the input tensor.
+        output_size: flat element count of the output tensor.
+    """
+
+    ciphertext_muls: int = 0
+    ciphertext_adds: int = 0
+    plain_ops: int = 0
+    input_size: int = 0
+    output_size: int = 0
+
+    def merge(self, other: "OpCounts") -> "OpCounts":
+        """Combine counts of two fused layers (input of first, output of
+        last, summed operation counts)."""
+        return OpCounts(
+            ciphertext_muls=self.ciphertext_muls + other.ciphertext_muls,
+            ciphertext_adds=self.ciphertext_adds + other.ciphertext_adds,
+            plain_ops=self.plain_ops + other.plain_ops,
+            input_size=self.input_size,
+            output_size=other.output_size,
+        )
+
+
+class Layer(ABC):
+    """Abstract base class of every layer in the engine."""
+
+    #: Human-readable layer name (class default; instances may override).
+    name: str = "layer"
+
+    @property
+    @abstractmethod
+    def kind(self) -> LayerKind:
+        """Linear / non-linear / mixed classification."""
+
+    @abstractmethod
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer on a batch; caches what backward needs when
+        ``training`` is true."""
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``dL/d(output)`` to ``dL/d(input)``.
+
+        Layers that support training override this; inference-only
+        layers inherit the error.
+        """
+        raise ModelError(f"{type(self).__name__} does not support backward")
+
+    @abstractmethod
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Per-sample output shape for a per-sample input shape (no batch
+        dimension)."""
+
+    @abstractmethod
+    def op_counts(self, input_shape: Tuple[int, ...]) -> OpCounts:
+        """Operation counts for one input tensor of ``input_shape``."""
+
+    # -- parameters -----------------------------------------------------
+
+    def params(self) -> List[np.ndarray]:
+        """Trainable parameter arrays (mutated in place by optimizers)."""
+        return []
+
+    def grads(self) -> List[np.ndarray]:
+        """Gradient arrays aligned with :meth:`params`."""
+        return []
+
+    def param_count(self) -> int:
+        return sum(int(np.prod(p.shape)) for p in self.params())
+
+    # -- mixed-layer decomposition (paper Section IV-B) -----------------
+
+    def decompose(self) -> List["Layer"]:
+        """Split a MIXED layer into primitive linear/non-linear layers.
+
+        Linear and non-linear layers return themselves; mixed layers
+        must override and return their primitive parts in order.
+        """
+        if self.kind is LayerKind.MIXED:
+            raise ModelError(
+                f"mixed layer {type(self).__name__} must override decompose()"
+            )
+        return [self]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(kind={self.kind.value})"
+
+
+def require_shape(x: np.ndarray, ndim: int, what: str) -> np.ndarray:
+    """Validate the batch rank of an activation tensor."""
+    x = np.asarray(x)
+    if x.ndim != ndim:
+        raise ModelError(
+            f"{what} expects a {ndim}-D batch tensor, got shape {x.shape}"
+        )
+    return x

@@ -1,0 +1,192 @@
+"""2-D convolution layer (linear), implemented with im2col.
+
+Convolution is the layer the paper's tensor partitioning targets
+(Section IV-D): every output element depends on a local receptive field,
+so input sub-tensors can be sent to threads instead of whole tensors.
+The im2col machinery here is reused by :mod:`repro.partitioning` to
+compute those receptive fields.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ...errors import ModelError
+from .base import Layer, LayerKind, OpCounts, require_shape
+
+
+def conv_output_hw(
+    height: int, width: int, kernel: int, stride: int, padding: int
+) -> Tuple[int, int]:
+    """Spatial output size of a convolution."""
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ModelError(
+            f"kernel {kernel}/stride {stride}/padding {padding} too large "
+            f"for input {height}x{width}"
+        )
+    return out_h, out_w
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> np.ndarray:
+    """Unfold (N, C, H, W) into (N, out_h*out_w, C*kernel*kernel)."""
+    n, c, h, w = x.shape
+    out_h, out_w = conv_output_hw(h, w, kernel, stride, padding)
+    if padding:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        )
+    cols = np.empty((n, out_h * out_w, c * kernel * kernel), dtype=x.dtype)
+    idx = 0
+    for i in range(out_h):
+        top = i * stride
+        for j in range(out_w):
+            left = j * stride
+            patch = x[:, :, top:top + kernel, left:left + kernel]
+            cols[:, idx, :] = patch.reshape(n, -1)
+            idx += 1
+    return cols
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold (N, out_h*out_w, C*k*k) gradients back to (N, C, H, W)."""
+    n, c, h, w = input_shape
+    out_h, out_w = conv_output_hw(h, w, kernel, stride, padding)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding),
+                      dtype=cols.dtype)
+    idx = 0
+    for i in range(out_h):
+        top = i * stride
+        for j in range(out_w):
+            left = j * stride
+            padded[:, :, top:top + kernel, left:left + kernel] += (
+                cols[:, idx, :].reshape(n, c, kernel, kernel)
+            )
+            idx += 1
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class Conv2d(Layer):
+    """Square-kernel 2-D convolution over (N, C, H, W) tensors.
+
+    Attributes:
+        weight: (out_channels, in_channels, kernel, kernel).
+        bias: (out_channels,).
+    """
+
+    name = "conv"
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: np.random.Generator | None = None,
+    ):
+        if min(in_channels, out_channels, kernel, stride) < 1:
+            raise ModelError("conv dimensions must be positive")
+        if padding < 0:
+            raise ModelError("padding must be non-negative")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        if rng is None:
+            rng = np.random.default_rng(0)
+        fan_in = in_channels * kernel * kernel
+        self.weight = rng.standard_normal(
+            (out_channels, in_channels, kernel, kernel)
+        ) * np.sqrt(2.0 / fan_in)
+        self.bias = np.zeros(out_channels)
+        self._grad_weight = np.zeros_like(self.weight)
+        self._grad_bias = np.zeros_like(self.bias)
+        self._cached_cols: np.ndarray | None = None
+        self._cached_input_shape: Tuple[int, int, int, int] | None = None
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.LINEAR
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = require_shape(x, 4, "Conv2d")
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ModelError(
+                f"expected {self.in_channels} input channels, got {c}"
+            )
+        out_h, out_w = conv_output_hw(h, w, self.kernel, self.stride,
+                                      self.padding)
+        cols = im2col(x, self.kernel, self.stride, self.padding)
+        if training:
+            self._cached_cols = cols
+            self._cached_input_shape = x.shape
+        flat_w = self.weight.reshape(self.out_channels, -1)
+        out = cols @ flat_w.T + self.bias  # (N, oh*ow, out_c)
+        return out.transpose(0, 2, 1).reshape(n, self.out_channels, out_h,
+                                              out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_cols is None or self._cached_input_shape is None:
+            raise ModelError("backward called before a training forward")
+        n = grad_output.shape[0]
+        grad_flat = grad_output.reshape(n, self.out_channels, -1)
+        grad_flat = grad_flat.transpose(0, 2, 1)  # (N, oh*ow, out_c)
+        flat_w = self.weight.reshape(self.out_channels, -1)
+        self._grad_weight = np.einsum(
+            "npo,npk->ok", grad_flat, self._cached_cols
+        ).reshape(self.weight.shape)
+        self._grad_bias = grad_flat.sum(axis=(0, 1))
+        grad_cols = grad_flat @ flat_w  # (N, oh*ow, C*k*k)
+        return col2im(grad_cols, self._cached_input_shape, self.kernel,
+                      self.stride, self.padding)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if len(input_shape) != 3 or input_shape[0] != self.in_channels:
+            raise ModelError(
+                f"Conv2d expects input shape ({self.in_channels}, H, W), "
+                f"got {input_shape}"
+            )
+        out_h, out_w = conv_output_hw(
+            input_shape[1], input_shape[2], self.kernel, self.stride,
+            self.padding
+        )
+        return (self.out_channels, out_h, out_w)
+
+    def op_counts(self, input_shape: Tuple[int, ...]) -> OpCounts:
+        out_c, out_h, out_w = self.output_shape(input_shape)
+        per_output = self.in_channels * self.kernel * self.kernel
+        outputs = out_c * out_h * out_w
+        return OpCounts(
+            ciphertext_muls=outputs * per_output,
+            ciphertext_adds=outputs * per_output,
+            input_size=int(np.prod(input_shape)),
+            output_size=outputs,
+        )
+
+    def params(self) -> List[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def grads(self) -> List[np.ndarray]:
+        return [self._grad_weight, self._grad_bias]
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels} -> {self.out_channels}, "
+            f"k={self.kernel}, s={self.stride}, p={self.padding})"
+        )

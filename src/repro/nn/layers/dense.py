@@ -1,0 +1,100 @@
+"""Fully-connected (dense) layer — a linear layer in the paper's taxonomy."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ...errors import ModelError
+from .base import Layer, LayerKind, OpCounts, require_shape
+
+
+class FullyConnected(Layer):
+    """Affine map ``y = x W^T + b``.
+
+    Weights are He-initialized.  This is the layer the paper's Eq. (3)
+    evaluates homomorphically: each output element costs ``in_features``
+    ciphertext scalar-multiplications and additions.
+
+    Attributes:
+        weight: (out_features, in_features) float64.
+        bias: (out_features,) float64.
+    """
+
+    name = "fc"
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+    ):
+        if in_features < 1 or out_features < 1:
+            raise ModelError(
+                f"feature counts must be positive, got {in_features} -> "
+                f"{out_features}"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        if rng is None:
+            rng = np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = rng.standard_normal(
+            (out_features, in_features)
+        ) * scale
+        self.bias = np.zeros(out_features)
+        self._grad_weight = np.zeros_like(self.weight)
+        self._grad_bias = np.zeros_like(self.bias)
+        self._cached_input: np.ndarray | None = None
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.LINEAR
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = require_shape(x, 2, "FullyConnected")
+        if x.shape[1] != self.in_features:
+            raise ModelError(
+                f"expected {self.in_features} input features, got "
+                f"{x.shape[1]}"
+            )
+        if training:
+            self._cached_input = x
+        return x @ self.weight.T + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_input is None:
+            raise ModelError("backward called before a training forward")
+        x = self._cached_input
+        self._grad_weight = grad_output.T @ x
+        self._grad_bias = grad_output.sum(axis=0)
+        return grad_output @ self.weight
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if input_shape != (self.in_features,):
+            raise ModelError(
+                f"FullyConnected expects input shape ({self.in_features},), "
+                f"got {input_shape}"
+            )
+        return (self.out_features,)
+
+    def op_counts(self, input_shape: Tuple[int, ...]) -> OpCounts:
+        self.output_shape(input_shape)
+        muls = self.in_features * self.out_features
+        adds = self.in_features * self.out_features  # includes bias merge
+        return OpCounts(
+            ciphertext_muls=muls,
+            ciphertext_adds=adds,
+            input_size=self.in_features,
+            output_size=self.out_features,
+        )
+
+    def params(self) -> List[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def grads(self) -> List[np.ndarray]:
+        return [self._grad_weight, self._grad_bias]
+
+    def __repr__(self) -> str:
+        return f"FullyConnected({self.in_features} -> {self.out_features})"

@@ -1,0 +1,141 @@
+"""Batch normalization — a linear layer at inference time.
+
+At inference, BN is an affine per-channel map using running statistics,
+which is why the paper classifies it as a linear layer (Figure 2): it
+folds into the homomorphic pipeline as an element-wise scale-and-shift.
+Training mode computes batch statistics and maintains running averages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ...errors import ModelError
+from .base import Layer, LayerKind, OpCounts
+
+
+class BatchNorm(Layer):
+    """Per-channel batch normalization for 2-D (N, D) or 4-D (N, C, H, W).
+
+    Attributes:
+        gamma, beta: learnable scale and shift per channel/feature.
+        running_mean, running_var: inference statistics.
+    """
+
+    name = "batchnorm"
+
+    def __init__(self, num_features: int, momentum: float = 0.9,
+                 eps: float = 1e-5):
+        if num_features < 1:
+            raise ModelError("num_features must be positive")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = np.ones(num_features)
+        self.beta = np.zeros(num_features)
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._grad_gamma = np.zeros_like(self.gamma)
+        self._grad_beta = np.zeros_like(self.beta)
+        self._cache: tuple | None = None
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.LINEAR
+
+    def _reshape_params(self, ndim: int) -> Tuple[np.ndarray, ...]:
+        if ndim == 2:
+            shape = (1, self.num_features)
+        elif ndim == 4:
+            shape = (1, self.num_features, 1, 1)
+        else:
+            raise ModelError(f"BatchNorm supports 2-D or 4-D input, got "
+                             f"{ndim}-D")
+        return tuple(
+            arr.reshape(shape)
+            for arr in (self.gamma, self.beta, self.running_mean,
+                        self.running_var)
+        )
+
+    def _channel_axes(self, ndim: int) -> Tuple[int, ...]:
+        return (0,) if ndim == 2 else (0, 2, 3)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x)
+        gamma, beta, run_mean, run_var = self._reshape_params(x.ndim)
+        if x.shape[1] != self.num_features:
+            raise ModelError(
+                f"expected {self.num_features} channels, got {x.shape[1]}"
+            )
+        if training:
+            axes = self._channel_axes(x.ndim)
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            inv_std = 1.0 / np.sqrt(var + self.eps)
+            x_hat = (x - mean) * inv_std
+            count = x.size // self.num_features
+            self.running_mean = (
+                self.momentum * self.running_mean
+                + (1 - self.momentum) * mean.reshape(-1)
+            )
+            self.running_var = (
+                self.momentum * self.running_var
+                + (1 - self.momentum) * var.reshape(-1)
+            )
+            self._cache = (x_hat, inv_std, gamma, axes, count)
+            return gamma * x_hat + beta
+        inv_std = 1.0 / np.sqrt(run_var + self.eps)
+        return gamma * (x - run_mean) * inv_std + beta
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ModelError("backward called before a training forward")
+        x_hat, inv_std, gamma, axes, count = self._cache
+        self._grad_gamma = (grad_output * x_hat).sum(axis=axes)
+        self._grad_beta = grad_output.sum(axis=axes)
+        grad_xhat = grad_output * gamma
+        sum_grad = grad_xhat.sum(axis=axes, keepdims=True)
+        sum_grad_xhat = (grad_xhat * x_hat).sum(axis=axes, keepdims=True)
+        return (
+            inv_std / count
+            * (count * grad_xhat - sum_grad - x_hat * sum_grad_xhat)
+        )
+
+    def inference_affine(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Fold running stats into per-channel (scale, shift).
+
+        This is what the homomorphic pipeline evaluates: BN at inference
+        is exactly ``y = scale * x + shift``.
+        """
+        inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+        scale = self.gamma * inv_std
+        shift = self.beta - self.running_mean * scale
+        return scale, shift
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if not input_shape or input_shape[0] != self.num_features:
+            raise ModelError(
+                f"BatchNorm expects leading channel dim {self.num_features}, "
+                f"got {input_shape}"
+            )
+        return input_shape
+
+    def op_counts(self, input_shape: Tuple[int, ...]) -> OpCounts:
+        size = int(np.prod(input_shape))
+        return OpCounts(
+            ciphertext_muls=size,
+            ciphertext_adds=size,
+            input_size=size,
+            output_size=size,
+        )
+
+    def params(self) -> List[np.ndarray]:
+        return [self.gamma, self.beta]
+
+    def grads(self) -> List[np.ndarray]:
+        return [self._grad_gamma, self._grad_beta]
+
+    def __repr__(self) -> str:
+        return f"BatchNorm({self.num_features})"

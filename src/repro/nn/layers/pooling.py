@@ -1,0 +1,189 @@
+"""Pooling layers and the MaxPool -> stride-2 conv + ReLU rewrite.
+
+MaxPooling is position-sensitive, so it cannot run on obfuscated tensors
+(Section III-C).  The paper's fix — replacing MaxPool with a stride-2
+convolution plus ReLU (Springenberg et al., ICLR 2015) — is implemented
+here as :func:`maxpool_replacement`, which the model zoo applies when
+building privacy-ready VGG variants.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ...errors import ModelError
+from .base import Layer, LayerKind, OpCounts, require_shape
+from .activations import ReLU
+from .conv import Conv2d, conv_output_hw
+
+
+class MaxPool2d(Layer):
+    """Non-overlapping square max pooling over (N, C, H, W)."""
+
+    name = "maxpool"
+
+    #: Planner flag: this non-linearity must see non-permuted input.
+    position_sensitive = True
+
+    def __init__(self, kernel: int = 2, stride: int | None = None):
+        if kernel < 1:
+            raise ModelError("kernel must be positive")
+        self.kernel = kernel
+        self.stride = stride if stride is not None else kernel
+        self._cache: tuple | None = None
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.NONLINEAR
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = require_shape(x, 4, "MaxPool2d")
+        n, c, h, w = x.shape
+        out_h, out_w = conv_output_hw(h, w, self.kernel, self.stride, 0)
+        out = np.empty((n, c, out_h, out_w), dtype=x.dtype)
+        argmax = np.empty((n, c, out_h, out_w), dtype=np.int64)
+        for i in range(out_h):
+            top = i * self.stride
+            for j in range(out_w):
+                left = j * self.stride
+                window = x[:, :, top:top + self.kernel,
+                           left:left + self.kernel].reshape(n, c, -1)
+                out[:, :, i, j] = window.max(axis=2)
+                argmax[:, :, i, j] = window.argmax(axis=2)
+        if training:
+            self._cache = (x.shape, argmax)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ModelError("backward called before a training forward")
+        input_shape, argmax = self._cache
+        grad_input = np.zeros(input_shape, dtype=grad_output.dtype)
+        n, c, out_h, out_w = grad_output.shape
+        for i in range(out_h):
+            top = i * self.stride
+            for j in range(out_w):
+                left = j * self.stride
+                flat_idx = argmax[:, :, i, j]
+                di = flat_idx // self.kernel
+                dj = flat_idx % self.kernel
+                for batch in range(n):
+                    for channel in range(c):
+                        grad_input[
+                            batch, channel,
+                            top + di[batch, channel],
+                            left + dj[batch, channel],
+                        ] += grad_output[batch, channel, i, j]
+        return grad_input
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if len(input_shape) != 3:
+            raise ModelError(
+                f"MaxPool2d expects (C, H, W) input, got {input_shape}"
+            )
+        out_h, out_w = conv_output_hw(
+            input_shape[1], input_shape[2], self.kernel, self.stride, 0
+        )
+        return (input_shape[0], out_h, out_w)
+
+    def op_counts(self, input_shape: Tuple[int, ...]) -> OpCounts:
+        out_shape = self.output_shape(input_shape)
+        out_size = int(np.prod(out_shape))
+        return OpCounts(
+            plain_ops=out_size * self.kernel * self.kernel,
+            input_size=int(np.prod(input_shape)),
+            output_size=out_size,
+        )
+
+
+class AvgPool2d(Layer):
+    """Non-overlapping average pooling — linear, unlike MaxPool."""
+
+    name = "avgpool"
+
+    def __init__(self, kernel: int = 2, stride: int | None = None):
+        if kernel < 1:
+            raise ModelError("kernel must be positive")
+        self.kernel = kernel
+        self.stride = stride if stride is not None else kernel
+        self._input_shape: Tuple[int, ...] | None = None
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.LINEAR
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = require_shape(x, 4, "AvgPool2d")
+        n, c, h, w = x.shape
+        out_h, out_w = conv_output_hw(h, w, self.kernel, self.stride, 0)
+        out = np.empty((n, c, out_h, out_w), dtype=np.float64)
+        for i in range(out_h):
+            top = i * self.stride
+            for j in range(out_w):
+                left = j * self.stride
+                out[:, :, i, j] = x[:, :, top:top + self.kernel,
+                                    left:left + self.kernel].mean(axis=(2, 3))
+        if training:
+            self._input_shape = x.shape
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise ModelError("backward called before a training forward")
+        grad_input = np.zeros(self._input_shape, dtype=grad_output.dtype)
+        share = 1.0 / (self.kernel * self.kernel)
+        n, c, out_h, out_w = grad_output.shape
+        for i in range(out_h):
+            top = i * self.stride
+            for j in range(out_w):
+                left = j * self.stride
+                grad_input[:, :, top:top + self.kernel,
+                           left:left + self.kernel] += (
+                    grad_output[:, :, i:i + 1, j:j + 1] * share
+                )
+        return grad_input
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if len(input_shape) != 3:
+            raise ModelError(
+                f"AvgPool2d expects (C, H, W) input, got {input_shape}"
+            )
+        out_h, out_w = conv_output_hw(
+            input_shape[1], input_shape[2], self.kernel, self.stride, 0
+        )
+        return (input_shape[0], out_h, out_w)
+
+    def op_counts(self, input_shape: Tuple[int, ...]) -> OpCounts:
+        out_shape = self.output_shape(input_shape)
+        out_size = int(np.prod(out_shape))
+        # Averaging is a fixed linear map: one scalar mult per window
+        # element under encryption.
+        window = self.kernel * self.kernel
+        return OpCounts(
+            ciphertext_muls=out_size * window,
+            ciphertext_adds=out_size * window,
+            input_size=int(np.prod(input_shape)),
+            output_size=out_size,
+        )
+
+
+def maxpool_replacement(
+    channels: int, rng: np.random.Generator | None = None
+) -> List[Layer]:
+    """The paper's MaxPool substitute: stride-2 conv (2x2) + ReLU.
+
+    Produces a depthwise-ish learnable downsampling with the same output
+    geometry as a 2x2/stride-2 MaxPool.  Initialized near an average
+    pool (all window taps 0.25 on the matching channel) so pre-trained
+    behaviour is sensible even before fine-tuning.
+    """
+    conv = Conv2d(channels, channels, kernel=2, stride=2, padding=0,
+                  rng=rng)
+    conv.weight[:] = 0.0
+    for channel in range(channels):
+        conv.weight[channel, channel, :, :] = 0.25
+    if rng is not None:
+        conv.weight += rng.standard_normal(conv.weight.shape) * 0.01
+    return [conv, ReLU()]

@@ -1,0 +1,53 @@
+"""Shape-manipulation layers (no arithmetic, classified linear)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ...errors import ModelError
+from .base import Layer, LayerKind, OpCounts
+
+
+class Flatten(Layer):
+    """Flatten (N, C, H, W) (or any batch tensor) to (N, D).
+
+    Pure data movement; it carries no homomorphic cost and row-major
+    order matches the obfuscator's lexicographic reshaping
+    (Section III-C).
+    """
+
+    name = "flatten"
+
+    def __init__(self) -> None:
+        self._input_shape: Tuple[int, ...] | None = None
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.LINEAR
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim < 2:
+            raise ModelError(
+                f"Flatten expects a batch tensor, got shape {x.shape}"
+            )
+        if training:
+            self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise ModelError("backward called before a training forward")
+        return grad_output.reshape(self._input_shape)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        size = 1
+        for dim in input_shape:
+            size *= dim
+        return (size,)
+
+    def op_counts(self, input_shape: Tuple[int, ...]) -> OpCounts:
+        size = int(np.prod(input_shape))
+        return OpCounts(input_size=size, output_size=size)

@@ -1,0 +1,89 @@
+"""Inference-accuracy metric exactly as the paper defines it.
+
+Section IV-A: accuracy = (TP + TN) / (TP + TN + FP + FN), computed
+one-vs-rest and micro-averaged for multi-class problems.  For binary and
+multi-class classification alike this reduces to per-class confusion
+counts summed over classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Micro-averaged one-vs-rest confusion counts.
+
+    Attributes:
+        tp, tn, fp, fn: summed over all classes.
+    """
+
+    tp: int
+    tn: int
+    fp: int
+    fn: int
+
+    @property
+    def accuracy(self) -> float:
+        total = self.tp + self.tn + self.fp + self.fn
+        if total == 0:
+            raise ModelError("no samples to compute accuracy over")
+        return (self.tp + self.tn) / total
+
+
+def confusion_counts(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> ConfusionCounts:
+    """One-vs-rest confusion counts summed over classes.
+
+    Args:
+        predictions: (N,) integer predicted classes.
+        labels: (N,) integer true classes.
+        num_classes: number of classes.
+    """
+    predictions = np.asarray(predictions).reshape(-1)
+    labels = np.asarray(labels).reshape(-1)
+    if predictions.shape != labels.shape:
+        raise ModelError(
+            f"predictions and labels differ in length: "
+            f"{predictions.shape} vs {labels.shape}"
+        )
+    if num_classes < 2:
+        raise ModelError("num_classes must be >= 2")
+    tp = tn = fp = fn = 0
+    for cls in range(num_classes):
+        pred_pos = predictions == cls
+        true_pos = labels == cls
+        tp += int(np.sum(pred_pos & true_pos))
+        tn += int(np.sum(~pred_pos & ~true_pos))
+        fp += int(np.sum(pred_pos & ~true_pos))
+        fn += int(np.sum(~pred_pos & true_pos))
+    return ConfusionCounts(tp=tp, tn=tn, fp=fp, fn=fn)
+
+
+def accuracy(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> float:
+    """The paper's accuracy metric, as a fraction in [0, 1].
+
+    For the one-vs-rest micro-average this equals plain top-1 accuracy
+    when ``num_classes == 2`` and is a monotone transform of it
+    otherwise; the paper reports it in percent.
+    """
+    return confusion_counts(predictions, labels, num_classes).accuracy
+
+
+def top1_accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Plain fraction of exactly-correct predictions."""
+    predictions = np.asarray(predictions).reshape(-1)
+    labels = np.asarray(labels).reshape(-1)
+    if predictions.shape != labels.shape:
+        raise ModelError("predictions and labels differ in length")
+    if predictions.size == 0:
+        raise ModelError("no samples to compute accuracy over")
+    return float(np.mean(predictions == labels))

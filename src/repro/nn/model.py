@@ -1,0 +1,253 @@
+"""Sequential model container with shape checking and (de)serialization."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from ..errors import ModelError
+from .layers import (
+    AvgPool2d,
+    BatchNorm,
+    Conv2d,
+    ElementwiseScale,
+    Flatten,
+    FullyConnected,
+    Layer,
+    LayerKind,
+    LeakyReLU,
+    MaxPool2d,
+    ReLU,
+    ScaledSigmoid,
+    Sigmoid,
+    SoftMax,
+    Tanh,
+)
+
+
+class Sequential:
+    """An ordered stack of layers with a declared per-sample input shape.
+
+    The input shape is declared up front so layer compatibility is
+    checked at construction time, and so planners can compute every
+    intermediate shape without running data through the model.
+    """
+
+    def __init__(self, input_shape: Tuple[int, ...],
+                 layers: Iterable[Layer] = (), name: str = "model"):
+        self.input_shape = tuple(input_shape)
+        self.name = name
+        self.layers: List[Layer] = []
+        for layer in layers:
+            self.add(layer)
+
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer, validating shape compatibility."""
+        shape = self.output_shape()
+        layer.output_shape(shape)  # raises ModelError on mismatch
+        self.layers.append(layer)
+        return self
+
+    def output_shape(self) -> Tuple[int, ...]:
+        """Per-sample output shape of the current stack."""
+        shape = self.input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    def layer_shapes(self) -> List[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+        """(input_shape, output_shape) for each layer, per sample."""
+        shapes = []
+        shape = self.input_shape
+        for layer in self.layers:
+            out = layer.output_shape(shape)
+            shapes.append((shape, out))
+            shape = out
+        return shapes
+
+    # ------------------------------------------------------------------
+    # Inference / training passes
+    # ------------------------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the whole stack on a batch."""
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def forward_logits(self, x: np.ndarray,
+                       training: bool = False) -> np.ndarray:
+        """Run the stack but stop before a trailing SoftMax.
+
+        Training with cross-entropy uses the numerically fused
+        softmax+CE gradient, so the trailing SoftMax layer is skipped.
+        """
+        layers = self.layers
+        if layers and isinstance(layers[-1], SoftMax):
+            layers = layers[:-1]
+        for layer in layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward_from_logits(self, grad_logits: np.ndarray) -> np.ndarray:
+        """Backpropagate from the logits (skipping a trailing SoftMax)."""
+        layers = self.layers
+        if layers and isinstance(layers[-1], SoftMax):
+            layers = layers[:-1]
+        grad = grad_logits
+        for layer in reversed(layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions (argmax of the final activation)."""
+        out = self.forward(np.asarray(x))
+        if out.ndim != 2:
+            raise ModelError(
+                f"predict expects a classifier producing (N, D), got "
+                f"{out.shape}"
+            )
+        return out.argmax(axis=1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def params(self) -> List[np.ndarray]:
+        return [p for layer in self.layers for p in layer.params()]
+
+    def grads(self) -> List[np.ndarray]:
+        return [g for layer in self.layers for g in layer.grads()]
+
+    def param_count(self) -> int:
+        return sum(layer.param_count() for layer in self.layers)
+
+    def kinds(self) -> List[LayerKind]:
+        return [layer.kind for layer in self.layers]
+
+    def summary(self) -> str:
+        """A human-readable table of layers, shapes, kinds, params."""
+        lines = [f"Sequential '{self.name}' input={self.input_shape}"]
+        for layer, (in_shape, out_shape) in zip(self.layers,
+                                                self.layer_shapes()):
+            lines.append(
+                f"  {type(layer).__name__:<16} {layer.kind.value:<9} "
+                f"{in_shape!s:>16} -> {out_shape!s:<16} "
+                f"params={layer.param_count()}"
+            )
+        lines.append(f"  total params: {self.param_count()}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-friendly dict of architecture + weights."""
+        spec = []
+        for layer in self.layers:
+            spec.append({
+                "type": type(layer).__name__,
+                "config": _layer_config(layer),
+                "params": [p.tolist() for p in layer.params()],
+                "buffers": _layer_buffers(layer),
+            })
+        return {
+            "name": self.name,
+            "input_shape": list(self.input_shape),
+            "layers": spec,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "Sequential":
+        """Rebuild a model from :meth:`state_dict` output."""
+        model = cls(tuple(state["input_shape"]), name=state.get("name",
+                                                                "model"))
+        for layer_state in state["layers"]:
+            layer = _build_layer(layer_state["type"], layer_state["config"])
+            for param, values in zip(layer.params(), layer_state["params"]):
+                param[...] = np.asarray(values, dtype=np.float64)
+            _restore_buffers(layer, layer_state.get("buffers", {}))
+            model.add(layer)
+        return model
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.state_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Sequential":
+        return cls.from_state_dict(json.loads(Path(path).read_text()))
+
+    def __repr__(self) -> str:
+        return (
+            f"Sequential(name={self.name!r}, layers={len(self.layers)}, "
+            f"params={self.param_count()})"
+        )
+
+
+def _layer_config(layer: Layer) -> dict:
+    if isinstance(layer, FullyConnected):
+        return {"in_features": layer.in_features,
+                "out_features": layer.out_features}
+    if isinstance(layer, Conv2d):
+        return {
+            "in_channels": layer.in_channels,
+            "out_channels": layer.out_channels,
+            "kernel": layer.kernel,
+            "stride": layer.stride,
+            "padding": layer.padding,
+        }
+    if isinstance(layer, BatchNorm):
+        return {"num_features": layer.num_features,
+                "momentum": layer.momentum, "eps": layer.eps}
+    if isinstance(layer, (MaxPool2d, AvgPool2d)):
+        return {"kernel": layer.kernel, "stride": layer.stride}
+    if isinstance(layer, ElementwiseScale):
+        return {"scale": float(layer.scale[0])}
+    if isinstance(layer, ScaledSigmoid):
+        return {"scale": float(layer.scale[0])}
+    if isinstance(layer, LeakyReLU):
+        return {"alpha": layer.alpha}
+    return {}
+
+
+def _layer_buffers(layer: Layer) -> dict:
+    if isinstance(layer, BatchNorm):
+        return {
+            "running_mean": layer.running_mean.tolist(),
+            "running_var": layer.running_var.tolist(),
+        }
+    return {}
+
+
+def _restore_buffers(layer: Layer, buffers: dict) -> None:
+    if isinstance(layer, BatchNorm) and buffers:
+        layer.running_mean = np.asarray(buffers["running_mean"])
+        layer.running_var = np.asarray(buffers["running_var"])
+
+
+_LAYER_TYPES = {
+    "FullyConnected": FullyConnected,
+    "Conv2d": Conv2d,
+    "BatchNorm": BatchNorm,
+    "ReLU": ReLU,
+    "LeakyReLU": LeakyReLU,
+    "Sigmoid": Sigmoid,
+    "SoftMax": SoftMax,
+    "Tanh": Tanh,
+    "MaxPool2d": MaxPool2d,
+    "AvgPool2d": AvgPool2d,
+    "Flatten": Flatten,
+    "ElementwiseScale": ElementwiseScale,
+    "ScaledSigmoid": ScaledSigmoid,
+}
+
+
+def _build_layer(type_name: str, config: dict) -> Layer:
+    layer_cls = _LAYER_TYPES.get(type_name)
+    if layer_cls is None:
+        raise ModelError(f"unknown layer type in state dict: {type_name}")
+    return layer_cls(**config)

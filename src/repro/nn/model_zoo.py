@@ -1,0 +1,219 @@
+"""The nine evaluation models of Table III, built privacy-ready.
+
+Builders for 3FC, 1Conv+2FC, 2Conv+2FC, and VGG13/16/19, matching the
+paper's dataset/model pairings.  "Privacy-ready" means MaxPool is
+already replaced by the stride-2-conv + ReLU substitution of
+Section III-C, so every layer is either linear or a
+permutation-compatible (or final) non-linearity.
+
+The VGG builders accept a ``base_width`` multiplier (the paper's VGG
+uses 64): pure-numpy training at full width is impractical in this
+environment, so the default is 8 — the layer *structure* (depth, block
+pattern, linear/non-linear alternation) is unchanged, which is what the
+planner, partitioner, and all latency experiments consume.  Full-width
+models can still be built for simulator-only studies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from .layers import (
+    BatchNorm,
+    Conv2d,
+    Flatten,
+    FullyConnected,
+    ReLU,
+    SoftMax,
+)
+from .layers.pooling import maxpool_replacement
+from .model import Sequential
+
+#: Per-block conv counts of the VGG variants (Simonyan & Zisserman 2014).
+VGG_BLOCKS = {
+    "vgg13": (2, 2, 2, 2, 2),
+    "vgg16": (2, 2, 3, 3, 3),
+    "vgg19": (2, 2, 4, 4, 4),
+}
+
+
+def three_fc(
+    in_features: int,
+    num_classes: int,
+    hidden: Sequence[int] = (64, 32),
+    seed: int = 0,
+    name: str = "3FC",
+) -> Sequential:
+    """3FC: three fully-connected layers with ReLU, SoftMax output.
+
+    Used by the Breast, Heart, Cardio, and MNIST-1 rows of Table III.
+    """
+    if len(hidden) != 2:
+        raise ModelError("3FC takes exactly two hidden sizes")
+    rng = np.random.default_rng(seed)
+    model = Sequential((in_features,), name=name)
+    model.add(FullyConnected(in_features, hidden[0], rng=rng))
+    model.add(ReLU())
+    model.add(FullyConnected(hidden[0], hidden[1], rng=rng))
+    model.add(ReLU())
+    model.add(FullyConnected(hidden[1], num_classes, rng=rng))
+    model.add(SoftMax())
+    return model
+
+
+def flat_image_three_fc(
+    input_shape: tuple[int, int, int],
+    num_classes: int,
+    hidden: Sequence[int] = (64, 32),
+    seed: int = 0,
+    name: str = "3FC",
+) -> Sequential:
+    """3FC over image input: Flatten then three fully-connected layers.
+
+    MNIST-1 in Table III: the image is flattened (row-major, matching
+    the obfuscator's lexicographic order) before the dense stack.
+    """
+    if len(hidden) != 2:
+        raise ModelError("3FC takes exactly two hidden sizes")
+    rng = np.random.default_rng(seed)
+    model = Sequential(input_shape, name=name)
+    model.add(Flatten())
+    in_features = model.output_shape()[0]
+    model.add(FullyConnected(in_features, hidden[0], rng=rng))
+    model.add(ReLU())
+    model.add(FullyConnected(hidden[0], hidden[1], rng=rng))
+    model.add(ReLU())
+    model.add(FullyConnected(hidden[1], num_classes, rng=rng))
+    model.add(SoftMax())
+    return model
+
+
+def conv_fc(
+    input_shape: tuple[int, int, int],
+    num_classes: int,
+    conv_channels: Sequence[int],
+    fc_hidden: int = 32,
+    seed: int = 0,
+    name: str = "ConvFC",
+) -> Sequential:
+    """``len(conv_channels)``Conv + 2FC with pool substitutions.
+
+    ``conv_channels=(c,)`` is the paper's 1Conv+2FC (MNIST-2);
+    ``conv_channels=(c1, c2)`` is 2Conv+2FC (MNIST-3).
+    """
+    rng = np.random.default_rng(seed)
+    model = Sequential(input_shape, name=name)
+    channels = input_shape[0]
+    for out_channels in conv_channels:
+        model.add(Conv2d(channels, out_channels, kernel=3, stride=1,
+                         padding=1, rng=rng))
+        model.add(ReLU())
+        for layer in maxpool_replacement(out_channels, rng=rng):
+            model.add(layer)
+        channels = out_channels
+    model.add(Flatten())
+    flat = model.output_shape()[0]
+    model.add(FullyConnected(flat, fc_hidden, rng=rng))
+    model.add(ReLU())
+    model.add(FullyConnected(fc_hidden, num_classes, rng=rng))
+    model.add(SoftMax())
+    return model
+
+
+def vgg(
+    variant: str,
+    input_shape: tuple[int, int, int] = (3, 32, 32),
+    num_classes: int = 10,
+    base_width: int = 8,
+    fc_hidden: int = 64,
+    batch_norm: bool = True,
+    seed: int = 0,
+) -> Sequential:
+    """VGG13/16/19 with pool substitutions and a width multiplier.
+
+    Args:
+        variant: "vgg13", "vgg16", or "vgg19".
+        input_shape: per-sample (C, H, W).
+        num_classes: output classes.
+        base_width: channels of the first block (the paper's VGG uses
+            64; default 8 keeps numpy training tractable).
+        fc_hidden: width of the hidden classifier layer.
+        batch_norm: insert BatchNorm after each conv (linear layer, so
+            it folds into the homomorphic pipeline).
+        seed: weight-init seed.
+    """
+    blocks = VGG_BLOCKS.get(variant.lower())
+    if blocks is None:
+        raise ModelError(
+            f"unknown VGG variant {variant!r}; choose from "
+            f"{sorted(VGG_BLOCKS)}"
+        )
+    rng = np.random.default_rng(seed)
+    model = Sequential(input_shape, name=variant.upper())
+    channels = input_shape[0]
+    width = base_width
+    for block_idx, conv_count in enumerate(blocks):
+        for _ in range(conv_count):
+            model.add(Conv2d(channels, width, kernel=3, stride=1,
+                             padding=1, rng=rng))
+            if batch_norm:
+                model.add(BatchNorm(width))
+            model.add(ReLU())
+            channels = width
+        spatial = model.output_shape()[1]
+        if spatial >= 2:
+            for layer in maxpool_replacement(channels, rng=rng):
+                model.add(layer)
+        if block_idx < 3:
+            width *= 2
+    model.add(Flatten())
+    flat = model.output_shape()[0]
+    model.add(FullyConnected(flat, fc_hidden, rng=rng))
+    model.add(ReLU())
+    model.add(FullyConnected(fc_hidden, num_classes, rng=rng))
+    model.add(SoftMax())
+    return model
+
+
+def build_model(model_key: str, seed: int = 0, **overrides) -> Sequential:
+    """Build one of the nine Table III models by dataset key.
+
+    Keys: breast, heart, cardio, mnist-1, mnist-2, mnist-3,
+    cifar-10-1, cifar-10-2, cifar-10-3.
+    """
+    key = model_key.lower()
+    if key == "breast":
+        return three_fc(30, 2, seed=seed, name="Breast-3FC", **overrides)
+    if key == "heart":
+        return three_fc(13, 2, seed=seed, name="Heart-3FC", **overrides)
+    if key == "cardio":
+        return three_fc(11, 2, seed=seed, name="Cardio-3FC", **overrides)
+    if key == "mnist-1":
+        return flat_image_three_fc(
+            (1, 28, 28), 10, hidden=(128, 64), seed=seed,
+            name="MNIST-1-3FC", **overrides,
+        )
+    if key == "mnist-2":
+        return conv_fc((1, 28, 28), 10, conv_channels=(8,), seed=seed,
+                       name="MNIST-2-1Conv2FC", **overrides)
+    if key == "mnist-3":
+        return conv_fc((1, 28, 28), 10, conv_channels=(8, 16), seed=seed,
+                       name="MNIST-3-2Conv2FC", **overrides)
+    if key == "cifar-10-1":
+        return vgg("vgg13", seed=seed, **overrides)
+    if key == "cifar-10-2":
+        return vgg("vgg16", seed=seed, **overrides)
+    if key == "cifar-10-3":
+        return vgg("vgg19", seed=seed, **overrides)
+    raise ModelError(f"unknown model key {model_key!r}")
+
+
+#: All nine model keys in Table III order.
+MODEL_KEYS = (
+    "breast", "heart", "cardio",
+    "mnist-1", "mnist-2", "mnist-3",
+    "cifar-10-1", "cifar-10-2", "cifar-10-3",
+)

@@ -1,0 +1,79 @@
+"""Model rewriting for privacy readiness.
+
+The zoo builds models privacy-ready, but a user bringing their own
+model may have MaxPool layers (position-sensitive, so incompatible with
+obfuscated tensors — Section III-C).  :func:`rewrite_for_privacy`
+applies the paper's substitution — MaxPool -> stride-2 conv + ReLU
+(Springenberg et al.) — producing a model the planner accepts.
+
+The substituted convolutions are initialized to average pooling, so the
+rewritten model is a reasonable starting point; the paper's generality
+claim assumes models are trained (or fine-tuned) with the substitution
+in place, and :class:`repro.nn.training.SGDTrainer` can do that
+fine-tuning here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .layers import Layer, MaxPool2d
+from .layers.pooling import maxpool_replacement
+from .model import Sequential
+
+
+def rewrite_for_privacy(
+    model: Sequential, rng: np.random.Generator | None = None
+) -> Sequential:
+    """Return a copy of ``model`` with every MaxPool substituted.
+
+    Args:
+        model: any Sequential model; layers other than MaxPool2d are
+            shared structurally (weights copied via state dict).
+        rng: optional noise source for the substituted conv weights.
+
+    Raises:
+        ModelError: when a MaxPool has stride != kernel (the
+            substitution is defined for non-overlapping pooling).
+    """
+    rewritten = Sequential(model.input_shape,
+                           name=f"{model.name}-private")
+    shape = model.input_shape
+    for layer in model.layers:
+        if isinstance(layer, MaxPool2d):
+            if layer.stride != layer.kernel or layer.kernel != 2:
+                raise ModelError(
+                    "maxpool substitution supports 2x2/stride-2 pooling"
+                    f", got kernel={layer.kernel} stride={layer.stride}"
+                )
+            channels = shape[0]
+            for replacement in maxpool_replacement(channels, rng=rng):
+                rewritten.add(replacement)
+            shape = layer.output_shape(shape)
+            continue
+        clone = _clone_layer(layer)
+        rewritten.add(clone)
+        shape = layer.output_shape(shape)
+    return rewritten
+
+
+def _clone_layer(layer: Layer) -> Layer:
+    """Deep-copy a layer through the model (de)serialization path."""
+    from .model import _build_layer, _layer_config, _layer_buffers, \
+        _restore_buffers
+
+    clone = _build_layer(type(layer).__name__, _layer_config(layer))
+    for parameter, source in zip(clone.params(), layer.params()):
+        parameter[...] = source
+    _restore_buffers(clone, _layer_buffers(layer))
+    return clone
+
+
+def count_position_sensitive(model: Sequential) -> int:
+    """How many layers would block primitive extraction (diagnostics)."""
+    return sum(
+        1 for position, layer in enumerate(model.layers)
+        if getattr(layer, "position_sensitive", False)
+        and position != len(model.layers) - 1
+    )

@@ -1,0 +1,22 @@
+"""Obfuscation substrate: seeded permutations and the leakage metric.
+
+The paper protects non-linear operations by having the model provider
+randomly permute tensor element positions before handing tensors to the
+data provider (Section III-C), and quantifies the residual leakage of the
+permuted-but-not-hidden values with distance correlation (Exp#5).
+"""
+
+from .permutation import Permutation
+from .obfuscator import Obfuscator, ObfuscationRecord
+from .leakage import distance_correlation, leakage_by_length
+from .attacks import extraction_comparison, least_squares_extraction
+
+__all__ = [
+    "Permutation",
+    "Obfuscator",
+    "ObfuscationRecord",
+    "distance_correlation",
+    "leakage_by_length",
+    "extraction_comparison",
+    "least_squares_extraction",
+]

@@ -1,0 +1,108 @@
+"""The model provider's per-round obfuscation state machine.
+
+Section III-C requires that every round uses a *fresh* random permutation
+(different seeds per round) and that the model provider can invert the
+permutation it applied when the tensor comes back from the data provider.
+The :class:`Obfuscator` owns that state: it derives a per-round seed from
+a master seed, remembers which permutation is outstanding for each round,
+and refuses out-of-order inversions — protocol misuse is an error, not
+silent corruption.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Sequence, TypeVar
+
+from ..errors import ObfuscationError
+from .permutation import Permutation
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ObfuscationRecord:
+    """Bookkeeping for one obfuscation round.
+
+    Attributes:
+        round_id: monotonically increasing round counter.
+        permutation: the permutation applied in that round.
+    """
+
+    round_id: int
+    permutation: Permutation
+
+
+class Obfuscator:
+    """Derives fresh per-round permutations and tracks them for inversion.
+
+    The master seed stays at the model provider; the data provider never
+    sees seeds or permutations, only permuted tensors.
+    """
+
+    def __init__(self, master_seed: int):
+        self._master_seed = master_seed
+        self._next_round = 0
+        self._outstanding: dict[int, ObfuscationRecord] = {}
+        self._history: list[ObfuscationRecord] = []
+        # The stream runtime calls obfuscate()/deobfuscate() from
+        # several stage threads concurrently.
+        self._lock = threading.Lock()
+
+    @property
+    def rounds_started(self) -> int:
+        return self._next_round
+
+    def history(self) -> tuple[ObfuscationRecord, ...]:
+        """All permutations ever issued (for leakage analysis in Exp#5)."""
+        return tuple(self._history)
+
+    def _derive_seed(self, round_id: int) -> int:
+        # A distinct, deterministic stream per round: seed a fresh
+        # generator with the (master_seed, round_id) pair so adjacent
+        # rounds share no obvious structure.
+        return random.Random(
+            f"{self._master_seed}:{round_id}"
+        ).getrandbits(64)
+
+    def obfuscate(self, items: Sequence[T]) -> tuple[int, list[T]]:
+        """Permute a flat sequence with a fresh round permutation.
+
+        Returns:
+            (round_id, permuted items); the round id must be presented
+            back to :meth:`deobfuscate` with the round-trip result.
+        """
+        with self._lock:
+            round_id = self._next_round
+            self._next_round += 1
+        permutation = Permutation.random(
+            len(items), self._derive_seed(round_id)
+        )
+        record = ObfuscationRecord(round_id, permutation)
+        with self._lock:
+            self._outstanding[round_id] = record
+            self._history.append(record)
+        return round_id, permutation.apply(items)
+
+    def deobfuscate(self, round_id: int, items: Sequence[T]) -> list[T]:
+        """Invert the permutation issued for ``round_id``.
+
+        Each round may be inverted exactly once; inverting an unknown or
+        already-consumed round raises :class:`ObfuscationError`.
+        """
+        with self._lock:
+            record = self._outstanding.pop(round_id, None)
+        if record is None:
+            raise ObfuscationError(
+                f"round {round_id} is unknown or already deobfuscated"
+            )
+        return record.permutation.invert(items)
+
+    def peek_permutation(self, round_id: int) -> Permutation:
+        """Look up an outstanding round's permutation (model provider only)."""
+        record = self._outstanding.get(round_id)
+        if record is None:
+            raise ObfuscationError(f"round {round_id} is not outstanding")
+        return record.permutation

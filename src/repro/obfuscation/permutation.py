@@ -1,0 +1,133 @@
+"""Seeded random permutations of tensor element positions.
+
+A permutation here is the unit of the paper's obfuscation protocol
+(Section III-C): the model provider reshapes a tensor to a 1-D vector in
+lexicographic (row-major) order, permutes the element positions with a
+fresh random seed each round, and later inverts the permutation.  There
+are ``P!`` possible permutations of a length-``P`` vector, which is the
+security argument of Section III-D.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+from ..errors import ObfuscationError
+
+T = TypeVar("T")
+
+
+class Permutation:
+    """A fixed permutation of ``length`` positions.
+
+    ``apply`` moves the element at position ``i`` to position
+    ``forward[i]``'s slot — concretely, ``out[j] = in[order[j]]`` where
+    ``order`` is the sampled arrangement.  ``invert`` restores the
+    original order.  Composition and equality are provided so protocol
+    tests can verify round-trip identities algebraically.
+    """
+
+    __slots__ = ("_order", "_inverse")
+
+    def __init__(self, order: Sequence[int]):
+        order = list(order)
+        n = len(order)
+        if sorted(order) != list(range(n)):
+            raise ObfuscationError(
+                "order must be a permutation of range(n)"
+            )
+        self._order = tuple(order)
+        inverse = [0] * n
+        for out_pos, in_pos in enumerate(order):
+            inverse[in_pos] = out_pos
+        self._inverse = tuple(inverse)
+
+    @classmethod
+    def random(cls, length: int, seed: int) -> "Permutation":
+        """Sample a uniformly random permutation from a seed."""
+        if length < 1:
+            raise ObfuscationError(f"length must be >= 1, got {length}")
+        rng = random.Random(seed)
+        order = list(range(length))
+        rng.shuffle(order)
+        return cls(order)
+
+    @classmethod
+    def identity(cls, length: int) -> "Permutation":
+        return cls(range(length))
+
+    @property
+    def length(self) -> int:
+        return len(self._order)
+
+    @property
+    def order(self) -> tuple[int, ...]:
+        return self._order
+
+    def apply(self, items: Sequence[T]) -> list[T]:
+        """Permute a flat sequence: ``out[j] = items[order[j]]``."""
+        if len(items) != self.length:
+            raise ObfuscationError(
+                f"sequence length {len(items)} != permutation length "
+                f"{self.length}"
+            )
+        return [items[i] for i in self._order]
+
+    def invert(self, items: Sequence[T]) -> list[T]:
+        """Undo :meth:`apply` on a flat sequence."""
+        if len(items) != self.length:
+            raise ObfuscationError(
+                f"sequence length {len(items)} != permutation length "
+                f"{self.length}"
+            )
+        return [items[i] for i in self._inverse]
+
+    def apply_array(self, values: np.ndarray) -> np.ndarray:
+        """Permute a 1-D ndarray."""
+        values = np.asarray(values)
+        if values.ndim != 1 or values.shape[0] != self.length:
+            raise ObfuscationError(
+                f"expected 1-D array of length {self.length}, got shape "
+                f"{values.shape}"
+            )
+        return values[np.array(self._order)]
+
+    def invert_array(self, values: np.ndarray) -> np.ndarray:
+        """Undo :meth:`apply_array`."""
+        values = np.asarray(values)
+        if values.ndim != 1 or values.shape[0] != self.length:
+            raise ObfuscationError(
+                f"expected 1-D array of length {self.length}, got shape "
+                f"{values.shape}"
+            )
+        return values[np.array(self._inverse)]
+
+    def compose(self, other: "Permutation") -> "Permutation":
+        """Return the permutation equivalent to applying ``other`` then self."""
+        if other.length != self.length:
+            raise ObfuscationError("cannot compose permutations of different "
+                                   "lengths")
+        return Permutation([other._order[i] for i in self._order])
+
+    def inverse(self) -> "Permutation":
+        """Return the inverse permutation as a standalone object."""
+        return Permutation(self._inverse)
+
+    def is_identity(self) -> bool:
+        return self._order == tuple(range(self.length))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        return self._order == other._order
+
+    def __hash__(self) -> int:
+        return hash(self._order)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(i) for i in self._order[:8])
+        suffix = ", ..." if self.length > 8 else ""
+        return f"Permutation(length={self.length}, order=[{preview}{suffix}])"

@@ -1,0 +1,30 @@
+"""Tensor partitioning across threads (paper Section IV-D).
+
+Output tensor partitioning splits the elements of a stage's output
+evenly across its threads; input tensor partitioning additionally ships
+each thread only the input elements its outputs actually depend on
+(possible for convolutions, whose outputs have local receptive fields —
+not for fully-connected layers, whose outputs read every input).
+"""
+
+from .partition import (
+    ThreadTask,
+    partition_affine,
+    partition_elementwise,
+    stage_communication,
+)
+from .receptive import (
+    chain_required_inputs,
+    partitioned_input_elements,
+    required_inputs,
+)
+
+__all__ = [
+    "ThreadTask",
+    "partition_affine",
+    "partition_elementwise",
+    "stage_communication",
+    "chain_required_inputs",
+    "partitioned_input_elements",
+    "required_inputs",
+]

@@ -1,0 +1,154 @@
+"""Partitioning of affine stages and element-wise stages over threads.
+
+The unit of work is a :class:`ThreadTask`: which output elements a
+thread produces and which input elements it must receive.  For linear
+stages the work is a slice of the stage's scaled affine map (rows of W);
+with input partitioning enabled, each task's input set shrinks to the
+union of the non-zero columns of its rows — exactly the receptive
+fields in the paper's Figure 5 convolution example.  Fully-connected
+rows are dense, so their tasks always need the whole input (the paper's
+"input tensor partitioning can only be applied for convolution
+operations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import PartitioningError
+from ..scaling.fixed_point import ScaledAffine
+
+
+@dataclass(frozen=True)
+class ThreadTask:
+    """One thread's share of a partitioned stage.
+
+    Attributes:
+        thread_index: 0-based thread id within the stage.
+        output_indices: flat output element indices this thread
+            produces (contiguous, row-major).
+        input_indices: flat input element indices this thread needs.
+        weight: int64 submatrix (len(output_indices), len(input_indices))
+            — columns already restricted to ``input_indices``.
+        raw_bias: float bias entries of the task's rows (scaled by the
+            caller at a chosen input exponent, like
+            :meth:`ScaledAffine.bias_at`).
+        decimals: weight exponent of the submatrix.
+    """
+
+    thread_index: int
+    output_indices: tuple[int, ...]
+    input_indices: tuple[int, ...]
+    weight: np.ndarray | None
+    raw_bias: np.ndarray | None
+    decimals: int
+
+    @property
+    def input_elements(self) -> int:
+        return len(self.input_indices)
+
+    @property
+    def output_elements(self) -> int:
+        return len(self.output_indices)
+
+    def bias_at(self, input_exponent: int) -> np.ndarray:
+        """Bias integers at ``input_exponent + decimals`` (linear tasks)."""
+        if self.raw_bias is None:
+            raise PartitioningError("element-wise tasks carry no bias")
+        from ..scaling.fixed_point import scale_to_int
+
+        return scale_to_int(self.raw_bias, input_exponent + self.decimals)
+
+
+def _split_evenly(count: int, parts: int) -> List[range]:
+    """Split range(count) into ``parts`` contiguous near-equal ranges."""
+    if parts < 1:
+        raise PartitioningError("parts must be >= 1")
+    if count < 1:
+        raise PartitioningError("cannot split an empty range")
+    parts = min(parts, count)
+    base, extra = divmod(count, parts)
+    ranges = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        ranges.append(range(start, start + size))
+        start += size
+    return ranges
+
+
+def partition_affine(
+    affine: ScaledAffine,
+    threads: int,
+    input_partitioning: bool,
+) -> List[ThreadTask]:
+    """Partition a scaled affine map across ``threads``.
+
+    Output partitioning always applies: thread t gets a contiguous
+    block of output rows.  With ``input_partitioning``, each task's
+    columns are restricted to the rows' non-zero support (a no-op for
+    dense FC rows, a big win for conv rows).
+
+    Returns fewer than ``threads`` tasks when the output has fewer
+    elements than threads.
+    """
+    out_dim = affine.out_dim
+    tasks: List[ThreadTask] = []
+    for thread_index, rows in enumerate(_split_evenly(out_dim, threads)):
+        row_block = affine.weight[rows.start:rows.stop]
+        if input_partitioning:
+            support = np.flatnonzero(np.any(row_block != 0, axis=0))
+            if support.size == 0:
+                # all-zero rows still produce the (scaled) bias
+                support = np.array([0], dtype=np.int64)
+            columns = tuple(int(i) for i in support)
+            weight = row_block[:, support]
+        else:
+            columns = tuple(range(affine.in_dim))
+            weight = row_block
+        tasks.append(
+            ThreadTask(
+                thread_index=thread_index,
+                output_indices=tuple(rows),
+                input_indices=columns,
+                weight=weight,
+                raw_bias=affine.raw_bias[rows.start:rows.stop],
+                decimals=affine.decimals,
+            )
+        )
+    return tasks
+
+
+def partition_elementwise(size: int, threads: int) -> List[ThreadTask]:
+    """Partition an element-wise (non-linear) stage of ``size`` elements.
+
+    Element-wise stages read exactly the elements they write, so the
+    input and output index sets coincide.
+    """
+    tasks: List[ThreadTask] = []
+    for thread_index, block in enumerate(_split_evenly(size, threads)):
+        indices = tuple(block)
+        tasks.append(
+            ThreadTask(
+                thread_index=thread_index,
+                output_indices=indices,
+                input_indices=indices,
+                weight=None,
+                raw_bias=None,
+                decimals=0,
+            )
+        )
+    return tasks
+
+
+def stage_communication(tasks: Sequence[ThreadTask]) -> int:
+    """Total input elements shipped to the stage's threads.
+
+    Without input partitioning every thread receives the whole tensor,
+    so this is ``threads * input_size``; with it, the sum of receptive
+    fields — the communication reduction Exp#4 measures.
+    """
+    return sum(task.input_elements for task in tasks)

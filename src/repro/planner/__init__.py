@@ -1,0 +1,45 @@
+"""Planning substrate: primitives, profiling, MILP, resource allocation.
+
+Implements Sections IV-B and IV-C of the paper: hidden layers are
+decomposed into linear/non-linear *primitive layers*, adjacent primitives
+of the same type are merged into pipeline stages, per-stage CPU times are
+profiled, and servers/threads are assigned by solving the load-balanced
+allocation ILP (Eq. 4-8) with branch-and-bound.
+"""
+
+from .primitive import MergedPrimitive, extract_primitives, merge_primitives
+from .plan import (
+    ClusterSpec,
+    Plan,
+    ServerSpec,
+    StageAssignment,
+    plan_from_dict,
+)
+from .profiling import profile_primitive_times, profile_live
+from .ilp import MILP, MILPResult, solve_milp
+from .allocation import (
+    AllocationResult,
+    allocate_even,
+    allocate_load_balanced,
+    build_allocation_milp,
+)
+
+__all__ = [
+    "MergedPrimitive",
+    "extract_primitives",
+    "merge_primitives",
+    "ClusterSpec",
+    "Plan",
+    "ServerSpec",
+    "StageAssignment",
+    "plan_from_dict",
+    "profile_primitive_times",
+    "profile_live",
+    "MILP",
+    "MILPResult",
+    "solve_milp",
+    "AllocationResult",
+    "allocate_even",
+    "allocate_load_balanced",
+    "build_allocation_milp",
+]

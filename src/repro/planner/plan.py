@@ -1,0 +1,315 @@
+"""Cluster description and deployment plans.
+
+A :class:`ClusterSpec` mirrors the paper's testbed rows in Table III:
+some servers belong to the model provider (linear stages only) and some
+to the data provider (non-linear stages only) — the physical realization
+of ILP constraint (6).  A :class:`Plan` records, for every merged
+primitive layer, which server hosts it and how many threads it gets
+(the ILP's x_{i,j} and y_i), and validates the capacity constraint (8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..errors import InfeasibleAllocationError, PlannerError
+from ..nn.layers import LayerKind
+from .primitive import MergedPrimitive
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """One server of the testbed.
+
+    Attributes:
+        server_id: index within the cluster.
+        cores: physical CPU cores.
+        role: "model" (runs linear stages) or "data" (non-linear).
+    """
+
+    server_id: int
+    cores: int
+    role: str
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise PlannerError(f"server {self.server_id} has no cores")
+        if self.role not in ("model", "data"):
+            raise PlannerError(
+                f"server role must be 'model' or 'data', got {self.role!r}"
+            )
+
+    def capacity(self, hyperthreading: bool = True) -> int:
+        """Max simultaneous threads (paper Eq. 8: 2 per core with HT)."""
+        return self.cores * (2 if hyperthreading else 1)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A set of servers split between the model and data providers."""
+
+    servers: tuple[ServerSpec, ...]
+    hyperthreading: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.servers:
+            raise PlannerError("cluster must have at least one server")
+        ids = [s.server_id for s in self.servers]
+        if ids != list(range(len(ids))):
+            raise PlannerError("server ids must be 0..s-1 in order")
+        if not any(s.role == "model" for s in self.servers):
+            raise PlannerError("cluster needs at least one model server")
+        if not any(s.role == "data" for s in self.servers):
+            raise PlannerError("cluster needs at least one data server")
+
+    @classmethod
+    def homogeneous(
+        cls,
+        model_servers: int,
+        data_servers: int,
+        cores_per_server: int,
+        hyperthreading: bool = True,
+    ) -> "ClusterSpec":
+        """The paper's homogeneous setting: identical servers."""
+        servers = []
+        for _ in range(model_servers):
+            servers.append(ServerSpec(len(servers), cores_per_server,
+                                      "model"))
+        for _ in range(data_servers):
+            servers.append(ServerSpec(len(servers), cores_per_server,
+                                      "data"))
+        return cls(tuple(servers), hyperthreading)
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        model_cores: Sequence[int],
+        data_cores: Sequence[int],
+        hyperthreading: bool = True,
+    ) -> "ClusterSpec":
+        """Servers with per-machine core counts.
+
+        The paper's evaluation assumes homogeneous servers and poses
+        heterogeneity as future work; the allocator here already
+        handles it (capacities are per-server in the packing and the
+        ILP's constraint (8)), so this factory exposes it.
+        """
+        servers = []
+        for cores in model_cores:
+            servers.append(ServerSpec(len(servers), cores, "model"))
+        for cores in data_cores:
+            servers.append(ServerSpec(len(servers), cores, "data"))
+        return cls(tuple(servers), hyperthreading)
+
+    @classmethod
+    def with_total_cores(
+        cls,
+        total_cores: int,
+        model_servers: int = 2,
+        data_servers: int = 1,
+        hyperthreading: bool = True,
+    ) -> "ClusterSpec":
+        """Spread ``total_cores`` as evenly as possible over the servers
+        (Exp#2/3/4 sweep total CPU cores at fixed server counts)."""
+        count = model_servers + data_servers
+        if total_cores < count:
+            raise PlannerError(
+                f"{total_cores} cores cannot cover {count} servers"
+            )
+        base, extra = divmod(total_cores, count)
+        servers = []
+        for index in range(count):
+            cores = base + (1 if index < extra else 0)
+            role = "model" if index < model_servers else "data"
+            servers.append(ServerSpec(index, cores, role))
+        return cls(tuple(servers), hyperthreading)
+
+    def servers_for(self, kind: LayerKind) -> List[ServerSpec]:
+        role = "model" if kind is LayerKind.LINEAR else "data"
+        return [s for s in self.servers if s.role == role]
+
+    @property
+    def total_cores(self) -> int:
+        return sum(s.cores for s in self.servers)
+
+    def total_capacity(self) -> int:
+        return sum(s.capacity(self.hyperthreading) for s in self.servers)
+
+
+def plan_from_dict(state: dict, stages) -> "Plan":
+    """Rebuild a plan from :meth:`Plan.to_dict` output + the model's
+    stage list (obtained via ``repro.planner.primitive.model_stages``).
+
+    Raises:
+        PlannerError: on format/stage-count mismatches (and the Plan
+            constructor re-validates Eq. 5-8).
+    """
+    if state.get("format") != "repro-plan-v1":
+        raise PlannerError(
+            f"not a repro-plan-v1 record: {state.get('format')!r}"
+        )
+    cluster_state = state["cluster"]
+    cluster = ClusterSpec(
+        tuple(
+            ServerSpec(s["server_id"], s["cores"], s["role"])
+            for s in cluster_state["servers"]
+        ),
+        hyperthreading=cluster_state["hyperthreading"],
+    )
+    if len(state["assignments"]) != len(stages):
+        raise PlannerError(
+            f"plan has {len(state['assignments'])} assignments but the "
+            f"model yields {len(stages)} stages"
+        )
+    assignments = tuple(
+        StageAssignment(a["stage_index"], a["server_id"], a["threads"])
+        for a in state["assignments"]
+    )
+    return Plan(cluster, tuple(stages), assignments,
+                state["use_tensor_partitioning"])
+
+
+@dataclass(frozen=True)
+class StageAssignment:
+    """Deployment of one merged primitive layer (stage).
+
+    Attributes:
+        stage_index: index of the merged primitive.
+        server_id: hosting server (the x_{i,j} = 1 choice).
+        threads: allocated thread count (y_i >= 1).
+    """
+
+    stage_index: int
+    server_id: int
+    threads: int
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise PlannerError(
+                f"stage {self.stage_index} must get >= 1 thread "
+                "(paper Eq. 7)"
+            )
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A complete, validated deployment plan.
+
+    Validation enforces the ILP constraints: every stage on exactly one
+    server (5), server purity via role matching (6), >= 1 thread (7),
+    and per-server capacity (8).
+    """
+
+    cluster: ClusterSpec
+    stages: tuple[MergedPrimitive, ...]
+    assignments: tuple[StageAssignment, ...]
+    use_tensor_partitioning: bool = True
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.assignments) != len(self.stages):
+            raise PlannerError(
+                f"{len(self.stages)} stages but {len(self.assignments)} "
+                "assignments"
+            )
+        server_load: dict[int, int] = {}
+        for stage, assignment in zip(self.stages, self.assignments):
+            if assignment.stage_index != stage.index:
+                raise PlannerError(
+                    "assignments must be in stage order"
+                )
+            server = self._server(assignment.server_id)
+            expected_role = (
+                "model" if stage.kind is LayerKind.LINEAR else "data"
+            )
+            if server.role != expected_role:
+                raise PlannerError(
+                    f"stage {stage.index} ({stage.kind.value}) cannot run "
+                    f"on {server.role} server {server.server_id} "
+                    "(paper Eq. 6 / privacy separation)"
+                )
+            server_load[server.server_id] = (
+                server_load.get(server.server_id, 0) + assignment.threads
+            )
+        for server_id, load in server_load.items():
+            capacity = self._server(server_id).capacity(
+                self.cluster.hyperthreading
+            )
+            if load > capacity:
+                raise InfeasibleAllocationError(
+                    f"server {server_id} oversubscribed: {load} threads > "
+                    f"capacity {capacity} (paper Eq. 8)"
+                )
+
+    def _server(self, server_id: int) -> ServerSpec:
+        if not 0 <= server_id < len(self.cluster.servers):
+            raise PlannerError(f"unknown server id {server_id}")
+        return self.cluster.servers[server_id]
+
+    def threads_for(self, stage_index: int) -> int:
+        return self.assignments[stage_index].threads
+
+    def server_of(self, stage_index: int) -> ServerSpec:
+        return self._server(self.assignments[stage_index].server_id)
+
+    def total_threads(self) -> int:
+        return sum(a.threads for a in self.assignments)
+
+    def per_thread_times(self, stage_times: Sequence[float]) -> List[float]:
+        """T_i / y_i for each stage — the balance the ILP equalizes."""
+        if len(stage_times) != len(self.assignments):
+            raise PlannerError("stage_times length mismatch")
+        return [
+            t / a.threads for t, a in zip(stage_times, self.assignments)
+        ]
+
+    def imbalance(self, stage_times: Sequence[float]) -> float:
+        """The paper's objective (Eq. 4): sum of pairwise absolute
+        differences of per-thread times."""
+        per_thread = self.per_thread_times(stage_times)
+        total = 0.0
+        for i, t_i in enumerate(per_thread):
+            for t_j in per_thread:
+                total += abs(t_i - t_j)
+        return total
+
+    def describe(self) -> str:
+        lines = [
+            f"Plan over {len(self.cluster.servers)} servers "
+            f"({self.cluster.total_cores} cores), partitioning="
+            f"{'on' if self.use_tensor_partitioning else 'off'}"
+        ]
+        for stage, assignment in zip(self.stages, self.assignments):
+            lines.append(
+                f"  {stage.describe():<60} -> server "
+                f"{assignment.server_id} x{assignment.threads} threads"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """A JSON-friendly deployment record (for review / redeploy).
+
+        Captures the cluster, assignments, and per-stage descriptions;
+        the stages themselves are reconstructed from the model, so
+        :func:`plan_from_dict` needs the same stage list.
+        """
+        return {
+            "format": "repro-plan-v1",
+            "cluster": {
+                "hyperthreading": self.cluster.hyperthreading,
+                "servers": [
+                    {"server_id": s.server_id, "cores": s.cores,
+                     "role": s.role}
+                    for s in self.cluster.servers
+                ],
+            },
+            "use_tensor_partitioning": self.use_tensor_partitioning,
+            "assignments": [
+                {"stage_index": a.stage_index,
+                 "server_id": a.server_id,
+                 "threads": a.threads}
+                for a in self.assignments
+            ],
+            "stage_descriptions": [s.describe() for s in self.stages],
+        }

@@ -1,0 +1,143 @@
+"""Primitive-layer extraction and merging (paper Section IV-B).
+
+Each hidden layer maps to primitive layers containing only linear or
+only non-linear operations: linear and non-linear layers map to
+themselves; mixed layers decompose (e.g. ScaledSigmoid -> ElementwiseScale
++ Sigmoid).  Adjacent primitives of the same type then merge into one
+*merged primitive layer* per pipeline stage — the middle ground between
+the two extremes the paper rejects (one stage per primitive: excessive
+serialization; one stage for everything: no privacy separation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import PlannerError
+from ..nn.layers import Layer, LayerKind, OpCounts
+from ..nn.model import Sequential
+
+
+@dataclass(frozen=True)
+class PrimitiveLayer:
+    """A single linear-only or non-linear-only layer with its shapes."""
+
+    layer: Layer
+    kind: LayerKind
+    input_shape: Tuple[int, ...]
+    output_shape: Tuple[int, ...]
+
+    def op_counts(self) -> OpCounts:
+        return self.layer.op_counts(self.input_shape)
+
+
+@dataclass(frozen=True)
+class MergedPrimitive:
+    """A merged primitive layer — one pipeline stage (paper Fig. 4).
+
+    Attributes:
+        index: position in the merged sequence (0-based).
+        kind: LINEAR (model provider) or NONLINEAR (data provider).
+        primitives: the fused primitive layers, in execution order.
+    """
+
+    index: int
+    kind: LayerKind
+    primitives: Tuple[PrimitiveLayer, ...]
+
+    @property
+    def indicator(self) -> int:
+        """The paper's I_i: +1 for linear, -1 for non-linear."""
+        return 1 if self.kind is LayerKind.LINEAR else -1
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        return self.primitives[0].input_shape
+
+    @property
+    def output_shape(self) -> Tuple[int, ...]:
+        return self.primitives[-1].output_shape
+
+    @property
+    def layers(self) -> Tuple[Layer, ...]:
+        return tuple(p.layer for p in self.primitives)
+
+    def op_counts(self) -> OpCounts:
+        counts = self.primitives[0].op_counts()
+        for primitive in self.primitives[1:]:
+            counts = counts.merge(primitive.op_counts())
+        return counts
+
+    def describe(self) -> str:
+        names = "+".join(type(p.layer).__name__ for p in self.primitives)
+        return f"stage {self.index} [{self.kind.value}]: {names}"
+
+
+def extract_primitives(model: Sequential) -> List[PrimitiveLayer]:
+    """Decompose a model into linear/non-linear primitive layers.
+
+    Mixed layers are split via :meth:`Layer.decompose`.  Raises
+    :class:`PlannerError` when a position-sensitive non-linearity
+    (MaxPool, or SoftMax anywhere but the final position) survives —
+    those cannot run on obfuscated tensors (Section III-C) and must be
+    rewritten first (see ``maxpool_replacement``).
+    """
+    primitives: List[PrimitiveLayer] = []
+    shape = model.input_shape
+    for layer in model.layers:
+        for part in layer.decompose():
+            out_shape = part.output_shape(shape)
+            if part.kind is LayerKind.MIXED:
+                raise PlannerError(
+                    f"decompose() of {type(layer).__name__} returned a "
+                    "mixed layer"
+                )
+            primitives.append(
+                PrimitiveLayer(part, part.kind, tuple(shape),
+                               tuple(out_shape))
+            )
+            shape = out_shape
+    _check_position_sensitive(primitives)
+    return primitives
+
+
+def _check_position_sensitive(primitives: Sequence[PrimitiveLayer]) -> None:
+    for position, primitive in enumerate(primitives):
+        sensitive = getattr(primitive.layer, "position_sensitive", False)
+        if not sensitive:
+            continue
+        is_last = position == len(primitives) - 1
+        if not is_last:
+            raise PlannerError(
+                f"position-sensitive layer "
+                f"{type(primitive.layer).__name__} at position {position} "
+                "cannot run on obfuscated tensors; only the final layer "
+                "may be position-sensitive (paper Section III-C). "
+                "Rewrite MaxPool via maxpool_replacement()."
+            )
+
+
+def merge_primitives(
+    primitives: Sequence[PrimitiveLayer],
+) -> List[MergedPrimitive]:
+    """Merge adjacent primitives of the same kind into pipeline stages."""
+    if not primitives:
+        raise PlannerError("cannot merge an empty primitive sequence")
+    merged: List[MergedPrimitive] = []
+    group: List[PrimitiveLayer] = [primitives[0]]
+    for primitive in primitives[1:]:
+        if primitive.kind is group[-1].kind:
+            group.append(primitive)
+        else:
+            merged.append(
+                MergedPrimitive(len(merged), group[0].kind, tuple(group))
+            )
+            group = [primitive]
+    merged.append(MergedPrimitive(len(merged), group[0].kind, tuple(group)))
+    return merged
+
+
+def model_stages(model: Sequential) -> List[MergedPrimitive]:
+    """Convenience: extract + merge in one call."""
+    return merge_primitives(extract_primitives(model))

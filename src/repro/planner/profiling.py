@@ -1,0 +1,97 @@
+"""Offline profiling of per-stage CPU times T_i (paper Section IV-C).
+
+The ILP needs the time each merged primitive layer takes to process one
+input tensor with a single thread.  Two profilers are provided:
+
+* :func:`profile_primitive_times` — analytic: multiply the stage's
+  operation counts (from :meth:`Layer.op_counts`) by a
+  :class:`~repro.costs.CostModel`.  This mirrors how the simulator will
+  charge time, so planner and simulator agree by construction, and it is
+  deterministic — the right choice for benchmarks.
+
+* :func:`profile_live` — empirical: run the stage's plaintext layers on
+  real inputs ``repeats`` times and average wall-clock time, like the
+  paper's 100-tensor offline profiling pass.  Used to sanity-check the
+  analytic profile in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence
+
+import numpy as np
+
+from ..costs import CostModel
+from ..errors import PlannerError
+from ..nn.layers import LayerKind
+from .primitive import MergedPrimitive
+
+
+def profile_primitive_times(
+    stages: Sequence[MergedPrimitive],
+    cost_model: CostModel,
+    scaling_decimals: int = 4,
+) -> List[float]:
+    """Analytic T_i for each stage (seconds per input tensor).
+
+    Linear stages are charged inverse-obfuscation + homomorphic
+    arithmetic + obfuscation; non-linear stages are charged decryption +
+    plaintext non-linear work + re-encryption, following the stage
+    contents of the paper's Figure 4.
+
+    Args:
+        stages: merged primitive layers in pipeline order.
+        cost_model: per-operation costs.
+        scaling_decimals: the selected scaling exponent ``f`` (drives
+            scalar-multiplication bit lengths).
+    """
+    if not stages:
+        raise PlannerError("cannot profile an empty stage list")
+    scalar_bits = cost_model.scalar_bits_for_decimals(scaling_decimals)
+    times: List[float] = []
+    for stage in stages:
+        counts = stage.op_counts()
+        if stage.kind is LayerKind.LINEAR:
+            total = (
+                counts.ciphertext_muls * cost_model.ciphertext_mul(
+                    scalar_bits)
+                + counts.ciphertext_adds * cost_model.ciphertext_add
+                + counts.input_size * cost_model.permute_element
+                + counts.output_size * cost_model.permute_element
+            )
+        else:
+            total = (
+                counts.input_size * cost_model.decrypt
+                + counts.plain_ops * cost_model.plain_op
+                + counts.output_size * cost_model.encrypt
+            )
+        times.append(total)
+    return times
+
+
+def profile_live(
+    stages: Sequence[MergedPrimitive],
+    repeats: int = 100,
+    seed: int = 0,
+) -> List[float]:
+    """Empirical plaintext T_i by timing each stage on random tensors.
+
+    Mirrors the paper's offline profiling ("repeat the measurement for
+    100 input tensors ... and obtain the average execution time"), but
+    on plaintext layer kernels — it measures the *relative* load of the
+    stages, which is what load balancing consumes.
+    """
+    if repeats < 1:
+        raise PlannerError("repeats must be >= 1")
+    rng = np.random.default_rng(seed)
+    times: List[float] = []
+    for stage in stages:
+        batch = rng.standard_normal((1,) + stage.input_shape)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            x = batch
+            for layer in stage.layers:
+                x = layer.forward(x)
+        times.append((time.perf_counter() - start) / repeats)
+    return times

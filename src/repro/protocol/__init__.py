@@ -1,0 +1,25 @@
+"""The collaborative inference protocol of the paper's Figure 3.
+
+Real, crypto-correct execution of the three-round workflow: the data
+provider encrypts inputs and evaluates non-linear operations on
+(permuted) plaintexts; the model provider evaluates linear operations
+homomorphically and (de)obfuscates tensors; every exchanged message is
+recorded in a transcript so the security guarantees of Section III-D
+can be checked mechanically in tests.
+"""
+
+from .message import Message, Transcript
+from .ratelimit import RateLimiter, RateLimitExceeded
+from .roles import DataProvider, ModelProvider
+from .session import InferenceOutcome, InferenceSession
+
+__all__ = [
+    "Message",
+    "Transcript",
+    "RateLimiter",
+    "RateLimitExceeded",
+    "DataProvider",
+    "ModelProvider",
+    "InferenceOutcome",
+    "InferenceSession",
+]

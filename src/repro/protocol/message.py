@@ -1,0 +1,94 @@
+"""Protocol messages and transcripts.
+
+Every tensor exchanged between providers is wrapped in a
+:class:`Message` that records direction, payload classification
+(ciphertext vs plaintext, obfuscated or not), and size.  The
+:class:`Transcript` aggregates messages per session; the security tests
+assert properties over it — e.g. "the model provider never received a
+plaintext" and "every intermediate tensor the data provider received
+was obfuscated".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import ProtocolError
+
+#: Payload classifications.
+CIPHERTEXT = "ciphertext"
+CIPHERTEXT_OBFUSCATED = "ciphertext+obfuscated"
+
+VALID_KINDS = (CIPHERTEXT, CIPHERTEXT_OBFUSCATED)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One provider-to-provider tensor transfer.
+
+    Attributes:
+        sender: "data" or "model".
+        kind: payload classification (always a ciphertext variant —
+            the protocol never sends plaintext over the wire, which the
+            constructor enforces).
+        elements: tensor element count.
+        bytes_estimate: wire size estimate.
+        round_index: protocol round (0 = first).
+        stage_index: pipeline stage the payload feeds/leaves.
+        obfuscation_round: obfuscator round id, when permuted.
+    """
+
+    sender: str
+    kind: str
+    elements: int
+    bytes_estimate: int
+    round_index: int
+    stage_index: int
+    obfuscation_round: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.sender not in ("data", "model"):
+            raise ProtocolError(f"unknown sender {self.sender!r}")
+        if self.kind not in VALID_KINDS:
+            raise ProtocolError(
+                f"illegal payload kind {self.kind!r}: the protocol only "
+                "ever exchanges ciphertexts (Section III-D)"
+            )
+        if self.elements < 1:
+            raise ProtocolError("message must carry at least one element")
+
+    @property
+    def obfuscated(self) -> bool:
+        return self.kind == CIPHERTEXT_OBFUSCATED
+
+
+@dataclass
+class Transcript:
+    """All messages of one inference session, in order."""
+
+    messages: List[Message] = field(default_factory=list)
+
+    def record(self, message: Message) -> None:
+        self.messages.append(message)
+
+    def from_sender(self, sender: str) -> List[Message]:
+        return [m for m in self.messages if m.sender == sender]
+
+    @property
+    def total_elements(self) -> int:
+        return sum(m.elements for m in self.messages)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.bytes_estimate for m in self.messages)
+
+    @property
+    def rounds(self) -> int:
+        if not self.messages:
+            return 0
+        return max(m.round_index for m in self.messages) + 1
+
+    def all_ciphertext(self) -> bool:
+        """Security check: nothing but ciphertexts ever crossed the wire."""
+        return all(m.kind in VALID_KINDS for m in self.messages)

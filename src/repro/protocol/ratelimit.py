@@ -1,0 +1,92 @@
+"""Rate limiting of inference requests (paper Section II-C).
+
+A compromised data provider could mount a model-stealing attack by
+issuing many queries and training a surrogate on the answers.  The
+paper's suggested countermeasure is to "rate-limit the number of
+requests issued by the data provider" [Juvekar et al.].  This module
+implements that guard as a sliding-window limiter plus a lifetime query
+budget, which the model provider consults before serving a round.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from ..errors import ProtocolError
+
+
+class RateLimitExceeded(ProtocolError):
+    """The data provider exceeded its query allowance."""
+
+
+class RateLimiter:
+    """Sliding-window + lifetime-budget request limiter.
+
+    Attributes:
+        max_per_window: requests allowed inside any ``window_seconds``
+            span.
+        window_seconds: sliding-window length.
+        lifetime_budget: total requests ever allowed (None = unlimited).
+    """
+
+    def __init__(
+        self,
+        max_per_window: int,
+        window_seconds: float,
+        lifetime_budget: int | None = None,
+        clock=None,
+    ):
+        if max_per_window < 1:
+            raise ProtocolError("max_per_window must be >= 1")
+        if window_seconds <= 0:
+            raise ProtocolError("window_seconds must be positive")
+        if lifetime_budget is not None and lifetime_budget < 1:
+            raise ProtocolError("lifetime_budget must be >= 1 or None")
+        self.max_per_window = max_per_window
+        self.window_seconds = window_seconds
+        self.lifetime_budget = lifetime_budget
+        self._clock = clock if clock is not None else _monotonic
+        self._events: deque[float] = deque()
+        self._total = 0
+        self._lock = threading.Lock()
+
+    def admit(self) -> None:
+        """Record one request; raises :class:`RateLimitExceeded` when
+        either the window or the lifetime budget is exhausted."""
+        now = self._clock()
+        with self._lock:
+            if self.lifetime_budget is not None and \
+                    self._total >= self.lifetime_budget:
+                raise RateLimitExceeded(
+                    f"lifetime budget of {self.lifetime_budget} "
+                    "requests exhausted"
+                )
+            horizon = now - self.window_seconds
+            while self._events and self._events[0] <= horizon:
+                self._events.popleft()
+            if len(self._events) >= self.max_per_window:
+                raise RateLimitExceeded(
+                    f"more than {self.max_per_window} requests in "
+                    f"{self.window_seconds}s"
+                )
+            self._events.append(now)
+            self._total += 1
+
+    @property
+    def total_admitted(self) -> int:
+        return self._total
+
+    def remaining_in_window(self) -> int:
+        now = self._clock()
+        with self._lock:
+            horizon = now - self.window_seconds
+            while self._events and self._events[0] <= horizon:
+                self._events.popleft()
+            return max(self.max_per_window - len(self._events), 0)
+
+
+def _monotonic() -> float:
+    import time
+
+    return time.monotonic()

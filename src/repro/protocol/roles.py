@@ -1,0 +1,292 @@
+"""The two protocol parties: model provider and data provider.
+
+Responsibilities follow Section III exactly:
+
+* :class:`ModelProvider` holds the (scaled) model parameters, evaluates
+  linear primitive stages homomorphically, and (de)obfuscates tensors.
+  It never holds the private key and never sees a plaintext tensor.
+* :class:`DataProvider` holds the Paillier keypair and the raw input,
+  evaluates non-linear operations on decrypted (permuted) values, and
+  re-encrypts results.  It never sees model parameters.
+
+Both roles record what they observe during a session; the security
+tests assert over those views (ciphertexts only at the model provider,
+only permuted intermediates at the data provider).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG, RuntimeConfig
+from ..crypto.paillier import PaillierPublicKey, generate_keypair
+from ..crypto.tensor import EncryptedTensor
+from ..errors import ProtocolError, SecurityViolationError
+from ..nn.layers import Flatten, LayerKind
+from ..nn.model import Sequential
+from ..obfuscation.obfuscator import Obfuscator
+from ..planner.primitive import MergedPrimitive, model_stages
+from ..scaling.fixed_point import ScaledAffine, scaled_affine_for_layer
+
+#: Non-linear activations the data provider knows how to execute.
+#: ReLU and Sigmoid are permutation-compatible; SoftMax is
+#: position-sensitive and only legal in the final (non-obfuscated) round.
+ELEMENTWISE_ACTIVATIONS = ("relu", "sigmoid")
+FINAL_ACTIVATIONS = ("softmax",)
+
+
+@dataclass
+class LinearStagePlan:
+    """The model provider's prepared form of one linear stage."""
+
+    stage: MergedPrimitive
+    affines: List[ScaledAffine] = field(default_factory=list)
+
+
+class ModelProvider:
+    """Holds model parameters; executes linear stages under encryption."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        decimals: int,
+        config: RuntimeConfig = DEFAULT_CONFIG,
+    ):
+        self.decimals = decimals
+        self.config = config
+        self._rng = random.Random(config.seed ^ 0x4D50)
+        self._obfuscator = Obfuscator(config.seed ^ 0x0BF5)
+        self._public_key: PaillierPublicKey | None = None
+        self.stages = model_stages(model)
+        self._linear_plans: dict[int, LinearStagePlan] = {}
+        for stage in self.stages:
+            if stage.kind is LayerKind.LINEAR:
+                plan = LinearStagePlan(stage)
+                shape = stage.input_shape
+                for primitive in stage.primitives:
+                    if isinstance(primitive.layer, Flatten):
+                        # Row-major flattening is a no-op on the flat
+                        # ciphertext stream.
+                        shape = primitive.output_shape
+                        continue
+                    plan.affines.append(
+                        scaled_affine_for_layer(
+                            primitive.layer, primitive.input_shape,
+                            decimals,
+                        )
+                    )
+                    shape = primitive.output_shape
+                self._linear_plans[stage.index] = plan
+        #: What this party observed (for security tests): payload kinds.
+        self.observed: List[str] = []
+        # Static-bias encryption cache: the model is fixed, so each
+        # affine's encrypted bias at a given input exponent can be
+        # computed once and reused across requests.
+        self._bias_cache: dict[tuple[int, int, int], object] = {}
+
+    def _encrypted_bias(
+        self,
+        stage_index: int,
+        affine_index: int,
+        affine: ScaledAffine,
+        input_exponent: int,
+        public_key: PaillierPublicKey,
+    ):
+        from ..crypto.tensor import EncryptedTensor
+
+        key = (stage_index, affine_index, input_exponent)
+        cached = self._bias_cache.get(key)
+        if cached is None:
+            cached = EncryptedTensor.encrypt(
+                affine.bias_at(input_exponent), public_key, self._rng,
+                exponent=input_exponent + affine.decimals,
+            )
+            self._bias_cache[key] = cached
+        return cached
+
+    def register_public_key(self, public_key: PaillierPublicKey) -> None:
+        """Receive the data provider's public key at session setup."""
+        self._public_key = public_key
+
+    def nonlinear_activations(self, stage_index: int) -> List[str]:
+        """Activation specs of a non-linear stage (protocol-public).
+
+        Parameterized activations carry their (non-secret,
+        architectural) parameter in the spec, e.g. ``leaky_relu:0.01``.
+        """
+        stage = self.stages[stage_index]
+        if stage.kind is not LayerKind.NONLINEAR:
+            raise ProtocolError(f"stage {stage_index} is not non-linear")
+        return [activation_spec(primitive.layer)
+                for primitive in stage.primitives]
+
+    def process_linear_stage(
+        self,
+        stage_index: int,
+        tensor: EncryptedTensor,
+        inbound_obfuscation_round: int | None,
+        final: bool,
+    ) -> tuple[EncryptedTensor, int | None]:
+        """Steps (x.5)/(x.6)/(x.7) of Figure 3 for one linear stage.
+
+        Args:
+            stage_index: index of the linear merged primitive.
+            tensor: encrypted (possibly still-permuted) input tensor.
+            inbound_obfuscation_round: obfuscator round id the inbound
+                tensor is permuted under, or None in the first round.
+            final: True for the last linear stage — its output is sent
+                back *without* obfuscation (step 3.4).
+
+        Returns:
+            (output tensor, obfuscation round id or None when final).
+        """
+        if self._public_key is None:
+            raise ProtocolError("public key not registered")
+        if not isinstance(tensor, EncryptedTensor):
+            raise SecurityViolationError(
+                "model provider only accepts encrypted tensors"
+            )
+        plan = self._linear_plans.get(stage_index)
+        if plan is None:
+            raise ProtocolError(f"stage {stage_index} is not linear")
+        self.observed.append("ciphertext")
+
+        cells = list(tensor.flatten().cells())
+        if inbound_obfuscation_round is not None:
+            cells = self._obfuscator.deobfuscate(
+                inbound_obfuscation_round, cells
+            )
+        current = EncryptedTensor(
+            tensor.public_key, cells, (len(cells),), tensor.exponent
+        )
+        for affine_index, affine in enumerate(plan.affines):
+            encrypted_bias = self._encrypted_bias(
+                stage_index, affine_index, affine, current.exponent,
+                tensor.public_key,
+            )
+            current = current.affine(
+                affine.weight,
+                encrypted_bias,
+                self._rng,
+                weight_exponent=affine.decimals,
+            )
+        if final:
+            return current, None
+        round_id, permuted = self._obfuscator.obfuscate(
+            list(current.cells())
+        )
+        permuted_tensor = EncryptedTensor(
+            current.public_key, permuted, (len(permuted),),
+            current.exponent,
+        )
+        return permuted_tensor, round_id
+
+
+class DataProvider:
+    """Holds the keypair and raw input; executes non-linear stages."""
+
+    def __init__(
+        self,
+        value_decimals: int,
+        config: RuntimeConfig = DEFAULT_CONFIG,
+    ):
+        if value_decimals < 0:
+            raise ProtocolError("value_decimals must be non-negative")
+        self.value_decimals = value_decimals
+        self.config = config
+        self._rng = random.Random(config.seed ^ 0x4450)
+        self.public_key, self._private_key = generate_keypair(
+            config.key_size, seed=config.seed ^ 0x6B65
+        )
+        #: Decrypted intermediate vectors observed (permuted except the
+        #: final round) — inspected by the security tests.
+        self.observed_plaintexts: List[np.ndarray] = []
+
+    def encrypt_input(self, x: np.ndarray) -> EncryptedTensor:
+        """Step (1.1): scale the raw input and encrypt element-wise."""
+        from ..scaling.fixed_point import scale_to_int
+
+        x = np.asarray(x, dtype=np.float64)
+        scaled = scale_to_int(x, self.value_decimals)
+        return EncryptedTensor.encrypt(
+            scaled, self.public_key, self._rng,
+            exponent=self.value_decimals,
+        )
+
+    def process_nonlinear_stage(
+        self,
+        tensor: EncryptedTensor,
+        activations: Sequence[str],
+        final: bool,
+    ) -> EncryptedTensor | np.ndarray:
+        """Steps (2.1)-(2.3) (or (3.5)-(3.7) when final) of Figure 3.
+
+        Decrypt, run the activations on the (permuted) plaintext, and
+        re-encrypt — or, in the final round, return the inference
+        result as floats.
+        """
+        values = tensor.decrypt_float(self._private_key)
+        self.observed_plaintexts.append(values.copy())
+        flat = values.reshape(-1)
+        for activation in activations:
+            flat = self._apply_activation(activation, flat, final)
+        if final:
+            return flat
+        from ..scaling.fixed_point import scale_to_int
+
+        rescaled = scale_to_int(flat, self.value_decimals)
+        return EncryptedTensor.encrypt(
+            rescaled, self.public_key, self._rng,
+            exponent=self.value_decimals,
+        )
+
+    def _apply_activation(
+        self, activation: str, flat: np.ndarray, final: bool
+    ) -> np.ndarray:
+        return apply_activation(activation, flat, final)
+
+
+def activation_spec(layer) -> str:
+    """The protocol-public activation spec string of a layer."""
+    from ..nn.layers import LeakyReLU
+
+    if isinstance(layer, LeakyReLU):
+        return f"leaky_relu:{layer.alpha}"
+    return layer.name
+
+
+def apply_activation(spec: str, flat: np.ndarray,
+                     final: bool) -> np.ndarray:
+    """Execute one activation spec on a flat (possibly permuted)
+    vector.  ReLU/LeakyReLU/Sigmoid/Tanh are element-wise and legal on
+    permuted data; SoftMax is position-sensitive and only legal in the
+    final round (Section III-C)."""
+    name, _, parameter = spec.partition(":")
+    if name == "relu":
+        return np.maximum(flat, 0.0)
+    if name == "leaky_relu":
+        alpha = float(parameter) if parameter else 0.01
+        return np.where(flat > 0, flat, alpha * flat)
+    if name == "tanh":
+        return np.tanh(flat)
+    if name == "sigmoid":
+        out = np.empty_like(flat)
+        positive = flat >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-flat[positive]))
+        exp_x = np.exp(flat[~positive])
+        out[~positive] = exp_x / (1.0 + exp_x)
+        return out
+    if name == "softmax":
+        if not final:
+            raise SecurityViolationError(
+                "SoftMax is position-sensitive and only legal in the "
+                "final, non-obfuscated round (Section III-C)"
+            )
+        shifted = flat - flat.max()
+        exp = np.exp(shifted)
+        return exp / exp.sum()
+    raise ProtocolError(f"unknown activation {spec!r}")

@@ -1,0 +1,146 @@
+"""Orchestration of the Figure 3 workflow over merged stages.
+
+An :class:`InferenceSession` walks the alternating linear/non-linear
+stage sequence round by round: the data provider encrypts, the model
+provider runs the linear stage and obfuscates (except in the last
+round), the data provider decrypts/activates/re-encrypts, and so on,
+until the final non-obfuscated round yields the inference result.
+
+Every exchanged tensor is logged into a :class:`Transcript` so tests
+can verify the security properties of Section III-D mechanically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..nn.layers import LayerKind
+from .message import CIPHERTEXT, CIPHERTEXT_OBFUSCATED, Message, Transcript
+from .roles import DataProvider, ModelProvider
+
+
+@dataclass(frozen=True)
+class InferenceOutcome:
+    """Result of one collaborative inference.
+
+    Attributes:
+        probabilities: final activation output (e.g. SoftMax vector).
+        prediction: argmax class.
+        transcript: all exchanged messages.
+        wall_time: end-to-end seconds.
+    """
+
+    probabilities: np.ndarray
+    prediction: int
+    transcript: Transcript
+    wall_time: float
+
+
+class InferenceSession:
+    """Binds a model provider and a data provider for inference."""
+
+    def __init__(self, model_provider: ModelProvider,
+                 data_provider: DataProvider,
+                 rate_limiter=None):
+        self.model_provider = model_provider
+        self.data_provider = data_provider
+        #: Optional model-stealing countermeasure (Section II-C): a
+        #: :class:`repro.protocol.ratelimit.RateLimiter` consulted
+        #: before each request is served.
+        self.rate_limiter = rate_limiter
+        stages = model_provider.stages
+        kinds = [stage.kind for stage in stages]
+        if kinds[0] is not LayerKind.LINEAR:
+            raise ProtocolError(
+                "the protocol assumes the network starts with a linear "
+                "layer (Section III-A)"
+            )
+        if kinds[-1] is not LayerKind.NONLINEAR:
+            raise ProtocolError(
+                "the protocol assumes the network ends with a non-linear "
+                "layer (Section III-A)"
+            )
+        for position, kind in enumerate(kinds):
+            expected = (
+                LayerKind.LINEAR if position % 2 == 0
+                else LayerKind.NONLINEAR
+            )
+            if kind is not expected:
+                raise ProtocolError(
+                    f"stages must alternate linear/non-linear; stage "
+                    f"{position} is {kind.value}"
+                )
+        model_provider.register_public_key(data_provider.public_key)
+        self._num_pairs = len(stages) // 2
+        self._cipher_bytes = 2 * data_provider.public_key.key_size // 8
+
+    def run(self, x: np.ndarray) -> InferenceOutcome:
+        """Execute the full workflow for one input tensor.
+
+        Raises:
+            RateLimitExceeded: when a rate limiter is configured and
+                the data provider exceeded its allowance.
+        """
+        if self.rate_limiter is not None:
+            self.rate_limiter.admit()
+        start = time.perf_counter()
+        transcript = Transcript()
+        tensor = self.data_provider.encrypt_input(np.asarray(x))
+        obfuscation_round: int | None = None
+
+        for pair in range(self._num_pairs):
+            linear_index = 2 * pair
+            nonlinear_index = 2 * pair + 1
+            final = pair == self._num_pairs - 1
+
+            transcript.record(Message(
+                sender="data",
+                kind=(CIPHERTEXT if obfuscation_round is None
+                      else CIPHERTEXT_OBFUSCATED),
+                elements=tensor.size,
+                bytes_estimate=tensor.size * self._cipher_bytes,
+                round_index=pair,
+                stage_index=linear_index,
+                obfuscation_round=obfuscation_round,
+            ))
+            tensor, outbound_round = \
+                self.model_provider.process_linear_stage(
+                    linear_index, tensor, obfuscation_round, final,
+                )
+            transcript.record(Message(
+                sender="model",
+                kind=(CIPHERTEXT if outbound_round is None
+                      else CIPHERTEXT_OBFUSCATED),
+                elements=tensor.size,
+                bytes_estimate=tensor.size * self._cipher_bytes,
+                round_index=pair,
+                stage_index=linear_index,
+                obfuscation_round=outbound_round,
+            ))
+
+            activations = self.model_provider.nonlinear_activations(
+                nonlinear_index
+            )
+            result = self.data_provider.process_nonlinear_stage(
+                tensor, activations, final,
+            )
+            if final:
+                probabilities = np.asarray(result)
+                elapsed = time.perf_counter() - start
+                return InferenceOutcome(
+                    probabilities=probabilities,
+                    prediction=int(probabilities.argmax()),
+                    transcript=transcript,
+                    wall_time=elapsed,
+                )
+            tensor = result
+            obfuscation_round = outbound_round
+        raise ProtocolError("stage walk ended without a final round")
+
+    def run_batch(self, batch: np.ndarray) -> list[InferenceOutcome]:
+        """Run inference for each sample of a batch, sequentially."""
+        return [self.run(sample) for sample in np.asarray(batch)]

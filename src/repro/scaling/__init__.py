@@ -1,0 +1,30 @@
+"""Parameter scaling: floats -> integers for cryptographic operations.
+
+Section IV-A of the paper: every model parameter is multiplied by a
+scaling factor ``F = 10^f`` and rounded, with ``f`` chosen by the
+smallest value whose rounded model matches the original training-set
+accuracy within a threshold (default 0.01 percentage points, f capped
+at 6).
+"""
+
+from .parameter_scaling import (
+    ScalingDecision,
+    round_parameters,
+    scaling_factor_sweep,
+    select_scaling_factor,
+)
+from .fixed_point import scale_to_int, ScaledAffine, scaled_affine_for_layer
+from .headroom import HeadroomReport, analyze_headroom, require_headroom
+
+__all__ = [
+    "ScalingDecision",
+    "round_parameters",
+    "scaling_factor_sweep",
+    "select_scaling_factor",
+    "scale_to_int",
+    "ScaledAffine",
+    "scaled_affine_for_layer",
+    "HeadroomReport",
+    "analyze_headroom",
+    "require_headroom",
+]

@@ -1,0 +1,201 @@
+"""Scaled-integer views of linear layers for the homomorphic pipeline.
+
+Once a scaling factor ``F = 10^f`` is selected, every linear layer is
+rewritten as an integer affine map so Paillier can evaluate it
+(Section III-B / IV-A):
+
+* weights become ``round(W * 10^f)`` carrying exponent ``f``;
+* the bias must be pre-scaled to the *output* exponent
+  (input exponent + ``f``) so the homomorphic sum lines up;
+* the output tensor's exponent is the input's plus ``f``.
+
+:func:`scaled_affine_for_layer` produces the :class:`ScaledAffine` for
+each linear layer type (fully-connected, conv via im2col weights,
+batch-norm folded to scale/shift, elementwise scale, average pooling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ScalingError
+from ..nn.layers import (
+    AvgPool2d,
+    BatchNorm,
+    Conv2d,
+    ElementwiseScale,
+    Flatten,
+    FullyConnected,
+    Layer,
+)
+
+
+def scale_to_int(values: np.ndarray, decimals: int) -> np.ndarray:
+    """Round ``values * 10^decimals`` to an int64 array.
+
+    Raises:
+        ScalingError: if the scaled values overflow int64 (a sign the
+            exponent budget is being misused).
+    """
+    if decimals < 0:
+        raise ScalingError(f"decimals must be non-negative, got {decimals}")
+    scaled = np.round(np.asarray(values, dtype=np.float64) * 10 ** decimals)
+    if np.any(np.abs(scaled) >= 2 ** 62):
+        raise ScalingError(
+            "scaled values overflow int64; reduce the scaling exponent"
+        )
+    return scaled.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class ScaledAffine:
+    """Integer affine map ``y = W x + b`` at a declared exponent.
+
+    Attributes:
+        weight: int64 (out_dim, in_dim) matrix at exponent ``decimals``.
+        bias: int64 (out_dim,) vector, pre-scaled to
+            ``input_exponent + decimals`` by the caller of
+            :meth:`bias_at`.
+        decimals: the weight exponent ``f``.
+        input_shape, output_shape: per-sample shapes of the layer this
+            affine realizes (flat evaluation is row-major).
+    """
+
+    weight: np.ndarray
+    raw_bias: np.ndarray
+    decimals: int
+    input_shape: tuple[int, ...]
+    output_shape: tuple[int, ...]
+
+    def bias_at(self, input_exponent: int) -> np.ndarray:
+        """Bias integers at the output exponent for a given input
+        exponent: ``round(b * 10^(input_exponent + decimals))``."""
+        return scale_to_int(self.raw_bias, input_exponent + self.decimals)
+
+    @property
+    def out_dim(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def in_dim(self) -> int:
+        return self.weight.shape[1]
+
+    def apply_plain(
+        self, x_int: np.ndarray, input_exponent: int
+    ) -> np.ndarray:
+        """Evaluate on scaled plaintext integers (reference semantics
+        for the homomorphic path; used heavily in tests)."""
+        flat = np.asarray(x_int, dtype=object).reshape(-1)
+        if flat.shape[0] != self.in_dim:
+            raise ScalingError(
+                f"input size {flat.shape[0]} != expected {self.in_dim}"
+            )
+        weight = self.weight.astype(object)
+        bias = self.bias_at(input_exponent).astype(object)
+        return (weight @ flat + bias).reshape(self.output_shape)
+
+
+def _conv_as_matrix(layer: Conv2d, input_shape: tuple[int, ...]
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Unroll a conv into a dense (out_size, in_size) matrix + bias.
+
+    Row-major flattening on both sides; this is the exact linear map the
+    homomorphic pipeline evaluates (and what tensor partitioning slices
+    rows of).
+    """
+    c, h, w = input_shape
+    out_c, out_h, out_w = layer.output_shape(input_shape)
+    in_size = c * h * w
+    out_size = out_c * out_h * out_w
+    matrix = np.zeros((out_size, in_size))
+    bias = np.zeros(out_size)
+    for oc in range(out_c):
+        for i in range(out_h):
+            top = i * layer.stride - layer.padding
+            for j in range(out_w):
+                left = j * layer.stride - layer.padding
+                row = (oc * out_h + i) * out_w + j
+                bias[row] = layer.bias[oc]
+                for ic in range(c):
+                    for ki in range(layer.kernel):
+                        for kj in range(layer.kernel):
+                            y_pos, x_pos = top + ki, left + kj
+                            if 0 <= y_pos < h and 0 <= x_pos < w:
+                                col = (ic * h + y_pos) * w + x_pos
+                                matrix[row, col] = \
+                                    layer.weight[oc, ic, ki, kj]
+    return matrix, bias
+
+
+def _avgpool_as_matrix(layer: AvgPool2d, input_shape: tuple[int, ...]
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    c, h, w = input_shape
+    out_c, out_h, out_w = layer.output_shape(input_shape)
+    matrix = np.zeros((out_c * out_h * out_w, c * h * w))
+    share = 1.0 / (layer.kernel * layer.kernel)
+    for ch in range(c):
+        for i in range(out_h):
+            for j in range(out_w):
+                row = (ch * out_h + i) * out_w + j
+                for ki in range(layer.kernel):
+                    for kj in range(layer.kernel):
+                        y_pos = i * layer.stride + ki
+                        x_pos = j * layer.stride + kj
+                        col = (ch * h + y_pos) * w + x_pos
+                        matrix[row, col] = share
+    return matrix, np.zeros(matrix.shape[0])
+
+
+def scaled_affine_for_layer(
+    layer: Layer, input_shape: tuple[int, ...], decimals: int
+) -> ScaledAffine:
+    """Build the scaled-integer affine map of a linear layer.
+
+    Supported: FullyConnected, Conv2d, BatchNorm (folded), AvgPool2d,
+    ElementwiseScale, Flatten (identity).
+
+    Raises:
+        ScalingError: for non-linear or unsupported layers.
+    """
+    output_shape = layer.output_shape(input_shape)
+    in_size = int(np.prod(input_shape))
+
+    if isinstance(layer, FullyConnected):
+        weight, bias = layer.weight, layer.bias
+    elif isinstance(layer, Conv2d):
+        weight, bias = _conv_as_matrix(layer, input_shape)
+    elif isinstance(layer, BatchNorm):
+        scale, shift = layer.inference_affine()
+        per_element_scale = np.broadcast_to(
+            scale.reshape((layer.num_features,) + (1,) *
+                          (len(input_shape) - 1)),
+            input_shape,
+        ).reshape(-1)
+        per_element_shift = np.broadcast_to(
+            shift.reshape((layer.num_features,) + (1,) *
+                          (len(input_shape) - 1)),
+            input_shape,
+        ).reshape(-1)
+        weight = np.diag(per_element_scale)
+        bias = per_element_shift
+    elif isinstance(layer, AvgPool2d):
+        weight, bias = _avgpool_as_matrix(layer, input_shape)
+    elif isinstance(layer, ElementwiseScale):
+        weight = np.eye(in_size) * float(layer.scale[0])
+        bias = np.zeros(in_size)
+    elif isinstance(layer, Flatten):
+        weight = np.eye(in_size)
+        bias = np.zeros(in_size)
+    else:
+        raise ScalingError(
+            f"layer {type(layer).__name__} has no scaled affine form"
+        )
+    return ScaledAffine(
+        weight=scale_to_int(weight, decimals),
+        raw_bias=np.asarray(bias, dtype=np.float64),
+        decimals=decimals,
+        input_shape=tuple(input_shape),
+        output_shape=tuple(output_shape),
+    )

@@ -1,0 +1,195 @@
+"""Fixed-point overflow analysis for the homomorphic pipeline.
+
+Paillier arithmetic is exact over Z_n, but the *signed* encoding only
+decodes correctly while every intermediate magnitude stays below n/2
+(see :class:`repro.crypto.encoding.SignedEncoder`).  A merged linear
+stage multiplies scaled integers (exponent grows by ``f`` per fused
+affine), so with small keys and deep fusions the headroom can silently
+run out — the kind of bug that corrupts inferences without failing.
+
+:func:`analyze_headroom` propagates a worst-case magnitude bound
+through every stage of a model: for a linear layer the output bound is
+``max_row_l1(W_int) * input_bound + max|b_int|``; non-linear stages
+reset the bound to the activation's range re-encoded at the data
+exponent.  The result reports the tightest margin (in bits) and the
+stage where it occurs, and :class:`repro.protocol.roles.ModelProvider`
+can refuse configurations that would overflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ScalingError
+from ..nn.layers import Flatten, LayerKind
+from ..nn.model import Sequential
+from ..planner.primitive import model_stages
+
+
+@dataclass(frozen=True)
+class HeadroomReport:
+    """Outcome of the overflow analysis.
+
+    Attributes:
+        safe: True when every intermediate fits the signed range.
+        margin_bits: bits of slack at the tightest point (negative
+            when overflowing).
+        tightest_stage: stage index where the margin occurs.
+        bound_by_stage: worst-case integer magnitude after each stage.
+    """
+
+    safe: bool
+    margin_bits: float
+    tightest_stage: int
+    bound_by_stage: dict[int, int]
+
+
+def _activation_output_bound(activations: list[str],
+                             input_bound_float: float) -> float:
+    """Worst-case |value| after a non-linear stage, in float units."""
+    bound = input_bound_float
+    for name in activations:
+        base = name.partition(":")[0]
+        if base in ("sigmoid", "softmax"):
+            bound = 1.0
+        elif base == "tanh":
+            bound = 1.0
+        elif base in ("relu", "leaky_relu"):
+            bound = bound  # magnitude cannot grow
+        else:
+            raise ScalingError(f"unknown activation {name!r}")
+    return bound
+
+
+def analyze_headroom(
+    model: Sequential,
+    decimals: int,
+    key_size: int,
+    input_bound: float = 1.0,
+) -> HeadroomReport:
+    """Propagate worst-case magnitudes and compare against n/2.
+
+    Args:
+        model: the (trained) model to be deployed.
+        decimals: scaling exponent ``f``.
+        key_size: Paillier modulus bits; the signed range is about
+            ``2^(key_size - 1)``.
+        input_bound: max |input value| (float units; e.g. 1.0 for
+            normalized pixels).
+
+    Raises:
+        ScalingError: on models the analysis does not support.
+    """
+    if input_bound <= 0:
+        raise ScalingError("input_bound must be positive")
+    # Conservative signed range: n >= 2^(key_size - 1), headroom n/2.
+    limit_bits = key_size - 2
+    stages = model_stages(model)
+    from ..protocol.roles import activation_spec
+
+    bound_by_stage: dict[int, int] = {}
+    worst_margin = float("inf")
+    tightest = 0
+    # (integer magnitude bound, its base-10 exponent)
+    int_bound = int(np.ceil(input_bound * 10 ** decimals))
+    exponent = decimals
+    for stage in stages:
+        if stage.kind is LayerKind.LINEAR:
+            for primitive in stage.primitives:
+                if isinstance(primitive.layer, Flatten):
+                    continue
+                weight_l1, bias_max = _layer_l1_and_bias(
+                    primitive.layer, decimals
+                )
+                exponent += decimals
+                bias_bound = int(np.ceil(bias_max * 10 ** exponent))
+                int_bound = weight_l1 * int_bound + bias_bound
+            int_bound = max(int_bound, 1)
+            bound_by_stage[stage.index] = int_bound
+            margin = float(limit_bits) - _log2_int(int_bound)
+            if margin < worst_margin:
+                worst_margin = margin
+                tightest = stage.index
+        else:
+            activations = [activation_spec(p.layer)
+                           for p in stage.primitives]
+            float_bound = _activation_output_bound(
+                activations, int_bound / 10 ** exponent
+            )
+            exponent = decimals
+            int_bound = max(
+                int(np.ceil(float_bound * 10 ** decimals)), 1
+            )
+            bound_by_stage[stage.index] = int_bound
+    return HeadroomReport(
+        safe=worst_margin > 0,
+        margin_bits=worst_margin,
+        tightest_stage=tightest,
+        bound_by_stage=bound_by_stage,
+    )
+
+
+def _layer_l1_and_bias(layer, decimals: int) -> tuple[int, float]:
+    """(max output-row L1 of the scaled-integer weights, max |bias|).
+
+    Computed per layer type without materializing the dense unrolled
+    matrix, so the analysis stays cheap for VGG-scale convolutions.
+    """
+    from ..nn.layers import (
+        AvgPool2d,
+        BatchNorm,
+        Conv2d,
+        ElementwiseScale,
+        FullyConnected,
+    )
+
+    scale = 10 ** decimals
+    if isinstance(layer, FullyConnected):
+        int_w = np.round(layer.weight * scale)
+        l1 = int(np.abs(int_w).sum(axis=1).max())
+        return l1, float(np.abs(layer.bias).max(initial=0.0))
+    if isinstance(layer, Conv2d):
+        int_w = np.round(layer.weight * scale)
+        # worst row: an interior output position seeing the full kernel
+        l1 = int(np.abs(int_w).reshape(layer.out_channels, -1)
+                 .sum(axis=1).max())
+        return l1, float(np.abs(layer.bias).max(initial=0.0))
+    if isinstance(layer, BatchNorm):
+        bn_scale, bn_shift = layer.inference_affine()
+        l1 = int(np.abs(np.round(bn_scale * scale)).max())
+        return l1, float(np.abs(bn_shift).max(initial=0.0))
+    if isinstance(layer, ElementwiseScale):
+        return int(abs(round(float(layer.scale[0]) * scale))), 0.0
+    if isinstance(layer, AvgPool2d):
+        window = layer.kernel * layer.kernel
+        return window * int(round(scale / window)), 0.0
+    raise ScalingError(
+        f"no headroom rule for layer {type(layer).__name__}"
+    )
+
+
+def _log2_int(value: int) -> float:
+    """log2 of a possibly huge Python int."""
+    if value < 1:
+        return 0.0
+    return float(value.bit_length() - 1)
+
+
+def require_headroom(
+    model: Sequential,
+    decimals: int,
+    key_size: int,
+    input_bound: float = 1.0,
+) -> HeadroomReport:
+    """Like :func:`analyze_headroom` but raises when unsafe."""
+    report = analyze_headroom(model, decimals, key_size, input_bound)
+    if not report.safe:
+        raise ScalingError(
+            f"fixed-point overflow: stage {report.tightest_stage} "
+            f"exceeds the signed range by {-report.margin_bits:.1f} "
+            f"bits at key size {key_size}; increase the key size or "
+            "reduce the scaling factor"
+        )
+    return report

@@ -1,0 +1,131 @@
+"""The paper's three-step scaling-factor selection (Section IV-A).
+
+Step 1: measure the model's inference accuracy A on the training set.
+Step 2: for f = 0, 1, 2, ... round every parameter to f decimal places
+and re-measure accuracy A'; stop when |A - A'| < threshold or f hits the
+maximum (6).
+Step 3: the scaling factor is F = 10^f.
+
+The sweep variant additionally records the accuracy at *every* f, which
+is what Tables IV and V report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import MAX_SCALING_DECIMALS, SCALING_ACCURACY_THRESHOLD
+from ..errors import ScalingError
+from ..nn.metrics import accuracy
+from ..nn.model import Sequential
+
+
+def round_parameters(model: Sequential, decimals: int) -> Sequential:
+    """Return a copy of ``model`` with every parameter rounded to
+    ``decimals`` decimal places (the paper's approximate model)."""
+    if decimals < 0:
+        raise ScalingError(f"decimals must be non-negative, got {decimals}")
+    clone = Sequential.from_state_dict(model.state_dict())
+    for param in clone.params():
+        param[...] = np.round(param, decimals)
+    return clone
+
+
+def _model_accuracy(
+    model: Sequential, x: np.ndarray, y: np.ndarray, num_classes: int,
+    batch_size: int = 256,
+) -> float:
+    predictions = []
+    for start in range(0, x.shape[0], batch_size):
+        predictions.append(model.predict(x[start:start + batch_size]))
+    return accuracy(np.concatenate(predictions), y, num_classes)
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """Outcome of the scaling-factor search.
+
+    Attributes:
+        decimals: selected ``f``.
+        factor: selected ``F = 10^f``.
+        original_accuracy: unscaled accuracy A on the evaluation set.
+        accuracy_by_decimals: accuracy A' for each explored ``f``.
+        hit_cap: True when ``f`` reached the maximum without meeting
+            the threshold.
+    """
+
+    decimals: int
+    original_accuracy: float
+    accuracy_by_decimals: dict[int, float] = field(default_factory=dict)
+    hit_cap: bool = False
+
+    @property
+    def factor(self) -> int:
+        return 10 ** self.decimals
+
+    @property
+    def selected_accuracy(self) -> float:
+        return self.accuracy_by_decimals[self.decimals]
+
+
+def select_scaling_factor(
+    model: Sequential,
+    x: np.ndarray,
+    y: np.ndarray,
+    num_classes: int,
+    threshold: float = SCALING_ACCURACY_THRESHOLD,
+    max_decimals: int = MAX_SCALING_DECIMALS,
+) -> ScalingDecision:
+    """Run the paper's Step 1-3 search on a training set.
+
+    Args:
+        model: trained model (floating-point parameters).
+        x, y: the training set the paper measures A and A' on.
+        num_classes: label count.
+        threshold: accuracy tolerance in *percentage points* (paper
+            default 0.01).
+        max_decimals: cap on ``f`` (paper default 6).
+
+    Returns:
+        :class:`ScalingDecision` with the chosen ``f`` and the accuracy
+        trace (only the ``f`` values actually explored).
+    """
+    if max_decimals < 0:
+        raise ScalingError("max_decimals must be non-negative")
+    original = _model_accuracy(model, x, y, num_classes)
+    trace: dict[int, float] = {}
+    for decimals in range(max_decimals + 1):
+        approx = round_parameters(model, decimals)
+        approx_acc = _model_accuracy(approx, x, y, num_classes)
+        trace[decimals] = approx_acc
+        # Threshold is in percentage points; accuracies are fractions.
+        if abs(original - approx_acc) * 100.0 < threshold:
+            return ScalingDecision(
+                decimals=decimals,
+                original_accuracy=original,
+                accuracy_by_decimals=trace,
+            )
+    return ScalingDecision(
+        decimals=max_decimals,
+        original_accuracy=original,
+        accuracy_by_decimals=trace,
+        hit_cap=True,
+    )
+
+
+def scaling_factor_sweep(
+    model: Sequential,
+    x: np.ndarray,
+    y: np.ndarray,
+    num_classes: int,
+    max_decimals: int = MAX_SCALING_DECIMALS,
+) -> dict[int, float]:
+    """Accuracy at every ``f`` in [0, max_decimals] (Tables IV / V)."""
+    return {
+        decimals: _model_accuracy(
+            round_parameters(model, decimals), x, y, num_classes
+        )
+        for decimals in range(max_decimals + 1)
+    }

@@ -1,0 +1,38 @@
+"""Calibrated discrete-event simulation of the PP-Stream pipeline.
+
+Stands in for the paper's 9-server testbed (DESIGN.md, substitution 1).
+The simulator executes the *same* plans the real planner produces —
+stage graph, thread counts, partitioning decisions — and charges time
+from a :class:`repro.costs.CostModel`, so relative results (speedups,
+crossovers, % reductions) are produced by the system's actual logic.
+
+Two interchangeable engines compute stream schedules: an event-driven
+engine (:mod:`events`) and a closed-form pipeline recurrence; tests
+assert they agree exactly.
+"""
+
+from .stagecosts import (
+    StageCost,
+    intra_comm_seconds,
+    make_comm_model,
+    stage_costs,
+)
+from .simulator import (
+    PipelineSimulator,
+    SimulatedStream,
+    centralized_cipher_latency,
+    centralized_plain_latency,
+)
+from .events import EventDrivenPipeline
+
+__all__ = [
+    "StageCost",
+    "intra_comm_seconds",
+    "make_comm_model",
+    "stage_costs",
+    "PipelineSimulator",
+    "SimulatedStream",
+    "centralized_cipher_latency",
+    "centralized_plain_latency",
+    "EventDrivenPipeline",
+]

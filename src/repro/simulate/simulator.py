@@ -1,0 +1,202 @@
+"""Pipeline latency/throughput simulation and centralized baselines.
+
+:class:`PipelineSimulator` turns a plan + cost model into per-request
+latencies for a request stream, using either the closed-form pipeline
+recurrence or the event-driven engine (they agree exactly; tests check
+this).  The centralized baselines of Exp#2 — PlainBase and CipherBase —
+are plain sums of operation costs on a single server with no pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np  # noqa: F401 - jitter sampling
+
+from ..costs import CostModel
+from ..errors import SimulationError
+from ..nn.layers import LayerKind
+from ..planner.plan import Plan
+from ..planner.primitive import MergedPrimitive
+from .events import EventDrivenPipeline
+from .stagecosts import (
+    StageCost,
+    _linear_compute_seconds,
+    _nonlinear_compute_seconds,
+    stage_costs,
+)
+
+
+@dataclass(frozen=True)
+class SimulatedStream:
+    """Result of simulating a request stream.
+
+    Attributes:
+        latencies: per-request seconds from admission to completion.
+        makespan: completion time of the last request.
+        throughput: requests per second over the makespan.
+    """
+
+    latencies: tuple[float, ...]
+    makespan: float
+
+    @property
+    def mean_latency(self) -> float:
+        return float(np.mean(self.latencies))
+
+    @property
+    def first_request_latency(self) -> float:
+        return self.latencies[0]
+
+    @property
+    def throughput(self) -> float:
+        if self.makespan <= 0:
+            raise SimulationError("makespan must be positive")
+        return len(self.latencies) / self.makespan
+
+
+class PipelineSimulator:
+    """Simulates a deployed PP-Stream plan under a cost model."""
+
+    def __init__(
+        self,
+        plan: Plan,
+        cost_model: CostModel,
+        decimals: int,
+    ):
+        self.plan = plan
+        self.cost_model = cost_model
+        self.decimals = decimals
+        self.costs: List[StageCost] = stage_costs(
+            plan, cost_model, decimals
+        )
+
+    def request_latency(self) -> float:
+        """Latency of a single request through an idle pipeline."""
+        return sum(cost.total for cost in self.costs)
+
+    def bottleneck_service(self) -> float:
+        """The slowest stage's per-request occupancy (throughput cap)."""
+        return max(cost.service for cost in self.costs)
+
+    def simulate_stream(
+        self,
+        num_requests: int,
+        arrival_interval: float = 0.0,
+        engine: str = "recurrence",
+        service_jitter: float = 0.0,
+        seed: int = 0,
+    ) -> SimulatedStream:
+        """Push ``num_requests`` through the pipeline.
+
+        Args:
+            num_requests: stream length.
+            arrival_interval: seconds between admissions (0 = all at
+                time zero, i.e. a backlogged stream).
+            engine: "recurrence" (closed form) or "events"
+                (event-driven); both produce identical schedules.
+            service_jitter: relative per-(request, stage) service-time
+                noise: each service time is multiplied by a uniform
+                draw from [1 - j, 1 + j].  0 = deterministic.
+            seed: jitter RNG seed.
+        """
+        if num_requests < 1:
+            raise SimulationError("num_requests must be >= 1")
+        if not 0.0 <= service_jitter < 1.0:
+            raise SimulationError("service_jitter must be in [0, 1)")
+        arrivals = [arrival_interval * r for r in range(num_requests)]
+        services = [cost.service for cost in self.costs]
+        transfers = [cost.transfer for cost in self.costs]
+        service_matrix: list[list[float]] | None = None
+        if service_jitter > 0.0:
+            rng = np.random.default_rng(seed)
+            service_matrix = [
+                [
+                    s * float(rng.uniform(1 - service_jitter,
+                                          1 + service_jitter))
+                    for s in services
+                ]
+                for _ in range(num_requests)
+            ]
+        if engine == "events":
+            completions = EventDrivenPipeline(services, transfers).run(
+                arrivals, service_matrix=service_matrix
+            )
+        elif engine == "recurrence":
+            completions = _recurrence(services, transfers, arrivals,
+                                      service_matrix)
+        else:
+            raise SimulationError(
+                f"unknown engine {engine!r}; use 'recurrence' or 'events'"
+            )
+        latencies = tuple(
+            done - admitted for done, admitted in zip(completions,
+                                                      arrivals)
+        )
+        return SimulatedStream(latencies=latencies,
+                               makespan=max(completions))
+
+
+def _recurrence(
+    services: Sequence[float],
+    transfers: Sequence[float],
+    arrivals: Sequence[float],
+    service_matrix: Sequence[Sequence[float]] | None = None,
+) -> List[float]:
+    """Exact FIFO pipeline schedule via the classic recurrence.
+
+    ``service_matrix[r][i]`` overrides stage ``i``'s service time for
+    request ``r`` (per-request jitter).
+    """
+    num_stages = len(services)
+    previous_finish = [0.0] * num_stages
+    completions: List[float] = []
+    for request_index, admission in enumerate(arrivals):
+        row = (service_matrix[request_index]
+               if service_matrix is not None else services)
+        ready = admission
+        for index in range(num_stages):
+            start = max(ready, previous_finish[index])
+            finish = start + row[index]
+            previous_finish[index] = finish
+            ready = finish + transfers[index]
+        completions.append(ready)
+    return completions
+
+
+def centralized_cipher_latency(
+    stages: Sequence[MergedPrimitive],
+    cost_model: CostModel,
+    decimals: int,
+) -> float:
+    """CipherBase: single-server, single-thread inference on
+    ciphertexts — the total homomorphic + activation cost, no pipeline,
+    no network."""
+    total = 0.0
+    for stage in stages:
+        if stage.kind is LayerKind.LINEAR:
+            total += _linear_compute_seconds(stage, cost_model, decimals)
+        else:
+            total += _nonlinear_compute_seconds(stage, cost_model)
+    return total
+
+
+def centralized_plain_latency(
+    stages: Sequence[MergedPrimitive],
+    cost_model: CostModel,
+) -> float:
+    """PlainBase: single-server plaintext inference (no crypto at all).
+
+    Every operation — linear multiply-accumulate or activation — costs
+    one plaintext elementary operation.
+    """
+    total = 0.0
+    for stage in stages:
+        counts = stage.op_counts()
+        plain_equivalent = (
+            counts.ciphertext_muls + counts.ciphertext_adds
+            + counts.plain_ops
+        )
+        total += plain_equivalent * cost_model.plain_op
+    return total

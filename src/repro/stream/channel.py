@@ -1,0 +1,73 @@
+"""Bounded channels connecting pipeline stages.
+
+A thin wrapper over ``queue.Queue`` adding close semantics: a closed
+channel raises :class:`ChannelClosed` on the consumer side once
+drained, which is how stage workers learn the stream has ended.
+Bounded capacity gives natural backpressure — a slow stage slows its
+upstream instead of queueing unboundedly.
+"""
+
+from __future__ import annotations
+
+import queue
+from typing import Any
+
+from ..errors import StreamError
+
+
+class ChannelClosed(StreamError):
+    """Raised by :meth:`Channel.get` once a closed channel drains."""
+
+
+_CLOSE = object()
+
+
+class Channel:
+    """A bounded, closable FIFO between two pipeline stages."""
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise StreamError("channel capacity must be >= 1")
+        self._queue: queue.Queue = queue.Queue(maxsize=capacity)
+        self._closed = False
+
+    def put(self, item: Any) -> None:
+        """Enqueue an item, blocking when the channel is full."""
+        if self._closed:
+            raise StreamError("cannot put into a closed channel")
+        self._queue.put(item)
+
+    def get(self, timeout: float | None = None) -> Any:
+        """Dequeue an item; raises :class:`ChannelClosed` at stream end.
+
+        Args:
+            timeout: max seconds to wait; None blocks indefinitely.
+
+        Raises:
+            ChannelClosed: the producer closed and everything is drained.
+            StreamError: on timeout.
+        """
+        try:
+            item = self._queue.get(timeout=timeout)
+        except queue.Empty as exc:
+            raise StreamError(
+                f"channel get timed out after {timeout}s"
+            ) from exc
+        if item is _CLOSE:
+            # propagate the sentinel for any other consumers
+            self._queue.put(_CLOSE)
+            raise ChannelClosed("channel closed")
+        return item
+
+    def close(self) -> None:
+        """Signal end-of-stream; consumers drain then see ChannelClosed."""
+        if not self._closed:
+            self._closed = True
+            self._queue.put(_CLOSE)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def approx_size(self) -> int:
+        return self._queue.qsize()

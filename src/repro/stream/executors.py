@@ -1,0 +1,271 @@
+"""Per-stage executors: the work a stage performs on each stream item.
+
+Executors carry the party-specific state (scaled affines + obfuscator
+for linear stages at the model provider; the private key and activation
+list for non-linear stages at the data provider) and know how to split
+one request into per-thread tasks using tensor partitioning.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..crypto.paillier import PaillierPrivateKey
+from ..crypto.tensor import EncryptedTensor
+from ..errors import ProtocolError, StreamError
+from ..nn.layers import LayerKind
+from ..obfuscation.obfuscator import Obfuscator
+from ..partitioning.partition import partition_affine, partition_elementwise
+from ..planner.plan import Plan
+from ..protocol.roles import (
+    DataProvider,
+    ModelProvider,
+    apply_activation,
+)
+from ..scaling.fixed_point import ScaledAffine, scale_to_int
+
+
+@dataclass
+class StreamItem:
+    """One inference request flowing through the pipeline.
+
+    Attributes:
+        request_id: monotone id assigned by the source.
+        tensor: current encrypted tensor (or final float result).
+        obfuscation_round: outstanding obfuscator round id, if permuted.
+        enqueue_time: perf-counter timestamp at admission.
+        result: final probabilities once the sink stage ran.
+    """
+
+    request_id: int
+    tensor: EncryptedTensor | None
+    obfuscation_round: int | None = None
+    enqueue_time: float = 0.0
+    result: np.ndarray | None = None
+
+
+class LinearStageExecutor:
+    """Model-provider stage: inverse-obfuscate, affine(s), obfuscate."""
+
+    def __init__(
+        self,
+        stage_index: int,
+        affines: Sequence[ScaledAffine],
+        obfuscator: Obfuscator,
+        threads: int,
+        use_partitioning: bool,
+        rng: random.Random,
+        final: bool,
+    ):
+        if threads < 1:
+            raise StreamError("executor needs >= 1 thread")
+        self.stage_index = stage_index
+        self.affines = list(affines)
+        self.obfuscator = obfuscator
+        self.threads = threads
+        self.use_partitioning = use_partitioning
+        self.final = final
+        self._rng = rng
+        self._pool = ThreadPoolExecutor(
+            max_workers=threads,
+            thread_name_prefix=f"linear-{stage_index}",
+        )
+        # Static-bias encryption cache (model weights never change):
+        # keyed by (affine index, input exponent).
+        self._bias_cache: dict[tuple[int, int], EncryptedTensor] = {}
+
+    def process(self, item: StreamItem) -> StreamItem:
+        if item.tensor is None:
+            raise StreamError("linear stage received an empty item")
+        cells = list(item.tensor.flatten().cells())
+        if item.obfuscation_round is not None:
+            cells = self.obfuscator.deobfuscate(
+                item.obfuscation_round, cells
+            )
+        current = EncryptedTensor(
+            item.tensor.public_key, cells, (len(cells),),
+            item.tensor.exponent,
+        )
+        for affine_index, affine in enumerate(self.affines):
+            current = self._apply_affine(affine_index, affine, current)
+        if self.final:
+            item.tensor = current
+            item.obfuscation_round = None
+            return item
+        round_id, permuted = self.obfuscator.obfuscate(
+            list(current.cells())
+        )
+        item.tensor = EncryptedTensor(
+            current.public_key, permuted, (len(permuted),),
+            current.exponent,
+        )
+        item.obfuscation_round = round_id
+        return item
+
+    def _apply_affine(
+        self, affine_index: int, affine: ScaledAffine,
+        tensor: EncryptedTensor
+    ) -> EncryptedTensor:
+        tasks = partition_affine(
+            affine, self.threads,
+            input_partitioning=self.use_partitioning,
+        )
+        cache_key = (affine_index, tensor.exponent)
+        encrypted_bias = self._bias_cache.get(cache_key)
+        if encrypted_bias is None:
+            encrypted_bias = EncryptedTensor.encrypt(
+                affine.bias_at(tensor.exponent), tensor.public_key,
+                self._rng, exponent=tensor.exponent + affine.decimals,
+            )
+            self._bias_cache[cache_key] = encrypted_bias
+        out_exponent = tensor.exponent + affine.decimals
+
+        def run_task(task):
+            sub_input = tensor.gather(task.input_indices)
+            return sub_input.affine(
+                task.weight,
+                encrypted_bias.gather(task.output_indices),
+                self._rng,
+                weight_exponent=affine.decimals,
+            )
+
+        if len(tasks) == 1:
+            parts = [run_task(tasks[0])]
+        else:
+            parts = list(self._pool.map(run_task, tasks))
+        combined = EncryptedTensor.concatenate(parts)
+        if combined.exponent != out_exponent:
+            raise StreamError("affine exponent bookkeeping mismatch")
+        return combined
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=False)
+
+
+class NonLinearStageExecutor:
+    """Data-provider stage: decrypt, activations, re-encrypt."""
+
+    def __init__(
+        self,
+        stage_index: int,
+        activations: Sequence[str],
+        private_key: PaillierPrivateKey,
+        value_decimals: int,
+        threads: int,
+        rng: random.Random,
+        final: bool,
+    ):
+        if threads < 1:
+            raise StreamError("executor needs >= 1 thread")
+        self.stage_index = stage_index
+        self.activations = list(activations)
+        self.final = final
+        self._private_key = private_key
+        self._value_decimals = value_decimals
+        self.threads = threads
+        self._rng = rng
+        self._pool = ThreadPoolExecutor(
+            max_workers=threads,
+            thread_name_prefix=f"nonlinear-{stage_index}",
+        )
+        if not final and any(a == "softmax" for a in self.activations):
+            raise ProtocolError(
+                "SoftMax only allowed in the final stage (Section III-C)"
+            )
+
+    def process(self, item: StreamItem) -> StreamItem:
+        if item.tensor is None:
+            raise StreamError("non-linear stage received an empty item")
+        tensor = item.tensor.flatten()
+        tasks = partition_elementwise(tensor.size, self.threads)
+
+        def decrypt_task(task):
+            sub = tensor.gather(task.input_indices)
+            return sub.decrypt_float(self._private_key)
+
+        if len(tasks) == 1:
+            pieces = [decrypt_task(tasks[0])]
+        else:
+            pieces = list(self._pool.map(decrypt_task, tasks))
+        flat = np.concatenate(pieces)
+        for activation in self.activations:
+            flat = apply_activation(activation, flat, self.final)
+        if self.final:
+            item.result = flat
+            item.tensor = None
+            item.obfuscation_round = None
+            return item
+        rescaled = scale_to_int(flat, self._value_decimals)
+
+        def encrypt_task(task):
+            values = rescaled[list(task.input_indices)]
+            return EncryptedTensor.encrypt(
+                values, tensor.public_key, self._rng,
+                exponent=self._value_decimals,
+            )
+
+        if len(tasks) == 1:
+            parts = [encrypt_task(tasks[0])]
+        else:
+            parts = list(self._pool.map(encrypt_task, tasks))
+        item.tensor = EncryptedTensor.concatenate(parts)
+        # The tensor stays in permuted order; the obfuscation round id
+        # is carried through untouched for the next linear stage.
+        return item
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=False)
+
+
+def build_executors(
+    model_provider: ModelProvider,
+    data_provider: DataProvider,
+    plan: Plan,
+) -> List[object]:
+    """Instantiate one executor per stage from the two parties + plan.
+
+    The linear executors share the model provider's obfuscator and
+    scaled affines; the non-linear executors get the data provider's
+    private key — mirroring where state physically lives.
+    """
+    executors: List[object] = []
+    stages = plan.stages
+    rng = random.Random(model_provider.config.seed ^ 0x57)
+    num_stages = len(stages)
+    for stage in stages:
+        threads = plan.threads_for(stage.index)
+        final = stage.index >= num_stages - 2
+        if stage.kind is LayerKind.LINEAR:
+            stage_plan = model_provider._linear_plans[stage.index]
+            executors.append(
+                LinearStageExecutor(
+                    stage.index,
+                    stage_plan.affines,
+                    model_provider._obfuscator,
+                    threads,
+                    plan.use_tensor_partitioning,
+                    rng,
+                    final=final and stage.index == num_stages - 2,
+                )
+            )
+        else:
+            activations = model_provider.nonlinear_activations(
+                stage.index
+            )
+            executors.append(
+                NonLinearStageExecutor(
+                    stage.index,
+                    activations,
+                    data_provider._private_key,
+                    data_provider.value_decimals,
+                    threads,
+                    rng,
+                    final=stage.index == num_stages - 1,
+                )
+            )
+    return executors

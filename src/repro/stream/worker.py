@@ -1,0 +1,95 @@
+"""Stage workers: one thread per stage pulling from its input channel.
+
+A :class:`StageWorker` loops: get item -> executor.process -> put item
+downstream, until the input channel closes.  Failures are captured and
+re-raised at join time as :class:`StageFailedError` so a crashing stage
+takes the pipeline down loudly instead of hanging it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from ..errors import StageFailedError
+from .channel import Channel, ChannelClosed
+
+
+class StageWorker:
+    """Runs one stage executor against its channels on a daemon thread.
+
+    A transient executor failure is retried up to ``max_retries`` times
+    per item (the stream-processing fault-tolerance posture of
+    AF-Stream, which the paper builds on); a persistent failure takes
+    the pipeline down loudly at :meth:`join`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        executor,
+        inbound: Channel,
+        outbound: Optional[Channel],
+        max_retries: int = 0,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.name = name
+        self.executor = executor
+        self.inbound = inbound
+        self.outbound = outbound
+        self.max_retries = max_retries
+        self.items_processed = 0
+        self.retries = 0
+        self.busy_seconds = 0.0
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name=name, daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _process_with_retries(self, item):
+        attempt = 0
+        while True:
+            try:
+                return self.executor.process(item)
+            except Exception:
+                if attempt >= self.max_retries:
+                    raise
+                attempt += 1
+                self.retries += 1
+
+    def _run(self) -> None:
+        try:
+            while True:
+                try:
+                    item = self.inbound.get()
+                except ChannelClosed:
+                    break
+                start = time.perf_counter()
+                item = self._process_with_retries(item)
+                self.busy_seconds += time.perf_counter() - start
+                self.items_processed += 1
+                if self.outbound is not None:
+                    self.outbound.put(item)
+        except BaseException as exc:  # noqa: BLE001 - reported at join
+            self._error = exc
+        finally:
+            if self.outbound is not None:
+                self.outbound.close()
+            shutdown = getattr(self.executor, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for the worker; re-raise any captured stage failure."""
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise StageFailedError(f"stage {self.name} did not finish")
+        if self._error is not None:
+            raise StageFailedError(
+                f"stage {self.name} failed: {self._error!r}"
+            ) from self._error

@@ -1,0 +1,122 @@
+"""Tests for PlainBase, CipherBase, the EzPC engine, and reported
+numbers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CipherBase,
+    EzPCBaseline,
+    PlainBase,
+    REPORTED_LATENCIES,
+)
+from repro.baselines.reported import reported_for
+from repro.config import RuntimeConfig
+from repro.errors import BaselineError
+
+
+class TestPlainBase:
+    def test_matches_model_forward(self, trained_breast,
+                                   breast_dataset):
+        runner = PlainBase(trained_breast)
+        sample = breast_dataset.test_x[0]
+        result = runner.infer(sample)
+        expected = trained_breast.forward(sample[None])[0]
+        assert result.prediction == int(expected.argmax())
+        assert np.allclose(result.probabilities, expected)
+        assert result.latency > 0
+
+    def test_batch(self, trained_breast, breast_dataset):
+        runner = PlainBase(trained_breast)
+        results = runner.infer_batch(breast_dataset.test_x[:4])
+        assert len(results) == 4
+
+    def test_batch_validation(self, trained_breast):
+        runner = PlainBase(trained_breast)
+        with pytest.raises(BaselineError):
+            runner.infer_batch(np.zeros(30))
+
+
+class TestCipherBase:
+    def test_matches_protocol_semantics(self, trained_breast,
+                                        breast_dataset):
+        """CipherBase must produce the same predictions as the rounded
+        plaintext model (correctness of the centralized encrypted
+        path)."""
+        from repro.scaling.parameter_scaling import round_parameters
+
+        config = RuntimeConfig(key_size=128, seed=31)
+        runner = CipherBase(trained_breast, decimals=3, config=config)
+        rounded = round_parameters(trained_breast, 3)
+        for sample in breast_dataset.test_x[:4]:
+            result = runner.infer(sample)
+            expected = rounded.forward(np.round(sample, 3)[None])[0]
+            assert result.prediction == int(expected.argmax())
+            assert np.allclose(result.probabilities, expected,
+                               atol=1e-6)
+
+    def test_slower_than_plain(self, trained_breast, breast_dataset):
+        """The Exp#2 motivation: encryption costs orders of magnitude."""
+        config = RuntimeConfig(key_size=128, seed=32)
+        cipher = CipherBase(trained_breast, decimals=3, config=config)
+        plain = PlainBase(trained_breast)
+        sample = breast_dataset.test_x[0]
+        assert cipher.infer(sample).latency > \
+            10 * plain.infer(sample).latency
+
+
+class TestEzPCBaseline:
+    def test_prediction_matches_plaintext(self, trained_breast,
+                                          breast_dataset):
+        ezpc = EzPCBaseline(trained_breast, max_real_relu=8)
+        for sample in breast_dataset.test_x[:3]:
+            prediction, _ = ezpc.infer(sample)
+            expected = int(trained_breast.predict(sample[None])[0])
+            assert prediction == expected
+
+    def test_latency_breakdown(self, trained_breast, breast_dataset):
+        ezpc = EzPCBaseline(trained_breast, max_real_relu=8)
+        _, latency = ezpc.infer(breast_dataset.test_x[0])
+        assert latency.compute_seconds > 0
+        assert latency.network_seconds > 0
+        assert latency.rounds > 0
+        assert latency.bytes_exchanged > 0
+        assert latency.and_gates > 0
+        assert latency.total_seconds == pytest.approx(
+            latency.compute_seconds + latency.network_seconds
+        )
+
+    def test_gate_count_scales_with_relu_width(self, trained_breast,
+                                               breast_dataset):
+        """AND-gate totals are exact even when GC evaluation samples."""
+        ezpc = EzPCBaseline(trained_breast, max_real_relu=4)
+        _, latency = ezpc.infer(breast_dataset.test_x[0])
+        from repro.baselines.garbled import build_relu_circuit
+        from repro.baselines.ezpc import RELU_BITS
+
+        per_relu = build_relu_circuit(RELU_BITS).and_count
+        # breast 3FC: hidden ReLUs 64 + 32 = 96
+        assert latency.and_gates == 96 * per_relu
+
+    def test_fraction_bits_validation(self, trained_breast):
+        with pytest.raises(BaselineError):
+            EzPCBaseline(trained_breast, fraction_bits=0)
+
+
+class TestReported:
+    def test_table_vii_numbers(self):
+        assert reported_for("SecureML", "mnist-1").latency_seconds == \
+            pytest.approx(4.88)
+        assert reported_for("CryptoNets", "mnist-2").latency_seconds \
+            == pytest.approx(297.5)
+        assert reported_for("CryptoDL", "mnist-2").latency_seconds == \
+            pytest.approx(320.0)
+
+    def test_provenance_recorded(self):
+        for result in REPORTED_LATENCIES:
+            assert result.source
+            assert result.environment
+
+    def test_unknown_pair_rejected(self):
+        with pytest.raises(BaselineError):
+            reported_for("SecureML", "mnist-3")

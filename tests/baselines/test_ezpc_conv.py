@@ -1,0 +1,32 @@
+"""EzPC baseline on a convolutional model (2PC conv via dense matmul)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EzPCBaseline
+
+
+class TestEzPCConv:
+    @pytest.fixture(scope="class")
+    def tiny_conv(self, request):
+        return request.getfixturevalue("tiny_conv_model")
+
+    def test_conv_predictions_match(self, tiny_conv):
+        ezpc = EzPCBaseline(tiny_conv, max_real_relu=4)
+        rng = np.random.default_rng(0)
+        agree = 0
+        for _ in range(3):
+            x = rng.uniform(0, 1, (1, 8, 8))
+            prediction, _ = ezpc.infer(x)
+            plain = int(tiny_conv.predict(x[None])[0])
+            agree += prediction == plain
+        assert agree == 3
+
+    def test_conv_costs_more_than_fc(self, tiny_conv, trained_breast):
+        conv_engine = EzPCBaseline(tiny_conv, max_real_relu=4)
+        fc_engine = EzPCBaseline(trained_breast, max_real_relu=4)
+        rng = np.random.default_rng(1)
+        _, conv_latency = conv_engine.infer(rng.uniform(0, 1, (1, 8, 8)))
+        _, fc_latency = fc_engine.infer(rng.standard_normal(30))
+        # the conv model has far more ReLU elements -> more AND gates
+        assert conv_latency.and_gates > fc_latency.and_gates

@@ -1,0 +1,163 @@
+"""Unit tests for garbled circuits (free-XOR, point-and-permute)."""
+
+import random
+
+import pytest
+
+from repro.baselines.garbled import (
+    CircuitBuilder,
+    build_relu_circuit,
+    evaluate_garbled,
+    garble,
+)
+from repro.errors import BaselineError
+
+
+def to_bits(value, bits):
+    value &= (1 << bits) - 1
+    return [(value >> i) & 1 for i in range(bits)]
+
+
+def from_bits(bits_list):
+    return sum(bit << i for i, bit in enumerate(bits_list))
+
+
+def signed(value, bits):
+    value &= (1 << bits) - 1
+    return value - (1 << bits) if value >= 1 << (bits - 1) else value
+
+
+class TestCircuitBuilder:
+    def test_xor_and_gates(self):
+        builder = CircuitBuilder(2)
+        out_xor = builder.xor(0, 1)
+        out_and = builder.and_(0, 1)
+        circuit = builder.finish([out_xor, out_and])
+        for a in (0, 1):
+            for b in (0, 1):
+                assert circuit.evaluate_plain([a, b]) == [a ^ b, a & b]
+
+    def test_not_or_mux(self):
+        builder = CircuitBuilder(3)
+        out_not = builder.not_(0)
+        out_or = builder.or_(0, 1)
+        out_mux = builder.mux(2, 0, 1)  # 2 ? a : b
+        circuit = builder.finish([out_not, out_or, out_mux])
+        for a in (0, 1):
+            for b in (0, 1):
+                for s in (0, 1):
+                    result = circuit.evaluate_plain([a, b, s])
+                    assert result == [1 - a, a | b, a if s else b]
+
+    def test_adder(self):
+        bits = 8
+        builder = CircuitBuilder(2 * bits)
+        out = builder.add(list(range(bits)),
+                          list(range(bits, 2 * bits)))
+        circuit = builder.finish(out)
+        rng = random.Random(0)
+        for _ in range(20):
+            a = rng.randrange(0, 256)
+            b = rng.randrange(0, 256)
+            result = from_bits(circuit.evaluate_plain(
+                to_bits(a, bits) + to_bits(b, bits)
+            ))
+            assert result == (a + b) % 256
+
+    def test_adder_width_mismatch(self):
+        builder = CircuitBuilder(8)
+        with pytest.raises(BaselineError):
+            builder.add([0, 1], [2, 3, 4])
+
+    def test_gate_counts(self):
+        """Full adder costs exactly 1 AND (the standard trick)."""
+        bits = 16
+        builder = CircuitBuilder(2 * bits)
+        out = builder.add(list(range(bits)),
+                          list(range(bits, 2 * bits)))
+        circuit = builder.finish(out)
+        assert circuit.and_count == bits
+
+
+class TestReluCircuit:
+    @pytest.mark.parametrize("bits", [8, 16])
+    def test_plain_semantics(self, bits):
+        circuit = build_relu_circuit(bits)
+        rng = random.Random(1)
+        for _ in range(30):
+            x = rng.randrange(-(1 << (bits - 2)), 1 << (bits - 2))
+            a = rng.randrange(0, 1 << bits)
+            b = (x - a) % (1 << bits)
+            mask = rng.randrange(0, 1 << bits)
+            out = circuit.evaluate_plain(
+                to_bits(a, bits) + to_bits(b, bits) + to_bits(mask,
+                                                              bits)
+            )
+            assert from_bits(out) == (max(x, 0) - mask) % (1 << bits)
+
+    def test_and_count_linear_in_width(self):
+        assert build_relu_circuit(32).and_count == 2 * \
+            build_relu_circuit(16).and_count
+
+
+class TestGarbling:
+    def test_garbled_equals_plain(self):
+        circuit = build_relu_circuit(8)
+        garbled = garble(circuit, seed=b"fixed")
+        rng = random.Random(2)
+        for _ in range(15):
+            bits = [rng.randrange(0, 2)
+                    for _ in range(circuit.num_inputs - 2)]
+            plain = circuit.evaluate_plain(bits)
+            labels = garbled.input_labels(bits)
+            out_labels = evaluate_garbled(garbled, labels)
+            assert garbled.decode(out_labels) == plain
+
+    def test_deterministic_with_seed(self):
+        circuit = build_relu_circuit(8)
+        a = garble(circuit, seed=b"s")
+        b = garble(circuit, seed=b"s")
+        assert a.zero_labels == b.zero_labels
+
+    def test_fresh_without_seed(self):
+        circuit = build_relu_circuit(8)
+        a = garble(circuit)
+        b = garble(circuit)
+        assert a.zero_labels != b.zero_labels
+
+    def test_free_xor_no_tables(self):
+        """XOR gates must produce no garbled tables (free-XOR)."""
+        circuit = build_relu_circuit(8)
+        garbled = garble(circuit, seed=b"t")
+        assert len(garbled.tables) == circuit.and_count
+
+    def test_table_bytes(self):
+        circuit = build_relu_circuit(8)
+        garbled = garble(circuit, seed=b"t")
+        assert garbled.table_bytes == circuit.and_count * 4 * 16
+
+    def test_offset_low_bit_set(self):
+        """Point-and-permute requires R's permute bit to be 1."""
+        garbled = garble(build_relu_circuit(8), seed=b"u")
+        assert garbled.offset[0] & 1 == 1
+
+    def test_wrong_label_count_rejected(self):
+        circuit = build_relu_circuit(8)
+        garbled = garble(circuit, seed=b"v")
+        with pytest.raises(BaselineError):
+            evaluate_garbled(garbled, [b"x" * 16])
+
+    def test_decode_rejects_garbage(self):
+        circuit = build_relu_circuit(8)
+        garbled = garble(circuit, seed=b"w")
+        with pytest.raises(BaselineError):
+            garbled.decode([b"\x00" * 16] * len(circuit.outputs))
+
+    def test_evaluator_sees_one_label_per_wire(self):
+        """The evaluator's labels reveal nothing positionally: each
+        input label is either the zero or one label, 16 bytes of
+        uniform-looking bytes."""
+        circuit = build_relu_circuit(8)
+        garbled = garble(circuit, seed=b"z")
+        labels = garbled.input_labels([0] * (circuit.num_inputs - 2))
+        assert all(len(label) == 16 for label in labels)

@@ -1,0 +1,126 @@
+"""Unit tests for the additive secret-sharing engine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.secret_sharing import (
+    AdditiveShare,
+    SecretSharingEngine,
+)
+from repro.errors import BaselineError
+
+
+class TestSharing:
+    def test_round_trip(self):
+        engine = SecretSharingEngine(seed=0)
+        values = np.array([5, -17, 0, 123456789])
+        s0, s1 = engine.share(values)
+        assert np.array_equal(engine.reconstruct(s0, s1), values)
+
+    def test_shares_look_random(self):
+        engine = SecretSharingEngine(seed=1)
+        values = np.zeros(1000, dtype=np.int64)
+        s0, _ = engine.share(values)
+        # a zero vector's share must not itself be zero
+        assert np.count_nonzero(s0.values) > 990
+
+    def test_party_validation(self):
+        with pytest.raises(BaselineError):
+            AdditiveShare(2, np.zeros(3))
+
+    def test_communication_counted(self):
+        engine = SecretSharingEngine(seed=2)
+        s0, s1 = engine.share(np.arange(10))
+        engine.reconstruct(s0, s1)
+        assert engine.rounds == 1
+        assert engine.bytes_exchanged == 2 * 8 * 10
+
+
+class TestLinearOps:
+    def test_add(self):
+        engine = SecretSharingEngine(seed=3)
+        a0, a1 = engine.share(np.array([1, 2]))
+        b0, b1 = engine.share(np.array([10, -20]))
+        total = engine.reconstruct(
+            SecretSharingEngine.add(a0, b0),
+            SecretSharingEngine.add(a1, b1),
+        )
+        assert np.array_equal(total, [11, -18])
+
+    def test_add_public(self):
+        engine = SecretSharingEngine(seed=4)
+        x0, x1 = engine.share(np.array([5, 5]))
+        y0 = SecretSharingEngine.add_public(x0, np.array([1, -2]))
+        y1 = SecretSharingEngine.add_public(x1, np.array([1, -2]))
+        assert np.array_equal(engine.reconstruct(y0, y1), [6, 3])
+
+    def test_mul_public(self):
+        engine = SecretSharingEngine(seed=5)
+        x0, x1 = engine.share(np.array([7, -3]))
+        y0 = SecretSharingEngine.mul_public(x0, np.array([2, 5]))
+        y1 = SecretSharingEngine.mul_public(x1, np.array([2, 5]))
+        assert np.array_equal(engine.reconstruct(y0, y1), [14, -15])
+
+    def test_matmul_public(self):
+        engine = SecretSharingEngine(seed=6)
+        x0, x1 = engine.share(np.array([1, 2, 3]))
+        matrix = np.array([[1, 0, 2], [0, -1, 1]])
+        y0 = SecretSharingEngine.matmul_public(matrix, x0)
+        y1 = SecretSharingEngine.matmul_public(matrix, x1)
+        assert np.array_equal(engine.reconstruct(y0, y1), [7, 1])
+
+
+class TestBeaver:
+    def test_elementwise_multiply(self):
+        engine = SecretSharingEngine(seed=7)
+        x0, x1 = engine.share(np.array([3, -4, 0]))
+        y0, y1 = engine.share(np.array([5, 6, 7]))
+        z0, z1 = engine.multiply(x0, x1, y0, y1)
+        assert np.array_equal(engine.reconstruct(z0, z1), [15, -24, 0])
+        assert engine.triples_consumed == 1
+
+    def test_matmul_shared(self):
+        engine = SecretSharingEngine(seed=8)
+        matrix = np.array([[2, 1], [0, -3], [4, 4]])
+        vector = np.array([5, -2])
+        w0, w1 = engine.share(matrix)
+        x0, x1 = engine.share(vector)
+        z0, z1 = engine.matmul_shared(w0, w1, x0, x1)
+        assert np.array_equal(engine.reconstruct(z0, z1),
+                              matrix @ vector)
+
+    def test_matmul_shared_shape_validation(self):
+        engine = SecretSharingEngine(seed=9)
+        w0, w1 = engine.share(np.zeros((2, 3), dtype=np.int64))
+        x0, x1 = engine.share(np.zeros(4, dtype=np.int64))
+        with pytest.raises(BaselineError):
+            engine.matmul_shared(w0, w1, x0, x1)
+
+    def test_multiply_random(self):
+        engine = SecretSharingEngine(seed=10)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            a = rng.integers(-10 ** 6, 10 ** 6, 16)
+            b = rng.integers(-10 ** 6, 10 ** 6, 16)
+            a0, a1 = engine.share(a)
+            b0, b1 = engine.share(b)
+            z0, z1 = engine.multiply(a0, a1, b0, b1)
+            assert np.array_equal(engine.reconstruct(z0, z1), a * b)
+
+
+class TestTruncation:
+    def test_truncate_positive_and_negative(self):
+        engine = SecretSharingEngine(seed=11)
+        values = np.array([4096, -8192, 12345])
+        x0, x1 = engine.share(values)
+        t0, t1 = engine.truncate(x0, x1, 8)
+        result = engine.reconstruct(t0, t1)
+        expected = values // 256
+        # SecureML local truncation: off by at most 1
+        assert np.all(np.abs(result - expected) <= 1)
+
+    def test_negative_bits_rejected(self):
+        engine = SecretSharingEngine(seed=12)
+        x0, x1 = engine.share(np.array([1]))
+        with pytest.raises(BaselineError):
+            engine.truncate(x0, x1, -1)

@@ -1,0 +1,70 @@
+"""Shared fixtures: small keypairs and trained models, built once."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.crypto.paillier import generate_keypair
+from repro.datasets import load_dataset
+from repro.nn import model_zoo
+from repro.nn.training import SGDTrainer
+
+#: Small key for fast protocol tests; the key size is a config knob,
+#: not a separate code path (see repro.config).
+TEST_KEY_SIZE = 128
+
+
+@pytest.fixture(scope="session")
+def keypair():
+    """A deterministic 128-bit Paillier keypair."""
+    return generate_keypair(TEST_KEY_SIZE, seed=42)
+
+
+@pytest.fixture(scope="session")
+def keypair_256():
+    """A deterministic 256-bit keypair for headroom-sensitive tests."""
+    return generate_keypair(256, seed=43)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh seeded Python RNG per test."""
+    return random.Random(1234)
+
+
+@pytest.fixture()
+def np_rng():
+    """A fresh seeded numpy generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def breast_dataset():
+    return load_dataset("breast")
+
+
+@pytest.fixture(scope="session")
+def trained_breast(breast_dataset):
+    """A 3FC model trained to high accuracy on the breast stand-in."""
+    model = model_zoo.build_model("breast")
+    trainer = SGDTrainer(model, learning_rate=0.1, seed=0)
+    trainer.fit(breast_dataset.train_x, breast_dataset.train_y, epochs=12)
+    return model
+
+
+@pytest.fixture(scope="session")
+def tiny_conv_model():
+    """A small conv model (8x8 input) for conv-path protocol tests."""
+    return model_zoo.conv_fc(
+        (1, 8, 8), 3, conv_channels=(2,), fc_hidden=8, seed=3,
+        name="tiny-conv",
+    )
+
+
+@pytest.fixture(scope="session")
+def test_config():
+    return RuntimeConfig(key_size=TEST_KEY_SIZE)

@@ -1,0 +1,91 @@
+"""Unit tests for signed and fixed-point encodings."""
+
+import pytest
+
+from repro.crypto.encoding import FixedPointEncoder, SignedEncoder
+from repro.errors import EncodingError
+
+
+class TestSignedEncoder:
+    def test_round_trip_positive(self, keypair):
+        encoder = SignedEncoder(keypair[0])
+        for v in (0, 1, 999, 10 ** 12):
+            assert encoder.decode(encoder.encode(v)) == v
+
+    def test_round_trip_negative(self, keypair):
+        encoder = SignedEncoder(keypair[0])
+        for v in (-1, -999, -(10 ** 12)):
+            assert encoder.decode(encoder.encode(v)) == v
+
+    def test_max_magnitude_boundary(self, keypair):
+        encoder = SignedEncoder(keypair[0])
+        edge = encoder.max_magnitude
+        assert encoder.decode(encoder.encode(edge)) == edge
+        assert encoder.decode(encoder.encode(-edge)) == -edge
+
+    def test_overflow_rejected(self, keypair):
+        encoder = SignedEncoder(keypair[0])
+        with pytest.raises(EncodingError):
+            encoder.encode(encoder.max_magnitude + 1)
+
+    def test_float_rejected(self, keypair):
+        encoder = SignedEncoder(keypair[0])
+        with pytest.raises(EncodingError):
+            encoder.encode(1.5)
+
+    def test_decode_out_of_range(self, keypair):
+        encoder = SignedEncoder(keypair[0])
+        with pytest.raises(EncodingError):
+            encoder.decode(-1)
+        with pytest.raises(EncodingError):
+            encoder.decode(keypair[0].n)
+
+    def test_homomorphic_signed_sum(self, keypair, rng):
+        """Signed encoding survives homomorphic addition when within
+        headroom: E(enc(5)) * E(enc(-8)) decodes to -3."""
+        pub, priv = keypair
+        encoder = SignedEncoder(pub)
+        total = pub.encrypt(encoder.encode(5), rng) + \
+            pub.encrypt(encoder.encode(-8), rng)
+        assert encoder.decode(priv.decrypt(total)) == -3
+
+
+class TestFixedPointEncoder:
+    def test_scale(self, keypair):
+        encoder = FixedPointEncoder(keypair[0], 3)
+        assert encoder.scale == 1000
+
+    def test_round_trip(self, keypair):
+        encoder = FixedPointEncoder(keypair[0], 4)
+        for v in (0.0, 1.5, -2.25, 3.1415):
+            assert encoder.decode(encoder.encode(v)) == pytest.approx(
+                v, abs=10 ** -4
+            )
+
+    def test_rounding(self, keypair):
+        encoder = FixedPointEncoder(keypair[0], 1)
+        assert encoder.decode(encoder.encode(0.26)) == pytest.approx(0.3)
+
+    def test_negative_exponent_rejected(self, keypair):
+        with pytest.raises(EncodingError):
+            FixedPointEncoder(keypair[0], -1)
+
+    def test_accumulated_exponent_decode(self, keypair):
+        """After a product, the caller passes input+weight exponent."""
+        encoder = FixedPointEncoder(keypair[0], 2)
+        raw = encoder.encode(1.25)  # 125 at exponent 2
+        # pretend a weight at exponent 2 multiplied it by 300 (=3.00)
+        product = (raw * 300) % keypair[0].n
+        assert encoder.decode(product, accumulated_exponent=4) == \
+            pytest.approx(3.75)
+
+    def test_headroom_exponent(self, keypair):
+        encoder = FixedPointEncoder(keypair[0], 0)
+        digits = encoder.headroom_exponent(max_abs_value=1.0)
+        assert 10 ** digits <= encoder.signed.max_magnitude
+        assert 10 ** (digits + 1) > encoder.signed.max_magnitude
+
+    def test_headroom_requires_positive(self, keypair):
+        encoder = FixedPointEncoder(keypair[0], 0)
+        with pytest.raises(EncodingError):
+            encoder.headroom_exponent(0)

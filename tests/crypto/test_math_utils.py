@@ -1,0 +1,125 @@
+"""Unit tests for the number-theoretic building blocks."""
+
+import math
+import random
+
+import pytest
+
+from repro.crypto.math_utils import (
+    crt_pair,
+    generate_prime,
+    invmod,
+    is_probable_prime,
+    keypair_primes,
+    lcm,
+    sample_coprime,
+)
+from repro.errors import CryptoError
+
+
+class TestIsProbablePrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101, 7919):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 6, 9, 15, 91, 7917, 100000):
+            assert not is_probable_prime(n)
+
+    def test_negative(self):
+        assert not is_probable_prime(-7)
+
+    def test_carmichael_numbers_rejected(self):
+        # Carmichael numbers fool Fermat but not Miller-Rabin.
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911):
+            assert not is_probable_prime(n)
+
+    def test_large_known_prime(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert is_probable_prime(2 ** 127 - 1)
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime((2 ** 127 - 1) * 3)
+
+
+class TestGeneratePrime:
+    def test_bit_length_exact(self):
+        rng = random.Random(0)
+        for bits in (16, 24, 48, 64):
+            p = generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_oddness(self):
+        rng = random.Random(1)
+        assert generate_prime(32, rng) % 2 == 1
+
+    def test_too_small_raises(self):
+        with pytest.raises(CryptoError):
+            generate_prime(8, random.Random(0))
+
+    def test_deterministic_given_rng(self):
+        assert generate_prime(32, random.Random(7)) == \
+            generate_prime(32, random.Random(7))
+
+
+class TestInvmod:
+    def test_basic(self):
+        assert invmod(3, 7) == 5  # 3*5 = 15 = 1 mod 7
+
+    def test_round_trip_random(self):
+        rng = random.Random(2)
+        m = 10 ** 9 + 7
+        for _ in range(50):
+            a = rng.randrange(1, m)
+            assert (a * invmod(a, m)) % m == 1
+
+    def test_non_invertible_raises(self):
+        with pytest.raises(CryptoError):
+            invmod(6, 9)
+
+
+class TestLcm:
+    def test_known(self):
+        assert lcm(4, 6) == 12
+        assert lcm(7, 13) == 91
+
+    def test_consistent_with_gcd(self):
+        rng = random.Random(3)
+        for _ in range(30):
+            a = rng.randrange(1, 10 ** 6)
+            b = rng.randrange(1, 10 ** 6)
+            assert lcm(a, b) * math.gcd(a, b) == a * b
+
+
+class TestCrtPair:
+    def test_recombination(self):
+        rng = random.Random(4)
+        p, q = 10007, 10009
+        q_inv_p = invmod(q, p)
+        for _ in range(50):
+            x = rng.randrange(0, p * q)
+            recovered = crt_pair(x % p, x % q, p, q, q_inv_p) % (p * q)
+            assert recovered == x
+
+
+class TestSampleCoprime:
+    def test_always_coprime(self):
+        rng = random.Random(5)
+        n = 3 * 5 * 7 * 11 * 13
+        for _ in range(100):
+            r = sample_coprime(n, rng)
+            assert math.gcd(r, n) == 1
+            assert 1 <= r < n
+
+
+class TestKeypairPrimes:
+    def test_modulus_bit_length(self):
+        rng = random.Random(6)
+        p, q = keypair_primes(128, rng)
+        assert (p * q).bit_length() == 128
+        assert p != q
+
+    def test_odd_key_size_rejected(self):
+        with pytest.raises(CryptoError):
+            keypair_primes(127, random.Random(0))

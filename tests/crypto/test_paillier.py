@@ -1,0 +1,142 @@
+"""Unit tests for Paillier's cryptosystem: the paper's Eq. (1)-(3)."""
+
+import random
+
+import pytest
+
+from repro.crypto.paillier import (
+    EncryptedNumber,
+    encrypt_many,
+    generate_keypair,
+)
+from repro.errors import (
+    DecryptionError,
+    EncryptionError,
+    KeyGenerationError,
+    KeyMismatchError,
+)
+
+
+class TestKeyGeneration:
+    def test_deterministic_by_seed(self):
+        pub1, _ = generate_keypair(128, seed=1)
+        pub2, _ = generate_keypair(128, seed=1)
+        assert pub1.n == pub2.n
+
+    def test_different_seeds_differ(self):
+        pub1, _ = generate_keypair(128, seed=1)
+        pub2, _ = generate_keypair(128, seed=2)
+        assert pub1.n != pub2.n
+
+    def test_modulus_bits(self):
+        for bits in (128, 256):
+            pub, _ = generate_keypair(bits, seed=0)
+            assert pub.n.bit_length() == bits
+            assert pub.key_size == bits
+
+    def test_bad_size_raises(self):
+        with pytest.raises(KeyGenerationError):
+            generate_keypair(17, seed=0)
+
+
+class TestEncryptDecrypt:
+    def test_round_trip(self, keypair, rng):
+        pub, priv = keypair
+        for m in (0, 1, 42, 10 ** 9, pub.n - 1):
+            assert priv.decrypt(pub.encrypt(m, rng)) == m
+
+    def test_random_round_trips(self, keypair, rng):
+        pub, priv = keypair
+        for _ in range(50):
+            m = rng.randrange(0, pub.n)
+            assert priv.decrypt(pub.encrypt(m, rng)) == m
+
+    def test_probabilistic(self, keypair, rng):
+        """Semantic security: re-encrypting yields fresh ciphertexts."""
+        pub, _ = keypair
+        c1 = pub.encrypt(7, rng)
+        c2 = pub.encrypt(7, rng)
+        assert c1.ciphertext != c2.ciphertext
+
+    def test_out_of_range_plaintext(self, keypair, rng):
+        pub, _ = keypair
+        with pytest.raises(EncryptionError):
+            pub.raw_encrypt(pub.n, rng)
+        with pytest.raises(EncryptionError):
+            pub.raw_encrypt(-1, rng)
+
+    def test_out_of_range_ciphertext(self, keypair):
+        _, priv = keypair
+        with pytest.raises(DecryptionError):
+            priv.raw_decrypt(0)
+        with pytest.raises(DecryptionError):
+            priv.raw_decrypt(priv.public_key.n_squared)
+
+    def test_wrong_key_decrypt(self, keypair, rng):
+        pub, _ = keypair
+        _, other_priv = generate_keypair(128, seed=99)
+        cipher = pub.encrypt(5, rng)
+        with pytest.raises(KeyMismatchError):
+            other_priv.decrypt(cipher)
+
+
+class TestHomomorphisms:
+    def test_addition_eq1(self, keypair, rng):
+        """Paper Eq. (1): m1 + m2 = D(E(m1) * E(m2))."""
+        pub, priv = keypair
+        for _ in range(20):
+            m1 = rng.randrange(0, 10 ** 9)
+            m2 = rng.randrange(0, 10 ** 9)
+            total = pub.encrypt(m1, rng) + pub.encrypt(m2, rng)
+            assert priv.decrypt(total) == m1 + m2
+
+    def test_scalar_mul_eq2(self, keypair, rng):
+        """Paper Eq. (2): w * m = D(E(m)^w)."""
+        pub, priv = keypair
+        for _ in range(20):
+            w = rng.randrange(1, 10 ** 4)
+            m = rng.randrange(0, 10 ** 6)
+            assert priv.decrypt(pub.encrypt(m, rng) * w) == w * m
+
+    def test_linear_form_eq3(self, keypair, rng):
+        """Paper Eq. (3): sum_i w_i m_i + b homomorphically."""
+        pub, priv = keypair
+        weights = [3, 0, 7, 11]
+        messages = [5, 9, 2, 1]
+        bias = 13
+        ciphers = encrypt_many(pub, messages, rng)
+        acc = pub.encrypt(bias, rng)
+        for w, c in zip(weights, ciphers):
+            if w:
+                acc = acc + c * w
+        expected = sum(w * m for w, m in zip(weights, messages)) + bias
+        assert priv.decrypt(acc) == expected
+
+    def test_scalar_zero(self, keypair, rng):
+        pub, priv = keypair
+        assert priv.decrypt(pub.encrypt(123, rng) * 0) == 0
+
+    def test_negative_scalar_via_inverse(self, keypair, rng):
+        """Negative scalars map through the ciphertext inverse; combined
+        with the signed encoding the result decodes to -w*m."""
+        pub, priv = keypair
+        m, w = 17, -3
+        residue = priv.decrypt(pub.encrypt(m, rng) * w)
+        assert (residue - (w * m)) % pub.n == 0
+
+    def test_key_mismatch_add(self, keypair, rng):
+        pub, _ = keypair
+        other_pub, _ = generate_keypair(128, seed=77)
+        with pytest.raises(KeyMismatchError):
+            _ = pub.encrypt(1, rng) + other_pub.encrypt(2, rng)
+
+    def test_mul_by_non_int_not_implemented(self, keypair, rng):
+        pub, _ = keypair
+        with pytest.raises(TypeError):
+            _ = pub.encrypt(1, rng) * 1.5
+
+
+class TestEncryptedNumberRepr:
+    def test_repr_mentions_key_size(self, keypair, rng):
+        pub, _ = keypair
+        assert "key_size=128" in repr(pub.encrypt(1, rng))

@@ -1,0 +1,129 @@
+"""Unit tests for the synthetic dataset generators and registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_SPECS,
+    load_dataset,
+    make_image_classification,
+    make_tabular_classification,
+)
+from repro.errors import DatasetError
+
+
+class TestTabular:
+    def test_shapes_and_split(self):
+        ds = make_tabular_classification(100, 5, test_fraction=0.2,
+                                         seed=0)
+        assert ds.train_x.shape == (80, 5)
+        assert ds.test_x.shape == (20, 5)
+        assert ds.sample_shape == (5,)
+
+    def test_deterministic(self):
+        a = make_tabular_classification(50, 4, seed=7)
+        b = make_tabular_classification(50, 4, seed=7)
+        assert np.array_equal(a.train_x, b.train_x)
+        assert np.array_equal(a.train_y, b.train_y)
+
+    def test_seed_sensitivity(self):
+        a = make_tabular_classification(50, 4, seed=1)
+        b = make_tabular_classification(50, 4, seed=2)
+        assert not np.array_equal(a.train_x, b.train_x)
+
+    def test_standardized(self):
+        ds = make_tabular_classification(500, 6, seed=3)
+        combined = np.vstack([ds.train_x, ds.test_x])
+        assert np.allclose(combined.mean(axis=0), 0.0, atol=1e-6)
+        assert np.allclose(combined.std(axis=0), 1.0, atol=1e-6)
+
+    def test_difficulty_controls_separability(self):
+        """Lower difficulty -> nearest-prototype accuracy higher."""
+
+        def proto_accuracy(difficulty):
+            ds = make_tabular_classification(
+                400, 8, difficulty=difficulty, seed=4
+            )
+            centroids = np.stack([
+                ds.train_x[ds.train_y == c].mean(axis=0)
+                for c in range(ds.num_classes)
+            ])
+            distance = np.linalg.norm(
+                ds.test_x[:, None, :] - centroids[None], axis=2
+            )
+            return float(np.mean(distance.argmin(axis=1) == ds.test_y))
+
+        assert proto_accuracy(0.2) > proto_accuracy(2.5)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            make_tabular_classification(5, 3)
+        with pytest.raises(DatasetError):
+            make_tabular_classification(100, 3, difficulty=0)
+        with pytest.raises(DatasetError):
+            make_tabular_classification(100, 3, test_fraction=1.5)
+
+
+class TestImages:
+    def test_shapes(self):
+        ds = make_image_classification(60, 3, 8, 8, num_classes=4,
+                                       seed=0)
+        assert ds.train_x.shape[1:] == (3, 8, 8)
+        assert ds.num_classes == 4
+
+    def test_pixel_range(self):
+        ds = make_image_classification(60, 1, 8, 8, seed=1)
+        assert ds.train_x.min() >= 0.0
+        assert ds.train_x.max() <= 1.0
+
+    def test_labels_cover_classes(self):
+        ds = make_image_classification(300, 1, 8, 8, num_classes=5,
+                                       seed=2)
+        assert set(np.unique(ds.train_y)) == set(range(5))
+
+    def test_deterministic(self):
+        a = make_image_classification(40, 1, 6, 6, seed=9)
+        b = make_image_classification(40, 1, 6, 6, seed=9)
+        assert np.array_equal(a.test_x, b.test_x)
+
+
+class TestRegistry:
+    def test_all_table_iii_rows_present(self):
+        expected = {
+            "breast", "heart", "cardio", "mnist-1", "mnist-2",
+            "mnist-3", "cifar-10-1", "cifar-10-2", "cifar-10-3",
+        }
+        assert set(DATASET_SPECS) == expected
+
+    @pytest.mark.parametrize("key,shape", [
+        ("breast", (30,)),
+        ("heart", (13,)),
+        ("cardio", (11,)),
+        ("mnist-1", (1, 28, 28)),
+        ("cifar-10-1", (3, 32, 32)),
+    ])
+    def test_shapes_match_paper(self, key, shape):
+        ds = load_dataset(key)
+        assert ds.sample_shape == shape
+
+    def test_server_split_matches_table_iii(self):
+        assert (DATASET_SPECS["mnist-3"].model_servers,
+                DATASET_SPECS["mnist-3"].data_servers) == (2, 2)
+        assert (DATASET_SPECS["cifar-10-1"].model_servers,
+                DATASET_SPECS["cifar-10-1"].data_servers) == (6, 3)
+
+    def test_paper_sample_counts_recorded(self):
+        spec = DATASET_SPECS["mnist-1"]
+        assert (spec.paper_train, spec.paper_test) == (60000, 10000)
+
+    def test_unknown_key(self):
+        with pytest.raises(DatasetError):
+            load_dataset("imagenet")
+
+    def test_cached(self):
+        assert load_dataset("breast") is load_dataset("breast")
+
+    def test_scale_parameter(self):
+        small = load_dataset("heart", scale=0.5, seed=11)
+        full = load_dataset("heart", scale=1.0, seed=11)
+        assert small.train_x.shape[0] < full.train_x.shape[0]

@@ -1,0 +1,50 @@
+"""Unit tests for the table renderer and helpers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.report import format_table, percent_reduction
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1.5], ["bbbb", 20]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert lines[2].startswith("----")
+        assert "bbbb" in lines[4]
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.00012345], [1234.5], [0.0]])
+        assert "1.235e-04" in text or "1.234e-04" in text
+        assert "1.235e+03" in text or "1.234e+03" in text
+        assert "0" in text
+
+    def test_row_width_checked(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ReproError):
+            format_table([], [])
+
+    def test_no_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestPercentReduction:
+    def test_basic(self):
+        assert percent_reduction(10.0, 4.0) == pytest.approx(60.0)
+
+    def test_negative_when_worse(self):
+        assert percent_reduction(4.0, 10.0) == pytest.approx(-150.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ReproError):
+            percent_reduction(0.0, 1.0)

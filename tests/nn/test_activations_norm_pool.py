@@ -1,0 +1,248 @@
+"""Unit tests for activations, batch norm, pooling, flatten."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm,
+    ElementwiseScale,
+    Flatten,
+    LayerKind,
+    MaxPool2d,
+    ReLU,
+    ScaledSigmoid,
+    Sigmoid,
+    SoftMax,
+)
+from repro.nn.layers.pooling import maxpool_replacement
+
+
+class TestReLU:
+    def test_values(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert np.array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_kind(self):
+        assert ReLU().kind is LayerKind.NONLINEAR
+
+    def test_backward_mask(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 3.0]])
+        layer.forward(x, training=True)
+        grad = layer.backward(np.array([[5.0, 7.0]]))
+        assert np.array_equal(grad, [[0.0, 7.0]])
+
+    def test_permutation_compatible(self):
+        """Section III-C: element-wise activations commute with
+        permutations."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(32)
+        perm = rng.permutation(32)
+        relu = ReLU()
+        assert np.allclose(
+            relu.forward(x[None, perm])[0],
+            relu.forward(x[None, :])[0][perm],
+        )
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert Sigmoid().forward(np.array([[0.0]]))[0, 0] == \
+            pytest.approx(0.5)
+
+    def test_extreme_stability(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 1000.0]]))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert out[0, 1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_gradient(self):
+        layer = Sigmoid()
+        x = np.array([[0.3]])
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.array([[1.0]]))
+        assert grad[0, 0] == pytest.approx(
+            float(out[0, 0] * (1 - out[0, 0]))
+        )
+
+
+class TestSoftMax:
+    def test_rows_sum_to_one(self):
+        out = SoftMax().forward(np.array([[1.0, 2.0, 3.0],
+                                          [0.0, 0.0, 0.0]]))
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_shift_invariance(self):
+        layer = SoftMax()
+        x = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(layer.forward(x), layer.forward(x + 100))
+
+    def test_position_sensitive_flag(self):
+        assert SoftMax.position_sensitive is True
+
+    def test_requires_2d(self):
+        with pytest.raises(ModelError):
+            SoftMax().forward(np.zeros(3))
+
+
+class TestScaledSigmoid:
+    def test_is_mixed(self):
+        assert ScaledSigmoid(2.0).kind is LayerKind.MIXED
+
+    def test_decomposes_to_primitives(self):
+        parts = ScaledSigmoid(2.0).decompose()
+        assert [p.kind for p in parts] == \
+            [LayerKind.LINEAR, LayerKind.NONLINEAR]
+
+    def test_forward_composition(self):
+        layer = ScaledSigmoid(3.0)
+        x = np.array([[0.5]])
+        expected = 1.0 / (1.0 + np.exp(-1.5))
+        assert layer.forward(x)[0, 0] == pytest.approx(expected)
+
+    def test_scale_is_trainable(self):
+        layer = ScaledSigmoid(1.0)
+        x = np.array([[1.0]])
+        layer.forward(x, training=True)
+        layer.backward(np.array([[1.0]]))
+        assert layer.grads()[0].shape == (1,)
+
+
+class TestElementwiseScale:
+    def test_forward(self):
+        out = ElementwiseScale(2.5).forward(np.array([[2.0, -4.0]]))
+        assert np.array_equal(out, [[5.0, -10.0]])
+
+    def test_kind(self):
+        assert ElementwiseScale(1.0).kind is LayerKind.LINEAR
+
+
+class TestBatchNorm:
+    def test_training_normalizes(self):
+        layer = BatchNorm(3)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((64, 3)) * 5 + 2
+        out = layer.forward(x, training=True)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_inference_uses_running_stats(self):
+        layer = BatchNorm(2, momentum=0.0)  # running = last batch
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((128, 2)) * 3 + 1
+        layer.forward(x, training=True)
+        out = layer.forward(x, training=False)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=0.05)
+
+    def test_4d_input(self):
+        layer = BatchNorm(2)
+        x = np.random.default_rng(3).standard_normal((4, 2, 3, 3))
+        out = layer.forward(x, training=True)
+        assert out.shape == x.shape
+
+    def test_inference_affine_equivalence(self):
+        """BN at inference == the folded scale/shift the crypto path
+        evaluates (why the paper calls BN a linear layer)."""
+        layer = BatchNorm(3)
+        rng = np.random.default_rng(4)
+        layer.running_mean = rng.standard_normal(3)
+        layer.running_var = rng.uniform(0.5, 2.0, 3)
+        layer.gamma[:] = rng.standard_normal(3)
+        layer.beta[:] = rng.standard_normal(3)
+        x = rng.standard_normal((8, 3))
+        scale, shift = layer.inference_affine()
+        assert np.allclose(layer.forward(x), x * scale + shift)
+
+    def test_gradient_check(self):
+        layer = BatchNorm(2)
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((6, 2))
+        target = rng.standard_normal((6, 2))
+
+        def loss():
+            out = layer.forward(x, training=True)
+            return float(0.5 * np.sum((out - target) ** 2))
+
+        out = layer.forward(x, training=True)
+        grad_in = layer.backward(out - target)
+        eps = 1e-6
+        flat_x = x.reshape(-1)
+        for i in range(flat_x.size):
+            orig = flat_x[i]
+            flat_x[i] = orig + eps
+            plus = loss()
+            flat_x[i] = orig - eps
+            minus = loss()
+            flat_x[i] = orig
+            assert grad_in.reshape(-1)[i] == pytest.approx(
+                (plus - minus) / (2 * eps), abs=1e-4
+            )
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ModelError):
+            BatchNorm(3).forward(np.zeros((2, 4)))
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2).forward(x)
+        assert np.array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_is_position_sensitive(self):
+        assert MaxPool2d.position_sensitive is True
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        layer = MaxPool2d(2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        layer.forward(x, training=True)
+        grad = layer.backward(np.ones((1, 1, 2, 2)))
+        expected = np.zeros((1, 1, 4, 4))
+        for i, j in [(1, 1), (1, 3), (3, 1), (3, 3)]:
+            expected[0, 0, i, j] = 1.0
+        assert np.array_equal(grad, expected)
+
+    def test_avgpool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = AvgPool2d(2).forward(x)
+        assert np.array_equal(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool_is_linear(self):
+        assert AvgPool2d(2).kind is LayerKind.LINEAR
+
+    def test_maxpool_replacement_geometry(self):
+        """Section III-C: stride-2 conv + ReLU has MaxPool's output
+        shape."""
+        layers = maxpool_replacement(channels=3)
+        conv, relu = layers
+        assert conv.output_shape((3, 8, 8)) == \
+            MaxPool2d(2).output_shape((3, 8, 8))
+        assert relu.kind is LayerKind.NONLINEAR
+
+    def test_maxpool_replacement_initialized_near_avgpool(self):
+        layers = maxpool_replacement(channels=1)
+        conv = layers[0]
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = conv.forward(x)
+        avg = AvgPool2d(2).forward(x)
+        assert np.allclose(out, avg)
+
+
+class TestFlatten:
+    def test_row_major_order(self):
+        """Flatten must match the obfuscator's lexicographic reshape."""
+        x = np.arange(12.0).reshape(1, 2, 2, 3)
+        out = Flatten().forward(x)
+        assert np.array_equal(out[0], np.arange(12.0))
+
+    def test_backward_restores_shape(self):
+        layer = Flatten()
+        x = np.zeros((2, 3, 4))
+        layer.forward(x, training=True)
+        grad = layer.backward(np.ones((2, 12)))
+        assert grad.shape == (2, 3, 4)
+
+    def test_requires_batch(self):
+        with pytest.raises(ModelError):
+            Flatten().forward(np.zeros(5))

@@ -1,0 +1,143 @@
+"""Unit tests for Conv2d: shapes, reference values, gradients, im2col."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.layers import Conv2d, LayerKind
+from repro.nn.layers.conv import col2im, conv_output_hw, im2col
+
+
+def reference_conv(x, weight, bias, stride, padding):
+    """Direct nested-loop convolution (slow, obviously correct)."""
+    n, c, h, w = x.shape
+    out_c, _, k, _ = weight.shape
+    out_h = (h + 2 * padding - k) // stride + 1
+    out_w = (w + 2 * padding - k) // stride + 1
+    padded = np.pad(x, ((0, 0), (0, 0), (padding, padding),
+                        (padding, padding)))
+    out = np.zeros((n, out_c, out_h, out_w))
+    for b in range(n):
+        for oc in range(out_c):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = padded[b, :, i * stride:i * stride + k,
+                                   j * stride:j * stride + k]
+                    out[b, oc, i, j] = np.sum(patch * weight[oc]) \
+                        + bias[oc]
+    return out
+
+
+class TestShapeMath:
+    def test_conv_output_hw(self):
+        assert conv_output_hw(28, 28, 3, 1, 1) == (28, 28)
+        assert conv_output_hw(28, 28, 2, 2, 0) == (14, 14)
+
+    def test_too_large_kernel(self):
+        with pytest.raises(ModelError):
+            conv_output_hw(2, 2, 5, 1, 0)
+
+    def test_output_shape(self):
+        layer = Conv2d(3, 8, kernel=3, stride=1, padding=1)
+        assert layer.output_shape((3, 32, 32)) == (8, 32, 32)
+
+    def test_output_shape_wrong_channels(self):
+        layer = Conv2d(3, 8, kernel=3)
+        with pytest.raises(ModelError):
+            layer.output_shape((4, 32, 32))
+
+
+class TestIm2Col:
+    def test_round_trip_ones(self):
+        """col2im(im2col(x)) counts each pixel's patch multiplicity."""
+        x = np.ones((1, 1, 4, 4))
+        cols = im2col(x, 2, 2, 0)
+        assert cols.shape == (1, 4, 4)
+        back = col2im(cols, (1, 1, 4, 4), 2, 2, 0)
+        # non-overlapping stride=kernel: multiplicity 1 everywhere
+        assert np.array_equal(back, x)
+
+    def test_patch_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        cols = im2col(x, 2, 2, 0)
+        assert np.array_equal(cols[0, 0], [0, 1, 4, 5])
+        assert np.array_equal(cols[0, 3], [10, 11, 14, 15])
+
+
+class TestForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 0)])
+    def test_matches_reference(self, stride, padding):
+        rng = np.random.default_rng(1)
+        layer = Conv2d(2, 3, kernel=3, stride=stride, padding=padding,
+                       rng=rng)
+        x = rng.standard_normal((2, 2, 6, 6))
+        expected = reference_conv(x, layer.weight, layer.bias, stride,
+                                  padding)
+        assert np.allclose(layer.forward(x), expected, atol=1e-10)
+
+    def test_kind(self):
+        assert Conv2d(1, 1, 2).kind is LayerKind.LINEAR
+
+    def test_channel_mismatch(self):
+        layer = Conv2d(2, 3, 3)
+        with pytest.raises(ModelError):
+            layer.forward(np.zeros((1, 3, 6, 6)))
+
+
+class TestBackward:
+    def test_gradient_check(self):
+        rng = np.random.default_rng(2)
+        layer = Conv2d(2, 2, kernel=2, stride=1, padding=1, rng=rng)
+        x = rng.standard_normal((2, 2, 4, 4))
+        target = rng.standard_normal(layer.forward(x).shape)
+
+        def loss():
+            out = layer.forward(x, training=True)
+            return float(0.5 * np.sum((out - target) ** 2))
+
+        out = layer.forward(x, training=True)
+        grad_in = layer.backward(out - target)
+
+        eps = 1e-6
+        # weight gradient
+        num_w = np.zeros_like(layer.weight)
+        flat_w = layer.weight.reshape(-1)
+        num_flat = num_w.reshape(-1)
+        for i in range(flat_w.size):
+            orig = flat_w[i]
+            flat_w[i] = orig + eps
+            plus = loss()
+            flat_w[i] = orig - eps
+            minus = loss()
+            flat_w[i] = orig
+            num_flat[i] = (plus - minus) / (2 * eps)
+        assert np.allclose(layer.grads()[0], num_w, atol=1e-4)
+
+        # input gradient (sampled positions)
+        flat_x = x.reshape(-1)
+        for i in range(0, flat_x.size, 7):
+            orig = flat_x[i]
+            flat_x[i] = orig + eps
+            plus = loss()
+            flat_x[i] = orig - eps
+            minus = loss()
+            flat_x[i] = orig
+            numeric = (plus - minus) / (2 * eps)
+            assert grad_in.reshape(-1)[i] == pytest.approx(numeric,
+                                                           abs=1e-4)
+
+    def test_backward_before_forward(self):
+        layer = Conv2d(1, 1, 2)
+        with pytest.raises(ModelError):
+            layer.backward(np.zeros((1, 1, 2, 2)))
+
+
+class TestOpCounts:
+    def test_counts(self):
+        layer = Conv2d(2, 4, kernel=3, stride=1, padding=1)
+        counts = layer.op_counts((2, 8, 8))
+        outputs = 4 * 8 * 8
+        per_output = 2 * 3 * 3
+        assert counts.ciphertext_muls == outputs * per_output
+        assert counts.output_size == outputs
+        assert counts.input_size == 2 * 8 * 8

@@ -1,0 +1,102 @@
+"""Unit tests for FullyConnected, with numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.layers import FullyConnected, LayerKind, OpCounts
+
+
+def numerical_grad(fn, array, epsilon=1e-6):
+    """Central-difference gradient of scalar fn w.r.t. array."""
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        plus = fn()
+        flat[index] = original - epsilon
+        minus = fn()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+class TestForward:
+    def test_shapes(self):
+        layer = FullyConnected(4, 3)
+        out = layer.forward(np.zeros((2, 4)))
+        assert out.shape == (2, 3)
+
+    def test_known_values(self):
+        layer = FullyConnected(2, 2)
+        layer.weight[:] = [[1.0, 2.0], [3.0, 4.0]]
+        layer.bias[:] = [0.5, -0.5]
+        out = layer.forward(np.array([[1.0, 1.0]]))
+        assert out[0] == pytest.approx([3.5, 6.5])
+
+    def test_kind_linear(self):
+        assert FullyConnected(2, 2).kind is LayerKind.LINEAR
+
+    def test_wrong_feature_count(self):
+        layer = FullyConnected(4, 3)
+        with pytest.raises(ModelError):
+            layer.forward(np.zeros((1, 5)))
+
+    def test_wrong_rank(self):
+        layer = FullyConnected(4, 3)
+        with pytest.raises(ModelError):
+            layer.forward(np.zeros(4))
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ModelError):
+            FullyConnected(0, 3)
+
+
+class TestBackward:
+    def test_backward_before_forward(self):
+        layer = FullyConnected(2, 2)
+        with pytest.raises(ModelError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(0)
+        layer = FullyConnected(3, 2, rng=rng)
+        x = rng.standard_normal((4, 3))
+        target = rng.standard_normal((4, 2))
+
+        def loss():
+            out = layer.forward(x, training=True)
+            return float(0.5 * np.sum((out - target) ** 2))
+
+        out = layer.forward(x, training=True)
+        grad_out = out - target
+        grad_in = layer.backward(grad_out)
+
+        num_w = numerical_grad(loss, layer.weight)
+        num_b = numerical_grad(loss, layer.bias)
+        assert np.allclose(layer.grads()[0], num_w, atol=1e-5)
+        assert np.allclose(layer.grads()[1], num_b, atol=1e-5)
+
+        num_x = numerical_grad(loss, x)
+        assert np.allclose(grad_in, num_x, atol=1e-5)
+
+
+class TestIntrospection:
+    def test_op_counts(self):
+        layer = FullyConnected(4, 3)
+        counts = layer.op_counts((4,))
+        assert counts == OpCounts(
+            ciphertext_muls=12, ciphertext_adds=12,
+            input_size=4, output_size=3,
+        )
+
+    def test_output_shape_validation(self):
+        layer = FullyConnected(4, 3)
+        assert layer.output_shape((4,)) == (3,)
+        with pytest.raises(ModelError):
+            layer.output_shape((5,))
+
+    def test_param_count(self):
+        assert FullyConnected(4, 3).param_count() == 4 * 3 + 3

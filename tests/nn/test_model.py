@@ -1,0 +1,125 @@
+"""Unit tests for the Sequential container and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.layers import (
+    Conv2d,
+    Flatten,
+    FullyConnected,
+    LayerKind,
+    ReLU,
+    SoftMax,
+)
+from repro.nn.model import Sequential
+
+
+def small_model():
+    model = Sequential((4,), name="small")
+    model.add(FullyConnected(4, 3))
+    model.add(ReLU())
+    model.add(FullyConnected(3, 2))
+    model.add(SoftMax())
+    return model
+
+
+class TestConstruction:
+    def test_shape_checked_on_add(self):
+        model = Sequential((4,))
+        model.add(FullyConnected(4, 3))
+        with pytest.raises(ModelError):
+            model.add(FullyConnected(4, 2))  # expects 3 features now
+
+    def test_output_shape(self):
+        assert small_model().output_shape() == (2,)
+
+    def test_layer_shapes(self):
+        shapes = small_model().layer_shapes()
+        assert shapes[0] == ((4,), (3,))
+        assert shapes[-1] == ((2,), (2,))
+
+    def test_kinds(self):
+        kinds = small_model().kinds()
+        assert kinds == [LayerKind.LINEAR, LayerKind.NONLINEAR,
+                         LayerKind.LINEAR, LayerKind.NONLINEAR]
+
+
+class TestForward:
+    def test_probabilities(self):
+        model = small_model()
+        out = model.forward(np.zeros((5, 4)))
+        assert out.shape == (5, 2)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_predict(self):
+        model = small_model()
+        preds = model.predict(np.zeros((3, 4)))
+        assert preds.shape == (3,)
+
+    def test_forward_logits_skips_trailing_softmax(self):
+        model = small_model()
+        x = np.random.default_rng(0).standard_normal((2, 4))
+        logits = model.forward_logits(x)
+        probs = model.forward(x)
+        exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+        assert np.allclose(probs, exp / exp.sum(axis=1, keepdims=True))
+
+
+class TestSerialization:
+    def test_state_dict_round_trip(self):
+        model = small_model()
+        clone = Sequential.from_state_dict(model.state_dict())
+        x = np.random.default_rng(1).standard_normal((3, 4))
+        assert np.allclose(model.forward(x), clone.forward(x))
+
+    def test_save_load(self, tmp_path):
+        model = small_model()
+        path = tmp_path / "model.json"
+        model.save(path)
+        clone = Sequential.load(path)
+        x = np.random.default_rng(2).standard_normal((2, 4))
+        assert np.allclose(model.forward(x), clone.forward(x))
+        assert clone.name == "small"
+
+    def test_conv_model_round_trip(self):
+        model = Sequential((1, 4, 4))
+        model.add(Conv2d(1, 2, kernel=2, stride=2))
+        model.add(ReLU())
+        model.add(Flatten())
+        model.add(FullyConnected(8, 2))
+        model.add(SoftMax())
+        clone = Sequential.from_state_dict(model.state_dict())
+        x = np.random.default_rng(3).standard_normal((2, 1, 4, 4))
+        assert np.allclose(model.forward(x), clone.forward(x))
+
+    def test_batchnorm_buffers_preserved(self):
+        from repro.nn.layers import BatchNorm
+
+        model = Sequential((3,))
+        bn = BatchNorm(3)
+        bn.running_mean = np.array([1.0, 2.0, 3.0])
+        bn.running_var = np.array([0.5, 1.5, 2.5])
+        model.add(bn)
+        clone = Sequential.from_state_dict(model.state_dict())
+        restored = clone.layers[0]
+        assert np.array_equal(restored.running_mean, bn.running_mean)
+        assert np.array_equal(restored.running_var, bn.running_var)
+
+    def test_unknown_layer_type_rejected(self):
+        state = small_model().state_dict()
+        state["layers"][0]["type"] = "Mystery"
+        with pytest.raises(ModelError):
+            Sequential.from_state_dict(state)
+
+
+class TestIntrospection:
+    def test_param_count(self):
+        model = small_model()
+        assert model.param_count() == (4 * 3 + 3) + (3 * 2 + 2)
+
+    def test_summary_mentions_layers(self):
+        text = small_model().summary()
+        assert "FullyConnected" in text
+        assert "SoftMax" in text
+        assert "total params" in text

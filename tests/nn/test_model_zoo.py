@@ -1,0 +1,84 @@
+"""Unit tests for the Table III model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn import model_zoo
+from repro.nn.layers import Conv2d, LayerKind, MaxPool2d, SoftMax
+from repro.planner.primitive import extract_primitives
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("key,shape,classes", [
+        ("breast", (30,), 2),
+        ("heart", (13,), 2),
+        ("cardio", (11,), 2),
+        ("mnist-1", (1, 28, 28), 10),
+        ("mnist-2", (1, 28, 28), 10),
+        ("mnist-3", (1, 28, 28), 10),
+    ])
+    def test_shapes(self, key, shape, classes):
+        model = model_zoo.build_model(key)
+        assert model.input_shape == shape
+        assert model.output_shape() == (classes,)
+
+    @pytest.mark.parametrize("key", ["cifar-10-1", "cifar-10-2",
+                                     "cifar-10-3"])
+    def test_vgg_shapes(self, key):
+        model = model_zoo.build_model(key)
+        assert model.input_shape == (3, 32, 32)
+        assert model.output_shape() == (10,)
+
+    def test_vgg_depths_differ(self):
+        counts = {
+            key: sum(isinstance(layer, Conv2d)
+                     for layer in model_zoo.build_model(key).layers)
+            for key in ("cifar-10-1", "cifar-10-2", "cifar-10-3")
+        }
+        # VGG13 < VGG16 < VGG19 in conv count (incl. pool-replacements)
+        assert counts["cifar-10-1"] < counts["cifar-10-2"] \
+            < counts["cifar-10-3"]
+
+    def test_unknown_key(self):
+        with pytest.raises(ModelError):
+            model_zoo.build_model("resnet50")
+
+    def test_unknown_vgg_variant(self):
+        with pytest.raises(ModelError):
+            model_zoo.vgg("vgg11")
+
+
+class TestPrivacyReadiness:
+    """Every zoo model must be directly deployable in the protocol."""
+
+    @pytest.mark.parametrize("key", model_zoo.MODEL_KEYS)
+    def test_no_maxpool(self, key):
+        model = model_zoo.build_model(key)
+        assert not any(isinstance(layer, MaxPool2d)
+                       for layer in model.layers)
+
+    @pytest.mark.parametrize("key", model_zoo.MODEL_KEYS)
+    def test_ends_with_softmax(self, key):
+        model = model_zoo.build_model(key)
+        assert isinstance(model.layers[-1], SoftMax)
+
+    @pytest.mark.parametrize("key", ["breast", "mnist-1", "mnist-2",
+                                     "mnist-3"])
+    def test_primitive_extraction_succeeds(self, key):
+        """No position-sensitive layer outside the final position."""
+        model = model_zoo.build_model(key)
+        primitives = extract_primitives(model)
+        assert primitives[0].kind is LayerKind.LINEAR
+        assert primitives[-1].kind is LayerKind.NONLINEAR
+
+    def test_forward_runs(self):
+        model = model_zoo.build_model("mnist-2")
+        out = model.forward(np.zeros((2, 1, 28, 28)))
+        assert out.shape == (2, 10)
+
+    def test_deterministic_by_seed(self):
+        a = model_zoo.build_model("mnist-2", seed=5)
+        b = model_zoo.build_model("mnist-2", seed=5)
+        for pa, pb in zip(a.params(), b.params()):
+            assert np.array_equal(pa, pb)

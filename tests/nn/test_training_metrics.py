@@ -1,0 +1,166 @@
+"""Unit tests for the trainer and the paper's accuracy metric."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, TrainingError
+from repro.nn.layers import FullyConnected, ReLU, SoftMax
+from repro.nn.metrics import accuracy, confusion_counts, top1_accuracy
+from repro.nn.model import Sequential
+from repro.nn.training import SGDTrainer, softmax_cross_entropy
+
+
+def toy_problem(seed=0, samples=200):
+    """Linearly separable blobs: a sane trainer must solve this."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[2.0, 2.0], [-2.0, -2.0]])
+    labels = rng.integers(0, 2, samples)
+    x = centers[labels] + rng.standard_normal((samples, 2)) * 0.5
+    return x, labels
+
+
+def toy_model(seed=0):
+    rng = np.random.default_rng(seed)
+    model = Sequential((2,))
+    model.add(FullyConnected(2, 8, rng=rng))
+    model.add(ReLU())
+    model.add(FullyConnected(8, 2, rng=rng))
+    model.add(SoftMax())
+    return model
+
+
+class TestSoftmaxCrossEntropy:
+    def test_loss_at_uniform(self):
+        logits = np.zeros((4, 3))
+        labels = np.array([0, 1, 2, 0])
+        loss, grad = softmax_cross_entropy(logits, labels)
+        assert loss == pytest.approx(np.log(3))
+        assert grad.shape == (4, 3)
+
+    def test_gradient_sums_to_zero_rows(self):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((5, 4))
+        labels = rng.integers(0, 4, 5)
+        _, grad = softmax_cross_entropy(logits, labels)
+        assert np.allclose(grad.sum(axis=1), 0.0)
+
+    def test_numerical_gradient(self):
+        rng = np.random.default_rng(2)
+        logits = rng.standard_normal((3, 3))
+        labels = np.array([0, 2, 1])
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        flat = logits.reshape(-1)
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            plus, _ = softmax_cross_entropy(logits, labels)
+            flat[i] = orig - eps
+            minus, _ = softmax_cross_entropy(logits, labels)
+            flat[i] = orig
+            assert grad.reshape(-1)[i] == pytest.approx(
+                (plus - minus) / (2 * eps), abs=1e-5
+            )
+
+
+class TestSGDTrainer:
+    def test_learns_separable_problem(self):
+        x, y = toy_problem()
+        model = toy_model()
+        result = SGDTrainer(model, learning_rate=0.1, seed=0).fit(
+            x, y, epochs=15
+        )
+        assert result.train_accuracy > 0.97
+        assert result.losses[-1] < result.losses[0]
+
+    def test_loss_decreases(self):
+        x, y = toy_problem(seed=3)
+        model = toy_model(seed=3)
+        result = SGDTrainer(model, learning_rate=0.05, seed=0).fit(
+            x, y, epochs=10
+        )
+        assert result.losses[-1] < 0.5 * result.losses[0]
+
+    def test_weight_decay_shrinks_weights(self):
+        x, y = toy_problem(seed=4)
+        plain = toy_model(seed=4)
+        decayed = toy_model(seed=4)
+        SGDTrainer(plain, learning_rate=0.05, seed=0).fit(x, y, epochs=5)
+        SGDTrainer(decayed, learning_rate=0.05, weight_decay=0.1,
+                   seed=0).fit(x, y, epochs=5)
+        plain_norm = sum(float(np.abs(p).sum()) for p in plain.params())
+        decayed_norm = sum(float(np.abs(p).sum())
+                           for p in decayed.params())
+        assert decayed_norm < plain_norm
+
+    def test_mismatched_labels_rejected(self):
+        model = toy_model()
+        trainer = SGDTrainer(model)
+        with pytest.raises(TrainingError):
+            trainer.train_epoch(np.zeros((4, 2)), np.zeros(3, dtype=int))
+
+    def test_bad_hyperparameters(self):
+        model = toy_model()
+        with pytest.raises(TrainingError):
+            SGDTrainer(model, learning_rate=0.0)
+        with pytest.raises(TrainingError):
+            SGDTrainer(model, momentum=1.0)
+        with pytest.raises(TrainingError):
+            SGDTrainer(model, batch_size=0)
+
+    def test_deterministic(self):
+        x, y = toy_problem(seed=5)
+        a, b = toy_model(seed=5), toy_model(seed=5)
+        SGDTrainer(a, seed=9).fit(x, y, epochs=3)
+        SGDTrainer(b, seed=9).fit(x, y, epochs=3)
+        for pa, pb in zip(a.params(), b.params()):
+            assert np.array_equal(pa, pb)
+
+
+class TestMetrics:
+    def test_binary_confusion(self):
+        predictions = np.array([1, 0, 1, 1])
+        labels = np.array([1, 0, 0, 1])
+        counts = confusion_counts(predictions, labels, 2)
+        # one-vs-rest over 2 classes doubles each cell
+        assert counts.tp == 3
+        assert counts.fp == 1
+        assert counts.fn == 1
+        assert counts.tn == 3
+
+    def test_accuracy_definition(self):
+        """Paper IV-A: (TP+TN)/(TP+TN+FP+FN)."""
+        predictions = np.array([1, 0, 1, 1])
+        labels = np.array([1, 0, 0, 1])
+        counts = confusion_counts(predictions, labels, 2)
+        assert accuracy(predictions, labels, 2) == pytest.approx(
+            (counts.tp + counts.tn)
+            / (counts.tp + counts.tn + counts.fp + counts.fn)
+        )
+
+    def test_binary_equals_top1(self):
+        rng = np.random.default_rng(6)
+        predictions = rng.integers(0, 2, 100)
+        labels = rng.integers(0, 2, 100)
+        assert accuracy(predictions, labels, 2) == pytest.approx(
+            top1_accuracy(predictions, labels)
+        )
+
+    def test_perfect_predictions(self):
+        labels = np.array([0, 1, 2, 3])
+        assert accuracy(labels, labels, 4) == 1.0
+
+    def test_multiclass_monotone_in_correctness(self):
+        labels = np.zeros(10, dtype=int)
+        better = np.zeros(10, dtype=int)
+        worse = np.zeros(10, dtype=int)
+        worse[:5] = 1
+        assert accuracy(better, labels, 3) > accuracy(worse, labels, 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ModelError):
+            accuracy(np.zeros(3), np.zeros(4), 2)
+
+    def test_num_classes_validation(self):
+        with pytest.raises(ModelError):
+            accuracy(np.zeros(3), np.zeros(3), 1)

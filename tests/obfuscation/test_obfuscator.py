@@ -1,0 +1,73 @@
+"""Unit tests for the per-round obfuscation state machine."""
+
+import pytest
+
+from repro.errors import ObfuscationError
+from repro.obfuscation.obfuscator import Obfuscator
+
+
+class TestRounds:
+    def test_round_trip(self):
+        obfuscator = Obfuscator(master_seed=1)
+        items = list(range(10))
+        round_id, permuted = obfuscator.obfuscate(items)
+        assert sorted(permuted) == items
+        assert obfuscator.deobfuscate(round_id, permuted) == items
+
+    def test_fresh_permutation_per_round(self):
+        """Section III-C: different random seeds per round."""
+        obfuscator = Obfuscator(master_seed=2)
+        items = list(range(64))
+        _, first = obfuscator.obfuscate(items)
+        _, second = obfuscator.obfuscate(items)
+        assert first != second
+
+    def test_round_ids_monotone(self):
+        obfuscator = Obfuscator(master_seed=3)
+        ids = [obfuscator.obfuscate([1, 2, 3])[0] for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+        assert obfuscator.rounds_started == 5
+
+    def test_double_deobfuscate_rejected(self):
+        obfuscator = Obfuscator(master_seed=4)
+        round_id, permuted = obfuscator.obfuscate([1, 2, 3])
+        obfuscator.deobfuscate(round_id, permuted)
+        with pytest.raises(ObfuscationError):
+            obfuscator.deobfuscate(round_id, permuted)
+
+    def test_unknown_round_rejected(self):
+        obfuscator = Obfuscator(master_seed=5)
+        with pytest.raises(ObfuscationError):
+            obfuscator.deobfuscate(99, [1, 2])
+
+    def test_out_of_order_deobfuscation_allowed(self):
+        """The stream runtime completes rounds out of order."""
+        obfuscator = Obfuscator(master_seed=6)
+        items = list(range(8))
+        r0, p0 = obfuscator.obfuscate(items)
+        r1, p1 = obfuscator.obfuscate(items)
+        assert obfuscator.deobfuscate(r1, p1) == items
+        assert obfuscator.deobfuscate(r0, p0) == items
+
+    def test_deterministic_across_instances(self):
+        a = Obfuscator(master_seed=7)
+        b = Obfuscator(master_seed=7)
+        items = list(range(16))
+        assert a.obfuscate(items)[1] == b.obfuscate(items)[1]
+
+    def test_history_records_rounds(self):
+        obfuscator = Obfuscator(master_seed=8)
+        obfuscator.obfuscate([1, 2])
+        obfuscator.obfuscate([1, 2, 3])
+        history = obfuscator.history()
+        assert [record.round_id for record in history] == [0, 1]
+        assert history[1].permutation.length == 3
+
+    def test_peek_permutation(self):
+        obfuscator = Obfuscator(master_seed=9)
+        round_id, permuted = obfuscator.obfuscate(list("abcd"))
+        permutation = obfuscator.peek_permutation(round_id)
+        assert permutation.apply(list("abcd")) == permuted
+        obfuscator.deobfuscate(round_id, permuted)
+        with pytest.raises(ObfuscationError):
+            obfuscator.peek_permutation(round_id)

@@ -1,0 +1,99 @@
+"""Unit tests for seeded permutations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ObfuscationError
+from repro.obfuscation.permutation import Permutation
+
+
+class TestConstruction:
+    def test_valid_order(self):
+        p = Permutation([2, 0, 1])
+        assert p.length == 3
+        assert p.order == (2, 0, 1)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ObfuscationError):
+            Permutation([0, 0, 1])
+        with pytest.raises(ObfuscationError):
+            Permutation([0, 2])
+
+    def test_random_deterministic(self):
+        assert Permutation.random(10, seed=5) == \
+            Permutation.random(10, seed=5)
+
+    def test_random_seed_sensitivity(self):
+        assert Permutation.random(32, seed=1) != \
+            Permutation.random(32, seed=2)
+
+    def test_random_zero_length_rejected(self):
+        with pytest.raises(ObfuscationError):
+            Permutation.random(0, seed=1)
+
+    def test_identity(self):
+        p = Permutation.identity(5)
+        assert p.is_identity()
+        assert p.apply([1, 2, 3, 4, 5]) == [1, 2, 3, 4, 5]
+
+
+class TestApplyInvert:
+    def test_round_trip(self):
+        p = Permutation.random(20, seed=7)
+        items = list(range(100, 120))
+        assert p.invert(p.apply(items)) == items
+
+    def test_apply_then_invert_arrays(self):
+        p = Permutation.random(16, seed=9)
+        values = np.arange(16.0)
+        assert np.array_equal(p.invert_array(p.apply_array(values)),
+                              values)
+
+    def test_apply_semantics(self):
+        p = Permutation([2, 0, 1])
+        assert p.apply(["a", "b", "c"]) == ["c", "a", "b"]
+
+    def test_wrong_length_rejected(self):
+        p = Permutation.random(4, seed=0)
+        with pytest.raises(ObfuscationError):
+            p.apply([1, 2, 3])
+        with pytest.raises(ObfuscationError):
+            p.invert([1, 2, 3, 4, 5])
+
+    def test_array_wrong_shape_rejected(self):
+        p = Permutation.random(4, seed=0)
+        with pytest.raises(ObfuscationError):
+            p.apply_array(np.zeros((2, 2)))
+
+    def test_multiset_preserved(self):
+        p = Permutation.random(50, seed=3)
+        items = list(range(50))
+        assert sorted(p.apply(items)) == items
+
+
+class TestAlgebra:
+    def test_inverse_object(self):
+        p = Permutation.random(12, seed=4)
+        items = list("abcdefghijkl")
+        assert p.inverse().apply(p.apply(items)) == items
+
+    def test_compose(self):
+        p = Permutation.random(8, seed=1)
+        q = Permutation.random(8, seed=2)
+        items = list(range(8))
+        # compose(q) applies q first, then p
+        assert p.compose(q).apply(items) == p.apply(q.apply(items))
+
+    def test_compose_with_inverse_is_identity(self):
+        p = Permutation.random(8, seed=6)
+        assert p.compose(p.inverse()).is_identity()
+
+    def test_compose_length_mismatch(self):
+        with pytest.raises(ObfuscationError):
+            Permutation.random(4, 0).compose(Permutation.random(5, 0))
+
+    def test_hashable(self):
+        p = Permutation.random(6, seed=8)
+        q = Permutation(p.order)
+        assert hash(p) == hash(q)
+        assert len({p, q}) == 1

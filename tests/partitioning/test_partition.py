@@ -1,0 +1,129 @@
+"""Unit tests for thread-level tensor partitioning (Section IV-D)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitioningError
+from repro.nn.layers import Conv2d, FullyConnected
+from repro.partitioning.partition import (
+    partition_affine,
+    partition_elementwise,
+    stage_communication,
+)
+from repro.scaling.fixed_point import scaled_affine_for_layer
+
+
+def fc_affine(in_features=6, out_features=4, decimals=3, seed=0):
+    layer = FullyConnected(in_features, out_features,
+                           rng=np.random.default_rng(seed))
+    return scaled_affine_for_layer(layer, (in_features,), decimals)
+
+
+def conv_affine(seed=0):
+    layer = Conv2d(1, 1, kernel=2, stride=1, padding=0,
+                   rng=np.random.default_rng(seed))
+    return scaled_affine_for_layer(layer, (1, 3, 3), 3), layer
+
+
+class TestOutputPartitioning:
+    def test_covers_all_outputs_exactly_once(self):
+        affine = fc_affine()
+        tasks = partition_affine(affine, threads=3,
+                                 input_partitioning=False)
+        outputs = [i for task in tasks for i in task.output_indices]
+        assert sorted(outputs) == list(range(affine.out_dim))
+
+    def test_near_equal_blocks(self):
+        affine = fc_affine(out_features=10)
+        tasks = partition_affine(affine, threads=3,
+                                 input_partitioning=False)
+        sizes = [task.output_elements for task in tasks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_threads_than_outputs(self):
+        affine = fc_affine(out_features=2)
+        tasks = partition_affine(affine, threads=8,
+                                 input_partitioning=False)
+        assert len(tasks) == 2
+
+    def test_fc_needs_whole_input_even_with_input_partitioning(self):
+        """Dense rows: input partitioning degenerates for FC (paper)."""
+        affine = fc_affine()
+        tasks = partition_affine(affine, threads=2,
+                                 input_partitioning=True)
+        for task in tasks:
+            assert task.input_elements == affine.in_dim
+
+
+class TestInputPartitioning:
+    def test_conv_receptive_fields_shrink_input(self):
+        """Figure 5: each thread needs only 6 of 9 input elements."""
+        affine, _ = conv_affine()
+        tasks = partition_affine(affine, threads=2,
+                                 input_partitioning=True)
+        assert len(tasks) == 2
+        for task in tasks:
+            assert task.input_elements == 6
+
+    def test_figure5_communication_totals(self):
+        """With partitioning: 12 elements shipped; without: 18."""
+        affine, _ = conv_affine()
+        with_tp = partition_affine(affine, 2, input_partitioning=True)
+        without_tp = partition_affine(affine, 2,
+                                      input_partitioning=False)
+        assert stage_communication(with_tp) == 12
+        assert stage_communication(without_tp) == 18
+
+    def test_partitioned_results_match_full_affine(self):
+        """Combining per-task plain evaluations == whole-affine result."""
+        affine, _ = conv_affine(seed=2)
+        x_int = np.arange(9, dtype=np.int64) * 7 - 20
+        full = affine.apply_plain(x_int, input_exponent=0).reshape(-1)
+        tasks = partition_affine(affine, threads=2,
+                                 input_partitioning=True)
+        combined = np.empty(affine.out_dim, dtype=object)
+        for task in tasks:
+            sub_x = x_int[list(task.input_indices)].astype(object)
+            bias = task.bias_at(0).astype(object)
+            out = task.weight.astype(object) @ sub_x + bias
+            for position, value in zip(task.output_indices, out):
+                combined[position] = value
+        assert np.array_equal(combined, full)
+
+    def test_fc_partitioned_results_match(self):
+        affine = fc_affine(seed=3)
+        x_int = np.arange(affine.in_dim, dtype=np.int64) - 3
+        full = affine.apply_plain(x_int, input_exponent=0).reshape(-1)
+        tasks = partition_affine(affine, threads=3,
+                                 input_partitioning=True)
+        combined = np.empty(affine.out_dim, dtype=object)
+        for task in tasks:
+            sub_x = x_int[list(task.input_indices)].astype(object)
+            out = task.weight.astype(object) @ sub_x \
+                + task.bias_at(0).astype(object)
+            for position, value in zip(task.output_indices, out):
+                combined[position] = value
+        assert np.array_equal(combined, full)
+
+
+class TestElementwisePartitioning:
+    def test_inputs_equal_outputs(self):
+        tasks = partition_elementwise(10, 3)
+        for task in tasks:
+            assert task.input_indices == task.output_indices
+
+    def test_covers_everything(self):
+        tasks = partition_elementwise(10, 4)
+        covered = [i for task in tasks for i in task.output_indices]
+        assert sorted(covered) == list(range(10))
+
+    def test_no_bias(self):
+        task = partition_elementwise(4, 1)[0]
+        with pytest.raises(PartitioningError):
+            task.bias_at(0)
+
+    def test_validation(self):
+        with pytest.raises(PartitioningError):
+            partition_elementwise(0, 2)
+        with pytest.raises(PartitioningError):
+            partition_elementwise(4, 0)

@@ -1,0 +1,120 @@
+"""Unit tests for analytic receptive-field computation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitioningError
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm,
+    Conv2d,
+    Flatten,
+    FullyConnected,
+    ReLU,
+)
+from repro.partitioning.receptive import (
+    chain_required_inputs,
+    partitioned_input_elements,
+    required_inputs,
+)
+from repro.scaling.fixed_point import scaled_affine_for_layer
+
+
+class TestRequiredInputs:
+    def test_conv_matches_dense_matrix(self):
+        """Analytic receptive fields == non-zero columns of the dense
+        unrolled conv matrix, for every output element."""
+        layer = Conv2d(2, 3, kernel=3, stride=2, padding=1,
+                       rng=np.random.default_rng(0))
+        input_shape = (2, 5, 5)
+        affine = scaled_affine_for_layer(layer, input_shape, 6)
+        out_size = affine.out_dim
+        for flat in range(out_size):
+            dense_support = set(
+                int(i) for i in np.flatnonzero(affine.weight[flat])
+            )
+            analytic = required_inputs(layer, input_shape, [flat])
+            # dense support can be smaller if a weight rounds to zero;
+            # analytic must be a superset and within kernel bounds
+            assert dense_support <= analytic
+            assert len(analytic) <= 2 * 3 * 3
+
+    def test_fc_needs_everything(self):
+        layer = FullyConnected(6, 3)
+        assert required_inputs(layer, (6,), [1]) == set(range(6))
+
+    def test_fc_empty_outputs(self):
+        layer = FullyConnected(6, 3)
+        assert required_inputs(layer, (6,), []) == set()
+
+    def test_elementwise_identity(self):
+        for layer in (BatchNorm(2), Flatten()):
+            shape = (2, 3, 3) if isinstance(layer, BatchNorm) else (18,)
+            assert required_inputs(layer, shape, [4, 7]) == {4, 7}
+
+    def test_avgpool_window(self):
+        layer = AvgPool2d(2)
+        # output (0,0,0) of a (1,4,4) input needs the 2x2 corner
+        needed = required_inputs(layer, (1, 4, 4), [0])
+        assert needed == {0, 1, 4, 5}
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(PartitioningError):
+            required_inputs(ReLU(), (4,), [0])
+
+    def test_out_of_range_output(self):
+        layer = Conv2d(1, 1, kernel=2)
+        with pytest.raises(PartitioningError):
+            required_inputs(layer, (1, 3, 3), [100])
+
+
+class TestChaining:
+    def test_conv_then_bn_chain(self):
+        conv = Conv2d(1, 2, kernel=2, stride=1)
+        bn = BatchNorm(2)
+        conv_out = conv.output_shape((1, 3, 3))
+        needed = chain_required_inputs(
+            [conv, bn], [(1, 3, 3), conv_out], [0]
+        )
+        # BN is identity on indices; conv output 0 needs its 2x2 patch
+        assert needed == {0, 1, 3, 4}
+
+    def test_chain_through_fc_is_everything(self):
+        conv = Conv2d(1, 1, kernel=2)
+        fc = FullyConnected(4, 2)
+        needed = chain_required_inputs(
+            [conv, fc], [(1, 3, 3), (4,)], [0]
+        )
+        assert needed == set(range(9))
+
+    def test_length_mismatch(self):
+        with pytest.raises(PartitioningError):
+            chain_required_inputs([Flatten()], [], [0])
+
+
+class TestPartitionedInputElements:
+    def test_conv_per_thread_counts(self):
+        conv = Conv2d(1, 1, kernel=2, stride=1)
+        counts = partitioned_input_elements(
+            [conv], [(1, 3, 3)], output_size=4, threads=2
+        )
+        assert counts == [6, 6]  # Figure 5
+
+    def test_sum_bounded_by_threads_times_input(self):
+        conv = Conv2d(2, 4, kernel=3, stride=1, padding=1)
+        counts = partitioned_input_elements(
+            [conv], [(2, 8, 8)], output_size=4 * 8 * 8, threads=4
+        )
+        assert sum(counts) <= 4 * 2 * 8 * 8
+        assert all(c > 0 for c in counts)
+
+    def test_single_thread_needs_at_most_everything(self):
+        conv = Conv2d(1, 2, kernel=3, padding=1)
+        counts = partitioned_input_elements(
+            [conv], [(1, 6, 6)], output_size=2 * 6 * 6, threads=1
+        )
+        assert counts == [36]
+
+    def test_thread_validation(self):
+        with pytest.raises(PartitioningError):
+            partitioned_input_elements([Flatten()], [(4,)], 4, 0)

@@ -1,0 +1,194 @@
+"""Unit tests for load-balanced resource allocation (Eq. 4-8)."""
+
+import pytest
+
+from repro.errors import InfeasibleAllocationError, PlannerError
+from repro.nn.layers import FullyConnected, LayerKind, ReLU, SoftMax
+from repro.nn.model import Sequential
+from repro.planner.allocation import (
+    allocate_even,
+    allocate_load_balanced,
+    build_allocation_milp,
+)
+from repro.planner.ilp import solve_milp
+from repro.planner.plan import ClusterSpec
+from repro.planner.primitive import model_stages
+from repro.planner.profiling import profile_primitive_times
+from repro.costs import CostModel
+
+
+def fc_stages():
+    model = Sequential((4,))
+    model.add(FullyConnected(4, 8))
+    model.add(ReLU())
+    model.add(FullyConnected(8, 2))
+    model.add(SoftMax())
+    return model_stages(model)
+
+
+class TestEvenAllocation:
+    def test_capacity_used(self):
+        stages = fc_stages()
+        cluster = ClusterSpec.homogeneous(1, 1, 4)  # capacity 16
+        result = allocate_even(stages, cluster)
+        assert result.method == "even"
+        assert result.plan.total_threads() == 16
+
+    def test_remainder_goes_to_early_stages(self):
+        stages = fc_stages()
+        cluster = ClusterSpec.homogeneous(1, 1, 3,
+                                          hyperthreading=False)
+        result = allocate_even(stages, cluster)
+        threads = [a.threads for a in result.plan.assignments]
+        assert max(threads) - min(threads) <= 1
+
+    def test_validates_against_constraints(self):
+        stages = fc_stages()
+        cluster = ClusterSpec.homogeneous(1, 1, 2)
+        result = allocate_even(stages, cluster)
+        # Plan construction itself enforces Eq. 5-8.
+        assert result.plan.total_threads() <= cluster.total_capacity()
+
+
+class TestWaterFilling:
+    def test_slow_stage_gets_more_threads(self):
+        stages = fc_stages()
+        cluster = ClusterSpec.homogeneous(1, 1, 4)
+        times = [100.0, 1.0, 1.0, 1.0]
+        result = allocate_load_balanced(stages, times, cluster,
+                                        method="water_filling")
+        threads = [a.threads for a in result.plan.assignments]
+        assert threads[0] == max(threads)
+        assert threads[0] > threads[2]
+
+    def test_fills_capacity(self):
+        stages = fc_stages()
+        cluster = ClusterSpec.homogeneous(1, 1, 4)
+        times = [3.0, 2.0, 2.0, 1.0]
+        result = allocate_load_balanced(stages, times, cluster,
+                                        method="water_filling")
+        # linear stages fill the model server, nonlinear the data server
+        assert result.plan.total_threads() == cluster.total_capacity()
+
+    def test_beats_even_on_skewed_load(self):
+        stages = fc_stages()
+        cluster = ClusterSpec.homogeneous(1, 1, 4)
+        times = [50.0, 5.0, 1.0, 1.0]
+        even = allocate_even(stages, cluster)
+        balanced = allocate_load_balanced(stages, times, cluster,
+                                          method="water_filling")
+        even_sum = sum(t / a.threads for t, a in
+                       zip(times, even.plan.assignments))
+        balanced_sum = sum(t / a.threads for t, a in
+                           zip(times, balanced.plan.assignments))
+        assert balanced_sum < even_sum
+
+    def test_infeasible_cluster(self):
+        stages = fc_stages()
+        # 1-core data server (cap 2) must host 2 nonlinear stages: ok;
+        # but without hyperthreading it cannot.
+        cluster = ClusterSpec.homogeneous(1, 1, 1,
+                                          hyperthreading=False)
+        with pytest.raises(InfeasibleAllocationError):
+            allocate_load_balanced(stages, [1.0] * 4, cluster,
+                                   method="water_filling")
+
+    def test_input_validation(self):
+        stages = fc_stages()
+        cluster = ClusterSpec.homogeneous(1, 1, 2)
+        with pytest.raises(PlannerError):
+            allocate_load_balanced(stages, [1.0], cluster)
+        with pytest.raises(PlannerError):
+            allocate_load_balanced(stages, [0.0] * 4, cluster)
+        with pytest.raises(PlannerError):
+            allocate_load_balanced([], [], cluster)
+        with pytest.raises(PlannerError):
+            allocate_load_balanced(stages, [1.0] * 4, cluster,
+                                   method="magic")
+
+
+class TestMilpFormulation:
+    def test_solves_and_decodes(self):
+        stages = fc_stages()
+        cluster = ClusterSpec.homogeneous(1, 1, 1)
+        times = [4.0, 2.0, 3.0, 1.0]
+        result = allocate_load_balanced(stages, times, cluster,
+                                        method="milp")
+        assert result.method == "milp"
+        assert result.plan.total_threads() >= 4
+
+    def test_milp_objective_not_worse_than_water_filling(self):
+        """The faithful MILP optimizes Eq. 4 exactly, so its pairwise
+        imbalance is <= the heuristic's."""
+        stages = fc_stages()
+        cluster = ClusterSpec.homogeneous(1, 1, 2)
+        times = [6.0, 3.0, 2.0, 1.0]
+        milp = allocate_load_balanced(stages, times, cluster,
+                                      method="milp")
+        heuristic = allocate_load_balanced(stages, times, cluster,
+                                           method="water_filling")
+        assert milp.objective <= heuristic.objective + 1e-9
+
+    def test_respects_capacity(self):
+        stages = fc_stages()
+        cluster = ClusterSpec.homogeneous(1, 1, 1)
+        times = [5.0, 5.0, 5.0, 5.0]
+        result = allocate_load_balanced(stages, times, cluster,
+                                        method="milp")
+        loads: dict[int, int] = {}
+        for assignment in result.plan.assignments:
+            loads[assignment.server_id] = \
+                loads.get(assignment.server_id, 0) + assignment.threads
+        for server_id, load in loads.items():
+            capacity = cluster.servers[server_id].capacity(True)
+            assert load <= capacity
+
+    def test_build_produces_expected_structure(self):
+        stages = fc_stages()
+        cluster = ClusterSpec.homogeneous(1, 1, 1)
+        problem, index = build_allocation_milp(stages, [1.0] * 4,
+                                               cluster)
+        # one u per (stage, thread count), one x per (stage, server)
+        assert len(index["u"]) == sum(
+            cluster.servers[0].capacity(True)
+            if s.kind is LayerKind.LINEAR
+            else cluster.servers[1].capacity(True)
+            for s in stages
+        )
+        assert len(index["x"]) == len(stages)
+        result = solve_milp(problem)
+        assert result.is_optimal
+
+
+class TestAutoMethod:
+    def test_auto_picks_milp_for_small(self):
+        stages = fc_stages()
+        cluster = ClusterSpec.homogeneous(1, 1, 1)
+        result = allocate_load_balanced(stages, [1.0] * 4, cluster,
+                                        method="auto")
+        assert result.method == "milp"
+
+    def test_auto_picks_water_filling_for_large(self):
+        stages = fc_stages()
+        cluster = ClusterSpec.homogeneous(4, 4, 24)
+        result = allocate_load_balanced(stages, [1.0] * 4, cluster,
+                                        method="auto")
+        assert result.method == "water_filling"
+
+
+class TestWithRealProfile:
+    def test_end_to_end_with_profiled_times(self):
+        stages = fc_stages()
+        times = profile_primitive_times(stages, CostModel.reference(),
+                                        4)
+        cluster = ClusterSpec.homogeneous(2, 1, 4)
+        result = allocate_load_balanced(stages, times, cluster,
+                                        method="water_filling")
+        # Within the data-provider role, the heavier non-linear stage
+        # (the wide ReLU, dominated by enc/dec) must get at least as
+        # many threads as the light final SoftMax stage.
+        threads = [a.threads for a in result.plan.assignments]
+        heavy_relu = threads[1]
+        light_softmax = threads[3]
+        assert times[1] > times[3]
+        assert heavy_relu >= light_softmax

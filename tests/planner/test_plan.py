@@ -1,0 +1,169 @@
+"""Unit tests for cluster specs and plan validation (Eq. 5-8)."""
+
+import pytest
+
+from repro.errors import InfeasibleAllocationError, PlannerError
+from repro.nn.layers import FullyConnected, ReLU, SoftMax
+from repro.nn.model import Sequential
+from repro.planner.plan import (
+    ClusterSpec,
+    Plan,
+    ServerSpec,
+    StageAssignment,
+)
+from repro.planner.primitive import model_stages
+
+
+def stages_fixture():
+    model = Sequential((4,))
+    model.add(FullyConnected(4, 8))
+    model.add(ReLU())
+    model.add(FullyConnected(8, 2))
+    model.add(SoftMax())
+    return model_stages(model)
+
+
+class TestServerSpec:
+    def test_capacity_hyperthreading(self):
+        """Eq. (8): two threads per physical core with HT."""
+        server = ServerSpec(0, 4, "model")
+        assert server.capacity(hyperthreading=True) == 8
+        assert server.capacity(hyperthreading=False) == 4
+
+    def test_invalid_role(self):
+        with pytest.raises(PlannerError):
+            ServerSpec(0, 4, "gpu")
+
+    def test_zero_cores(self):
+        with pytest.raises(PlannerError):
+            ServerSpec(0, 0, "model")
+
+
+class TestClusterSpec:
+    def test_homogeneous(self):
+        cluster = ClusterSpec.homogeneous(2, 1, 4)
+        assert len(cluster.servers) == 3
+        assert cluster.total_cores == 12
+        roles = [s.role for s in cluster.servers]
+        assert roles == ["model", "model", "data"]
+
+    def test_with_total_cores_distribution(self):
+        cluster = ClusterSpec.with_total_cores(25, 2, 1)
+        cores = [s.cores for s in cluster.servers]
+        assert sum(cores) == 25
+        assert max(cores) - min(cores) <= 1
+
+    def test_with_total_cores_too_few(self):
+        with pytest.raises(PlannerError):
+            ClusterSpec.with_total_cores(2, 2, 1)
+
+    def test_needs_both_roles(self):
+        with pytest.raises(PlannerError):
+            ClusterSpec((ServerSpec(0, 4, "model"),))
+
+    def test_servers_for(self):
+        from repro.nn.layers import LayerKind
+
+        cluster = ClusterSpec.homogeneous(2, 1, 4)
+        assert len(cluster.servers_for(LayerKind.LINEAR)) == 2
+        assert len(cluster.servers_for(LayerKind.NONLINEAR)) == 1
+
+    def test_ids_must_be_sequential(self):
+        with pytest.raises(PlannerError):
+            ClusterSpec((ServerSpec(1, 4, "model"),
+                         ServerSpec(0, 4, "data")))
+
+
+class TestPlanValidation:
+    def test_valid_plan(self):
+        stages = stages_fixture()
+        cluster = ClusterSpec.homogeneous(1, 1, 4)
+        plan = Plan(
+            cluster, tuple(stages),
+            (
+                StageAssignment(0, 0, 2),
+                StageAssignment(1, 1, 2),
+                StageAssignment(2, 0, 2),
+                StageAssignment(3, 1, 2),
+            ),
+        )
+        assert plan.total_threads() == 8
+
+    def test_role_purity_enforced(self):
+        """Eq. (6): a linear stage on a data server is rejected."""
+        stages = stages_fixture()
+        cluster = ClusterSpec.homogeneous(1, 1, 4)
+        with pytest.raises(PlannerError, match="privacy"):
+            Plan(
+                cluster, tuple(stages),
+                (
+                    StageAssignment(0, 1, 1),  # linear on data server
+                    StageAssignment(1, 1, 1),
+                    StageAssignment(2, 0, 1),
+                    StageAssignment(3, 1, 1),
+                ),
+            )
+
+    def test_capacity_enforced(self):
+        """Eq. (8): oversubscription is rejected."""
+        stages = stages_fixture()
+        cluster = ClusterSpec.homogeneous(1, 1, 1)  # cap 2 with HT
+        with pytest.raises(InfeasibleAllocationError):
+            Plan(
+                cluster, tuple(stages),
+                (
+                    StageAssignment(0, 0, 2),
+                    StageAssignment(1, 1, 1),
+                    StageAssignment(2, 0, 1),  # server 0 now at 3 > 2
+                    StageAssignment(3, 1, 1),
+                ),
+            )
+
+    def test_min_one_thread(self):
+        """Eq. (7): zero-thread stages are rejected."""
+        with pytest.raises(PlannerError):
+            StageAssignment(0, 0, 0)
+
+    def test_assignment_count_checked(self):
+        stages = stages_fixture()
+        cluster = ClusterSpec.homogeneous(1, 1, 4)
+        with pytest.raises(PlannerError):
+            Plan(cluster, tuple(stages), (StageAssignment(0, 0, 1),))
+
+    def test_imbalance_objective(self):
+        """Eq. (4): pairwise |T_i/y_i - T_j/y_j| sums."""
+        stages = stages_fixture()
+        cluster = ClusterSpec.homogeneous(1, 1, 4)
+        plan = Plan(
+            cluster, tuple(stages),
+            tuple(StageAssignment(i, 0 if i % 2 == 0 else 1, 1)
+                  for i in range(4)),
+        )
+        times = [4.0, 2.0, 2.0, 2.0]
+        # pairs: |4-2| x 3 pairs x 2 directions = 12
+        assert plan.imbalance(times) == pytest.approx(12.0)
+
+    def test_per_thread_times(self):
+        stages = stages_fixture()
+        cluster = ClusterSpec.homogeneous(1, 1, 4)
+        plan = Plan(
+            cluster, tuple(stages),
+            (
+                StageAssignment(0, 0, 4),
+                StageAssignment(1, 1, 2),
+                StageAssignment(2, 0, 1),
+                StageAssignment(3, 1, 1),
+            ),
+        )
+        assert plan.per_thread_times([8.0, 4.0, 2.0, 1.0]) == \
+            [2.0, 2.0, 2.0, 1.0]
+
+    def test_describe(self):
+        stages = stages_fixture()
+        cluster = ClusterSpec.homogeneous(1, 1, 4)
+        plan = Plan(
+            cluster, tuple(stages),
+            tuple(StageAssignment(i, 0 if i % 2 == 0 else 1, 1)
+                  for i in range(4)),
+        )
+        assert "server" in plan.describe()

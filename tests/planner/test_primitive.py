@@ -1,0 +1,131 @@
+"""Unit tests for primitive extraction and merging (Section IV-B)."""
+
+import pytest
+
+from repro.errors import PlannerError
+from repro.nn.layers import (
+    BatchNorm,
+    Conv2d,
+    Flatten,
+    FullyConnected,
+    LayerKind,
+    MaxPool2d,
+    ReLU,
+    ScaledSigmoid,
+    SoftMax,
+)
+from repro.nn.model import Sequential
+from repro.planner.primitive import (
+    extract_primitives,
+    merge_primitives,
+    model_stages,
+)
+
+
+def fc_model():
+    model = Sequential((4,))
+    model.add(FullyConnected(4, 8))
+    model.add(ReLU())
+    model.add(FullyConnected(8, 2))
+    model.add(SoftMax())
+    return model
+
+
+class TestExtraction:
+    def test_kinds_in_order(self):
+        primitives = extract_primitives(fc_model())
+        assert [p.kind for p in primitives] == [
+            LayerKind.LINEAR, LayerKind.NONLINEAR,
+            LayerKind.LINEAR, LayerKind.NONLINEAR,
+        ]
+
+    def test_shapes_threaded_through(self):
+        primitives = extract_primitives(fc_model())
+        assert primitives[0].input_shape == (4,)
+        assert primitives[0].output_shape == (8,)
+        assert primitives[2].output_shape == (2,)
+
+    def test_mixed_layer_decomposed(self):
+        """ScaledSigmoid (Figure 2's mixed layer) splits into scale +
+        sigmoid primitives."""
+        model = Sequential((4,))
+        model.add(FullyConnected(4, 4))
+        model.add(ScaledSigmoid(2.0))
+        model.add(FullyConnected(4, 2))
+        model.add(SoftMax())
+        primitives = extract_primitives(model)
+        assert [p.kind for p in primitives] == [
+            LayerKind.LINEAR, LayerKind.LINEAR, LayerKind.NONLINEAR,
+            LayerKind.LINEAR, LayerKind.NONLINEAR,
+        ]
+
+    def test_maxpool_rejected(self):
+        """Position-sensitive layers can't run on obfuscated tensors."""
+        model = Sequential((1, 4, 4))
+        model.add(Conv2d(1, 2, kernel=3, padding=1))
+        model.add(MaxPool2d(2))
+        model.add(Flatten())
+        model.add(FullyConnected(8, 2))
+        model.add(SoftMax())
+        with pytest.raises(PlannerError, match="position-sensitive"):
+            extract_primitives(model)
+
+    def test_final_softmax_allowed(self):
+        extract_primitives(fc_model())  # must not raise
+
+    def test_non_final_softmax_rejected(self):
+        model = Sequential((4,))
+        model.add(FullyConnected(4, 4))
+        model.add(SoftMax())
+        model.add(FullyConnected(4, 2))
+        model.add(SoftMax())
+        with pytest.raises(PlannerError):
+            extract_primitives(model)
+
+
+class TestMerging:
+    def test_adjacent_same_kind_merged(self):
+        """Conv + BN (+ Flatten + FC) fuse into single linear stages."""
+        model = Sequential((1, 4, 4))
+        model.add(Conv2d(1, 2, kernel=3, padding=1))
+        model.add(BatchNorm(2))
+        model.add(ReLU())
+        model.add(Flatten())
+        model.add(FullyConnected(32, 2))
+        model.add(SoftMax())
+        stages = model_stages(model)
+        assert [s.kind for s in stages] == [
+            LayerKind.LINEAR, LayerKind.NONLINEAR,
+            LayerKind.LINEAR, LayerKind.NONLINEAR,
+        ]
+        assert len(stages[0].primitives) == 2  # conv + bn
+        assert len(stages[2].primitives) == 2  # flatten + fc
+
+    def test_alternation_guaranteed(self):
+        stages = model_stages(fc_model())
+        for a, b in zip(stages, stages[1:]):
+            assert a.kind is not b.kind
+
+    def test_indices_sequential(self):
+        stages = model_stages(fc_model())
+        assert [s.index for s in stages] == list(range(len(stages)))
+
+    def test_indicator_matches_paper(self):
+        """I_i = +1 linear, -1 non-linear (Table II)."""
+        stages = model_stages(fc_model())
+        assert [s.indicator for s in stages] == [1, -1, 1, -1]
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(PlannerError):
+            merge_primitives([])
+
+    def test_op_counts_merge(self):
+        stages = model_stages(fc_model())
+        counts = stages[0].op_counts()
+        assert counts.input_size == 4
+        assert counts.output_size == 8
+
+    def test_describe(self):
+        stages = model_stages(fc_model())
+        assert "FullyConnected" in stages[0].describe()
+        assert "linear" in stages[0].describe()

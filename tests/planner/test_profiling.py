@@ -1,0 +1,78 @@
+"""Unit tests for offline stage profiling."""
+
+import pytest
+
+from repro.costs import CostModel
+from repro.errors import PlannerError
+from repro.nn.layers import FullyConnected, ReLU, SoftMax
+from repro.nn.model import Sequential
+from repro.planner.primitive import model_stages
+from repro.planner.profiling import profile_live, profile_primitive_times
+
+
+def stages_fixture(hidden=16):
+    model = Sequential((8,))
+    model.add(FullyConnected(8, hidden))
+    model.add(ReLU())
+    model.add(FullyConnected(hidden, 2))
+    model.add(SoftMax())
+    return model_stages(model)
+
+
+class TestAnalyticProfile:
+    def test_positive_times(self):
+        times = profile_primitive_times(stages_fixture(),
+                                        CostModel.reference(), 4)
+        assert all(t > 0 for t in times)
+        assert len(times) == 4
+
+    def test_bigger_layer_costs_more(self):
+        small = profile_primitive_times(stages_fixture(8),
+                                        CostModel.reference(), 4)
+        large = profile_primitive_times(stages_fixture(64),
+                                        CostModel.reference(), 4)
+        assert large[0] > small[0]
+
+    def test_scaling_decimals_increase_linear_cost(self):
+        """Fig. 6 mechanism: bigger scalars -> slower scalar mults."""
+        stages = stages_fixture()
+        low = profile_primitive_times(stages, CostModel.reference(), 0)
+        high = profile_primitive_times(stages, CostModel.reference(), 6)
+        assert high[0] > low[0]          # linear stage affected
+        assert high[1] == pytest.approx(low[1])  # nonlinear unaffected
+
+    def test_nonlinear_dominated_by_crypto(self):
+        """Enc/dec costs dwarf the activation itself (Fig. 1)."""
+        stages = stages_fixture()
+        cost_model = CostModel.reference()
+        times = profile_primitive_times(stages, cost_model, 4)
+        relu_stage = stages[1]
+        counts = relu_stage.op_counts()
+        crypto_only = counts.input_size * cost_model.decrypt \
+            + counts.output_size * cost_model.encrypt
+        assert times[1] == pytest.approx(crypto_only, rel=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlannerError):
+            profile_primitive_times([], CostModel.reference(), 4)
+
+
+class TestLiveProfile:
+    def test_returns_positive_times(self):
+        times = profile_live(stages_fixture(), repeats=5)
+        assert len(times) == 4
+        assert all(t > 0 for t in times)
+
+    def test_repeats_validation(self):
+        with pytest.raises(PlannerError):
+            profile_live(stages_fixture(), repeats=0)
+
+    def test_relative_ordering_sane(self):
+        """A vastly larger model takes more total plaintext time.
+
+        Sizes are far apart (4 vs 16384 hidden units) so the comparison
+        is robust to per-call timing noise.
+        """
+        small = profile_live(stages_fixture(4), repeats=30)
+        large = profile_live(stages_fixture(16384), repeats=30)
+        assert sum(large) > sum(small)

@@ -1,0 +1,112 @@
+"""Property-based tests for the 2PC baseline substrates."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.garbled import (
+    CircuitBuilder,
+    build_relu_circuit,
+    evaluate_garbled,
+    garble,
+)
+from repro.baselines.secret_sharing import SecretSharingEngine
+
+
+def to_bits(value: int, bits: int) -> list[int]:
+    value &= (1 << bits) - 1
+    return [(value >> i) & 1 for i in range(bits)]
+
+
+def from_bits(bits_list) -> int:
+    return sum(bit << i for i, bit in enumerate(bits_list))
+
+
+class TestSecretSharingProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.integers(min_value=-(2 ** 40),
+                                       max_value=2 ** 40),
+                           min_size=1, max_size=32),
+           seed=st.integers(min_value=0, max_value=2 ** 31))
+    def test_share_reconstruct_identity(self, values, seed):
+        engine = SecretSharingEngine(seed=seed)
+        array = np.array(values, dtype=np.int64)
+        s0, s1 = engine.share(array)
+        assert np.array_equal(engine.reconstruct(s0, s1), array)
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.lists(st.integers(min_value=-(2 ** 20),
+                                  max_value=2 ** 20),
+                      min_size=1, max_size=16),
+           b=st.lists(st.integers(min_value=-(2 ** 20),
+                                  max_value=2 ** 20),
+                      min_size=1, max_size=16),
+           seed=st.integers(min_value=0, max_value=2 ** 31))
+    def test_beaver_product_correct(self, a, b, seed):
+        size = min(len(a), len(b))
+        engine = SecretSharingEngine(seed=seed)
+        av = np.array(a[:size], dtype=np.int64)
+        bv = np.array(b[:size], dtype=np.int64)
+        a0, a1 = engine.share(av)
+        b0, b1 = engine.share(bv)
+        z0, z1 = engine.multiply(a0, a1, b0, b1)
+        assert np.array_equal(engine.reconstruct(z0, z1), av * bv)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31),
+           rows=st.integers(min_value=1, max_value=6),
+           cols=st.integers(min_value=1, max_value=6))
+    def test_matmul_shared_correct(self, seed, rows, cols):
+        engine = SecretSharingEngine(seed=seed)
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(-1000, 1000, (rows, cols))
+        vector = rng.integers(-1000, 1000, cols)
+        w0, w1 = engine.share(matrix)
+        x0, x1 = engine.share(vector)
+        z0, z1 = engine.matmul_shared(w0, w1, x0, x1)
+        assert np.array_equal(engine.reconstruct(z0, z1),
+                              matrix @ vector)
+
+
+class TestGarbledCircuitProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31),
+           gates=st.integers(min_value=1, max_value=25),
+           inputs=st.integers(min_value=2, max_value=8))
+    def test_random_circuit_garbles_correctly(self, seed, gates,
+                                              inputs):
+        """Any random XOR/AND circuit evaluates identically garbled
+        and in plaintext."""
+        rng = np.random.default_rng(seed)
+        builder = CircuitBuilder(inputs)
+        wires = list(range(inputs))
+        for _ in range(gates):
+            a = int(rng.integers(0, len(wires)))
+            b = int(rng.integers(0, len(wires)))
+            if rng.integers(0, 2):
+                wires.append(builder.xor(wires[a], wires[b]))
+            else:
+                wires.append(builder.and_(wires[a], wires[b]))
+        circuit = builder.finish(wires[-3:])
+        garbled = garble(circuit, seed=str(seed).encode())
+        bits = [int(v) for v in rng.integers(0, 2, inputs)]
+        plain = circuit.evaluate_plain(bits)
+        labels = garbled.input_labels(bits)
+        assert garbled.decode(evaluate_garbled(garbled, labels)) == \
+            plain
+
+    @settings(max_examples=25, deadline=None)
+    @given(x=st.integers(min_value=-(2 ** 13), max_value=2 ** 13),
+           share=st.integers(min_value=0, max_value=2 ** 16 - 1),
+           mask=st.integers(min_value=0, max_value=2 ** 16 - 1))
+    def test_relu_circuit_reshares_correctly(self, x, share, mask):
+        """For any share split and output mask, the opened output plus
+        the mask reconstructs ReLU(x) mod 2^16."""
+        bits = 16
+        circuit = build_relu_circuit(bits)
+        other = (x - share) % (1 << bits)
+        out = circuit.evaluate_plain(
+            to_bits(share, bits) + to_bits(other, bits)
+            + to_bits(mask, bits)
+        )
+        reconstructed = (from_bits(out) + mask) % (1 << bits)
+        assert reconstructed == max(x, 0) % (1 << bits)

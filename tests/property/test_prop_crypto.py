@@ -1,0 +1,101 @@
+"""Property-based tests for the crypto substrate (hypothesis).
+
+The Paillier keypair is generated once (module scope, 128-bit) and each
+property is exercised over hypothesis-generated plaintexts/scalars.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.encoding import FixedPointEncoder, SignedEncoder
+from repro.crypto.paillier import generate_keypair
+
+PUBLIC, PRIVATE = generate_keypair(128, seed=2024)
+MAX_SIGNED = (PUBLIC.n - 1) // 2
+
+signed_values = st.integers(min_value=-(10 ** 15),
+                            max_value=10 ** 15)
+small_scalars = st.integers(min_value=-(10 ** 6), max_value=10 ** 6)
+
+
+def fresh_rng(data: int) -> random.Random:
+    return random.Random(data)
+
+
+class TestPaillierProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(m=st.integers(min_value=0, max_value=10 ** 18),
+           seed=st.integers(min_value=0, max_value=2 ** 31))
+    def test_round_trip(self, m, seed):
+        rng = fresh_rng(seed)
+        assert PRIVATE.decrypt(PUBLIC.encrypt(m, rng)) == m
+
+    @settings(max_examples=40, deadline=None)
+    @given(m1=st.integers(min_value=0, max_value=10 ** 15),
+           m2=st.integers(min_value=0, max_value=10 ** 15),
+           seed=st.integers(min_value=0, max_value=2 ** 31))
+    def test_additive_homomorphism(self, m1, m2, seed):
+        rng = fresh_rng(seed)
+        total = PUBLIC.encrypt(m1, rng) + PUBLIC.encrypt(m2, rng)
+        assert PRIVATE.decrypt(total) == m1 + m2
+
+    @settings(max_examples=40, deadline=None)
+    @given(m=st.integers(min_value=0, max_value=10 ** 12),
+           w=st.integers(min_value=0, max_value=10 ** 6),
+           seed=st.integers(min_value=0, max_value=2 ** 31))
+    def test_scalar_homomorphism(self, m, w, seed):
+        rng = fresh_rng(seed)
+        assert PRIVATE.decrypt(PUBLIC.encrypt(m, rng) * w) == w * m
+
+    @settings(max_examples=30, deadline=None)
+    @given(m1=st.integers(min_value=0, max_value=10 ** 10),
+           m2=st.integers(min_value=0, max_value=10 ** 10),
+           w=st.integers(min_value=0, max_value=10 ** 4),
+           seed=st.integers(min_value=0, max_value=2 ** 31))
+    def test_distributivity(self, m1, m2, w, seed):
+        """(E(m1) * E(m2))^w decrypts to w*(m1+m2)."""
+        rng = fresh_rng(seed)
+        combined = (PUBLIC.encrypt(m1, rng) + PUBLIC.encrypt(m2, rng)) \
+            * w
+        assert PRIVATE.decrypt(combined) == w * (m1 + m2)
+
+
+class TestSignedEncodingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(value=signed_values)
+    def test_encode_decode_identity(self, value):
+        encoder = SignedEncoder(PUBLIC)
+        assert encoder.decode(encoder.encode(value)) == value
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=small_scalars, b=small_scalars,
+           seed=st.integers(min_value=0, max_value=2 ** 31))
+    def test_signed_homomorphic_addition(self, a, b, seed):
+        rng = fresh_rng(seed)
+        encoder = SignedEncoder(PUBLIC)
+        total = PUBLIC.encrypt(encoder.encode(a), rng) \
+            + PUBLIC.encrypt(encoder.encode(b), rng)
+        assert encoder.decode(PRIVATE.decrypt(total)) == a + b
+
+    @settings(max_examples=40, deadline=None)
+    @given(m=small_scalars, w=st.integers(min_value=-1000,
+                                          max_value=1000),
+           seed=st.integers(min_value=0, max_value=2 ** 31))
+    def test_signed_scalar_multiplication(self, m, w, seed):
+        rng = fresh_rng(seed)
+        encoder = SignedEncoder(PUBLIC)
+        cipher = PUBLIC.encrypt(encoder.encode(m), rng) * w
+        assert encoder.decode(PRIVATE.decrypt(cipher)) == w * m
+
+
+class TestFixedPointProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(value=st.floats(min_value=-1000, max_value=1000,
+                           allow_nan=False, allow_infinity=False),
+           exponent=st.integers(min_value=0, max_value=6))
+    def test_quantization_error_bounded(self, value, exponent):
+        encoder = FixedPointEncoder(PUBLIC, exponent)
+        decoded = encoder.decode(encoder.encode(value))
+        assert abs(decoded - value) <= 0.5 * 10 ** -exponent + 1e-12

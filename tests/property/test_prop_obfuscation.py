@@ -1,0 +1,77 @@
+"""Property-based tests for permutations and the obfuscation protocol."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.obfuscation.obfuscator import Obfuscator
+from repro.obfuscation.permutation import Permutation
+
+
+class TestPermutationProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(length=st.integers(min_value=1, max_value=200),
+           seed=st.integers(min_value=0, max_value=2 ** 40))
+    def test_invert_is_inverse(self, length, seed):
+        permutation = Permutation.random(length, seed)
+        items = list(range(length))
+        assert permutation.invert(permutation.apply(items)) == items
+        assert permutation.apply(permutation.invert(items)) == items
+
+    @settings(max_examples=50, deadline=None)
+    @given(length=st.integers(min_value=1, max_value=100),
+           seed=st.integers(min_value=0, max_value=2 ** 40))
+    def test_multiset_preserved(self, length, seed):
+        permutation = Permutation.random(length, seed)
+        values = np.random.default_rng(seed % 2 ** 31).standard_normal(
+            length
+        )
+        assert sorted(permutation.apply_array(values)) == \
+            sorted(values)
+
+    @settings(max_examples=30, deadline=None)
+    @given(length=st.integers(min_value=2, max_value=50),
+           seed_a=st.integers(min_value=0, max_value=2 ** 30),
+           seed_b=st.integers(min_value=0, max_value=2 ** 30))
+    def test_composition_associativity(self, length, seed_a, seed_b):
+        p = Permutation.random(length, seed_a)
+        q = Permutation.random(length, seed_b)
+        items = list(range(length))
+        assert p.compose(q).apply(items) == p.apply(q.apply(items))
+
+    @settings(max_examples=30, deadline=None)
+    @given(length=st.integers(min_value=1, max_value=60),
+           seed=st.integers(min_value=0, max_value=2 ** 40))
+    def test_double_inverse_is_original(self, length, seed):
+        permutation = Permutation.random(length, seed)
+        assert permutation.inverse().inverse() == permutation
+
+
+class TestObfuscatorProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(master=st.integers(min_value=0, max_value=2 ** 40),
+           lengths=st.lists(st.integers(min_value=1, max_value=40),
+                            min_size=1, max_size=6))
+    def test_rounds_always_invert(self, master, lengths):
+        """Any sequence of rounds with any tensor lengths inverts
+        correctly, in any completion order."""
+        obfuscator = Obfuscator(master)
+        pending = []
+        for length in lengths:
+            items = list(range(length))
+            round_id, permuted = obfuscator.obfuscate(items)
+            pending.append((round_id, items, permuted))
+        for round_id, items, permuted in reversed(pending):
+            assert obfuscator.deobfuscate(round_id, permuted) == items
+
+    @settings(max_examples=20, deadline=None)
+    @given(master=st.integers(min_value=0, max_value=2 ** 40))
+    def test_elementwise_function_commutes(self, master):
+        """ReLU(permute(x)) == permute(ReLU(x)) — the property that
+        makes obfuscated non-linear stages correct (Section III-C)."""
+        obfuscator = Obfuscator(master)
+        rng = np.random.default_rng(master % 2 ** 31)
+        values = rng.standard_normal(32)
+        round_id, permuted = obfuscator.obfuscate(list(values))
+        activated_permuted = [max(v, 0.0) for v in permuted]
+        recovered = obfuscator.deobfuscate(round_id, activated_permuted)
+        assert np.allclose(recovered, np.maximum(values, 0.0))

@@ -1,0 +1,101 @@
+"""Property-based tests for tensor partitioning invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.layers import Conv2d, FullyConnected
+from repro.partitioning.partition import (
+    partition_affine,
+    partition_elementwise,
+)
+from repro.partitioning.receptive import required_inputs
+from repro.scaling.fixed_point import scaled_affine_for_layer
+
+
+class TestCoverageProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(out_features=st.integers(min_value=1, max_value=40),
+           in_features=st.integers(min_value=1, max_value=20),
+           threads=st.integers(min_value=1, max_value=12),
+           input_partitioning=st.booleans())
+    def test_every_output_exactly_once(self, out_features, in_features,
+                                       threads, input_partitioning):
+        layer = FullyConnected(in_features, out_features,
+                               rng=np.random.default_rng(0))
+        affine = scaled_affine_for_layer(layer, (in_features,), 3)
+        tasks = partition_affine(affine, threads, input_partitioning)
+        outputs = sorted(
+            i for task in tasks for i in task.output_indices
+        )
+        assert outputs == list(range(out_features))
+
+    @settings(max_examples=40, deadline=None)
+    @given(size=st.integers(min_value=1, max_value=200),
+           threads=st.integers(min_value=1, max_value=16))
+    def test_elementwise_partition_covers(self, size, threads):
+        tasks = partition_elementwise(size, threads)
+        covered = sorted(
+            i for task in tasks for i in task.output_indices
+        )
+        assert covered == list(range(size))
+        sizes = [task.output_elements for task in tasks]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestReceptiveFieldProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        in_c=st.integers(min_value=1, max_value=3),
+        out_c=st.integers(min_value=1, max_value=3),
+        hw=st.integers(min_value=3, max_value=7),
+        kernel=st.integers(min_value=1, max_value=3),
+        stride=st.integers(min_value=1, max_value=2),
+        padding=st.integers(min_value=0, max_value=1),
+        seed=st.integers(min_value=0, max_value=2 ** 20),
+    )
+    def test_conv_receptive_matches_dense_support(
+        self, in_c, out_c, hw, kernel, stride, padding, seed
+    ):
+        """For arbitrary conv geometry, the analytic receptive field of
+        every output equals (a superset of) the non-zero columns of the
+        unrolled dense matrix, and never exceeds kernel^2 * in_c."""
+        if kernel > hw + 2 * padding:
+            return
+        layer = Conv2d(in_c, out_c, kernel=kernel, stride=stride,
+                       padding=padding,
+                       rng=np.random.default_rng(seed))
+        shape = (in_c, hw, hw)
+        affine = scaled_affine_for_layer(layer, shape, 6)
+        for flat in range(0, affine.out_dim,
+                          max(affine.out_dim // 5, 1)):
+            dense = set(
+                int(i) for i in np.flatnonzero(affine.weight[flat])
+            )
+            analytic = required_inputs(layer, shape, [flat])
+            assert dense <= analytic
+            assert len(analytic) <= in_c * kernel * kernel
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        hw=st.integers(min_value=4, max_value=8),
+        threads=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2 ** 20),
+    )
+    def test_partitioned_conv_never_ships_more_than_whole(
+        self, hw, threads, seed
+    ):
+        """Per-thread receptive fields are never larger than the full
+        input, and tensor partitioning never ships more in total than
+        the no-partitioning y x input baseline."""
+        from repro.partitioning.receptive import \
+            partitioned_input_elements
+
+        layer = Conv2d(1, 2, kernel=3, stride=1, padding=1,
+                       rng=np.random.default_rng(seed))
+        shape = (1, hw, hw)
+        out_size = int(np.prod(layer.output_shape(shape)))
+        counts = partitioned_input_elements([layer], [shape], out_size,
+                                            threads)
+        input_size = hw * hw
+        assert all(count <= input_size for count in counts)
+        assert sum(counts) <= min(threads, out_size) * input_size

@@ -1,0 +1,155 @@
+"""Property-based tests for allocation and the pipeline simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import InfeasibleAllocationError
+from repro.nn.layers import FullyConnected, ReLU, SoftMax
+from repro.nn.model import Sequential
+from repro.planner.allocation import allocate_even, \
+    allocate_load_balanced
+from repro.planner.plan import ClusterSpec
+from repro.planner.primitive import model_stages
+from repro.simulate.events import EventDrivenPipeline
+from repro.simulate.simulator import _recurrence
+
+
+def fc_stages(depth):
+    model = Sequential((4,))
+    width = 4
+    for _ in range(depth):
+        model.add(FullyConnected(width, 4))
+        model.add(ReLU())
+        width = 4
+    model.add(FullyConnected(width, 2))
+    model.add(SoftMax())
+    return model_stages(model)
+
+
+class TestAllocationProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        depth=st.integers(min_value=1, max_value=3),
+        times_seed=st.integers(min_value=0, max_value=2 ** 30),
+        model_servers=st.integers(min_value=1, max_value=3),
+        data_servers=st.integers(min_value=1, max_value=2),
+        cores=st.integers(min_value=2, max_value=8),
+    )
+    def test_water_filling_always_feasible_plan(
+        self, depth, times_seed, model_servers, data_servers, cores
+    ):
+        """Whenever allocation succeeds, the plan satisfies Eq. 5-8
+        (Plan.__post_init__ enforces them) and no per-thread time
+        exceeds the single-thread time."""
+        stages = fc_stages(depth)
+        rng = np.random.default_rng(times_seed)
+        times = list(rng.uniform(0.1, 10.0, len(stages)))
+        cluster = ClusterSpec.homogeneous(model_servers, data_servers,
+                                          cores)
+        try:
+            result = allocate_load_balanced(
+                stages, times, cluster, method="water_filling"
+            )
+        except InfeasibleAllocationError:
+            assume(False)
+            return
+        plan = result.plan
+        for time_value, assignment in zip(times, plan.assignments):
+            assert assignment.threads >= 1
+            assert time_value / assignment.threads <= time_value
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        times_seed=st.integers(min_value=0, max_value=2 ** 30),
+        cores=st.integers(min_value=2, max_value=8),
+    )
+    def test_balanced_sum_not_worse_than_even(self, times_seed, cores):
+        """Load balancing never increases the total per-thread time
+        (what single-request latency sums over) on skewed loads."""
+        stages = fc_stages(2)
+        rng = np.random.default_rng(times_seed)
+        times = list(rng.uniform(0.1, 10.0, len(stages)))
+        cluster = ClusterSpec.homogeneous(1, 1, cores)
+        even = allocate_even(stages, cluster)
+        balanced = allocate_load_balanced(stages, times, cluster,
+                                          method="water_filling")
+        even_sum = sum(t / a.threads for t, a in
+                       zip(times, even.plan.assignments))
+        balanced_sum = sum(t / a.threads for t, a in
+                           zip(times, balanced.plan.assignments))
+        assert balanced_sum <= even_sum * 1.3
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        services=st.lists(
+            st.floats(min_value=0.001, max_value=5.0), min_size=1,
+            max_size=6,
+        ),
+        transfers=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1,
+            max_size=6,
+        ),
+        requests=st.integers(min_value=1, max_value=12),
+        interval=st.floats(min_value=0.0, max_value=2.0),
+    )
+    def test_engines_always_agree(self, services, transfers, requests,
+                                  interval):
+        """The event-driven engine and closed-form recurrence compute
+        identical schedules for arbitrary pipelines."""
+        size = min(len(services), len(transfers))
+        services, transfers = services[:size], transfers[:size]
+        arrivals = [interval * r for r in range(requests)]
+        event_result = EventDrivenPipeline(services, transfers).run(
+            arrivals
+        )
+        recurrence_result = _recurrence(services, transfers, arrivals)
+        assert event_result == pytest.approx(recurrence_result)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        services=st.lists(
+            st.floats(min_value=0.001, max_value=5.0), min_size=1,
+            max_size=5,
+        ),
+        requests=st.integers(min_value=1, max_value=10),
+    )
+    def test_latencies_monotone_in_backlog(self, services, requests):
+        """With simultaneous arrivals, each request's completion is at
+        least the previous one's (FIFO, no overtaking)."""
+        transfers = [0.0] * len(services)
+        completions = _recurrence(services, transfers,
+                                  [0.0] * requests)
+        assert completions == sorted(completions)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        services=st.lists(
+            st.floats(min_value=0.01, max_value=2.0), min_size=1,
+            max_size=5,
+        ),
+    )
+    def test_single_request_latency_is_path_sum(self, services):
+        transfers = [0.1] * len(services)
+        completions = _recurrence(services, transfers, [0.0])
+        assert completions[0] == pytest.approx(
+            sum(services) + sum(transfers)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        bottleneck=st.floats(min_value=0.5, max_value=2.0),
+        requests=st.integers(min_value=2, max_value=15),
+    )
+    def test_steady_state_spacing_is_bottleneck(self, bottleneck,
+                                                requests):
+        """Inter-completion gaps converge to the bottleneck service
+        time — the pipelining throughput law."""
+        services = [0.1, bottleneck, 0.1]
+        completions = _recurrence(services, [0.0] * 3,
+                                  [0.0] * requests)
+        gaps = [b - a for a, b in zip(completions, completions[1:])]
+        if gaps:
+            assert gaps[-1] == pytest.approx(bottleneck, rel=1e-9)

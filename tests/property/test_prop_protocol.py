@@ -1,0 +1,96 @@
+"""Property-based end-to-end protocol correctness.
+
+For randomly-shaped tiny models (random widths, random
+permutation-compatible activations, random weights and inputs), the
+collaborative encrypted inference must match the rounded-parameter
+plaintext model exactly (up to float tolerance) — the paper's
+correctness guarantee, quantified over the model space rather than a
+fixed fixture.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import RuntimeConfig
+from repro.crypto.paillier import generate_keypair
+from repro.nn.layers import (
+    FullyConnected,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    SoftMax,
+    Tanh,
+)
+from repro.nn.model import Sequential
+from repro.protocol import DataProvider, InferenceSession, ModelProvider
+from repro.scaling.parameter_scaling import round_parameters
+
+_ACTIVATIONS = (ReLU, Sigmoid, Tanh, lambda: LeakyReLU(0.1))
+
+
+@st.composite
+def tiny_models(draw):
+    depth = draw(st.integers(min_value=1, max_value=3))
+    widths = [draw(st.integers(min_value=2, max_value=6))
+              for _ in range(depth + 1)]
+    activation_ids = [
+        draw(st.integers(min_value=0, max_value=len(_ACTIVATIONS) - 1))
+        for _ in range(depth)
+    ]
+    seed = draw(st.integers(min_value=0, max_value=2 ** 20))
+    return widths, activation_ids, seed
+
+
+class TestProtocolCorrectnessProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(spec=tiny_models())
+    def test_random_models_round_trip(self, spec):
+        widths, activation_ids, seed = spec
+        rng = np.random.default_rng(seed)
+        model = Sequential((widths[0],))
+        for depth_index in range(len(widths) - 1):
+            model.add(FullyConnected(widths[depth_index],
+                                     widths[depth_index + 1], rng=rng))
+            model.add(_ACTIVATIONS[activation_ids[depth_index]]())
+        model.add(FullyConnected(widths[-1], 3, rng=rng))
+        model.add(SoftMax())
+
+        decimals = 4
+        config = RuntimeConfig(key_size=192, seed=seed)
+        session = InferenceSession(
+            ModelProvider(model, decimals=decimals, config=config),
+            DataProvider(value_decimals=decimals, config=config),
+        )
+        x = rng.standard_normal(widths[0])
+        outcome = session.run(x)
+        expected = round_parameters(model, decimals).forward(
+            np.round(x, decimals)[None]
+        )[0]
+        assert outcome.probabilities == pytest.approx(expected,
+                                                      abs=1e-3)
+        assert outcome.transcript.all_ciphertext()
+
+
+# Key generation is the slow part of each example; share one pair for a
+# quick smoke of determinism across repeated session constructions.
+def test_sessions_are_deterministic_per_seed():
+    rng = np.random.default_rng(0)
+    model = Sequential((3,))
+    model.add(FullyConnected(3, 4, rng=rng))
+    model.add(ReLU())
+    model.add(FullyConnected(4, 2, rng=rng))
+    model.add(SoftMax())
+    x = rng.standard_normal(3)
+
+    def run_once():
+        config = RuntimeConfig(key_size=128, seed=1234)
+        session = InferenceSession(
+            ModelProvider(model, decimals=3, config=config),
+            DataProvider(value_decimals=3, config=config),
+        )
+        return session.run(x)
+
+    first, second = run_once(), run_once()
+    assert np.allclose(first.probabilities, second.probabilities)
+    assert first.prediction == second.prediction

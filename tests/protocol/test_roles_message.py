@@ -1,0 +1,124 @@
+"""Unit tests for protocol roles and messages (edge cases)."""
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.errors import ProtocolError
+from repro.protocol import DataProvider, ModelProvider
+from repro.protocol.message import (
+    CIPHERTEXT,
+    CIPHERTEXT_OBFUSCATED,
+    Message,
+    Transcript,
+)
+
+
+class TestMessage:
+    def test_valid(self):
+        message = Message(sender="model", kind=CIPHERTEXT, elements=4,
+                          bytes_estimate=128, round_index=0,
+                          stage_index=0)
+        assert not message.obfuscated
+
+    def test_obfuscated_flag(self):
+        message = Message(sender="model", kind=CIPHERTEXT_OBFUSCATED,
+                          elements=4, bytes_estimate=128,
+                          round_index=1, stage_index=2,
+                          obfuscation_round=3)
+        assert message.obfuscated
+
+    def test_unknown_sender(self):
+        with pytest.raises(ProtocolError):
+            Message(sender="eve", kind=CIPHERTEXT, elements=1,
+                    bytes_estimate=1, round_index=0, stage_index=0)
+
+    def test_empty_payload(self):
+        with pytest.raises(ProtocolError):
+            Message(sender="data", kind=CIPHERTEXT, elements=0,
+                    bytes_estimate=0, round_index=0, stage_index=0)
+
+
+class TestTranscript:
+    def test_aggregates(self):
+        transcript = Transcript()
+        for round_index in range(3):
+            transcript.record(Message(
+                sender="data", kind=CIPHERTEXT, elements=10,
+                bytes_estimate=100, round_index=round_index,
+                stage_index=0,
+            ))
+        assert transcript.total_elements == 30
+        assert transcript.total_bytes == 300
+        assert transcript.rounds == 3
+        assert transcript.all_ciphertext()
+
+    def test_from_sender(self):
+        transcript = Transcript()
+        transcript.record(Message(sender="data", kind=CIPHERTEXT,
+                                  elements=1, bytes_estimate=1,
+                                  round_index=0, stage_index=0))
+        transcript.record(Message(sender="model", kind=CIPHERTEXT,
+                                  elements=1, bytes_estimate=1,
+                                  round_index=0, stage_index=0))
+        assert len(transcript.from_sender("data")) == 1
+        assert len(transcript.from_sender("model")) == 1
+
+    def test_empty(self):
+        assert Transcript().rounds == 0
+
+
+class TestModelProviderEdges:
+    def test_requires_registered_key(self, trained_breast,
+                                     test_config):
+        provider = ModelProvider(trained_breast, decimals=3,
+                                 config=test_config)
+        data = DataProvider(value_decimals=3, config=test_config)
+        tensor = data.encrypt_input(np.zeros(30))
+        with pytest.raises(ProtocolError, match="public key"):
+            provider.process_linear_stage(0, tensor, None, False)
+
+    def test_nonlinear_stage_index_rejected_for_linear_call(
+            self, trained_breast, test_config):
+        provider = ModelProvider(trained_breast, decimals=3,
+                                 config=test_config)
+        data = DataProvider(value_decimals=3, config=test_config)
+        provider.register_public_key(data.public_key)
+        tensor = data.encrypt_input(np.zeros(30))
+        with pytest.raises(ProtocolError, match="not linear"):
+            provider.process_linear_stage(1, tensor, None, False)
+
+    def test_activation_listing(self, trained_breast, test_config):
+        provider = ModelProvider(trained_breast, decimals=3,
+                                 config=test_config)
+        assert provider.nonlinear_activations(1) == ["relu"]
+        assert provider.nonlinear_activations(5) == ["softmax"]
+        with pytest.raises(ProtocolError):
+            provider.nonlinear_activations(0)
+
+
+class TestDataProviderEdges:
+    def test_value_decimals_validation(self, test_config):
+        with pytest.raises(ProtocolError):
+            DataProvider(value_decimals=-1, config=test_config)
+
+    def test_unknown_activation(self, test_config):
+        provider = DataProvider(value_decimals=2, config=test_config)
+        tensor = provider.encrypt_input(np.array([1.0, 2.0]))
+        with pytest.raises(ProtocolError):
+            provider.process_nonlinear_stage(tensor, ["swish"], False)
+
+    def test_encrypt_input_exponent(self, test_config):
+        provider = DataProvider(value_decimals=3, config=test_config)
+        tensor = provider.encrypt_input(np.array([1.5]))
+        assert tensor.exponent == 3
+
+    def test_keypair_derived_from_config(self):
+        a = DataProvider(value_decimals=2,
+                         config=RuntimeConfig(key_size=128, seed=1))
+        b = DataProvider(value_decimals=2,
+                         config=RuntimeConfig(key_size=128, seed=1))
+        assert a.public_key.n == b.public_key.n
+        c = DataProvider(value_decimals=2,
+                         config=RuntimeConfig(key_size=128, seed=2))
+        assert c.public_key.n != a.public_key.n

@@ -1,0 +1,127 @@
+"""Integration tests for the Figure 3 collaborative workflow."""
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.errors import ProtocolError
+from repro.nn.layers import FullyConnected, ReLU, Sigmoid, SoftMax
+from repro.nn.model import Sequential
+from repro.protocol import DataProvider, InferenceSession, ModelProvider
+from repro.scaling.parameter_scaling import round_parameters
+
+
+def make_session(model, decimals=3, key_size=128, seed=77):
+    config = RuntimeConfig(key_size=key_size, seed=seed)
+    model_provider = ModelProvider(model, decimals=decimals,
+                                   config=config)
+    data_provider = DataProvider(value_decimals=decimals, config=config)
+    return InferenceSession(model_provider, data_provider)
+
+
+class TestCorrectness:
+    """The paper's correctness guarantee: same results as plain
+    inference (with parameters rounded at the chosen factor)."""
+
+    def test_matches_rounded_plaintext_model(self, trained_breast,
+                                             breast_dataset):
+        decimals = 3
+        session = make_session(trained_breast, decimals=decimals)
+        rounded = round_parameters(trained_breast, decimals)
+        for sample in breast_dataset.test_x[:6]:
+            outcome = session.run(sample)
+            expected = rounded.forward(
+                np.round(sample, decimals)[None]
+            )[0]
+            assert outcome.prediction == int(expected.argmax())
+            assert np.allclose(outcome.probabilities, expected,
+                               atol=1e-6)
+
+    def test_conv_model(self, tiny_conv_model):
+        session = make_session(tiny_conv_model, decimals=2,
+                               key_size=192)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, (1, 8, 8))
+        outcome = session.run(x)
+        plain = tiny_conv_model.forward(x[None])[0]
+        # conv weights are small; rounding to 2 decimals may flip very
+        # close calls, so compare probabilities loosely
+        assert outcome.probabilities == pytest.approx(plain, abs=0.05)
+
+    def test_sigmoid_activation_path(self):
+        model = Sequential((3,))
+        model.add(FullyConnected(3, 4,
+                                 rng=np.random.default_rng(1)))
+        model.add(Sigmoid())
+        model.add(FullyConnected(4, 2,
+                                 rng=np.random.default_rng(2)))
+        model.add(SoftMax())
+        session = make_session(model, decimals=4, key_size=192)
+        x = np.array([0.5, -0.3, 0.8])
+        outcome = session.run(x)
+        expected = round_parameters(model, 4).forward(
+            np.round(x, 4)[None]
+        )[0]
+        assert np.allclose(outcome.probabilities, expected, atol=1e-4)
+
+    def test_batch(self, trained_breast, breast_dataset):
+        session = make_session(trained_breast)
+        outcomes = session.run_batch(breast_dataset.test_x[:3])
+        assert len(outcomes) == 3
+
+
+class TestWorkflowStructure:
+    def test_round_count_matches_stage_pairs(self, trained_breast):
+        session = make_session(trained_breast)
+        outcome = session.run(np.zeros(30))
+        # 3FC -> 3 (linear, nonlinear) pairs -> 3 rounds, 2 msgs each
+        assert outcome.transcript.rounds == 3
+        assert len(outcome.transcript.messages) == 6
+
+    def test_alternation_enforced(self):
+        model = Sequential((4,))
+        model.add(ReLU())  # starts non-linear
+        model.add(FullyConnected(4, 2))
+        model.add(SoftMax())
+        config = RuntimeConfig(key_size=128)
+        model_provider = ModelProvider(model, decimals=2, config=config)
+        data_provider = DataProvider(value_decimals=2, config=config)
+        with pytest.raises(ProtocolError):
+            InferenceSession(model_provider, data_provider)
+
+    def test_must_end_nonlinear(self):
+        model = Sequential((4,))
+        model.add(FullyConnected(4, 2))
+        config = RuntimeConfig(key_size=128)
+        model_provider = ModelProvider(model, decimals=2, config=config)
+        data_provider = DataProvider(value_decimals=2, config=config)
+        with pytest.raises(ProtocolError):
+            InferenceSession(model_provider, data_provider)
+
+    def test_last_model_message_not_obfuscated(self, trained_breast):
+        """Step 3.4: the final linear output is sent without
+        obfuscation so SoftMax sees true positions."""
+        session = make_session(trained_breast)
+        outcome = session.run(np.zeros(30))
+        model_messages = outcome.transcript.from_sender("model")
+        assert not model_messages[-1].obfuscated
+        for message in model_messages[:-1]:
+            assert message.obfuscated
+
+    def test_first_data_message_not_obfuscated(self, trained_breast):
+        """Step 1.2: the raw encrypted input is not permuted."""
+        session = make_session(trained_breast)
+        outcome = session.run(np.zeros(30))
+        first = outcome.transcript.messages[0]
+        assert first.sender == "data"
+        assert not first.obfuscated
+
+    def test_intermediate_data_messages_keep_permutation(
+            self, trained_breast):
+        """Steps 2.4/3.1: tensors return still permuted (the model
+        provider inverts them)."""
+        session = make_session(trained_breast)
+        outcome = session.run(np.zeros(30))
+        data_messages = outcome.transcript.from_sender("data")
+        for message in data_messages[1:]:
+            assert message.obfuscated

@@ -1,0 +1,131 @@
+"""Unit tests for the scaled-integer affine forms of linear layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScalingError
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm,
+    Conv2d,
+    ElementwiseScale,
+    Flatten,
+    FullyConnected,
+    ReLU,
+)
+from repro.scaling.fixed_point import (
+    scale_to_int,
+    scaled_affine_for_layer,
+)
+
+
+class TestScaleToInt:
+    def test_basic(self):
+        result = scale_to_int(np.array([1.25, -0.5]), 2)
+        assert np.array_equal(result, [125, -50])
+        assert result.dtype == np.int64
+
+    def test_rounding(self):
+        assert scale_to_int(np.array([0.126]), 2)[0] == 13
+
+    def test_overflow_detected(self):
+        with pytest.raises(ScalingError):
+            scale_to_int(np.array([1e18]), 6)
+
+    def test_negative_decimals_rejected(self):
+        with pytest.raises(ScalingError):
+            scale_to_int(np.array([1.0]), -1)
+
+
+class TestFullyConnectedAffine:
+    def test_matches_float_layer(self):
+        rng = np.random.default_rng(0)
+        layer = FullyConnected(4, 3, rng=rng)
+        affine = scaled_affine_for_layer(layer, (4,), 4)
+        x = rng.standard_normal(4)
+        x_int = scale_to_int(x, 4)
+        out_int = affine.apply_plain(x_int, input_exponent=4)
+        out_float = np.array(
+            [int(v) for v in out_int.reshape(-1)]
+        ) / 10 ** 8
+        expected = layer.forward(x[None])[0]
+        assert np.allclose(out_float, expected, atol=1e-3)
+
+    def test_bias_scaled_to_output_exponent(self):
+        layer = FullyConnected(1, 1)
+        layer.weight[:] = [[1.0]]
+        layer.bias[:] = [0.5]
+        affine = scaled_affine_for_layer(layer, (1,), 2)
+        # input exponent 3 -> bias must be at exponent 5
+        assert affine.bias_at(3)[0] == 50000
+
+
+class TestConvAffine:
+    def test_matches_conv_forward(self):
+        rng = np.random.default_rng(1)
+        layer = Conv2d(2, 3, kernel=2, stride=1, padding=1, rng=rng)
+        affine = scaled_affine_for_layer(layer, (2, 4, 4), 5)
+        x = rng.standard_normal((2, 4, 4))
+        x_int = scale_to_int(x, 5)
+        out_int = affine.apply_plain(x_int.reshape(-1),
+                                     input_exponent=5)
+        out_float = np.array(
+            [int(v) for v in out_int.reshape(-1)], dtype=np.float64
+        ).reshape(affine.output_shape) / 10 ** 10
+        expected = layer.forward(x[None])[0]
+        assert np.allclose(out_float, expected, atol=1e-3)
+
+    def test_conv_rows_are_sparse(self):
+        """The receptive-field locality that input partitioning uses."""
+        layer = Conv2d(1, 1, kernel=2, stride=1, padding=0)
+        affine = scaled_affine_for_layer(layer, (1, 4, 4), 6)
+        nonzero_per_row = (affine.weight != 0).sum(axis=1)
+        assert nonzero_per_row.max() <= 4
+
+
+class TestOtherAffines:
+    def test_batchnorm_diagonal(self):
+        layer = BatchNorm(2)
+        rng = np.random.default_rng(2)
+        layer.running_mean = rng.standard_normal(2)
+        layer.running_var = rng.uniform(0.5, 2.0, 2)
+        affine = scaled_affine_for_layer(layer, (2, 3, 3), 4)
+        x = rng.standard_normal((2, 3, 3))
+        x_int = scale_to_int(x, 4)
+        out_int = affine.apply_plain(x_int.reshape(-1), 4)
+        out = np.array(
+            [int(v) for v in out_int.reshape(-1)], dtype=np.float64
+        ).reshape(2, 3, 3) / 10 ** 8
+        expected = layer.forward(x[None])[0]
+        assert np.allclose(out, expected, atol=1e-3)
+
+    def test_avgpool_matrix(self):
+        layer = AvgPool2d(2)
+        affine = scaled_affine_for_layer(layer, (1, 4, 4), 4)
+        x = np.arange(16, dtype=np.float64).reshape(1, 4, 4)
+        x_int = scale_to_int(x, 0)
+        out_int = affine.apply_plain(x_int.reshape(-1), 0)
+        out = np.array(
+            [int(v) for v in out_int.reshape(-1)], dtype=np.float64
+        ).reshape(1, 2, 2) / 10 ** 4
+        assert np.allclose(out, layer.forward(x[None])[0])
+
+    def test_elementwise_scale(self):
+        layer = ElementwiseScale(2.5)
+        affine = scaled_affine_for_layer(layer, (3,), 1)
+        assert np.array_equal(affine.weight,
+                              np.eye(3, dtype=np.int64) * 25)
+
+    def test_flatten_identity(self):
+        affine = scaled_affine_for_layer(Flatten(), (2, 2), 0)
+        assert np.array_equal(affine.weight, np.eye(4, dtype=np.int64))
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(ScalingError):
+            scaled_affine_for_layer(ReLU(), (4,), 2)
+
+    def test_input_size_mismatch_rejected(self):
+        layer = FullyConnected(4, 2)
+        affine = scaled_affine_for_layer(layer, (4,), 2)
+        with pytest.raises(ScalingError):
+            affine.apply_plain(np.zeros(3, dtype=np.int64), 2)

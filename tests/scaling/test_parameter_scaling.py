@@ -1,0 +1,120 @@
+"""Unit tests for the paper's scaling-factor selection (Section IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScalingError
+from repro.nn.layers import FullyConnected, ReLU, SoftMax
+from repro.nn.model import Sequential
+from repro.scaling.parameter_scaling import (
+    round_parameters,
+    scaling_factor_sweep,
+    select_scaling_factor,
+)
+
+
+def model_with_weights(weights, bias):
+    model = Sequential((2,))
+    layer = FullyConnected(2, 2)
+    layer.weight[:] = weights
+    layer.bias[:] = bias
+    model.add(layer)
+    model.add(SoftMax())
+    return model
+
+
+class TestRoundParameters:
+    def test_rounding_applied(self):
+        model = model_with_weights([[0.123456, -0.6789],
+                                    [0.5, -0.5]], [0.111, -0.222])
+        rounded = round_parameters(model, 2)
+        assert np.allclose(rounded.layers[0].weight,
+                           [[0.12, -0.68], [0.5, -0.5]])
+        assert np.allclose(rounded.layers[0].bias, [0.11, -0.22])
+
+    def test_original_untouched(self):
+        model = model_with_weights([[0.123, 0.456], [0.0, 0.0]],
+                                   [0.0, 0.0])
+        round_parameters(model, 0)
+        assert model.layers[0].weight[0, 0] == pytest.approx(0.123)
+
+    def test_zero_decimals_truncates_small_weights(self):
+        model = model_with_weights([[0.3, -0.4], [0.2, 0.1]], [0, 0])
+        rounded = round_parameters(model, 0)
+        assert np.allclose(rounded.layers[0].weight, 0.0)
+
+    def test_negative_decimals_rejected(self):
+        model = model_with_weights([[1, 0], [0, 1]], [0, 0])
+        with pytest.raises(ScalingError):
+            round_parameters(model, -1)
+
+
+def separable_setup(seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[1.5, 1.5], [-1.5, -1.5]])
+    labels = rng.integers(0, 2, 300)
+    x = centers[labels] + rng.standard_normal((300, 2)) * 0.4
+    model = Sequential((2,))
+    hidden = FullyConnected(2, 8, rng=rng)
+    model.add(hidden)
+    model.add(ReLU())
+    out = FullyConnected(8, 2, rng=rng)
+    model.add(out)
+    model.add(SoftMax())
+    from repro.nn.training import SGDTrainer
+
+    SGDTrainer(model, learning_rate=0.1, seed=0).fit(x, labels,
+                                                     epochs=10)
+    return model, x, labels
+
+
+class TestSelection:
+    def test_selected_factor_preserves_accuracy(self):
+        model, x, y = separable_setup()
+        decision = select_scaling_factor(model, x, y, 2)
+        assert abs(
+            decision.selected_accuracy - decision.original_accuracy
+        ) * 100 < 0.01 or decision.hit_cap
+
+    def test_factor_is_power_of_ten(self):
+        model, x, y = separable_setup(seed=1)
+        decision = select_scaling_factor(model, x, y, 2)
+        assert decision.factor == 10 ** decision.decimals
+
+    def test_stops_early(self):
+        """Selection explores only up to the accepted f, like Step 2."""
+        model, x, y = separable_setup(seed=2)
+        decision = select_scaling_factor(model, x, y, 2)
+        explored = sorted(decision.accuracy_by_decimals)
+        assert explored == list(range(decision.decimals + 1))
+
+    def test_cap_respected(self):
+        model, x, y = separable_setup(seed=3)
+        decision = select_scaling_factor(model, x, y, 2,
+                                         threshold=0.0, max_decimals=2)
+        assert decision.decimals <= 2
+
+    def test_zero_threshold_hits_cap_or_exact(self):
+        model, x, y = separable_setup(seed=4)
+        decision = select_scaling_factor(model, x, y, 2, threshold=0.0)
+        if decision.hit_cap:
+            assert decision.decimals == 6
+
+    def test_negative_max_decimals_rejected(self):
+        model, x, y = separable_setup(seed=5)
+        with pytest.raises(ScalingError):
+            select_scaling_factor(model, x, y, 2, max_decimals=-1)
+
+
+class TestSweep:
+    def test_monotone_trend_shape(self):
+        """Tables IV/V shape: tiny factors are bad, the curve recovers."""
+        model, x, y = separable_setup(seed=6)
+        sweep = scaling_factor_sweep(model, x, y, 2, max_decimals=6)
+        assert sweep[6] >= sweep[0]
+        assert sweep[6] > 0.9
+
+    def test_sweep_covers_all_factors(self):
+        model, x, y = separable_setup(seed=7)
+        sweep = scaling_factor_sweep(model, x, y, 2, max_decimals=4)
+        assert sorted(sweep) == [0, 1, 2, 3, 4]

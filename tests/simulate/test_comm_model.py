@@ -1,0 +1,103 @@
+"""Tests for the communication model and comm-aware allocation."""
+
+import pytest
+
+from repro.costs import CostModel
+from repro.nn.layers import Conv2d, Flatten, FullyConnected, LayerKind, \
+    ReLU, SoftMax
+from repro.nn.model import Sequential
+from repro.planner.allocation import allocate_load_balanced
+from repro.planner.plan import ClusterSpec
+from repro.planner.primitive import model_stages
+from repro.planner.profiling import profile_primitive_times
+from repro.simulate import intra_comm_seconds, make_comm_model
+
+
+def fc_model(in_features=64, hidden=128):
+    model = Sequential((in_features,))
+    model.add(FullyConnected(in_features, hidden))
+    model.add(ReLU())
+    model.add(FullyConnected(hidden, 2))
+    model.add(SoftMax())
+    return model
+
+
+def conv_model():
+    model = Sequential((1, 8, 8))
+    model.add(Conv2d(1, 4, kernel=3, padding=1))
+    model.add(ReLU())
+    model.add(Flatten())
+    model.add(FullyConnected(256, 2))
+    model.add(SoftMax())
+    return model
+
+
+class TestIntraCommSeconds:
+    def test_grows_with_threads_for_dense_stage(self):
+        """FC stages ship the whole input per thread, so distribution
+        cost scales with the thread count."""
+        stage = model_stages(fc_model())[0]
+        cost_model = CostModel.reference()
+        one = intra_comm_seconds(stage, 1, True, cost_model)
+        four = intra_comm_seconds(stage, 4, True, cost_model)
+        eight = intra_comm_seconds(stage, 8, True, cost_model)
+        assert one < four < eight
+        # the per-thread input shipping dominates at higher counts
+        assert eight > 2 * one
+
+    def test_partitioning_caps_conv_growth(self):
+        """Conv stages with input partitioning ship only receptive
+        fields: distribution cost grows far slower than thread count."""
+        stage = model_stages(conv_model())[0]
+        assert stage.kind is LayerKind.LINEAR
+        cost_model = CostModel.reference()
+        with_tp_1 = intra_comm_seconds(stage, 1, True, cost_model)
+        with_tp_8 = intra_comm_seconds(stage, 8, True, cost_model)
+        without_tp_8 = intra_comm_seconds(stage, 8, False, cost_model)
+        assert with_tp_8 < without_tp_8
+        assert with_tp_8 < 8 * with_tp_1
+
+    def test_nonlinear_stage_flat_in_partitioning_flag(self):
+        stages = model_stages(fc_model())
+        relu_stage = stages[1]
+        cost_model = CostModel.reference()
+        assert intra_comm_seconds(relu_stage, 4, True, cost_model) == \
+            pytest.approx(
+                intra_comm_seconds(relu_stage, 4, False, cost_model)
+            )
+
+
+class TestCommAwareAllocation:
+    def test_declines_unprofitable_threads(self):
+        """With an absurdly expensive network, the allocator keeps
+        thread counts minimal; with a free network it fills capacity."""
+        import dataclasses
+
+        stages = model_stages(fc_model(in_features=256, hidden=256))
+        cluster = ClusterSpec.homogeneous(1, 1, 8)
+        cost_model = CostModel.reference()
+        times = profile_primitive_times(stages, cost_model, 4)
+
+        expensive = dataclasses.replace(cost_model,
+                                        serialize_element=1.0)
+        frugal = allocate_load_balanced(
+            stages, times, cluster, method="water_filling",
+            comm_model=make_comm_model(expensive, True),
+        )
+        cheap = dataclasses.replace(cost_model,
+                                    serialize_element=0.0)
+        greedy = allocate_load_balanced(
+            stages, times, cluster, method="water_filling",
+            comm_model=make_comm_model(cheap, True),
+        )
+        assert frugal.plan.total_threads() < \
+            greedy.plan.total_threads()
+
+    def test_no_comm_model_fills_capacity(self):
+        stages = model_stages(fc_model())
+        cluster = ClusterSpec.homogeneous(1, 1, 4)
+        times = profile_primitive_times(stages, CostModel.reference(),
+                                        4)
+        result = allocate_load_balanced(stages, times, cluster,
+                                        method="water_filling")
+        assert result.plan.total_threads() == cluster.total_capacity()

@@ -1,0 +1,80 @@
+"""Tests for per-request service-time jitter in the simulator."""
+
+import pytest
+
+from repro.costs import CostModel
+from repro.errors import SimulationError
+from repro.nn.layers import FullyConnected, ReLU, SoftMax
+from repro.nn.model import Sequential
+from repro.planner.allocation import allocate_even
+from repro.planner.plan import ClusterSpec
+from repro.planner.primitive import model_stages
+from repro.simulate.events import EventDrivenPipeline
+from repro.simulate.simulator import PipelineSimulator
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    model = Sequential((8,))
+    model.add(FullyConnected(8, 16))
+    model.add(ReLU())
+    model.add(FullyConnected(16, 2))
+    model.add(SoftMax())
+    stages = model_stages(model)
+    cluster = ClusterSpec.homogeneous(1, 1, 4)
+    plan = allocate_even(stages, cluster).plan
+    return PipelineSimulator(plan, CostModel.reference(), 4)
+
+
+class TestJitter:
+    def test_zero_jitter_is_deterministic_baseline(self, simulator):
+        base = simulator.simulate_stream(10)
+        jitterless = simulator.simulate_stream(10, service_jitter=0.0)
+        assert base.latencies == jitterless.latencies
+
+    def test_jitter_changes_latencies(self, simulator):
+        base = simulator.simulate_stream(10)
+        jittered = simulator.simulate_stream(10, service_jitter=0.2,
+                                             seed=1)
+        assert base.latencies != jittered.latencies
+
+    def test_jitter_deterministic_per_seed(self, simulator):
+        a = simulator.simulate_stream(10, service_jitter=0.2, seed=5)
+        b = simulator.simulate_stream(10, service_jitter=0.2, seed=5)
+        assert a.latencies == b.latencies
+
+    def test_jitter_bounded(self, simulator):
+        """20% service jitter cannot move any latency by more than
+        ~20% in an uncontended single-request run."""
+        base = simulator.simulate_stream(1)
+        jittered = simulator.simulate_stream(1, service_jitter=0.2,
+                                             seed=2)
+        ratio = jittered.latencies[0] / base.latencies[0]
+        assert 0.7 < ratio < 1.3
+
+    def test_engines_agree_under_jitter(self, simulator):
+        recurrence = simulator.simulate_stream(
+            12, service_jitter=0.3, seed=9, engine="recurrence"
+        )
+        events = simulator.simulate_stream(
+            12, service_jitter=0.3, seed=9, engine="events"
+        )
+        assert recurrence.latencies == pytest.approx(events.latencies)
+
+    def test_jitter_validation(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.simulate_stream(5, service_jitter=1.0)
+        with pytest.raises(SimulationError):
+            simulator.simulate_stream(5, service_jitter=-0.1)
+
+
+class TestEventEngineMatrixValidation:
+    def test_row_count_checked(self):
+        engine = EventDrivenPipeline([1.0], [0.0])
+        with pytest.raises(SimulationError):
+            engine.run([0.0, 0.0], service_matrix=[[1.0]])
+
+    def test_column_count_checked(self):
+        engine = EventDrivenPipeline([1.0, 2.0], [0.0, 0.0])
+        with pytest.raises(SimulationError):
+            engine.run([0.0], service_matrix=[[1.0]])

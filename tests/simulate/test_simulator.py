@@ -1,0 +1,196 @@
+"""Unit tests for stage costs and pipeline simulation."""
+
+import numpy as np
+import pytest
+
+from repro.costs import CostModel
+from repro.errors import SimulationError
+from repro.nn.layers import Conv2d, Flatten, FullyConnected, ReLU, \
+    SoftMax
+from repro.nn.model import Sequential
+from repro.planner.allocation import allocate_even, \
+    allocate_load_balanced
+from repro.planner.plan import ClusterSpec
+from repro.planner.primitive import model_stages
+from repro.planner.profiling import profile_primitive_times
+from repro.simulate.events import EventDrivenPipeline
+from repro.simulate.simulator import (
+    PipelineSimulator,
+    centralized_cipher_latency,
+    centralized_plain_latency,
+)
+from repro.simulate.stagecosts import stage_costs
+
+
+def fc_model():
+    model = Sequential((8,))
+    model.add(FullyConnected(8, 16))
+    model.add(ReLU())
+    model.add(FullyConnected(16, 2))
+    model.add(SoftMax())
+    return model
+
+
+def conv_model():
+    model = Sequential((1, 6, 6))
+    model.add(Conv2d(1, 2, kernel=3, padding=1))
+    model.add(ReLU())
+    model.add(Flatten())
+    model.add(FullyConnected(72, 2))
+    model.add(SoftMax())
+    return model
+
+
+def make_plan(model, cores=4, partitioning=True, balanced=False):
+    stages = model_stages(model)
+    cluster = ClusterSpec.homogeneous(1, 1, cores)
+    if balanced:
+        times = profile_primitive_times(stages, CostModel.reference(),
+                                        4)
+        return allocate_load_balanced(
+            stages, times, cluster, method="water_filling",
+            use_tensor_partitioning=partitioning,
+        ).plan
+    return allocate_even(stages, cluster,
+                         use_tensor_partitioning=partitioning).plan
+
+
+class TestStageCosts:
+    def test_components_positive(self):
+        plan = make_plan(fc_model())
+        costs = stage_costs(plan, CostModel.reference(), 4)
+        for cost in costs:
+            assert cost.compute > 0
+            assert cost.intra_comm > 0
+            assert cost.transfer > 0
+            assert cost.total == pytest.approx(
+                cost.compute + cost.intra_comm + cost.transfer
+            )
+
+    def test_more_threads_less_compute(self):
+        small = make_plan(fc_model(), cores=1)
+        large = make_plan(fc_model(), cores=8)
+        costs_small = stage_costs(small, CostModel.reference(), 4)
+        costs_large = stage_costs(large, CostModel.reference(), 4)
+        assert costs_large[0].compute < costs_small[0].compute
+
+    def test_partitioning_reduces_conv_comm(self):
+        with_tp = make_plan(conv_model(), cores=8, partitioning=True)
+        without_tp = make_plan(conv_model(), cores=8,
+                               partitioning=False)
+        cost_with = stage_costs(with_tp, CostModel.reference(), 4)
+        cost_without = stage_costs(without_tp, CostModel.reference(), 4)
+        assert cost_with[0].intra_comm < cost_without[0].intra_comm
+
+    def test_decimals_validated(self):
+        plan = make_plan(fc_model())
+        with pytest.raises(SimulationError):
+            stage_costs(plan, CostModel.reference(), -1)
+
+    def test_higher_decimals_cost_more(self):
+        plan = make_plan(fc_model())
+        low = stage_costs(plan, CostModel.reference(), 0)
+        high = stage_costs(plan, CostModel.reference(), 6)
+        assert high[0].compute > low[0].compute
+
+
+class TestPipelineSimulator:
+    def test_request_latency_is_total_path(self):
+        plan = make_plan(fc_model())
+        simulator = PipelineSimulator(plan, CostModel.reference(), 4)
+        assert simulator.request_latency() == pytest.approx(
+            sum(c.total for c in simulator.costs)
+        )
+
+    def test_stream_throughput_bound_by_bottleneck(self):
+        plan = make_plan(fc_model())
+        simulator = PipelineSimulator(plan, CostModel.reference(), 4)
+        stream = simulator.simulate_stream(50)
+        assert stream.throughput <= \
+            1.0 / simulator.bottleneck_service() + 1e-6
+
+    def test_engines_agree_exactly(self):
+        plan = make_plan(fc_model(), cores=3)
+        simulator = PipelineSimulator(plan, CostModel.reference(), 4)
+        recurrence = simulator.simulate_stream(20, arrival_interval=0.1,
+                                               engine="recurrence")
+        events = simulator.simulate_stream(20, arrival_interval=0.1,
+                                           engine="events")
+        assert recurrence.latencies == pytest.approx(events.latencies)
+        assert recurrence.makespan == pytest.approx(events.makespan)
+
+    def test_first_request_latency_equals_single(self):
+        plan = make_plan(fc_model())
+        simulator = PipelineSimulator(plan, CostModel.reference(), 4)
+        stream = simulator.simulate_stream(10)
+        assert stream.first_request_latency == pytest.approx(
+            simulator.request_latency()
+        )
+
+    def test_bad_engine(self):
+        plan = make_plan(fc_model())
+        simulator = PipelineSimulator(plan, CostModel.reference(), 4)
+        with pytest.raises(SimulationError):
+            simulator.simulate_stream(5, engine="quantum")
+
+    def test_load_balanced_not_slower(self):
+        even = PipelineSimulator(make_plan(fc_model(), cores=6),
+                                 CostModel.reference(), 4)
+        balanced = PipelineSimulator(
+            make_plan(fc_model(), cores=6, balanced=True),
+            CostModel.reference(), 4,
+        )
+        assert balanced.request_latency() <= \
+            even.request_latency() * 1.05
+
+
+class TestCentralizedBaselines:
+    def test_plain_far_cheaper_than_cipher(self):
+        stages = model_stages(fc_model())
+        cost_model = CostModel.reference()
+        plain = centralized_plain_latency(stages, cost_model)
+        cipher = centralized_cipher_latency(stages, cost_model, 4)
+        assert cipher > 100 * plain
+
+    def test_pipeline_beats_centralized_cipher(self):
+        """The Exp#2 headline: distributed stream processing cuts
+        latency by a large factor."""
+        model = fc_model()
+        stages = model_stages(model)
+        cost_model = CostModel.reference()
+        cipher = centralized_cipher_latency(stages, cost_model, 4)
+        simulator = PipelineSimulator(
+            make_plan(model, cores=12, balanced=True), cost_model, 4
+        )
+        assert simulator.request_latency() < 0.5 * cipher
+
+
+class TestEventEngine:
+    def test_single_stage_sequential(self):
+        pipeline = EventDrivenPipeline([1.0], [0.0])
+        completions = pipeline.run([0.0, 0.0, 0.0])
+        assert completions == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_two_stage_overlap(self):
+        pipeline = EventDrivenPipeline([1.0, 1.0], [0.0, 0.0])
+        completions = pipeline.run([0.0, 0.0])
+        # r0: 0-1 at s0, 1-2 at s1; r1: 1-2 at s0, 2-3 at s1
+        assert completions == pytest.approx([2.0, 3.0])
+
+    def test_transfer_delays_downstream(self):
+        pipeline = EventDrivenPipeline([1.0, 1.0], [0.5, 0.25])
+        completions = pipeline.run([0.0])
+        assert completions[0] == pytest.approx(1.0 + 0.5 + 1.0 + 0.25)
+
+    def test_arrival_ordering_validated(self):
+        pipeline = EventDrivenPipeline([1.0], [0.0])
+        with pytest.raises(SimulationError):
+            pipeline.run([1.0, 0.5])
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(SimulationError):
+            EventDrivenPipeline([-1.0], [0.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SimulationError):
+            EventDrivenPipeline([1.0], [0.0, 0.0])

@@ -1,0 +1,124 @@
+"""Unit tests for channels and stage workers."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import StageFailedError, StreamError
+from repro.stream.channel import Channel, ChannelClosed
+from repro.stream.worker import StageWorker
+
+
+class TestChannel:
+    def test_fifo(self):
+        channel = Channel(capacity=4)
+        for i in range(3):
+            channel.put(i)
+        assert [channel.get(), channel.get(), channel.get()] == \
+            [0, 1, 2]
+
+    def test_close_raises_after_drain(self):
+        channel = Channel(capacity=4)
+        channel.put("x")
+        channel.close()
+        assert channel.get() == "x"
+        with pytest.raises(ChannelClosed):
+            channel.get()
+
+    def test_close_is_sticky_for_multiple_consumers(self):
+        channel = Channel(capacity=4)
+        channel.close()
+        for _ in range(3):
+            with pytest.raises(ChannelClosed):
+                channel.get(timeout=1)
+
+    def test_put_after_close_rejected(self):
+        channel = Channel()
+        channel.close()
+        with pytest.raises(StreamError):
+            channel.put(1)
+
+    def test_get_timeout(self):
+        channel = Channel()
+        with pytest.raises(StreamError):
+            channel.get(timeout=0.05)
+
+    def test_capacity_validation(self):
+        with pytest.raises(StreamError):
+            Channel(capacity=0)
+
+    def test_backpressure(self):
+        """A full channel blocks the producer until a consumer reads."""
+        channel = Channel(capacity=1)
+        channel.put(1)
+        state = {"put_done": False}
+
+        def producer():
+            channel.put(2)
+            state["put_done"] = True
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not state["put_done"]
+        assert channel.get() == 1
+        thread.join(timeout=1)
+        assert state["put_done"]
+
+
+class _DoublingExecutor:
+    def process(self, item):
+        return item * 2
+
+
+class _FailingExecutor:
+    def process(self, item):
+        raise ValueError("boom")
+
+
+class TestStageWorker:
+    def test_processes_and_forwards(self):
+        inbound, outbound = Channel(), Channel()
+        worker = StageWorker("w", _DoublingExecutor(), inbound, outbound)
+        worker.start()
+        for i in range(5):
+            inbound.put(i)
+        inbound.close()
+        results = []
+        while True:
+            try:
+                results.append(outbound.get(timeout=2))
+            except ChannelClosed:
+                break
+        worker.join(timeout=2)
+        assert results == [0, 2, 4, 6, 8]
+        assert worker.items_processed == 5
+        assert worker.busy_seconds >= 0
+
+    def test_failure_reported_at_join(self):
+        inbound, outbound = Channel(), Channel()
+        worker = StageWorker("bad", _FailingExecutor(), inbound,
+                             outbound)
+        worker.start()
+        inbound.put(1)
+        inbound.close()
+        with pytest.raises(StageFailedError, match="boom"):
+            # wait for the worker to hit the failure
+            for _ in range(100):
+                try:
+                    worker.join(timeout=0.05)
+                    break
+                except StageFailedError:
+                    raise
+                except Exception:
+                    continue
+
+    def test_closes_downstream_on_exit(self):
+        inbound, outbound = Channel(), Channel()
+        worker = StageWorker("w", _DoublingExecutor(), inbound, outbound)
+        worker.start()
+        inbound.close()
+        worker.join(timeout=2)
+        with pytest.raises(ChannelClosed):
+            outbound.get(timeout=1)

@@ -1,0 +1,92 @@
+"""Failure-injection tests for the stream runtime's retry machinery."""
+
+import pytest
+
+from repro.errors import StageFailedError
+from repro.stream.channel import Channel, ChannelClosed
+from repro.stream.worker import StageWorker
+
+
+class FlakyExecutor:
+    """Fails the first ``failures`` calls for each item, then succeeds."""
+
+    def __init__(self, failures: int):
+        self.failures = failures
+        self._attempts: dict[int, int] = {}
+
+    def process(self, item):
+        seen = self._attempts.get(item, 0)
+        self._attempts[item] = seen + 1
+        if seen < self.failures:
+            raise RuntimeError(f"transient failure #{seen + 1}")
+        return item * 10
+
+
+def drive(worker, items):
+    worker.start()
+    for item in items:
+        worker.inbound.put(item)
+    worker.inbound.close()
+    results = []
+    while True:
+        try:
+            results.append(worker.outbound.get(timeout=2))
+        except ChannelClosed:
+            break
+    return results
+
+
+class TestRetries:
+    def test_transient_failures_recovered(self):
+        executor = FlakyExecutor(failures=2)
+        worker = StageWorker("flaky", executor, Channel(), Channel(),
+                             max_retries=3)
+        results = drive(worker, [1, 2, 3])
+        worker.join(timeout=2)
+        assert results == [10, 20, 30]
+        assert worker.retries == 6  # two retries per item
+        assert worker.items_processed == 3
+
+    def test_persistent_failure_raises(self):
+        executor = FlakyExecutor(failures=10)
+        worker = StageWorker("doomed", executor, Channel(), Channel(),
+                             max_retries=2)
+        results = drive(worker, [1])
+        assert results == []
+        with pytest.raises(StageFailedError, match="transient"):
+            worker.join(timeout=2)
+
+    def test_zero_retries_fails_immediately(self):
+        executor = FlakyExecutor(failures=1)
+        worker = StageWorker("strict", executor, Channel(), Channel(),
+                             max_retries=0)
+        drive(worker, [1])
+        with pytest.raises(StageFailedError):
+            worker.join(timeout=2)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            StageWorker("bad", FlakyExecutor(0), Channel(), Channel(),
+                        max_retries=-1)
+
+    def test_pipeline_with_retries(self, trained_breast,
+                                   breast_dataset):
+        """End-to-end: a pipeline configured with retries behaves
+        identically when nothing fails."""
+        from repro.config import RuntimeConfig
+        from repro.planner.allocation import allocate_even
+        from repro.planner.plan import ClusterSpec
+        from repro.protocol import DataProvider, ModelProvider
+        from repro.stream import Pipeline
+
+        config = RuntimeConfig(key_size=128, seed=91)
+        model_provider = ModelProvider(trained_breast, decimals=3,
+                                       config=config)
+        data_provider = DataProvider(value_decimals=3, config=config)
+        cluster = ClusterSpec.homogeneous(1, 1, 2)
+        plan = allocate_even(model_provider.stages, cluster).plan
+        pipeline = Pipeline(model_provider, data_provider, plan,
+                            max_retries=2)
+        stats = pipeline.run_stream(list(breast_dataset.test_x[:3]))
+        assert len(stats.results) == 3
+        assert stats.stage_retries == [0] * len(model_provider.stages)

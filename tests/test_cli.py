@@ -1,0 +1,44 @@
+"""Smoke tests for the command-line interfaces."""
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.experiments.__main__ import main as experiments_main
+
+
+class TestTopLevelCli:
+    def test_demo_runs(self, capsys):
+        code = repro_main(["demo", "--model", "breast", "--samples",
+                           "1", "--key-size", "128"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "agreement" in output
+        assert "ciphertexts only: True" in output
+
+    def test_summary(self, capsys):
+        assert repro_main(["summary"]) == 0
+        assert "PP-Stream" in capsys.readouterr().out
+
+    def test_experiments_forwarding(self, capsys):
+        code = repro_main(["experiments", "exp5", "--fast"])
+        assert code == 0
+        assert "Table VI" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            repro_main(["launch-testbed"])
+
+
+class TestExperimentsCli:
+    def test_exp5_fast(self, capsys):
+        assert experiments_main(["exp5", "--fast"]) == 0
+        output = capsys.readouterr().out
+        assert "Distance correlation" in output
+
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            experiments_main([])
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["exp99"])

@@ -1,0 +1,239 @@
+"""Tests for the extension features beyond the paper's core design:
+
+* model rewriting (MaxPool -> conv+ReLU) for user-supplied models,
+* ciphertext re-randomization,
+* the rate-limiting countermeasure of Section II-C,
+* heterogeneous clusters (the paper's stated future work).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.errors import InfeasibleAllocationError, ModelError, \
+    ProtocolError
+from repro.nn.layers import Conv2d, Flatten, FullyConnected, \
+    MaxPool2d, ReLU, SoftMax
+from repro.nn.model import Sequential
+from repro.nn.rewrite import count_position_sensitive, \
+    rewrite_for_privacy
+from repro.planner.allocation import allocate_load_balanced
+from repro.planner.plan import ClusterSpec
+from repro.planner.primitive import extract_primitives, model_stages
+from repro.protocol import (
+    DataProvider,
+    InferenceSession,
+    ModelProvider,
+    RateLimiter,
+    RateLimitExceeded,
+)
+
+
+def model_with_maxpool():
+    model = Sequential((1, 8, 8))
+    model.add(Conv2d(1, 2, kernel=3, padding=1))
+    model.add(ReLU())
+    model.add(MaxPool2d(2))
+    model.add(Flatten())
+    model.add(FullyConnected(32, 3))
+    model.add(SoftMax())
+    return model
+
+
+class TestRewriteForPrivacy:
+    def test_original_is_rejected_by_planner(self):
+        with pytest.raises(Exception):
+            extract_primitives(model_with_maxpool())
+
+    def test_rewritten_is_accepted(self):
+        rewritten = rewrite_for_privacy(model_with_maxpool())
+        stages = model_stages(rewritten)
+        assert stages  # extraction succeeded
+        assert count_position_sensitive(rewritten) == 0
+
+    def test_shapes_preserved(self):
+        original = model_with_maxpool()
+        rewritten = rewrite_for_privacy(original)
+        assert rewritten.output_shape() == original.output_shape()
+
+    def test_weights_copied(self):
+        original = model_with_maxpool()
+        original.layers[0].weight[:] = 7.0
+        rewritten = rewrite_for_privacy(original)
+        assert np.all(rewritten.layers[0].weight == 7.0)
+
+    def test_near_avgpool_initialization(self):
+        """The substituted conv starts as average pooling, so the
+        rewritten model behaves reasonably before fine-tuning."""
+        original = model_with_maxpool()
+        rewritten = rewrite_for_privacy(original)
+        x = np.random.default_rng(0).uniform(0, 1, (3, 1, 8, 8))
+        original_out = original.forward(x)
+        rewritten_out = rewritten.forward(x)
+        # not identical (max != avg) but correlated in argmax often;
+        # check the substitution at least produces finite sane output
+        assert rewritten_out.shape == original_out.shape
+        assert np.all(np.isfinite(rewritten_out))
+
+    def test_unsupported_pool_rejected(self):
+        model = Sequential((1, 9, 9))
+        model.add(MaxPool2d(3))
+        with pytest.raises(ModelError):
+            rewrite_for_privacy(model)
+
+    def test_end_to_end_protocol_after_rewrite(self):
+        rewritten = rewrite_for_privacy(model_with_maxpool())
+        config = RuntimeConfig(key_size=128, seed=61)
+        session = InferenceSession(
+            ModelProvider(rewritten, decimals=2, config=config),
+            DataProvider(value_decimals=2, config=config),
+        )
+        outcome = session.run(
+            np.random.default_rng(1).uniform(0, 1, (1, 8, 8))
+        )
+        assert 0 <= outcome.prediction < 3
+
+
+class TestRerandomization:
+    def test_same_plaintext_new_ciphertext(self, keypair, rng):
+        pub, priv = keypair
+        cipher = pub.encrypt(42, rng)
+        fresh = cipher.rerandomized(rng)
+        assert fresh.ciphertext != cipher.ciphertext
+        assert priv.decrypt(fresh) == 42
+
+    def test_tensor_rerandomize(self, keypair, rng):
+        from repro.crypto.tensor import EncryptedTensor
+
+        tensor = EncryptedTensor.encrypt(
+            np.array([1, -2, 3]), keypair[0], rng, exponent=1
+        )
+        fresh = tensor.rerandomized(rng)
+        assert fresh.exponent == 1
+        assert np.array_equal(fresh.decrypt(keypair[1]),
+                              tensor.decrypt(keypair[1]))
+        assert all(
+            a.ciphertext != b.ciphertext
+            for a, b in zip(tensor.cells(), fresh.cells())
+        )
+
+
+class TestRateLimiter:
+    def test_window_enforced(self):
+        clock = _FakeClock()
+        limiter = RateLimiter(max_per_window=3, window_seconds=10,
+                              clock=clock)
+        for _ in range(3):
+            limiter.admit()
+        with pytest.raises(RateLimitExceeded):
+            limiter.admit()
+
+    def test_window_slides(self):
+        clock = _FakeClock()
+        limiter = RateLimiter(max_per_window=2, window_seconds=10,
+                              clock=clock)
+        limiter.admit()
+        limiter.admit()
+        clock.advance(11)
+        limiter.admit()  # old events expired
+        assert limiter.total_admitted == 3
+
+    def test_lifetime_budget(self):
+        clock = _FakeClock()
+        limiter = RateLimiter(max_per_window=100, window_seconds=1,
+                              lifetime_budget=2, clock=clock)
+        limiter.admit()
+        clock.advance(5)
+        limiter.admit()
+        clock.advance(5)
+        with pytest.raises(RateLimitExceeded):
+            limiter.admit()
+
+    def test_remaining_in_window(self):
+        clock = _FakeClock()
+        limiter = RateLimiter(max_per_window=3, window_seconds=10,
+                              clock=clock)
+        assert limiter.remaining_in_window() == 3
+        limiter.admit()
+        assert limiter.remaining_in_window() == 2
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            RateLimiter(0, 1)
+        with pytest.raises(ProtocolError):
+            RateLimiter(1, 0)
+        with pytest.raises(ProtocolError):
+            RateLimiter(1, 1, lifetime_budget=0)
+
+    def test_session_integration(self, trained_breast, breast_dataset,
+                                 test_config):
+        clock = _FakeClock()
+        limiter = RateLimiter(max_per_window=2, window_seconds=60,
+                              clock=clock)
+        session = InferenceSession(
+            ModelProvider(trained_breast, decimals=3,
+                          config=test_config),
+            DataProvider(value_decimals=3, config=test_config),
+            rate_limiter=limiter,
+        )
+        session.run(breast_dataset.test_x[0])
+        session.run(breast_dataset.test_x[1])
+        with pytest.raises(RateLimitExceeded):
+            session.run(breast_dataset.test_x[2])
+
+
+class TestHeterogeneousClusters:
+    def test_factory(self):
+        cluster = ClusterSpec.heterogeneous([8, 4], [2])
+        cores = [s.cores for s in cluster.servers]
+        assert cores == [8, 4, 2]
+        roles = [s.role for s in cluster.servers]
+        assert roles == ["model", "model", "data"]
+
+    def test_allocation_respects_per_server_capacity(self):
+        model = Sequential((4,))
+        model.add(FullyConnected(4, 8))
+        model.add(ReLU())
+        model.add(FullyConnected(8, 2))
+        model.add(SoftMax())
+        stages = model_stages(model)
+        cluster = ClusterSpec.heterogeneous([6, 1], [2],
+                                            hyperthreading=False)
+        result = allocate_load_balanced(
+            stages, [10.0, 1.0, 1.0, 1.0], cluster,
+            method="water_filling",
+        )
+        loads: dict[int, int] = {}
+        for assignment in result.plan.assignments:
+            loads[assignment.server_id] = \
+                loads.get(assignment.server_id, 0) + assignment.threads
+        for server_id, load in loads.items():
+            assert load <= cluster.servers[server_id].capacity(False)
+        # the heavy stage lands where there is room for many threads
+        heavy = result.plan.assignments[0]
+        assert heavy.threads > 1
+
+    def test_infeasible_heterogeneous(self):
+        model = Sequential((4,))
+        model.add(FullyConnected(4, 4))
+        model.add(ReLU())
+        model.add(FullyConnected(4, 2))
+        model.add(SoftMax())
+        stages = model_stages(model)
+        # one 1-core no-HT data server cannot host 2 non-linear stages
+        cluster = ClusterSpec.heterogeneous([4], [1],
+                                            hyperthreading=False)
+        with pytest.raises(InfeasibleAllocationError):
+            allocate_load_balanced(stages, [1.0] * 4, cluster,
+                                   method="water_filling")
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds

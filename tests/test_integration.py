@@ -1,0 +1,136 @@
+"""Cross-module integration tests: the full PP-Stream lifecycle.
+
+Train -> select scaling factor -> plan (primitives, profile, allocate)
+-> deploy (protocol session and threaded pipeline) -> verify against
+plaintext inference and against the simulator's view of the same plan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.costs import CostModel
+from repro.datasets import load_dataset
+from repro.nn import model_zoo
+from repro.nn.metrics import top1_accuracy
+from repro.nn.training import SGDTrainer
+from repro.planner.allocation import allocate_load_balanced
+from repro.planner.plan import ClusterSpec
+from repro.planner.primitive import model_stages
+from repro.planner.profiling import profile_primitive_times
+from repro.protocol import DataProvider, InferenceSession, ModelProvider
+from repro.scaling.parameter_scaling import (
+    round_parameters,
+    select_scaling_factor,
+)
+from repro.simulate.simulator import PipelineSimulator
+from repro.stream import Pipeline
+
+
+@pytest.fixture(scope="module")
+def lifecycle():
+    """Everything downstream of training, built once."""
+    dataset = load_dataset("heart")
+    model = model_zoo.build_model("heart")
+    SGDTrainer(model, learning_rate=0.1, seed=0).fit(
+        dataset.train_x, dataset.train_y, epochs=12
+    )
+    decision = select_scaling_factor(
+        model, dataset.train_x, dataset.train_y, dataset.num_classes
+    )
+    stages = model_stages(model)
+    cost_model = CostModel.reference()
+    times = profile_primitive_times(stages, cost_model,
+                                    decision.decimals)
+    cluster = ClusterSpec.homogeneous(2, 1, 2)
+    allocation = allocate_load_balanced(stages, times, cluster,
+                                        method="water_filling")
+    return dataset, model, decision, allocation, cost_model
+
+
+class TestFullLifecycle:
+    def test_scaling_preserves_test_accuracy(self, lifecycle):
+        dataset, model, decision, _, _ = lifecycle
+        rounded = round_parameters(model, decision.decimals)
+        original = top1_accuracy(model.predict(dataset.test_x),
+                                 dataset.test_y)
+        scaled = top1_accuracy(rounded.predict(dataset.test_x),
+                               dataset.test_y)
+        assert abs(original - scaled) < 0.02
+
+    def test_protocol_accuracy_matches_plain(self, lifecycle):
+        """End-to-end encrypted inference reaches the same test
+        accuracy as plaintext on a sample batch."""
+        dataset, model, decision, _, _ = lifecycle
+        config = RuntimeConfig(key_size=128, seed=3)
+        session = InferenceSession(
+            ModelProvider(model, decimals=decision.decimals,
+                          config=config),
+            DataProvider(value_decimals=decision.decimals,
+                         config=config),
+        )
+        sample_x = dataset.test_x[:10]
+        sample_y = dataset.test_y[:10]
+        encrypted_preds = [session.run(x).prediction for x in sample_x]
+        plain_preds = model.predict(sample_x)
+        assert top1_accuracy(np.array(encrypted_preds), sample_y) == \
+            pytest.approx(
+                top1_accuracy(plain_preds, sample_y), abs=0.11
+        )
+
+    def test_pipeline_and_session_agree(self, lifecycle):
+        """The threaded pipeline and the sequential protocol session
+        compute identical predictions for the same plan/model."""
+        dataset, model, decision, allocation, _ = lifecycle
+        config = RuntimeConfig(key_size=128, seed=4)
+        model_provider = ModelProvider(model,
+                                       decimals=decision.decimals,
+                                       config=config)
+        data_provider = DataProvider(value_decimals=decision.decimals,
+                                     config=config)
+        pipeline = Pipeline(model_provider, data_provider,
+                            allocation.plan)
+        inputs = list(dataset.test_x[:5])
+        stats = pipeline.run_stream(inputs)
+        stream_preds = [
+            r.prediction
+            for r in sorted(stats.results, key=lambda r: r.request_id)
+        ]
+
+        config2 = RuntimeConfig(key_size=128, seed=5)
+        session = InferenceSession(
+            ModelProvider(model, decimals=decision.decimals,
+                          config=config2),
+            DataProvider(value_decimals=decision.decimals,
+                         config=config2),
+        )
+        session_preds = [session.run(x).prediction for x in inputs]
+        assert stream_preds == session_preds
+
+    def test_simulator_reflects_plan_structure(self, lifecycle):
+        """The simulator consumes the same plan the runtime deploys
+        and reports a latency decomposed over its stages."""
+        _, _, decision, allocation, cost_model = lifecycle
+        simulator = PipelineSimulator(allocation.plan, cost_model,
+                                      decision.decimals)
+        assert len(simulator.costs) == len(allocation.plan.stages)
+        assert simulator.request_latency() > 0
+        stream = simulator.simulate_stream(8)
+        assert stream.throughput > 0
+
+    def test_more_cores_reduce_simulated_latency(self, lifecycle):
+        dataset, model, decision, _, cost_model = lifecycle
+        stages = model_stages(model)
+        times = profile_primitive_times(stages, cost_model,
+                                        decision.decimals)
+        latencies = []
+        for cores in (2, 8):
+            cluster = ClusterSpec.homogeneous(2, 1, cores)
+            allocation = allocate_load_balanced(
+                stages, times, cluster, method="water_filling"
+            )
+            latencies.append(
+                PipelineSimulator(allocation.plan, cost_model,
+                                  decision.decimals).request_latency()
+            )
+        assert latencies[1] < latencies[0]

@@ -1,0 +1,93 @@
+"""Tests for dataset persistence and plan serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    load_dataset,
+    load_saved_dataset,
+    save_dataset,
+)
+from repro.errors import DatasetError, PlannerError
+from repro.planner import (
+    ClusterSpec,
+    allocate_even,
+    plan_from_dict,
+)
+from repro.planner.primitive import model_stages
+from repro.nn import model_zoo
+
+
+class TestDatasetIO:
+    def test_round_trip(self, tmp_path):
+        original = load_dataset("heart")
+        path = tmp_path / "heart.npz"
+        save_dataset(original, path)
+        restored = load_saved_dataset(path)
+        assert restored.name == original.name
+        assert restored.num_classes == original.num_classes
+        assert np.array_equal(restored.train_x, original.train_x)
+        assert np.array_equal(restored.test_y, original.test_y)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="no such"):
+            load_saved_dataset(tmp_path / "nope.npz")
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(DatasetError):
+            load_saved_dataset(path)
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not an archive at all")
+        with pytest.raises(DatasetError):
+            load_saved_dataset(path)
+
+
+class TestPlanSerialization:
+    @pytest.fixture()
+    def plan_and_stages(self):
+        stages = model_stages(model_zoo.build_model("breast"))
+        cluster = ClusterSpec.homogeneous(2, 1, 4)
+        plan = allocate_even(stages, cluster).plan
+        return plan, stages
+
+    def test_round_trip(self, plan_and_stages):
+        plan, stages = plan_and_stages
+        state = plan.to_dict()
+        # survives a real JSON round trip
+        state = json.loads(json.dumps(state))
+        restored = plan_from_dict(state, stages)
+        assert restored.assignments == plan.assignments
+        assert restored.use_tensor_partitioning == \
+            plan.use_tensor_partitioning
+        assert restored.cluster.total_cores == plan.cluster.total_cores
+
+    def test_descriptions_included(self, plan_and_stages):
+        plan, _ = plan_and_stages
+        state = plan.to_dict()
+        assert len(state["stage_descriptions"]) == len(plan.stages)
+        assert "linear" in state["stage_descriptions"][0]
+
+    def test_format_checked(self, plan_and_stages):
+        _, stages = plan_and_stages
+        with pytest.raises(PlannerError, match="repro-plan-v1"):
+            plan_from_dict({"format": "something-else"}, stages)
+
+    def test_stage_count_checked(self, plan_and_stages):
+        plan, stages = plan_and_stages
+        state = plan.to_dict()
+        with pytest.raises(PlannerError, match="assignments"):
+            plan_from_dict(state, stages[:-1])
+
+    def test_restored_plan_revalidates(self, plan_and_stages):
+        """Tampered thread counts are caught by Plan's Eq. 5-8 checks."""
+        plan, stages = plan_and_stages
+        state = plan.to_dict()
+        state["assignments"][0]["threads"] = 10 ** 6
+        with pytest.raises(Exception):
+            plan_from_dict(state, stages)
