@@ -5,6 +5,10 @@ Commands:
 * ``demo [--model KEY] [--samples N]`` — train a Table III model and
   run collaborative encrypted inference on held-out samples, printing
   predictions, agreement with plaintext, and transcript statistics.
+* ``stream [--faults SPEC] [--retries N] [--deadline S] ...`` — run
+  the threaded stream runtime over a request stream, optionally under
+  an injected fault plan (docs/FAULT_TOLERANCE.md), printing the
+  utilization and failure reports.
 * ``summary`` — print the package's subsystem inventory.
 * ``experiments ...`` — forwarded to ``repro.experiments`` (all the
   paper's tables and figures).
@@ -50,6 +54,56 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .config import RuntimeConfig
+    from .experiments.common import prepare_model
+    from .planner.allocation import allocate_even
+    from .planner.plan import ClusterSpec
+    from .protocol import DataProvider, ModelProvider
+    from .stream import FaultPlan, Pipeline, RetryPolicy
+
+    from .errors import StreamError
+
+    try:
+        fault_plan = (FaultPlan.parse(args.faults)
+                      if args.faults else None)
+        retry_policy = RetryPolicy(max_retries=args.retries,
+                                   base_delay=args.backoff_base)
+    except StreamError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    prepared = prepare_model(args.model)
+    config = RuntimeConfig(key_size=args.key_size)
+    model_provider = ModelProvider(
+        prepared.model, decimals=prepared.decimals, config=config
+    )
+    data_provider = DataProvider(
+        value_decimals=prepared.decimals, config=config
+    )
+    cluster = ClusterSpec.homogeneous(1, 1, args.threads)
+    plan = allocate_even(model_provider.stages, cluster).plan
+    pipeline = Pipeline(
+        model_provider, data_provider, plan,
+        channel_capacity=args.channel_capacity,
+        retry_policy=retry_policy,
+        request_deadline=args.deadline,
+        fault_plan=fault_plan,
+        restart_budget=args.restart_budget,
+    )
+    if fault_plan:
+        print(f"injected faults: {fault_plan.describe()}")
+    inputs = list(prepared.dataset.test_x[:args.samples])
+    try:
+        stats = pipeline.run_stream(inputs)
+    except StreamError as exc:
+        print(f"fatal: {exc}", file=sys.stderr)
+        return 1
+    print(stats.utilization_report())
+    if not stats.dead_letters:
+        print(stats.failure_report())
+    return 1 if stats.dead_letters else 0
+
+
 def _cmd_summary(_: argparse.Namespace) -> int:
     from . import __doc__ as package_doc
 
@@ -76,6 +130,39 @@ def main(argv: list[str] | None = None) -> int:
     demo.add_argument("--key-size", type=int, default=256,
                       dest="key_size")
     demo.set_defaults(func=_cmd_demo)
+
+    stream = subparsers.add_parser(
+        "stream",
+        help="run the threaded stream runtime, optionally under an "
+             "injected fault plan",
+    )
+    stream.add_argument("--model", default="breast",
+                        help="Table III model key (default: breast)")
+    stream.add_argument("--samples", type=int, default=4)
+    stream.add_argument("--key-size", type=int, default=256,
+                        dest="key_size")
+    stream.add_argument("--threads", type=int, default=2,
+                        help="threads per stage server")
+    stream.add_argument("--channel-capacity", type=int, default=8,
+                        dest="channel_capacity")
+    stream.add_argument(
+        "--faults", default=None,
+        help="fault plan, e.g. "
+             "'transient:stage=0:request=1:count=2;"
+             "permanent:stage=2:request=3' "
+             "(kinds: transient, permanent, slow, stall, crash)",
+    )
+    stream.add_argument("--retries", type=int, default=3,
+                        help="max retries per request per stage")
+    stream.add_argument("--backoff-base", type=float, default=0.01,
+                        dest="backoff_base",
+                        help="first-retry backoff in seconds")
+    stream.add_argument("--deadline", type=float, default=None,
+                        help="per-request deadline in seconds")
+    stream.add_argument("--restart-budget", type=int, default=2,
+                        dest="restart_budget",
+                        help="crashed-worker restarts per stage")
+    stream.set_defaults(func=_cmd_stream)
 
     summary = subparsers.add_parser(
         "summary", help="print the subsystem inventory"

@@ -85,6 +85,29 @@ class StageFailedError(StreamError):
     """A stage worker raised; the original traceback is chained."""
 
 
+class TransientStageError(StreamError):
+    """A stage failure expected to succeed on retry (e.g. a flaky
+    executor, a transient resource hiccup).  The retry policy backs
+    off and re-runs the item."""
+
+
+class PoisonedRequestError(StreamError):
+    """A per-request failure that no retry can fix (malformed tensor,
+    protocol violation for this input).  The request is dead-lettered
+    immediately; the pipeline keeps serving everything else."""
+
+
+class WorkerCrashError(StreamError):
+    """A stage worker's thread died outside item processing; the
+    supervisor may restart the worker and re-inject the in-flight
+    item."""
+
+
+class DeadlineExceededError(ReproError):
+    """A request blew its per-request deadline (stream or sequential
+    protocol path)."""
+
+
 class ProtocolError(ReproError):
     """The collaborative inference protocol was violated."""
 

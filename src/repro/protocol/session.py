@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ProtocolError
+from ..errors import DeadlineExceededError, ProtocolError
 from ..nn.layers import LayerKind
 from .message import CIPHERTEXT, CIPHERTEXT_OBFUSCATED, Message, Transcript
 from .roles import DataProvider, ModelProvider
@@ -78,21 +78,44 @@ class InferenceSession:
         self._num_pairs = len(stages) // 2
         self._cipher_bytes = 2 * data_provider.public_key.key_size // 8
 
-    def run(self, x: np.ndarray) -> InferenceOutcome:
+    def run(self, x: np.ndarray,
+            deadline: float | None = None) -> InferenceOutcome:
         """Execute the full workflow for one input tensor.
+
+        Args:
+            x: raw input tensor.
+            deadline: optional end-to-end budget in seconds; checked
+                between protocol rounds (the stream runtime's
+                per-request deadline, applied to the sequential path).
 
         Raises:
             RateLimitExceeded: when a rate limiter is configured and
                 the data provider exceeded its allowance.
+            DeadlineExceededError: the request blew its deadline.
         """
+        if deadline is not None and deadline <= 0:
+            raise ProtocolError("deadline must be positive seconds")
         if self.rate_limiter is not None:
             self.rate_limiter.admit()
         start = time.perf_counter()
+
+        def check_deadline(round_index: int) -> None:
+            if deadline is None:
+                return
+            elapsed = time.perf_counter() - start
+            if elapsed > deadline:
+                raise DeadlineExceededError(
+                    f"inference blew its {deadline}s deadline after "
+                    f"{elapsed:.3f}s ({round_index}/{self._num_pairs} "
+                    "rounds complete)"
+                )
+
         transcript = Transcript()
         tensor = self.data_provider.encrypt_input(np.asarray(x))
         obfuscation_round: int | None = None
 
         for pair in range(self._num_pairs):
+            check_deadline(pair)
             linear_index = 2 * pair
             nonlinear_index = 2 * pair + 1
             final = pair == self._num_pairs - 1
@@ -141,6 +164,11 @@ class InferenceSession:
             obfuscation_round = outbound_round
         raise ProtocolError("stage walk ended without a final round")
 
-    def run_batch(self, batch: np.ndarray) -> list[InferenceOutcome]:
-        """Run inference for each sample of a batch, sequentially."""
-        return [self.run(sample) for sample in np.asarray(batch)]
+    def run_batch(self, batch: np.ndarray,
+                  deadline: float | None = None
+                  ) -> list[InferenceOutcome]:
+        """Run inference for each sample of a batch, sequentially.
+
+        ``deadline`` applies per sample, not to the whole batch."""
+        return [self.run(sample, deadline=deadline)
+                for sample in np.asarray(batch)]

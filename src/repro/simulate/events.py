@@ -61,14 +61,21 @@ class EventDrivenPipeline:
         self,
         arrivals: Sequence[float],
         service_matrix: Sequence[Sequence[float]] | None = None,
+        drop_after: dict[int, int] | None = None,
     ) -> List[float]:
         """Simulate; returns completion time of each request.
 
         Args:
             arrivals: per-request admission times (non-decreasing).
             service_matrix: optional per-(request, stage) service-time
-                overrides (jitter); defaults to the fixed per-stage
-                times.
+                overrides (jitter / injected faults); defaults to the
+                fixed per-stage times.
+            drop_after: optional map request_id -> stage index at
+                which that request leaves the pipeline (dead-letter
+                semantics: it occupies stages up to and including the
+                drop stage, then exits without the trailing transfer
+                and without visiting later stages).  Its "completion"
+                time is its exit time.
         """
         if not arrivals:
             raise SimulationError("no arrivals")
@@ -83,6 +90,13 @@ class EventDrivenPipeline:
                 if len(row) != len(self.service_times):
                     raise SimulationError(
                         "service_matrix column count != stages"
+                    )
+        if drop_after is not None:
+            for request_id, stage in drop_after.items():
+                if not 0 <= stage < len(self.service_times):
+                    raise SimulationError(
+                        f"drop stage {stage} for request "
+                        f"{request_id} out of range"
                     )
 
         num_stages = len(self.service_times)
@@ -103,6 +117,10 @@ class EventDrivenPipeline:
                 service = state.service_time
             finish = start + service
             state.busy_until = finish
+            if drop_after is not None \
+                    and drop_after.get(request_id) == stage_index:
+                completions[request_id] = finish
+                return
             if stage_index + 1 < num_stages:
                 ready = finish + self.transfer_times[stage_index]
                 push(ready, lambda now, s=stage_index + 1, r=request_id:

@@ -21,17 +21,27 @@ from .executors import (
     NonLinearStageExecutor,
     build_executors,
 )
+from .faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
 from .pipeline import Pipeline, RequestResult, StreamStats
+from .retry import DeadLetter, RetryPolicy
+from .supervisor import Supervisor
 from .worker import StageWorker
 
 __all__ = [
     "Channel",
     "ChannelClosed",
+    "DeadLetter",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "LinearStageExecutor",
     "NonLinearStageExecutor",
     "build_executors",
     "Pipeline",
     "RequestResult",
+    "RetryPolicy",
     "StreamStats",
     "StageWorker",
+    "Supervisor",
 ]

@@ -28,6 +28,7 @@ from ..protocol.roles import (
     apply_activation,
 )
 from ..scaling.fixed_point import ScaledAffine, scale_to_int
+from .retry import DeadLetter
 
 
 @dataclass
@@ -40,6 +41,9 @@ class StreamItem:
         obfuscation_round: outstanding obfuscator round id, if permuted.
         enqueue_time: perf-counter timestamp at admission.
         result: final probabilities once the sink stage ran.
+        fault: set when the request was dead-lettered; downstream
+            stages forward such tombstones untouched so the sink can
+            account for every admitted request.
     """
 
     request_id: int
@@ -47,6 +51,7 @@ class StreamItem:
     obfuscation_round: int | None = None
     enqueue_time: float = 0.0
     result: np.ndarray | None = None
+    fault: DeadLetter | None = None
 
 
 class LinearStageExecutor:

@@ -1,0 +1,132 @@
+"""Retry policies and the dead-letter record for the stream runtime.
+
+The runtime distinguishes *transient* failures (worth retrying, with
+exponential backoff + jitter) from *permanent* ones (dead-letter the
+request immediately).  Classification is type-based:
+:class:`~repro.errors.TransientStageError` is always transient,
+:class:`~repro.errors.PoisonedRequestError` and protocol violations
+are always permanent, and unclassified exceptions default to transient
+(the conservative choice inherited from the old bare-retry loop) unless
+the policy says otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import (
+    PoisonedRequestError,
+    ProtocolError,
+    StreamError,
+    TransientStageError,
+)
+
+#: Reasons recorded on a :class:`DeadLetter`.
+REASON_PERMANENT = "permanent-error"
+REASON_EXHAUSTED = "retries-exhausted"
+REASON_DEADLINE = "deadline-exceeded"
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One request removed from the stream instead of killing it.
+
+    Attributes:
+        request_id: the failed request.
+        stage: index of the stage where the failure surfaced
+            (-1 when the request never reached a stage).
+        reason: one of ``permanent-error`` / ``retries-exhausted`` /
+            ``deadline-exceeded``.
+        attempts: executor attempts made before giving up (0 for a
+            deadline miss detected before processing).
+        error: repr of the final exception, if any.
+    """
+
+    request_id: int
+    stage: int
+    reason: str
+    attempts: int
+    error: str = ""
+
+    def describe(self) -> str:
+        detail = f" ({self.error})" if self.error else ""
+        return (f"request {self.request_id}: {self.reason} at stage "
+                f"{self.stage} after {self.attempts} attempt(s){detail}")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter plus error classification.
+
+    The delay before retry ``k`` (1-based) is
+    ``min(max_delay, base_delay * multiplier**(k-1))`` scaled by a
+    uniform jitter draw from ``[1 - jitter, 1 + jitter]``.
+
+    Attributes:
+        max_retries: retries per item after the first attempt.
+        base_delay: seconds before the first retry.
+        multiplier: exponential growth factor.
+        max_delay: backoff ceiling in seconds.
+        jitter: relative jitter width in [0, 1).
+        retry_unclassified: treat exceptions that are neither
+            explicitly transient nor explicitly permanent as
+            transient (retryable).
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.1
+    retry_unclassified: bool = True
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise StreamError("max_retries must be non-negative")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise StreamError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise StreamError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise StreamError("jitter must be in [0, 1)")
+
+    @classmethod
+    def immediate(cls, max_retries: int) -> "RetryPolicy":
+        """The old bare-retry semantics: no backoff, no jitter."""
+        return cls(max_retries=max_retries, base_delay=0.0,
+                   jitter=0.0)
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        return cls.immediate(0)
+
+    def is_transient(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is worth retrying."""
+        if isinstance(exc, TransientStageError):
+            return True
+        if isinstance(exc, (PoisonedRequestError, ProtocolError)):
+            return False
+        return self.retry_unclassified
+
+    def backoff_delay(self, attempt: int,
+                      rng: random.Random | None = None) -> float:
+        """Seconds to sleep before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise StreamError("backoff attempt is 1-based")
+        delay = min(self.max_delay,
+                    self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter > 0.0 and rng is not None:
+            delay *= rng.uniform(1 - self.jitter, 1 + self.jitter)
+        return delay
+
+
+@dataclass
+class RetryBudgetLedger:
+    """Mutable per-worker counters the retry loop reports into."""
+
+    retries: int = 0
+    backoff_events: int = 0
+    backoff_seconds: float = 0.0
+    dead_letters: List[DeadLetter] = field(default_factory=list)

@@ -1,28 +1,70 @@
 """Stage workers: one thread per stage pulling from its input channel.
 
 A :class:`StageWorker` loops: get item -> executor.process -> put item
-downstream, until the input channel closes.  Failures are captured and
-re-raised at join time as :class:`StageFailedError` so a crashing stage
-takes the pipeline down loudly instead of hanging it.
+downstream, until the input channel closes.  Failures are handled per
+the worker's :class:`~repro.stream.retry.RetryPolicy`:
+
+* transient errors are retried with exponential backoff + jitter;
+* permanent errors (and exhausted retries, and blown deadlines) either
+  **dead-letter** the request — the item is tagged with a
+  :class:`~repro.stream.retry.DeadLetter` and forwarded downstream as
+  a tombstone so the sink can account for it — or, for an
+  unsupervised stand-alone worker, are re-raised at :meth:`join` as
+  :class:`StageFailedError` (the historical fail-loud posture);
+* :class:`~repro.errors.WorkerCrashError` (and any failure outside
+  item processing) kills the worker thread; a supervisor may restart
+  it and re-inject the in-flight item.
+
+Workers publish a heartbeat timestamp each loop iteration so the
+supervisor can observe liveness.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from typing import Optional
 
-from ..errors import StageFailedError
+from ..errors import (
+    DeadlineExceededError,
+    StageFailedError,
+    StreamError,
+    WorkerCrashError,
+)
 from .channel import Channel, ChannelClosed
+from .retry import (
+    REASON_DEADLINE,
+    REASON_EXHAUSTED,
+    REASON_PERMANENT,
+    DeadLetter,
+    RetryBudgetLedger,
+    RetryPolicy,
+)
 
 
 class StageWorker:
     """Runs one stage executor against its channels on a daemon thread.
 
-    A transient executor failure is retried up to ``max_retries`` times
-    per item (the stream-processing fault-tolerance posture of
-    AF-Stream, which the paper builds on); a persistent failure takes
-    the pipeline down loudly at :meth:`join`.
+    Args:
+        name: thread / diagnostic name.
+        executor: object with ``process(item)`` (and optional
+            ``shutdown()``).
+        inbound: channel the worker consumes.
+        outbound: channel the worker produces into (None for a final
+            consumer).
+        max_retries: legacy knob — builds an immediate (no-backoff)
+            :class:`RetryPolicy` when ``retry_policy`` is not given.
+        retry_policy: full backoff/classification policy.
+        deadline: per-request seconds from admission
+            (``item.enqueue_time``) before the request is
+            dead-lettered unprocessed.
+        dead_letter: route failed requests to the dead-letter path
+            (tombstone-forwarded downstream) instead of failing the
+            worker.  The pipeline always enables this; stand-alone
+            workers default to the historical fail-loud behaviour.
+        stage_index: pipeline position recorded on dead letters.
+        seed: backoff-jitter RNG seed (deterministic per worker).
     """
 
     def __init__(
@@ -32,57 +74,216 @@ class StageWorker:
         inbound: Channel,
         outbound: Optional[Channel],
         max_retries: int = 0,
+        retry_policy: RetryPolicy | None = None,
+        deadline: float | None = None,
+        dead_letter: bool = False,
+        stage_index: int = -1,
+        seed: int = 0,
     ):
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive seconds")
         self.name = name
         self.executor = executor
         self.inbound = inbound
         self.outbound = outbound
-        self.max_retries = max_retries
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy.immediate(max_retries))
+        self.deadline = deadline
+        self.dead_letter = dead_letter
+        self.stage_index = stage_index
         self.items_processed = 0
-        self.retries = 0
         self.busy_seconds = 0.0
+        self.ledger = RetryBudgetLedger()
+        self.last_heartbeat = time.monotonic()
+        self.inflight = None
+        self.inflight_processed = False
+        self.supervised = False
+        self.crashed = False
+        self.completed = False
+        self._seed = seed
+        self._rng = random.Random(seed)
         self._error: BaseException | None = None
+        self._finalized = False
         self._thread = threading.Thread(
             target=self._run, name=name, daemon=True
         )
 
+    # -- introspection -------------------------------------------------
+
+    @property
+    def max_retries(self) -> int:
+        return self.retry_policy.max_retries
+
+    @property
+    def retries(self) -> int:
+        return self.ledger.retries
+
+    @property
+    def backoff_events(self) -> int:
+        return self.ledger.backoff_events
+
+    @property
+    def error(self) -> BaseException | None:
+        return self._error
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def heartbeat_age(self) -> float:
+        return time.monotonic() - self.last_heartbeat
+
+    # -- lifecycle -----------------------------------------------------
+
     def start(self) -> None:
         self._thread.start()
 
+    def respawn(self) -> "StageWorker":
+        """A fresh worker bound to the same executor and channels.
+
+        The replacement shares this worker's ledger so retry /
+        dead-letter counters accumulate across restarts.
+        """
+        clone = StageWorker(
+            name=self.name,
+            executor=self.executor,
+            inbound=self.inbound,
+            outbound=self.outbound,
+            retry_policy=self.retry_policy,
+            deadline=self.deadline,
+            dead_letter=self.dead_letter,
+            stage_index=self.stage_index,
+            seed=self._seed + 1,
+        )
+        clone.ledger = self.ledger
+        clone.supervised = self.supervised
+        return clone
+
+    # -- processing ----------------------------------------------------
+
+    def _deadline_blown(self, item) -> bool:
+        enqueue = getattr(item, "enqueue_time", None)
+        return (self.deadline is not None and enqueue is not None
+                and time.perf_counter() - enqueue > self.deadline)
+
+    def _fail(self, item, reason: str, attempts: int,
+              exc: BaseException | None):
+        """Dead-letter the item (tombstone) or re-raise fail-loud."""
+        if not self.dead_letter:
+            if exc is not None:
+                raise exc
+            raise DeadlineExceededError(
+                f"request {getattr(item, 'request_id', '?')} blew its "
+                f"{self.deadline}s deadline at stage {self.name}"
+            )
+        letter = DeadLetter(
+            request_id=int(getattr(item, "request_id", -1)),
+            stage=self.stage_index,
+            reason=reason,
+            attempts=attempts,
+            error=repr(exc) if exc is not None else "",
+        )
+        self.ledger.dead_letters.append(letter)
+        item.fault = letter
+        return item
+
     def _process_with_retries(self, item):
+        """Run the executor under the retry policy.
+
+        Returns the processed item, or the original item tagged with a
+        :class:`DeadLetter` (dead-letter mode).  Raises on crash-class
+        errors and, in fail-loud mode, on any terminal failure.
+        """
+        if self._deadline_blown(item):
+            return self._fail(item, REASON_DEADLINE, 0, None)
         attempt = 0
         while True:
+            self.last_heartbeat = time.monotonic()
             try:
                 return self.executor.process(item)
-            except Exception:
-                if attempt >= self.max_retries:
-                    raise
+            except WorkerCrashError:
+                raise  # worker-scope failure: not an item problem
+            except Exception as exc:  # noqa: BLE001 - classified below
                 attempt += 1
-                self.retries += 1
+                if not self.retry_policy.is_transient(exc):
+                    return self._fail(item, REASON_PERMANENT,
+                                      attempt, exc)
+                if attempt > self.retry_policy.max_retries:
+                    return self._fail(item, REASON_EXHAUSTED,
+                                      attempt, exc)
+                self.ledger.retries += 1
+                delay = self.retry_policy.backoff_delay(
+                    attempt, self._rng
+                )
+                if delay > 0:
+                    self.ledger.backoff_events += 1
+                    self.ledger.backoff_seconds += delay
+                    time.sleep(delay)
+                if self._deadline_blown(item):
+                    return self._fail(item, REASON_DEADLINE,
+                                      attempt, exc)
+
+    def _forward(self, item) -> None:
+        if self.outbound is None:
+            return
+        try:
+            self.outbound.put(item)
+        except StreamError as exc:
+            # Never lose the request silently: name it in the failure.
+            request_id = getattr(item, "request_id", "?")
+            raise StreamError(
+                f"stage {self.name} could not forward request "
+                f"{request_id} downstream: {exc}"
+            ) from exc
 
     def _run(self) -> None:
         try:
             while True:
+                self.last_heartbeat = time.monotonic()
                 try:
                     item = self.inbound.get()
                 except ChannelClosed:
                     break
+                self.inflight = item
+                self.inflight_processed = False
+                if getattr(item, "fault", None) is not None:
+                    self.inflight_processed = True
+                    self._forward(item)  # tombstone pass-through
+                    self.inflight = None
+                    continue
                 start = time.perf_counter()
                 item = self._process_with_retries(item)
                 self.busy_seconds += time.perf_counter() - start
-                self.items_processed += 1
-                if self.outbound is not None:
-                    self.outbound.put(item)
+                if getattr(item, "fault", None) is None:
+                    self.items_processed += 1
+                self.inflight = item
+                self.inflight_processed = True
+                self._forward(item)
+                self.inflight = None
         except BaseException as exc:  # noqa: BLE001 - reported at join
             self._error = exc
-        finally:
-            if self.outbound is not None:
-                self.outbound.close()
-            shutdown = getattr(self.executor, "shutdown", None)
-            if shutdown is not None:
-                shutdown()
+            self.crashed = True
+            if not self.supervised:
+                # Nobody will restart us: release downstream consumers.
+                self.finalize()
+            return
+        self.completed = True
+        self.finalize()
+
+    def finalize(self) -> None:
+        """Close the outbound channel and shut the executor down.
+
+        Idempotent; called on normal completion, on unsupervised
+        crash, and by the supervisor when it gives a stage up."""
+        if self._finalized:
+            return
+        self._finalized = True
+        if self.outbound is not None:
+            self.outbound.close()
+        shutdown = getattr(self.executor, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
 
     def join(self, timeout: float | None = None) -> None:
         """Wait for the worker; re-raise any captured stage failure."""
@@ -93,3 +294,8 @@ class StageWorker:
             raise StageFailedError(
                 f"stage {self.name} failed: {self._error!r}"
             ) from self._error
+
+    def join_quietly(self, timeout: float | None = None) -> bool:
+        """Join without raising; True when the thread has exited."""
+        self._thread.join(timeout)
+        return not self._thread.is_alive()

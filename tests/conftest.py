@@ -1,8 +1,20 @@
-"""Shared fixtures: small keypairs and trained models, built once."""
+"""Shared fixtures (small keypairs, trained models, built once) and a
+lightweight per-test timeout guard.
+
+The timeout guard gives ``pytest-timeout``-style semantics without the
+plugin dependency: the ``timeout`` ini option (pyproject.toml) sets a
+global per-test ceiling, overridable per test with
+``@pytest.mark.timeout(seconds)``.  Implemented with SIGALRM so a
+wedged channel/worker regression fails fast with a TimeoutGuard error
+instead of hanging the whole suite; on platforms without SIGALRM it is
+a no-op.
+"""
 
 from __future__ import annotations
 
 import random
+import signal
+import threading
 
 import numpy as np
 import pytest
@@ -12,6 +24,54 @@ from repro.crypto.paillier import generate_keypair
 from repro.datasets import load_dataset
 from repro.nn import model_zoo
 from repro.nn.training import SGDTrainer
+
+
+class TimeoutGuardError(Exception):
+    """A test exceeded its per-test timeout."""
+
+
+def pytest_addoption(parser):
+    parser.addini(
+        "timeout",
+        "global per-test timeout in seconds (0 disables)",
+        default="0",
+    )
+
+
+def _timeout_for(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    try:
+        return float(item.config.getini("timeout") or 0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    seconds = _timeout_for(item)
+    can_alarm = (
+        seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not can_alarm:
+        return (yield)
+
+    def on_alarm(signum, frame):
+        raise TimeoutGuardError(
+            f"test exceeded its {seconds:g}s timeout "
+            f"(tests/conftest.py timeout guard)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 #: Small key for fast protocol tests; the key size is a config knob,
 #: not a separate code path (see repro.config).

@@ -1,0 +1,45 @@
+"""Per-inference deadlines on the sequential protocol session."""
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.errors import DeadlineExceededError, ProtocolError
+from repro.protocol import DataProvider, InferenceSession, ModelProvider
+
+
+def make_session(model, seed=31):
+    config = RuntimeConfig(key_size=128, seed=seed)
+    return InferenceSession(
+        ModelProvider(model, decimals=3, config=config),
+        DataProvider(value_decimals=3, config=config),
+    )
+
+
+class TestSessionDeadline:
+    def test_generous_deadline_succeeds(self, trained_breast,
+                                        breast_dataset):
+        session = make_session(trained_breast)
+        sample = breast_dataset.test_x[0]
+        outcome = session.run(sample, deadline=300.0)
+        assert outcome.prediction == session.run(sample).prediction
+
+    def test_tiny_deadline_raises_with_progress(self, trained_breast,
+                                                breast_dataset):
+        session = make_session(trained_breast)
+        with pytest.raises(DeadlineExceededError,
+                           match="rounds complete"):
+            session.run(breast_dataset.test_x[0], deadline=1e-9)
+
+    def test_nonpositive_deadline_rejected(self, trained_breast,
+                                           breast_dataset):
+        session = make_session(trained_breast)
+        for bad in (0.0, -1.0):
+            with pytest.raises(ProtocolError):
+                session.run(breast_dataset.test_x[0], deadline=bad)
+
+    def test_batch_deadline_applies_per_sample(self, trained_breast,
+                                               breast_dataset):
+        session = make_session(trained_breast)
+        with pytest.raises(DeadlineExceededError):
+            session.run_batch(breast_dataset.test_x[:2],
+                              deadline=1e-9)

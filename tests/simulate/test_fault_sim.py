@@ -1,0 +1,147 @@
+"""Fault-plan semantics in the discrete-event / recurrence simulator.
+
+The simulator mirrors the stream runtime's failure model
+(:mod:`repro.stream.faults`): transient faults cost retries and
+backoff time, permanent faults and exhausted retry budgets
+dead-letter exactly their request, slow/stall faults stretch the
+schedule, and both scheduling engines must agree under all of it.
+"""
+
+import pytest
+
+from repro.costs import CostModel
+from repro.nn.layers import FullyConnected, ReLU, SoftMax
+from repro.nn.model import Sequential
+from repro.planner.allocation import allocate_even
+from repro.planner.plan import ClusterSpec
+from repro.planner.primitive import model_stages
+from repro.simulate.simulator import PipelineSimulator
+from repro.stream.faults import FaultPlan
+from repro.stream.retry import (
+    REASON_EXHAUSTED,
+    REASON_PERMANENT,
+    RetryPolicy,
+)
+
+
+def build_simulator():
+    model = Sequential((8,))
+    model.add(FullyConnected(8, 16))
+    model.add(ReLU())
+    model.add(FullyConnected(16, 2))
+    model.add(SoftMax())
+    stages = model_stages(model)
+    plan = allocate_even(stages, ClusterSpec.homogeneous(1, 1, 4)).plan
+    return PipelineSimulator(plan, CostModel.reference(), 4)
+
+
+MIXED_PLAN = FaultPlan.parse(
+    "transient:stage=0:request=0:count=2;"
+    "permanent:stage=1:request=1;"
+    "slow:stage=2:request=2:delay=0.5;"
+    "transient:stage=0:request=3:count=9"
+)
+POLICY = RetryPolicy(max_retries=3, base_delay=0.01, jitter=0.0)
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("plan", [
+        None,
+        FaultPlan.parse("transient:stage=0:request=1:count=2"),
+        MIXED_PLAN,
+    ], ids=["fault-free", "transient", "mixed"])
+    def test_recurrence_matches_events(self, plan):
+        simulator = build_simulator()
+        kwargs = dict(num_requests=5, arrival_interval=0.1,
+                      fault_plan=plan, retry_policy=POLICY)
+        recurrence = simulator.simulate_stream(engine="recurrence",
+                                               **kwargs)
+        events = simulator.simulate_stream(engine="events", **kwargs)
+        assert recurrence.latencies == pytest.approx(events.latencies)
+        assert recurrence.makespan == pytest.approx(events.makespan)
+        assert recurrence.dead_letters == events.dead_letters
+        assert recurrence.retries == events.retries
+
+
+class TestFaultSemantics:
+    def test_transient_within_budget_no_dead_letters(self):
+        simulator = build_simulator()
+        stream = simulator.simulate_stream(
+            num_requests=4,
+            fault_plan=FaultPlan.parse(
+                "transient:stage=0:request=1:count=2"
+            ),
+            retry_policy=POLICY,
+        )
+        assert stream.dead_letters == ()
+        assert stream.retries == 2
+        assert stream.backoff_events == 2
+        assert len(stream.latencies) == 4
+
+    def test_transient_adds_backoff_latency(self):
+        simulator = build_simulator()
+        clean = simulator.simulate_stream(num_requests=1)
+        faulted = simulator.simulate_stream(
+            num_requests=1,
+            fault_plan=FaultPlan.parse(
+                "transient:stage=0:request=0:count=2"
+            ),
+            retry_policy=POLICY,
+        )
+        backoff = (POLICY.backoff_delay(1) + POLICY.backoff_delay(2))
+        assert faulted.latencies[0] == pytest.approx(
+            clean.latencies[0] + backoff)
+
+    def test_permanent_drops_exactly_that_request(self):
+        simulator = build_simulator()
+        stream = simulator.simulate_stream(
+            num_requests=4,
+            fault_plan=FaultPlan.parse("permanent:stage=1:request=2"),
+        )
+        [letter] = stream.dead_letters
+        assert letter.request_id == 2
+        assert letter.stage == 1
+        assert letter.reason == REASON_PERMANENT
+        assert letter.attempts == 1
+        assert len(stream.latencies) == 3  # survivors only
+
+    def test_exhausted_retries_drop_with_attempt_count(self):
+        simulator = build_simulator()
+        stream = simulator.simulate_stream(
+            num_requests=2,
+            fault_plan=FaultPlan.parse(
+                "transient:stage=0:request=0:count=99"
+            ),
+            retry_policy=POLICY,
+        )
+        [letter] = stream.dead_letters
+        assert letter.request_id == 0
+        assert letter.reason == REASON_EXHAUSTED
+        assert letter.attempts == POLICY.max_retries + 1
+        assert stream.retries == POLICY.max_retries
+
+    def test_slow_fault_stretches_makespan(self):
+        simulator = build_simulator()
+        clean = simulator.simulate_stream(num_requests=3)
+        slowed = simulator.simulate_stream(
+            num_requests=3,
+            fault_plan=FaultPlan.parse(
+                "slow:stage=1:request=0:delay=0.75"
+            ),
+        )
+        assert slowed.dead_letters == ()
+        assert slowed.makespan >= clean.makespan + 0.75 - 1e-9
+
+    def test_crash_is_free_under_restart(self):
+        """Crashes are absorbed by supervisor restarts; the simulator
+        models the re-run as a plain re-visit (no extra cost beyond
+        what the schedule already charges)."""
+        simulator = build_simulator()
+        clean = simulator.simulate_stream(num_requests=2)
+        crashed = simulator.simulate_stream(
+            num_requests=2,
+            fault_plan=FaultPlan.parse("crash:stage=0:request=0"),
+        )
+        assert crashed.dead_letters == ()
+        assert len(crashed.latencies) == 2
+        assert crashed.makespan == pytest.approx(clean.makespan)

@@ -66,6 +66,78 @@ class TestChannel:
         thread.join(timeout=1)
         assert state["put_done"]
 
+    @pytest.mark.timeout(10)
+    def test_close_while_full_does_not_block(self):
+        """Regression: the sentinel-based close used to block when the
+        queue was at capacity, stalling a worker's shutdown path."""
+        channel = Channel(capacity=1)
+        channel.put("item")
+        start = time.perf_counter()
+        channel.close()  # must return immediately
+        assert time.perf_counter() - start < 1.0
+        assert channel.closed
+        # the queued item still drains, then end-of-stream surfaces
+        assert channel.get(timeout=1) == "item"
+        with pytest.raises(ChannelClosed):
+            channel.get(timeout=1)
+
+    def test_close_does_not_consume_capacity(self):
+        channel = Channel(capacity=2)
+        channel.put(1)
+        channel.put(2)
+        assert channel.approx_size() == 2
+        channel.close()
+        assert channel.approx_size() == 2  # no in-band sentinel
+        assert channel.get() == 1
+        assert channel.get() == 2
+        with pytest.raises(ChannelClosed):
+            channel.get(timeout=0.5)
+
+    @pytest.mark.timeout(10)
+    def test_close_wakes_blocked_producer(self):
+        channel = Channel(capacity=1)
+        channel.put(1)
+        outcome: dict = {}
+
+        def producer():
+            try:
+                channel.put(2)
+            except StreamError as exc:
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        channel.close()
+        thread.join(timeout=2)
+        assert not thread.is_alive()
+        assert "closed" in str(outcome["error"])
+
+    def test_put_timeout(self):
+        channel = Channel(capacity=1)
+        channel.put(1)
+        with pytest.raises(StreamError, match="timed out"):
+            channel.put(2, timeout=0.05)
+
+    def test_put_front_jumps_the_queue(self):
+        channel = Channel(capacity=2)
+        channel.put("a")
+        channel.put("b")
+        channel.put_front("urgent")  # ignores capacity
+        assert channel.get() == "urgent"
+        assert channel.get() == "a"
+        assert channel.get() == "b"
+
+    def test_put_front_allowed_after_close(self):
+        """A supervisor re-injecting an in-flight item must succeed
+        even after the upstream producer closed the channel."""
+        channel = Channel(capacity=1)
+        channel.close()
+        channel.put_front("inflight")
+        assert channel.get(timeout=1) == "inflight"
+        with pytest.raises(ChannelClosed):
+            channel.get(timeout=1)
+
 
 class _DoublingExecutor:
     def process(self, item):
@@ -122,3 +194,34 @@ class TestStageWorker:
         worker.join(timeout=2)
         with pytest.raises(ChannelClosed):
             outbound.get(timeout=1)
+
+    @pytest.mark.timeout(10)
+    def test_forward_failure_names_the_request(self):
+        """Regression: an item dropped because the downstream channel
+        closed mid-stream used to surface as a generic StreamError
+        with no request id."""
+
+        class _Request:
+            def __init__(self, request_id):
+                self.request_id = request_id
+                self.fault = None
+
+        class _Identity:
+            def process(self, item):
+                return item
+
+        inbound, outbound = Channel(), Channel()
+        worker = StageWorker("fwd", _Identity(), inbound, outbound)
+        worker.start()
+        outbound.close()  # downstream dies before the item arrives
+        inbound.put(_Request(41))
+        inbound.close()
+        with pytest.raises(StageFailedError, match="request 41"):
+            for _ in range(200):
+                try:
+                    worker.join(timeout=0.05)
+                    break
+                except StageFailedError:
+                    raise
+                except Exception:
+                    continue

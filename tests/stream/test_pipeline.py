@@ -90,6 +90,27 @@ class TestPipelineCorrectness:
         with pytest.raises(StreamError):
             pipeline.run_stream([])
 
+    @pytest.mark.timeout(120)
+    def test_admission_does_not_deadlock_on_tiny_channels(
+            self, breast_pipeline_parts, breast_dataset):
+        """Regression: run_stream used to admit every input before
+        draining the sink, so num_inputs greater than the pipeline's
+        total channel capacity deadlocked (producer blocked on a full
+        source channel, sink never read).  Admission now happens from
+        a producer thread concurrent with draining."""
+        trained, model_provider, data_provider, plan = \
+            breast_pipeline_parts
+        pipeline = Pipeline(model_provider, data_provider, plan,
+                            channel_capacity=1)
+        # 16 inputs vs total buffering of ~(stages + 1) slots
+        inputs = [breast_dataset.test_x[i % 8] for i in range(16)]
+        stats = pipeline.run_stream(inputs)
+        assert len(stats.results) == 16
+        rounded = round_parameters(trained, 3)
+        expected = rounded.predict(np.round(np.stack(inputs), 3))
+        by_id = sorted(stats.results, key=lambda r: r.request_id)
+        assert [r.prediction for r in by_id] == list(expected)
+
 
 class TestPartitioningToggle:
     def test_without_partitioning_same_results(self, trained_breast,
