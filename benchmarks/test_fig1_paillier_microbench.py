@@ -1,14 +1,20 @@
 """Figure 1: Paillier micro-benchmark (real cryptography).
 
 Per-operation pytest-benchmark timings at the paper's key sizes, plus
-the per-tensor Fig. 1 table (28x28 tensor, scalar 10^6).
+the per-tensor Fig. 1 table (28x28 tensor, scalar 10^6), plus the
+scalar-vs-engine comparison that emits the BENCH_paillier.json perf
+trajectory (run with ``--bench-json BENCH_paillier.json``).
 """
 
 import random
 
+import numpy as np
 import pytest
 
+from repro.bench import render_bench, run_paillier_bench, write_bench_json
+from repro.crypto.engine import PaillierEngine
 from repro.crypto.paillier import generate_keypair
+from repro.crypto.tensor import EncryptedTensor
 from repro.experiments import fig1_paillier
 
 
@@ -71,3 +77,64 @@ def test_fig1_table(benchmark):
     big = rows[-1]
     assert big.encrypt_seconds > big.add_seconds * 50
     assert big.encrypt_seconds > rows[0].encrypt_seconds
+
+
+@pytest.mark.smoke
+def test_engine_smoke_tiny_key():
+    """Tiny-key sanity check of the bench subject: the engine agrees
+    bit-for-bit with the scalar path, so benchmarking it is meaningful.
+    Fast enough for any tier (128-bit key, a handful of elements)."""
+    public, private = generate_keypair(128, seed=3)
+    values = [0, 1, 255, public.n - 1]
+    scalar_rng, engine_rng = random.Random(5), random.Random(5)
+    scalar = [public.encrypt(m, scalar_rng).ciphertext for m in values]
+    with PaillierEngine(public, private_key=private, seed=9) as engine:
+        batched = [c.ciphertext
+                   for c in engine.encrypt_many(values, rng=engine_rng)]
+        assert batched == scalar
+        pooled = engine.encrypt_many(values)
+        assert engine.decrypt_many(pooled) == values
+
+
+@pytest.mark.smoke
+def test_engine_smoke_matvec_tiny_key():
+    public, private = generate_keypair(128, seed=3)
+    rng = random.Random(1)
+    x = np.array([3, -5, 0, 7], dtype=np.int64)
+    weight = np.array(
+        [[rng.randrange(-999, 999) for _ in range(4)] for _ in range(3)],
+        dtype=np.int64,
+    )
+    bias = np.array([1, -2, 3], dtype=np.int64)
+    tensor = EncryptedTensor.encrypt(x, public, random.Random(2))
+    scalar = tensor.affine(weight, bias, random.Random(4))
+    with PaillierEngine(public, seed=9) as engine:
+        batched = tensor.affine(weight, bias, random.Random(4),
+                                engine=engine)
+    assert [c.ciphertext for c in scalar.cells()] == \
+        [c.ciphertext for c in batched.cells()]
+
+
+def test_engine_vs_scalar_bench(bench_json_path):
+    """The scalar-vs-engine trajectory bench (BENCH_paillier.json).
+
+    Runs a reduced configuration by default so the suite stays
+    practical; ``--bench-json PATH`` additionally writes the document.
+    The pooled-encryption speedup bound is deliberately loose — the
+    real numbers (hundreds of times faster online) live in the JSON,
+    assertions only guard against the engine silently regressing to
+    the scalar path.
+    """
+    results = run_paillier_bench(
+        key_sizes=(512,), workers=2, elements=24, fc_shape=(32, 32),
+        include_conv=False,
+    )
+    print()
+    print(render_bench(results))
+    if bench_json_path:
+        full = run_paillier_bench()  # the default 512/1024 document
+        write_bench_json(full, bench_json_path)
+        print(f"wrote {bench_json_path}")
+    row = results["key_sizes"]["512"]
+    assert row["encrypt_many"]["speedup"] > 5.0
+    assert row["fc_matvec"]["speedup"] > 1.2

@@ -9,6 +9,9 @@ Commands:
   the threaded stream runtime over a request stream, optionally under
   an injected fault plan (docs/FAULT_TOLERANCE.md), printing the
   utilization and failure reports.
+* ``bench [--key-sizes LIST] [--workers N] [--out PATH]`` — run the
+  scalar-vs-engine Paillier micro-benchmark (docs/PERFORMANCE.md) and
+  write ``BENCH_paillier.json``.
 * ``summary`` — print the package's subsystem inventory.
 * ``experiments ...`` — forwarded to ``repro.experiments`` (all the
   paper's tables and figures).
@@ -104,6 +107,31 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 1 if stats.dead_letters else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import render_bench, run_paillier_bench, write_bench_json
+
+    try:
+        key_sizes = tuple(
+            int(part) for part in args.key_sizes.split(",") if part
+        )
+    except ValueError:
+        print(f"error: bad --key-sizes {args.key_sizes!r}",
+              file=sys.stderr)
+        return 2
+    results = run_paillier_bench(
+        key_sizes=key_sizes,
+        workers=args.workers,
+        elements=args.elements,
+        fc_shape=(args.fc_dim, args.fc_dim),
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    write_bench_json(results, args.out)
+    print(render_bench(results))
+    print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_summary(_: argparse.Namespace) -> int:
     from . import __doc__ as package_doc
 
@@ -163,6 +191,28 @@ def main(argv: list[str] | None = None) -> int:
                         dest="restart_budget",
                         help="crashed-worker restarts per stage")
     stream.set_defaults(func=_cmd_stream)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="scalar-vs-engine Paillier micro-benchmark "
+             "(writes BENCH_paillier.json)",
+    )
+    bench.add_argument("--key-sizes", default="512,1024",
+                       dest="key_sizes",
+                       help="comma-separated key sizes in bits "
+                            "(default: 512,1024)")
+    bench.add_argument("--workers", type=int, default=4,
+                       help="engine process-pool size (default: 4)")
+    bench.add_argument("--elements", type=int, default=48,
+                       help="batch size for encrypt/decrypt/add/mul")
+    bench.add_argument("--fc-dim", type=int, default=64, dest="fc_dim",
+                       help="FC matvec dimension (square, default 64)")
+    bench.add_argument("--repeats", type=int, default=1)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--out", default="BENCH_paillier.json",
+                       help="output JSON path "
+                            "(default: BENCH_paillier.json)")
+    bench.set_defaults(func=_cmd_bench)
 
     summary = subparsers.add_parser(
         "summary", help="print the subsystem inventory"

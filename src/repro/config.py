@@ -53,6 +53,17 @@ class RuntimeConfig:
             ``"reference"`` (frozen constants resembling the paper's
             2048-bit GMP testbed) or ``"calibrated"`` (micro-benchmarked
             from this interpreter at ``key_size``).
+        workers: process-pool size for the batched Paillier engine's
+            bulk kernels (``encrypt_many`` / ``decrypt_many`` /
+            matvec).  0 (the default) keeps all crypto in-process —
+            big-int ``pow`` holds the GIL, so processes, not threads,
+            are the only way to parallelize it.
+        blinding_pool_size: target number of precomputed ``r^n mod
+            n^2`` blinding factors the engine keeps ready; online
+            encryption then costs one modular multiply.
+        power_window_bits: window width of the engine's fixed-base
+            exponentiation tables (the per-ciphertext power cache used
+            by FC/conv matvecs).
     """
 
     key_size: int = DEFAULT_KEY_SIZE
@@ -61,6 +72,9 @@ class RuntimeConfig:
     scaling_threshold: float = SCALING_ACCURACY_THRESHOLD
     hyperthreading: bool = True
     cost_profile: str = "reference"
+    workers: int = 0
+    blinding_pool_size: int = 128
+    power_window_bits: int = 4
 
     def __post_init__(self) -> None:
         if self.key_size < 64:
@@ -86,6 +100,20 @@ class RuntimeConfig:
                 "cost_profile must be 'reference' or 'calibrated', got "
                 f"{self.cost_profile!r}"
             )
+        if self.workers < 0:
+            raise ConfigurationError(
+                f"workers must be non-negative, got {self.workers}"
+            )
+        if self.blinding_pool_size < 0:
+            raise ConfigurationError(
+                "blinding_pool_size must be non-negative, got "
+                f"{self.blinding_pool_size}"
+            )
+        if not 1 <= self.power_window_bits <= 16:
+            raise ConfigurationError(
+                "power_window_bits must be in [1, 16], got "
+                f"{self.power_window_bits}"
+            )
 
     def with_key_size(self, key_size: int) -> "RuntimeConfig":
         """Return a copy of this config with a different key size."""
@@ -94,6 +122,11 @@ class RuntimeConfig:
     def with_seed(self, seed: int) -> "RuntimeConfig":
         """Return a copy of this config with a different master seed."""
         return replace(self, seed=seed)
+
+    def with_workers(self, workers: int) -> "RuntimeConfig":
+        """Return a copy of this config with a different crypto
+        process-pool size."""
+        return replace(self, workers=workers)
 
 
 #: Package-wide default configuration.

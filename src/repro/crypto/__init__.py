@@ -23,6 +23,7 @@ from .paillier import (
     generate_keypair,
 )
 from .encoding import SignedEncoder, FixedPointEncoder
+from .engine import BlindingPool, PaillierEngine, PowerTable, default_engine
 from .tensor import EncryptedTensor
 from .serialize import (
     private_key_from_json,
@@ -45,6 +46,10 @@ __all__ = [
     "generate_keypair",
     "SignedEncoder",
     "FixedPointEncoder",
+    "BlindingPool",
+    "PaillierEngine",
+    "PowerTable",
+    "default_engine",
     "EncryptedTensor",
     "private_key_from_json",
     "private_key_to_json",

@@ -21,6 +21,7 @@ prototype):
 
 from __future__ import annotations
 
+import numbers
 import random
 from dataclasses import dataclass
 from typing import Iterable, Tuple
@@ -198,11 +199,13 @@ class EncryptedNumber:
         )
 
     def __mul__(self, scalar: int) -> "EncryptedNumber":
-        if not isinstance(scalar, int):
+        # numbers.Integral rather than int so NumPy integer scalars
+        # (np.int64 etc., which are not int subclasses) work too.
+        if not isinstance(scalar, numbers.Integral):
             return NotImplemented
         return EncryptedNumber(
             self.public_key,
-            self.public_key.raw_scalar_mul(self.ciphertext, scalar),
+            self.public_key.raw_scalar_mul(self.ciphertext, int(scalar)),
         )
 
     __rmul__ = __mul__
@@ -249,7 +252,15 @@ def generate_keypair(
 def encrypt_many(
     public_key: PaillierPublicKey,
     plaintexts: Iterable[int],
-    rng: random.Random,
+    rng: random.Random | None = None,
 ) -> list[EncryptedNumber]:
-    """Encrypt an iterable of residues, preserving order."""
-    return [public_key.encrypt(m, rng) for m in plaintexts]
+    """Encrypt an iterable of residues, preserving order.
+
+    Routed through the shared :class:`repro.crypto.engine.PaillierEngine`
+    for the public key: with ``rng`` the blinding factors are derived
+    from it exactly as the scalar loop would (bit-identical output);
+    without it they come from the engine's offline pool.
+    """
+    from .engine import default_engine
+
+    return default_engine(public_key).encrypt_many(plaintexts, rng=rng)

@@ -15,9 +15,12 @@ and (via im2col) convolution layers reduce to.
 from __future__ import annotations
 
 import random
-from typing import Sequence, Tuple
+from typing import TYPE_CHECKING, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import PaillierEngine
 
 from ..errors import EncodingError, KeyMismatchError
 from .encoding import SignedEncoder
@@ -30,13 +33,18 @@ from .paillier import (
 
 def _flatten_int_array(values: np.ndarray) -> list[int]:
     """Flatten an integer ndarray to a list of Python ints (row-major)."""
-    if not np.issubdtype(np.asarray(values).dtype, np.integer) and \
-            np.asarray(values).dtype != object:
+    array = np.asarray(values)
+    if array.dtype == object:
+        # Object arrays hold arbitrary-precision Python ints (or other
+        # integer-likes); coerce each cell explicitly.
+        return [int(v) for v in array.reshape(-1).tolist()]
+    if not np.issubdtype(array.dtype, np.integer):
         raise EncodingError(
             "EncryptedTensor operations need integer arrays; scale "
             "floats first (see repro.scaling)"
         )
-    return [int(v) for v in np.asarray(values).reshape(-1)]
+    # .tolist() converts the whole buffer to Python ints in one C call.
+    return array.reshape(-1).tolist()
 
 
 class EncryptedTensor:
@@ -79,36 +87,61 @@ class EncryptedTensor:
         cls,
         values: np.ndarray,
         public_key: PaillierPublicKey,
-        rng: random.Random,
+        rng: random.Random | None = None,
         exponent: int = 0,
+        engine: "PaillierEngine | None" = None,
     ) -> "EncryptedTensor":
         """Encrypt an integer ndarray element by element.
+
+        Routed through the batched engine: with ``rng`` the output is
+        bit-identical to the historical scalar loop; without it the
+        blinding factors come from the engine's offline pool.
 
         Args:
             values: integer array (already scaled to fixed point).
             public_key: encryption key.
-            rng: randomness source for probabilistic encryption.
+            rng: randomness source for probabilistic encryption; omit
+                to draw blinding factors from the engine's pool.
             exponent: fixed-point exponent the integers carry.
+            engine: batched crypto engine; defaults to the shared
+                sequential engine for ``public_key``.
         """
+        from .engine import default_engine
+
         values = np.asarray(values)
+        if engine is None:
+            engine = default_engine(public_key)
         encoder = SignedEncoder(public_key)
-        cells = [
-            public_key.encrypt(encoder.encode(v), rng)
-            for v in _flatten_int_array(values)
-        ]
+        cells = engine.encrypt_many(
+            [encoder.encode(v) for v in _flatten_int_array(values)],
+            rng=rng,
+        )
         return cls(public_key, cells, values.shape, exponent)
 
-    def decrypt(self, private_key: PaillierPrivateKey) -> np.ndarray:
-        """Decrypt to a signed-integer ndarray (dtype=object for headroom)."""
+    def decrypt(
+        self,
+        private_key: PaillierPrivateKey,
+        engine: "PaillierEngine | None" = None,
+    ) -> np.ndarray:
+        """Decrypt to a signed-integer ndarray (dtype=object for headroom).
+
+        Pass an ``engine`` holding the private key to decrypt in
+        process-pool chunks."""
         encoder = SignedEncoder(self.public_key)
-        flat = [
-            encoder.decode(private_key.decrypt(cell)) for cell in self._cells
-        ]
+        if engine is not None:
+            residues = engine.decrypt_many(self._cells)
+        else:
+            residues = [private_key.decrypt(cell) for cell in self._cells]
+        flat = [encoder.decode(residue) for residue in residues]
         return np.array(flat, dtype=object).reshape(self.shape)
 
-    def decrypt_float(self, private_key: PaillierPrivateKey) -> np.ndarray:
+    def decrypt_float(
+        self,
+        private_key: PaillierPrivateKey,
+        engine: "PaillierEngine | None" = None,
+    ) -> np.ndarray:
         """Decrypt and rescale by the accumulated exponent to float64."""
-        ints = self.decrypt(private_key)
+        ints = self.decrypt(private_key, engine=engine)
         scale = 10 ** self.exponent
         return np.array(
             [int(v) / scale for v in ints.reshape(-1)], dtype=np.float64
@@ -230,8 +263,9 @@ class EncryptedTensor:
         self,
         weights: np.ndarray,
         bias: "np.ndarray | EncryptedTensor",
-        rng: random.Random,
+        rng: random.Random | None = None,
         weight_exponent: int = 0,
+        engine: "PaillierEngine | None" = None,
     ) -> "EncryptedTensor":
         """Compute ``y = W x + b`` homomorphically (Eq. (3) of the paper).
 
@@ -245,6 +279,10 @@ class EncryptedTensor:
             rng: randomness for encrypting a plaintext bias.
             weight_exponent: fixed-point exponent the weights carry; the
                 output tensor's exponent is input + weight exponent.
+            engine: batched crypto engine; when given, the matvec runs
+                through its per-ciphertext power caches (and process
+                pool, if configured) instead of the scalar loop.  Both
+                paths produce identical ciphertexts.
 
         Returns:
             encrypted vector of shape (out_dim,).
@@ -275,12 +313,32 @@ class EncryptedTensor:
                     f"bias shape {bias.shape} != ({out_dim},)"
                 )
             encoder = SignedEncoder(self.public_key)
-            bias_cells = [
-                self.public_key.encrypt(encoder.encode(int(b)), rng)
-                for b in bias
-            ]
-        out_cells: list[EncryptedNumber] = []
+            if engine is not None:
+                bias_cells = engine.encrypt_many(
+                    [encoder.encode(int(b)) for b in bias], rng=rng,
+                )
+            else:
+                if rng is None:
+                    raise EncodingError(
+                        "affine needs an rng or an engine to encrypt a "
+                        "plaintext bias"
+                    )
+                bias_cells = [
+                    self.public_key.encrypt(encoder.encode(int(b)), rng)
+                    for b in bias
+                ]
         cells = x.cells()
+        if engine is not None:
+            raw = engine.matvec(
+                [c.ciphertext for c in cells],
+                weights,
+                [b.ciphertext for b in bias_cells],
+            )
+            out_cells = [EncryptedNumber(self.public_key, c) for c in raw]
+            return EncryptedTensor(
+                self.public_key, out_cells, (out_dim,), out_exponent
+            )
+        out_cells: list[EncryptedNumber] = []
         for j in range(out_dim):
             acc = bias_cells[j]
             row = weights[j]

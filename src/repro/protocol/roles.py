@@ -23,6 +23,7 @@ from typing import List, Sequence
 import numpy as np
 
 from ..config import DEFAULT_CONFIG, RuntimeConfig
+from ..crypto.engine import PaillierEngine
 from ..crypto.paillier import PaillierPublicKey, generate_keypair
 from ..crypto.tensor import EncryptedTensor
 from ..errors import ProtocolError, SecurityViolationError
@@ -61,6 +62,11 @@ class ModelProvider:
         self._rng = random.Random(config.seed ^ 0x4D50)
         self._obfuscator = Obfuscator(config.seed ^ 0x0BF5)
         self._public_key: PaillierPublicKey | None = None
+        #: Batched crypto engine, built when the public key arrives.
+        #: The model provider never holds the private key, so its
+        #: engine gets no CRT acceleration — only the blinding pool,
+        #: power caches, and (if configured) the process pool.
+        self.engine: PaillierEngine | None = None
         self.stages = model_stages(model)
         self._linear_plans: dict[int, LinearStagePlan] = {}
         for stage in self.stages:
@@ -111,6 +117,14 @@ class ModelProvider:
     def register_public_key(self, public_key: PaillierPublicKey) -> None:
         """Receive the data provider's public key at session setup."""
         self._public_key = public_key
+        if self.engine is None or self.engine.public_key.n != public_key.n:
+            self.engine = PaillierEngine(
+                public_key,
+                workers=self.config.workers,
+                pool_size=self.config.blinding_pool_size,
+                window_bits=self.config.power_window_bits,
+                seed=self.config.seed ^ 0x4D50E,
+            )
 
     def nonlinear_activations(self, stage_index: int) -> List[str]:
         """Activation specs of a non-linear stage (protocol-public).
@@ -173,6 +187,7 @@ class ModelProvider:
                 encrypted_bias,
                 self._rng,
                 weight_exponent=affine.decimals,
+                engine=self.engine,
             )
         if final:
             return current, None
@@ -202,6 +217,21 @@ class DataProvider:
         self.public_key, self._private_key = generate_keypair(
             config.key_size, seed=config.seed ^ 0x6B65
         )
+        #: Batched crypto engine.  As the key holder, the data
+        #: provider's engine uses CRT-accelerated blinding for its
+        #: offline pool (sound only on this side of the protocol).
+        self.engine = PaillierEngine(
+            self.public_key,
+            private_key=self._private_key,
+            workers=config.workers,
+            pool_size=config.blinding_pool_size,
+            window_bits=config.power_window_bits,
+            seed=config.seed ^ 0x4450E,
+        )
+        # The paper's offline phase: precompute the blinding-factor
+        # pool now, before any request arrives, so online encryption
+        # during streaming is one modular multiply per ciphertext.
+        self.engine.prefill()
         #: Decrypted intermediate vectors observed (permuted except the
         #: final round) — inspected by the security tests.
         self.observed_plaintexts: List[np.ndarray] = []
@@ -213,8 +243,9 @@ class DataProvider:
         x = np.asarray(x, dtype=np.float64)
         scaled = scale_to_int(x, self.value_decimals)
         return EncryptedTensor.encrypt(
-            scaled, self.public_key, self._rng,
+            scaled, self.public_key,
             exponent=self.value_decimals,
+            engine=self.engine,
         )
 
     def process_nonlinear_stage(
@@ -229,7 +260,8 @@ class DataProvider:
         re-encrypt — or, in the final round, return the inference
         result as floats.
         """
-        values = tensor.decrypt_float(self._private_key)
+        values = tensor.decrypt_float(self._private_key,
+                                      engine=self.engine)
         self.observed_plaintexts.append(values.copy())
         flat = values.reshape(-1)
         for activation in activations:
@@ -240,8 +272,9 @@ class DataProvider:
 
         rescaled = scale_to_int(flat, self.value_decimals)
         return EncryptedTensor.encrypt(
-            rescaled, self.public_key, self._rng,
+            rescaled, self.public_key,
             exponent=self.value_decimals,
+            engine=self.engine,
         )
 
     def _apply_activation(

@@ -15,6 +15,8 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..config import DEFAULT_CONFIG, RuntimeConfig
+from ..crypto.engine import PaillierEngine
 from ..crypto.paillier import PaillierPrivateKey
 from ..crypto.tensor import EncryptedTensor
 from ..errors import ProtocolError, StreamError
@@ -66,6 +68,7 @@ class LinearStageExecutor:
         use_partitioning: bool,
         rng: random.Random,
         final: bool,
+        config: RuntimeConfig = DEFAULT_CONFIG,
     ):
         if threads < 1:
             raise StreamError("executor needs >= 1 thread")
@@ -76,6 +79,11 @@ class LinearStageExecutor:
         self.use_partitioning = use_partitioning
         self.final = final
         self._rng = rng
+        self._config = config
+        # Batched crypto engine, created lazily once the first item
+        # reveals the session's public key (the model provider side
+        # never holds the private key, so no CRT here).
+        self._engine: PaillierEngine | None = None
         self._pool = ThreadPoolExecutor(
             max_workers=threads,
             thread_name_prefix=f"linear-{stage_index}",
@@ -83,6 +91,17 @@ class LinearStageExecutor:
         # Static-bias encryption cache (model weights never change):
         # keyed by (affine index, input exponent).
         self._bias_cache: dict[tuple[int, int], EncryptedTensor] = {}
+
+    def _engine_for(self, public_key) -> PaillierEngine:
+        if self._engine is None or self._engine.public_key.n != public_key.n:
+            self._engine = PaillierEngine(
+                public_key,
+                workers=self._config.workers,
+                pool_size=self._config.blinding_pool_size,
+                window_bits=self._config.power_window_bits,
+                seed=self._config.seed ^ (0x57E << 8) ^ self.stage_index,
+            )
+        return self._engine
 
     def process(self, item: StreamItem) -> StreamItem:
         if item.tensor is None:
@@ -130,6 +149,8 @@ class LinearStageExecutor:
             self._bias_cache[cache_key] = encrypted_bias
         out_exponent = tensor.exponent + affine.decimals
 
+        engine = self._engine_for(tensor.public_key)
+
         def run_task(task):
             sub_input = tensor.gather(task.input_indices)
             return sub_input.affine(
@@ -137,6 +158,7 @@ class LinearStageExecutor:
                 encrypted_bias.gather(task.output_indices),
                 self._rng,
                 weight_exponent=affine.decimals,
+                engine=engine,
             )
 
         if len(tasks) == 1:
@@ -164,6 +186,7 @@ class NonLinearStageExecutor:
         threads: int,
         rng: random.Random,
         final: bool,
+        engine: PaillierEngine | None = None,
     ):
         if threads < 1:
             raise StreamError("executor needs >= 1 thread")
@@ -174,6 +197,9 @@ class NonLinearStageExecutor:
         self._value_decimals = value_decimals
         self.threads = threads
         self._rng = rng
+        # The data provider's engine (CRT blinding pool + batched
+        # decryption); shared across stages like the private key is.
+        self._engine = engine
         self._pool = ThreadPoolExecutor(
             max_workers=threads,
             thread_name_prefix=f"nonlinear-{stage_index}",
@@ -191,7 +217,8 @@ class NonLinearStageExecutor:
 
         def decrypt_task(task):
             sub = tensor.gather(task.input_indices)
-            return sub.decrypt_float(self._private_key)
+            return sub.decrypt_float(self._private_key,
+                                     engine=self._engine)
 
         if len(tasks) == 1:
             pieces = [decrypt_task(tasks[0])]
@@ -209,6 +236,13 @@ class NonLinearStageExecutor:
 
         def encrypt_task(task):
             values = rescaled[list(task.input_indices)]
+            if self._engine is not None \
+                    and self._engine.public_key.n == tensor.public_key.n:
+                return EncryptedTensor.encrypt(
+                    values, tensor.public_key,
+                    exponent=self._value_decimals,
+                    engine=self._engine,
+                )
             return EncryptedTensor.encrypt(
                 values, tensor.public_key, self._rng,
                 exponent=self._value_decimals,
@@ -256,6 +290,7 @@ def build_executors(
                     plan.use_tensor_partitioning,
                     rng,
                     final=final and stage.index == num_stages - 2,
+                    config=model_provider.config,
                 )
             )
         else:
@@ -271,6 +306,7 @@ def build_executors(
                     threads,
                     rng,
                     final=stage.index == num_stages - 1,
+                    engine=data_provider.engine,
                 )
             )
     return executors

@@ -135,6 +135,22 @@ class TestHomomorphisms:
         with pytest.raises(TypeError):
             _ = pub.encrypt(1, rng) * 1.5
 
+    def test_mul_by_numpy_integer_scalar(self, keypair, rng):
+        """Regression: np.int64 is numbers.Integral but not int; scalar
+        multiplication must accept it (scaled weights come out of numpy
+        arrays element by element)."""
+        import numpy as np
+
+        pub, priv = keypair
+        cipher = pub.encrypt(21, rng)
+        for w in (np.int64(2), np.int32(-1), np.uint8(3)):
+            product = cipher * w
+            residue = priv.decrypt(product)
+            assert (residue - int(w) * 21) % pub.n == 0
+        assert priv.decrypt(np.int64(4) * cipher) == 84
+        with pytest.raises(TypeError):
+            _ = cipher * np.float64(2.0)
+
 
 class TestEncryptedNumberRepr:
     def test_repr_mentions_key_size(self, keypair, rng):

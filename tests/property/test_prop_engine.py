@@ -1,0 +1,118 @@
+"""Property-based tests: the batched engine IS the scalar path.
+
+Every kernel of :class:`repro.crypto.engine.PaillierEngine` must agree
+*bit for bit* with the scalar reference in :mod:`repro.crypto.paillier`
+given the same randomness — hypothesis drives random value lists,
+matrices, and seeds through both and compares raw ciphertexts.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.engine import PaillierEngine
+from repro.crypto.paillier import generate_keypair
+from repro.crypto.tensor import EncryptedTensor
+
+import numpy as np
+
+PUBLIC, PRIVATE = generate_keypair(128, seed=2024)
+
+residues = st.integers(min_value=0, max_value=PUBLIC.n - 1)
+seeds = st.integers(min_value=0, max_value=2 ** 31)
+weights = st.integers(min_value=-(10 ** 6), max_value=10 ** 6)
+small_signed = st.integers(min_value=-(10 ** 9), max_value=10 ** 9)
+
+
+class TestEngineMatchesScalar:
+    @settings(max_examples=25, deadline=None)
+    @given(values=st.lists(residues, min_size=0, max_size=12), seed=seeds)
+    def test_encrypt_many_rng_mode(self, values, seed):
+        scalar_rng = random.Random(seed)
+        scalar = [PUBLIC.encrypt(m, scalar_rng).ciphertext
+                  for m in values]
+        engine = PaillierEngine(PUBLIC)
+        batched = [c.ciphertext for c in
+                   engine.encrypt_many(values, rng=random.Random(seed))]
+        assert batched == scalar
+
+    @settings(max_examples=25, deadline=None)
+    @given(values=st.lists(residues, min_size=1, max_size=12), seed=seeds)
+    def test_encrypt_many_pooled_mode(self, values, seed):
+        """Pooled encryption under seed S equals the scalar loop fed a
+        Random(S): the pool draws the same r stream in the same order."""
+        scalar_rng = random.Random(seed)
+        scalar = [PUBLIC.encrypt(m, scalar_rng).ciphertext
+                  for m in values]
+        engine = PaillierEngine(PUBLIC, seed=seed, pool_size=4)
+        assert [c.ciphertext for c in engine.encrypt_many(values)] \
+            == scalar
+
+    @settings(max_examples=25, deadline=None)
+    @given(values=st.lists(residues, min_size=1, max_size=12), seed=seeds)
+    def test_crt_pool_equals_plain_pool(self, values, seed):
+        plain = PaillierEngine(PUBLIC, seed=seed)
+        crt = PaillierEngine(PUBLIC, private_key=PRIVATE, seed=seed)
+        assert [c.ciphertext for c in plain.encrypt_many(values)] \
+            == [c.ciphertext for c in crt.encrypt_many(values)]
+
+    @settings(max_examples=25, deadline=None)
+    @given(values=st.lists(residues, min_size=1, max_size=16), seed=seeds)
+    def test_decrypt_many_round_trip(self, values, seed):
+        engine = PaillierEngine(PUBLIC, private_key=PRIVATE, seed=seed)
+        assert engine.decrypt_many(engine.encrypt_many(values)) == values
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        matrix=st.lists(
+            st.lists(weights, min_size=4, max_size=4),
+            min_size=1, max_size=5,
+        ),
+        x=st.lists(small_signed, min_size=4, max_size=4),
+        bias=st.lists(small_signed, min_size=1, max_size=5),
+        seed=seeds,
+    )
+    def test_matvec_matches_scalar_affine(self, matrix, x, bias, seed):
+        """Random signed matrices (zeros and negatives included): the
+        engine affine equals the scalar affine bit for bit AND decrypts
+        to the numpy result."""
+        rows = len(matrix)
+        bias = (bias * rows)[:rows]
+        w = np.array(matrix, dtype=np.int64)
+        b = np.array(bias, dtype=np.int64)
+        tensor = EncryptedTensor.encrypt(
+            np.array(x, dtype=np.int64), PUBLIC, random.Random(seed)
+        )
+        scalar = tensor.affine(w, b, random.Random(seed + 1))
+        engine = PaillierEngine(PUBLIC, seed=seed)
+        batched = tensor.affine(w, b, random.Random(seed + 1),
+                                engine=engine)
+        assert [c.ciphertext for c in scalar.cells()] \
+            == [c.ciphertext for c in batched.cells()]
+        expected = w.astype(object) @ np.array(x, dtype=object) \
+            + b.astype(object)
+        assert list(batched.decrypt(PRIVATE)) == list(expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(values=st.lists(residues, min_size=1, max_size=8), seed=seeds)
+    def test_rerandomize_many_preserves_plaintext(self, values, seed):
+        engine = PaillierEngine(PUBLIC, seed=seed)
+        ciphers = engine.encrypt_many(values)
+        fresh = engine.rerandomize_many([c.ciphertext for c in ciphers])
+        assert [PRIVATE.raw_decrypt(c) for c in fresh] == values
+
+
+class TestPoolDeterminismProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(values=st.lists(residues, min_size=1, max_size=10),
+           seed=seeds,
+           pool_size=st.integers(min_value=1, max_value=8))
+    def test_pool_size_never_changes_ciphertexts(self, values, seed,
+                                                 pool_size):
+        """Refill batching (pool size, exhaustion cadence) must not
+        leak into the ciphertext stream — only the seed decides it."""
+        small = PaillierEngine(PUBLIC, seed=seed, pool_size=pool_size)
+        large = PaillierEngine(PUBLIC, seed=seed, pool_size=64)
+        large.prefill()
+        assert [c.ciphertext for c in small.encrypt_many(values)] \
+            == [c.ciphertext for c in large.encrypt_many(values)]
