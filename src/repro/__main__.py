@@ -9,9 +9,14 @@ Commands:
   the threaded stream runtime over a request stream, optionally under
   an injected fault plan (docs/FAULT_TOLERANCE.md), printing the
   utilization and failure reports.
-* ``bench [--key-sizes LIST] [--workers N] [--out PATH]`` — run the
-  scalar-vs-engine Paillier micro-benchmark (docs/PERFORMANCE.md) and
-  write ``BENCH_paillier.json``.
+* ``bench [--key-sizes LIST] [--workers N] [--out PATH] [--observe]``
+  — run the scalar-vs-engine Paillier micro-benchmark
+  (docs/PERFORMANCE.md) and write ``BENCH_paillier.json``;
+  ``--observe`` embeds a metrics breakdown per key size.
+* ``metrics [--workload session|stream] [--format json|prometheus]
+  [--traces]`` — run a small workload with observability enabled
+  (docs/OBSERVABILITY.md) and dump the metrics registry, optionally
+  followed by the reconstructed span trees.
 * ``summary`` — print the package's subsystem inventory.
 * ``experiments ...`` — forwarded to ``repro.experiments`` (all the
   paper's tables and figures).
@@ -125,10 +130,81 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         fc_shape=(args.fc_dim, args.fc_dim),
         seed=args.seed,
         repeats=args.repeats,
+        observe=args.observe,
     )
     write_bench_json(results, args.out)
     print(render_bench(results))
     print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from .config import RuntimeConfig
+    from .errors import StreamError
+    from .experiments.common import prepare_model
+    from .observability import Observability
+    from .protocol import DataProvider, InferenceSession, ModelProvider
+
+    prepared = prepare_model(args.model)
+    config = RuntimeConfig(
+        key_size=args.key_size
+    ).with_observability()
+    # One shared Observability: both parties, the session/pipeline,
+    # and every engine report into the same registry and tracer.
+    obs = Observability(enabled=True)
+    model_provider = ModelProvider(
+        prepared.model, decimals=prepared.decimals, config=config,
+        obs=obs,
+    )
+    data_provider = DataProvider(
+        value_decimals=prepared.decimals, config=config, obs=obs
+    )
+    inputs = list(prepared.dataset.test_x[:args.samples])
+    if args.workload == "stream":
+        from .planner.allocation import allocate_even
+        from .planner.plan import ClusterSpec
+        from .stream import FaultPlan, Pipeline, RetryPolicy
+
+        try:
+            fault_plan = (FaultPlan.parse(args.faults)
+                          if args.faults else None)
+        except StreamError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        cluster = ClusterSpec.homogeneous(1, 1, args.threads)
+        plan = allocate_even(model_provider.stages, cluster).plan
+        pipeline = Pipeline(
+            model_provider, data_provider, plan,
+            retry_policy=RetryPolicy(max_retries=3, base_delay=0.01),
+            fault_plan=fault_plan,
+            obs=obs,
+        )
+        try:
+            pipeline.run_stream(inputs)
+        except StreamError as exc:
+            print(f"workload failed; metrics below are partial: {exc}",
+                  file=sys.stderr)
+    else:
+        session = InferenceSession(model_provider, data_provider,
+                                   obs=obs)
+        for sample in inputs:
+            session.run(sample)
+    if args.format == "prometheus":
+        output = obs.registry.to_prometheus()
+    else:
+        output = json.dumps(obs.registry.snapshot(), indent=2,
+                            sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(output)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(output)
+    if args.traces:
+        for trace_id in obs.tracer.trace_ids():
+            print(obs.tracer.render(trace_id))
     return 0
 
 
@@ -212,7 +288,38 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--out", default="BENCH_paillier.json",
                        help="output JSON path "
                             "(default: BENCH_paillier.json)")
+    bench.add_argument("--observe", action="store_true",
+                       help="run the engine with observability on and "
+                            "embed a metrics breakdown per key size")
     bench.set_defaults(func=_cmd_bench)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="run a workload with observability enabled and dump "
+             "the metrics registry (and optionally the span trees)",
+    )
+    metrics.add_argument("--model", default="breast",
+                         help="Table III model key (default: breast)")
+    metrics.add_argument("--samples", type=int, default=3)
+    metrics.add_argument("--key-size", type=int, default=256,
+                         dest="key_size")
+    metrics.add_argument("--workload", choices=("session", "stream"),
+                         default="session",
+                         help="sequential protocol session or the "
+                              "threaded stream runtime")
+    metrics.add_argument("--threads", type=int, default=2,
+                         help="threads per stage server (stream)")
+    metrics.add_argument("--faults", default=None,
+                         help="fault plan for the stream workload "
+                              "(same syntax as 'stream --faults')")
+    metrics.add_argument("--format", choices=("json", "prometheus"),
+                         default="json")
+    metrics.add_argument("--out", default=None,
+                         help="write the dump here instead of stdout")
+    metrics.add_argument("--traces", action="store_true",
+                         help="also print every reconstructed span "
+                              "tree")
+    metrics.set_defaults(func=_cmd_metrics)
 
     summary = subparsers.add_parser(
         "summary", help="print the subsystem inventory"

@@ -37,6 +37,7 @@ from .crypto.engine import PaillierEngine
 from .crypto.paillier import generate_keypair
 from .crypto.tensor import EncryptedTensor
 from .errors import ReproError
+from .observability import Observability
 
 #: Key sizes benchmarked by default; 1024 bits is the acceptance
 #: target, 2048 bits (the paper's size) is opt-in via ``full=True``.
@@ -105,8 +106,17 @@ def run_paillier_bench(
     repeats: int = 1,
     pool_size: int | None = None,
     include_conv: bool = True,
+    observe: bool = False,
 ) -> dict:
     """Benchmark scalar vs engine kernels at each key size.
+
+    With ``observe=True`` each key-size row gains a ``breakdown``
+    section: the engine runs with observability enabled (a fresh
+    registry per key size) and the metrics snapshot — pool hit/miss
+    counts, CRT vs plain blinding, dispatch chunk sizes, batch-size
+    histograms — is embedded in the BENCH document.  The timed numbers
+    then include the (small) instrumentation overhead, so comparisons
+    against un-observed baselines should use ``observe=False``.
 
     Returns the BENCH JSON document (also see :func:`write_bench_json`).
     """
@@ -119,6 +129,7 @@ def run_paillier_bench(
         "fc_shape": list(fc_shape),
         "repeats": repeats,
         "seed": seed,
+        "observed": observe,
         "key_sizes": {},
     }
     out_dim, in_dim = fc_shape
@@ -129,11 +140,13 @@ def run_paillier_bench(
         rng = random.Random(seed)
         plaintexts = [rng.randrange(0, 256) for _ in range(elements)]
 
+        obs = Observability(enabled=True) if observe else None
         engine = PaillierEngine(
             public, private_key=private, workers=workers,
             pool_size=pool_size if pool_size is not None
             else max(elements, 2 * out_dim),
             seed=seed + 1,
+            obs=obs,
         )
         try:
             row = _bench_key_size(
@@ -143,6 +156,8 @@ def run_paillier_bench(
         finally:
             engine.close()
         row["keygen_seconds"] = keygen_seconds
+        if obs is not None:
+            row["breakdown"] = obs.registry.snapshot()
         results["key_sizes"][str(key_size)] = row
     return results
 
@@ -284,8 +299,9 @@ def render_bench(results: dict) -> str:
     for key_size, row in sorted(results["key_sizes"].items(),
                                 key=lambda kv: int(kv[0])):
         for op, entry in row.items():
-            if not isinstance(entry, dict):
-                continue
+            if not isinstance(entry, dict) \
+                    or "scalar_ops_per_sec" not in entry:
+                continue  # keygen_seconds, breakdown, ...
             lines.append(
                 f"{key_size:>6} {op:<14} "
                 f"{entry['scalar_ops_per_sec']:>14.1f} "

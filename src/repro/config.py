@@ -64,6 +64,11 @@ class RuntimeConfig:
         power_window_bits: window width of the engine's fixed-base
             exponentiation tables (the per-ciphertext power cache used
             by FC/conv matvecs).
+        observability: enable the metrics registry + tracer
+            (:mod:`repro.observability`).  Off by default: disabled
+            observability hands every hot path shared no-op objects,
+            so the instrumented code costs one empty method call per
+            point (docs/OBSERVABILITY.md has the measurements).
     """
 
     key_size: int = DEFAULT_KEY_SIZE
@@ -75,6 +80,7 @@ class RuntimeConfig:
     workers: int = 0
     blinding_pool_size: int = 128
     power_window_bits: int = 4
+    observability: bool = False
 
     def __post_init__(self) -> None:
         if self.key_size < 64:
@@ -127,6 +133,10 @@ class RuntimeConfig:
         """Return a copy of this config with a different crypto
         process-pool size."""
         return replace(self, workers=workers)
+
+    def with_observability(self, enabled: bool = True) -> "RuntimeConfig":
+        """Return a copy of this config with observability toggled."""
+        return replace(self, observability=enabled)
 
 
 #: Package-wide default configuration.

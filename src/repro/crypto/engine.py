@@ -53,6 +53,8 @@ from typing import Iterable, List, Sequence
 import numpy as np
 
 from ..errors import CryptoError, EncryptionError, KeyMismatchError
+from ..observability import OBS_OFF, Observability
+from ..observability.metrics import SIZE_BUCKETS
 from .math_utils import invmod, sample_coprime
 from .paillier import (
     EncryptedNumber,
@@ -184,6 +186,7 @@ def _matvec_partial(
     rows: Sequence[Sequence[int]],
     n_sq: int,
     window_bits: int,
+    stats: dict | None = None,
 ) -> list[int]:
     """Bias-free matvec: ``prod_i cells[i]^rows[j][i] mod n^2`` per row.
 
@@ -192,6 +195,12 @@ def _matvec_partial(
     reused across every output row that touches it.  Falls back to
     plain ``pow`` for columns with too few non-zero uses to amortize a
     table.
+
+    ``stats`` (optional, inline path only) accumulates the power-cache
+    break-even decisions so the engine can publish them as metrics:
+    ``columns_table`` / ``columns_plain`` (which way the break-even
+    heuristic went per column), ``tables_built``, and ``table_pows`` /
+    ``plain_pows`` (per-exponentiation cache use vs fallback).
     """
     out = [1] * len(rows)
     for i, base in enumerate(cells):
@@ -205,6 +214,11 @@ def _matvec_partial(
         use_table = len(uses) * saving_per_use > build_cost
         pos_table = (PowerTable(base, n_sq, max_bits, window_bits)
                      if use_table else None)
+        if stats is not None:
+            stats["columns_table" if use_table
+                  else "columns_plain"] += 1
+            if use_table:
+                stats["tables_built"] += 1
         neg_table = None
         inv_base = None
         for j, w in uses:
@@ -217,9 +231,14 @@ def _matvec_partial(
                 if use_table and neg_table is None:
                     neg_table = PowerTable(inv_base, n_sq, max_bits,
                                            window_bits)
+                    if stats is not None:
+                        stats["tables_built"] += 1
                 v = (neg_table.pow(-w) if neg_table
                      else pow(inv_base, -w, n_sq))
             out[j] = out[j] * v % n_sq
+            if stats is not None:
+                stats["table_pows" if use_table
+                      else "plain_pows"] += 1
     return out
 
 
@@ -243,11 +262,30 @@ class BlindingPool:
         target_size: int = DEFAULT_POOL_SIZE,
         private_key: PaillierPrivateKey | None = None,
         executor_fn=None,
+        obs: Observability | None = None,
     ):
         self.public_key = public_key
         self.target_size = max(0, target_size)
         self._rng = rng
         self._factors: deque[int] = deque()
+        # Instrumentation handles are resolved once here so the hot
+        # draw path is one no-op (or one locked increment) per call.
+        obs = obs if obs is not None else OBS_OFF
+        registry = obs.registry
+        self._registry = registry if obs.enabled else None
+        self._m_hits = registry.counter("paillier_pool_draws",
+                                        result="hit")
+        self._m_misses = registry.counter("paillier_pool_draws",
+                                          result="miss")
+        self._m_refills = registry.counter("paillier_pool_refills")
+        self._m_refill_size = registry.histogram(
+            "paillier_pool_refill_factors", buckets=SIZE_BUCKETS
+        )
+        self._m_size = registry.gauge("paillier_pool_size")
+        self._m_crt = registry.counter("paillier_blinding_factors",
+                                       method="crt")
+        self._m_plain = registry.counter("paillier_blinding_factors",
+                                         method="plain")
         # One lock serializes (draw r's, exponentiate, append): two
         # concurrent refills would otherwise interleave RNG draws and
         # appends, breaking the deterministic order.
@@ -279,12 +317,15 @@ class BlindingPool:
         n = self.public_key.n
         n_sq = self.public_key.n_squared
         if self._crt is not None:
+            self._m_crt.inc(len(rs))
             p_sq, q_sq, exp_p, exp_q, q_sq_inv = self._crt
             return _pow_chunk_crt((rs, p_sq, q_sq, exp_p, exp_q, q_sq_inv))
+        self._m_plain.inc(len(rs))
         executor = self._executor_fn() if self._executor_fn else None
         if executor is not None and len(rs) >= 2 * _MIN_ITEMS_PER_DISPATCH:
             return _run_chunked(executor, _pow_chunk, rs,
-                                (n, n_sq))
+                                (n, n_sq), registry=self._registry,
+                                op="blinding")
         return _pow_chunk((rs, n, n_sq))
 
     def refill(self, count: int | None = None) -> None:
@@ -295,17 +336,24 @@ class BlindingPool:
                 count = max(1, self.target_size - len(self._factors))
             if count <= 0:
                 return
+            self._m_refills.inc()
+            self._m_refill_size.observe(count)
             rs = [sample_coprime(self.public_key.n, self._rng)
                   for _ in range(count)]
             self._factors.extend(self._compute(rs))
+            self._m_size.set(len(self._factors))
 
     def draw(self) -> int:
         """Pop the next factor, refilling synchronously when empty."""
         while True:
             try:
-                return self._factors.popleft()
+                factor = self._factors.popleft()
             except IndexError:
+                self._m_misses.inc()
                 self.refill(max(1, self.target_size // 2) or 1)
+            else:
+                self._m_hits.inc()
+                return factor
 
     def draw_many(self, count: int) -> list[int]:
         missing = count - len(self._factors)
@@ -345,15 +393,28 @@ class BlindingPool:
 # ----------------------------------------------------------------------
 
 def _run_chunked(executor: ProcessPoolExecutor, fn, items: list,
-                 extra: tuple) -> list:
+                 extra: tuple, registry=None, op: str = "") -> list:
     """Map ``fn`` over ``items`` in contiguous chunks, preserving order.
 
     One chunk per worker (big-int exponentiation is uniform enough
     that finer-grained work stealing is not worth the extra pickling).
+    When a metrics ``registry`` is passed, the dispatch is recorded:
+    one ``paillier_dispatch_chunks`` increment per chunk and the chunk
+    sizes into ``paillier_dispatch_chunk_items`` (both labelled with
+    ``op``).
     """
     workers = executor._max_workers
     per = -(-len(items) // workers)
     chunks = [items[i:i + per] for i in range(0, len(items), per)]
+    if registry is not None:
+        registry.counter("paillier_dispatch_chunks",
+                         op=op).inc(len(chunks))
+        size_histogram = registry.histogram(
+            "paillier_dispatch_chunk_items", buckets=SIZE_BUCKETS,
+            op=op,
+        )
+        for chunk in chunks:
+            size_histogram.observe(len(chunk))
     results = executor.map(fn, [(chunk,) + extra for chunk in chunks])
     out: list = []
     for part in results:
@@ -394,6 +455,7 @@ class PaillierEngine:
         seed: int | None = None,
         rng: random.Random | None = None,
         force_parallel: bool = False,
+        obs: Observability | None = None,
     ):
         if workers < 0:
             raise CryptoError(f"workers must be >= 0, got {workers}")
@@ -404,6 +466,7 @@ class PaillierEngine:
         self.private_key = private_key
         self.workers = workers
         self.window_bits = window_bits
+        self.obs = obs if obs is not None else OBS_OFF
         # Process dispatch on a box with fewer cores than workers just
         # time-slices the same arithmetic plus fork/pickle overhead, so
         # the effective pool is capped at the core count.  Tests use
@@ -418,6 +481,18 @@ class PaillierEngine:
         self.pool = BlindingPool(
             public_key, rng, target_size=pool_size,
             private_key=private_key, executor_fn=self._maybe_executor,
+            obs=self.obs,
+        )
+        # Batch-size histograms, resolved once (no-ops when disabled).
+        registry = self.obs.registry
+        self._m_encrypt_batch = registry.histogram(
+            "paillier_batch_items", buckets=SIZE_BUCKETS, op="encrypt"
+        )
+        self._m_decrypt_batch = registry.histogram(
+            "paillier_batch_items", buckets=SIZE_BUCKETS, op="decrypt"
+        )
+        self._m_matvec_cells = registry.histogram(
+            "paillier_batch_items", buckets=SIZE_BUCKETS, op="matvec"
         )
 
     # -- lifecycle ------------------------------------------------------
@@ -482,6 +557,7 @@ class PaillierEngine:
         n = self.public_key.n
         n_sq = self.public_key.n_squared
         plaintexts = list(plaintexts)
+        self._m_encrypt_batch.observe(len(plaintexts))
         for m in plaintexts:
             if not 0 <= m < n:
                 raise EncryptionError(f"plaintext {m} out of range [0, n)")
@@ -525,6 +601,7 @@ class PaillierEngine:
         if priv is None:
             raise CryptoError("engine has no private key; cannot decrypt")
         ciphertexts = list(ciphertexts)
+        self._m_decrypt_batch.observe(len(ciphertexts))
         executor = self._maybe_executor()
         if executor is not None \
                 and len(ciphertexts) >= 2 * _MIN_ITEMS_PER_DISPATCH:
@@ -533,8 +610,12 @@ class PaillierEngine:
                 priv.p * priv.p, priv.q * priv.q,
                 priv._h_p, priv._h_q, priv._q_inv_p,
             )
-            return _run_chunked(executor, _decrypt_chunk, ciphertexts,
-                                extra)
+            return _run_chunked(
+                executor, _decrypt_chunk, ciphertexts, extra,
+                registry=self.obs.registry if self.obs.enabled
+                else None,
+                op="decrypt",
+            )
         return [priv.raw_decrypt(c) for c in ciphertexts]
 
     def decrypt_many(
@@ -598,6 +679,7 @@ class PaillierEngine:
                 f"weights rows {len(rows)} != bias size {len(bias)}"
             )
         n_sq = self.public_key.n_squared
+        self._m_matvec_cells.observe(len(cells))
         executor = self._maybe_executor()
         if executor is not None and len(cells) >= 2 * _MIN_ITEMS_PER_DISPATCH:
             workers = executor._max_workers
@@ -611,12 +693,35 @@ class PaillierEngine:
                     n_sq,
                     self.window_bits,
                 ))
+            if self.obs.enabled:
+                registry = self.obs.registry
+                registry.counter("paillier_dispatch_chunks",
+                                 op="matvec").inc(len(jobs))
+                size_histogram = registry.histogram(
+                    "paillier_dispatch_chunk_items",
+                    buckets=SIZE_BUCKETS, op="matvec",
+                )
+                for job in jobs:
+                    size_histogram.observe(len(job[0]))
             partials = list(executor.map(_matvec_chunk, jobs))
             out = list(bias)
             for part in partials:
                 out = [acc * v % n_sq for acc, v in zip(out, part)]
             return out
-        partial = _matvec_partial(cells, rows, n_sq, self.window_bits)
+        # Power-cache decisions are only visible on the inline path
+        # (worker processes would have to ship stats back); collect
+        # them into counters when observability is on.
+        stats = ({"columns_table": 0, "columns_plain": 0,
+                  "tables_built": 0, "table_pows": 0, "plain_pows": 0}
+                 if self.obs.enabled else None)
+        partial = _matvec_partial(cells, rows, n_sq, self.window_bits,
+                                  stats=stats)
+        if stats is not None:
+            registry = self.obs.registry
+            for key, value in stats.items():
+                if value:
+                    registry.counter(f"paillier_power_cache_{key}") \
+                        .inc(value)
         return [b * v % n_sq for b, v in zip(bias, partial)]
 
 

@@ -116,6 +116,11 @@ class SecurityViolationError(ProtocolError):
     """An operation would leak information it must not (guard rails)."""
 
 
+class ObservabilityError(ReproError):
+    """The observability layer was misused (metric type conflict,
+    malformed histogram buckets)."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was misconfigured."""
 

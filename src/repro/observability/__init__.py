@@ -1,0 +1,116 @@
+"""Observability layer: metrics registry + per-request tracing.
+
+One :class:`Observability` object bundles the two sinks every
+instrumented subsystem reports into — a
+:class:`~repro.observability.metrics.MetricsRegistry` (counters,
+gauges, fixed-bucket histograms; JSON + Prometheus export) and a
+:class:`~repro.observability.tracing.Tracer` (spans with monotonic
+timestamps, parent links, and per-request trace ids).
+
+It is **off by default** (:attr:`repro.config.RuntimeConfig.
+observability`), and disabled observability hands out shared no-op
+twins so the hot paths pay one empty method call per instrumentation
+point — no locks, no allocation.  See docs/OBSERVABILITY.md for what
+is emitted where and the measured overhead.
+
+Wiring pattern: construct one enabled :class:`Observability` and pass
+it to both protocol parties plus the pipeline/session so every
+subsystem reports into the same registry and tracer::
+
+    obs = Observability()
+    model_provider = ModelProvider(model, decimals=3, config=cfg,
+                                   obs=obs)
+    data_provider = DataProvider(value_decimals=3, config=cfg, obs=obs)
+    pipeline = Pipeline(model_provider, data_provider, plan, obs=obs)
+    stats = pipeline.run_stream(inputs)
+    print(obs.registry.to_prometheus())
+    print(obs.tracer.render(obs.tracer.trace_ids()[0]))
+
+When components are built without an explicit ``obs``, each derives
+its own from its config (``Observability.from_config``) — enabled
+runs still record everything, just into per-party registries; the
+pipeline and session adopt the model provider's instance by default
+so stream/protocol metrics land beside the model-side engine's.
+"""
+
+from __future__ import annotations
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    SIZE_BUCKETS,
+)
+from .tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+
+class Observability:
+    """Bundle of one metrics registry and one tracer.
+
+    Args:
+        enabled: when False, both sinks are the shared no-op twins.
+        registry / tracer: explicit sinks (enabled mode only); fresh
+            ones are created when omitted.
+    """
+
+    __slots__ = ("enabled", "registry", "tracer")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.enabled = bool(enabled)
+        if self.enabled:
+            self.registry = registry if registry is not None \
+                else MetricsRegistry()
+            self.tracer = tracer if tracer is not None else Tracer()
+        else:
+            self.registry = NULL_REGISTRY
+            self.tracer = NULL_TRACER
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    @classmethod
+    def from_config(cls, config) -> "Observability":
+        """The instance a component should use for ``config``:
+        a fresh enabled one when ``config.observability`` is set, the
+        shared no-op singleton otherwise."""
+        if getattr(config, "observability", False):
+            return cls(enabled=True)
+        return OBS_OFF
+
+
+#: The shared disabled instance — what every component defaults to.
+OBS_OFF = Observability(enabled=False)
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "OBS_OFF",
+    "Observability",
+    "SIZE_BUCKETS",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,292 @@
+"""Lightweight tracing: spans with monotonic timestamps + parent links.
+
+A :class:`Tracer` hands out :class:`Span` objects stamped with
+``time.perf_counter()`` (monotonic — immune to wall-clock jumps, so
+durations are trustworthy even across NTP corrections).  Each span
+carries a ``trace_id`` that ties every piece of work done for one
+request together, and a ``parent_id`` linking it into a tree:
+
+* the stream runtime roots one ``request`` span per admitted item,
+  hangs an ``admit`` span and one ``stage-N`` span per stage under it,
+  and records ``retry`` / ``restart`` / ``dead-letter`` events as
+  zero-duration child spans — so the span tree reconstructs exactly
+  what :class:`~repro.stream.pipeline.StreamStats` counts;
+* the sequential protocol path roots one ``inference`` span per call
+  with ``linear-round`` / ``nonlinear-round`` children.
+
+Trace and span ids are small counter-based strings, not UUIDs: this
+is intra-process tracing, and cheap ids keep the enabled-path
+overhead low.  The :class:`NullTracer` twin allocates **no** span
+objects at all — its context manager is a shared singleton — which is
+what "observability off" hands to every hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+
+class Span:
+    """One timed operation within a trace.
+
+    Attributes:
+        name: operation name (e.g. ``stage-2``, ``retry``).
+        trace_id: id shared by every span of one request.
+        span_id: unique id of this span within its tracer.
+        parent_id: ``span_id`` of the enclosing span, or None for a
+            root.
+        start / end: ``perf_counter()`` timestamps; ``end`` is None
+            while the span is open.
+        attrs: free-form key/value annotations.
+    """
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id",
+                 "start", "end", "attrs")
+
+    def __init__(self, name: str, trace_id: Optional[str],
+                 span_id: str, parent_id: Optional[str],
+                 attrs: Optional[dict] = None):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.attrs = dict(attrs) if attrs else {}
+
+    def set_attr(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    def finish(self) -> None:
+        """Stamp the end time (idempotent; first call wins)."""
+        if self.end is None:
+            self.end = time.perf_counter()
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _SpanContext:
+    """Context manager pairing ``begin_span`` with ``finish``."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, span: Span):
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self._span.set_attr("error", repr(exc))
+        self._span.finish()
+        return False
+
+
+class Tracer:
+    """Collects spans; thread-safe (workers record concurrently)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._next_span = 0
+        self._next_trace = 0
+
+    def new_trace_id(self, prefix: str = "trace") -> str:
+        """A fresh id every span of one request will share."""
+        with self._lock:
+            self._next_trace += 1
+            return f"{prefix}-{self._next_trace:04d}"
+
+    def begin_span(self, name: str, trace_id: Optional[str] = None,
+                   parent_id: Optional[str] = None, **attrs) -> Span:
+        """Open a span now; the caller must :meth:`Span.finish` it.
+
+        Use this when a span opens and closes on different threads
+        (the stream runtime's per-request root span is admitted by
+        the producer thread and finished at the sink drain).
+        """
+        with self._lock:
+            self._next_span += 1
+            span = Span(name, trace_id, f"s{self._next_span:05d}",
+                        parent_id, attrs)
+            self._spans.append(span)
+        return span
+
+    def span(self, name: str, trace_id: Optional[str] = None,
+             parent_id: Optional[str] = None, **attrs) -> _SpanContext:
+        """Context manager: open a span, finish it on exit."""
+        return _SpanContext(
+            self.begin_span(name, trace_id, parent_id, **attrs)
+        )
+
+    def event(self, name: str, trace_id: Optional[str] = None,
+              parent_id: Optional[str] = None, **attrs) -> Span:
+        """A zero-duration span marking a point event (retry, restart,
+        dead-letter)."""
+        span = self.begin_span(name, trace_id, parent_id, **attrs)
+        span.end = span.start
+        return span
+
+    # -- inspection ----------------------------------------------------
+
+    def spans(self, trace_id: Optional[str] = None,
+              name: Optional[str] = None) -> List[Span]:
+        """Snapshot of recorded spans, optionally filtered."""
+        with self._lock:
+            spans = list(self._spans)
+        if trace_id is not None:
+            spans = [s for s in spans if s.trace_id == trace_id]
+        if name is not None:
+            spans = [s for s in spans if s.name == name]
+        return spans
+
+    def trace_ids(self) -> List[str]:
+        seen: List[str] = []
+        for span in self.spans():
+            if span.trace_id is not None and span.trace_id not in seen:
+                seen.append(span.trace_id)
+        return seen
+
+    def export(self) -> List[dict]:
+        """JSON-safe dump of every span (for the CLI trace dump)."""
+        return [span.to_dict() for span in self.spans()]
+
+    def tree(self, trace_id: str) -> List[dict]:
+        """Reconstruct a trace's span tree.
+
+        Returns the root nodes, each ``{"span": Span, "children":
+        [...]}``; spans whose parent is missing from the trace are
+        treated as roots (never silently dropped).
+        """
+        spans = self.spans(trace_id=trace_id)
+        nodes: Dict[str, dict] = {
+            s.span_id: {"span": s, "children": []} for s in spans
+        }
+        roots: List[dict] = []
+        for span in spans:
+            node = nodes[span.span_id]
+            parent = (nodes.get(span.parent_id)
+                      if span.parent_id is not None else None)
+            if parent is None:
+                roots.append(node)
+            else:
+                parent["children"].append(node)
+        return roots
+
+    def render(self, trace_id: str) -> str:
+        """Human-readable indented dump of one trace's span tree."""
+        lines: List[str] = [f"trace {trace_id}:"]
+
+        def walk(node: dict, depth: int) -> None:
+            span = node["span"]
+            duration = (f"{span.duration * 1e3:.2f}ms"
+                        if span.end is not None else "open")
+            attrs = ", ".join(f"{k}={v}"
+                              for k, v in sorted(span.attrs.items()))
+            attrs = f" [{attrs}]" if attrs else ""
+            lines.append(f"{'  ' * (depth + 1)}{span.name} "
+                         f"({duration}){attrs}")
+            for child in node["children"]:
+                walk(child, depth + 1)
+
+        for root in self.tree(trace_id):
+            walk(root, 0)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# No-op twins.
+# ----------------------------------------------------------------------
+
+class _NullSpan:
+    __slots__ = ()
+    name = ""
+    trace_id = None
+    span_id = None
+    parent_id = None
+    start = 0.0
+    end = 0.0
+    attrs: dict = {}
+    duration = 0.0
+
+    def set_attr(self, key: str, value) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """Tracer twin that allocates no spans whatsoever."""
+
+    enabled = False
+
+    def new_trace_id(self, prefix: str = "trace") -> None:
+        return None
+
+    def begin_span(self, name: str, trace_id=None, parent_id=None,
+                   **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def span(self, name: str, trace_id=None, parent_id=None,
+             **attrs) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def event(self, name: str, trace_id=None, parent_id=None,
+              **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def spans(self, trace_id=None, name=None) -> List[Span]:
+        return []
+
+    def trace_ids(self) -> List[str]:
+        return []
+
+    def export(self) -> List[dict]:
+        return []
+
+    def tree(self, trace_id: str) -> List[dict]:
+        return []
+
+    def render(self, trace_id: str) -> str:
+        return ""
+
+
+#: Shared no-op tracer.
+NULL_TRACER = NullTracer()

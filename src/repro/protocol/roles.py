@@ -17,6 +17,7 @@ only permuted intermediates at the data provider).
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
@@ -24,6 +25,7 @@ import numpy as np
 
 from ..config import DEFAULT_CONFIG, RuntimeConfig
 from ..crypto.engine import PaillierEngine
+from ..observability import Observability
 from ..crypto.paillier import PaillierPublicKey, generate_keypair
 from ..crypto.tensor import EncryptedTensor
 from ..errors import ProtocolError, SecurityViolationError
@@ -56,9 +58,15 @@ class ModelProvider:
         model: Sequential,
         decimals: int,
         config: RuntimeConfig = DEFAULT_CONFIG,
+        obs: Observability | None = None,
     ):
         self.decimals = decimals
         self.config = config
+        #: Observability sinks.  Defaults from ``config.observability``
+        #: (no-op twins when off); pass one shared instance to both
+        #: parties to aggregate a session's metrics in one registry.
+        self.obs = obs if obs is not None \
+            else Observability.from_config(config)
         self._rng = random.Random(config.seed ^ 0x4D50)
         self._obfuscator = Obfuscator(config.seed ^ 0x0BF5)
         self._public_key: PaillierPublicKey | None = None
@@ -124,6 +132,7 @@ class ModelProvider:
                 pool_size=self.config.blinding_pool_size,
                 window_bits=self.config.power_window_bits,
                 seed=self.config.seed ^ 0x4D50E,
+                obs=self.obs,
             )
 
     def nonlinear_activations(self, stage_index: int) -> List[str]:
@@ -168,6 +177,7 @@ class ModelProvider:
         if plan is None:
             raise ProtocolError(f"stage {stage_index} is not linear")
         self.observed.append("ciphertext")
+        stage_start = time.perf_counter()
 
         cells = list(tensor.flatten().cells())
         if inbound_obfuscation_round is not None:
@@ -190,6 +200,9 @@ class ModelProvider:
                 engine=self.engine,
             )
         if final:
+            self.obs.registry.histogram(
+                "protocol_linear_stage_seconds", stage=str(stage_index)
+            ).observe(time.perf_counter() - stage_start)
             return current, None
         round_id, permuted = self._obfuscator.obfuscate(
             list(current.cells())
@@ -198,6 +211,9 @@ class ModelProvider:
             current.public_key, permuted, (len(permuted),),
             current.exponent,
         )
+        self.obs.registry.histogram(
+            "protocol_linear_stage_seconds", stage=str(stage_index)
+        ).observe(time.perf_counter() - stage_start)
         return permuted_tensor, round_id
 
 
@@ -208,11 +224,15 @@ class DataProvider:
         self,
         value_decimals: int,
         config: RuntimeConfig = DEFAULT_CONFIG,
+        obs: Observability | None = None,
     ):
         if value_decimals < 0:
             raise ProtocolError("value_decimals must be non-negative")
         self.value_decimals = value_decimals
         self.config = config
+        #: Observability sinks (see :class:`ModelProvider.obs`).
+        self.obs = obs if obs is not None \
+            else Observability.from_config(config)
         self._rng = random.Random(config.seed ^ 0x4450)
         self.public_key, self._private_key = generate_keypair(
             config.key_size, seed=config.seed ^ 0x6B65
@@ -227,6 +247,7 @@ class DataProvider:
             pool_size=config.blinding_pool_size,
             window_bits=config.power_window_bits,
             seed=config.seed ^ 0x4450E,
+            obs=self.obs,
         )
         # The paper's offline phase: precompute the blinding-factor
         # pool now, before any request arrives, so online encryption
@@ -240,13 +261,18 @@ class DataProvider:
         """Step (1.1): scale the raw input and encrypt element-wise."""
         from ..scaling.fixed_point import scale_to_int
 
+        start = time.perf_counter()
         x = np.asarray(x, dtype=np.float64)
         scaled = scale_to_int(x, self.value_decimals)
-        return EncryptedTensor.encrypt(
+        tensor = EncryptedTensor.encrypt(
             scaled, self.public_key,
             exponent=self.value_decimals,
             engine=self.engine,
         )
+        self.obs.registry.histogram(
+            "protocol_encrypt_seconds"
+        ).observe(time.perf_counter() - start)
+        return tensor
 
     def process_nonlinear_stage(
         self,
@@ -260,22 +286,29 @@ class DataProvider:
         re-encrypt — or, in the final round, return the inference
         result as floats.
         """
+        start = time.perf_counter()
         values = tensor.decrypt_float(self._private_key,
                                       engine=self.engine)
         self.observed_plaintexts.append(values.copy())
         flat = values.reshape(-1)
         for activation in activations:
             flat = self._apply_activation(activation, flat, final)
+        histogram = self.obs.registry.histogram(
+            "protocol_nonlinear_stage_seconds", final=str(final).lower()
+        )
         if final:
+            histogram.observe(time.perf_counter() - start)
             return flat
         from ..scaling.fixed_point import scale_to_int
 
         rescaled = scale_to_int(flat, self.value_decimals)
-        return EncryptedTensor.encrypt(
+        result = EncryptedTensor.encrypt(
             rescaled, self.public_key,
             exponent=self.value_decimals,
             engine=self.engine,
         )
+        histogram.observe(time.perf_counter() - start)
+        return result
 
     def _apply_activation(
         self, activation: str, flat: np.ndarray, final: bool

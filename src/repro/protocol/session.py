@@ -19,6 +19,7 @@ import numpy as np
 
 from ..errors import DeadlineExceededError, ProtocolError
 from ..nn.layers import LayerKind
+from ..observability import OBS_OFF, Observability
 from .message import CIPHERTEXT, CIPHERTEXT_OBFUSCATED, Message, Transcript
 from .roles import DataProvider, ModelProvider
 
@@ -45,9 +46,20 @@ class InferenceSession:
 
     def __init__(self, model_provider: ModelProvider,
                  data_provider: DataProvider,
-                 rate_limiter=None):
+                 rate_limiter=None,
+                 obs: Observability | None = None):
         self.model_provider = model_provider
         self.data_provider = data_provider
+        #: Observability sinks.  Defaults to whichever party has
+        #: observability enabled (model provider first), so a session
+        #: built from instrumented parties traces without extra wiring.
+        if obs is None:
+            for candidate in (getattr(model_provider, "obs", None),
+                              getattr(data_provider, "obs", None)):
+                if candidate is not None and candidate.enabled:
+                    obs = candidate
+                    break
+        self.obs = obs if obs is not None else OBS_OFF
         #: Optional model-stealing countermeasure (Section II-C): a
         #: :class:`repro.protocol.ratelimit.RateLimiter` consulted
         #: before each request is served.
@@ -111,57 +123,82 @@ class InferenceSession:
                 )
 
         transcript = Transcript()
-        tensor = self.data_provider.encrypt_input(np.asarray(x))
-        obfuscation_round: int | None = None
+        tracer = self.obs.tracer
+        registry = self.obs.registry
+        trace_id = tracer.new_trace_id("inf")
+        with tracer.span("inference", trace_id=trace_id) as root:
+            with tracer.span("encrypt-input", trace_id=trace_id,
+                             parent_id=root.span_id):
+                tensor = self.data_provider.encrypt_input(np.asarray(x))
+            obfuscation_round: int | None = None
 
-        for pair in range(self._num_pairs):
-            check_deadline(pair)
-            linear_index = 2 * pair
-            nonlinear_index = 2 * pair + 1
-            final = pair == self._num_pairs - 1
+            for pair in range(self._num_pairs):
+                check_deadline(pair)
+                linear_index = 2 * pair
+                nonlinear_index = 2 * pair + 1
+                final = pair == self._num_pairs - 1
 
-            transcript.record(Message(
-                sender="data",
-                kind=(CIPHERTEXT if obfuscation_round is None
-                      else CIPHERTEXT_OBFUSCATED),
-                elements=tensor.size,
-                bytes_estimate=tensor.size * self._cipher_bytes,
-                round_index=pair,
-                stage_index=linear_index,
-                obfuscation_round=obfuscation_round,
-            ))
-            tensor, outbound_round = \
-                self.model_provider.process_linear_stage(
-                    linear_index, tensor, obfuscation_round, final,
+                transcript.record(Message(
+                    sender="data",
+                    kind=(CIPHERTEXT if obfuscation_round is None
+                          else CIPHERTEXT_OBFUSCATED),
+                    elements=tensor.size,
+                    bytes_estimate=tensor.size * self._cipher_bytes,
+                    round_index=pair,
+                    stage_index=linear_index,
+                    obfuscation_round=obfuscation_round,
+                ))
+                round_start = time.perf_counter()
+                with tracer.span("linear-round", trace_id=trace_id,
+                                 parent_id=root.span_id, round=pair,
+                                 stage=linear_index):
+                    tensor, outbound_round = \
+                        self.model_provider.process_linear_stage(
+                            linear_index, tensor, obfuscation_round,
+                            final,
+                        )
+                registry.histogram(
+                    "protocol_round_seconds", kind="linear",
+                    stage=str(linear_index),
+                ).observe(time.perf_counter() - round_start)
+                transcript.record(Message(
+                    sender="model",
+                    kind=(CIPHERTEXT if outbound_round is None
+                          else CIPHERTEXT_OBFUSCATED),
+                    elements=tensor.size,
+                    bytes_estimate=tensor.size * self._cipher_bytes,
+                    round_index=pair,
+                    stage_index=linear_index,
+                    obfuscation_round=outbound_round,
+                ))
+
+                activations = self.model_provider.nonlinear_activations(
+                    nonlinear_index
                 )
-            transcript.record(Message(
-                sender="model",
-                kind=(CIPHERTEXT if outbound_round is None
-                      else CIPHERTEXT_OBFUSCATED),
-                elements=tensor.size,
-                bytes_estimate=tensor.size * self._cipher_bytes,
-                round_index=pair,
-                stage_index=linear_index,
-                obfuscation_round=outbound_round,
-            ))
-
-            activations = self.model_provider.nonlinear_activations(
-                nonlinear_index
-            )
-            result = self.data_provider.process_nonlinear_stage(
-                tensor, activations, final,
-            )
-            if final:
-                probabilities = np.asarray(result)
-                elapsed = time.perf_counter() - start
-                return InferenceOutcome(
-                    probabilities=probabilities,
-                    prediction=int(probabilities.argmax()),
-                    transcript=transcript,
-                    wall_time=elapsed,
-                )
-            tensor = result
-            obfuscation_round = outbound_round
+                round_start = time.perf_counter()
+                with tracer.span("nonlinear-round", trace_id=trace_id,
+                                 parent_id=root.span_id, round=pair,
+                                 stage=nonlinear_index):
+                    result = self.data_provider.process_nonlinear_stage(
+                        tensor, activations, final,
+                    )
+                registry.histogram(
+                    "protocol_round_seconds", kind="nonlinear",
+                    stage=str(nonlinear_index),
+                ).observe(time.perf_counter() - round_start)
+                if final:
+                    probabilities = np.asarray(result)
+                    elapsed = time.perf_counter() - start
+                    root.set_attr("prediction",
+                                  int(probabilities.argmax()))
+                    return InferenceOutcome(
+                        probabilities=probabilities,
+                        prediction=int(probabilities.argmax()),
+                        transcript=transcript,
+                        wall_time=elapsed,
+                    )
+                tensor = result
+                obfuscation_round = outbound_round
         raise ProtocolError("stage walk ended without a final round")
 
     def run_batch(self, batch: np.ndarray,

@@ -46,6 +46,11 @@ class StreamItem:
         fault: set when the request was dead-lettered; downstream
             stages forward such tombstones untouched so the sink can
             account for every admitted request.
+        trace_id: per-request trace id riding the item so every stage
+            span (and retry/restart/dead-letter event) lands on the
+            same trace; None when tracing is off.
+        trace_parent: span id of the request's root span; stage spans
+            attach under it.
     """
 
     request_id: int
@@ -54,6 +59,8 @@ class StreamItem:
     enqueue_time: float = 0.0
     result: np.ndarray | None = None
     fault: DeadLetter | None = None
+    trace_id: str | None = None
+    trace_parent: str | None = None
 
 
 class LinearStageExecutor:
@@ -69,6 +76,7 @@ class LinearStageExecutor:
         rng: random.Random,
         final: bool,
         config: RuntimeConfig = DEFAULT_CONFIG,
+        obs=None,
     ):
         if threads < 1:
             raise StreamError("executor needs >= 1 thread")
@@ -80,6 +88,7 @@ class LinearStageExecutor:
         self.final = final
         self._rng = rng
         self._config = config
+        self._obs = obs
         # Batched crypto engine, created lazily once the first item
         # reveals the session's public key (the model provider side
         # never holds the private key, so no CRT here).
@@ -100,6 +109,7 @@ class LinearStageExecutor:
                 pool_size=self._config.blinding_pool_size,
                 window_bits=self._config.power_window_bits,
                 seed=self._config.seed ^ (0x57E << 8) ^ self.stage_index,
+                obs=self._obs,
             )
         return self._engine
 
@@ -265,12 +275,16 @@ def build_executors(
     model_provider: ModelProvider,
     data_provider: DataProvider,
     plan: Plan,
+    obs=None,
 ) -> List[object]:
     """Instantiate one executor per stage from the two parties + plan.
 
     The linear executors share the model provider's obfuscator and
     scaled affines; the non-linear executors get the data provider's
-    private key — mirroring where state physically lives.
+    private key — mirroring where state physically lives.  ``obs``
+    (an :class:`~repro.observability.Observability`) flows into the
+    linear executors' lazily-built engines; the non-linear executors
+    inherit whatever the data provider's engine was built with.
     """
     executors: List[object] = []
     stages = plan.stages
@@ -291,6 +305,7 @@ def build_executors(
                     rng,
                     final=final and stage.index == num_stages - 2,
                     config=model_provider.config,
+                    obs=obs,
                 )
             )
         else:

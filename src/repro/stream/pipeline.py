@@ -29,6 +29,7 @@ from typing import List, Sequence
 import numpy as np
 
 from ..errors import StageFailedError, StreamError
+from ..observability import OBS_OFF, Observability
 from ..planner.plan import Plan
 from ..protocol.roles import DataProvider, ModelProvider
 from .channel import Channel, ChannelClosed
@@ -71,8 +72,15 @@ class StreamStats:
 
     @property
     def mean_latency(self) -> float:
+        """Mean completion latency in seconds.
+
+        NaN when no request completed (e.g. every request was
+        dead-lettered) — a run with zero completions is a legitimate
+        outcome of the fault-tolerant path, not an API misuse, so it
+        must not raise.
+        """
         if not self.results:
-            raise StreamError("no results collected")
+            return float("nan")
         return float(np.mean([r.latency for r in self.results]))
 
     @property
@@ -166,6 +174,10 @@ class Pipeline:
         restart_budget: crashed-worker restarts allowed per stage.
         sink_timeout: max seconds the sink drain waits for any single
             item before forcing shutdown.
+        obs: observability sinks shared by admission, every stage
+            worker, and the supervisor.  Defaults to the model
+            provider's (then the data provider's) instance when one of
+            them has observability enabled, else the no-op twins.
     """
 
     def __init__(
@@ -180,13 +192,22 @@ class Pipeline:
         fault_plan: FaultPlan | None = None,
         restart_budget: int = 2,
         sink_timeout: float = 300.0,
+        obs: Observability | None = None,
     ):
         model_provider.register_public_key(data_provider.public_key)
         self.plan = plan
         self.model_provider = model_provider
         self.data_provider = data_provider
+        if obs is None:
+            for candidate in (getattr(model_provider, "obs", None),
+                              getattr(data_provider, "obs", None)):
+                if candidate is not None and candidate.enabled:
+                    obs = candidate
+                    break
+        self.obs = obs if obs is not None else OBS_OFF
         self._executors = wrap_executors(
-            build_executors(model_provider, data_provider, plan),
+            build_executors(model_provider, data_provider, plan,
+                            obs=self.obs),
             fault_plan,
         )
         self._channel_capacity = channel_capacity
@@ -230,29 +251,49 @@ class Pipeline:
                 dead_letter=True,
                 stage_index=index,
                 seed=index,
+                obs=self.obs,
             )
             for index, executor in enumerate(self._executors)
         ]
         supervisor = Supervisor(
-            workers, channels, restart_budget=self._restart_budget
+            workers, channels, restart_budget=self._restart_budget,
+            obs=self.obs,
         )
 
         stats = StreamStats()
         source = channels[0]
         sink = channels[-1]
+        tracer = self.obs.tracer
+        # Per-request root spans: opened on the producer thread,
+        # finished at the sink drain (hence begin_span, not the
+        # context manager).  With tracing off these are all the
+        # NULL_SPAN singleton.
+        roots: dict = {}
 
         def admit() -> None:
             # Producer thread: encrypt + enqueue under backpressure.
             try:
                 for request_id, raw in enumerate(inputs):
-                    tensor = self.data_provider.encrypt_input(
-                        np.asarray(raw)
-                    )
-                    source.put(StreamItem(
+                    trace_id = tracer.new_trace_id(f"req{request_id}")
+                    root = tracer.begin_span(
+                        "request", trace_id=trace_id,
                         request_id=request_id,
-                        tensor=tensor,
-                        enqueue_time=time.perf_counter(),
-                    ))
+                    )
+                    roots[request_id] = root
+                    with tracer.span(
+                        "admit", trace_id=trace_id,
+                        parent_id=root.span_id, request_id=request_id,
+                    ):
+                        tensor = self.data_provider.encrypt_input(
+                            np.asarray(raw)
+                        )
+                        source.put(StreamItem(
+                            request_id=request_id,
+                            tensor=tensor,
+                            enqueue_time=time.perf_counter(),
+                            trace_id=trace_id,
+                            trace_parent=root.span_id,
+                        ))
                 source.close()
             except StreamError:
                 # Fatal shutdown closed the source mid-admission; the
@@ -279,6 +320,10 @@ class Pipeline:
                 break
             if item.fault is not None:
                 accounted += 1
+                root = roots.pop(item.request_id, None)
+                if root is not None:
+                    root.set_attr("outcome", "dead-letter")
+                    root.finish()
                 continue
             if item.result is None:
                 drain_error = StreamError(
@@ -293,10 +338,20 @@ class Pipeline:
                 latency=time.perf_counter() - item.enqueue_time,
             ))
             accounted += 1
+            root = roots.pop(item.request_id, None)
+            if root is not None:
+                root.set_attr("outcome", "completed")
+                root.finish()
         stats.wall_time = time.perf_counter() - start_wall
 
         supervisor.join(timeout=60.0)
         producer.join(timeout=10.0)
+        for root in roots.values():
+            # Requests stranded by a fatal shutdown still get a closed
+            # root span so no trace is left dangling.
+            root.set_attr("outcome", "aborted")
+            root.finish()
+        roots.clear()
         stats.stage_busy_seconds = supervisor.stage_busy_seconds()
         stats.stage_items = supervisor.stage_items()
         stats.stage_retries = supervisor.stage_retries()

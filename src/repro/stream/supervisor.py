@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import List, Sequence
 
 from ..errors import StageFailedError
+from ..observability import OBS_OFF, Observability
 from .channel import Channel
 from .retry import DeadLetter
 from .worker import StageWorker
@@ -70,6 +71,9 @@ class Supervisor:
         stall_threshold: heartbeat age in seconds beyond which a stage
             is reported by :meth:`stalled_stages` (observability only;
             a stalled-but-alive worker is usually just backpressured).
+        obs: observability sinks; each restart increments a per-stage
+            ``stream_restarts`` counter and records a ``restart``
+            event span on the in-flight item's trace.
     """
 
     def __init__(
@@ -79,6 +83,7 @@ class Supervisor:
         restart_budget: int = 2,
         poll_interval: float = 0.02,
         stall_threshold: float = 30.0,
+        obs: Observability | None = None,
     ):
         if restart_budget < 0:
             raise ValueError("restart_budget must be non-negative")
@@ -88,6 +93,7 @@ class Supervisor:
         self.poll_interval = poll_interval
         self.stall_threshold = stall_threshold
         self.fatal_error: StageFailedError | None = None
+        self.obs = obs if obs is not None else OBS_OFF
         self._slots = [_StageSlot(worker=w) for w in workers]
         self._channels = list(channels)
         self._stop = threading.Event()
@@ -177,6 +183,17 @@ class Supervisor:
                 dead.inbound.put_front(inflight)
         slot.worker = replacement
         slot.restarts += 1
+        self.obs.registry.counter("stream_restarts",
+                                  stage=str(index)).inc()
+        self.obs.tracer.event(
+            "restart",
+            trace_id=getattr(inflight, "trace_id", None),
+            parent_id=getattr(inflight, "trace_parent", None),
+            stage=index,
+            restart=slot.restarts,
+            reinjected=inflight is not None,
+            error=repr(dead.error),
+        )
         replacement.start()
 
     def _fatal_shutdown(self) -> None:

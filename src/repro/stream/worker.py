@@ -32,6 +32,8 @@ from ..errors import (
     StreamError,
     WorkerCrashError,
 )
+from ..observability import OBS_OFF, Observability
+from ..observability.tracing import NULL_SPAN
 from .channel import Channel, ChannelClosed
 from .retry import (
     REASON_DEADLINE,
@@ -65,6 +67,11 @@ class StageWorker:
             workers default to the historical fail-loud behaviour.
         stage_index: pipeline position recorded on dead letters.
         seed: backoff-jitter RNG seed (deterministic per worker).
+        obs: observability sinks (:mod:`repro.observability`); the
+            worker records a per-stage service-time histogram, a
+            queue-depth gauge, retry/dead-letter counters, and one
+            ``stage-N`` span per item (with ``retry`` / ``dead-letter``
+            child events) into them.  Defaults to the no-op twins.
     """
 
     def __init__(
@@ -79,6 +86,7 @@ class StageWorker:
         dead_letter: bool = False,
         stage_index: int = -1,
         seed: int = 0,
+        obs: Observability | None = None,
     ):
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
@@ -106,6 +114,20 @@ class StageWorker:
         self._rng = random.Random(seed)
         self._error: BaseException | None = None
         self._finalized = False
+        self.obs = obs if obs is not None else OBS_OFF
+        self._tracer = self.obs.tracer
+        stage_label = str(stage_index)
+        registry = self.obs.registry
+        self._m_service = registry.histogram(
+            "stream_stage_service_seconds", stage=stage_label
+        )
+        self._m_terminal = registry.histogram(
+            "stream_terminal_seconds", stage=stage_label
+        )
+        self._m_queue = registry.gauge("stream_queue_depth",
+                                       stage=stage_label)
+        self._m_retries = registry.counter("stream_retries",
+                                           stage=stage_label)
         self._thread = threading.Thread(
             target=self._run, name=name, daemon=True
         )
@@ -155,6 +177,7 @@ class StageWorker:
             dead_letter=self.dead_letter,
             stage_index=self.stage_index,
             seed=self._seed + 1,
+            obs=self.obs,
         )
         clone.ledger = self.ledger
         clone.supervised = self.supervised
@@ -168,7 +191,7 @@ class StageWorker:
                 and time.perf_counter() - enqueue > self.deadline)
 
     def _fail(self, item, reason: str, attempts: int,
-              exc: BaseException | None):
+              exc: BaseException | None, span=NULL_SPAN):
         """Dead-letter the item (tombstone) or re-raise fail-loud."""
         if not self.dead_letter:
             if exc is not None:
@@ -186,9 +209,25 @@ class StageWorker:
         )
         self.ledger.dead_letters.append(letter)
         item.fault = letter
+        self.obs.registry.counter(
+            "stream_dead_letters", stage=str(self.stage_index),
+            reason=reason,
+        ).inc()
+        self._tracer.event(
+            "dead-letter",
+            trace_id=getattr(item, "trace_id", None),
+            parent_id=span.span_id,
+            request_id=letter.request_id,
+            stage=self.stage_index,
+            reason=reason,
+            attempts=attempts,
+        )
+        enqueue = getattr(item, "enqueue_time", None)
+        if enqueue:
+            self._m_terminal.observe(time.perf_counter() - enqueue)
         return item
 
-    def _process_with_retries(self, item):
+    def _process_with_retries(self, item, span=NULL_SPAN):
         """Run the executor under the retry policy.
 
         Returns the processed item, or the original item tagged with a
@@ -196,7 +235,7 @@ class StageWorker:
         errors and, in fail-loud mode, on any terminal failure.
         """
         if self._deadline_blown(item):
-            return self._fail(item, REASON_DEADLINE, 0, None)
+            return self._fail(item, REASON_DEADLINE, 0, None, span)
         attempt = 0
         while True:
             self.last_heartbeat = time.monotonic()
@@ -208,13 +247,24 @@ class StageWorker:
                 attempt += 1
                 if not self.retry_policy.is_transient(exc):
                     return self._fail(item, REASON_PERMANENT,
-                                      attempt, exc)
+                                      attempt, exc, span)
                 if attempt > self.retry_policy.max_retries:
                     return self._fail(item, REASON_EXHAUSTED,
-                                      attempt, exc)
+                                      attempt, exc, span)
                 self.ledger.retries += 1
+                self._m_retries.inc()
                 delay = self.retry_policy.backoff_delay(
                     attempt, self._rng
+                )
+                self._tracer.event(
+                    "retry",
+                    trace_id=getattr(item, "trace_id", None),
+                    parent_id=span.span_id,
+                    request_id=getattr(item, "request_id", None),
+                    stage=self.stage_index,
+                    attempt=attempt,
+                    backoff_seconds=delay,
+                    error=repr(exc),
                 )
                 if delay > 0:
                     self.ledger.backoff_events += 1
@@ -222,7 +272,7 @@ class StageWorker:
                     time.sleep(delay)
                 if self._deadline_blown(item):
                     return self._fail(item, REASON_DEADLINE,
-                                      attempt, exc)
+                                      attempt, exc, span)
 
     def _forward(self, item) -> None:
         if self.outbound is None:
@@ -247,16 +297,34 @@ class StageWorker:
                     break
                 self.inflight = item
                 self.inflight_processed = False
+                self._m_queue.set(self.inbound.approx_size())
                 if getattr(item, "fault", None) is not None:
                     self.inflight_processed = True
                     self._forward(item)  # tombstone pass-through
                     self.inflight = None
                     continue
                 start = time.perf_counter()
-                item = self._process_with_retries(item)
-                self.busy_seconds += time.perf_counter() - start
+                with self._tracer.span(
+                    f"stage-{self.stage_index}",
+                    trace_id=getattr(item, "trace_id", None),
+                    parent_id=getattr(item, "trace_parent", None),
+                    request_id=getattr(item, "request_id", None),
+                    stage=self.stage_index,
+                ) as span:
+                    item = self._process_with_retries(item, span)
+                elapsed = time.perf_counter() - start
+                self.busy_seconds += elapsed
+                self._m_service.observe(elapsed)
                 if getattr(item, "fault", None) is None:
                     self.items_processed += 1
+                    # A set result marks the request's terminal stage
+                    # (the final executor produced the probabilities).
+                    if getattr(item, "result", None) is not None:
+                        enqueue = getattr(item, "enqueue_time", None)
+                        if enqueue:
+                            self._m_terminal.observe(
+                                time.perf_counter() - enqueue
+                            )
                 self.inflight = item
                 self.inflight_processed = True
                 self._forward(item)

@@ -36,6 +36,27 @@ def pytest_addoption(parser):
         "global per-test timeout in seconds (0 disables)",
         default="0",
     )
+    parser.addoption(
+        "--tier1",
+        action="store_true",
+        default=False,
+        help="tier-1 mode: deselect tests marked slow (shorthand for "
+             "-m 'not slow'; see [tool.repro] tier1 in pyproject.toml)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.getoption("--tier1"):
+        return
+    selected, deselected = [], []
+    for item in items:
+        if item.get_closest_marker("slow"):
+            deselected.append(item)
+        else:
+            selected.append(item)
+    if deselected:
+        config.hook.pytest_deselected(items=deselected)
+        items[:] = selected
 
 
 def _timeout_for(item) -> float:

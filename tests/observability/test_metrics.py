@@ -1,0 +1,181 @@
+"""MetricsRegistry unit tests: identity, concurrency, bucket edges,
+snapshot round-trip, and the Prometheus text format."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+)
+
+
+class TestIdentity:
+    def test_same_name_and_labels_is_same_metric(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests", stage="0")
+        b = registry.counter("requests", stage="0")
+        assert a is b
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", stage="0", op="enc")
+        b = registry.counter("x", op="enc", stage="0")
+        assert a is b
+
+    def test_different_labels_are_different_metrics(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests", stage="0")
+        b = registry.counter("requests", stage="1")
+        assert a is not b
+        a.inc()
+        assert b.value == 0
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("queue_depth")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("queue_depth")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("queue_depth")
+
+    def test_counter_cannot_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("c").inc(-1)
+
+    def test_bad_histogram_buckets_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h1", buckets=())
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h2", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h3", buckets=(2.0, 1.0))
+
+
+class TestConcurrency:
+    def test_threaded_hammer_loses_no_increments(self):
+        registry = MetricsRegistry()
+        threads, per_thread = 8, 2500
+
+        def hammer(index: int) -> None:
+            counter = registry.counter("hits", op="hammer")
+            gauge = registry.gauge("depth")
+            histogram = registry.histogram("lat", buckets=SIZE_BUCKETS)
+            for i in range(per_thread):
+                counter.inc()
+                gauge.set(i)
+                histogram.observe(i % 64)
+
+        pool = [
+            threading.Thread(target=hammer, args=(index,))
+            for index in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert registry.counter("hits", op="hammer").value \
+            == threads * per_thread
+        histogram = registry.histogram("lat", buckets=SIZE_BUCKETS)
+        assert histogram.count == threads * per_thread
+        assert sum(histogram.bucket_counts()) == threads * per_thread
+
+
+class TestHistogramBuckets:
+    def test_le_semantics_on_exact_bucket_edges(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        # A value exactly on a bound lands in that bound's bucket
+        # (Prometheus le semantics), the epsilon above goes one up.
+        histogram.observe(1.0)
+        histogram.observe(2.0)
+        histogram.observe(2.0000001)
+        histogram.observe(4.0)
+        histogram.observe(5.0)  # overflow
+        assert histogram.bucket_counts() == [1, 1, 2, 1]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(14.0000001)
+
+    def test_below_first_bucket_and_default_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        histogram.observe(0.0)
+        assert histogram.bucket_counts()[0] == 1
+        assert len(histogram.bucket_counts()) == len(DEFAULT_BUCKETS) + 1
+
+
+class TestSnapshot:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("reqs", stage="0").inc(3)
+        registry.counter("reqs", stage="1").inc(5)
+        registry.gauge("depth").set(2.5)
+        histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        return registry
+
+    def test_round_trips_losslessly_through_json(self):
+        snapshot = self._populated().snapshot()
+        decoded = json.loads(json.dumps(snapshot))
+        rebuilt = MetricsRegistry.from_snapshot(decoded)
+        assert rebuilt.snapshot() == snapshot
+
+    def test_snapshot_is_sorted_and_stable(self):
+        a = self._populated().snapshot()
+        b = self._populated().snapshot()
+        assert a == b
+        names = [c["name"] for c in a["counters"]]
+        assert names == sorted(names)
+
+
+class TestPrometheus:
+    def test_golden_output(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs", stage="0").inc(3)
+        registry.gauge("depth").set(2)
+        histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        expected = "\n".join([
+            '# TYPE depth gauge',
+            'depth 2',
+            '# TYPE lat histogram',
+            'lat_bucket{le="0.1"} 1',
+            'lat_bucket{le="1"} 2',
+            'lat_bucket{le="+Inf"} 3',
+            'lat_sum 5.55',
+            'lat_count 3',
+            '# TYPE reqs counter',
+            'reqs{stage="0"} 3',
+        ]) + "\n"
+        assert registry.to_prometheus() == expected
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestNullRegistry:
+    def test_null_metrics_are_shared_singletons(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+        assert NULL_REGISTRY.gauge("a") is NULL_REGISTRY.gauge("b")
+        assert NULL_REGISTRY.histogram("a") \
+            is NULL_REGISTRY.histogram("b", buckets=(1,))
+
+    def test_null_registry_records_nothing(self):
+        NULL_REGISTRY.counter("a").inc(10)
+        NULL_REGISTRY.gauge("a").set(10)
+        NULL_REGISTRY.histogram("a").observe(10)
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": [], "gauges": [], "histograms": [],
+        }
+        assert NULL_REGISTRY.to_prometheus() == ""

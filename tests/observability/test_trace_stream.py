@@ -1,0 +1,182 @@
+"""End-to-end: a faulted stream run's trace must agree exactly with
+:class:`StreamStats` — every retry, restart, and dead-letter that the
+runtime counts appears as a span, and vice versa."""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.observability import Observability
+from repro.planner.allocation import allocate_even
+from repro.planner.plan import ClusterSpec
+from repro.protocol import DataProvider, ModelProvider
+from repro.stream import FaultPlan, Pipeline, RetryPolicy
+from repro.stream.pipeline import StreamStats
+
+FAST_RETRIES = RetryPolicy(max_retries=3, base_delay=0.002,
+                           max_delay=0.02)
+
+
+def _stream_threads():
+    prefixes = ("stage-", "stream-")
+    return [t.name for t in threading.enumerate()
+            if t.name.startswith(prefixes)]
+
+
+def assert_no_stream_threads():
+    for _ in range(100):
+        if not _stream_threads():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"leaked stream threads: {_stream_threads()}")
+
+
+def _build_observed_pipeline(trained, **kwargs):
+    config = RuntimeConfig(key_size=128, seed=91)
+    obs = Observability(enabled=True)
+    model_provider = ModelProvider(trained, decimals=3, config=config,
+                                   obs=obs)
+    data_provider = DataProvider(value_decimals=3, config=config,
+                                 obs=obs)
+    cluster = ClusterSpec.homogeneous(1, 1, 2)
+    plan = allocate_even(model_provider.stages, cluster).plan
+    kwargs.setdefault("retry_policy", FAST_RETRIES)
+    return Pipeline(model_provider, data_provider, plan, obs=obs,
+                    **kwargs), obs
+
+
+class TestFaultedRunTraces:
+    def test_span_counts_match_stream_stats_exactly(
+            self, trained_breast, breast_dataset):
+        fault_plan = FaultPlan.parse(
+            "transient:stage=0:request=1:count=2;"
+            "crash:stage=2:request=2;"
+            "permanent:stage=0:request=3"
+        )
+        pipeline, obs = _build_observed_pipeline(
+            trained_breast, fault_plan=fault_plan,
+        )
+        inputs = list(breast_dataset.test_x[:5])
+        stats = pipeline.run_stream(inputs)
+        assert_no_stream_threads()
+        tracer = obs.tracer
+
+        # The run itself saw: 2 transient retries, 1 restart, 1
+        # dead-letter — and the trace must reconstruct each of them.
+        assert stats.total_retries == 2
+        assert stats.total_restarts == 1
+        assert len(stats.dead_letters) == 1
+
+        assert len(tracer.spans(name="retry")) == stats.total_retries
+        assert len(tracer.spans(name="restart")) \
+            == stats.total_restarts
+        assert len(tracer.spans(name="dead-letter")) \
+            == len(stats.dead_letters)
+
+        # One root span per admitted request, all finished, with the
+        # sink-assigned outcome.
+        requests = tracer.spans(name="request")
+        assert len(requests) == len(inputs)
+        assert all(span.end is not None for span in requests)
+        outcomes = sorted(span.attrs["outcome"] for span in requests)
+        assert outcomes.count("dead-letter") == len(stats.dead_letters)
+        assert outcomes.count("completed") == len(stats.results)
+
+    def test_events_land_on_the_right_request_trace(
+            self, trained_breast, breast_dataset):
+        fault_plan = FaultPlan.parse(
+            "transient:stage=0:request=1:count=2;"
+            "crash:stage=2:request=2;"
+            "permanent:stage=0:request=3"
+        )
+        pipeline, obs = _build_observed_pipeline(
+            trained_breast, fault_plan=fault_plan,
+        )
+        stats = pipeline.run_stream(list(breast_dataset.test_x[:5]))
+        tracer = obs.tracer
+
+        for span in tracer.spans(name="retry"):
+            assert span.attrs["request_id"] == 1
+        for span in tracer.spans(name="restart"):
+            assert span.attrs["stage"] == 2
+        (dead,) = tracer.spans(name="dead-letter")
+        (letter,) = stats.dead_letters
+        assert dead.attrs["request_id"] == letter.request_id == 3
+        assert dead.attrs["reason"] == letter.reason
+        assert dead.attrs["attempts"] == letter.attempts
+
+        # Each trace holds exactly one root and every span of that
+        # trace shares its trace_id (propagated across stage threads).
+        for trace_id in tracer.trace_ids():
+            roots = tracer.tree(trace_id)
+            assert len(roots) == 1
+            assert roots[0]["span"].name == "request"
+
+    def test_healthy_run_has_no_failure_spans(
+            self, trained_breast, breast_dataset):
+        pipeline, obs = _build_observed_pipeline(trained_breast)
+        stats = pipeline.run_stream(list(breast_dataset.test_x[:3]))
+        tracer = obs.tracer
+        assert stats.total_retries == 0
+        assert tracer.spans(name="retry") == []
+        assert tracer.spans(name="restart") == []
+        assert tracer.spans(name="dead-letter") == []
+        assert len(tracer.spans(name="request")) == 3
+        # Stage spans: one per (request, stage).
+        num_stages = len(pipeline._executors)
+        stage_spans = [s for s in tracer.spans()
+                       if s.name.startswith("stage-")]
+        assert len(stage_spans) == 3 * num_stages
+
+    def test_disabled_observability_records_nothing(
+            self, trained_breast, breast_dataset):
+        config = RuntimeConfig(key_size=128, seed=91)
+        model_provider = ModelProvider(trained_breast, decimals=3,
+                                       config=config)
+        data_provider = DataProvider(value_decimals=3, config=config)
+        cluster = ClusterSpec.homogeneous(1, 1, 2)
+        plan = allocate_even(model_provider.stages, cluster).plan
+        pipeline = Pipeline(model_provider, data_provider, plan,
+                            retry_policy=FAST_RETRIES)
+        assert not pipeline.obs.enabled
+        stats = pipeline.run_stream(list(breast_dataset.test_x[:2]))
+        assert len(stats.results) == 2
+        assert pipeline.obs.tracer.spans() == []
+        assert pipeline.obs.registry.snapshot() == {
+            "counters": [], "gauges": [], "histograms": [],
+        }
+
+
+class TestMeanLatencyAllDeadLettered:
+    def test_mean_latency_is_nan_not_an_error(self, trained_breast,
+                                              breast_dataset):
+        """Regression: an all-dead-letter run used to raise
+        StreamError from ``mean_latency`` (e.g. inside
+        ``utilization_report``); it now reports NaN gracefully."""
+        inputs = list(breast_dataset.test_x[:2])
+        fault_plan = FaultPlan.parse(
+            "permanent:stage=0:request=0;permanent:stage=0:request=1"
+        )
+        pipeline, _ = _build_observed_pipeline(trained_breast,
+                                               fault_plan=fault_plan)
+        stats = pipeline.run_stream(inputs)
+        assert stats.results == []
+        assert len(stats.dead_letters) == len(inputs)
+        assert math.isnan(stats.mean_latency)
+        report = stats.utilization_report()
+        assert "dead-lettered" in report
+
+    def test_empty_stats_mean_latency_is_nan(self):
+        assert math.isnan(StreamStats().mean_latency)
+
+    def test_mean_latency_still_real_when_results_exist(
+            self, trained_breast, breast_dataset):
+        pipeline, _ = _build_observed_pipeline(trained_breast)
+        stats = pipeline.run_stream(list(breast_dataset.test_x[:2]))
+        assert stats.mean_latency > 0
+        assert not math.isnan(stats.mean_latency)

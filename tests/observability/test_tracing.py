@@ -1,0 +1,161 @@
+"""Tracer unit tests: span nesting, cross-thread trace propagation,
+tree reconstruction, and the allocation-free no-op mode."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.observability.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    Tracer,
+)
+
+
+class TestSpans:
+    def test_span_nesting_reconstructs_as_a_tree(self):
+        tracer = Tracer()
+        trace_id = tracer.new_trace_id("t")
+        with tracer.span("root", trace_id=trace_id) as root:
+            with tracer.span("child-a", trace_id=trace_id,
+                             parent_id=root.span_id) as child:
+                tracer.event("leaf", trace_id=trace_id,
+                             parent_id=child.span_id)
+            with tracer.span("child-b", trace_id=trace_id,
+                             parent_id=root.span_id):
+                pass
+        roots = tracer.tree(trace_id)
+        assert len(roots) == 1
+        assert roots[0]["span"].name == "root"
+        children = sorted(c["span"].name for c in roots[0]["children"])
+        assert children == ["child-a", "child-b"]
+        (child_a,) = [c for c in roots[0]["children"]
+                      if c["span"].name == "child-a"]
+        assert [n["span"].name for n in child_a["children"]] == ["leaf"]
+
+    def test_finish_is_idempotent_and_duration_monotonic(self):
+        tracer = Tracer()
+        span = tracer.begin_span("op")
+        assert span.duration == 0.0  # still open
+        span.finish()
+        first_end = span.end
+        span.finish()
+        assert span.end == first_end
+        assert span.duration >= 0.0
+
+    def test_event_has_zero_duration(self):
+        tracer = Tracer()
+        event = tracer.event("retry", attempt=1)
+        assert event.duration == 0.0
+        assert event.attrs["attempt"] == 1
+
+    def test_exception_recorded_on_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise ValueError("payload")
+        except ValueError:
+            pass
+        (span,) = tracer.spans(name="boom")
+        assert "ValueError" in span.attrs["error"]
+        assert span.end is not None
+
+    def test_orphan_parent_is_treated_as_root(self):
+        tracer = Tracer()
+        trace_id = tracer.new_trace_id()
+        tracer.event("stray", trace_id=trace_id, parent_id="missing")
+        roots = tracer.tree(trace_id)
+        assert [r["span"].name for r in roots] == ["stray"]
+
+    def test_export_and_render(self):
+        tracer = Tracer()
+        trace_id = tracer.new_trace_id("req")
+        with tracer.span("request", trace_id=trace_id,
+                         request_id=7) as root:
+            tracer.event("retry", trace_id=trace_id,
+                         parent_id=root.span_id)
+        exported = tracer.export()
+        assert all(isinstance(d, dict) for d in exported)
+        assert {d["name"] for d in exported} == {"request", "retry"}
+        text = tracer.render(trace_id)
+        assert "request" in text and "retry" in text
+        assert text.splitlines()[0] == f"trace {trace_id}:"
+
+
+class TestCrossThread:
+    def test_trace_id_propagates_across_stage_threads(self):
+        """The stream-runtime pattern: a root span opened on the
+        producer thread, child spans recorded on worker threads, the
+        root finished on the drain thread."""
+        tracer = Tracer()
+        trace_id = tracer.new_trace_id("req0")
+        root = tracer.begin_span("request", trace_id=trace_id)
+
+        def stage(index: int) -> None:
+            with tracer.span(f"stage-{index}", trace_id=trace_id,
+                             parent_id=root.span_id):
+                pass
+
+        threads = [threading.Thread(target=stage, args=(index,))
+                   for index in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        root.finish()
+
+        assert len(tracer.spans(trace_id=trace_id)) == 5
+        roots = tracer.tree(trace_id)
+        assert len(roots) == 1
+        names = sorted(c["span"].name for c in roots[0]["children"])
+        assert names == [f"stage-{i}" for i in range(4)]
+
+    def test_trace_ids_are_unique_under_contention(self):
+        tracer = Tracer()
+        seen: list[str] = []
+        lock = threading.Lock()
+
+        def grab() -> None:
+            ids = [tracer.new_trace_id() for _ in range(200)]
+            with lock:
+                seen.extend(ids)
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(seen) == len(set(seen)) == 800
+
+
+class TestNullTracer:
+    def test_no_op_mode_allocates_no_spans(self):
+        context_a = NULL_TRACER.span("a")
+        context_b = NULL_TRACER.span("b", trace_id="t", x=1)
+        assert context_a is context_b  # shared singleton context
+        with context_a as span:
+            assert span is NULL_SPAN
+        assert NULL_TRACER.begin_span("c") is NULL_SPAN
+        assert NULL_TRACER.event("d") is NULL_SPAN
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.trace_ids() == []
+        assert NULL_TRACER.export() == []
+        assert NULL_TRACER.new_trace_id("req") is None
+        assert NULL_TRACER.tree("any") == []
+        assert NULL_TRACER.render("any") == ""
+
+    def test_null_span_absorbs_the_live_span_api(self):
+        NULL_SPAN.set_attr("k", "v")
+        NULL_SPAN.finish()
+        assert NULL_SPAN.attrs == {}
+        assert NULL_SPAN.duration == 0.0
+        assert NULL_SPAN.span_id is None
+
+    def test_live_span_is_a_real_object(self):
+        # Guard against the twins drifting: the enabled tracer must
+        # hand out distinct Span instances.
+        tracer = Tracer()
+        a, b = tracer.begin_span("a"), tracer.begin_span("b")
+        assert isinstance(a, Span) and a is not b
+        assert a.span_id != b.span_id

@@ -1,0 +1,230 @@
+"""Property-based tests for the observability layer.
+
+Two invariants, exercised on random workloads:
+
+* **terminal accounting** — the ``stream_terminal_seconds`` histogram
+  is observed exactly once per request, at its terminal stage (the
+  dead-letter site, or the stage that set the result), so the sum of
+  its per-stage counts equals completed + dead-lettered;
+* **lossless snapshots** — any registry's :meth:`snapshot` survives a
+  JSON encode/decode + :meth:`from_snapshot` rebuild bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PoisonedRequestError, TransientStageError
+from repro.observability import Observability
+from repro.observability.metrics import MetricsRegistry
+from repro.stream.channel import Channel, ChannelClosed
+from repro.stream.retry import RetryPolicy
+from repro.stream.worker import StageWorker
+
+
+class _Item:
+    """Minimal stream item (the worker uses getattr protocols)."""
+
+    def __init__(self, request_id: int):
+        self.request_id = request_id
+        self.enqueue_time = time.perf_counter()
+        self.result = None
+        self.fault = None
+        self.trace_id = None
+        self.trace_parent = None
+
+
+class _ScriptedExecutor:
+    """Per-request scripted behaviour at one stage.
+
+    ``script[request_id]`` is ``(transient_failures, poison)``: fail
+    transiently that many times first, then either poison (permanent,
+    dead-letters the request) or succeed.
+    """
+
+    def __init__(self, stage_index: int, num_stages: int, script):
+        self.stage_index = stage_index
+        self.num_stages = num_stages
+        self.script = script
+        self._attempts: dict[int, int] = {}
+
+    def process(self, item):
+        failures, poison = self.script.get(item.request_id, (0, False))
+        seen = self._attempts.get(item.request_id, 0)
+        self._attempts[item.request_id] = seen + 1
+        if seen < failures:
+            raise TransientStageError(
+                f"flake {seen + 1}/{failures} at stage "
+                f"{self.stage_index}"
+            )
+        if poison:
+            raise PoisonedRequestError(
+                f"poisoned request {item.request_id}"
+            )
+        if self.stage_index == self.num_stages - 1:
+            item.result = [float(item.request_id)]
+        return item
+
+
+def _run_workload(num_stages, num_items, scripts, obs):
+    """Drive items through a chain of StageWorkers; returns
+    (completed, dead_lettered) counts."""
+    channels = [Channel(capacity=num_items + 1)
+                for _ in range(num_stages + 1)]
+    policy = RetryPolicy(max_retries=4, base_delay=0.0, jitter=0.0)
+    workers = [
+        StageWorker(
+            name=f"prop-stage-{index}",
+            executor=_ScriptedExecutor(index, num_stages,
+                                       scripts[index]),
+            inbound=channels[index],
+            outbound=channels[index + 1],
+            retry_policy=policy,
+            dead_letter=True,
+            stage_index=index,
+            seed=index,
+            obs=obs,
+        )
+        for index in range(num_stages)
+    ]
+    for worker in workers:
+        worker.start()
+    for request_id in range(num_items):
+        channels[0].put(_Item(request_id))
+    channels[0].close()
+    completed = dead = 0
+    while True:
+        try:
+            item = channels[-1].get(timeout=10)
+        except ChannelClosed:
+            break
+        if item.fault is not None:
+            dead += 1
+        else:
+            completed += 1
+    for worker in workers:
+        worker.join(timeout=10)
+    return completed, dead
+
+
+@st.composite
+def workloads(draw):
+    num_stages = draw(st.integers(min_value=1, max_value=4))
+    num_items = draw(st.integers(min_value=1, max_value=8))
+    scripts = []
+    for _ in range(num_stages):
+        script = {}
+        for request_id in range(num_items):
+            failures = draw(st.integers(min_value=0, max_value=2))
+            poison = draw(st.booleans())
+            if failures or poison:
+                script[request_id] = (failures, poison)
+        scripts.append(script)
+    return num_stages, num_items, scripts
+
+
+class TestTerminalAccounting:
+    @settings(max_examples=15, deadline=None)
+    @given(workload=workloads())
+    def test_terminal_histogram_counts_every_request_once(
+            self, workload):
+        num_stages, num_items, scripts = workload
+        obs = Observability(enabled=True)
+        completed, dead = _run_workload(num_stages, num_items,
+                                        scripts, obs)
+        assert completed + dead == num_items
+
+        snapshot = obs.registry.snapshot()
+        terminal = [h for h in snapshot["histograms"]
+                    if h["name"] == "stream_terminal_seconds"]
+        assert sum(h["count"] for h in terminal) == completed + dead
+
+        # Cross-check the counters against the run's outcome too.
+        dead_counters = [c for c in snapshot["counters"]
+                         if c["name"] == "stream_dead_letters"]
+        assert sum(c["value"] for c in dead_counters) == dead
+
+    @settings(max_examples=15, deadline=None)
+    @given(workload=workloads())
+    def test_service_histogram_counts_items_each_stage_processed(
+            self, workload):
+        """Each stage's service histogram records one observation per
+        live item it processed (retries stay within that one
+        observation; tombstones pass through unobserved)."""
+        num_stages, num_items, scripts = workload
+        obs = Observability(enabled=True)
+        _run_workload(num_stages, num_items, scripts, obs)
+        snapshot = obs.registry.snapshot()
+        service = {h["labels"]["stage"]: h["count"]
+                   for h in snapshot["histograms"]
+                   if h["name"] == "stream_stage_service_seconds"}
+        # Stage 0 sees every item; later stages see whatever earlier
+        # stages did not dead-letter.
+        alive = num_items
+        for index in range(num_stages):
+            assert service.get(str(index), 0) == alive
+            alive -= _dead_at_stage(scripts, index, num_items)
+        assert alive >= 0
+
+
+def _dead_at_stage(scripts, stage_index, num_items) -> int:
+    """How many requests die exactly at ``stage_index``: poisoned
+    there and not already dead earlier."""
+    dead = 0
+    for request_id in range(num_items):
+        died_earlier = any(
+            scripts[earlier].get(request_id, (0, False))[1]
+            for earlier in range(stage_index)
+        )
+        if died_earlier:
+            continue
+        if scripts[stage_index].get(request_id, (0, False))[1]:
+            dead += 1
+    return dead
+
+
+class TestSnapshotRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        counters=st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c"]),
+                      st.sampled_from(["", "0", "1"]),
+                      st.floats(min_value=0, max_value=1e9,
+                                allow_nan=False)),
+            max_size=8,
+        ),
+        gauges=st.lists(
+            st.tuples(st.sampled_from(["g", "h"]),
+                      st.floats(min_value=-1e9, max_value=1e9,
+                                allow_nan=False)),
+            max_size=5,
+        ),
+        observations=st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            max_size=30,
+        ),
+    )
+    def test_snapshot_json_round_trip_is_lossless(
+            self, counters, gauges, observations):
+        registry = MetricsRegistry()
+        for name, stage, amount in counters:
+            if stage:
+                registry.counter(name, stage=stage).inc(amount)
+            else:
+                registry.counter(name).inc(amount)
+        for name, value in gauges:
+            registry.gauge(name).set(value)
+        histogram = registry.histogram("lat",
+                                       buckets=(0.5, 5.0, 50.0))
+        for value in observations:
+            histogram.observe(value)
+
+        snapshot = registry.snapshot()
+        decoded = json.loads(json.dumps(snapshot))
+        rebuilt = MetricsRegistry.from_snapshot(decoded)
+        assert rebuilt.snapshot() == snapshot
+        # And the rebuilt registry keeps exporting identically.
+        assert rebuilt.to_prometheus() == registry.to_prometheus()

@@ -1,0 +1,2 @@
+"""Test package: keeps every test module importable by dotted path
+(guarded by tests/test_collection_guard.py)."""
