@@ -12,7 +12,9 @@ Commands:
 * ``bench [--key-sizes LIST] [--workers N] [--out PATH] [--observe]``
   — run the scalar-vs-engine Paillier micro-benchmark
   (docs/PERFORMANCE.md) and write ``BENCH_paillier.json``;
-  ``--observe`` embeds a metrics breakdown per key size.
+  ``--observe`` embeds a metrics breakdown per key size.  With
+  ``--packed [--batch-sizes LIST]`` it instead benchmarks lane-packed
+  vs unpacked batched inference and writes ``BENCH_packing.json``.
 * ``metrics [--workload session|stream] [--format json|prometheus]
   [--traces]`` — run a small workload with observability enabled
   (docs/OBSERVABILITY.md) and dump the metrics registry, optionally
@@ -123,11 +125,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: bad --key-sizes {args.key_sizes!r}",
               file=sys.stderr)
         return 2
+    if args.packed:
+        from .bench import render_packing_bench, run_packing_bench
+
+        try:
+            batch_sizes = tuple(
+                int(part) for part in args.batch_sizes.split(",") if part
+            )
+        except ValueError:
+            print(f"error: bad --batch-sizes {args.batch_sizes!r}",
+                  file=sys.stderr)
+            return 2
+        out = args.out
+        if out == "BENCH_paillier.json":
+            out = "BENCH_packing.json"
+        fc_dim = args.fc_dim if args.fc_dim is not None else 32
+        results = run_packing_bench(
+            key_sizes=key_sizes,
+            batch_sizes=batch_sizes,
+            fc_shape=(fc_dim, fc_dim),
+            seed=args.seed,
+            repeats=args.repeats,
+            workers=args.workers,
+        )
+        write_bench_json(results, out)
+        print(render_packing_bench(results))
+        print(f"wrote {out}")
+        return 0
+    fc_dim = args.fc_dim if args.fc_dim is not None else 64
     results = run_paillier_bench(
         key_sizes=key_sizes,
         workers=args.workers,
         elements=args.elements,
-        fc_shape=(args.fc_dim, args.fc_dim),
+        fc_shape=(fc_dim, fc_dim),
         seed=args.seed,
         repeats=args.repeats,
         observe=args.observe,
@@ -281,8 +311,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="engine process-pool size (default: 4)")
     bench.add_argument("--elements", type=int, default=48,
                        help="batch size for encrypt/decrypt/add/mul")
-    bench.add_argument("--fc-dim", type=int, default=64, dest="fc_dim",
-                       help="FC matvec dimension (square, default 64)")
+    bench.add_argument("--fc-dim", type=int, default=None, dest="fc_dim",
+                       help="FC matvec dimension (square; default 64, "
+                            "or 32 with --packed)")
     bench.add_argument("--repeats", type=int, default=1)
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--out", default="BENCH_paillier.json",
@@ -291,6 +322,14 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--observe", action="store_true",
                        help="run the engine with observability on and "
                             "embed a metrics breakdown per key size")
+    bench.add_argument("--packed", action="store_true",
+                       help="run the lane-packing benchmark instead "
+                            "(writes BENCH_packing.json unless --out "
+                            "is given)")
+    bench.add_argument("--batch-sizes", default="4,8,16",
+                       dest="batch_sizes",
+                       help="comma-separated batch sizes for --packed "
+                            "(default: 4,8,16)")
     bench.set_defaults(func=_cmd_bench)
 
     metrics = subparsers.add_parser(

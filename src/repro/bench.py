@@ -33,9 +33,10 @@ from typing import Sequence
 
 import numpy as np
 
+from .crypto.encoding import LanePacker
 from .crypto.engine import PaillierEngine
 from .crypto.paillier import generate_keypair
-from .crypto.tensor import EncryptedTensor
+from .crypto.tensor import EncryptedTensor, PackedEncryptedTensor
 from .errors import ReproError
 from .observability import Observability
 
@@ -55,6 +56,13 @@ DEFAULT_CONV = {"in_shape": (1, 8, 8), "out_channels": 4, "kernel": 3}
 #: Magnitude of the scaled integer weights (10^6 = the paper's largest
 #: scaling factor, ~20-bit exponents).
 WEIGHT_MAGNITUDE = 10 ** 6
+
+#: Batch sizes exercised by the lane-packing benchmark.
+DEFAULT_BATCH_SIZES = (4, 8, 16)
+
+#: FC shape of the lane-packing benchmark (smaller than the scalar
+#: bench: the unpacked baseline runs the matvec once per sample).
+DEFAULT_PACKING_FC_SHAPE = (32, 32)
 
 
 def _timed(fn, repeats: int) -> float:
@@ -277,6 +285,211 @@ def _bench_key_size(public, private, engine, plaintexts, rng,
             shape=list(affine.weight.shape), nonzero_weights=nonzero,
         )
     return row
+
+
+def _packed_entry(unpacked_seconds: float, packed_seconds: float,
+                  ops: int, **extra) -> dict:
+    entry = {
+        "ops": ops,
+        "unpacked_seconds": unpacked_seconds,
+        "packed_seconds": packed_seconds,
+        "unpacked_ops_per_sec": ops / unpacked_seconds
+        if unpacked_seconds > 0 else float("inf"),
+        "packed_ops_per_sec": ops / packed_seconds
+        if packed_seconds > 0 else float("inf"),
+        "speedup": unpacked_seconds / packed_seconds
+        if packed_seconds > 0 else float("inf"),
+    }
+    entry.update(extra)
+    return entry
+
+
+def run_packing_bench(
+    key_sizes: Sequence[int] = DEFAULT_KEY_SIZES,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    fc_shape: tuple[int, int] = DEFAULT_PACKING_FC_SHAPE,
+    seed: int = 0,
+    repeats: int = 1,
+    workers: int = 0,
+) -> dict:
+    """Lane-packed vs unpacked engine throughput per key/batch size.
+
+    The unpacked baseline runs the *engine* path (blinding pool, power
+    caches) once per batch sample — i.e. the packing win is measured on
+    top of every other amortization, not against the scalar loop.
+    Before timing, the packed decode is checked value-identical to the
+    unpacked reference under the same seed; batch sizes the key cannot
+    carry are reported as skipped with the capacity that refused them
+    (the same criterion the protocol's admission check applies).
+    """
+    if repeats < 1:
+        raise ReproError("repeats must be >= 1")
+    out_dim, in_dim = fc_shape
+    results: dict = {
+        "benchmark": "paillier_packing",
+        "fc_shape": [out_dim, in_dim],
+        "batch_sizes": [int(b) for b in batch_sizes],
+        "repeats": repeats,
+        "seed": seed,
+        "workers": workers,
+        "key_sizes": {},
+    }
+    # Worst-case matvec output magnitude for the weight/input ranges
+    # drawn below — exactly how the protocol sizes lanes from the
+    # headroom peak bound.
+    bound = in_dim * (WEIGHT_MAGNITUDE - 1) * 128 + WEIGHT_MAGNITUDE
+    mag_bits = bound.bit_length()
+    for key_size in key_sizes:
+        t0 = time.perf_counter()
+        public, private = generate_keypair(key_size, seed=seed)
+        keygen_seconds = time.perf_counter() - t0
+        rng = random.Random(seed)
+        weight = np.array(
+            [[rng.randrange(-WEIGHT_MAGNITUDE, WEIGHT_MAGNITUDE)
+              for _ in range(in_dim)] for _ in range(out_dim)],
+            dtype=np.int64,
+        )
+        bias = np.array(
+            [rng.randrange(-WEIGHT_MAGNITUDE, WEIGHT_MAGNITUDE)
+             for _ in range(out_dim)], dtype=np.int64,
+        )
+        row: dict = {"keygen_seconds": keygen_seconds,
+                     "mag_bits": mag_bits, "batches": {}}
+        engine = PaillierEngine(
+            public, private_key=private, workers=workers,
+            pool_size=4 * in_dim, seed=seed + 1,
+        )
+        try:
+            for batch in batch_sizes:
+                capacity = LanePacker.capacity(public, mag_bits)
+                if capacity < batch:
+                    row["batches"][str(batch)] = {
+                        "skipped": True,
+                        "reason": f"{batch} lanes exceed the "
+                                  f"{capacity}-lane capacity",
+                        "capacity": capacity,
+                    }
+                    continue
+                packer = LanePacker(public, lanes=batch,
+                                    mag_bits=mag_bits)
+                row["batches"][str(batch)] = _bench_packing_batch(
+                    public, private, engine, packer, weight, bias,
+                    batch, in_dim, out_dim, seed, repeats,
+                )
+        finally:
+            engine.close()
+        results["key_sizes"][str(key_size)] = row
+    return results
+
+
+def _bench_packing_batch(public, private, engine, packer, weight, bias,
+                         batch, in_dim, out_dim, seed, repeats) -> dict:
+    rng = random.Random(seed + batch)
+    xs = np.array(
+        [[rng.randrange(-128, 128) for _ in range(in_dim)]
+         for _ in range(batch)],
+        dtype=np.int64,
+    )
+
+    # -- encrypt: B scalar-cell tensors vs one packed tensor ----------
+    unpacked_s = _timed(
+        lambda: [EncryptedTensor.encrypt(x, public, engine=engine)
+                 for x in xs],
+        repeats,
+    )
+    packed_s = _timed(
+        lambda: PackedEncryptedTensor.encrypt_batch(xs, packer,
+                                                    engine=engine),
+        repeats,
+    )
+    entry: dict = {
+        "lanes": batch,
+        "lane_bits": packer.lane_bits,
+        "capacity": LanePacker.capacity(public, packer.mag_bits),
+        "encrypt": _packed_entry(unpacked_s, packed_s, batch * in_dim),
+    }
+
+    # -- correctness gate + fc_matvec ---------------------------------
+    tensors = [EncryptedTensor.encrypt(x, public, engine=engine)
+               for x in xs]
+    packed_tensor = PackedEncryptedTensor.encrypt_batch(
+        xs, packer, engine=engine
+    )
+    encrypted_bias = EncryptedTensor.encrypt(bias, public,
+                                             engine=engine)
+    packed_bias = PackedEncryptedTensor.encrypt_batch(
+        np.tile(bias, (batch, 1)), packer, engine=engine
+    )
+    unpacked_ref = np.stack([
+        t.affine(weight, encrypted_bias, engine=engine)
+        .decrypt(private, engine=engine)
+        for t in tensors
+    ])
+    packed_ref = packed_tensor.affine(
+        weight, packed_bias, engine=engine
+    ).decrypt(private, engine=engine)
+    if unpacked_ref.tolist() != packed_ref.tolist():
+        raise ReproError(
+            "packed matvec decode diverged from the unpacked "
+            "reference; refusing to benchmark a wrong kernel"
+        )
+    entry["decode_identical"] = True
+    unpacked_s = _timed(
+        lambda: [t.affine(weight, encrypted_bias, engine=engine)
+                 for t in tensors],
+        repeats,
+    )
+    packed_s = _timed(
+        lambda: packed_tensor.affine(weight, packed_bias,
+                                     engine=engine),
+        repeats,
+    )
+    entry["fc_matvec"] = _packed_entry(
+        unpacked_s, packed_s, batch * out_dim * in_dim,
+        shape=[out_dim, in_dim],
+    )
+
+    # -- decrypt ------------------------------------------------------
+    unpacked_s = _timed(
+        lambda: [t.decrypt(private, engine=engine) for t in tensors],
+        repeats,
+    )
+    packed_s = _timed(
+        lambda: packed_tensor.decrypt(private, engine=engine), repeats
+    )
+    entry["decrypt"] = _packed_entry(unpacked_s, packed_s,
+                                     batch * in_dim)
+    return entry
+
+
+def render_packing_bench(results: dict) -> str:
+    """Human-readable summary table of a packing BENCH document."""
+    lines = [
+        "Paillier lane-packing benchmark "
+        f"(fc={tuple(results['fc_shape'])}, "
+        f"workers={results['workers']})",
+        f"{'key':>6} {'batch':>6} {'op':<10} "
+        f"{'unpacked ops/s':>15} {'packed ops/s':>14} {'speedup':>9}",
+    ]
+    for key_size, row in sorted(results["key_sizes"].items(),
+                                key=lambda kv: int(kv[0])):
+        for batch, entry in sorted(row["batches"].items(),
+                                   key=lambda kv: int(kv[0])):
+            if entry.get("skipped"):
+                lines.append(
+                    f"{key_size:>6} {batch:>6} "
+                    f"skipped: {entry['reason']}"
+                )
+                continue
+            for op in ("encrypt", "fc_matvec", "decrypt"):
+                stats = entry[op]
+                lines.append(
+                    f"{key_size:>6} {batch:>6} {op:<10} "
+                    f"{stats['unpacked_ops_per_sec']:>15.1f} "
+                    f"{stats['packed_ops_per_sec']:>14.1f} "
+                    f"{stats['speedup']:>8.2f}x"
+                )
+    return "\n".join(lines)
 
 
 def write_bench_json(results: dict, path: str) -> None:

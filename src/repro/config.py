@@ -64,6 +64,18 @@ class RuntimeConfig:
         power_window_bits: window width of the engine's fixed-base
             exponentiation tables (the per-ciphertext power cache used
             by FC/conv matvecs).
+        dispatch_min_items: the engine's process-dispatch break-even
+            threshold — batches smaller than this run inline even when
+            ``workers > 0``, because fork/pickle overhead dwarfs the
+            arithmetic at small sizes (BENCH_paillier.json showed
+            ``decrypt_many`` regressing below 1x at 48 ops when
+            dispatched).
+        pack_lanes: requested batch-axis lane count for lane-packed
+            inference (:class:`repro.crypto.encoding.LanePacker`).
+            0 (the default) disables packing; with ``pack_lanes = B``,
+            ``InferenceSession.run_batch`` packs B samples per
+            ciphertext when the headroom analysis admits the model,
+            falling back to per-sample runs otherwise.
         observability: enable the metrics registry + tracer
             (:mod:`repro.observability`).  Off by default: disabled
             observability hands every hot path shared no-op objects,
@@ -80,6 +92,8 @@ class RuntimeConfig:
     workers: int = 0
     blinding_pool_size: int = 128
     power_window_bits: int = 4
+    dispatch_min_items: int = 64
+    pack_lanes: int = 0
     observability: bool = False
 
     def __post_init__(self) -> None:
@@ -120,6 +134,15 @@ class RuntimeConfig:
                 "power_window_bits must be in [1, 16], got "
                 f"{self.power_window_bits}"
             )
+        if self.dispatch_min_items < 1:
+            raise ConfigurationError(
+                "dispatch_min_items must be >= 1, got "
+                f"{self.dispatch_min_items}"
+            )
+        if self.pack_lanes < 0:
+            raise ConfigurationError(
+                f"pack_lanes must be non-negative, got {self.pack_lanes}"
+            )
 
     def with_key_size(self, key_size: int) -> "RuntimeConfig":
         """Return a copy of this config with a different key size."""
@@ -137,6 +160,17 @@ class RuntimeConfig:
     def with_observability(self, enabled: bool = True) -> "RuntimeConfig":
         """Return a copy of this config with observability toggled."""
         return replace(self, observability=enabled)
+
+    def with_pack_lanes(self, pack_lanes: int) -> "RuntimeConfig":
+        """Return a copy of this config with a different batch-axis
+        lane count for lane-packed inference."""
+        return replace(self, pack_lanes=pack_lanes)
+
+    def with_dispatch_min_items(self, dispatch_min_items: int
+                                ) -> "RuntimeConfig":
+        """Return a copy of this config with a different engine
+        process-dispatch break-even threshold."""
+        return replace(self, dispatch_min_items=dispatch_min_items)
 
 
 #: Package-wide default configuration.

@@ -22,9 +22,14 @@ from .paillier import (
     PaillierPublicKey,
     generate_keypair,
 )
-from .encoding import SignedEncoder, FixedPointEncoder
+from .encoding import (
+    DEFAULT_GUARD_BITS,
+    FixedPointEncoder,
+    LanePacker,
+    SignedEncoder,
+)
 from .engine import BlindingPool, PaillierEngine, PowerTable, default_engine
-from .tensor import EncryptedTensor
+from .tensor import EncryptedTensor, PackedEncryptedTensor
 from .serialize import (
     private_key_from_json,
     private_key_to_json,
@@ -46,11 +51,14 @@ __all__ = [
     "generate_keypair",
     "SignedEncoder",
     "FixedPointEncoder",
+    "DEFAULT_GUARD_BITS",
+    "LanePacker",
     "BlindingPool",
     "PaillierEngine",
     "PowerTable",
     "default_engine",
     "EncryptedTensor",
+    "PackedEncryptedTensor",
     "private_key_from_json",
     "private_key_to_json",
     "public_key_from_json",

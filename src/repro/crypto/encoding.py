@@ -15,14 +15,29 @@ bridge the gap:
   ``round(v * 10^f)``.  Multiplying two scaled values multiplies the
   exponents, so the encoder tracks the *accumulated* exponent of a
   homomorphic expression and divides it out on decode.
+
+* :class:`LanePacker` packs the same tensor position of B batch inputs
+  into **one** Z_n plaintext as fixed-width lanes, so one modular
+  exponentiation serves all B batch elements (the ciphertext
+  amortization Popcorn builds batched Paillier inference on).  Each
+  lane carries a signed value in offset form; guard bits keep
+  homomorphic accumulation from ever carrying into the next lane.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..errors import EncodingError
 from .paillier import PaillierPublicKey
+
+#: Default guard bits per lane: homomorphic accumulation may exceed the
+#: advertised per-value magnitude by up to ``2^guard_bits`` before a
+#: lane could carry into its neighbour.  The protocol path sizes lanes
+#: from the headroom analysis's *peak* intermediate bound, so the guard
+#: is pure safety margin there.
+DEFAULT_GUARD_BITS = 2
 
 
 @dataclass(frozen=True)
@@ -134,3 +149,182 @@ class FixedPointEncoder:
         while 10 ** (digits + 1) <= budget:
             digits += 1
         return digits
+
+
+@dataclass(frozen=True)
+class LanePacker:
+    """Batch-axis lane packing of signed integers into one Z_n residue.
+
+    Lane ``k`` of a packed plaintext occupies bits
+    ``[k * lane_bits, (k+1) * lane_bits)`` and stores a signed value
+    ``v`` in offset form ``u = v + offset`` with
+    ``offset = 2^(lane_bits - 1)`` (the lane midpoint), so every lane's
+    content is non-negative and base-``2^lane_bits`` digit extraction
+    recovers it exactly.
+
+    The lane width decomposes as::
+
+        lane_bits = mag_bits + guard_bits + 1
+
+    * ``mag_bits`` — the advertised per-value bound: any packed (or
+      homomorphically computed) value with ``|v| < 2^mag_bits`` is
+      representable.
+    * ``guard_bits`` — slack for homomorphic accumulation: a lane only
+      carries into its neighbour once ``|v| >= 2^(mag_bits +
+      guard_bits)``, i.e. the true value exceeded the advertised bound
+      ``2^guard_bits``-fold.
+    * the final bit holds the offset (sign) headroom.
+
+    Homomorphic ops act on all lanes at once.  Addition of two packed
+    plaintexts adds lane-wise but doubles the offset; scalar
+    multiplication by ``w`` scales the offset by ``w`` (and a negative
+    ``w`` drives lanes "virtually negative" mod n).  Both are repaired
+    by adding the packed constant :meth:`rebias_residue` — arithmetic
+    mod n is exact, so intermediate out-of-range lane states are fine
+    as long as the *final* residue has every lane back in
+    ``[0, 2^lane_bits)`` before decoding.  Callers track the current
+    per-lane offset (see ``PackedEncryptedTensor.lane_offset``).
+
+    Capacity: ``lanes * lane_bits`` must fit strictly below the
+    modulus, enforced as ``<= n.bit_length() - 1`` so a fully-occupied
+    packed value is always ``< 2^(n_bits - 1) <= n``.
+    """
+
+    public_key: PaillierPublicKey
+    lanes: int
+    mag_bits: int
+    guard_bits: int = DEFAULT_GUARD_BITS
+
+    def __post_init__(self) -> None:
+        if self.lanes < 1:
+            raise EncodingError(f"lanes must be >= 1, got {self.lanes}")
+        if self.mag_bits < 1:
+            raise EncodingError(
+                f"mag_bits must be >= 1, got {self.mag_bits}"
+            )
+        if self.guard_bits < 0:
+            raise EncodingError(
+                f"guard_bits must be >= 0, got {self.guard_bits}"
+            )
+        if self.lanes * self.lane_bits > self.capacity_bits:
+            raise EncodingError(
+                f"{self.lanes} lanes of {self.lane_bits} bits exceed "
+                f"the {self.capacity_bits}-bit packing capacity of "
+                f"this {self.public_key.key_size}-bit key"
+            )
+
+    @property
+    def lane_bits(self) -> int:
+        """Width of one lane in bits."""
+        return self.mag_bits + self.guard_bits + 1
+
+    @property
+    def capacity_bits(self) -> int:
+        """Packable bits: every packed residue stays below ``n``."""
+        return self.public_key.n.bit_length() - 1
+
+    @classmethod
+    def capacity(cls, public_key: PaillierPublicKey, mag_bits: int,
+                 guard_bits: int = DEFAULT_GUARD_BITS) -> int:
+        """Max lanes of the given geometry that fit under this key."""
+        lane_bits = mag_bits + guard_bits + 1
+        return (public_key.n.bit_length() - 1) // lane_bits
+
+    @property
+    def offset(self) -> int:
+        """The canonical per-lane offset (lane midpoint)."""
+        return 1 << (self.lane_bits - 1)
+
+    @property
+    def max_magnitude(self) -> int:
+        """Largest advertised |value| per lane (``2^mag_bits - 1``)."""
+        return (1 << self.mag_bits) - 1
+
+    @property
+    def ones_mask(self) -> int:
+        """The packed representation of 1-per-lane: multiply by a
+        per-lane constant ``c`` to get the packed constant ``c`` in
+        every lane."""
+        mask = 0
+        for lane in range(self.lanes):
+            mask |= 1 << (lane * self.lane_bits)
+        return mask
+
+    def pack(self, values: Sequence[int]) -> int:
+        """Pack up to ``lanes`` signed integers into one Z_n residue.
+
+        Lane ``k`` holds ``values[k]``; missing trailing lanes pack 0.
+        Every lane is stored at the canonical :attr:`offset`.
+
+        Raises:
+            EncodingError: too many values, or one exceeds the
+                advertised magnitude.
+        """
+        values = list(values)
+        if len(values) > self.lanes:
+            raise EncodingError(
+                f"{len(values)} values exceed the {self.lanes}-lane "
+                "capacity"
+            )
+        offset = self.offset
+        limit = self.max_magnitude
+        packed = 0
+        shift = 0
+        width = self.lane_bits
+        for value in values:
+            value = int(value)
+            if abs(value) > limit:
+                raise EncodingError(
+                    f"value {value} exceeds the advertised lane "
+                    f"magnitude +/-{limit}"
+                )
+            packed |= (value + offset) << shift
+            shift += width
+        return packed
+
+    def unpack(self, residue: int, count: int | None = None,
+               lane_offset: int | None = None) -> list[int]:
+        """Extract ``count`` signed lane values from a packed residue.
+
+        Args:
+            residue: packed Z_n residue (e.g. a decryption result).
+            count: occupied lanes to decode (default: all lanes).
+            lane_offset: the per-lane offset the residue currently
+                carries (default: the canonical :attr:`offset`).
+
+        Raises:
+            EncodingError: the residue has bits above the top lane —
+                the signature of a lane carry/overflow upstream.
+        """
+        if count is None:
+            count = self.lanes
+        if not 0 <= count <= self.lanes:
+            raise EncodingError(
+                f"count {count} out of range [0, {self.lanes}]"
+            )
+        if lane_offset is None:
+            lane_offset = self.offset
+        if residue < 0:
+            raise EncodingError("packed residue must be non-negative")
+        width = self.lane_bits
+        if residue >> (self.lanes * width):
+            raise EncodingError(
+                "packed residue overflows the lane budget — a lane "
+                "carried, or the value was not lane-packed"
+            )
+        mask = (1 << width) - 1
+        out = []
+        for lane in range(count):
+            out.append(((residue >> (lane * width)) & mask)
+                       - lane_offset)
+        return out
+
+    def rebias_residue(self, delta: int) -> int:
+        """The Z_n residue that adds ``delta`` to **every** lane.
+
+        Homomorphically adding this residue (one modular multiply by
+        ``1 + n * residue``) shifts each lane's offset by ``delta``;
+        negative deltas wrap mod n and the borrows cancel lane-wise as
+        long as the final lane contents land back in range.
+        """
+        return (delta * self.ones_mask) % self.public_key.n

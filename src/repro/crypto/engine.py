@@ -33,7 +33,19 @@ lives or dies on):
    exponents across output positions.  A fixed-base windowed table
    (:class:`PowerTable`) precomputes ``c^(d * 2^(w*t))`` once per
    ciphertext; each subsequent exponentiation is then a handful of
-   multiplies instead of a full square-and-multiply ladder.
+   multiplies instead of a full square-and-multiply ladder.  Repeated
+   quantized weights are deduplicated per input ciphertext on top:
+   conv layers (via im2col) raise each ciphertext to the *same* kernel
+   weight at many output positions, so each distinct (ciphertext,
+   weight) pair is exponentiated exactly once and reused.
+5. **Lane packing** — the packed fast paths
+   (:meth:`PaillierEngine.encrypt_many_packed` /
+   :meth:`~PaillierEngine.decrypt_many_packed` /
+   :meth:`~PaillierEngine.fc_matvec_packed`) carry B batch elements per
+   ciphertext as fixed-width lanes
+   (:class:`repro.crypto.encoding.LanePacker`), so every modular
+   exponentiation — and every pooled blinding factor and CRT
+   decryption — is amortized over B values.
 
 All batched paths produce ciphertexts **bit-identical** to the scalar
 reference implementation in :mod:`repro.crypto.paillier` given the
@@ -55,6 +67,7 @@ import numpy as np
 from ..errors import CryptoError, EncryptionError, KeyMismatchError
 from ..observability import OBS_OFF, Observability
 from ..observability.metrics import SIZE_BUCKETS
+from .encoding import LanePacker
 from .math_utils import invmod, sample_coprime
 from .paillier import (
     EncryptedNumber,
@@ -68,9 +81,12 @@ DEFAULT_POOL_SIZE = 128
 #: Default window width (bits) of the fixed-base power tables.
 DEFAULT_WINDOW_BITS = 4
 
-#: Below this many items a batch runs inline even when workers > 0:
-#: fork/pickle overhead dwarfs the arithmetic for tiny batches.
-_MIN_ITEMS_PER_DISPATCH = 8
+#: Default process-dispatch break-even threshold: below this many items
+#: a batch runs inline even when workers > 0, because fork/pickle
+#: overhead dwarfs the arithmetic (BENCH_paillier.json showed
+#: ``decrypt_many`` *regressing* to 0.98x at 48 ops when dispatched).
+#: Tunable via :attr:`repro.config.RuntimeConfig.dispatch_min_items`.
+DEFAULT_DISPATCH_MIN_ITEMS = 64
 
 
 # ----------------------------------------------------------------------
@@ -192,26 +208,34 @@ def _matvec_partial(
 
     Walks column by column so each input ciphertext's power table (and
     the inverse-base table for negative weights) is built once and
-    reused across every output row that touches it.  Falls back to
-    plain ``pow`` for columns with too few non-zero uses to amortize a
-    table.
+    reused across every output row that touches it.  Repeated weights
+    within a column are deduplicated — an im2col conv matrix raises
+    each input ciphertext to the *same* kernel weight at many output
+    positions, so each distinct (ciphertext, weight) pair costs one
+    exponentiation and every further use is a dictionary hit.  Falls
+    back to plain ``pow`` for columns with too few distinct non-zero
+    weights to amortize a table.
 
     ``stats`` (optional, inline path only) accumulates the power-cache
     break-even decisions so the engine can publish them as metrics:
     ``columns_table`` / ``columns_plain`` (which way the break-even
-    heuristic went per column), ``tables_built``, and ``table_pows`` /
-    ``plain_pows`` (per-exponentiation cache use vs fallback).
+    heuristic went per column), ``tables_built``, ``table_pows`` /
+    ``plain_pows`` (per-exponentiation cache use vs fallback), and
+    ``dedup_hits`` (uses served from the per-column weight cache).
     """
     out = [1] * len(rows)
     for i, base in enumerate(cells):
         uses = [(j, row[i]) for j, row in enumerate(rows) if row[i]]
         if not uses:
             continue
-        max_bits = max(abs(w) for _, w in uses).bit_length()
+        distinct = set(w for _, w in uses)
+        max_bits = max(abs(w) for w in distinct).bit_length()
         positions = -(-max_bits // window_bits)
         build_cost = positions * ((1 << window_bits) - 2 + window_bits)
         saving_per_use = max(1, max_bits - positions)
-        use_table = len(uses) * saving_per_use > build_cost
+        # Only distinct weights pay an exponentiation (duplicates are
+        # cache hits), so the table amortizes over distinct uses.
+        use_table = len(distinct) * saving_per_use > build_cost
         pos_table = (PowerTable(base, n_sq, max_bits, window_bits)
                      if use_table else None)
         if stats is not None:
@@ -221,24 +245,30 @@ def _matvec_partial(
                 stats["tables_built"] += 1
         neg_table = None
         inv_base = None
+        powers: dict[int, int] = {}
         for j, w in uses:
-            if w > 0:
-                v = (pos_table.pow(w) if pos_table
-                     else pow(base, w, n_sq))
-            else:
-                if inv_base is None:
-                    inv_base = invmod(base, n_sq)
-                if use_table and neg_table is None:
-                    neg_table = PowerTable(inv_base, n_sq, max_bits,
-                                           window_bits)
-                    if stats is not None:
-                        stats["tables_built"] += 1
-                v = (neg_table.pow(-w) if neg_table
-                     else pow(inv_base, -w, n_sq))
+            v = powers.get(w)
+            if v is None:
+                if w > 0:
+                    v = (pos_table.pow(w) if pos_table
+                         else pow(base, w, n_sq))
+                else:
+                    if inv_base is None:
+                        inv_base = invmod(base, n_sq)
+                    if use_table and neg_table is None:
+                        neg_table = PowerTable(inv_base, n_sq, max_bits,
+                                               window_bits)
+                        if stats is not None:
+                            stats["tables_built"] += 1
+                    v = (neg_table.pow(-w) if neg_table
+                         else pow(inv_base, -w, n_sq))
+                powers[w] = v
+                if stats is not None:
+                    stats["table_pows" if use_table
+                          else "plain_pows"] += 1
+            elif stats is not None:
+                stats["dedup_hits"] += 1
             out[j] = out[j] * v % n_sq
-            if stats is not None:
-                stats["table_pows" if use_table
-                      else "plain_pows"] += 1
     return out
 
 
@@ -263,9 +293,11 @@ class BlindingPool:
         private_key: PaillierPrivateKey | None = None,
         executor_fn=None,
         obs: Observability | None = None,
+        dispatch_min_items: int = DEFAULT_DISPATCH_MIN_ITEMS,
     ):
         self.public_key = public_key
         self.target_size = max(0, target_size)
+        self.dispatch_min_items = max(1, dispatch_min_items)
         self._rng = rng
         self._factors: deque[int] = deque()
         # Instrumentation handles are resolved once here so the hot
@@ -322,7 +354,7 @@ class BlindingPool:
             return _pow_chunk_crt((rs, p_sq, q_sq, exp_p, exp_q, q_sq_inv))
         self._m_plain.inc(len(rs))
         executor = self._executor_fn() if self._executor_fn else None
-        if executor is not None and len(rs) >= 2 * _MIN_ITEMS_PER_DISPATCH:
+        if executor is not None and len(rs) >= self.dispatch_min_items:
             return _run_chunked(executor, _pow_chunk, rs,
                                 (n, n_sq), registry=self._registry,
                                 op="blinding")
@@ -442,6 +474,12 @@ class PaillierEngine:
             deterministic; ``rng`` overrides it.  With neither, the
             pool uses fresh OS randomness.
         rng: explicit randomness source for the pool.
+        dispatch_min_items: process-dispatch break-even threshold —
+            batches smaller than this run inline even when workers are
+            available (``None`` uses
+            :data:`DEFAULT_DISPATCH_MIN_ITEMS`).  ``force_parallel``
+            drops it to 1 so tests can exercise the process path with
+            tiny batches.
     """
 
     def __init__(
@@ -456,16 +494,25 @@ class PaillierEngine:
         rng: random.Random | None = None,
         force_parallel: bool = False,
         obs: Observability | None = None,
+        dispatch_min_items: int | None = None,
     ):
         if workers < 0:
             raise CryptoError(f"workers must be >= 0, got {workers}")
         if private_key is not None \
                 and private_key.public_key.n != public_key.n:
             raise KeyMismatchError("private key does not match public key")
+        if dispatch_min_items is None:
+            dispatch_min_items = DEFAULT_DISPATCH_MIN_ITEMS
+        if dispatch_min_items < 1:
+            raise CryptoError(
+                f"dispatch_min_items must be >= 1, got {dispatch_min_items}"
+            )
         self.public_key = public_key
         self.private_key = private_key
         self.workers = workers
         self.window_bits = window_bits
+        self.dispatch_min_items = (1 if force_parallel
+                                   else dispatch_min_items)
         self.obs = obs if obs is not None else OBS_OFF
         # Process dispatch on a box with fewer cores than workers just
         # time-slices the same arithmetic plus fork/pickle overhead, so
@@ -481,7 +528,7 @@ class PaillierEngine:
         self.pool = BlindingPool(
             public_key, rng, target_size=pool_size,
             private_key=private_key, executor_fn=self._maybe_executor,
-            obs=self.obs,
+            obs=self.obs, dispatch_min_items=self.dispatch_min_items,
         )
         # Batch-size histograms, resolved once (no-ops when disabled).
         registry = self.obs.registry
@@ -493,6 +540,18 @@ class PaillierEngine:
         )
         self._m_matvec_cells = registry.histogram(
             "paillier_batch_items", buckets=SIZE_BUCKETS, op="matvec"
+        )
+        self._m_packed_lanes = registry.histogram(
+            "paillier_packed_lanes", buckets=SIZE_BUCKETS
+        )
+        self._m_packed_encrypt = registry.counter(
+            "paillier_packed_ops", op="encrypt"
+        )
+        self._m_packed_decrypt = registry.counter(
+            "paillier_packed_ops", op="decrypt"
+        )
+        self._m_packed_matvec = registry.counter(
+            "paillier_packed_ops", op="fc_matvec"
         )
 
     # -- lifecycle ------------------------------------------------------
@@ -604,7 +663,7 @@ class PaillierEngine:
         self._m_decrypt_batch.observe(len(ciphertexts))
         executor = self._maybe_executor()
         if executor is not None \
-                and len(ciphertexts) >= 2 * _MIN_ITEMS_PER_DISPATCH:
+                and len(ciphertexts) >= self.dispatch_min_items:
             extra = (
                 self.public_key.n, priv.p, priv.q,
                 priv.p * priv.p, priv.q * priv.q,
@@ -681,7 +740,7 @@ class PaillierEngine:
         n_sq = self.public_key.n_squared
         self._m_matvec_cells.observe(len(cells))
         executor = self._maybe_executor()
-        if executor is not None and len(cells) >= 2 * _MIN_ITEMS_PER_DISPATCH:
+        if executor is not None and len(cells) >= self.dispatch_min_items:
             workers = executor._max_workers
             per = -(-len(cells) // workers)
             jobs = []
@@ -712,7 +771,8 @@ class PaillierEngine:
         # (worker processes would have to ship stats back); collect
         # them into counters when observability is on.
         stats = ({"columns_table": 0, "columns_plain": 0,
-                  "tables_built": 0, "table_pows": 0, "plain_pows": 0}
+                  "tables_built": 0, "table_pows": 0, "plain_pows": 0,
+                  "dedup_hits": 0}
                  if self.obs.enabled else None)
         partial = _matvec_partial(cells, rows, n_sq, self.window_bits,
                                   stats=stats)
@@ -723,6 +783,120 @@ class PaillierEngine:
                     registry.counter(f"paillier_power_cache_{key}") \
                         .inc(value)
         return [b * v % n_sq for b, v in zip(bias, partial)]
+
+    # -- lane-packed fast paths -----------------------------------------
+
+    def add_plain_many(self, ciphertexts: Sequence[int],
+                       residues: Sequence[int]) -> list[int]:
+        """Homomorphically add a Z_n residue to each raw ciphertext.
+
+        ``E(m) * (1 + n*r) = E(m + r)`` — one modular multiply per
+        ciphertext, no blinding needed (the input's randomness already
+        blinds the product).  This is the packed paths' rebias
+        primitive, but works on any raw ciphertexts.
+        """
+        if len(ciphertexts) != len(residues):
+            raise CryptoError("add_plain_many length mismatch")
+        n = self.public_key.n
+        n_sq = self.public_key.n_squared
+        return [
+            c * (1 + n * (r % n)) % n_sq
+            for c, r in zip(ciphertexts, residues)
+        ]
+
+    def encrypt_many_packed(
+        self,
+        batches: Sequence[Sequence[int]],
+        packer: LanePacker,
+        rng: random.Random | None = None,
+    ) -> List[EncryptedNumber]:
+        """Encrypt lane-packed batches: one ciphertext per position.
+
+        ``batches[i]`` holds the signed per-lane (batch-axis) values of
+        tensor position ``i``; each becomes one ciphertext carrying all
+        of them.  Blinding factors come from the pool (or ``rng``)
+        exactly as in :meth:`encrypt_many` — B lanes share one factor.
+        """
+        if packer.public_key.n != self.public_key.n:
+            raise KeyMismatchError(
+                "packer was built for a different public key"
+            )
+        residues = []
+        for values in batches:
+            values = list(values)
+            self._m_packed_lanes.observe(len(values))
+            residues.append(packer.pack(values))
+        raw = self.raw_encrypt_many(residues, rng)
+        self._m_packed_encrypt.inc(len(raw))
+        key = self.public_key
+        return [EncryptedNumber(key, c) for c in raw]
+
+    def decrypt_many_packed(
+        self,
+        encrypted: Sequence[EncryptedNumber],
+        packer: LanePacker,
+        count: int | None = None,
+        lane_offset: int | None = None,
+    ) -> list[list[int]]:
+        """Decrypt packed ciphertexts and unpack each into lane values.
+
+        One CRT decryption serves all B lanes of a position.  Pass the
+        ``lane_offset`` the ciphertexts currently carry if they are not
+        at the canonical offset (see :class:`LanePacker`).
+        """
+        residues = self.decrypt_many(encrypted)
+        self._m_packed_decrypt.inc(len(residues))
+        return [packer.unpack(r, count=count, lane_offset=lane_offset)
+                for r in residues]
+
+    def fc_matvec_packed(
+        self,
+        cells: Sequence[int],
+        weights,
+        bias: Sequence[int],
+        packer: LanePacker,
+        *,
+        input_offset: int | None = None,
+        bias_offset: int | None = None,
+    ) -> list[int]:
+        """Packed homomorphic ``y = W x + b``: one pow serves B lanes.
+
+        Reuses :meth:`matvec` wholesale (process dispatch, power
+        tables, weight dedup), then repairs the lane offsets: row ``j``
+        of the raw product carries each lane at ``t_j + input_offset *
+        S_j + bias_offset`` where ``S_j`` is the signed row weight sum,
+        so one plaintext add of :meth:`LanePacker.rebias_residue` per
+        output cell brings every lane back to the canonical offset.
+        Intermediate "virtually negative" lane states are exact mod n;
+        only the final residue's lanes must be in range.
+
+        Args:
+            cells: raw packed input ciphertexts (length = in_dim) at
+                per-lane offset ``input_offset`` (default: canonical).
+            weights: integer matrix, shape (out_dim, in_dim).
+            bias: raw packed ciphertexts of the bias (length =
+                out_dim) at per-lane offset ``bias_offset`` (default:
+                canonical).
+
+        Returns:
+            raw packed output ciphertexts at the canonical offset.
+        """
+        if packer.public_key.n != self.public_key.n:
+            raise KeyMismatchError(
+                "packer was built for a different public key"
+            )
+        rows = _int_rows(weights)
+        out = self.matvec(cells, rows, bias)
+        in_off = packer.offset if input_offset is None else input_offset
+        b_off = packer.offset if bias_offset is None else bias_offset
+        target = packer.offset
+        rebias = [
+            packer.rebias_residue(target - (in_off * sum(row) + b_off))
+            for row in rows
+        ]
+        out = self.add_plain_many(out, rebias)
+        self._m_packed_matvec.inc(len(out))
+        return out
 
 
 def _int_rows(weights) -> list[list[int]]:
@@ -760,6 +934,7 @@ def default_engine(public_key: PaillierPublicKey) -> PaillierEngine:
             workers=DEFAULT_CONFIG.workers,
             pool_size=DEFAULT_CONFIG.blinding_pool_size,
             window_bits=DEFAULT_CONFIG.power_window_bits,
+            dispatch_min_items=DEFAULT_CONFIG.dispatch_min_items,
         )
         _default_engines[public_key.n] = engine
     return engine

@@ -10,6 +10,16 @@ The linear primitives a neural network needs are provided directly:
 element-wise addition, element-wise plaintext multiplication, and the
 affine map ``y = W x + b`` (Eq. (3) of the paper), which fully-connected
 and (via im2col) convolution layers reduce to.
+
+:class:`PackedEncryptedTensor` is the lane-packed counterpart for
+batched inference: one ciphertext per tensor *position*, carrying the
+same position of B batch samples as fixed-width lanes
+(:class:`repro.crypto.encoding.LanePacker`), so every homomorphic
+operation — and every modular exponentiation underneath — serves all B
+samples at once.  Both classes expose the same linear primitives; the
+packed one keeps the invariant that its lanes always sit at the
+packer's canonical offset (operations that disturb the offset rebias
+before returning).
 """
 
 from __future__ import annotations
@@ -23,7 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .engine import PaillierEngine
 
 from ..errors import EncodingError, KeyMismatchError
-from .encoding import SignedEncoder
+from .encoding import LanePacker, SignedEncoder
 from .paillier import (
     EncryptedNumber,
     PaillierPrivateKey,
@@ -356,5 +366,340 @@ class EncryptedTensor:
     def __repr__(self) -> str:
         return (
             f"EncryptedTensor(shape={self.shape}, exponent={self.exponent}, "
+            f"key_size={self.public_key.key_size})"
+        )
+
+
+class PackedEncryptedTensor:
+    """A batch of encrypted tensors, lane-packed one position per cell.
+
+    Cell ``i`` encrypts the lane-packed batch-axis slice of flat tensor
+    position ``i``: lane ``k`` of cell ``i`` holds sample ``k``'s value
+    at position ``i``.  All homomorphic operations therefore touch
+    every sample with a single modular exponentiation per position —
+    the per-element cost is divided by the batch size.
+
+    Invariant: the lanes of every cell sit at the packer's canonical
+    offset.  Operations whose raw ciphertext algebra disturbs the
+    offset (addition doubles it, plaintext multiplication scales it)
+    rebias before returning — one extra modular multiply per cell.
+
+    Attributes:
+        public_key: the Paillier key all cells are encrypted under.
+        packer: lane geometry (lanes, magnitude, guard bits).
+        batch: occupied lanes (the batch size; may be < packer.lanes).
+        shape: logical per-sample tensor shape (row-major cells).
+        exponent: accumulated base-10 fixed-point exponent.
+    """
+
+    __slots__ = ("public_key", "packer", "batch", "shape", "exponent",
+                 "_cells")
+
+    def __init__(
+        self,
+        public_key: PaillierPublicKey,
+        cells: Sequence[EncryptedNumber],
+        shape: Tuple[int, ...],
+        packer: LanePacker,
+        batch: int,
+        exponent: int = 0,
+    ):
+        size = 1
+        for dim in shape:
+            size *= dim
+        if size != len(cells):
+            raise EncodingError(
+                f"shape {shape} implies {size} cells, got {len(cells)}"
+            )
+        if not 1 <= batch <= packer.lanes:
+            raise EncodingError(
+                f"batch {batch} out of range [1, {packer.lanes}]"
+            )
+        if packer.public_key.n != public_key.n:
+            raise KeyMismatchError(
+                "packer was built for a different public key"
+            )
+        self.public_key = public_key
+        self.packer = packer
+        self.batch = batch
+        self.shape = tuple(shape)
+        self.exponent = exponent
+        self._cells = tuple(cells)
+
+    # ------------------------------------------------------------------
+    # Construction / deconstruction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def encrypt_batch(
+        cls,
+        values: np.ndarray,
+        packer: LanePacker,
+        rng: random.Random | None = None,
+        exponent: int = 0,
+        engine: "PaillierEngine | None" = None,
+    ) -> "PackedEncryptedTensor":
+        """Encrypt a batch of integer tensors, one cell per position.
+
+        Args:
+            values: integer array of shape ``(batch, *sample_shape)``
+                (already scaled to fixed point).
+            packer: lane geometry; ``batch`` must fit its lane count.
+            rng: randomness source (bit-identical to the scalar
+                reference); omit to use the engine's blinding pool.
+            exponent: fixed-point exponent the integers carry.
+            engine: batched crypto engine; defaults to the shared
+                sequential engine for the packer's key.
+        """
+        from .engine import default_engine
+
+        values = np.asarray(values)
+        if values.ndim < 1 or values.shape[0] < 1:
+            raise EncodingError(
+                "encrypt_batch needs a leading batch axis"
+            )
+        batch = values.shape[0]
+        sample_shape = values.shape[1:]
+        if engine is None:
+            engine = default_engine(packer.public_key)
+        # (batch, positions) -> per-position lane vectors.
+        flat = np.asarray(
+            [_flatten_int_array(sample) for sample in values],
+            dtype=object,
+        )
+        lanes_per_position = flat.T.tolist()
+        cells = engine.encrypt_many_packed(lanes_per_position, packer,
+                                           rng=rng)
+        return cls(packer.public_key, cells, sample_shape, packer,
+                   batch, exponent)
+
+    def decrypt(
+        self,
+        private_key: PaillierPrivateKey,
+        engine: "PaillierEngine | None" = None,
+    ) -> np.ndarray:
+        """Decrypt to shape ``(batch, *shape)`` (dtype=object ints)."""
+        if engine is not None:
+            lanes = engine.decrypt_many_packed(
+                self._cells, self.packer, count=self.batch
+            )
+        else:
+            lanes = [
+                self.packer.unpack(private_key.decrypt(cell),
+                                   count=self.batch)
+                for cell in self._cells
+            ]
+        # lanes is (positions, batch); transpose to batch-major.
+        per_sample = np.array(lanes, dtype=object).T
+        return per_sample.reshape((self.batch,) + self.shape)
+
+    def decrypt_float(
+        self,
+        private_key: PaillierPrivateKey,
+        engine: "PaillierEngine | None" = None,
+    ) -> np.ndarray:
+        """Decrypt and rescale by the accumulated exponent to float64."""
+        ints = self.decrypt(private_key, engine=engine)
+        scale = 10 ** self.exponent
+        return np.array(
+            [int(v) / scale for v in ints.reshape(-1)], dtype=np.float64
+        ).reshape((self.batch,) + self.shape)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Cells (per-sample positions), not total packed values."""
+        return len(self._cells)
+
+    def cells(self) -> Tuple[EncryptedNumber, ...]:
+        """The flat row-major packed cells (read-only view)."""
+        return self._cells
+
+    def _like(self, cells: Sequence[EncryptedNumber],
+              shape: Tuple[int, ...],
+              exponent: int | None = None) -> "PackedEncryptedTensor":
+        return PackedEncryptedTensor(
+            self.public_key, cells, shape, self.packer, self.batch,
+            self.exponent if exponent is None else exponent,
+        )
+
+    def reshape(self, shape: Tuple[int, ...]) -> "PackedEncryptedTensor":
+        """Reinterpret the cells under a new per-sample shape."""
+        return self._like(self._cells, shape)
+
+    def flatten(self) -> "PackedEncryptedTensor":
+        return self.reshape((self.size,))
+
+    def gather(self, indices: Sequence[int]) -> "PackedEncryptedTensor":
+        """Select flat cells by index, e.g. a conv receptive field."""
+        cells = [self._cells[i] for i in indices]
+        return self._like(cells, (len(cells),))
+
+    @classmethod
+    def concatenate(
+        cls, parts: Sequence["PackedEncryptedTensor"]
+    ) -> "PackedEncryptedTensor":
+        """Concatenate flat packed tensors from partitioned threads."""
+        if not parts:
+            raise EncodingError("cannot concatenate zero tensors")
+        first = parts[0]
+        cells: list[EncryptedNumber] = []
+        for part in parts:
+            if part.public_key.n != first.public_key.n:
+                raise KeyMismatchError(
+                    "cannot concatenate tensors under different keys"
+                )
+            if part.exponent != first.exponent:
+                raise EncodingError(
+                    "cannot concatenate tensors with different "
+                    f"exponents: {part.exponent} vs {first.exponent}"
+                )
+            if part.packer != first.packer or part.batch != first.batch:
+                raise EncodingError(
+                    "cannot concatenate tensors with different lane "
+                    "geometry"
+                )
+            cells.extend(part.cells())
+        return first._like(cells, (len(cells),))
+
+    def with_exponent(self, exponent: int) -> "PackedEncryptedTensor":
+        """Return the same ciphertexts tagged with a new exponent."""
+        return self._like(self._cells, self.shape, exponent)
+
+    def rerandomized(self, rng: random.Random) -> "PackedEncryptedTensor":
+        """Refresh every cell's randomness (same plaintexts)."""
+        cells = [cell.rerandomized(rng) for cell in self._cells]
+        return self._like(cells, self.shape)
+
+    # ------------------------------------------------------------------
+    # Homomorphic arithmetic
+    # ------------------------------------------------------------------
+
+    def _add_plain_residue(self, cells: Sequence[EncryptedNumber],
+                           residues: Sequence[int]
+                           ) -> list[EncryptedNumber]:
+        """``E(m) * (1 + n*r) = E(m + r)`` per cell — the rebias step."""
+        n = self.public_key.n
+        n_sq = self.public_key.n_squared
+        return [
+            EncryptedNumber(
+                self.public_key,
+                c.ciphertext * (1 + n * (r % n)) % n_sq,
+            )
+            for c, r in zip(cells, residues)
+        ]
+
+    def add(self, other: "PackedEncryptedTensor"
+            ) -> "PackedEncryptedTensor":
+        """Element-wise homomorphic addition across all lanes at once."""
+        if other.public_key.n != self.public_key.n:
+            raise KeyMismatchError(
+                "operands are encrypted under different keys"
+            )
+        if other.shape != self.shape:
+            raise EncodingError(
+                f"shape mismatch: {self.shape} vs {other.shape}"
+            )
+        if other.exponent != self.exponent:
+            raise EncodingError(
+                "fixed-point exponents differ: "
+                f"{self.exponent} vs {other.exponent}"
+            )
+        if other.packer != self.packer or other.batch != self.batch:
+            raise EncodingError("lane geometry differs between operands")
+        summed = [a + b for a, b in zip(self._cells, other.cells())]
+        # Lane contents now carry 2x the canonical offset; subtract one.
+        rebias = self.packer.rebias_residue(-self.packer.offset)
+        cells = self._add_plain_residue(summed, [rebias] * len(summed))
+        return self._like(cells, self.shape)
+
+    def mul_plain(self, weights: np.ndarray) -> "PackedEncryptedTensor":
+        """Element-wise multiplication by integer weights, all lanes."""
+        flat_w = _flatten_int_array(np.asarray(weights))
+        if len(flat_w) != self.size:
+            raise EncodingError(
+                f"weight count {len(flat_w)} != tensor size {self.size}"
+            )
+        scaled = [c * w for c, w in zip(self._cells, flat_w)]
+        # Lane k now holds w*v + w*offset; bring it back to v' + offset.
+        offset = self.packer.offset
+        rebias = [self.packer.rebias_residue(offset - w * offset)
+                  for w in flat_w]
+        cells = self._add_plain_residue(scaled, rebias)
+        return self._like(cells, self.shape)
+
+    def affine(
+        self,
+        weights: np.ndarray,
+        bias: "np.ndarray | PackedEncryptedTensor",
+        rng: random.Random | None = None,
+        weight_exponent: int = 0,
+        engine: "PaillierEngine | None" = None,
+    ) -> "PackedEncryptedTensor":
+        """Packed ``y = W x + b``: one matvec serves the whole batch.
+
+        Args:
+            weights: integer matrix of shape (out_dim, in_dim).
+            bias: either an integer vector of shape (out_dim,) — scaled
+                to the *output* exponent, broadcast across lanes and
+                encrypted on the fly — or an already-packed encrypted
+                bias of per-sample shape ``(out_dim,)``.
+            rng: randomness for encrypting a plaintext bias.
+            weight_exponent: fixed-point exponent the weights carry.
+            engine: batched crypto engine; defaults to the shared
+                sequential engine for this key.
+        """
+        from .engine import default_engine
+
+        if engine is None:
+            engine = default_engine(self.public_key)
+        x = self.flatten()
+        weights = np.asarray(weights)
+        if weights.ndim != 2 or weights.shape[1] != x.size:
+            raise EncodingError(
+                f"weights shape {weights.shape} incompatible with input "
+                f"size {x.size}"
+            )
+        out_dim = weights.shape[0]
+        out_exponent = self.exponent + weight_exponent
+        if isinstance(bias, PackedEncryptedTensor):
+            if bias.shape != (out_dim,):
+                raise EncodingError(
+                    f"packed bias shape {bias.shape} != ({out_dim},)"
+                )
+            if bias.packer != self.packer or bias.batch != self.batch:
+                raise EncodingError(
+                    "bias lane geometry differs from the input's"
+                )
+            bias_cells = list(bias.cells())
+        else:
+            bias = np.asarray(bias)
+            if bias.shape != (out_dim,):
+                raise EncodingError(
+                    f"bias shape {bias.shape} != ({out_dim},)"
+                )
+            lanes = [[int(b)] * self.batch for b in bias]
+            bias_cells = engine.encrypt_many_packed(lanes, self.packer,
+                                                    rng=rng)
+        raw = engine.fc_matvec_packed(
+            [c.ciphertext for c in x.cells()],
+            weights,
+            [b.ciphertext for b in bias_cells],
+            self.packer,
+        )
+        out_cells = [EncryptedNumber(self.public_key, c) for c in raw]
+        return PackedEncryptedTensor(
+            self.public_key, out_cells, (out_dim,), self.packer,
+            self.batch, out_exponent,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedEncryptedTensor(shape={self.shape}, "
+            f"batch={self.batch}, lanes={self.packer.lanes}, "
+            f"exponent={self.exponent}, "
             f"key_size={self.public_key.key_size})"
         )

@@ -24,16 +24,19 @@ from typing import List, Sequence
 import numpy as np
 
 from ..config import DEFAULT_CONFIG, RuntimeConfig
+from ..crypto.encoding import LanePacker
 from ..crypto.engine import PaillierEngine
 from ..observability import Observability
 from ..crypto.paillier import PaillierPublicKey, generate_keypair
-from ..crypto.tensor import EncryptedTensor
+from ..crypto.tensor import EncryptedTensor, PackedEncryptedTensor
 from ..errors import ProtocolError, SecurityViolationError
 from ..nn.layers import Flatten, LayerKind
 from ..nn.model import Sequential
 from ..obfuscation.obfuscator import Obfuscator
 from ..planner.primitive import MergedPrimitive, model_stages
 from ..scaling.fixed_point import ScaledAffine, scaled_affine_for_layer
+from ..scaling.headroom import LanePlan
+from ..scaling.headroom import plan_lane_packing as _plan_lane_packing
 
 #: Non-linear activations the data provider knows how to execute.
 #: ReLU and Sigmoid are permutation-compatible; SoftMax is
@@ -62,6 +65,7 @@ class ModelProvider:
     ):
         self.decimals = decimals
         self.config = config
+        self._model = model
         #: Observability sinks.  Defaults from ``config.observability``
         #: (no-op twins when off); pass one shared instance to both
         #: parties to aggregate a session's metrics in one registry.
@@ -101,6 +105,10 @@ class ModelProvider:
         # affine's encrypted bias at a given input exponent can be
         # computed once and reused across requests.
         self._bias_cache: dict[tuple[int, int, int], object] = {}
+        # Lane-packing state: admission plans per batch size, and the
+        # packed twin of the bias cache (bias broadcast across lanes).
+        self._lane_plans: dict[int, LanePlan] = {}
+        self._packed_bias_cache: dict[tuple, object] = {}
 
     def _encrypted_bias(
         self,
@@ -133,6 +141,7 @@ class ModelProvider:
                 window_bits=self.config.power_window_bits,
                 seed=self.config.seed ^ 0x4D50E,
                 obs=self.obs,
+                dispatch_min_items=self.config.dispatch_min_items,
             )
 
     def nonlinear_activations(self, stage_index: int) -> List[str]:
@@ -216,6 +225,126 @@ class ModelProvider:
         ).observe(time.perf_counter() - stage_start)
         return permuted_tensor, round_id
 
+    # -- lane packing ---------------------------------------------------
+
+    def plan_lane_packing(self, batch: int) -> LanePlan:
+        """Admission analysis for packing ``batch`` samples per
+        ciphertext (cached — the model and key size are fixed)."""
+        plan = self._lane_plans.get(batch)
+        if plan is None:
+            plan = _plan_lane_packing(
+                self._model, self.decimals, self.config.key_size,
+                lanes=batch,
+            )
+            self._lane_plans[batch] = plan
+        return plan
+
+    def lane_packer(self, batch: int) -> LanePacker | None:
+        """The packer for an admitted batch size, or None.
+
+        The lane geometry is derived from protocol-public quantities
+        (key size, scaling exponent, worst-case magnitude bounds of
+        the *scaled* model), so sharing the packer with the data
+        provider leaks nothing beyond the batch size.
+        """
+        if self._public_key is None:
+            raise ProtocolError("public key not registered")
+        plan = self.plan_lane_packing(batch)
+        if not plan.admitted:
+            return None
+        return LanePacker(
+            self._public_key, lanes=batch,
+            mag_bits=plan.mag_bits, guard_bits=plan.guard_bits,
+        )
+
+    def _encrypted_bias_packed(
+        self,
+        stage_index: int,
+        affine_index: int,
+        affine: ScaledAffine,
+        input_exponent: int,
+        packer: LanePacker,
+        batch: int,
+    ) -> PackedEncryptedTensor:
+        key = (stage_index, affine_index, input_exponent, batch,
+               packer.lane_bits)
+        cached = self._packed_bias_cache.get(key)
+        if cached is None:
+            bias = affine.bias_at(input_exponent)
+            lanes = [[int(b)] * batch for b in np.asarray(bias).reshape(-1)]
+            cells = self.engine.encrypt_many_packed(
+                lanes, packer, rng=self._rng
+            )
+            cached = PackedEncryptedTensor(
+                packer.public_key, cells, (len(cells),), packer, batch,
+                exponent=input_exponent + affine.decimals,
+            )
+            self._packed_bias_cache[key] = cached
+        return cached
+
+    def process_linear_stage_packed(
+        self,
+        stage_index: int,
+        tensor: PackedEncryptedTensor,
+        inbound_obfuscation_round: int | None,
+        final: bool,
+    ) -> tuple[PackedEncryptedTensor, int | None]:
+        """Lane-packed twin of :meth:`process_linear_stage`.
+
+        One homomorphic pass serves every sample in the batch; the
+        obfuscator permutes packed cells exactly as it permutes scalar
+        ones (all lanes of a position travel together, so the whole
+        batch shares one permutation per round).
+        """
+        if self._public_key is None:
+            raise ProtocolError("public key not registered")
+        if not isinstance(tensor, PackedEncryptedTensor):
+            raise SecurityViolationError(
+                "model provider only accepts encrypted tensors"
+            )
+        plan = self._linear_plans.get(stage_index)
+        if plan is None:
+            raise ProtocolError(f"stage {stage_index} is not linear")
+        self.observed.append("ciphertext")
+        stage_start = time.perf_counter()
+
+        cells = list(tensor.flatten().cells())
+        if inbound_obfuscation_round is not None:
+            cells = self._obfuscator.deobfuscate(
+                inbound_obfuscation_round, cells
+            )
+        current = PackedEncryptedTensor(
+            tensor.public_key, cells, (len(cells),), tensor.packer,
+            tensor.batch, tensor.exponent,
+        )
+        for affine_index, affine in enumerate(plan.affines):
+            encrypted_bias = self._encrypted_bias_packed(
+                stage_index, affine_index, affine, current.exponent,
+                tensor.packer, tensor.batch,
+            )
+            current = current.affine(
+                affine.weight,
+                encrypted_bias,
+                self._rng,
+                weight_exponent=affine.decimals,
+                engine=self.engine,
+            )
+        histogram = self.obs.registry.histogram(
+            "protocol_linear_stage_seconds", stage=str(stage_index)
+        )
+        if final:
+            histogram.observe(time.perf_counter() - stage_start)
+            return current, None
+        round_id, permuted = self._obfuscator.obfuscate(
+            list(current.cells())
+        )
+        permuted_tensor = PackedEncryptedTensor(
+            current.public_key, permuted, (len(permuted),),
+            current.packer, current.batch, current.exponent,
+        )
+        histogram.observe(time.perf_counter() - stage_start)
+        return permuted_tensor, round_id
+
 
 class DataProvider:
     """Holds the keypair and raw input; executes non-linear stages."""
@@ -248,6 +377,7 @@ class DataProvider:
             window_bits=config.power_window_bits,
             seed=config.seed ^ 0x4450E,
             obs=self.obs,
+            dispatch_min_items=config.dispatch_min_items,
         )
         # The paper's offline phase: precompute the blinding-factor
         # pool now, before any request arrives, so online encryption
@@ -315,6 +445,66 @@ class DataProvider:
     ) -> np.ndarray:
         return apply_activation(activation, flat, final)
 
+    # -- lane packing ---------------------------------------------------
+
+    def encrypt_input_batch(
+        self, xs: np.ndarray, packer: LanePacker
+    ) -> PackedEncryptedTensor:
+        """Packed step (1.1): one ciphertext per position for the
+        whole batch of inputs (shape ``(batch, *sample_shape)``)."""
+        from ..scaling.fixed_point import scale_to_int
+
+        start = time.perf_counter()
+        xs = np.asarray(xs, dtype=np.float64)
+        scaled = scale_to_int(xs, self.value_decimals)
+        tensor = PackedEncryptedTensor.encrypt_batch(
+            scaled, packer,
+            exponent=self.value_decimals,
+            engine=self.engine,
+        )
+        self.obs.registry.histogram(
+            "protocol_encrypt_seconds"
+        ).observe(time.perf_counter() - start)
+        return tensor
+
+    def process_nonlinear_stage_packed(
+        self,
+        tensor: PackedEncryptedTensor,
+        activations: Sequence[str],
+        final: bool,
+    ) -> PackedEncryptedTensor | np.ndarray:
+        """Lane-packed twin of :meth:`process_nonlinear_stage`.
+
+        One CRT decryption per position serves the whole batch; the
+        activations run row-wise (SoftMax normalizes each sample
+        independently).  The decrypted (batch, positions) block is
+        recorded in ``observed_plaintexts`` like the scalar path —
+        every row is permuted under the same round permutation.
+        """
+        start = time.perf_counter()
+        values = tensor.decrypt_float(self._private_key,
+                                      engine=self.engine)
+        self.observed_plaintexts.append(values.copy())
+        rows = values.reshape(tensor.batch, -1)
+        for activation in activations:
+            rows = apply_activation_batch(activation, rows, final)
+        histogram = self.obs.registry.histogram(
+            "protocol_nonlinear_stage_seconds", final=str(final).lower()
+        )
+        if final:
+            histogram.observe(time.perf_counter() - start)
+            return rows
+        from ..scaling.fixed_point import scale_to_int
+
+        rescaled = scale_to_int(rows, self.value_decimals)
+        result = PackedEncryptedTensor.encrypt_batch(
+            rescaled, tensor.packer,
+            exponent=self.value_decimals,
+            engine=self.engine,
+        )
+        histogram.observe(time.perf_counter() - start)
+        return result
+
 
 def activation_spec(layer) -> str:
     """The protocol-public activation spec string of a layer."""
@@ -356,3 +546,22 @@ def apply_activation(spec: str, flat: np.ndarray,
         exp = np.exp(shifted)
         return exp / exp.sum()
     raise ProtocolError(f"unknown activation {spec!r}")
+
+
+def apply_activation_batch(spec: str, rows: np.ndarray,
+                           final: bool) -> np.ndarray:
+    """Batch (row-per-sample) form of :func:`apply_activation`.
+
+    Element-wise activations vectorize over the 2-D block unchanged;
+    SoftMax must normalize each sample's row independently."""
+    name = spec.partition(":")[0]
+    if name == "softmax":
+        if not final:
+            raise SecurityViolationError(
+                "SoftMax is position-sensitive and only legal in the "
+                "final, non-obfuscated round (Section III-C)"
+            )
+        shifted = rows - rows.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+    return apply_activation(spec, rows, final)

@@ -204,8 +204,154 @@ class InferenceSession:
     def run_batch(self, batch: np.ndarray,
                   deadline: float | None = None
                   ) -> list[InferenceOutcome]:
-        """Run inference for each sample of a batch, sequentially.
+        """Run inference for a batch of samples.
 
-        ``deadline`` applies per sample, not to the whole batch."""
-        return [self.run(sample, deadline=deadline)
-                for sample in np.asarray(batch)]
+        With ``config.pack_lanes > 1`` and a model the lane headroom
+        analysis admits, up to ``pack_lanes`` samples ride in each
+        ciphertext (one homomorphic pass per chunk; ``deadline`` then
+        applies per packed chunk).  Otherwise every sample runs through
+        :meth:`run` individually and ``deadline`` applies per sample.
+        The ``packing_requests`` counter records which way each batch
+        went; ``packing_fallbacks`` carries the reason.
+        """
+        batch = np.asarray(batch)
+        lanes = getattr(self.model_provider.config, "pack_lanes", 0)
+        if lanes <= 1 or len(batch) <= 1:
+            return [self.run(sample, deadline=deadline)
+                    for sample in batch]
+        registry = self.obs.registry
+        group = min(lanes, len(batch))
+        plan = self.model_provider.plan_lane_packing(group)
+        if not plan.admitted:
+            registry.counter("packing_requests",
+                             result="fallback").inc()
+            registry.counter(
+                "packing_fallbacks",
+                reason=("headroom" if plan.reason is not None
+                        and plan.reason.startswith("headroom")
+                        else "capacity"),
+            ).inc()
+            return [self.run(sample, deadline=deadline)
+                    for sample in batch]
+        registry.counter("packing_requests", result="packed").inc()
+        outcomes: list[InferenceOutcome] = []
+        for start in range(0, len(batch), group):
+            chunk = batch[start:start + group]
+            if len(chunk) == 1:
+                outcomes.append(self.run(chunk[0], deadline=deadline))
+                continue
+            packer = self.model_provider.lane_packer(len(chunk))
+            outcomes.extend(self._run_packed(chunk, packer, deadline))
+        return outcomes
+
+    def _run_packed(self, batch: np.ndarray, packer,
+                    deadline: float | None) -> list[InferenceOutcome]:
+        """One packed pass of the Figure 3 workflow for a whole chunk.
+
+        The chunk's samples share one transcript (their ciphertexts
+        literally share cells on the wire) and one wall time.
+        """
+        if deadline is not None and deadline <= 0:
+            raise ProtocolError("deadline must be positive seconds")
+        if self.rate_limiter is not None:
+            # Each packed sample is still one request for rate purposes.
+            for _ in range(len(batch)):
+                self.rate_limiter.admit()
+        start = time.perf_counter()
+
+        def check_deadline(round_index: int) -> None:
+            if deadline is None:
+                return
+            elapsed = time.perf_counter() - start
+            if elapsed > deadline:
+                raise DeadlineExceededError(
+                    f"packed inference blew its {deadline}s deadline "
+                    f"after {elapsed:.3f}s ({round_index}/"
+                    f"{self._num_pairs} rounds complete)"
+                )
+
+        transcript = Transcript()
+        tracer = self.obs.tracer
+        registry = self.obs.registry
+        trace_id = tracer.new_trace_id("inf")
+        with tracer.span("inference-packed", trace_id=trace_id,
+                         batch=len(batch)) as root:
+            with tracer.span("encrypt-input", trace_id=trace_id,
+                             parent_id=root.span_id):
+                tensor = self.data_provider.encrypt_input_batch(
+                    np.asarray(batch), packer
+                )
+            obfuscation_round: int | None = None
+
+            for pair in range(self._num_pairs):
+                check_deadline(pair)
+                linear_index = 2 * pair
+                nonlinear_index = 2 * pair + 1
+                final = pair == self._num_pairs - 1
+
+                transcript.record(Message(
+                    sender="data",
+                    kind=(CIPHERTEXT if obfuscation_round is None
+                          else CIPHERTEXT_OBFUSCATED),
+                    elements=tensor.size,
+                    bytes_estimate=tensor.size * self._cipher_bytes,
+                    round_index=pair,
+                    stage_index=linear_index,
+                    obfuscation_round=obfuscation_round,
+                ))
+                round_start = time.perf_counter()
+                with tracer.span("linear-round", trace_id=trace_id,
+                                 parent_id=root.span_id, round=pair,
+                                 stage=linear_index):
+                    tensor, outbound_round = \
+                        self.model_provider.process_linear_stage_packed(
+                            linear_index, tensor, obfuscation_round,
+                            final,
+                        )
+                registry.histogram(
+                    "protocol_round_seconds", kind="linear",
+                    stage=str(linear_index),
+                ).observe(time.perf_counter() - round_start)
+                transcript.record(Message(
+                    sender="model",
+                    kind=(CIPHERTEXT if outbound_round is None
+                          else CIPHERTEXT_OBFUSCATED),
+                    elements=tensor.size,
+                    bytes_estimate=tensor.size * self._cipher_bytes,
+                    round_index=pair,
+                    stage_index=linear_index,
+                    obfuscation_round=outbound_round,
+                ))
+
+                activations = self.model_provider.nonlinear_activations(
+                    nonlinear_index
+                )
+                round_start = time.perf_counter()
+                with tracer.span("nonlinear-round", trace_id=trace_id,
+                                 parent_id=root.span_id, round=pair,
+                                 stage=nonlinear_index):
+                    result = \
+                        self.data_provider.process_nonlinear_stage_packed(
+                            tensor, activations, final,
+                        )
+                registry.histogram(
+                    "protocol_round_seconds", kind="nonlinear",
+                    stage=str(nonlinear_index),
+                ).observe(time.perf_counter() - round_start)
+                if final:
+                    rows = np.asarray(result)
+                    elapsed = time.perf_counter() - start
+                    root.set_attr("predictions",
+                                  [int(row.argmax()) for row in rows])
+                    return [
+                        InferenceOutcome(
+                            probabilities=row,
+                            prediction=int(row.argmax()),
+                            transcript=transcript,
+                            wall_time=elapsed,
+                        )
+                        for row in rows
+                    ]
+                tensor = result
+                obfuscation_round = outbound_round
+        raise ProtocolError("stage walk ended without a final round")

@@ -14,7 +14,13 @@ from .parameter_scaling import (
     select_scaling_factor,
 )
 from .fixed_point import scale_to_int, ScaledAffine, scaled_affine_for_layer
-from .headroom import HeadroomReport, analyze_headroom, require_headroom
+from .headroom import (
+    HeadroomReport,
+    LanePlan,
+    analyze_headroom,
+    plan_lane_packing,
+    require_headroom,
+)
 
 __all__ = [
     "ScalingDecision",
@@ -25,6 +31,8 @@ __all__ = [
     "ScaledAffine",
     "scaled_affine_for_layer",
     "HeadroomReport",
+    "LanePlan",
     "analyze_headroom",
+    "plan_lane_packing",
     "require_headroom",
 ]

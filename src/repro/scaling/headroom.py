@@ -14,6 +14,12 @@ reset the bound to the activation's range re-encoded at the data
 exponent.  The result reports the tightest margin (in bits) and the
 stage where it occurs, and :class:`repro.protocol.roles.ModelProvider`
 can refuse configurations that would overflow.
+
+The same propagation powers lane-packing admission
+(:func:`plan_lane_packing`): the *peak* per-primitive magnitude sizes
+the lane width of :class:`repro.crypto.encoding.LanePacker`, and a
+model is admitted to the packed path only when the requested batch's
+worth of lanes fits the key.
 """
 
 from __future__ import annotations
@@ -38,12 +44,18 @@ class HeadroomReport:
             when overflowing).
         tightest_stage: stage index where the margin occurs.
         bound_by_stage: worst-case integer magnitude after each stage.
+        peak_bound: the largest per-primitive intermediate magnitude
+            anywhere in the model — a merged linear stage's interior
+            primitives can exceed the stage's *final* bound, and lane
+            packing must survive every one of them, so this is what
+            sizes packed lane widths.
     """
 
     safe: bool
     margin_bits: float
     tightest_stage: int
     bound_by_stage: dict[int, int]
+    peak_bound: int = 0
 
 
 def _activation_output_bound(activations: list[str],
@@ -95,6 +107,7 @@ def analyze_headroom(
     # (integer magnitude bound, its base-10 exponent)
     int_bound = int(np.ceil(input_bound * 10 ** decimals))
     exponent = decimals
+    peak_bound = int_bound
     for stage in stages:
         if stage.kind is LayerKind.LINEAR:
             for primitive in stage.primitives:
@@ -106,6 +119,9 @@ def analyze_headroom(
                 exponent += decimals
                 bias_bound = int(np.ceil(bias_max * 10 ** exponent))
                 int_bound = weight_l1 * int_bound + bias_bound
+                # Interior primitives of a merged stage can exceed the
+                # stage's final bound; the peak must cover them all.
+                peak_bound = max(peak_bound, int_bound)
             int_bound = max(int_bound, 1)
             bound_by_stage[stage.index] = int_bound
             margin = float(limit_bits) - _log2_int(int_bound)
@@ -122,12 +138,14 @@ def analyze_headroom(
             int_bound = max(
                 int(np.ceil(float_bound * 10 ** decimals)), 1
             )
+            peak_bound = max(peak_bound, int_bound)
             bound_by_stage[stage.index] = int_bound
     return HeadroomReport(
         safe=worst_margin > 0,
         margin_bits=worst_margin,
         tightest_stage=tightest,
         bound_by_stage=bound_by_stage,
+        peak_bound=max(peak_bound, 1),
     )
 
 
@@ -175,6 +193,92 @@ def _log2_int(value: int) -> float:
     if value < 1:
         return 0.0
     return float(value.bit_length() - 1)
+
+
+@dataclass(frozen=True)
+class LanePlan:
+    """Lane-packing admission decision for one (model, key, batch).
+
+    Attributes:
+        lanes: requested batch-axis lane count.
+        mag_bits: advertised per-lane magnitude bits, sized from the
+            headroom analysis's :attr:`HeadroomReport.peak_bound`.
+        guard_bits: extra slack bits per lane (pure safety margin —
+            the peak bound already covers every intermediate).
+        lane_bits: total lane width (``mag_bits + guard_bits + 1``).
+        capacity: how many such lanes the key can carry.
+        peak_bound: the peak magnitude that sized the lanes.
+        admitted: True when the packed path may run.
+        reason: why admission failed (None when admitted).
+    """
+
+    lanes: int
+    mag_bits: int
+    guard_bits: int
+    lane_bits: int
+    capacity: int
+    peak_bound: int
+    admitted: bool
+    reason: str | None = None
+
+
+def plan_lane_packing(
+    model: Sequential,
+    decimals: int,
+    key_size: int,
+    lanes: int,
+    input_bound: float = 1.0,
+    guard_bits: int | None = None,
+) -> LanePlan:
+    """Decide whether lane packing can carry ``lanes`` batch samples.
+
+    Sizes lanes from the worst-case *peak* intermediate magnitude
+    (:func:`analyze_headroom`), then checks the requested lane count
+    against the key's capacity.  Capacity is computed conservatively
+    from ``key_size - 2`` bits so a :class:`LanePacker` built from the
+    actual modulus (whose bit length can fall one short of
+    ``key_size``) always accepts an admitted plan.
+
+    Returns a :class:`LanePlan`; callers branch on ``plan.admitted``
+    and surface ``plan.reason`` in the fallback metrics.
+    """
+    from ..crypto.encoding import DEFAULT_GUARD_BITS
+
+    if lanes < 1:
+        raise ScalingError(f"lanes must be >= 1, got {lanes}")
+    if guard_bits is None:
+        guard_bits = DEFAULT_GUARD_BITS
+    report = analyze_headroom(model, decimals, key_size, input_bound)
+    peak = max(report.peak_bound, 1)
+    mag_bits = max(peak.bit_length(), 1)
+    lane_bits = mag_bits + guard_bits + 1
+    capacity = max(0, (key_size - 2) // lane_bits)
+    if not report.safe:
+        admitted = False
+        reason = (
+            f"headroom analysis unsafe at stage "
+            f"{report.tightest_stage} "
+            f"({-report.margin_bits:.1f} bits over)"
+        )
+    elif capacity < lanes:
+        admitted = False
+        reason = (
+            f"{lanes} lanes of {lane_bits} bits exceed the "
+            f"{capacity}-lane capacity of a {key_size}-bit key"
+        )
+    else:
+        admitted = True
+        reason = None
+    return LanePlan(
+        lanes=lanes,
+        mag_bits=mag_bits,
+        guard_bits=guard_bits,
+        lane_bits=lane_bits,
+        capacity=capacity,
+        peak_bound=peak,
+        admitted=admitted,
+        reason=reason,
+    )
 
 
 def require_headroom(

@@ -18,7 +18,7 @@ import numpy as np
 from ..config import DEFAULT_CONFIG, RuntimeConfig
 from ..crypto.engine import PaillierEngine
 from ..crypto.paillier import PaillierPrivateKey
-from ..crypto.tensor import EncryptedTensor
+from ..crypto.tensor import EncryptedTensor, PackedEncryptedTensor
 from ..errors import ProtocolError, StreamError
 from ..nn.layers import LayerKind
 from ..obfuscation.obfuscator import Obfuscator
@@ -28,6 +28,7 @@ from ..protocol.roles import (
     DataProvider,
     ModelProvider,
     apply_activation,
+    apply_activation_batch,
 )
 from ..scaling.fixed_point import ScaledAffine, scale_to_int
 from .retry import DeadLetter
@@ -39,7 +40,9 @@ class StreamItem:
 
     Attributes:
         request_id: monotone id assigned by the source.
-        tensor: current encrypted tensor (or final float result).
+        tensor: current encrypted tensor — scalar or lane-packed (a
+            packed item carries a whole batch through the pipeline as
+            one request; executors branch on the tensor type).
         obfuscation_round: outstanding obfuscator round id, if permuted.
         enqueue_time: perf-counter timestamp at admission.
         result: final probabilities once the sink stage ran.
@@ -54,13 +57,27 @@ class StreamItem:
     """
 
     request_id: int
-    tensor: EncryptedTensor | None
+    tensor: EncryptedTensor | PackedEncryptedTensor | None
     obfuscation_round: int | None = None
     enqueue_time: float = 0.0
     result: np.ndarray | None = None
     fault: DeadLetter | None = None
     trace_id: str | None = None
     trace_parent: str | None = None
+
+
+def _with_cells(template, cells):
+    """Rebuild a flat tensor of ``template``'s type around new cells
+    (the permute/deobfuscate steps shuffle cells without touching any
+    other tensor state)."""
+    if isinstance(template, PackedEncryptedTensor):
+        return PackedEncryptedTensor(
+            template.public_key, cells, (len(cells),),
+            template.packer, template.batch, template.exponent,
+        )
+    return EncryptedTensor(
+        template.public_key, cells, (len(cells),), template.exponent
+    )
 
 
 class LinearStageExecutor:
@@ -98,8 +115,10 @@ class LinearStageExecutor:
             thread_name_prefix=f"linear-{stage_index}",
         )
         # Static-bias encryption cache (model weights never change):
-        # keyed by (affine index, input exponent).
+        # keyed by (affine index, input exponent); lane-packed items
+        # use a separate cache keyed additionally by lane geometry.
         self._bias_cache: dict[tuple[int, int], EncryptedTensor] = {}
+        self._packed_bias_cache: dict[tuple, PackedEncryptedTensor] = {}
 
     def _engine_for(self, public_key) -> PaillierEngine:
         if self._engine is None or self._engine.public_key.n != public_key.n:
@@ -110,6 +129,7 @@ class LinearStageExecutor:
                 window_bits=self._config.power_window_bits,
                 seed=self._config.seed ^ (0x57E << 8) ^ self.stage_index,
                 obs=self._obs,
+                dispatch_min_items=self._config.dispatch_min_items,
             )
         return self._engine
 
@@ -121,10 +141,7 @@ class LinearStageExecutor:
             cells = self.obfuscator.deobfuscate(
                 item.obfuscation_round, cells
             )
-        current = EncryptedTensor(
-            item.tensor.public_key, cells, (len(cells),),
-            item.tensor.exponent,
-        )
+        current = _with_cells(item.tensor, cells)
         for affine_index, affine in enumerate(self.affines):
             current = self._apply_affine(affine_index, affine, current)
         if self.final:
@@ -134,12 +151,31 @@ class LinearStageExecutor:
         round_id, permuted = self.obfuscator.obfuscate(
             list(current.cells())
         )
-        item.tensor = EncryptedTensor(
-            current.public_key, permuted, (len(permuted),),
-            current.exponent,
-        )
+        item.tensor = _with_cells(current, permuted)
         item.obfuscation_round = round_id
         return item
+
+    def _packed_bias(
+        self, affine_index: int, affine: ScaledAffine,
+        tensor: PackedEncryptedTensor,
+    ) -> PackedEncryptedTensor:
+        key = (affine_index, tensor.exponent, tensor.batch,
+               tensor.packer.lane_bits)
+        cached = self._packed_bias_cache.get(key)
+        if cached is None:
+            engine = self._engine_for(tensor.public_key)
+            bias = np.asarray(affine.bias_at(tensor.exponent)).reshape(-1)
+            lanes = [[int(b)] * tensor.batch for b in bias]
+            cells = engine.encrypt_many_packed(
+                lanes, tensor.packer, rng=self._rng
+            )
+            cached = PackedEncryptedTensor(
+                tensor.public_key, cells, (len(cells),),
+                tensor.packer, tensor.batch,
+                exponent=tensor.exponent + affine.decimals,
+            )
+            self._packed_bias_cache[key] = cached
+        return cached
 
     def _apply_affine(
         self, affine_index: int, affine: ScaledAffine,
@@ -149,14 +185,20 @@ class LinearStageExecutor:
             affine, self.threads,
             input_partitioning=self.use_partitioning,
         )
-        cache_key = (affine_index, tensor.exponent)
-        encrypted_bias = self._bias_cache.get(cache_key)
-        if encrypted_bias is None:
-            encrypted_bias = EncryptedTensor.encrypt(
-                affine.bias_at(tensor.exponent), tensor.public_key,
-                self._rng, exponent=tensor.exponent + affine.decimals,
-            )
-            self._bias_cache[cache_key] = encrypted_bias
+        packed = isinstance(tensor, PackedEncryptedTensor)
+        if packed:
+            encrypted_bias = self._packed_bias(affine_index, affine,
+                                               tensor)
+        else:
+            cache_key = (affine_index, tensor.exponent)
+            encrypted_bias = self._bias_cache.get(cache_key)
+            if encrypted_bias is None:
+                encrypted_bias = EncryptedTensor.encrypt(
+                    affine.bias_at(tensor.exponent), tensor.public_key,
+                    self._rng,
+                    exponent=tensor.exponent + affine.decimals,
+                )
+                self._bias_cache[cache_key] = encrypted_bias
         out_exponent = tensor.exponent + affine.decimals
 
         engine = self._engine_for(tensor.public_key)
@@ -175,7 +217,8 @@ class LinearStageExecutor:
             parts = [run_task(tasks[0])]
         else:
             parts = list(self._pool.map(run_task, tasks))
-        combined = EncryptedTensor.concatenate(parts)
+        combined = (PackedEncryptedTensor if packed
+                    else EncryptedTensor).concatenate(parts)
         if combined.exponent != out_exponent:
             raise StreamError("affine exponent bookkeeping mismatch")
         return combined
@@ -223,6 +266,7 @@ class NonLinearStageExecutor:
         if item.tensor is None:
             raise StreamError("non-linear stage received an empty item")
         tensor = item.tensor.flatten()
+        packed = isinstance(tensor, PackedEncryptedTensor)
         tasks = partition_elementwise(tensor.size, self.threads)
 
         def decrypt_task(task):
@@ -234,9 +278,12 @@ class NonLinearStageExecutor:
             pieces = [decrypt_task(tasks[0])]
         else:
             pieces = list(self._pool.map(decrypt_task, tasks))
-        flat = np.concatenate(pieces)
+        # Packed pieces are (batch, k) blocks: join along positions.
+        flat = np.concatenate(pieces, axis=-1)
         for activation in self.activations:
-            flat = apply_activation(activation, flat, self.final)
+            flat = (apply_activation_batch(activation, flat, self.final)
+                    if packed
+                    else apply_activation(activation, flat, self.final))
         if self.final:
             item.result = flat
             item.tensor = None
@@ -245,6 +292,13 @@ class NonLinearStageExecutor:
         rescaled = scale_to_int(flat, self._value_decimals)
 
         def encrypt_task(task):
+            if packed:
+                values = rescaled[:, list(task.input_indices)]
+                return PackedEncryptedTensor.encrypt_batch(
+                    values, tensor.packer,
+                    exponent=self._value_decimals,
+                    engine=self._engine,
+                )
             values = rescaled[list(task.input_indices)]
             if self._engine is not None \
                     and self._engine.public_key.n == tensor.public_key.n:
@@ -262,7 +316,8 @@ class NonLinearStageExecutor:
             parts = [encrypt_task(tasks[0])]
         else:
             parts = list(self._pool.map(encrypt_task, tasks))
-        item.tensor = EncryptedTensor.concatenate(parts)
+        item.tensor = (PackedEncryptedTensor if packed
+                       else EncryptedTensor).concatenate(parts)
         # The tensor stays in permuted order; the obfuscation round id
         # is carried through untouched for the next linear stage.
         return item
