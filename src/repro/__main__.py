@@ -19,6 +19,14 @@ Commands:
   [--traces]`` — run a small workload with observability enabled
   (docs/OBSERVABILITY.md) and dump the metrics registry, optionally
   followed by the reconstructed span trees.
+* ``worker --listen HOST:PORT`` — run one remote stage worker serving
+  framed TCP (docs/DISTRIBUTED.md); prints ``worker listening on
+  HOST:PORT`` once bound (port 0 picks a free port).
+* ``serve --workers N [--verify] [--kill-one]`` — spawn N local worker
+  processes, deploy a plan across them, and stream encrypted inference
+  over localhost TCP; ``--verify`` checks the results are bit-identical
+  to the in-process pipeline, ``--kill-one`` kills a worker mid-stream
+  to exercise failover.
 * ``summary`` — print the package's subsystem inventory.
 * ``experiments ...`` — forwarded to ``repro.experiments`` (all the
   paper's tables and figures).
@@ -238,6 +246,172 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .errors import TransportError
+    from .net import WorkerServer
+
+    try:
+        host, _, port_text = args.listen.rpartition(":")
+        server = WorkerServer(
+            host or "127.0.0.1", int(port_text),
+            max_frame_bytes=args.max_frame_bytes,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: cannot listen on {args.listen!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    host, port = server.address
+    # The exact line the serve command (and any orchestrator) parses
+    # to learn an ephemeral port.
+    print(f"worker listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    except TransportError as exc:
+        print(f"fatal: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _spawn_local_worker(env: dict) -> tuple:
+    """Start ``python -m repro worker`` on an ephemeral port; returns
+    ``(process, (host, port))`` once the worker reports its address."""
+    import subprocess
+
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, env=env,
+    )
+    line = process.stdout.readline()
+    prefix = "worker listening on "
+    if not line.startswith(prefix):
+        process.kill()
+        raise RuntimeError(
+            f"worker failed to start (said {line!r})"
+        )
+    host, _, port_text = line[len(prefix):].strip().rpartition(":")
+    return process, (host, int(port_text))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from .config import RuntimeConfig
+    from .errors import StreamError, TransportError
+    from .experiments.common import prepare_model
+    from .net import Coordinator
+    from .planner.allocation import allocate_even
+    from .planner.plan import ClusterSpec
+    from .protocol import DataProvider, ModelProvider
+    from .stream import RetryPolicy
+
+    if args.workers < 2:
+        print("error: --workers must be >= 2 (at least one model "
+              "worker and one data worker)", file=sys.stderr)
+        return 2
+    prepared = prepare_model(args.model)
+    config = RuntimeConfig(key_size=args.key_size)
+    model_provider = ModelProvider(
+        prepared.model, decimals=prepared.decimals, config=config
+    )
+    data_provider = DataProvider(
+        value_decimals=prepared.decimals, config=config
+    )
+    model_workers = max(1, args.workers // 2)
+    data_workers = args.workers - model_workers
+    cluster = ClusterSpec.homogeneous(model_workers, data_workers,
+                                      args.threads)
+    plan = allocate_even(model_provider.stages, cluster).plan
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        path for path in (os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))),
+            env.get("PYTHONPATH")) if path
+    )
+    processes, addresses = [], []
+    try:
+        for _ in range(args.workers):
+            process, address = _spawn_local_worker(env)
+            processes.append(process)
+            addresses.append(address)
+        print(f"spawned {args.workers} workers "
+              f"({model_workers} model / {data_workers} data) on "
+              + ", ".join(f"{h}:{p}" for h, p in addresses))
+        inputs = list(prepared.dataset.test_x[:args.samples])
+        coordinator = Coordinator(
+            model_provider, data_provider, plan, addresses,
+            retry_policy=RetryPolicy(max_retries=3, base_delay=0.05),
+        )
+        with coordinator:
+            if args.kill_one:
+                import threading
+
+                victim = processes[-1]
+
+                def _assassin():
+                    import time
+
+                    time.sleep(args.kill_delay)
+                    victim.kill()
+
+                threading.Thread(target=_assassin, daemon=True).start()
+                print(f"will kill worker pid {victim.pid} after "
+                      f"{args.kill_delay}s")
+            try:
+                stats = coordinator.run_stream(inputs)
+            except StreamError as exc:
+                print(f"fatal: {exc}", file=sys.stderr)
+                return 1
+            coordinator.close(shutdown_workers=True)
+        print(stats.utilization_report())
+        if stats.dead_letters:
+            print(stats.failure_report())
+        print(f"{len(stats.results)}/{len(inputs)} requests completed "
+              f"over TCP in {stats.wall_time:.2f}s")
+        if args.verify:
+            from .stream import Pipeline
+
+            reference = Pipeline(
+                ModelProvider(prepared.model,
+                              decimals=prepared.decimals,
+                              config=config),
+                DataProvider(value_decimals=prepared.decimals,
+                             config=config),
+                plan,
+            ).run_stream(inputs)
+            expected = {r.request_id: r.probabilities
+                        for r in reference.results}
+            mismatches = [
+                r.request_id for r in stats.results
+                if not np.array_equal(r.probabilities,
+                                      expected[r.request_id])
+            ]
+            if mismatches:
+                print(f"verify: MISMATCH on requests {mismatches}",
+                      file=sys.stderr)
+                return 1
+            print(f"verify: all {len(stats.results)} distributed "
+                  "results bit-identical to the in-process pipeline")
+        if stats.dead_letters and not args.kill_one:
+            return 1
+        return 0
+    except (TransportError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        for process in processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in processes:
+            try:
+                process.wait(timeout=5)
+            except Exception:
+                process.kill()
+
+
 def _cmd_summary(_: argparse.Namespace) -> int:
     from . import __doc__ as package_doc
 
@@ -359,6 +533,47 @@ def main(argv: list[str] | None = None) -> int:
                          help="also print every reconstructed span "
                               "tree")
     metrics.set_defaults(func=_cmd_metrics)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="run one remote stage worker serving framed TCP "
+             "(docs/DISTRIBUTED.md)",
+    )
+    worker.add_argument("--listen", default="127.0.0.1:0",
+                        help="HOST:PORT to bind (port 0 picks a free "
+                             "port; default 127.0.0.1:0)")
+    worker.add_argument("--max-frame-bytes", type=int,
+                        default=64 * 1024 * 1024,
+                        dest="max_frame_bytes",
+                        help="transport frame ceiling in bytes")
+    worker.set_defaults(func=_cmd_worker)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="spawn N local workers and stream encrypted inference "
+             "over localhost TCP",
+    )
+    serve.add_argument("--workers", type=int, default=2,
+                       help="total worker processes, split between "
+                            "model and data roles (default: 2)")
+    serve.add_argument("--model", default="breast",
+                       help="Table III model key (default: breast)")
+    serve.add_argument("--samples", type=int, default=4)
+    serve.add_argument("--key-size", type=int, default=256,
+                       dest="key_size")
+    serve.add_argument("--threads", type=int, default=2,
+                       help="cores per worker in the cluster spec")
+    serve.add_argument("--verify", action="store_true",
+                       help="re-run in-process and require "
+                            "bit-identical results")
+    serve.add_argument("--kill-one", action="store_true",
+                       dest="kill_one",
+                       help="kill one worker mid-stream to exercise "
+                            "heartbeat failover")
+    serve.add_argument("--kill-delay", type=float, default=1.0,
+                       dest="kill_delay",
+                       help="seconds before --kill-one strikes")
+    serve.set_defaults(func=_cmd_serve)
 
     summary = subparsers.add_parser(
         "summary", help="print the subsystem inventory"

@@ -81,6 +81,27 @@ class RuntimeConfig:
             observability hands every hot path shared no-op objects,
             so the instrumented code costs one empty method call per
             point (docs/OBSERVABILITY.md has the measurements).
+        net_connect_timeout: seconds the networked runtime
+            (:mod:`repro.net`) waits for a TCP connect (coordinator
+            dialing a worker, including failover redials).
+        net_handshake_timeout: seconds the coordinator waits for a
+            worker's handshake ack — larger than the connect timeout
+            because a fresh worker may train its model stage state
+            before acking.
+        net_request_timeout: seconds a stage proxy waits for one
+            stage-task round trip before declaring the worker dead and
+            raising a transient error (the retry policy then re-runs
+            the item, typically against a failover worker).
+        net_heartbeat_interval: seconds between coordinator heartbeat
+            pings on each worker control channel.
+        net_heartbeat_timeout: heartbeat round-trip budget; a worker
+            that misses it is marked dead and its in-flight items are
+            re-injected through the retry/dead-letter path.
+        net_max_frame_bytes: hard ceiling on one transport frame
+            (header + payload).  Oversized sends and oversized declared
+            receive lengths both fail with
+            :class:`~repro.errors.TransportError` instead of
+            exhausting memory.
     """
 
     key_size: int = DEFAULT_KEY_SIZE
@@ -95,6 +116,12 @@ class RuntimeConfig:
     dispatch_min_items: int = 64
     pack_lanes: int = 0
     observability: bool = False
+    net_connect_timeout: float = 5.0
+    net_handshake_timeout: float = 60.0
+    net_request_timeout: float = 120.0
+    net_heartbeat_interval: float = 0.5
+    net_heartbeat_timeout: float = 5.0
+    net_max_frame_bytes: int = 64 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.key_size < 64:
@@ -143,6 +170,25 @@ class RuntimeConfig:
             raise ConfigurationError(
                 f"pack_lanes must be non-negative, got {self.pack_lanes}"
             )
+        for knob in ("net_connect_timeout", "net_handshake_timeout",
+                     "net_request_timeout", "net_heartbeat_interval",
+                     "net_heartbeat_timeout"):
+            if getattr(self, knob) <= 0:
+                raise ConfigurationError(
+                    f"{knob} must be positive seconds, got "
+                    f"{getattr(self, knob)}"
+                )
+        if self.net_heartbeat_timeout < self.net_heartbeat_interval:
+            raise ConfigurationError(
+                "net_heartbeat_timeout must be >= net_heartbeat_interval "
+                f"({self.net_heartbeat_timeout} < "
+                f"{self.net_heartbeat_interval})"
+            )
+        if self.net_max_frame_bytes < 1024:
+            raise ConfigurationError(
+                "net_max_frame_bytes must be >= 1024 (one frame must "
+                f"fit at least a header), got {self.net_max_frame_bytes}"
+            )
 
     def with_key_size(self, key_size: int) -> "RuntimeConfig":
         """Return a copy of this config with a different key size."""
@@ -171,6 +217,29 @@ class RuntimeConfig:
         """Return a copy of this config with a different engine
         process-dispatch break-even threshold."""
         return replace(self, dispatch_min_items=dispatch_min_items)
+
+    def with_net(
+        self,
+        connect_timeout: float | None = None,
+        handshake_timeout: float | None = None,
+        request_timeout: float | None = None,
+        heartbeat_interval: float | None = None,
+        heartbeat_timeout: float | None = None,
+        max_frame_bytes: int | None = None,
+    ) -> "RuntimeConfig":
+        """Return a copy with the given networked-runtime knobs
+        replaced (omitted ones keep their current values)."""
+        updates = {
+            "net_connect_timeout": connect_timeout,
+            "net_handshake_timeout": handshake_timeout,
+            "net_request_timeout": request_timeout,
+            "net_heartbeat_interval": heartbeat_interval,
+            "net_heartbeat_timeout": heartbeat_timeout,
+            "net_max_frame_bytes": max_frame_bytes,
+        }
+        return replace(self, **{key: value
+                                for key, value in updates.items()
+                                if value is not None})
 
 
 #: Package-wide default configuration.

@@ -7,8 +7,18 @@ deployments, tests, and byte-accounting agree:
 * public keys as JSON (modulus + key size),
 * private keys as JSON (p, q — only ever stored at the data provider),
 * encrypted tensors as a framed binary blob: a fixed header (magic,
-  version, key size, exponent, rank, dims) followed by fixed-width
-  big-endian ciphertexts (``2 * key_size / 8`` bytes each).
+  version, payload kind, key size, exponent, rank, dims) followed by
+  fixed-width big-endian ciphertexts (``2 * key_size / 8`` bytes each).
+
+Frame versions:
+
+* **v1** (historical): scalar tensors only — magic, version, key size,
+  exponent, rank.  Still parsed for backward compatibility.
+* **v2** (current): adds a payload-kind byte after the version, and for
+  lane-packed tensors an extended header carrying the lane geometry
+  (lanes, magnitude bits, guard bits, occupied batch lanes) so a
+  :class:`~repro.crypto.tensor.PackedEncryptedTensor` can cross a wire
+  and be rebuilt — packer and all — on the other side.
 
 All parsers validate framing and raise :class:`EncodingError` on
 malformed input rather than producing garbage tensors.
@@ -21,17 +31,30 @@ import struct
 from typing import Tuple
 
 from ..errors import EncodingError, KeyMismatchError
+from .encoding import LanePacker
 from .paillier import (
     EncryptedNumber,
     PaillierPrivateKey,
     PaillierPublicKey,
 )
-from .tensor import EncryptedTensor
+from .tensor import EncryptedTensor, PackedEncryptedTensor
 
 #: Frame magic for encrypted-tensor blobs.
 _MAGIC = b"PPST"
-_VERSION = 1
-_HEADER = struct.Struct(">4sBIiB")  # magic, ver, key_size, exp, rank
+#: Current frame version.  v1 frames (scalar only, no kind byte) are
+#: still parsed; v2 is what the writers emit.
+_VERSION = 2
+_V1 = 1
+_HEADER_V1 = struct.Struct(">4sBIiB")   # magic, ver, key_size, exp, rank
+_HEADER_V2 = struct.Struct(">4sBBIiB")  # magic, ver, kind, key_size,
+#                                         exponent, rank
+#: v2 lane-geometry extension (packed frames only): lanes, mag_bits,
+#: guard_bits, batch.
+_LANES_V2 = struct.Struct(">HHHH")
+
+#: v2 payload kinds.
+KIND_SCALAR = 0
+KIND_PACKED = 1
 
 
 def public_key_to_json(key: PaillierPublicKey) -> str:
@@ -85,47 +108,116 @@ def ciphertext_bytes(key_size: int) -> int:
     return 2 * key_size // 8
 
 
-def tensor_to_bytes(tensor: EncryptedTensor) -> bytes:
-    """Serialize an encrypted tensor to the framed binary format."""
-    key_size = tensor.public_key.key_size
-    width = ciphertext_bytes(key_size)
-    if len(tensor.shape) > 255:
-        raise EncodingError("tensor rank exceeds the wire format's 255")
-    header = _HEADER.pack(_MAGIC, _VERSION, key_size, tensor.exponent,
-                          len(tensor.shape))
-    dims = b"".join(struct.pack(">I", dim) for dim in tensor.shape)
-    body = b"".join(
-        cell.ciphertext.to_bytes(width, "big")
-        for cell in tensor.cells()
-    )
-    return header + dims + body
+def tensor_frame_bytes(
+    key_size: int, rank: int, size: int,
+    packed: bool = False, version: int = _VERSION,
+) -> int:
+    """Exact byte length of a tensor frame, computed analytically.
 
-
-def tensor_from_bytes(
-    blob: bytes, public_key: PaillierPublicKey
-) -> EncryptedTensor:
-    """Parse a framed blob back into an encrypted tensor.
-
-    Raises:
-        EncodingError: on bad framing, truncation, or trailing bytes.
-        KeyMismatchError: when the frame's key size differs from the
-            supplied public key's.
+    ``len(tensor_to_bytes(t)) == tensor_frame_bytes(...)`` by
+    construction — the frame is a fixed header plus ``4 * rank`` dim
+    words plus ``size`` fixed-width ciphertexts — so byte accounting
+    can use real wire sizes without serializing anything.
     """
-    if len(blob) < _HEADER.size:
-        raise EncodingError("blob shorter than the frame header")
-    magic, version, key_size, exponent, rank = _HEADER.unpack(
-        blob[:_HEADER.size]
+    if version == _V1:
+        if packed:
+            raise EncodingError("v1 frames cannot carry packed tensors")
+        header = _HEADER_V1.size
+    elif version == _VERSION:
+        header = _HEADER_V2.size + (_LANES_V2.size if packed else 0)
+    else:
+        raise EncodingError(f"unsupported wire version {version}")
+    return header + 4 * rank + size * ciphertext_bytes(key_size)
+
+
+def _pack_dims(shape: Tuple[int, ...]) -> bytes:
+    if len(shape) > 255:
+        raise EncodingError("tensor rank exceeds the wire format's 255")
+    return b"".join(struct.pack(">I", dim) for dim in shape)
+
+
+def _pack_cells(cells, key_size: int) -> bytes:
+    width = ciphertext_bytes(key_size)
+    return b"".join(
+        cell.ciphertext.to_bytes(width, "big") for cell in cells
     )
+
+
+def tensor_to_bytes(tensor: EncryptedTensor,
+                    version: int = _VERSION) -> bytes:
+    """Serialize a scalar encrypted tensor to the framed binary format.
+
+    Emits a v2 frame by default; ``version=1`` writes the historical
+    layout (for interop/regression tests).
+    """
+    key_size = tensor.public_key.key_size
+    dims = _pack_dims(tensor.shape)
+    if version == _V1:
+        header = _HEADER_V1.pack(_MAGIC, _V1, key_size,
+                                 tensor.exponent, len(tensor.shape))
+    elif version == _VERSION:
+        header = _HEADER_V2.pack(_MAGIC, _VERSION, KIND_SCALAR,
+                                 key_size, tensor.exponent,
+                                 len(tensor.shape))
+    else:
+        raise EncodingError(f"unsupported wire version {version}")
+    return header + dims + _pack_cells(tensor.cells(), key_size)
+
+
+def packed_tensor_to_bytes(tensor: PackedEncryptedTensor) -> bytes:
+    """Serialize a lane-packed tensor (v2 frame with lane geometry)."""
+    key_size = tensor.public_key.key_size
+    packer = tensor.packer
+    for field, value in (("lanes", packer.lanes),
+                         ("mag_bits", packer.mag_bits),
+                         ("guard_bits", packer.guard_bits),
+                         ("batch", tensor.batch)):
+        if not 0 <= value <= 0xFFFF:
+            raise EncodingError(
+                f"packed-frame {field} {value} exceeds the wire "
+                "format's 16-bit field"
+            )
+    header = _HEADER_V2.pack(_MAGIC, _VERSION, KIND_PACKED, key_size,
+                             tensor.exponent, len(tensor.shape))
+    lanes = _LANES_V2.pack(packer.lanes, packer.mag_bits,
+                           packer.guard_bits, tensor.batch)
+    return (header + lanes + _pack_dims(tensor.shape)
+            + _pack_cells(tensor.cells(), key_size))
+
+
+def _parse_header(blob: bytes) -> tuple[int, int, int, int, int, int]:
+    """Common header parse -> (version, kind, key_size, exponent,
+    rank, offset-of-next-field)."""
+    if len(blob) < _HEADER_V1.size:
+        raise EncodingError("blob shorter than the frame header")
+    magic, version = struct.unpack(">4sB", blob[:5])
     if magic != _MAGIC:
         raise EncodingError(f"bad magic {magic!r}")
-    if version != _VERSION:
-        raise EncodingError(f"unsupported wire version {version}")
-    if key_size != public_key.key_size:
-        raise KeyMismatchError(
-            f"frame was written for a {key_size}-bit key, reader has "
-            f"{public_key.key_size}-bit"
+    if version == _V1:
+        _, _, key_size, exponent, rank = _HEADER_V1.unpack(
+            blob[:_HEADER_V1.size]
         )
-    offset = _HEADER.size
+        return _V1, KIND_SCALAR, key_size, exponent, rank, _HEADER_V1.size
+    if version == _VERSION:
+        if len(blob) < _HEADER_V2.size:
+            raise EncodingError("blob shorter than the v2 frame header")
+        _, _, kind, key_size, exponent, rank = _HEADER_V2.unpack(
+            blob[:_HEADER_V2.size]
+        )
+        if kind not in (KIND_SCALAR, KIND_PACKED):
+            raise EncodingError(f"unknown v2 payload kind {kind}")
+        return version, kind, key_size, exponent, rank, _HEADER_V2.size
+    raise EncodingError(f"unsupported wire version {version}")
+
+
+def frame_kind(blob: bytes) -> int:
+    """Peek a frame's payload kind (:data:`KIND_SCALAR` /
+    :data:`KIND_PACKED`) without parsing the body."""
+    return _parse_header(blob)[1]
+
+
+def _parse_dims(blob: bytes, offset: int,
+                rank: int) -> tuple[Tuple[int, ...], int]:
     dims: Tuple[int, ...] = ()
     for _ in range(rank):
         if offset + 4 > len(blob):
@@ -133,10 +225,15 @@ def tensor_from_bytes(
         (dim,) = struct.unpack(">I", blob[offset:offset + 4])
         dims += (dim,)
         offset += 4
+    return dims, offset
+
+
+def _parse_cells(blob: bytes, offset: int, dims: Tuple[int, ...],
+                 public_key: PaillierPublicKey) -> list[EncryptedNumber]:
     size = 1
     for dim in dims:
         size *= dim
-    width = ciphertext_bytes(key_size)
+    width = ciphertext_bytes(public_key.key_size)
     expected = offset + size * width
     if len(blob) != expected:
         raise EncodingError(
@@ -152,4 +249,89 @@ def tensor_from_bytes(
                 f"ciphertext {index} out of range for the modulus"
             )
         cells.append(EncryptedNumber(public_key, value))
+    return cells
+
+
+def _check_key(key_size: int, public_key: PaillierPublicKey) -> None:
+    if key_size != public_key.key_size:
+        raise KeyMismatchError(
+            f"frame was written for a {key_size}-bit key, reader has "
+            f"{public_key.key_size}-bit"
+        )
+
+
+def tensor_from_bytes(
+    blob: bytes, public_key: PaillierPublicKey
+) -> EncryptedTensor:
+    """Parse a framed blob (v1 or v2 scalar) into an encrypted tensor.
+
+    Raises:
+        EncodingError: on bad framing, truncation, trailing bytes, or
+            a packed frame (parse those with
+            :func:`packed_tensor_from_bytes`).
+        KeyMismatchError: when the frame's key size differs from the
+            supplied public key's.
+    """
+    _, kind, key_size, exponent, rank, offset = _parse_header(blob)
+    if kind != KIND_SCALAR:
+        raise EncodingError(
+            "frame carries a lane-packed tensor; parse it with "
+            "packed_tensor_from_bytes"
+        )
+    _check_key(key_size, public_key)
+    dims, offset = _parse_dims(blob, offset, rank)
+    cells = _parse_cells(blob, offset, dims, public_key)
     return EncryptedTensor(public_key, cells, dims, exponent)
+
+
+def packed_tensor_from_bytes(
+    blob: bytes, public_key: PaillierPublicKey
+) -> PackedEncryptedTensor:
+    """Parse a v2 packed frame back into a lane-packed tensor.
+
+    The packer is rebuilt from the frame's lane geometry; its capacity
+    constraint re-validates against the supplied key, so a frame whose
+    geometry cannot fit the key fails here rather than producing
+    garbage lanes.
+    """
+    version, kind, key_size, exponent, rank, offset = _parse_header(blob)
+    if kind != KIND_PACKED:
+        raise EncodingError(
+            "frame carries a scalar tensor; parse it with "
+            "tensor_from_bytes"
+        )
+    _check_key(key_size, public_key)
+    if offset + _LANES_V2.size > len(blob):
+        raise EncodingError("truncated lane-geometry header")
+    lanes, mag_bits, guard_bits, batch = _LANES_V2.unpack(
+        blob[offset:offset + _LANES_V2.size]
+    )
+    offset += _LANES_V2.size
+    packer = LanePacker(public_key, lanes=lanes, mag_bits=mag_bits,
+                        guard_bits=guard_bits)
+    if not 1 <= batch <= lanes:
+        raise EncodingError(
+            f"frame batch {batch} out of range [1, {lanes}]"
+        )
+    dims, offset = _parse_dims(blob, offset, rank)
+    cells = _parse_cells(blob, offset, dims, public_key)
+    return PackedEncryptedTensor(public_key, cells, dims, packer,
+                                 batch, exponent)
+
+
+def any_tensor_to_bytes(
+    tensor: EncryptedTensor | PackedEncryptedTensor,
+) -> bytes:
+    """Serialize either tensor flavour (dispatch on type)."""
+    if isinstance(tensor, PackedEncryptedTensor):
+        return packed_tensor_to_bytes(tensor)
+    return tensor_to_bytes(tensor)
+
+
+def any_tensor_from_bytes(
+    blob: bytes, public_key: PaillierPublicKey
+) -> EncryptedTensor | PackedEncryptedTensor:
+    """Parse either tensor flavour (dispatch on the frame kind)."""
+    if frame_kind(blob) == KIND_PACKED:
+        return packed_tensor_from_bytes(blob, public_key)
+    return tensor_from_bytes(blob, public_key)

@@ -103,6 +103,18 @@ class WorkerCrashError(StreamError):
     item."""
 
 
+class TransportError(StreamError):
+    """A networked-runtime transport failure: broken frame, closed
+    socket, oversized message, or a timed-out round trip.  Classified
+    transient by default, so the coordinator's retry policy re-runs the
+    affected stage task (typically against a failover worker)."""
+
+
+class HandshakeError(TransportError):
+    """A remote worker and the coordinator could not agree on a session
+    (version, role, key, or config mismatch)."""
+
+
 class DeadlineExceededError(ReproError):
     """A request blew its per-request deadline (stream or sequential
     protocol path)."""

@@ -1,0 +1,40 @@
+"""Networked distributed runtime: TCP transport, workers, coordinator.
+
+The in-process thread pipeline and this package share one execution
+path — the coordinator runs the very same
+:class:`~repro.stream.pipeline.Pipeline` admission / retry /
+dead-letter machinery over remote stage proxies, so results are
+bit-identical between the two runtimes (see ``docs/DISTRIBUTED.md``).
+"""
+
+from .coordinator import (
+    Coordinator,
+    RemoteChannel,
+    RemoteStageExecutor,
+    WorkerHandle,
+)
+from .transport import (
+    Connection,
+    Envelope,
+    dial,
+    read_envelope,
+    wait_for_port,
+)
+from .wire import ROLE_DATA, ROLE_MODEL, build_worker_spec
+from .worker import WorkerServer
+
+__all__ = [
+    "Connection",
+    "Coordinator",
+    "Envelope",
+    "ROLE_DATA",
+    "ROLE_MODEL",
+    "RemoteChannel",
+    "RemoteStageExecutor",
+    "WorkerHandle",
+    "WorkerServer",
+    "build_worker_spec",
+    "dial",
+    "read_envelope",
+    "wait_for_port",
+]

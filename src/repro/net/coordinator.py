@@ -1,0 +1,513 @@
+"""The cluster coordinator: planner assignments onto live TCP workers.
+
+A :class:`Coordinator` takes the same (model provider, data provider,
+plan) triple as the in-process :class:`~repro.stream.pipeline.Pipeline`
+plus one worker address per cluster server, handshakes each worker into
+its server's role, and then runs streams through **the existing
+pipeline machinery**: `run_stream` admission, `StageWorker` retry
+loops, the supervisor, and the dead-letter path are reused verbatim —
+only the per-stage executors are swapped for
+:class:`RemoteStageExecutor` proxies that ship each item over a
+:class:`RemoteChannel` and await the result.
+
+Failure handling composes with the existing retry policy instead of
+duplicating it: any transport failure (broken frame, closed socket,
+timed-out round trip, no live worker) surfaces as
+:class:`~repro.errors.TransientStageError`, so the stage's retry loop
+backs off and re-runs the item — by then against a failover worker of
+the same role, because the first failure marked the original worker
+dead.  A heartbeat monitor independently detects silent worker death
+(missed :attr:`~repro.config.RuntimeConfig.net_heartbeat_timeout`) and
+force-closes that worker's task connections, which wakes any stage
+thread blocked on it into the same transient-retry path.  Exhausted
+retries dead-letter the request; the stream keeps serving everything
+else.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..errors import (
+    HandshakeError,
+    TransientStageError,
+    TransportError,
+)
+from ..nn.layers import LayerKind
+from ..observability import OBS_OFF, Observability
+from ..planner.plan import Plan
+from ..protocol.roles import DataProvider, ModelProvider
+from ..stream.pipeline import Pipeline, StreamStats
+from ..stream.retry import RetryPolicy
+from .transport import (
+    KIND_ERROR,
+    KIND_HEARTBEAT,
+    KIND_HEARTBEAT_ACK,
+    KIND_HELLO,
+    KIND_RESULT,
+    KIND_SHUTDOWN,
+    KIND_WELCOME,
+    Connection,
+    Envelope,
+    dial,
+)
+from .wire import (
+    ROLE_DATA,
+    ROLE_MODEL,
+    apply_result,
+    build_worker_spec,
+    raise_remote_error,
+    task_envelope,
+)
+
+#: Signature of the optional worker-respawn hook:
+#: ``respawn(server_id, role) -> (host, port)`` of a fresh worker.
+RespawnFn = Callable[[int, str], tuple[str, int]]
+
+
+class WorkerHandle:
+    """One cluster-server slot bound to a live (or dead) worker."""
+
+    def __init__(self, server_id: int, role: str,
+                 address: tuple[str, int]):
+        self.server_id = server_id
+        self.role = role
+        self.address = address
+        self.alive = False
+        self.generation = 0
+        self.restarts = 0
+        self.control: Connection | None = None
+        self._task_conns: List[Connection] = []
+        self._lock = threading.Lock()
+
+    def register(self, connection: Connection) -> None:
+        with self._lock:
+            self._task_conns.append(connection)
+
+    def drain_connections(self) -> List[Connection]:
+        with self._lock:
+            connections = list(self._task_conns)
+            self._task_conns.clear()
+        return connections
+
+    def describe(self) -> str:
+        state = "up" if self.alive else "down"
+        return (f"server {self.server_id} ({self.role}) @ "
+                f"{self.address[0]}:{self.address[1]} [{state}, "
+                f"gen {self.generation}, {self.restarts} restart(s)]")
+
+
+class RemoteChannel:
+    """The wire conduit for one (stage, worker-generation) pair.
+
+    The network twin of the in-process bounded channel: ``submit``
+    plays put-then-get as one strict round trip on a dedicated task
+    connection, so the thread pipeline's stage workers drive remote
+    stages through the same blocking call pattern they use locally.
+    Lazily dialed; a dead connection stays dead (the executor builds a
+    fresh channel for the next worker generation).
+    """
+
+    def __init__(self, coordinator: "Coordinator",
+                 handle: WorkerHandle, stage_index: int):
+        self._coordinator = coordinator
+        self._handle = handle
+        self._stage_index = stage_index
+        self._connection: Connection | None = None
+        self._lock = threading.Lock()
+
+    def _ensure_connection(self) -> Connection:
+        with self._lock:
+            if self._connection is not None \
+                    and not self._connection.closed:
+                return self._connection
+            self._connection = self._coordinator._open_session(
+                self._handle,
+                peer=f"worker-{self._handle.server_id}",
+            )
+            self._handle.register(self._connection)
+            return self._connection
+
+    def submit(self, item, timeout: float) -> object:
+        """One stage-task round trip; returns the processed item."""
+        connection = self._ensure_connection()
+        reply = connection.request(
+            task_envelope(item, self._stage_index), timeout=timeout
+        )
+        if reply.kind == KIND_ERROR:
+            raise_remote_error(reply)
+        if reply.kind != KIND_RESULT:
+            raise TransportError(
+                f"expected a result envelope, got {reply.kind}"
+            )
+        return apply_result(
+            reply, item, self._coordinator.data_provider.public_key
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
+
+
+class RemoteStageExecutor:
+    """Stage-executor proxy: ships items to a worker of the right role.
+
+    Drop-in for the in-process executors (same ``process(item)`` /
+    ``shutdown()`` surface), handed to ``Pipeline(executors=...)`` so
+    both runtimes share one code path.  Worker selection prefers the
+    plan's assigned server and fails over to any live worker of the
+    same role; with none live it raises
+    :class:`~repro.errors.TransientStageError` so the retry policy
+    keeps the request alive across a worker respawn.
+    """
+
+    def __init__(self, coordinator: "Coordinator", stage_index: int,
+                 role: str):
+        self.coordinator = coordinator
+        self.stage_index = stage_index
+        self.role = role
+        self._channels: dict[tuple[int, int], RemoteChannel] = {}
+        self._lock = threading.Lock()
+        self._m_roundtrip = coordinator.obs.registry.histogram(
+            "net_stage_roundtrip_seconds", stage=str(stage_index)
+        )
+
+    def _channel_for(self, handle: WorkerHandle) -> RemoteChannel:
+        key = (handle.server_id, handle.generation)
+        with self._lock:
+            channel = self._channels.get(key)
+            if channel is None:
+                channel = RemoteChannel(self.coordinator, handle,
+                                        self.stage_index)
+                self._channels[key] = channel
+            return channel
+
+    def process(self, item):
+        handle = self.coordinator.pick_worker(self.role,
+                                              self.stage_index)
+        generation = handle.generation
+        channel = self._channel_for(handle)
+        start = time.perf_counter()
+        try:
+            item = channel.submit(
+                item, self.coordinator.config.net_request_timeout
+            )
+        except TransportError as exc:
+            self.coordinator.report_failure(handle, generation)
+            raise TransientStageError(
+                f"stage {self.stage_index} round trip to "
+                f"{handle.describe()} failed: {exc}"
+            ) from exc
+        self._m_roundtrip.observe(time.perf_counter() - start)
+        return item
+
+    def shutdown(self) -> None:
+        with self._lock:
+            for channel in self._channels.values():
+                channel.close()
+            self._channels.clear()
+
+
+class Coordinator:
+    """Maps planner stage assignments onto registered remote workers.
+
+    Args:
+        model_provider / data_provider / plan: exactly the in-process
+            pipeline's triple; the plan's cluster defines one server
+            slot (with a role) per worker address.
+        workers: one ``(host, port)`` per cluster server, in server-id
+            order.
+        respawn: optional hook called (from the failure path) with
+            ``(server_id, role)`` to start a replacement worker;
+            returns its address.  At most ``worker_restart_budget``
+            respawns per server slot.
+        worker_restart_budget: respawns allowed per server slot.
+        retry_policy / request_deadline / channel_capacity /
+            restart_budget / sink_timeout: forwarded to the underlying
+            :class:`~repro.stream.pipeline.Pipeline` untouched.
+        obs: observability sinks (defaults from the providers, like the
+            in-process pipeline).
+    """
+
+    def __init__(
+        self,
+        model_provider: ModelProvider,
+        data_provider: DataProvider,
+        plan: Plan,
+        workers: Sequence[tuple[str, int]],
+        respawn: RespawnFn | None = None,
+        worker_restart_budget: int = 0,
+        retry_policy: RetryPolicy | None = None,
+        request_deadline: float | None = None,
+        channel_capacity: int = 8,
+        restart_budget: int = 2,
+        sink_timeout: float = 300.0,
+        obs: Observability | None = None,
+    ):
+        servers = plan.cluster.servers
+        if len(workers) != len(servers):
+            raise HandshakeError(
+                f"plan has {len(servers)} servers but {len(workers)} "
+                "worker addresses were given"
+            )
+        self.model_provider = model_provider
+        self.data_provider = data_provider
+        self.plan = plan
+        self.config = model_provider.config
+        if obs is None:
+            for candidate in (getattr(model_provider, "obs", None),
+                              getattr(data_provider, "obs", None)):
+                if candidate is not None and candidate.enabled:
+                    obs = candidate
+                    break
+        self.obs = obs if obs is not None else OBS_OFF
+        model_provider.register_public_key(data_provider.public_key)
+        self._respawn = respawn
+        self._worker_restart_budget = worker_restart_budget
+        self._retry_policy = (retry_policy if retry_policy is not None
+                              else RetryPolicy(max_retries=3))
+        self._request_deadline = request_deadline
+        self._channel_capacity = channel_capacity
+        self._restart_budget = restart_budget
+        self._sink_timeout = sink_timeout
+        self._specs = {
+            role: build_worker_spec(model_provider, data_provider,
+                                    plan, role)
+            for role in (ROLE_MODEL, ROLE_DATA)
+        }
+        self.handles = [
+            WorkerHandle(server.server_id, server.role, tuple(address))
+            for server, address in zip(servers, workers)
+        ]
+        self._lock = threading.Lock()
+        self._monitor: threading.Thread | None = None
+        self._stop_monitor = threading.Event()
+        self._connected = False
+        self._m_deaths = self.obs.registry.counter("net_worker_deaths")
+        self._m_respawns = self.obs.registry.counter(
+            "net_worker_respawns"
+        )
+
+    # -- wiring --------------------------------------------------------
+
+    def _open_session(self, handle: WorkerHandle,
+                      peer: str) -> Connection:
+        """Dial a worker and run the role handshake on the new
+        connection (used for both control and task connections)."""
+        connection = dial(
+            handle.address[0], handle.address[1],
+            connect_timeout=self.config.net_connect_timeout,
+            max_frame_bytes=self.config.net_max_frame_bytes,
+            obs=self.obs, peer=peer,
+        )
+        try:
+            reply = connection.request(
+                Envelope(KIND_HELLO, header=self._specs[handle.role]),
+                timeout=self.config.net_handshake_timeout,
+            )
+        except TransportError:
+            connection.close()
+            raise
+        if reply.kind == KIND_ERROR:
+            connection.close()
+            raise HandshakeError(
+                f"{handle.describe()} rejected the handshake: "
+                f"{reply.header.get('message')}"
+            )
+        if reply.kind != KIND_WELCOME:
+            connection.close()
+            raise HandshakeError(
+                f"expected welcome from {handle.describe()}, got "
+                f"{reply.kind}"
+            )
+        return connection
+
+    def _attach(self, handle: WorkerHandle) -> None:
+        handle.control = self._open_session(
+            handle, peer=f"worker-{handle.server_id}"
+        )
+        handle.alive = True
+
+    def connect(self) -> None:
+        """Handshake every worker and start the heartbeat monitor."""
+        if self._connected:
+            return
+        for handle in self.handles:
+            self._attach(handle)
+        self._connected = True
+        self._stop_monitor.clear()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="coordinator-heartbeat",
+            daemon=True,
+        )
+        self._monitor.start()
+
+    def _monitor_loop(self) -> None:
+        interval = self.config.net_heartbeat_interval
+        nonce = 0
+        while not self._stop_monitor.wait(interval):
+            for handle in self.handles:
+                if self._stop_monitor.is_set():
+                    return
+                if not handle.alive or handle.control is None:
+                    continue
+                nonce += 1
+                generation = handle.generation
+                try:
+                    reply = handle.control.request(
+                        Envelope(KIND_HEARTBEAT,
+                                 header={"nonce": nonce}),
+                        timeout=self.config.net_heartbeat_timeout,
+                    )
+                    if reply.kind != KIND_HEARTBEAT_ACK:
+                        raise TransportError(
+                            f"expected heartbeat-ack, got {reply.kind}"
+                        )
+                except TransportError:
+                    self.report_failure(handle, generation)
+
+    def report_failure(self, handle: WorkerHandle,
+                       generation: int | None = None) -> None:
+        """Mark a worker dead, cut its connections, maybe respawn.
+
+        Closing the dead worker's task connections wakes every stage
+        thread blocked on it with a :class:`TransportError`, which the
+        executor converts to :class:`TransientStageError` — the
+        existing retry path then re-injects those in-flight items,
+        against a failover worker or the respawned one.
+
+        Args:
+            generation: the handle generation the caller observed the
+                failure on; a stale report (the slot was already
+                respawned into a newer generation) is ignored so one
+                worker death is never double-counted against a fresh
+                replacement.
+        """
+        with self._lock:
+            if not handle.alive:
+                return
+            if generation is not None \
+                    and handle.generation != generation:
+                return
+            handle.alive = False
+            handle.generation += 1
+            do_respawn = (self._respawn is not None
+                          and handle.restarts
+                          < self._worker_restart_budget)
+            if do_respawn:
+                handle.restarts += 1
+        self._m_deaths.inc()
+        self.obs.tracer.event(
+            "worker-death", server=handle.server_id, role=handle.role
+        )
+        if handle.control is not None:
+            handle.control.close()
+            handle.control = None
+        for connection in handle.drain_connections():
+            connection.close()
+        if do_respawn:
+            try:
+                handle.address = tuple(
+                    self._respawn(handle.server_id, handle.role)
+                )
+                self._attach(handle)
+                self._m_respawns.inc()
+            except (TransportError, HandshakeError):
+                pass  # slot stays dead; failover carries the load
+
+    def pick_worker(self, role: str,
+                    stage_index: int) -> WorkerHandle:
+        """A live worker for a stage: its assigned server if up, else
+        any live same-role worker (failover)."""
+        assigned = self.plan.assignments[stage_index].server_id
+        with self._lock:
+            preferred = self.handles[assigned]
+            if preferred.alive:
+                return preferred
+            for handle in self.handles:
+                if handle.role == role and handle.alive:
+                    return handle
+        raise TransientStageError(
+            f"no live {role} worker for stage {stage_index} "
+            f"({preferred.describe()})"
+        )
+
+    # -- running -------------------------------------------------------
+
+    def executors(self) -> List[RemoteStageExecutor]:
+        """One remote proxy per plan stage (fresh set per stream)."""
+        return [
+            RemoteStageExecutor(
+                self, stage.index,
+                ROLE_MODEL if stage.kind is LayerKind.LINEAR
+                else ROLE_DATA,
+            )
+            for stage in self.plan.stages
+        ]
+
+    def run_stream(self, inputs: Sequence[np.ndarray]) -> StreamStats:
+        """Stream inputs through the remote cluster.
+
+        Identical contract to the in-process
+        :meth:`~repro.stream.pipeline.Pipeline.run_stream` — it *is*
+        that method, running over remote stage proxies.
+        """
+        if not self._connected:
+            self.connect()
+        pipeline = Pipeline(
+            self.model_provider,
+            self.data_provider,
+            self.plan,
+            channel_capacity=self._channel_capacity,
+            retry_policy=self._retry_policy,
+            request_deadline=self._request_deadline,
+            restart_budget=self._restart_budget,
+            sink_timeout=self._sink_timeout,
+            executors=self.executors(),
+            obs=self.obs,
+        )
+        return pipeline.run_stream(inputs)
+
+    # -- teardown ------------------------------------------------------
+
+    def close(self, shutdown_workers: bool = False) -> None:
+        """Stop the monitor and drop every connection.
+
+        Args:
+            shutdown_workers: also send each live worker a
+                server-scoped shutdown envelope so standalone worker
+                processes exit cleanly.
+        """
+        self._stop_monitor.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=10.0)
+            self._monitor = None
+        for handle in self.handles:
+            if shutdown_workers and handle.alive \
+                    and handle.control is not None:
+                try:
+                    handle.control.send(Envelope(
+                        KIND_SHUTDOWN, header={"scope": "server"}
+                    ))
+                except TransportError:
+                    pass
+            if handle.control is not None:
+                handle.control.close()
+                handle.control = None
+            for connection in handle.drain_connections():
+                connection.close()
+            handle.alive = False
+        self._connected = False
+
+    def __enter__(self) -> "Coordinator":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,289 @@
+"""Envelope payload codecs for the distributed runtime.
+
+Builds the role-specific handshake spec a coordinator ships to each
+worker, and converts :class:`~repro.stream.executors.StreamItem`
+traffic to/from ``task`` / ``result`` / ``error`` envelopes.  Tensor
+payloads are exactly the :mod:`repro.crypto.serialize` frames (scalar
+or lane-packed); keys cross the wire as the same module's JSON forms.
+
+Privacy separation (paper Eq. 6) holds on the wire: the spec sent to a
+*model*-role worker carries scaled affines and the public key but never
+the private key; the spec sent to a *data*-role worker carries the
+private key and activation specs but never a model parameter.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+
+import numpy as np
+
+from ..config import RuntimeConfig
+from ..crypto.serialize import (
+    any_tensor_from_bytes,
+    any_tensor_to_bytes,
+    private_key_to_json,
+    public_key_to_json,
+)
+from ..errors import (
+    PoisonedRequestError,
+    TransientStageError,
+    TransportError,
+)
+from ..nn.layers import LayerKind
+from ..scaling.fixed_point import ScaledAffine
+from ..stream.executors import StreamItem
+from .transport import (
+    KIND_ERROR,
+    KIND_RESULT,
+    KIND_TASK,
+    VERSION,
+    Envelope,
+)
+
+#: Worker roles (mirror :class:`repro.planner.plan.ServerSpec.role`).
+ROLE_MODEL = "model"
+ROLE_DATA = "data"
+
+
+def _b64(array: np.ndarray) -> str:
+    return base64.b64encode(np.ascontiguousarray(array).tobytes()
+                            ).decode("ascii")
+
+
+def _unb64(text: str, dtype: str, shape) -> np.ndarray:
+    try:
+        raw = base64.b64decode(text.encode("ascii"), validate=True)
+        array = np.frombuffer(raw, dtype=dtype).reshape(tuple(shape))
+    except (ValueError, TypeError) as exc:
+        raise TransportError(f"malformed array field: {exc}") from exc
+    return array.copy()
+
+
+def affine_to_wire(affine: ScaledAffine) -> dict:
+    return {
+        "weight": _b64(affine.weight.astype(np.int64)),
+        "weight_shape": list(affine.weight.shape),
+        "raw_bias": _b64(np.asarray(affine.raw_bias, dtype=np.float64)),
+        "bias_shape": list(np.asarray(affine.raw_bias).shape),
+        "decimals": affine.decimals,
+        "input_shape": list(affine.input_shape),
+        "output_shape": list(affine.output_shape),
+    }
+
+
+def affine_from_wire(state: dict) -> ScaledAffine:
+    try:
+        return ScaledAffine(
+            weight=_unb64(state["weight"], "int64",
+                          state["weight_shape"]),
+            raw_bias=_unb64(state["raw_bias"], "float64",
+                            state["bias_shape"]),
+            decimals=int(state["decimals"]),
+            input_shape=tuple(state["input_shape"]),
+            output_shape=tuple(state["output_shape"]),
+        )
+    except KeyError as exc:
+        raise TransportError(f"affine record missing {exc}") from exc
+
+
+def config_to_wire(config: RuntimeConfig) -> dict:
+    return dataclasses.asdict(config)
+
+
+def config_from_wire(state: dict) -> RuntimeConfig:
+    try:
+        return RuntimeConfig(**state)
+    except TypeError as exc:
+        raise TransportError(f"bad config record: {exc}") from exc
+
+
+def build_worker_spec(model_provider, data_provider, plan,
+                      role: str) -> dict:
+    """The handshake spec for one worker of the given role.
+
+    Contains everything a fresh process needs to rebuild its stage
+    executors: the runtime config, stage geometry, and the role's
+    state (affines + public key for model workers; private key +
+    activation specs + value decimals for data workers).
+    """
+    if role not in (ROLE_MODEL, ROLE_DATA):
+        raise TransportError(f"unknown worker role {role!r}")
+    stages = {}
+    for stage in plan.stages:
+        kind = ("linear" if stage.kind is LayerKind.LINEAR
+                else "nonlinear")
+        entry = {
+            "kind": kind,
+            "threads": plan.threads_for(stage.index),
+        }
+        if role == ROLE_MODEL and kind == "linear":
+            entry["affines"] = [
+                affine_to_wire(affine)
+                for affine in
+                model_provider._linear_plans[stage.index].affines
+            ]
+        if role == ROLE_DATA and kind == "nonlinear":
+            entry["activations"] = \
+                model_provider.nonlinear_activations(stage.index)
+        stages[str(stage.index)] = entry
+    spec = {
+        "version": VERSION,
+        "role": role,
+        "num_stages": len(plan.stages),
+        "use_tensor_partitioning": plan.use_tensor_partitioning,
+        "config": config_to_wire(model_provider.config),
+        "public_key": public_key_to_json(data_provider.public_key),
+        "stages": stages,
+    }
+    if role == ROLE_MODEL:
+        spec["decimals"] = model_provider.decimals
+    else:
+        spec["value_decimals"] = data_provider.value_decimals
+        spec["private_key"] = private_key_to_json(
+            data_provider._private_key
+        )
+    return spec
+
+
+# -- stream item traffic ------------------------------------------------
+
+
+def task_envelope(item: StreamItem, stage_index: int) -> Envelope:
+    """Wrap a stream item as a stage-task envelope."""
+    if item.tensor is None:
+        raise TransportError(
+            f"request {item.request_id} has no tensor to ship"
+        )
+    return Envelope(
+        KIND_TASK,
+        header={
+            "request_id": item.request_id,
+            "stage_index": stage_index,
+            "obfuscation_round": item.obfuscation_round,
+            "trace_id": item.trace_id,
+            "trace_parent": item.trace_parent,
+        },
+        payload=any_tensor_to_bytes(item.tensor),
+    )
+
+
+def item_from_task(envelope: Envelope, public_key) -> StreamItem:
+    """Rebuild the worker-side stream item from a task envelope."""
+    header = envelope.header
+    try:
+        return StreamItem(
+            request_id=int(header["request_id"]),
+            tensor=any_tensor_from_bytes(envelope.payload, public_key),
+            obfuscation_round=(
+                None if header.get("obfuscation_round") is None
+                else int(header["obfuscation_round"])
+            ),
+            trace_id=header.get("trace_id"),
+            trace_parent=header.get("trace_parent"),
+        )
+    except KeyError as exc:
+        raise TransportError(f"task envelope missing {exc}") from exc
+
+
+def result_envelope(item: StreamItem) -> Envelope:
+    """Wrap a processed item as a stage-result envelope.
+
+    Final stages produce a float64 probability vector — shipped as raw
+    little-endian bytes so the coordinator's copy is bit-identical to
+    the in-process pipeline's.  Non-final stages ship the output tensor
+    frame plus the outbound obfuscation round.
+    """
+    if item.result is not None:
+        result = np.ascontiguousarray(np.asarray(item.result,
+                                                 dtype=np.float64))
+        return Envelope(
+            KIND_RESULT,
+            header={
+                "request_id": item.request_id,
+                "has_result": True,
+                "result_shape": list(result.shape),
+            },
+            payload=result.tobytes(),
+        )
+    if item.tensor is None:
+        raise TransportError(
+            f"request {item.request_id} finished with neither a tensor "
+            "nor a result"
+        )
+    return Envelope(
+        KIND_RESULT,
+        header={
+            "request_id": item.request_id,
+            "has_result": False,
+            "obfuscation_round": item.obfuscation_round,
+        },
+        payload=any_tensor_to_bytes(item.tensor),
+    )
+
+
+def apply_result(envelope: Envelope, item: StreamItem,
+                 public_key) -> StreamItem:
+    """Fold a stage-result envelope back into the coordinator's item."""
+    header = envelope.header
+    got = header.get("request_id")
+    if got != item.request_id:
+        raise TransportError(
+            f"result for request {got} arrived while request "
+            f"{item.request_id} was in flight"
+        )
+    if header.get("has_result"):
+        try:
+            shape = tuple(int(d) for d in header["result_shape"])
+            result = np.frombuffer(envelope.payload,
+                                   dtype=np.float64).reshape(shape)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise TransportError(
+                f"malformed result envelope: {exc}"
+            ) from exc
+        item.result = result.copy()
+        item.tensor = None
+        item.obfuscation_round = None
+        return item
+    item.tensor = any_tensor_from_bytes(envelope.payload, public_key)
+    item.obfuscation_round = (
+        None if header.get("obfuscation_round") is None
+        else int(header["obfuscation_round"])
+    )
+    return item
+
+
+#: Error classifications carried on ``error`` envelopes.
+CLASS_TRANSIENT = "transient"
+CLASS_PERMANENT = "permanent"
+CLASS_UNCLASSIFIED = "unclassified"
+
+
+def error_envelope(request_id: int, classification: str,
+                   message: str) -> Envelope:
+    return Envelope(KIND_ERROR, header={
+        "request_id": request_id,
+        "classification": classification,
+        "message": message,
+    })
+
+
+def raise_remote_error(envelope: Envelope) -> None:
+    """Re-raise a worker-reported stage failure with its class intact.
+
+    Transient failures become :class:`TransientStageError` (retried),
+    permanent ones :class:`PoisonedRequestError` (dead-lettered), and
+    unclassified ones a plain ``RuntimeError`` so the coordinator's
+    retry policy applies its own ``retry_unclassified`` default —
+    matching what would have happened had the executor raised locally.
+    """
+    header = envelope.header
+    classification = header.get("classification", CLASS_UNCLASSIFIED)
+    message = (f"remote stage failure: "
+               f"{header.get('message', 'unknown error')}")
+    if classification == CLASS_TRANSIENT:
+        raise TransientStageError(message)
+    if classification == CLASS_PERMANENT:
+        raise PoisonedRequestError(message)
+    raise RuntimeError(message)

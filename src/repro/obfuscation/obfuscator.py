@@ -40,11 +40,35 @@ class Obfuscator:
 
     The master seed stays at the model provider; the data provider never
     sees seeds or permutations, only permuted tensors.
+
+    Distributed mode: the networked runtime runs each linear stage's
+    obfuscator in its own worker process, so round ids must be globally
+    unique across the cluster and inversion must survive retries (a
+    failed-over stage task replays deobfuscation for a round another
+    attempt already consumed).  ``first_round``/``round_stride``
+    namespace each stage's round-id sequence (stage *i* of *S* stages
+    issues ``i, i + stride, i + 2*stride, ...``), and ``stateless=True``
+    rederives permutations from ``(master_seed, round_id)`` on demand —
+    every issued permutation is a pure function of the pair, so any
+    same-seeded obfuscator in any process can invert any round, any
+    number of times.
     """
 
-    def __init__(self, master_seed: int):
+    def __init__(self, master_seed: int, first_round: int = 0,
+                 round_stride: int = 1, stateless: bool = False):
+        if round_stride < 1:
+            raise ObfuscationError(
+                f"round_stride must be >= 1, got {round_stride}"
+            )
+        if first_round < 0:
+            raise ObfuscationError(
+                f"first_round must be non-negative, got {first_round}"
+            )
         self._master_seed = master_seed
-        self._next_round = 0
+        self._first_round = first_round
+        self._round_stride = round_stride
+        self._stateless = stateless
+        self._next_round = first_round
         self._outstanding: dict[int, ObfuscationRecord] = {}
         self._history: list[ObfuscationRecord] = []
         # The stream runtime calls obfuscate()/deobfuscate() from
@@ -53,7 +77,11 @@ class Obfuscator:
 
     @property
     def rounds_started(self) -> int:
-        return self._next_round
+        return (self._next_round - self._first_round) // self._round_stride
+
+    @property
+    def stateless(self) -> bool:
+        return self._stateless
 
     def history(self) -> tuple[ObfuscationRecord, ...]:
         """All permutations ever issued (for leakage analysis in Exp#5)."""
@@ -76,22 +104,33 @@ class Obfuscator:
         """
         with self._lock:
             round_id = self._next_round
-            self._next_round += 1
+            self._next_round += self._round_stride
         permutation = Permutation.random(
             len(items), self._derive_seed(round_id)
         )
         record = ObfuscationRecord(round_id, permutation)
         with self._lock:
-            self._outstanding[round_id] = record
+            if not self._stateless:
+                self._outstanding[round_id] = record
             self._history.append(record)
         return round_id, permutation.apply(items)
 
     def deobfuscate(self, round_id: int, items: Sequence[T]) -> list[T]:
         """Invert the permutation issued for ``round_id``.
 
-        Each round may be inverted exactly once; inverting an unknown or
-        already-consumed round raises :class:`ObfuscationError`.
+        In the default stateful mode each round may be inverted exactly
+        once; inverting an unknown or already-consumed round raises
+        :class:`ObfuscationError`.  In stateless (distributed) mode the
+        permutation is rederived from ``(master_seed, round_id,
+        len(items))`` instead of looked up, so inversion is idempotent
+        and works in any same-seeded process — the retry path depends
+        on both properties.
         """
+        if self._stateless:
+            permutation = Permutation.random(
+                len(items), self._derive_seed(round_id)
+            )
+            return permutation.invert(items)
         with self._lock:
             record = self._outstanding.pop(round_id, None)
         if record is None:

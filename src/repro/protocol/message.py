@@ -33,10 +33,14 @@ class Message:
             the protocol never sends plaintext over the wire, which the
             constructor enforces).
         elements: tensor element count.
-        bytes_estimate: wire size estimate.
+        bytes_estimate: analytic wire size estimate (2 bytes per
+            modulus bit per element — the paper's Section V figure).
         round_index: protocol round (0 = first).
         stage_index: pipeline stage the payload feeds/leaves.
         obfuscation_round: obfuscator round id, when permuted.
+        bytes_actual: exact framed wire size per
+            :func:`repro.crypto.serialize.tensor_frame_bytes`; ``None``
+            for transcripts recorded before actual accounting existed.
     """
 
     sender: str
@@ -46,6 +50,7 @@ class Message:
     round_index: int
     stage_index: int
     obfuscation_round: int | None = None
+    bytes_actual: int | None = None
 
     def __post_init__(self) -> None:
         if self.sender not in ("data", "model"):
@@ -81,6 +86,22 @@ class Transcript:
 
     @property
     def total_bytes(self) -> int:
+        """Total wire bytes, preferring exact frame sizes.
+
+        Messages recorded with :attr:`Message.bytes_actual` contribute
+        their real framed size; older ones fall back to the analytic
+        estimate.  :attr:`total_bytes_estimate` keeps the pure-analytic
+        number available as a cross-check.
+        """
+        return sum(
+            m.bytes_actual if m.bytes_actual is not None
+            else m.bytes_estimate
+            for m in self.messages
+        )
+
+    @property
+    def total_bytes_estimate(self) -> int:
+        """Analytic total (2 bytes per modulus bit per element)."""
         return sum(m.bytes_estimate for m in self.messages)
 
     @property

@@ -17,6 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..crypto.serialize import tensor_frame_bytes
+from ..crypto.tensor import PackedEncryptedTensor
 from ..errors import DeadlineExceededError, ProtocolError
 from ..nn.layers import LayerKind
 from ..observability import OBS_OFF, Observability
@@ -90,6 +92,16 @@ class InferenceSession:
         self._num_pairs = len(stages) // 2
         self._cipher_bytes = 2 * data_provider.public_key.key_size // 8
 
+    def _frame_bytes(self, tensor) -> int:
+        """Exact framed wire size of a tensor, per the serialize
+        v2 format (header + dims + fixed-width ciphertexts)."""
+        return tensor_frame_bytes(
+            self.data_provider.public_key.key_size,
+            rank=len(tensor.shape),
+            size=tensor.size,
+            packed=isinstance(tensor, PackedEncryptedTensor),
+        )
+
     def run(self, x: np.ndarray,
             deadline: float | None = None) -> InferenceOutcome:
         """Execute the full workflow for one input tensor.
@@ -147,6 +159,7 @@ class InferenceSession:
                     round_index=pair,
                     stage_index=linear_index,
                     obfuscation_round=obfuscation_round,
+                    bytes_actual=self._frame_bytes(tensor),
                 ))
                 round_start = time.perf_counter()
                 with tracer.span("linear-round", trace_id=trace_id,
@@ -170,6 +183,7 @@ class InferenceSession:
                     round_index=pair,
                     stage_index=linear_index,
                     obfuscation_round=outbound_round,
+                    bytes_actual=self._frame_bytes(tensor),
                 ))
 
                 activations = self.model_provider.nonlinear_activations(
@@ -298,6 +312,7 @@ class InferenceSession:
                     round_index=pair,
                     stage_index=linear_index,
                     obfuscation_round=obfuscation_round,
+                    bytes_actual=self._frame_bytes(tensor),
                 ))
                 round_start = time.perf_counter()
                 with tracer.span("linear-round", trace_id=trace_id,
@@ -321,6 +336,7 @@ class InferenceSession:
                     round_index=pair,
                     stage_index=linear_index,
                     obfuscation_round=outbound_round,
+                    bytes_actual=self._frame_bytes(tensor),
                 ))
 
                 activations = self.model_provider.nonlinear_activations(

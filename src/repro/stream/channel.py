@@ -111,6 +111,21 @@ class Channel:
             self._not_empty.notify_all()
             self._not_full.notify_all()
 
+    def drain(self) -> list:
+        """Atomically remove and return everything still queued.
+
+        Shutdown-path helper: lets a winding-down consumer claim all
+        stranded items (to dead-letter them) without racing producers
+        or other consumers.  Works on open and closed channels; wakes
+        blocked producers since capacity was freed.
+        """
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            if items:
+                self._not_full.notify_all()
+            return items
+
     @property
     def closed(self) -> bool:
         return self._closed

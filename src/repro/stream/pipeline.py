@@ -174,6 +174,11 @@ class Pipeline:
         restart_budget: crashed-worker restarts allowed per stage.
         sink_timeout: max seconds the sink drain waits for any single
             item before forcing shutdown.
+        executors: override the stage executors (one per plan stage)
+            instead of building the in-process ones — the networked
+            runtime passes remote stage proxies here so the thread
+            pipeline and the network pipeline share this exact
+            admission/retry/dead-letter/supervision code path.
         obs: observability sinks shared by admission, every stage
             worker, and the supervisor.  Defaults to the model
             provider's (then the data provider's) instance when one of
@@ -192,6 +197,7 @@ class Pipeline:
         fault_plan: FaultPlan | None = None,
         restart_budget: int = 2,
         sink_timeout: float = 300.0,
+        executors: Sequence | None = None,
         obs: Observability | None = None,
     ):
         model_provider.register_public_key(data_provider.public_key)
@@ -206,8 +212,9 @@ class Pipeline:
                     break
         self.obs = obs if obs is not None else OBS_OFF
         self._executors = wrap_executors(
-            build_executors(model_provider, data_provider, plan,
-                            obs=self.obs),
+            list(executors) if executors is not None
+            else build_executors(model_provider, data_provider, plan,
+                                 obs=self.obs),
             fault_plan,
         )
         self._channel_capacity = channel_capacity

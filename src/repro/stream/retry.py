@@ -27,6 +27,7 @@ from ..errors import (
 REASON_PERMANENT = "permanent-error"
 REASON_EXHAUSTED = "retries-exhausted"
 REASON_DEADLINE = "deadline-exceeded"
+REASON_SHUTDOWN = "shutdown-drain"
 
 
 @dataclass(frozen=True)

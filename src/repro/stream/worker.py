@@ -39,6 +39,7 @@ from .retry import (
     REASON_DEADLINE,
     REASON_EXHAUSTED,
     REASON_PERMANENT,
+    REASON_SHUTDOWN,
     DeadLetter,
     RetryBudgetLedger,
     RetryPolicy,
@@ -343,15 +344,45 @@ class StageWorker:
         """Close the outbound channel and shut the executor down.
 
         Idempotent; called on normal completion, on unsupervised
-        crash, and by the supervisor when it gives a stage up."""
+        crash, and by the supervisor when it gives a stage up.
+
+        In dead-letter mode, items still stranded in the inbound
+        channel are tombstoned (:data:`REASON_SHUTDOWN`) and forwarded
+        before the outbound closes — a peer disconnect or fatal
+        shutdown mid-stream thus drains to dead letters the sink can
+        account for, instead of hanging the drain loop on requests
+        nobody will ever deliver."""
         if self._finalized:
             return
         self._finalized = True
+        if self.dead_letter:
+            self._drain_to_dead_letters()
         if self.outbound is not None:
             self.outbound.close()
         shutdown = getattr(self.executor, "shutdown", None)
         if shutdown is not None:
             shutdown()
+
+    def _drain_to_dead_letters(self) -> None:
+        for item in self.inbound.drain():
+            if getattr(item, "fault", None) is None:
+                letter = DeadLetter(
+                    request_id=int(getattr(item, "request_id", -1)),
+                    stage=self.stage_index,
+                    reason=REASON_SHUTDOWN,
+                    attempts=0,
+                    error="stage shut down with the item still queued",
+                )
+                self.ledger.dead_letters.append(letter)
+                item.fault = letter
+                self.obs.registry.counter(
+                    "stream_dead_letters", stage=str(self.stage_index),
+                    reason=REASON_SHUTDOWN,
+                ).inc()
+            if self.outbound is not None:
+                # put_front: never blocks and works after close, so the
+                # tombstone still reaches the sink if it is listening.
+                self.outbound.put_front(item)
 
     def join(self, timeout: float | None = None) -> None:
         """Wait for the worker; re-raise any captured stage failure."""

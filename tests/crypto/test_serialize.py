@@ -10,6 +10,7 @@ from repro.crypto.serialize import (
     private_key_to_json,
     public_key_from_json,
     public_key_to_json,
+    tensor_frame_bytes,
     tensor_from_bytes,
     tensor_to_bytes,
 )
@@ -57,8 +58,21 @@ class TestTensorSerialization:
         pub, _ = keypair
         tensor = EncryptedTensor.encrypt(np.arange(5), pub, rng)
         blob = tensor_to_bytes(tensor)
-        header = 14 + 4  # fixed header + one dim
+        header = 15 + 4  # fixed v2 header + one dim
         assert len(blob) == header + 5 * ciphertext_bytes(pub.key_size)
+        assert len(blob) == tensor_frame_bytes(pub.key_size, rank=1,
+                                               size=5)
+
+    def test_v1_frame_still_parses(self, keypair, rng):
+        pub, priv = keypair
+        values = np.array([7, -8, 9])
+        tensor = EncryptedTensor.encrypt(values, pub, rng)
+        blob = tensor_to_bytes(tensor, version=1)
+        assert blob[4] == 1
+        assert len(blob) == tensor_frame_bytes(pub.key_size, rank=1,
+                                               size=3, version=1)
+        restored = tensor_from_bytes(blob, pub)
+        assert np.array_equal(restored.decrypt(priv), values)
 
     def test_negative_exponent_not_produced_but_header_signed(
             self, keypair, rng):

@@ -1,0 +1,113 @@
+"""Worker-death tests: kill a worker mid-batch and assert the stream
+either completes via failover/respawn (bit-identically) or terminates
+with accounted dead letters — never a hang (conftest timeout guard).
+"""
+
+import numpy as np
+import pytest
+
+from repro.net import Coordinator, WorkerServer
+from repro.planner.plan import ClusterSpec
+from repro.stream import RetryPolicy
+
+from .conftest import DyingWorker
+
+
+def _coordinator(providers, plan, addresses, **kwargs):
+    model_provider, data_provider = providers
+    kwargs.setdefault("retry_policy",
+                      RetryPolicy(max_retries=4, base_delay=0.05))
+    return Coordinator(model_provider, data_provider, plan, addresses,
+                       **kwargs)
+
+
+class TestFailover:
+    def test_mid_batch_death_fails_over_bit_identically(
+            self, make_providers, make_plan, reference_results,
+            net_inputs, worker_farm):
+        """Model worker 0 dies after 3 tasks; its twin absorbs the
+        remaining load and every request still completes with the
+        exact in-process probabilities."""
+        plan = make_plan(ClusterSpec.homogeneous(2, 1, 2))
+        expected = reference_results(plan)
+        servers, addresses = worker_farm(
+            DyingWorker(3), WorkerServer(), WorkerServer()
+        )
+        with _coordinator(make_providers(), plan, addresses) as coord:
+            stats = coord.run_stream(net_inputs)
+            assert not coord.handles[0].alive
+            assert coord.handles[1].alive and coord.handles[2].alive
+        assert servers[0].tasks_done > 3, "victim never died mid-batch"
+        assert not stats.dead_letters
+        assert len(stats.results) == len(net_inputs)
+        for result in stats.results:
+            assert np.array_equal(result.probabilities,
+                                  expected[result.request_id])
+
+    def test_no_failover_drains_to_dead_letters(
+            self, make_providers, make_plan, net_inputs, worker_farm):
+        """With the only model worker dead and no respawn hook, the
+        stream must terminate: every admitted request either completed
+        before the death or is accounted for as a dead letter."""
+        plan = make_plan(ClusterSpec.homogeneous(1, 1, 2))
+        _, addresses = worker_farm(DyingWorker(8), WorkerServer())
+        with _coordinator(
+                make_providers(), plan, addresses,
+                retry_policy=RetryPolicy(max_retries=2,
+                                         base_delay=0.02)) as coord:
+            stats = coord.run_stream(net_inputs)
+        assert stats.dead_letters, "the death went unnoticed"
+        assert (len(stats.results) + len(stats.dead_letters)
+                == len(net_inputs))
+        accounted = ({r.request_id for r in stats.results}
+                     | {d.request_id for d in stats.dead_letters})
+        assert accounted == set(range(len(net_inputs)))
+
+    def test_respawn_budget_revives_both_model_workers(
+            self, make_providers, make_plan, reference_results,
+            net_inputs, worker_farm):
+        """Both model workers die; the respawn hook (budget 2) brings
+        replacements up and the stream completes bit-identically."""
+        plan = make_plan(ClusterSpec.homogeneous(2, 1, 2))
+        expected = reference_results(plan)
+        _, addresses = worker_farm(
+            DyingWorker(2), DyingWorker(4), WorkerServer()
+        )
+        spawned = []
+
+        def respawn(server_id, role):
+            server = WorkerServer()
+            spawned.append(server)
+            return server.start()
+
+        try:
+            with _coordinator(
+                    make_providers(), plan, addresses,
+                    respawn=respawn, worker_restart_budget=2,
+                    retry_policy=RetryPolicy(max_retries=6,
+                                             base_delay=0.05)) as coord:
+                stats = coord.run_stream(net_inputs)
+            assert spawned, "no replacement worker was ever spawned"
+            assert not stats.dead_letters
+            assert len(stats.results) == len(net_inputs)
+            for result in stats.results:
+                assert np.array_equal(result.probabilities,
+                                      expected[result.request_id])
+        finally:
+            for server in spawned:
+                server.stop(abort=True)
+
+    def test_data_worker_death_dead_letters_not_hangs(
+            self, make_providers, make_plan, net_inputs, worker_farm):
+        """Killing the only data worker (the key holder) mid-batch
+        must also drain, not hang — non-linear stages dead-letter."""
+        plan = make_plan(ClusterSpec.homogeneous(1, 1, 2))
+        _, addresses = worker_farm(WorkerServer(), DyingWorker(6))
+        with _coordinator(
+                make_providers(), plan, addresses,
+                retry_policy=RetryPolicy(max_retries=2,
+                                         base_delay=0.02)) as coord:
+            stats = coord.run_stream(net_inputs)
+        assert (len(stats.results) + len(stats.dead_letters)
+                == len(net_inputs))
+        assert stats.dead_letters

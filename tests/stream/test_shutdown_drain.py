@@ -1,0 +1,120 @@
+"""Shutdown-drain hardening: Channel.drain semantics and the
+StageWorker.finalize dead-letter drain that keeps a peer disconnect
+mid-stream from hanging the pipeline."""
+
+import threading
+
+import pytest
+
+from repro.stream.channel import Channel, ChannelClosed
+from repro.stream.executors import StreamItem
+from repro.stream.retry import REASON_SHUTDOWN
+from repro.stream.worker import StageWorker
+
+
+class TestChannelDrain:
+    def test_drain_returns_and_empties(self):
+        channel = Channel(capacity=4)
+        for i in range(3):
+            channel.put(i)
+        assert channel.drain() == [0, 1, 2]
+        assert channel.approx_size() == 0
+        assert channel.drain() == []
+
+    def test_drain_works_after_close(self):
+        channel = Channel(capacity=4)
+        channel.put("stranded")
+        channel.close()
+        assert channel.drain() == ["stranded"]
+        with pytest.raises(ChannelClosed):
+            channel.get(timeout=0.1)
+
+    def test_drain_wakes_blocked_producer(self):
+        channel = Channel(capacity=1)
+        channel.put("filler")
+        delivered = []
+
+        def produce():
+            channel.put("late")
+            delivered.append(True)
+
+        producer = threading.Thread(target=produce, daemon=True)
+        producer.start()
+        assert channel.drain() == ["filler"]
+        producer.join(5)
+        assert delivered, "drain did not free capacity for the producer"
+        assert channel.get(timeout=1) == "late"
+
+    def test_put_front_works_after_close(self):
+        channel = Channel(capacity=1)
+        channel.close()
+        channel.put_front("tombstone")
+        assert channel.get() == "tombstone"
+
+
+class _NoopExecutor:
+    def process(self, item):
+        return item
+
+
+class TestFinalizeDrain:
+    def _worker(self, inbound, outbound, dead_letter):
+        return StageWorker(
+            "stage-0", _NoopExecutor(), inbound, outbound,
+            dead_letter=dead_letter, stage_index=0,
+        )
+
+    def test_finalize_tombstones_stranded_items(self):
+        """An unstarted (or wedged) dead-letter stage must convert
+        everything still queued into accounted shutdown tombstones and
+        push them to the sink before closing the outbound."""
+        inbound = Channel(capacity=8)
+        outbound = Channel(capacity=8)
+        items = [StreamItem(i, None) for i in range(3)]
+        for item in items:
+            inbound.put(item)
+        worker = self._worker(inbound, outbound, dead_letter=True)
+        worker.finalize()
+        assert inbound.approx_size() == 0
+        assert outbound.closed
+        letters = worker.ledger.dead_letters
+        assert len(letters) == 3
+        assert {letter.request_id for letter in letters} == {0, 1, 2}
+        assert all(letter.reason == REASON_SHUTDOWN
+                   for letter in letters)
+        forwarded = [outbound.get() for _ in range(3)]
+        assert all(item.fault is not None for item in forwarded)
+        with pytest.raises(ChannelClosed):
+            outbound.get(timeout=0.1)
+
+    def test_finalize_forwards_existing_tombstones_untouched(self):
+        inbound = Channel(capacity=8)
+        outbound = Channel(capacity=8)
+        poisoned = StreamItem(7, None)
+        worker = self._worker(inbound, outbound, dead_letter=True)
+        # Pre-faulted item: already accounted upstream, must pass
+        # through without a second dead letter.
+        poisoned.fault = object()
+        inbound.put(poisoned)
+        worker.finalize()
+        assert outbound.get().request_id == 7
+        assert not worker.ledger.dead_letters
+
+    def test_finalize_without_dead_letter_mode_just_closes(self):
+        inbound = Channel(capacity=8)
+        outbound = Channel(capacity=8)
+        inbound.put(StreamItem(0, None))
+        worker = self._worker(inbound, outbound, dead_letter=False)
+        worker.finalize()
+        assert outbound.closed
+        assert not worker.ledger.dead_letters
+        assert inbound.approx_size() == 1  # untouched
+
+    def test_finalize_is_idempotent(self):
+        inbound = Channel(capacity=8)
+        outbound = Channel(capacity=8)
+        inbound.put(StreamItem(0, None))
+        worker = self._worker(inbound, outbound, dead_letter=True)
+        worker.finalize()
+        worker.finalize()
+        assert len(worker.ledger.dead_letters) == 1

@@ -29,6 +29,27 @@ class TestTopLevelCli:
             repro_main(["launch-testbed"])
 
 
+class TestNetCli:
+    def test_worker_bad_listen(self, capsys):
+        assert repro_main(["worker", "--listen",
+                           "definitely:not:a:port"]) == 2
+        assert "cannot listen" in capsys.readouterr().err
+
+    def test_serve_requires_two_workers(self, capsys):
+        assert repro_main(["serve", "--workers", "1"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_serve_round_trip_bit_identical(self, capsys):
+        """The acceptance check: encrypted inference over localhost
+        TCP worker processes, verified bit-identical in-process."""
+        code = repro_main(["serve", "--workers", "2", "--samples", "2",
+                           "--key-size", "128", "--verify"])
+        output = capsys.readouterr().out
+        assert code == 0, output
+        assert "2/2 requests completed over TCP" in output
+        assert "bit-identical" in output
+
+
 class TestExperimentsCli:
     def test_exp5_fast(self, capsys):
         assert experiments_main(["exp5", "--fast"]) == 0
