@@ -27,6 +27,12 @@ Commands:
   over localhost TCP; ``--verify`` checks the results are bit-identical
   to the in-process pipeline, ``--kill-one`` kills a worker mid-stream
   to exercise failover.
+* ``soak [--duration S] [--seed N] [--scenarios LIST] [--out PATH]``
+  — run the heavy-traffic soak harness (docs/SOAK.md): mixed
+  single/packed/faulted/chaos/kill workloads with leak sentinels,
+  writing ``BENCH_soak.json``; exits non-zero on any leaked
+  thread/fd, RSS growth over tolerance, output drift, or unexpected
+  dead letter.
 * ``summary`` — print the package's subsystem inventory.
 * ``experiments ...`` — forwarded to ``repro.experiments`` (all the
   paper's tables and figures).
@@ -412,6 +418,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 process.kill()
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .soak import SCENARIO_NAMES, SoakOptions, run_soak
+
+    try:
+        scenarios = (tuple(
+            part for part in args.scenarios.split(",") if part
+        ) if args.scenarios else SCENARIO_NAMES)
+        options = SoakOptions(
+            duration=args.duration,
+            seed=args.seed,
+            out=args.out,
+            scenarios=scenarios,
+            rss_tolerance_mb=args.rss_tolerance_mb,
+            key_size=args.key_size,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_soak(options, progress=print)
+    print(report.render())
+    if options.out:
+        print(f"wrote {options.out}")
+    return 0 if report.ok else 1
+
+
 def _cmd_summary(_: argparse.Namespace) -> int:
     from . import __doc__ as package_doc
 
@@ -574,6 +606,35 @@ def main(argv: list[str] | None = None) -> int:
                        dest="kill_delay",
                        help="seconds before --kill-one strikes")
     serve.set_defaults(func=_cmd_serve)
+
+    soak = subparsers.add_parser(
+        "soak",
+        help="run the heavy-traffic soak harness with leak sentinels "
+             "(docs/SOAK.md; writes BENCH_soak.json)",
+    )
+    soak.add_argument("--duration", type=float, default=20.0,
+                      help="steady-state soak duration in seconds "
+                           "(default: 20; warm-up and teardown are "
+                           "extra)")
+    soak.add_argument("--seed", type=int, default=7,
+                      help="master seed for the schedule, fault plans "
+                           "and chaos scripts (default: 7)")
+    soak.add_argument("--scenarios", default=None,
+                      help="comma-separated subset of "
+                           "single,packed,faulted,chaos,kill "
+                           "(default: all)")
+    soak.add_argument("--key-size", type=int, default=128,
+                      dest="key_size",
+                      help="Paillier key size for the non-packed "
+                           "scenarios (default: 128; packed always "
+                           "uses 256 for lane headroom)")
+    soak.add_argument("--rss-tolerance-mb", type=float, default=64.0,
+                      dest="rss_tolerance_mb",
+                      help="steady-state RSS growth allowed before "
+                           "the soak fails (default: 64)")
+    soak.add_argument("--out", default="BENCH_soak.json",
+                      help="report path (default: BENCH_soak.json)")
+    soak.set_defaults(func=_cmd_soak)
 
     summary = subparsers.add_parser(
         "summary", help="print the subsystem inventory"

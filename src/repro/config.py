@@ -102,6 +102,44 @@ class RuntimeConfig:
             receive lengths both fail with
             :class:`~repro.errors.TransportError` instead of
             exhausting memory.
+        net_reconnect_attempts: redial attempts the coordinator makes
+            against a failed worker's *existing* address (exponential
+            backoff between attempts) before falling back to the
+            respawn hook.  Transient network partitions therefore heal
+            by reconnecting instead of consuming the worker restart
+            budget.  0 disables reconnection (pre-reconnect behaviour:
+            straight to respawn/failover).
+        net_reconnect_base_delay: seconds before the first reconnect
+            attempt; doubles per attempt up to
+            ``net_reconnect_max_delay``.
+        net_reconnect_max_delay: reconnect backoff ceiling in seconds.
+        net_breaker_threshold: consecutive connection failures on one
+            worker slot before its circuit breaker opens and reconnect
+            attempts are suspended (protection against reconnect
+            storms on a flapping worker).
+        net_breaker_cooldown: seconds an open circuit breaker waits
+            before allowing one half-open probe dial.
+        chaos_seed: extra seed folded into the master seed for the
+            network chaos plan (:mod:`repro.net.chaos`), so chaos
+            schedules can vary independently of the crypto RNG.
+        chaos_delay_rate: probability that one outbound frame is
+            delayed ``chaos_delay_seconds`` before hitting the wire.
+        chaos_delay_seconds: frame-delay duration.
+        chaos_drop_rate: probability that one outbound frame is cut
+            mid-frame and the connection hard-closed (the peer sees a
+            truncated frame, the sender a
+            :class:`~repro.errors.TransportError`).
+        chaos_dup_heartbeat_rate: probability that a heartbeat frame
+            is sent twice — the peer's extra ack then arrives
+            out-of-order on the control channel, exercising stale-ack
+            tolerance.
+        chaos_slow_read_rate: probability that one receive is delayed
+            ``chaos_slow_read_seconds`` before reading.
+        chaos_slow_read_seconds: slow-read stall duration.
+
+        All ``chaos_*`` rates default to 0.0: chaos is off unless a
+        knob is raised (``with_chaos``); handshake frames are always
+        exempt so a chaos-enabled run can still connect.
     """
 
     key_size: int = DEFAULT_KEY_SIZE
@@ -122,6 +160,18 @@ class RuntimeConfig:
     net_heartbeat_interval: float = 0.5
     net_heartbeat_timeout: float = 5.0
     net_max_frame_bytes: int = 64 * 1024 * 1024
+    net_reconnect_attempts: int = 3
+    net_reconnect_base_delay: float = 0.05
+    net_reconnect_max_delay: float = 2.0
+    net_breaker_threshold: int = 5
+    net_breaker_cooldown: float = 5.0
+    chaos_seed: int = 0
+    chaos_delay_rate: float = 0.0
+    chaos_delay_seconds: float = 0.02
+    chaos_drop_rate: float = 0.0
+    chaos_dup_heartbeat_rate: float = 0.0
+    chaos_slow_read_rate: float = 0.0
+    chaos_slow_read_seconds: float = 0.02
 
     def __post_init__(self) -> None:
         if self.key_size < 64:
@@ -189,6 +239,41 @@ class RuntimeConfig:
                 "net_max_frame_bytes must be >= 1024 (one frame must "
                 f"fit at least a header), got {self.net_max_frame_bytes}"
             )
+        if self.net_reconnect_attempts < 0:
+            raise ConfigurationError(
+                "net_reconnect_attempts must be non-negative, got "
+                f"{self.net_reconnect_attempts}"
+            )
+        for knob in ("net_reconnect_base_delay",
+                     "net_reconnect_max_delay"):
+            if getattr(self, knob) < 0:
+                raise ConfigurationError(
+                    f"{knob} must be non-negative seconds, got "
+                    f"{getattr(self, knob)}"
+                )
+        if self.net_breaker_threshold < 1:
+            raise ConfigurationError(
+                "net_breaker_threshold must be >= 1, got "
+                f"{self.net_breaker_threshold}"
+            )
+        if self.net_breaker_cooldown <= 0:
+            raise ConfigurationError(
+                "net_breaker_cooldown must be positive seconds, got "
+                f"{self.net_breaker_cooldown}"
+            )
+        for knob in ("chaos_delay_rate", "chaos_drop_rate",
+                     "chaos_dup_heartbeat_rate", "chaos_slow_read_rate"):
+            if not 0.0 <= getattr(self, knob) <= 1.0:
+                raise ConfigurationError(
+                    f"{knob} must be a probability in [0, 1], got "
+                    f"{getattr(self, knob)}"
+                )
+        for knob in ("chaos_delay_seconds", "chaos_slow_read_seconds"):
+            if getattr(self, knob) < 0:
+                raise ConfigurationError(
+                    f"{knob} must be non-negative seconds, got "
+                    f"{getattr(self, knob)}"
+                )
 
     def with_key_size(self, key_size: int) -> "RuntimeConfig":
         """Return a copy of this config with a different key size."""
@@ -240,6 +325,60 @@ class RuntimeConfig:
         return replace(self, **{key: value
                                 for key, value in updates.items()
                                 if value is not None})
+
+    def with_reconnect(
+        self,
+        attempts: int | None = None,
+        base_delay: float | None = None,
+        max_delay: float | None = None,
+        breaker_threshold: int | None = None,
+        breaker_cooldown: float | None = None,
+    ) -> "RuntimeConfig":
+        """Return a copy with the reconnect / circuit-breaker knobs
+        replaced (omitted ones keep their current values)."""
+        updates = {
+            "net_reconnect_attempts": attempts,
+            "net_reconnect_base_delay": base_delay,
+            "net_reconnect_max_delay": max_delay,
+            "net_breaker_threshold": breaker_threshold,
+            "net_breaker_cooldown": breaker_cooldown,
+        }
+        return replace(self, **{key: value
+                                for key, value in updates.items()
+                                if value is not None})
+
+    def with_chaos(
+        self,
+        seed: int | None = None,
+        delay_rate: float | None = None,
+        delay_seconds: float | None = None,
+        drop_rate: float | None = None,
+        dup_heartbeat_rate: float | None = None,
+        slow_read_rate: float | None = None,
+        slow_read_seconds: float | None = None,
+    ) -> "RuntimeConfig":
+        """Return a copy with the network-chaos knobs replaced
+        (omitted ones keep their current values)."""
+        updates = {
+            "chaos_seed": seed,
+            "chaos_delay_rate": delay_rate,
+            "chaos_delay_seconds": delay_seconds,
+            "chaos_drop_rate": drop_rate,
+            "chaos_dup_heartbeat_rate": dup_heartbeat_rate,
+            "chaos_slow_read_rate": slow_read_rate,
+            "chaos_slow_read_seconds": slow_read_seconds,
+        }
+        return replace(self, **{key: value
+                                for key, value in updates.items()
+                                if value is not None})
+
+    @property
+    def chaos_enabled(self) -> bool:
+        """Whether any chaos knob would actually inject anything."""
+        return (self.chaos_delay_rate > 0.0
+                or self.chaos_drop_rate > 0.0
+                or self.chaos_dup_heartbeat_rate > 0.0
+                or self.chaos_slow_read_rate > 0.0)
 
 
 #: Package-wide default configuration.

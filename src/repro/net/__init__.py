@@ -5,14 +5,26 @@ path — the coordinator runs the very same
 :class:`~repro.stream.pipeline.Pipeline` admission / retry /
 dead-letter machinery over remote stage proxies, so results are
 bit-identical between the two runtimes (see ``docs/DISTRIBUTED.md``).
+
+Hardening layers (see ``docs/SOAK.md``): :mod:`repro.net.chaos`
+injects deterministic seeded transport faults, and
+:mod:`repro.net.reconnect` provides the circuit breaker behind the
+coordinator's reconnect-with-backoff recovery path.
 """
 
+from .chaos import (
+    ChaosConnection,
+    ChaosInjector,
+    ChaosPlan,
+    ChaosScript,
+)
 from .coordinator import (
     Coordinator,
     RemoteChannel,
     RemoteStageExecutor,
     WorkerHandle,
 )
+from .reconnect import CircuitBreaker
 from .transport import (
     Connection,
     Envelope,
@@ -24,6 +36,11 @@ from .wire import ROLE_DATA, ROLE_MODEL, build_worker_spec
 from .worker import WorkerServer
 
 __all__ = [
+    "ChaosConnection",
+    "ChaosInjector",
+    "ChaosPlan",
+    "ChaosScript",
+    "CircuitBreaker",
     "Connection",
     "Coordinator",
     "Envelope",

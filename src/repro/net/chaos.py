@@ -1,0 +1,253 @@
+"""Seeded network chaos injection for the distributed runtime.
+
+The stream runtime's fault model (:mod:`repro.stream.faults`) scripts
+failures at the *stage* boundary; this module pushes the same
+discipline down to the *transport*: a :class:`ChaosConnection` wraps a
+framed TCP connection and, per frame, may
+
+* **delay** the frame before it hits the wire,
+* **drop the connection mid-frame** — half the encoded bytes are sent,
+  then the socket is hard-closed, so the peer sees a truncated frame
+  and the sender a :class:`~repro.errors.TransportError` (the shape of
+  a worker dying mid-send or a partition cutting a stream),
+* **duplicate a heartbeat** — the peer acks twice, and the stale ack
+  arrives out-of-order on the next control-channel round trip,
+* **slow a read** — a stall injected in front of the receive path.
+
+Decisions are drawn from a **deterministic seeded plan**: a
+:class:`ChaosPlan` (built from the ``chaos_*`` knobs on
+:class:`~repro.config.RuntimeConfig`) hands each connection a
+:class:`ChaosScript` seeded by ``(plan seed, connection index)``, so
+the i-th connection's fault schedule replays exactly under the same
+seed.  Handshake frames (``hello`` / ``welcome``) are always exempt —
+chaos must not make a run unable to *start*, only unable to stay
+comfortable.
+
+The coordinator wires the plan in as the :func:`~repro.net.transport.
+dial` factory, so every coordinator-side connection (control and task)
+is chaos-wrapped while workers stay untouched; recovery is then
+exercised exactly where the paper's deployment would need it, at the
+driving side of the pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from ..errors import TransportError
+from .transport import (
+    KIND_HEARTBEAT,
+    KIND_HELLO,
+    KIND_WELCOME,
+    Connection,
+    Envelope,
+)
+
+#: Frame kinds never touched by chaos (connection establishment).
+EXEMPT_KINDS = frozenset({KIND_HELLO, KIND_WELCOME})
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Rates and magnitudes for one chaos campaign.
+
+    Attributes mirror the ``chaos_*`` knobs on
+    :class:`~repro.config.RuntimeConfig`; see there for semantics.
+    A plan with every rate at 0 is falsy (no chaos).
+    """
+
+    seed: int = 0
+    delay_rate: float = 0.0
+    delay_seconds: float = 0.02
+    drop_rate: float = 0.0
+    dup_heartbeat_rate: float = 0.0
+    slow_read_rate: float = 0.0
+    slow_read_seconds: float = 0.02
+
+    def __post_init__(self) -> None:
+        for knob in ("delay_rate", "drop_rate", "dup_heartbeat_rate",
+                     "slow_read_rate"):
+            if not 0.0 <= getattr(self, knob) <= 1.0:
+                raise ValueError(
+                    f"chaos {knob} must be in [0, 1], got "
+                    f"{getattr(self, knob)}"
+                )
+        for knob in ("delay_seconds", "slow_read_seconds"):
+            if getattr(self, knob) < 0:
+                raise ValueError(
+                    f"chaos {knob} must be non-negative, got "
+                    f"{getattr(self, knob)}"
+                )
+
+    def __bool__(self) -> bool:
+        return (self.delay_rate > 0.0 or self.drop_rate > 0.0
+                or self.dup_heartbeat_rate > 0.0
+                or self.slow_read_rate > 0.0)
+
+    @classmethod
+    def from_config(cls, config) -> "ChaosPlan | None":
+        """The plan a config's ``chaos_*`` knobs describe, or None
+        when every rate is zero.  The plan seed folds the master seed
+        with ``chaos_seed`` so chaos schedules can be varied without
+        perturbing the crypto RNG streams."""
+        plan = cls(
+            seed=config.seed ^ (config.chaos_seed * 0x9E3779B1),
+            delay_rate=config.chaos_delay_rate,
+            delay_seconds=config.chaos_delay_seconds,
+            drop_rate=config.chaos_drop_rate,
+            dup_heartbeat_rate=config.chaos_dup_heartbeat_rate,
+            slow_read_rate=config.chaos_slow_read_rate,
+            slow_read_seconds=config.chaos_slow_read_seconds,
+        )
+        return plan if plan else None
+
+
+class ChaosStats:
+    """Thread-safe counters of what chaos actually injected."""
+
+    __slots__ = ("_lock", "delays", "drops", "dup_heartbeats",
+                 "slow_reads", "connections")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.delays = 0
+        self.drops = 0
+        self.dup_heartbeats = 0
+        self.slow_reads = 0
+        self.connections = 0
+
+    def bump(self, field: str) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + 1)
+
+    @property
+    def total(self) -> int:
+        return (self.delays + self.drops + self.dup_heartbeats
+                + self.slow_reads)
+
+    def as_dict(self) -> dict:
+        return {
+            "connections": self.connections,
+            "delays": self.delays,
+            "drops": self.drops,
+            "dup_heartbeats": self.dup_heartbeats,
+            "slow_reads": self.slow_reads,
+        }
+
+
+class ChaosScript:
+    """One connection's deterministic decision stream.
+
+    Draw order is fixed (drop, delay, dup per send; slow per recv) so
+    the same seed yields the same schedule regardless of frame
+    payloads.  Draws are serialized by a lock because a connection's
+    sender and receiver may be different threads.
+    """
+
+    def __init__(self, plan: ChaosPlan, index: int,
+                 stats: ChaosStats):
+        self.plan = plan
+        self.index = index
+        self.stats = stats
+        self._rng = random.Random(plan.seed * 1_000_003 + index)
+        self._lock = threading.Lock()
+
+    def send_verdict(self, kind: str) -> tuple[bool, bool, bool]:
+        """(drop, delay, duplicate) for one outbound frame."""
+        if kind in EXEMPT_KINDS:
+            return (False, False, False)
+        with self._lock:
+            drop = self._rng.random() < self.plan.drop_rate
+            delay = self._rng.random() < self.plan.delay_rate
+            dup = (kind == KIND_HEARTBEAT
+                   and self._rng.random()
+                   < self.plan.dup_heartbeat_rate)
+        return (drop, delay, dup)
+
+    def recv_verdict(self) -> bool:
+        """Whether to stall before one receive."""
+        with self._lock:
+            return self._rng.random() < self.plan.slow_read_rate
+
+
+class ChaosInjector:
+    """Allocates per-connection scripts and acts as a dial factory.
+
+    Pass :meth:`connection_factory` as the ``factory`` argument of
+    :func:`~repro.net.transport.dial`; every dialed connection then
+    gets the next deterministic :class:`ChaosScript`.
+    """
+
+    def __init__(self, plan: ChaosPlan):
+        self.plan = plan
+        self.stats = ChaosStats()
+        self._lock = threading.Lock()
+        self._next_index = 0
+
+    def script(self) -> ChaosScript:
+        with self._lock:
+            index = self._next_index
+            self._next_index += 1
+        self.stats.bump("connections")
+        return ChaosScript(self.plan, index, self.stats)
+
+    def connection_factory(self, sock, max_frame_bytes,
+                           obs=None, peer: str = "peer"
+                           ) -> "ChaosConnection":
+        return ChaosConnection(sock, max_frame_bytes, obs=obs,
+                               peer=peer, script=self.script())
+
+
+class ChaosConnection(Connection):
+    """A framed connection with scripted transport chaos applied.
+
+    Same surface as :class:`~repro.net.transport.Connection`; the
+    extra failure modes all surface as the :class:`TransportError` /
+    closed-connection outcomes real networks produce, so the
+    reconnect / retry machinery above sees nothing chaos-specific.
+    """
+
+    def __init__(self, sock, max_frame_bytes, obs=None,
+                 peer: str = "peer", script: ChaosScript | None = None):
+        super().__init__(sock, max_frame_bytes, obs=obs, peer=peer)
+        if script is None:
+            raise ValueError("ChaosConnection needs a ChaosScript")
+        self._script = script
+
+    def send(self, envelope: Envelope) -> None:
+        drop, delay, dup = self._script.send_verdict(envelope.kind)
+        if drop:
+            self._drop_mid_frame(envelope)
+        if delay:
+            self._script.stats.bump("delays")
+            time.sleep(self._script.plan.delay_seconds)
+        if dup:
+            self._script.stats.bump("dup_heartbeats")
+            super().send(envelope)
+        super().send(envelope)
+
+    def recv(self, timeout: float | None = None) -> Envelope:
+        if self._script.recv_verdict():
+            self._script.stats.bump("slow_reads")
+            time.sleep(self._script.plan.slow_read_seconds)
+        return super().recv(timeout)
+
+    def _drop_mid_frame(self, envelope: Envelope) -> None:
+        """Send a truncated frame, then hard-close the connection."""
+        self._script.stats.bump("drops")
+        blob = envelope.encode(self._max_frame_bytes)
+        cut = max(1, len(blob) // 2)
+        with self._send_lock:
+            if not self._closed:
+                try:
+                    self._sock.sendall(blob[:cut])
+                except OSError:
+                    pass  # already half-dead; the close below settles it
+        self.close()
+        raise TransportError(
+            f"chaos: dropped connection to {self.peer} mid-"
+            f"{envelope.kind}-frame (script {self._script.index})"
+        )

@@ -16,16 +16,35 @@ timed-out round trip, no live worker) surfaces as
 :class:`~repro.errors.TransientStageError`, so the stage's retry loop
 backs off and re-runs the item — by then against a failover worker of
 the same role, because the first failure marked the original worker
-dead.  A heartbeat monitor independently detects silent worker death
-(missed :attr:`~repro.config.RuntimeConfig.net_heartbeat_timeout`) and
+dead.  One heartbeat probe thread *per worker* independently detects
+silent worker death (missed
+:attr:`~repro.config.RuntimeConfig.net_heartbeat_timeout`); per-worker
+probes keep detection latency independent of fleet size — one stalled
+worker cannot delay its neighbours' liveness checks.  A failure
 force-closes that worker's task connections, which wakes any stage
-thread blocked on it into the same transient-retry path.  Exhausted
-retries dead-letter the request; the stream keeps serving everything
-else.
+thread blocked on it into the same transient-retry path
+(drain-then-reassign: those in-flight items re-run against a failover
+worker).
+
+Transient partitions *heal without consuming the restart budget*: a
+failure report spawns a background recovery loop that re-dials the
+same address with exponential backoff
+(:attr:`~repro.config.RuntimeConfig.net_reconnect_attempts` tries,
+jitter drawn from a seeded RNG so schedules replay), gated by a
+per-worker :class:`~repro.net.reconnect.CircuitBreaker`.  Only when
+reconnection is exhausted does the respawn hook run — and only within
+``worker_restart_budget``.  Exhausted request retries dead-letter the
+request; the stream keeps serving everything else.
+
+When the config's ``chaos_*`` knobs are set, every coordinator-side
+connection is wrapped by :class:`~repro.net.chaos.ChaosConnection`, so
+the reconnect/retry machinery above is exercised under deterministic
+injected faults.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from typing import Callable, List, Sequence
@@ -43,6 +62,8 @@ from ..planner.plan import Plan
 from ..protocol.roles import DataProvider, ModelProvider
 from ..stream.pipeline import Pipeline, StreamStats
 from ..stream.retry import RetryPolicy
+from .chaos import ChaosInjector, ChaosPlan
+from .reconnect import CircuitBreaker
 from .transport import (
     KIND_ERROR,
     KIND_HEARTBEAT,
@@ -68,6 +89,12 @@ from .wire import (
 #: ``respawn(server_id, role) -> (host, port)`` of a fresh worker.
 RespawnFn = Callable[[int, str], tuple[str, int]]
 
+#: Seed salts separating the coordinator's deterministic RNG streams
+#: (reconnect backoff jitter, default retry-policy jitter) from the
+#: crypto streams derived from the same master seed.
+_RECONNECT_SALT = 0xBAC0FF
+_RETRY_JITTER_SALT = 0x9177E4
+
 
 class WorkerHandle:
     """One cluster-server slot bound to a live (or dead) worker."""
@@ -80,6 +107,9 @@ class WorkerHandle:
         self.alive = False
         self.generation = 0
         self.restarts = 0
+        self.reconnects = 0
+        self.heartbeats_ok = 0
+        self.breaker: CircuitBreaker | None = None
         self.control: Connection | None = None
         self._task_conns: List[Connection] = []
         self._lock = threading.Lock()
@@ -98,7 +128,8 @@ class WorkerHandle:
         state = "up" if self.alive else "down"
         return (f"server {self.server_id} ({self.role}) @ "
                 f"{self.address[0]}:{self.address[1]} [{state}, "
-                f"gen {self.generation}, {self.restarts} restart(s)]")
+                f"gen {self.generation}, {self.restarts} restart(s), "
+                f"{self.reconnects} reconnect(s)]")
 
 
 class RemoteChannel:
@@ -177,6 +208,9 @@ class RemoteStageExecutor:
         self._m_roundtrip = coordinator.obs.registry.histogram(
             "net_stage_roundtrip_seconds", stage=str(stage_index)
         )
+        self._m_reassigned = coordinator.obs.registry.counter(
+            "net_inflight_reassigned", stage=str(stage_index)
+        )
 
     def _channel_for(self, handle: WorkerHandle) -> RemoteChannel:
         key = (handle.server_id, handle.generation)
@@ -200,6 +234,7 @@ class RemoteStageExecutor:
             )
         except TransportError as exc:
             self.coordinator.report_failure(handle, generation)
+            self._m_reassigned.inc()
             raise TransientStageError(
                 f"stage {self.stage_index} round trip to "
                 f"{handle.describe()} failed: {exc}"
@@ -270,8 +305,21 @@ class Coordinator:
         model_provider.register_public_key(data_provider.public_key)
         self._respawn = respawn
         self._worker_restart_budget = worker_restart_budget
-        self._retry_policy = (retry_policy if retry_policy is not None
-                              else RetryPolicy(max_retries=3))
+        self._retry_policy = (
+            retry_policy if retry_policy is not None
+            else RetryPolicy(
+                max_retries=3,
+                jitter_seed=self.config.seed ^ _RETRY_JITTER_SALT,
+            )
+        )
+        self._reconnect_policy = RetryPolicy(
+            max_retries=self.config.net_reconnect_attempts,
+            base_delay=self.config.net_reconnect_base_delay,
+            max_delay=self.config.net_reconnect_max_delay,
+        )
+        chaos_plan = ChaosPlan.from_config(self.config)
+        self.chaos = (ChaosInjector(chaos_plan)
+                      if chaos_plan is not None else None)
         self._request_deadline = request_deadline
         self._channel_capacity = channel_capacity
         self._restart_budget = restart_budget
@@ -285,13 +333,22 @@ class Coordinator:
             WorkerHandle(server.server_id, server.role, tuple(address))
             for server, address in zip(servers, workers)
         ]
+        for handle in self.handles:
+            handle.breaker = CircuitBreaker(
+                threshold=self.config.net_breaker_threshold,
+                cooldown=self.config.net_breaker_cooldown,
+            )
         self._lock = threading.Lock()
-        self._monitor: threading.Thread | None = None
+        self._monitors: List[threading.Thread] = []
+        self._recoveries: List[threading.Thread] = []
         self._stop_monitor = threading.Event()
         self._connected = False
         self._m_deaths = self.obs.registry.counter("net_worker_deaths")
         self._m_respawns = self.obs.registry.counter(
             "net_worker_respawns"
+        )
+        self._m_reconnects = self.obs.registry.counter(
+            "net_worker_reconnects"
         )
 
     # -- wiring --------------------------------------------------------
@@ -305,6 +362,8 @@ class Coordinator:
             connect_timeout=self.config.net_connect_timeout,
             max_frame_bytes=self.config.net_max_frame_bytes,
             obs=self.obs, peer=peer,
+            factory=(self.chaos.connection_factory
+                     if self.chaos is not None else None),
         )
         try:
             reply = connection.request(
@@ -326,6 +385,10 @@ class Coordinator:
                 f"expected welcome from {handle.describe()}, got "
                 f"{reply.kind}"
             )
+        # The dial left the connect timeout armed so the handshake
+        # could not stall on a silent peer; clear it so large task
+        # frames (or chaos-delayed sends) are not spuriously bounded.
+        connection.set_socket_timeout(None)
         return connection
 
     def _attach(self, handle: WorkerHandle) -> None:
@@ -335,57 +398,75 @@ class Coordinator:
         handle.alive = True
 
     def connect(self) -> None:
-        """Handshake every worker and start the heartbeat monitor."""
+        """Handshake every worker and start one heartbeat probe
+        thread per worker (per-worker deadlines: one stalled worker
+        cannot delay liveness detection on its neighbours)."""
         if self._connected:
             return
         for handle in self.handles:
             self._attach(handle)
         self._connected = True
         self._stop_monitor.clear()
-        self._monitor = threading.Thread(
-            target=self._monitor_loop, name="coordinator-heartbeat",
-            daemon=True,
-        )
-        self._monitor.start()
+        for handle in self.handles:
+            thread = threading.Thread(
+                target=self._probe_loop, args=(handle,),
+                name=f"coordinator-heartbeat-{handle.server_id}",
+                daemon=True,
+            )
+            self._monitors.append(thread)
+            thread.start()
 
-    def _monitor_loop(self) -> None:
+    def _probe_loop(self, handle: WorkerHandle) -> None:
         interval = self.config.net_heartbeat_interval
+        ok_counter = self.obs.registry.counter(
+            "net_heartbeats_ok", worker=str(handle.server_id)
+        )
         nonce = 0
         while not self._stop_monitor.wait(interval):
-            for handle in self.handles:
-                if self._stop_monitor.is_set():
-                    return
-                if not handle.alive or handle.control is None:
-                    continue
-                nonce += 1
-                generation = handle.generation
-                try:
-                    reply = handle.control.request(
-                        Envelope(KIND_HEARTBEAT,
-                                 header={"nonce": nonce}),
-                        timeout=self.config.net_heartbeat_timeout,
+            control = handle.control
+            if not handle.alive or control is None:
+                continue
+            nonce += 1
+            generation = handle.generation
+            try:
+                reply = control.request(
+                    Envelope(KIND_HEARTBEAT, header={"nonce": nonce}),
+                    timeout=self.config.net_heartbeat_timeout,
+                )
+                # A chaos-duplicated heartbeat leaves a stale ack in
+                # the buffer, so the reply's nonce may lag — only the
+                # *kind* proves liveness, by design.
+                if reply.kind != KIND_HEARTBEAT_ACK:
+                    raise TransportError(
+                        f"expected heartbeat-ack, got {reply.kind}"
                     )
-                    if reply.kind != KIND_HEARTBEAT_ACK:
-                        raise TransportError(
-                            f"expected heartbeat-ack, got {reply.kind}"
-                        )
-                except TransportError:
-                    self.report_failure(handle, generation)
+            except TransportError:
+                self.report_failure(handle, generation)
+                continue
+            handle.heartbeats_ok += 1
+            ok_counter.inc()
 
     def report_failure(self, handle: WorkerHandle,
                        generation: int | None = None) -> None:
-        """Mark a worker dead, cut its connections, maybe respawn.
+        """Mark a worker dead, cut its connections, start recovery.
 
         Closing the dead worker's task connections wakes every stage
         thread blocked on it with a :class:`TransportError`, which the
         executor converts to :class:`TransientStageError` — the
         existing retry path then re-injects those in-flight items,
-        against a failover worker or the respawned one.
+        against a failover worker or the recovered one
+        (drain-then-reassign).
+
+        Recovery runs on a background thread
+        (:meth:`_recovery_loop`): reconnect with exponential backoff
+        first — a healed transient partition costs *zero* restart
+        budget — and only then, if the address stays dead, the respawn
+        hook within ``worker_restart_budget``.
 
         Args:
             generation: the handle generation the caller observed the
                 failure on; a stale report (the slot was already
-                respawned into a newer generation) is ignored so one
+                recovered into a newer generation) is ignored so one
                 worker death is never double-counted against a fresh
                 replacement.
         """
@@ -397,11 +478,8 @@ class Coordinator:
                 return
             handle.alive = False
             handle.generation += 1
-            do_respawn = (self._respawn is not None
-                          and handle.restarts
-                          < self._worker_restart_budget)
-            if do_respawn:
-                handle.restarts += 1
+            recovery_generation = handle.generation
+            recover = not self._stop_monitor.is_set()
         self._m_deaths.inc()
         self.obs.tracer.event(
             "worker-death", server=handle.server_id, role=handle.role
@@ -411,15 +489,79 @@ class Coordinator:
             handle.control = None
         for connection in handle.drain_connections():
             connection.close()
-        if do_respawn:
+        if recover:
+            thread = threading.Thread(
+                target=self._recovery_loop,
+                args=(handle, recovery_generation),
+                name=f"coordinator-recover-{handle.server_id}",
+                daemon=True,
+            )
+            with self._lock:
+                self._recoveries.append(thread)
+            thread.start()
+
+    def _recovery_loop(self, handle: WorkerHandle,
+                       generation: int) -> None:
+        """Heal one worker slot: reconnect, then (maybe) respawn.
+
+        Backoff jitter comes from an RNG seeded by
+        ``(master seed, server id, generation)``, so a given death's
+        reconnect schedule replays exactly under the same seed.  The
+        per-worker circuit breaker refuses attempts while open, so a
+        persistently-dead endpoint is not hammered across repeated
+        deaths of the same slot.
+        """
+        policy = self._reconnect_policy
+        rng = random.Random(
+            (self.config.seed ^ _RECONNECT_SALT) * 1_000_003
+            + handle.server_id * 97 + generation
+        )
+        breaker = handle.breaker
+        for attempt in range(1, policy.max_retries + 1):
+            if self._stop_monitor.wait(
+                    policy.backoff_delay(attempt, rng)):
+                return
+            with self._lock:
+                if handle.alive or handle.generation != generation:
+                    return  # someone else healed / superseded the slot
+            if breaker is not None and not breaker.allow():
+                continue  # open breaker: burn this attempt cooling down
             try:
-                handle.address = tuple(
-                    self._respawn(handle.server_id, handle.role)
-                )
                 self._attach(handle)
-                self._m_respawns.inc()
             except (TransportError, HandshakeError):
-                pass  # slot stays dead; failover carries the load
+                if breaker is not None:
+                    breaker.record_failure()
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            handle.reconnects += 1
+            self._m_reconnects.inc()
+            self.obs.tracer.event(
+                "worker-reconnect", server=handle.server_id,
+                role=handle.role, attempt=attempt,
+            )
+            return
+        with self._lock:
+            if handle.alive or handle.generation != generation:
+                return
+            do_respawn = (self._respawn is not None
+                          and handle.restarts
+                          < self._worker_restart_budget
+                          and not self._stop_monitor.is_set())
+            if do_respawn:
+                handle.restarts += 1
+        if not do_respawn:
+            return  # slot stays dead; failover carries the load
+        try:
+            handle.address = tuple(
+                self._respawn(handle.server_id, handle.role)
+            )
+            self._attach(handle)
+            self._m_respawns.inc()
+            if breaker is not None:
+                breaker.record_success()
+        except (TransportError, HandshakeError):
+            pass  # slot stays dead; failover carries the load
 
     def pick_worker(self, role: str,
                     stage_index: int) -> WorkerHandle:
@@ -485,9 +627,14 @@ class Coordinator:
                 processes exit cleanly.
         """
         self._stop_monitor.set()
-        if self._monitor is not None:
-            self._monitor.join(timeout=10.0)
-            self._monitor = None
+        for thread in self._monitors:
+            thread.join(timeout=10.0)
+        self._monitors = []
+        with self._lock:
+            recoveries = list(self._recoveries)
+            self._recoveries = []
+        for thread in recoveries:
+            thread.join(timeout=10.0)
         for handle in self.handles:
             if shutdown_workers and handle.alive \
                     and handle.control is not None:

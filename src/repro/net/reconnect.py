@@ -1,0 +1,92 @@
+"""Circuit breaker guarding per-worker reconnect attempts.
+
+The coordinator's recovery loop retries a dead worker's endpoint with
+exponential backoff; the breaker sits in front of those attempts so a
+persistently-dead endpoint stops being hammered:
+
+* **closed** — healthy; attempts flow.  Consecutive failures count up.
+* **open** — tripped after ``threshold`` consecutive failures; every
+  attempt is refused until ``cooldown`` seconds pass.
+* **half-open** — after the cooldown one probe attempt is let through;
+  success closes the breaker (counters reset), failure re-opens it and
+  restarts the cooldown.
+
+The clock is injectable so tests drive state transitions without
+sleeping.  All methods are thread-safe; the coordinator shares one
+breaker per worker between its heartbeat monitor and recovery loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a cooldown probe."""
+
+    def __init__(self, threshold: int = 5, cooldown: float = 5.0,
+                 clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError(
+                f"breaker threshold must be >= 1, got {threshold}"
+            )
+        if cooldown <= 0:
+            raise ValueError(
+                f"breaker cooldown must be positive, got {cooldown}"
+            )
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def allow(self) -> bool:
+        """Whether an attempt may proceed right now.
+
+        In the open state, the first call after the cooldown elapses
+        transitions to half-open and is allowed (the probe); further
+        calls while half-open are also allowed — the coordinator's
+        recovery loop is single-threaded per worker, so at most one
+        probe is in flight anyway.
+        """
+        with self._lock:
+            if self._state == STATE_OPEN:
+                if self._clock() - self._opened_at >= self.cooldown:
+                    self._state = STATE_HALF_OPEN
+                    return True
+                return False
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = STATE_CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == STATE_HALF_OPEN \
+                    or self._failures >= self.threshold:
+                if self._state != STATE_OPEN:
+                    self.trips += 1
+                self._state = STATE_OPEN
+                self._opened_at = self._clock()
+                self._failures = 0

@@ -234,6 +234,20 @@ class Connection:
             self.send(envelope)
             return self.recv(timeout)
 
+    def set_socket_timeout(self, timeout: float | None) -> None:
+        """Set the socket-level timeout that bounds *sends* (receives
+        set their own per-call timeout).  :func:`dial` leaves the
+        connect timeout armed so the handshake cannot stall on a
+        black-holed peer; callers clear it (``None``) once the
+        handshake completes so large task frames are not spuriously
+        bounded."""
+        try:
+            self._sock.settimeout(timeout)
+        except OSError as exc:
+            raise TransportError(
+                f"connection to {self.peer} is unusable: {exc}"
+            ) from exc
+
     def close(self) -> None:
         """Close the socket; any thread blocked in recv wakes with a
         :class:`TransportError`."""
@@ -251,8 +265,23 @@ class Connection:
 def dial(host: str, port: int,
          connect_timeout: float = DEFAULT_CONFIG.net_connect_timeout,
          max_frame_bytes: int = DEFAULT_CONFIG.net_max_frame_bytes,
-         obs=None, peer: str | None = None) -> Connection:
-    """Connect to a listening peer and wrap the socket."""
+         obs=None, peer: str | None = None,
+         factory=None) -> Connection:
+    """Connect to a listening peer and wrap the socket.
+
+    The connect timeout stays armed on the socket after the connect
+    succeeds, so the *handshake* that follows is also deadlined: a
+    listening-but-silent peer (accepted by the kernel backlog, never
+    served) fails the hello/welcome round trip with
+    :class:`TransportError` instead of stalling the dialer forever.
+    Call :meth:`Connection.set_socket_timeout` with ``None`` once the
+    handshake completes.
+
+    Args:
+        factory: optional ``factory(sock, max_frame_bytes, obs, peer)
+            -> Connection`` override — the chaos layer
+            (:mod:`repro.net.chaos`) injects its wrapper here.
+    """
     try:
         sock = socket.create_connection((host, port),
                                         timeout=connect_timeout)
@@ -260,9 +289,10 @@ def dial(host: str, port: int,
         raise TransportError(
             f"could not connect to {host}:{port}: {exc}"
         ) from exc
-    sock.settimeout(None)
-    return Connection(sock, max_frame_bytes, obs=obs,
-                      peer=peer or f"{host}:{port}")
+    sock.settimeout(connect_timeout)
+    build = factory if factory is not None else Connection
+    return build(sock, max_frame_bytes, obs=obs,
+                 peer=peer or f"{host}:{port}")
 
 
 def wait_for_port(host: str, port: int, deadline: float) -> None:

@@ -339,10 +339,7 @@ class WorkerServer:
             while not self._stopped.is_set():
                 envelope = connection.recv(timeout=None)
                 if envelope.kind == KIND_HEARTBEAT:
-                    connection.send(Envelope(
-                        KIND_HEARTBEAT_ACK,
-                        header={"nonce": envelope.header.get("nonce")},
-                    ))
+                    connection.send(self._heartbeat_ack(envelope))
                 elif envelope.kind == KIND_TASK:
                     connection.send(self._run_task(session, envelope))
                 elif envelope.kind == KIND_SHUTDOWN:
@@ -361,6 +358,15 @@ class WorkerServer:
             with self._connections_lock:
                 if connection in self._connections:
                     self._connections.remove(connection)
+
+    def _heartbeat_ack(self, envelope: Envelope) -> Envelope:
+        """Build the ack for one heartbeat.  A seam: liveness tests
+        subclass this to stall a single worker's probe path without
+        touching its task path."""
+        return Envelope(
+            KIND_HEARTBEAT_ACK,
+            header={"nonce": envelope.header.get("nonce")},
+        )
 
     def _run_task(self, session: _Session,
                   envelope: Envelope) -> Envelope:

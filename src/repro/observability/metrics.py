@@ -78,23 +78,35 @@ class Counter:
 
 
 class Gauge:
-    """A value that can go up and down (queue depth, pool size)."""
+    """A value that can go up and down (queue depth, pool size).
 
-    __slots__ = ("name", "labels", "_lock", "_value")
+    Alongside the current value the gauge tracks its **high-water
+    mark** — the maximum ever set — which leak/soak sentinels read to
+    bound quantities like channel depth over a whole run.  The mark is
+    in-memory introspection only (not part of the snapshot or the
+    Prometheus export, whose formats are frozen by golden tests).
+    """
+
+    __slots__ = ("name", "labels", "_lock", "_value", "_high_water")
 
     def __init__(self, name: str, labels: _LabelKey):
         self.name = name
         self.labels = labels
         self._lock = threading.Lock()
         self._value = 0.0
+        self._high_water = 0.0
 
     def set(self, value: float) -> None:
         with self._lock:
             self._value = float(value)
+            if self._value > self._high_water:
+                self._high_water = self._value
 
     def inc(self, amount: float = 1) -> None:
         with self._lock:
             self._value += amount
+            if self._value > self._high_water:
+                self._high_water = self._value
 
     def dec(self, amount: float = 1) -> None:
         self.inc(-amount)
@@ -102,6 +114,11 @@ class Gauge:
     @property
     def value(self) -> float:
         return self._value
+
+    @property
+    def high_water(self) -> float:
+        """Maximum value this gauge ever held."""
+        return self._high_water
 
 
 class Histogram:
@@ -208,6 +225,18 @@ class MetricsRegistry:
             "histogram", name, key,
             lambda: Histogram(name, key, bounds),
         )
+
+    def find(self, kind: str, name: str):
+        """Every registered metric of ``kind`` (``counter`` /
+        ``gauge`` / ``histogram``) named ``name``, as a list of
+        ``(labels_dict, metric)`` pairs.  Soak sentinels use this to
+        read e.g. every ``stream_queue_depth`` gauge's high-water mark
+        without knowing the label sets in advance."""
+        with self._lock:
+            items = list(self._metrics.items())
+        return [(dict(labels), metric)
+                for (metric_kind, metric_name, labels), metric in items
+                if metric_kind == kind and metric_name == name]
 
     # -- export --------------------------------------------------------
 
@@ -326,6 +355,10 @@ class _NullGauge:
     def value(self) -> float:
         return 0.0
 
+    @property
+    def high_water(self) -> float:
+        return 0.0
+
 
 class _NullHistogram:
     __slots__ = ()
@@ -366,6 +399,9 @@ class NullRegistry:
                   buckets: Sequence[float] | None = None,
                   **labels) -> _NullHistogram:
         return _NULL_HISTOGRAM
+
+    def find(self, kind: str, name: str) -> list:
+        return []
 
     def snapshot(self) -> dict:
         return {"counters": [], "gauges": [], "histograms": []}

@@ -1,0 +1,36 @@
+"""Soak harness: sustained mixed workloads with leak sentinels.
+
+``python -m repro soak`` drives the scenario mix in
+:mod:`repro.soak.harness` — single-shot sessions, lane-packed batches,
+fault-injected pipelines, chaos-enabled TCP runs, and worker
+kill/respawn cycles — for a configurable duration, then asserts the
+process came back to where it started: zero leaked threads and file
+descriptors, flat memory, bit-identical outputs, zero unexpected dead
+letters (see ``docs/SOAK.md``).
+"""
+
+from .harness import (
+    SCENARIO_NAMES,
+    SoakCheckError,
+    SoakOptions,
+    SoakReport,
+    run_soak,
+)
+from .sentinels import (
+    LeakReport,
+    LeakSentinel,
+    ResourceCensus,
+    RssWatermark,
+)
+
+__all__ = [
+    "LeakReport",
+    "LeakSentinel",
+    "ResourceCensus",
+    "RssWatermark",
+    "SCENARIO_NAMES",
+    "SoakCheckError",
+    "SoakOptions",
+    "SoakReport",
+    "run_soak",
+]

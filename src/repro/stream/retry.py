@@ -74,6 +74,14 @@ class RetryPolicy:
         retry_unclassified: treat exceptions that are neither
             explicitly transient nor explicitly permanent as
             transient (retryable).
+        jitter_seed: when set, :meth:`backoff_delay` calls that pass
+            no explicit RNG draw jitter from a policy-owned
+            ``random.Random(jitter_seed)`` instead of skipping jitter
+            — never from the module-global RNG — so soak runs and
+            failover property tests replay their backoff schedules
+            exactly.  Thread it from
+            :attr:`repro.config.RuntimeConfig.seed` (the coordinator
+            and the soak harness do).
     """
 
     max_retries: int = 3
@@ -82,6 +90,7 @@ class RetryPolicy:
     max_delay: float = 1.0
     jitter: float = 0.1
     retry_unclassified: bool = True
+    jitter_seed: int | None = None
 
     def __post_init__(self):
         if self.max_retries < 0:
@@ -111,15 +120,40 @@ class RetryPolicy:
             return False
         return self.retry_unclassified
 
+    def jitter_rng(self) -> random.Random | None:
+        """The policy-owned seeded jitter RNG (lazily built from
+        ``jitter_seed``); None when no seed was configured.  Shared by
+        every :meth:`backoff_delay` call that passes no explicit RNG,
+        so a policy's implicit jitter stream is one deterministic
+        sequence."""
+        if self.jitter_seed is None:
+            return None
+        rng = getattr(self, "_jitter_rng", None)
+        if rng is None:
+            rng = random.Random(self.jitter_seed)
+            # Frozen dataclass: the cache bypasses field immutability
+            # (it is derived state, not part of the policy's value).
+            object.__setattr__(self, "_jitter_rng", rng)
+        return rng
+
     def backoff_delay(self, attempt: int,
                       rng: random.Random | None = None) -> float:
-        """Seconds to sleep before retry ``attempt`` (1-based)."""
+        """Seconds to sleep before retry ``attempt`` (1-based).
+
+        Jitter draws come from ``rng`` when given, else from the
+        policy's seeded :meth:`jitter_rng`, else jitter is skipped —
+        the module-global RNG is never consulted, so seeded runs
+        replay exactly.
+        """
         if attempt < 1:
             raise StreamError("backoff attempt is 1-based")
         delay = min(self.max_delay,
                     self.base_delay * self.multiplier ** (attempt - 1))
-        if self.jitter > 0.0 and rng is not None:
-            delay *= rng.uniform(1 - self.jitter, 1 + self.jitter)
+        if self.jitter > 0.0:
+            if rng is None:
+                rng = self.jitter_rng()
+            if rng is not None:
+                delay *= rng.uniform(1 - self.jitter, 1 + self.jitter)
         return delay
 
 

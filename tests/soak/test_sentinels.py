@@ -1,0 +1,177 @@
+"""Unit tests for the soak leak sentinels."""
+
+import socket
+import threading
+import time
+from collections import Counter
+
+import pytest
+
+from repro.soak.sentinels import (
+    LeakReport,
+    LeakSentinel,
+    ResourceCensus,
+    RssWatermark,
+    fd_census,
+    rss_bytes,
+    socket_count,
+    thread_census,
+)
+
+
+class TestCensus:
+    def test_thread_census_counts_named_threads(self):
+        stop = threading.Event()
+        thread = threading.Thread(target=stop.wait,
+                                  name="census-probe")
+        thread.start()
+        try:
+            assert thread_census()["census-probe"] == 1
+        finally:
+            stop.set()
+            thread.join()
+        assert thread_census()["census-probe"] == 0
+
+    def test_fd_census_sees_an_open_socket(self):
+        before = fd_census()
+        if before is None:
+            pytest.skip("no /proc/self/fd on this platform")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            after = fd_census()
+            assert sock.fileno() in after
+            assert after[sock.fileno()].startswith("socket:")
+            assert socket_count(after) == socket_count(before) + 1
+        finally:
+            sock.close()
+
+    def test_socket_count_unknown_when_unsupported(self):
+        assert socket_count(None) == -1
+
+    def test_rss_bytes_positive_or_unknown(self):
+        rss = rss_bytes()
+        assert rss == -1 or rss > 0
+
+    def test_capture_is_consistent(self):
+        census = ResourceCensus.capture()
+        assert census.threads[threading.current_thread().name] >= 1
+        if census.fds is None:
+            assert census.fd_count == -1 and census.sockets == -1
+        else:
+            assert census.fd_count == len(census.fds)
+            assert 0 <= census.sockets <= census.fd_count
+
+
+class TestLeakSentinel:
+    def test_clean_run_reports_no_leaks(self):
+        sentinel = LeakSentinel(settle_timeout=2.0)
+        sentinel.baseline()
+        report = sentinel.finish()
+        assert report.ok, report.describe()
+        assert "no leaks" in report.describe()
+
+    def test_finish_before_baseline_is_an_error(self):
+        with pytest.raises(RuntimeError):
+            LeakSentinel().finish()
+
+    def test_leaked_thread_is_named_in_the_report(self):
+        sentinel = LeakSentinel(settle_timeout=0.3,
+                                settle_interval=0.05)
+        sentinel.baseline()
+        stop = threading.Event()
+        leak = threading.Thread(target=stop.wait, name="leaky-pool")
+        leak.start()
+        try:
+            report = sentinel.finish()
+            assert not report.ok
+            assert "leaky-pool" in report.leaked_threads
+            assert "leaky-pool" in report.describe()
+        finally:
+            stop.set()
+            leak.join()
+
+    def test_leaked_socket_shows_in_fd_delta(self):
+        if fd_census() is None:
+            pytest.skip("no /proc/self/fd on this platform")
+        sentinel = LeakSentinel(settle_timeout=0.3,
+                                settle_interval=0.05)
+        sentinel.baseline()
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            report = sentinel.finish()
+            assert not report.ok
+            assert report.fd_delta >= 1
+            assert report.socket_delta >= 1
+            assert any("socket:" in entry
+                       for entry in report.leaked_fds)
+        finally:
+            sock.close()
+
+    def test_settle_waits_out_async_teardown(self):
+        """A thread that exits shortly *after* finish() is called must
+        not be reported: the settle loop retries until the census
+        converges."""
+        sentinel = LeakSentinel(settle_timeout=3.0,
+                                settle_interval=0.05)
+        sentinel.baseline()
+        straggler = threading.Thread(target=time.sleep, args=(0.4,),
+                                     name="draining-executor")
+        straggler.start()
+        report = sentinel.finish()
+        straggler.join()
+        assert report.ok, report.describe()
+
+    def test_fewer_resources_than_baseline_is_not_a_leak(self):
+        report = LeakReport(leaked_threads=[], leaked_fds=[],
+                            fd_delta=-2, socket_delta=-1,
+                            supported=True)
+        assert report.ok
+
+    def test_unsupported_platform_checks_threads_only(self):
+        clean = LeakReport(leaked_threads=[], leaked_fds=[],
+                           fd_delta=0, socket_delta=0,
+                           supported=False)
+        assert clean.ok
+        leaky = LeakReport(leaked_threads=["pool"], leaked_fds=[],
+                           fd_delta=0, socket_delta=0,
+                           supported=False)
+        assert not leaky.ok
+
+
+class TestRssWatermark:
+    def test_flatness_judged_on_steady_phase_only(self):
+        mark = RssWatermark()
+        mark.samples = [100_000_000, 180_000_000]  # warm-up growth
+        mark.steady_start = 180_000_000
+        mark.samples.append(181_000_000)
+        assert mark.steady_growth_mb == pytest.approx(1.0)
+        assert mark.flat(tolerance_mb=2.0)
+        assert not mark.flat(tolerance_mb=0.5)
+        # The 80MB warm-up never counted.
+        assert mark.peak_mb == pytest.approx(181.0)
+
+    def test_never_marked_steady_is_trivially_flat(self):
+        mark = RssWatermark()
+        mark.samples = [100, 200, 300]
+        assert mark.steady_growth_mb == 0.0
+        assert mark.flat(tolerance_mb=0.0)
+
+    def test_live_sampling(self):
+        mark = RssWatermark()
+        first = mark.sample()
+        if first < 0:
+            assert not mark.supported
+            pytest.skip("rss sampling unsupported here")
+        mark.mark_steady()
+        mark.sample()
+        assert mark.supported
+        assert len(mark.samples) == 3
+        assert mark.peak_mb > 0
+
+    def test_shrinking_rss_counts_as_flat(self):
+        mark = RssWatermark()
+        mark.samples = [200_000_000]
+        mark.steady_start = 200_000_000
+        mark.samples.append(150_000_000)
+        assert mark.steady_growth_mb == pytest.approx(-50.0)
+        assert mark.flat(tolerance_mb=0.0)

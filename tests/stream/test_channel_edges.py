@@ -1,0 +1,246 @@
+"""Shutdown-edge hammer tests for :class:`repro.stream.Channel`.
+
+The supervisor's crash-recovery path leans on three less-travelled
+channel behaviours: ``put_front`` stays legal after ``close`` (a
+restarted worker's in-flight item must drain, not vanish), ``drain``
+frees capacity and wakes producers blocked in ``put``, and concurrent
+``drain`` callers partition the queue without duplicating or losing
+items.  These tests hammer each edge with many threads and iterations
+so lost-wakeup and double-delivery races actually get a chance to
+fire.
+"""
+
+import threading
+import time
+from collections import Counter
+
+import pytest
+
+from repro.errors import StreamError
+from repro.stream.channel import Channel, ChannelClosed
+
+
+def _drain_all(channel):
+    """Consume until ChannelClosed, returning everything seen."""
+    got = []
+    while True:
+        try:
+            got.append(channel.get(timeout=5.0))
+        except ChannelClosed:
+            return got
+
+
+class TestPutFrontAfterClose:
+    def test_put_front_after_close_still_drains(self):
+        channel = Channel(capacity=2)
+        channel.put("a")
+        channel.close()
+        channel.put_front("reinjected")
+        assert _drain_all(channel) == ["reinjected", "a"]
+
+    def test_put_front_ignores_capacity_after_close(self):
+        channel = Channel(capacity=1)
+        channel.put("a")
+        channel.close()
+        for item in ("b", "c", "d"):
+            channel.put_front(item)
+        assert _drain_all(channel) == ["d", "c", "b", "a"]
+
+    def test_hammer_put_front_interleaved_with_drain(self):
+        """Many re-injectors racing many drainers on a closed channel:
+        every re-injected item must surface exactly once, via drain or
+        via get, never twice and never silently dropped."""
+        for round_index in range(20):
+            channel = Channel(capacity=4)
+            channel.close()
+            injectors, drained, lock = 8, [], threading.Lock()
+            start = threading.Barrier(injectors * 2)
+
+            def inject(base):
+                start.wait()
+                for i in range(50):
+                    channel.put_front((base, i))
+
+            def drain():
+                start.wait()
+                for _ in range(25):
+                    items = channel.drain()
+                    with lock:
+                        drained.extend(items)
+
+            threads = [
+                threading.Thread(target=inject, args=(b,))
+                for b in range(injectors)
+            ] + [threading.Thread(target=drain) for _ in range(injectors)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+                assert not thread.is_alive(), "hammer thread wedged"
+            leftovers = _drain_all(channel)
+            seen = Counter(drained) + Counter(leftovers)
+            expected = Counter(
+                (b, i) for b in range(injectors) for i in range(50)
+            )
+            assert seen == expected, (
+                f"round {round_index}: items lost or duplicated across "
+                f"drain/get"
+            )
+
+    def test_get_after_close_drains_then_raises(self):
+        channel = Channel(capacity=4)
+        channel.put("x")
+        channel.close()
+        assert channel.get() == "x"
+        with pytest.raises(ChannelClosed):
+            channel.get()
+        with pytest.raises(StreamError):
+            channel.put("y")
+
+
+class TestDrainUnblocksProducers:
+    def test_blocked_producer_released_when_drain_frees_capacity(self):
+        """A producer parked in ``put`` on a full channel must wake as
+        soon as ``drain`` empties it — drain's notify_all is its only
+        wakeup; a missed notify would strand the producer until
+        timeout."""
+        channel = Channel(capacity=1)
+        channel.put("filler")
+        released = threading.Event()
+
+        def producer():
+            channel.put("late", timeout=10.0)
+            released.set()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        try:
+            time.sleep(0.1)  # let the producer reach the wait
+            assert not released.is_set()
+            assert channel.drain() == ["filler"]
+            assert released.wait(timeout=5.0), (
+                "drain freed capacity but the blocked producer never "
+                "woke"
+            )
+            assert channel.drain() == ["late"]
+        finally:
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+
+    def test_hammer_producers_vs_drainer(self):
+        """Producers saturating a tiny channel while a drainer loops:
+        every put must eventually land and be claimed exactly once."""
+        channel = Channel(capacity=2)
+        producers, per_producer = 6, 80
+        collected, lock = [], threading.Lock()
+        done = threading.Event()
+
+        def produce(base):
+            for i in range(per_producer):
+                channel.put((base, i), timeout=10.0)
+
+        def drain_loop():
+            while not done.is_set() or channel.approx_size():
+                items = channel.drain()
+                if items:
+                    with lock:
+                        collected.extend(items)
+                else:
+                    time.sleep(0.001)
+
+        drainer = threading.Thread(target=drain_loop)
+        drainer.start()
+        threads = [
+            threading.Thread(target=produce, args=(b,))
+            for b in range(producers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+            assert not thread.is_alive(), "producer wedged on full channel"
+        done.set()
+        drainer.join(timeout=10.0)
+        assert not drainer.is_alive()
+        expected = Counter(
+            (b, i) for b in range(producers) for i in range(per_producer)
+        )
+        assert Counter(collected) == expected
+
+    def test_close_wakes_blocked_producer_with_error(self):
+        channel = Channel(capacity=1)
+        channel.put("filler")
+        outcome = []
+
+        def producer():
+            try:
+                channel.put("late", timeout=10.0)
+                outcome.append("ok")
+            except StreamError:
+                outcome.append("closed")
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.1)
+        channel.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert outcome == ["closed"]
+
+
+class TestConcurrentDrain:
+    def test_concurrent_drain_callers_partition_the_queue(self):
+        """N drain callers racing a producer stream: drains are atomic,
+        so the union of all claims plus the final sweep is exactly the
+        produced set, with no item claimed twice."""
+        for round_index in range(10):
+            channel = Channel(capacity=8)
+            total = 400
+            claims, lock = [], threading.Lock()
+            start = threading.Barrier(5)
+
+            def produce():
+                start.wait()
+                for i in range(total):
+                    channel.put(i, timeout=10.0)
+                channel.close()
+
+            def drain_loop():
+                start.wait()
+                while True:
+                    items = channel.drain()
+                    if items:
+                        with lock:
+                            claims.append(items)
+                    elif channel.closed and not channel.approx_size():
+                        return
+
+            threads = [threading.Thread(target=produce)] + [
+                threading.Thread(target=drain_loop) for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+                assert not thread.is_alive(), "drain hammer wedged"
+            seen = Counter()
+            for chunk in claims:
+                seen.update(chunk)
+            assert seen == Counter(range(total)), (
+                f"round {round_index}: concurrent drains lost or "
+                f"duplicated items"
+            )
+
+    def test_drain_on_open_empty_channel_is_empty_not_blocking(self):
+        channel = Channel(capacity=4)
+        assert channel.drain() == []
+        assert not channel.closed
+
+    def test_drain_then_get_sees_channel_closed(self):
+        channel = Channel(capacity=4)
+        channel.put("a")
+        channel.put("b")
+        channel.close()
+        assert channel.drain() == ["a", "b"]
+        with pytest.raises(ChannelClosed):
+            channel.get()

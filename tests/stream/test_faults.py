@@ -190,6 +190,48 @@ class TestRetryPolicy:
              for k in (1, 2, 3)]
         assert a == b
 
+    def test_jitter_seed_gives_deterministic_implicit_stream(self):
+        """Two policies with the same jitter_seed draw identical
+        implicit jitter without any caller-supplied RNG."""
+        first = RetryPolicy(jitter_seed=42)
+        second = RetryPolicy(jitter_seed=42)
+        a = [first.backoff_delay(k) for k in (1, 2, 3, 1, 2)]
+        b = [second.backoff_delay(k) for k in (1, 2, 3, 1, 2)]
+        assert a == b
+        other = RetryPolicy(jitter_seed=43)
+        assert [other.backoff_delay(k) for k in (1, 2, 3, 1, 2)] != a
+
+    def test_jitter_seed_stream_is_one_sequence_not_reset(self):
+        """The policy-owned RNG is cached: successive implicit draws
+        advance one stream instead of re-seeding each call."""
+        policy = RetryPolicy(jitter_seed=7)
+        assert policy.jitter_rng() is policy.jitter_rng()
+        draws = [policy.backoff_delay(1) for _ in range(10)]
+        # Re-seeding per call would make every draw identical.
+        assert len(set(draws)) > 1
+        # Replaying from a fresh policy reproduces the whole sequence.
+        replay = RetryPolicy(jitter_seed=7)
+        assert [replay.backoff_delay(1) for _ in range(10)] == draws
+
+    def test_no_jitter_seed_skips_jitter_never_global_rng(self):
+        """Without a seed or explicit RNG the delay is the bare
+        exponential value — the module-global RNG is never touched, so
+        unseeded runs are still deterministic."""
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5)
+        assert policy.jitter_rng() is None
+        random.seed(0)
+        before = random.getstate()
+        delays = [policy.backoff_delay(k) for k in (1, 2, 3)]
+        assert random.getstate() == before
+        assert delays == [0.1, 0.2, 0.4]
+
+    def test_explicit_rng_wins_over_jitter_seed(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5,
+                             jitter_seed=11)
+        explicit = policy.backoff_delay(1, random.Random(99))
+        expected = 0.1 * random.Random(99).uniform(0.5, 1.5)
+        assert explicit == pytest.approx(expected)
+
     def test_immediate_has_no_backoff(self):
         policy = RetryPolicy.immediate(4)
         assert policy.max_retries == 4
