@@ -15,6 +15,9 @@ Commands:
   ``--observe`` embeds a metrics breakdown per key size.  With
   ``--packed [--batch-sizes LIST]`` it instead benchmarks lane-packed
   vs unpacked batched inference and writes ``BENCH_packing.json``.
+  With ``--compress [--sparsity F] [--clusters K]`` it benchmarks the
+  compression-aware engine paths (dense vs pruned vs clustered vs
+  gmpy2 bigint backend) and writes ``BENCH_compress.json``.
 * ``metrics [--workload session|stream] [--format json|prometheus]
   [--traces]`` — run a small workload with observability enabled
   (docs/OBSERVABILITY.md) and dump the metrics registry, optionally
@@ -139,6 +142,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: bad --key-sizes {args.key_sizes!r}",
               file=sys.stderr)
         return 2
+    if args.compress:
+        from .bench import render_compress_bench, run_compress_bench
+
+        out = args.out
+        if out == "BENCH_paillier.json":
+            out = "BENCH_compress.json"
+        results = run_compress_bench(
+            key_sizes=key_sizes,
+            seed=args.seed,
+            repeats=args.repeats,
+            sparsity=args.sparsity,
+            clusters=args.clusters,
+            workers=args.workers,
+            model_key=None if args.no_accuracy
+            else args.compress_model,
+        )
+        write_bench_json(results, out)
+        print(render_compress_bench(results))
+        print(f"wrote {out}")
+        return 0
     if args.packed:
         from .bench import render_packing_bench, run_packing_bench
 
@@ -536,6 +559,25 @@ def main(argv: list[str] | None = None) -> int:
                        dest="batch_sizes",
                        help="comma-separated batch sizes for --packed "
                             "(default: 4,8,16)")
+    bench.add_argument("--compress", action="store_true",
+                       help="run the compression benchmark instead: "
+                            "dense vs pruned vs clustered vs gmpy2 "
+                            "engine paths (writes BENCH_compress.json "
+                            "unless --out is given)")
+    bench.add_argument("--sparsity", type=float, default=0.7,
+                       help="per-layer target sparsity for --compress "
+                            "(default: 0.7)")
+    bench.add_argument("--clusters", type=int, default=8,
+                       help="shared weight values per layer for "
+                            "--compress (default: 8)")
+    bench.add_argument("--compress-model", default="breast",
+                       dest="compress_model",
+                       help="model-zoo key for the --compress accuracy "
+                            "delta (default: breast)")
+    bench.add_argument("--no-accuracy", action="store_true",
+                       dest="no_accuracy",
+                       help="skip the model-zoo accuracy measurement "
+                            "in --compress")
     bench.set_defaults(func=_cmd_bench)
 
     metrics = subparsers.add_parser(

@@ -20,8 +20,15 @@ Methodology notes:
 * Scalar and engine paths are checked to produce bit-identical
   ciphertexts under the same seed before anything is timed; a
   benchmark of a wrong kernel is worse than no benchmark.
-* Homomorphic add has no batched variant (it is already one modular
-  multiply); it is reported for trajectory only.
+* Homomorphic add is one modular multiply; the engine's ``add_many``
+  only process-dispatches far above the pow-calibrated break-even, and
+  the ``add`` row records which way this batch dispatched.
+
+:func:`run_compress_bench` (``python -m repro bench --compress``) is
+the compression-path companion: dense vs pruned vs clustered vs gmpy2
+throughput of the engine matvecs, with a decode-identity gate per
+variant and the model-zoo accuracy cost of the compression — the
+BENCH_compress.json emitter.
 """
 
 from __future__ import annotations
@@ -33,9 +40,11 @@ from typing import Sequence
 
 import numpy as np
 
-from .crypto.encoding import LanePacker
+from .crypto.backend import HAVE_GMPY2
+from .crypto.encoding import LanePacker, SignedEncoder
 from .crypto.engine import PaillierEngine
 from .crypto.paillier import generate_keypair
+from .crypto.sparse import SparseMatvecPlan
 from .crypto.tensor import EncryptedTensor, PackedEncryptedTensor
 from .errors import ReproError
 from .observability import Observability
@@ -206,12 +215,24 @@ def _bench_key_size(public, private, engine, plaintexts, rng,
     engine_s = _timed(lambda: engine.decrypt_many(ciphers), repeats)
     row["decrypt_many"] = _op_entry(scalar_s, engine_s, elements)
 
-    # --- homomorphic add (no batched variant; trajectory only) -------
+    # --- homomorphic add ---------------------------------------------
+    # One add is a single modular multiply, so process dispatch only
+    # pays off far above ``dispatch_min_items`` (ADD_DISPATCH_FACTOR);
+    # the row records which way the engine dispatched this batch so a
+    # 1.0x speedup reads as "scalar by design", not a missing kernel.
     others = engine.encrypt_many(plaintexts, rng=random.Random(seed + 4))
     add_s = _timed(
         lambda: [a + b for a, b in zip(ciphers, others)], repeats
     )
-    row["add"] = _op_entry(add_s, add_s, elements)
+    raw_left = [c.ciphertext for c in ciphers]
+    raw_right = [c.ciphertext for c in others]
+    engine_add_s = _timed(
+        lambda: engine.add_many(raw_left, raw_right), repeats
+    )
+    row["add"] = _op_entry(
+        add_s, engine_add_s, elements,
+        dispatch="pool" if engine.add_dispatch(elements) else "scalar",
+    )
 
     # --- scalar multiplication ---------------------------------------
     weights = [rng.randrange(1, WEIGHT_MAGNITUDE) for _ in plaintexts]
@@ -489,6 +510,319 @@ def render_packing_bench(results: dict) -> str:
                     f"{stats['packed_ops_per_sec']:>14.1f} "
                     f"{stats['speedup']:>8.2f}x"
                 )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Compression benchmark (BENCH_compress.json).
+# ----------------------------------------------------------------------
+
+#: Key sizes the compression bench covers by default; 1024 bits is the
+#: acceptance target.
+DEFAULT_COMPRESS_KEY_SIZES = (1024,)
+
+#: Target per-layer sparsity of the pruned variants.
+DEFAULT_COMPRESS_SPARSITY = 0.7
+
+#: Shared weight values per layer in the clustered variants.
+DEFAULT_COMPRESS_CLUSTERS = 8
+
+#: Model-zoo key used for the accuracy-delta measurement (the fastest
+#: model to train).
+DEFAULT_COMPRESS_MODEL = "breast"
+
+
+def _compress_matrices(weight: np.ndarray, sparsity: float,
+                       clusters: int, seed: int
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Derive the pruned and pruned+clustered integer matrices."""
+    from .scaling.clustering import cluster_values
+
+    dense = np.asarray(weight, dtype=np.float64)
+    threshold = float(np.quantile(np.abs(dense), sparsity))
+    pruned = np.where(np.abs(dense) <= threshold, 0.0, dense)
+    nonzero = pruned != 0.0
+    clustered = pruned.copy()
+    if np.any(nonzero):
+        quantized, _ = cluster_values(pruned[nonzero], clusters,
+                                      seed=seed)
+        # Centers round back to integers (the weights are already
+        # scaled fixed-point ints); a center that rounds to zero just
+        # prunes its members a little deeper.
+        clustered[nonzero] = np.rint(quantized)
+    return pruned.astype(np.int64), clustered.astype(np.int64)
+
+
+def _bench_compress_op(engine, gmpy2_engine, weight, seed, repeats,
+                       sparsity, clusters, op) -> dict:
+    """Dense/pruned/clustered/gmpy2 timings for one matvec shape.
+
+    The bias is encrypted **outside** the timed region for every
+    variant — production caches the model provider's encrypted bias
+    per stage, and re-encrypting it per call would swamp the matvec
+    under ~n full-width exponentiations.
+    """
+    public = engine.public_key
+    rng = random.Random(seed)
+    out_dim, in_dim = weight.shape
+    x = [rng.randrange(-128, 128) for _ in range(in_dim)]
+    bias_values = [rng.randrange(-WEIGHT_MAGNITUDE, WEIGHT_MAGNITUDE)
+                   for _ in range(out_dim)]
+    encoder = SignedEncoder(public)
+    cells = engine.raw_encrypt_many(
+        [encoder.encode(v) for v in x], rng=random.Random(seed + 1)
+    )
+    bias_raw = engine.raw_encrypt_many(
+        [encoder.encode(v) for v in bias_values],
+        rng=random.Random(seed + 2),
+    )
+    pruned, clustered = _compress_matrices(
+        weight, sparsity, clusters, seed
+    )
+    total = out_dim * in_dim
+
+    def expected(matrix) -> list[int]:
+        return [
+            int(sum(int(w) * v for w, v in zip(row, x))) + b
+            for row, b in zip(matrix, bias_values)
+        ]
+
+    def decode(raw: list[int]) -> list[int]:
+        return [encoder.decode(r)
+                for r in engine.raw_decrypt_many(raw)]
+
+    entry: dict = {"shape": [out_dim, in_dim], "ops": total}
+
+    # -- dense baseline: the pre-compression engine path --------------
+    dense_out = engine.matvec(cells, weight, bias_raw)
+    if decode(dense_out) != expected(weight):
+        raise ReproError(f"dense {op} decode mismatch")
+    dense_s = _timed(
+        lambda: engine.matvec(cells, weight, bias_raw), repeats
+    )
+    entry["dense"] = {
+        "seconds": dense_s,
+        "ops_per_sec": total / dense_s if dense_s > 0 else float("inf"),
+        "backend": engine.backend.name,
+        "decode_identical": True,
+    }
+
+    # -- compressed variants ------------------------------------------
+    compressed_fn = getattr(engine, op)
+    variants = [
+        ("pruned", pruned, engine, compressed_fn),
+        ("clustered", clustered, engine, compressed_fn),
+    ]
+    if gmpy2_engine is not None:
+        gmpy2_cells = gmpy2_engine.raw_encrypt_many(
+            [encoder.encode(v) for v in x], rng=random.Random(seed + 1)
+        )
+        gmpy2_bias = gmpy2_engine.raw_encrypt_many(
+            [encoder.encode(v) for v in bias_values],
+            rng=random.Random(seed + 2),
+        )
+        variants.append(
+            ("gmpy2", clustered, gmpy2_engine,
+             getattr(gmpy2_engine, op))
+        )
+    for label, matrix, variant_engine, fn in variants:
+        plan = SparseMatvecPlan.from_dense(matrix)
+        variant_cells = (cells if variant_engine is engine
+                         else gmpy2_cells)
+        variant_bias = (bias_raw if variant_engine is engine
+                        else gmpy2_bias)
+        # Decode gate: the compressed path must agree with both the
+        # plaintext math and the dense engine path on this matrix.
+        out = fn(variant_cells, None, variant_bias, plan=plan)
+        reference = variant_engine.matvec(variant_cells, matrix,
+                                          variant_bias)
+        if out != reference:
+            raise ReproError(
+                f"{label} {op} diverged from the dense engine path"
+            )
+        decoded = [encoder.decode(r)
+                   for r in variant_engine.raw_decrypt_many(out)]
+        if decoded != expected(matrix):
+            raise ReproError(f"{label} {op} decode mismatch")
+        seconds = _timed(
+            lambda: fn(variant_cells, None, variant_bias, plan=plan),
+            repeats,
+        )
+        entry[label] = {
+            "seconds": seconds,
+            "ops_per_sec": total / seconds
+            if seconds > 0 else float("inf"),
+            "speedup_vs_dense": dense_s / seconds
+            if seconds > 0 else float("inf"),
+            "backend": variant_engine.backend.name,
+            "sparsity": plan.sparsity,
+            "distinct_values": plan.distinct_values,
+            "decode_identical": True,
+        }
+    if gmpy2_engine is None:
+        entry["gmpy2"] = {
+            "skipped": True,
+            "reason": "gmpy2 not installed; python backend only",
+        }
+    return entry
+
+
+def _compress_model_accuracy(model_key: str, sparsity: float,
+                             clusters: int, seed: int) -> dict:
+    """Prune + cluster a zoo model and report the accuracy cost."""
+    from .experiments.common import prepare_model
+    from .nn.rewrite import prune_model
+    from .scaling.clustering import cluster_model
+
+    prepared = prepare_model(model_key, seed=seed)
+    dataset = prepared.dataset
+    pruned, prune_report = prune_model(
+        prepared.model, sparsity,
+        inputs=dataset.test_x, labels=dataset.test_y,
+    )
+    clustered, cluster_report = cluster_model(
+        pruned, clusters, seed=seed,
+        inputs=dataset.test_x, labels=dataset.test_y,
+    )
+    return {
+        "model": model_key,
+        "baseline_accuracy": prune_report.baseline_accuracy,
+        "pruned_accuracy": prune_report.pruned_accuracy,
+        "clustered_accuracy": cluster_report.clustered_accuracy,
+        "applied_sparsity": prune_report.applied_sparsity,
+        "density": prune_report.density,
+        "accuracy_delta": (
+            cluster_report.clustered_accuracy
+            - prune_report.baseline_accuracy
+        ),
+    }
+
+
+def run_compress_bench(
+    key_sizes: Sequence[int] = DEFAULT_COMPRESS_KEY_SIZES,
+    seed: int = 0,
+    repeats: int = 2,
+    sparsity: float = DEFAULT_COMPRESS_SPARSITY,
+    clusters: int = DEFAULT_COMPRESS_CLUSTERS,
+    fc_shape: tuple[int, int] = DEFAULT_FC_SHAPE,
+    workers: int = 0,
+    model_key: str | None = DEFAULT_COMPRESS_MODEL,
+) -> dict:
+    """Benchmark the compression-aware engine paths per key size.
+
+    For an FC matrix and a conv im2col matrix, times four variants of
+    the same homomorphic affine: the dense engine path (the baseline
+    every earlier PR shipped), the pruned sparse plan, the
+    pruned+clustered plan, and — when gmpy2 is importable — the
+    clustered plan on the gmpy2 bigint backend.  Every variant passes
+    a decode-identity gate against the plaintext math *and* the dense
+    engine path before it is timed, and each row records the backend
+    that produced it.  ``model_key`` (None disables it) adds the
+    model-zoo accuracy cost of the same compression settings.
+    """
+    if repeats < 1:
+        raise ReproError("repeats must be >= 1")
+    if not 0.0 <= sparsity < 1.0:
+        raise ReproError(f"sparsity must be in [0, 1), got {sparsity}")
+    results: dict = {
+        "benchmark": "paillier_compress",
+        "seed": seed,
+        "repeats": repeats,
+        "sparsity": sparsity,
+        "clusters": clusters,
+        "fc_shape": list(fc_shape),
+        "workers": workers,
+        "gmpy2_available": HAVE_GMPY2,
+        "key_sizes": {},
+    }
+    out_dim, in_dim = fc_shape
+    rng = random.Random(seed)
+    fc_weight = np.array(
+        [[rng.randrange(-WEIGHT_MAGNITUDE, WEIGHT_MAGNITUDE)
+          for _ in range(in_dim)] for _ in range(out_dim)],
+        dtype=np.int64,
+    )
+    conv_weight = np.asarray(_conv_affine(seed).weight, dtype=np.int64)
+    for key_size in key_sizes:
+        t0 = time.perf_counter()
+        public, private = generate_keypair(key_size, seed=seed)
+        keygen_seconds = time.perf_counter() - t0
+        engine = PaillierEngine(
+            public, private_key=private, workers=workers,
+            pool_size=2 * max(conv_weight.shape[1], in_dim),
+            seed=seed + 1, backend="python",
+        )
+        gmpy2_engine = None
+        if HAVE_GMPY2:
+            gmpy2_engine = PaillierEngine(
+                public, private_key=private, workers=workers,
+                pool_size=2 * max(conv_weight.shape[1], in_dim),
+                seed=seed + 1, backend="gmpy2",
+            )
+        try:
+            row: dict = {"keygen_seconds": keygen_seconds}
+            row["fc_matvec"] = _bench_compress_op(
+                engine, gmpy2_engine, fc_weight, seed, repeats,
+                sparsity, clusters, "fc_matvec",
+            )
+            row["conv_im2col"] = _bench_compress_op(
+                engine, gmpy2_engine, conv_weight, seed, repeats,
+                sparsity, clusters, "conv_im2col",
+            )
+        finally:
+            engine.close()
+            if gmpy2_engine is not None:
+                gmpy2_engine.close()
+        results["key_sizes"][str(key_size)] = row
+    if model_key is not None:
+        results["model_accuracy"] = _compress_model_accuracy(
+            model_key, sparsity, clusters, seed
+        )
+    return results
+
+
+def render_compress_bench(results: dict) -> str:
+    """Human-readable summary table of a compression BENCH document."""
+    lines = [
+        "Paillier compression benchmark "
+        f"(sparsity={results['sparsity']}, "
+        f"clusters={results['clusters']}, "
+        f"workers={results['workers']})",
+        f"{'key':>6} {'op':<12} {'variant':<10} {'backend':<8} "
+        f"{'ops/s':>12} {'vs dense':>9}",
+    ]
+    for key_size, row in sorted(results["key_sizes"].items(),
+                                key=lambda kv: int(kv[0])):
+        for op in ("fc_matvec", "conv_im2col"):
+            entry = row.get(op)
+            if not entry:
+                continue
+            for variant in ("dense", "pruned", "clustered", "gmpy2"):
+                stats = entry.get(variant)
+                if stats is None:
+                    continue
+                if stats.get("skipped"):
+                    lines.append(
+                        f"{key_size:>6} {op:<12} {variant:<10} "
+                        f"skipped: {stats['reason']}"
+                    )
+                    continue
+                speedup = stats.get("speedup_vs_dense", 1.0)
+                lines.append(
+                    f"{key_size:>6} {op:<12} {variant:<10} "
+                    f"{stats['backend']:<8} "
+                    f"{stats['ops_per_sec']:>12.1f} "
+                    f"{speedup:>8.2f}x"
+                )
+    model = results.get("model_accuracy")
+    if model:
+        lines.append(
+            f"model {model['model']}: accuracy "
+            f"{model['baseline_accuracy']:.4f} -> "
+            f"{model['clustered_accuracy']:.4f} "
+            f"(delta {model['accuracy_delta']:+.4f}, "
+            f"applied sparsity {model['applied_sparsity']:.2f})"
+        )
     return "\n".join(lines)
 
 

@@ -70,6 +70,16 @@ class RuntimeConfig:
             arithmetic at small sizes (BENCH_paillier.json showed
             ``decrypt_many`` regressing below 1x at 48 ops when
             dispatched).
+        bigint_backend: which modular-arithmetic implementation the
+            crypto layer uses (:mod:`repro.crypto.backend`):
+            ``"auto"`` (the default — gmpy2 where installed, pure
+            Python otherwise), ``"python"``, or ``"gmpy2"`` (errors if
+            gmpy2 is absent).  Backends are bit-identical; the knob
+            only changes speed.
+        power_cache_entries: LRU bound on the engine's cross-call
+            fixed-base power cache (tables keyed by ciphertext, used
+            by the sparse ``fc_matvec`` / ``conv_im2col`` paths).
+            Exported as the ``paillier_power_cache_entries`` gauge.
         pack_lanes: requested batch-axis lane count for lane-packed
             inference (:class:`repro.crypto.encoding.LanePacker`).
             0 (the default) disables packing; with ``pack_lanes = B``,
@@ -152,6 +162,8 @@ class RuntimeConfig:
     blinding_pool_size: int = 128
     power_window_bits: int = 4
     dispatch_min_items: int = 64
+    bigint_backend: str = "auto"
+    power_cache_entries: int = 512
     pack_lanes: int = 0
     observability: bool = False
     net_connect_timeout: float = 5.0
@@ -215,6 +227,16 @@ class RuntimeConfig:
             raise ConfigurationError(
                 "dispatch_min_items must be >= 1, got "
                 f"{self.dispatch_min_items}"
+            )
+        if self.bigint_backend not in ("auto", "python", "gmpy2"):
+            raise ConfigurationError(
+                "bigint_backend must be 'auto', 'python', or 'gmpy2', "
+                f"got {self.bigint_backend!r}"
+            )
+        if self.power_cache_entries < 1:
+            raise ConfigurationError(
+                "power_cache_entries must be >= 1, got "
+                f"{self.power_cache_entries}"
             )
         if self.pack_lanes < 0:
             raise ConfigurationError(
@@ -302,6 +324,17 @@ class RuntimeConfig:
         """Return a copy of this config with a different engine
         process-dispatch break-even threshold."""
         return replace(self, dispatch_min_items=dispatch_min_items)
+
+    def with_bigint_backend(self, bigint_backend: str) -> "RuntimeConfig":
+        """Return a copy of this config with a different bigint
+        backend ('auto', 'python', or 'gmpy2')."""
+        return replace(self, bigint_backend=bigint_backend)
+
+    def with_power_cache_entries(self, power_cache_entries: int
+                                 ) -> "RuntimeConfig":
+        """Return a copy of this config with a different LRU bound on
+        the engine's cross-call fixed-base power cache."""
+        return replace(self, power_cache_entries=power_cache_entries)
 
     def with_net(
         self,

@@ -30,6 +30,75 @@ from .errors import ConfigurationError
 
 
 @dataclass(frozen=True)
+class CompressionStats:
+    """Structure of a compressed (pruned / clustered) linear layer.
+
+    The compression-aware engine path (:mod:`repro.crypto.sparse`)
+    changes a linear stage's cost profile in two ways the planner must
+    see, or stage assignment will keep over-provisioning layers that
+    became cheap:
+
+    * pruning removes ``1 - density`` of the ciphertext scalar
+      multiplications outright;
+    * clustering caps the *exponentiations* at one per (input
+      ciphertext, distinct weight) pair — every further use of a
+      cluster value is a single ciphertext multiply (charged as an
+      addition, which is exactly what it costs).
+
+    Build one from a real plan via
+    :meth:`repro.crypto.sparse.SparseMatvecPlan.compression_stats`, or
+    by hand from predicted prune/cluster knobs.
+
+    Attributes:
+        density: fraction of nonzero weight cells (1.0 = dense).
+        clusters: distinct nonzero weight values in the layer, if
+            known (``None`` = unclustered).
+        distinct_per_column: mean distinct weights per nonzero column
+            — the exact per-ciphertext exponentiation count when
+            measured from a plan (overrides the ``clusters`` bound).
+    """
+
+    density: float = 1.0
+    clusters: int | None = None
+    distinct_per_column: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.density <= 1.0:
+            raise ConfigurationError(
+                f"density must be in [0, 1], got {self.density}"
+            )
+        if self.clusters is not None and self.clusters < 1:
+            raise ConfigurationError(
+                f"clusters must be >= 1, got {self.clusters}"
+            )
+        if self.distinct_per_column is not None \
+                and self.distinct_per_column < 0:
+            raise ConfigurationError(
+                "distinct_per_column must be non-negative, got "
+                f"{self.distinct_per_column}"
+            )
+
+    def exponentiations(self, dense_muls: float, input_size: int) -> float:
+        """Modular exponentiations a compressed evaluation performs,
+        given the stage's dense scalar-multiplication count."""
+        nnz = dense_muls * self.density
+        if input_size <= 0:
+            return nnz
+        if self.distinct_per_column is not None:
+            return min(nnz, input_size * self.distinct_per_column)
+        if self.clusters is not None:
+            return min(nnz, input_size * self.clusters)
+        return nnz
+
+    def reuse_mults(self, dense_muls: float, input_size: int) -> float:
+        """Nonzero uses served from the per-cluster dedup — each costs
+        one ciphertext multiply (an addition in cost-model terms)."""
+        nnz = dense_muls * self.density
+        return max(0.0, nnz - self.exponentiations(dense_muls,
+                                                   input_size))
+
+
+@dataclass(frozen=True)
 class CostModel:
     """Per-operation execution and communication costs (seconds/bytes).
 

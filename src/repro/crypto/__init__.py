@@ -28,7 +28,20 @@ from .encoding import (
     LanePacker,
     SignedEncoder,
 )
-from .engine import BlindingPool, PaillierEngine, PowerTable, default_engine
+from .backend import (
+    BigintBackend,
+    HAVE_GMPY2,
+    available_backends,
+    resolve_backend,
+)
+from .engine import (
+    BlindingPool,
+    PaillierEngine,
+    PowerCache,
+    PowerTable,
+    default_engine,
+)
+from .sparse import SparseMatvecPlan
 from .tensor import EncryptedTensor, PackedEncryptedTensor
 from .serialize import (
     private_key_from_json,
@@ -53,9 +66,15 @@ __all__ = [
     "FixedPointEncoder",
     "DEFAULT_GUARD_BITS",
     "LanePacker",
+    "BigintBackend",
+    "HAVE_GMPY2",
+    "available_backends",
+    "resolve_backend",
     "BlindingPool",
     "PaillierEngine",
+    "PowerCache",
     "PowerTable",
+    "SparseMatvecPlan",
     "default_engine",
     "EncryptedTensor",
     "PackedEncryptedTensor",

@@ -1,0 +1,190 @@
+"""Pluggable bigint backend: one seam for modular arithmetic.
+
+Every ciphertext operation in this package bottoms out in three
+primitives over arbitrary-precision integers — modular exponentiation,
+modular inversion, and modular multiplication.  CPython's built-in
+``pow`` is correct but leaves a large constant factor on the table
+compared to GMP; the paper's C++ prototype uses GMP directly.  This
+module abstracts the three primitives behind :class:`BigintBackend` so
+the same engine code runs on:
+
+* :class:`PythonBackend` — pure CPython ``pow`` / ``%``.  Always
+  available, the reference implementation.
+* :class:`Gmpy2Backend` — GMP via ``gmpy2`` when the package is
+  importable.  Auto-detected at import; never required.
+
+Both backends return plain Python ``int`` values and are **bit
+identical** by construction (GMP computes the same residues), so
+switching backends never changes a ciphertext, only how fast it is
+produced.  The property tests assert the equivalence whenever gmpy2 is
+installed.
+
+Selection:
+
+* :func:`resolve_backend` maps a name (``"auto"`` / ``"python"`` /
+  ``"gmpy2"``) to a backend instance; ``"auto"`` prefers gmpy2.
+* :func:`active_backend` / :func:`set_active_backend` hold the
+  process-wide default used by the scalar reference path
+  (:mod:`repro.crypto.paillier`, :mod:`repro.crypto.math_utils`).
+* :class:`repro.crypto.engine.PaillierEngine` takes a per-engine
+  ``backend`` argument, defaulting to the
+  :attr:`repro.config.RuntimeConfig.bigint_backend` knob.
+
+Hot loops additionally use :meth:`BigintBackend.wrap` to lift operands
+into the backend's native representation once (``gmpy2.mpz`` keeps the
+whole accumulation inside GMP; the Python backend's wrap is identity),
+then run ordinary ``*``/``%``/``pow`` operators on the wrapped values.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, CryptoError
+
+try:  # pragma: no cover - exercised only where gmpy2 is installed
+    import gmpy2 as _gmpy2
+except ImportError:  # pragma: no cover - the common case in CI
+    _gmpy2 = None
+
+#: True when the gmpy2 backend can be offered.
+HAVE_GMPY2 = _gmpy2 is not None
+
+#: Names :func:`resolve_backend` accepts.
+BACKEND_NAMES = ("auto", "python", "gmpy2")
+
+
+class BigintBackend:
+    """Abstract modular-arithmetic primitives (see module docstring)."""
+
+    name: str = "abstract"
+
+    def powmod(self, base: int, exponent: int, modulus: int) -> int:
+        """``base ** exponent mod modulus`` (exponent may be -1)."""
+        raise NotImplementedError
+
+    def invert(self, a: int, modulus: int) -> int:
+        """Modular inverse; raises :class:`CryptoError` if none exists."""
+        raise NotImplementedError
+
+    def mulmod(self, a: int, b: int, modulus: int) -> int:
+        """``a * b mod modulus``."""
+        raise NotImplementedError
+
+    def wrap(self, value: int):
+        """Lift ``value`` into the backend's native integer type."""
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PythonBackend(BigintBackend):
+    """CPython's built-in arbitrary-precision integers (the reference)."""
+
+    name = "python"
+
+    def powmod(self, base: int, exponent: int, modulus: int) -> int:
+        try:
+            return pow(base, exponent, modulus)
+        except ValueError as exc:
+            raise CryptoError(
+                f"{base} is not invertible modulo {modulus}"
+            ) from exc
+
+    def invert(self, a: int, modulus: int) -> int:
+        try:
+            return pow(a, -1, modulus)
+        except ValueError as exc:
+            raise CryptoError(
+                f"{a} is not invertible modulo {modulus}"
+            ) from exc
+
+    def mulmod(self, a: int, b: int, modulus: int) -> int:
+        return a * b % modulus
+
+
+class Gmpy2Backend(BigintBackend):
+    """GMP-backed primitives via gmpy2 (bit-identical, much faster)."""
+
+    name = "gmpy2"
+
+    def __init__(self) -> None:
+        if _gmpy2 is None:  # pragma: no cover - guarded by resolve
+            raise ConfigurationError(
+                "gmpy2 backend requested but gmpy2 is not importable"
+            )
+
+    def powmod(self, base: int, exponent: int, modulus: int) -> int:
+        try:
+            return int(_gmpy2.powmod(base, exponent, modulus))
+        except (ZeroDivisionError, ValueError) as exc:
+            raise CryptoError(
+                f"{base} is not invertible modulo {modulus}"
+            ) from exc
+
+    def invert(self, a: int, modulus: int) -> int:
+        try:
+            return int(_gmpy2.invert(a, modulus))
+        except ZeroDivisionError as exc:
+            raise CryptoError(
+                f"{a} is not invertible modulo {modulus}"
+            ) from exc
+
+    def mulmod(self, a: int, b: int, modulus: int) -> int:
+        return int(_gmpy2.mpz(a) * b % modulus)
+
+    def wrap(self, value: int):
+        return _gmpy2.mpz(value)
+
+
+_PYTHON = PythonBackend()
+_GMPY2 = Gmpy2Backend() if HAVE_GMPY2 else None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Concrete backend names usable in this interpreter."""
+    return ("python", "gmpy2") if HAVE_GMPY2 else ("python",)
+
+
+def resolve_backend(name: "str | BigintBackend" = "auto") -> BigintBackend:
+    """Map a backend name (or pass an instance through) to a backend.
+
+    ``"auto"`` prefers gmpy2 when importable and falls back to pure
+    Python — the default everywhere, so installing gmpy2 is the only
+    step needed to accelerate the whole package.
+
+    Raises:
+        ConfigurationError: unknown name, or ``"gmpy2"`` requested
+            explicitly where gmpy2 is not installed.
+    """
+    if isinstance(name, BigintBackend):
+        return name
+    if name == "auto":
+        return _GMPY2 if _GMPY2 is not None else _PYTHON
+    if name == "python":
+        return _PYTHON
+    if name == "gmpy2":
+        if _GMPY2 is None:
+            raise ConfigurationError(
+                "bigint backend 'gmpy2' requested but gmpy2 is not "
+                "installed (use 'auto' to fall back silently)"
+            )
+        return _GMPY2
+    raise ConfigurationError(
+        f"unknown bigint backend {name!r}; expected one of "
+        f"{BACKEND_NAMES}"
+    )
+
+
+_active: BigintBackend = resolve_backend("auto")
+
+
+def active_backend() -> BigintBackend:
+    """The process-wide default backend (scalar reference path)."""
+    return _active
+
+
+def set_active_backend(name: "str | BigintBackend") -> BigintBackend:
+    """Replace the process-wide default; returns the new backend."""
+    global _active
+    _active = resolve_backend(name)
+    return _active

@@ -58,7 +58,7 @@ from __future__ import annotations
 import os
 import random
 import threading
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, List, Sequence
 
@@ -67,6 +67,7 @@ import numpy as np
 from ..errors import CryptoError, EncryptionError, KeyMismatchError
 from ..observability import OBS_OFF, Observability
 from ..observability.metrics import SIZE_BUCKETS
+from .backend import BigintBackend, resolve_backend
 from .encoding import LanePacker
 from .math_utils import invmod, sample_coprime
 from .paillier import (
@@ -74,12 +75,33 @@ from .paillier import (
     PaillierPrivateKey,
     PaillierPublicKey,
 )
+from .sparse import SparseMatvecPlan
 
 #: Default number of precomputed blinding factors kept ready.
 DEFAULT_POOL_SIZE = 128
 
 #: Default window width (bits) of the fixed-base power tables.
 DEFAULT_WINDOW_BITS = 4
+
+#: Default LRU bound on the engine's cross-call fixed-base power cache
+#: (the sparse ``fc_matvec`` / ``conv_im2col`` paths key tables by
+#: ciphertext; without a bound a long-lived engine would grow one
+#: table per ciphertext it ever saw).
+DEFAULT_POWER_CACHE_ENTRIES = 512
+
+#: ``add_many`` process-dispatch multiplier: one homomorphic add is a
+#: single modular multiply, ~this many times cheaper than the pow-bound
+#: work ``dispatch_min_items`` was calibrated for, so the break-even
+#: batch is correspondingly larger.
+ADD_DISPATCH_FACTOR = 32
+
+#: Expected number of calls a cached fixed-base table serves.  A
+#: clustered column has few distinct weights, so a table rarely pays
+#: for itself within ONE call — but with the cross-call
+#: :class:`PowerCache` the build amortizes over every later call that
+#: reuses the ciphertext (multi-layer fan-out, repeated evaluation),
+#: so the sparse path's build threshold is relaxed by this factor.
+POWER_CACHE_ASSUMED_REUSE = 4
 
 #: Default process-dispatch break-even threshold: below this many items
 #: a batch runs inline even when workers > 0, because fork/pickle
@@ -96,17 +118,19 @@ DEFAULT_DISPATCH_MIN_ITEMS = 64
 
 def _pow_chunk(args) -> list[int]:
     """Blinding factors ``r^n mod n^2`` for a chunk of ``r`` values."""
-    rs, n, n_sq = args
-    return [pow(r, n, n_sq) for r in rs]
+    rs, n, n_sq, backend_name = args
+    powmod = resolve_backend(backend_name).powmod
+    return [powmod(r, n, n_sq) for r in rs]
 
 
 def _pow_chunk_crt(args) -> list[int]:
     """CRT-accelerated blinding factors for a chunk (key holder only)."""
-    rs, p_sq, q_sq, exp_p, exp_q, q_sq_inv = args
+    rs, p_sq, q_sq, exp_p, exp_q, q_sq_inv, backend_name = args
+    powmod = resolve_backend(backend_name).powmod
     out = []
     for r in rs:
-        a = pow(r % p_sq, exp_p, p_sq)
-        b = pow(r % q_sq, exp_q, q_sq)
+        a = powmod(r % p_sq, exp_p, p_sq)
+        b = powmod(r % q_sq, exp_q, q_sq)
         h = ((a - b) * q_sq_inv) % p_sq
         out.append(b + q_sq * h)
     return out
@@ -114,12 +138,13 @@ def _pow_chunk_crt(args) -> list[int]:
 
 def _decrypt_chunk(args) -> list[int]:
     """CRT decryption of a chunk of raw ciphertexts."""
-    ciphers, n, p, q, p_sq, q_sq, h_p, h_q, q_inv_p = args
+    ciphers, n, p, q, p_sq, q_sq, h_p, h_q, q_inv_p, backend_name = args
+    powmod = resolve_backend(backend_name).powmod
     out = []
     for c in ciphers:
-        u_p = pow(c, p - 1, p_sq)
+        u_p = powmod(c, p - 1, p_sq)
         m_p = (((u_p - 1) // p) * h_p) % p
-        u_q = pow(c, q - 1, q_sq)
+        u_q = powmod(c, q - 1, q_sq)
         m_q = (((u_q - 1) // q) * h_q) % q
         h = ((m_p - m_q) * q_inv_p) % p
         out.append((m_q + q * h) % n)
@@ -128,8 +153,24 @@ def _decrypt_chunk(args) -> list[int]:
 
 def _matvec_chunk(args) -> list[int]:
     """Per-row partial products over a column slice of a matvec."""
-    cells, rows, n_sq, window_bits = args
-    return _matvec_partial(cells, rows, n_sq, window_bits)
+    cells, rows, n_sq, window_bits, backend_name = args
+    return _matvec_partial(cells, rows, n_sq, window_bits,
+                           backend=resolve_backend(backend_name))
+
+
+def _sparse_chunk(args) -> list[int]:
+    """Per-row partial products over a slice of sparse plan columns."""
+    pairs, out_dim, n_sq, window_bits, backend_name = args
+    return _sparse_partial(pairs, out_dim, n_sq, window_bits,
+                           backend=resolve_backend(backend_name))
+
+
+def _mulmod_chunk(args) -> list[int]:
+    """Pairwise ``a * b mod n^2`` (homomorphic add) over a chunk."""
+    pairs, n_sq, backend_name = args
+    backend = resolve_backend(backend_name)
+    modulus = backend.wrap(n_sq)
+    return [int(a * b % modulus) for a, b in pairs]
 
 
 # ----------------------------------------------------------------------
@@ -149,9 +190,16 @@ class PowerTable:
     __slots__ = ("modulus", "window_bits", "_mask", "_tables", "_next_g")
 
     def __init__(self, base: int, modulus: int, max_bits: int,
-                 window_bits: int = DEFAULT_WINDOW_BITS):
+                 window_bits: int = DEFAULT_WINDOW_BITS,
+                 backend: BigintBackend | None = None):
         if window_bits < 1:
             raise CryptoError(f"window_bits must be >= 1, got {window_bits}")
+        if backend is not None:
+            # Lifting base and modulus into the backend's native integer
+            # type makes every product below run on that type; the
+            # Python backend's wrap is the identity, so this is free.
+            base = backend.wrap(base)
+            modulus = backend.wrap(modulus)
         self.modulus = modulus
         self.window_bits = window_bits
         self._mask = (1 << window_bits) - 1
@@ -194,7 +242,7 @@ class PowerTable:
                 acc = acc * tables[t][digit] % m
             exponent >>= w
             t += 1
-        return acc
+        return int(acc)
 
 
 def _matvec_partial(
@@ -203,6 +251,7 @@ def _matvec_partial(
     n_sq: int,
     window_bits: int,
     stats: dict | None = None,
+    backend: BigintBackend | None = None,
 ) -> list[int]:
     """Bias-free matvec: ``prod_i cells[i]^rows[j][i] mod n^2`` per row.
 
@@ -223,6 +272,10 @@ def _matvec_partial(
     ``plain_pows`` (per-exponentiation cache use vs fallback), and
     ``dedup_hits`` (uses served from the per-column weight cache).
     """
+    if backend is None:
+        backend = resolve_backend("python")
+    powmod = backend.powmod
+    modulus = backend.wrap(n_sq)
     out = [1] * len(rows)
     for i, base in enumerate(cells):
         uses = [(j, row[i]) for j, row in enumerate(rows) if row[i]]
@@ -236,7 +289,8 @@ def _matvec_partial(
         # Only distinct weights pay an exponentiation (duplicates are
         # cache hits), so the table amortizes over distinct uses.
         use_table = len(distinct) * saving_per_use > build_cost
-        pos_table = (PowerTable(base, n_sq, max_bits, window_bits)
+        pos_table = (PowerTable(base, n_sq, max_bits, window_bits,
+                                backend=backend)
                      if use_table else None)
         if stats is not None:
             stats["columns_table" if use_table
@@ -251,25 +305,175 @@ def _matvec_partial(
             if v is None:
                 if w > 0:
                     v = (pos_table.pow(w) if pos_table
-                         else pow(base, w, n_sq))
+                         else powmod(base, w, n_sq))
                 else:
                     if inv_base is None:
-                        inv_base = invmod(base, n_sq)
+                        inv_base = backend.invert(base, n_sq)
                     if use_table and neg_table is None:
                         neg_table = PowerTable(inv_base, n_sq, max_bits,
-                                               window_bits)
+                                               window_bits,
+                                               backend=backend)
                         if stats is not None:
                             stats["tables_built"] += 1
                     v = (neg_table.pow(-w) if neg_table
-                         else pow(inv_base, -w, n_sq))
+                         else powmod(inv_base, -w, n_sq))
                 powers[w] = v
                 if stats is not None:
                     stats["table_pows" if use_table
                           else "plain_pows"] += 1
             elif stats is not None:
                 stats["dedup_hits"] += 1
-            out[j] = out[j] * v % n_sq
-    return out
+            out[j] = out[j] * v % modulus
+    return [int(v) for v in out]
+
+
+class PowerCache:
+    """Bounded LRU of :class:`PowerTable` objects keyed by ciphertext.
+
+    The sparse compressed paths (:meth:`PaillierEngine.fc_matvec` /
+    :meth:`~PaillierEngine.conv_im2col`) reuse fixed-base tables
+    *across calls*: repeated evaluations over the same input
+    ciphertexts (multi-layer reuse, benchmark loops, retries) skip the
+    table build entirely.  Ciphertexts are ~key-size integers and a
+    table holds ``(2^w - 1) * positions`` of them, so an unbounded
+    cache in a long-lived engine would be a slow leak; the LRU bound
+    caps it, and the ``paillier_power_cache_entries`` gauge makes the
+    occupancy observable.
+
+    Inverse-base tables (negative weights) are stored under the
+    *negated* ciphertext key, so a hit skips even the modular
+    inversion.
+    """
+
+    __slots__ = ("max_entries", "hits", "misses", "evictions",
+                 "_entries", "_gauge")
+
+    def __init__(self, max_entries: int = DEFAULT_POWER_CACHE_ENTRIES,
+                 gauge=None):
+        if max_entries < 1:
+            raise CryptoError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[int, PowerTable]" = OrderedDict()
+        self._gauge = gauge
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def peek(self, key: int) -> PowerTable | None:
+        """Return the cached table for ``key`` (refreshing its LRU
+        position) or ``None``."""
+        table = self._entries.get(key)
+        if table is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return table
+
+    def put(self, key: int, table: PowerTable) -> None:
+        """Insert a table, evicting least-recently-used past the bound."""
+        self._entries[key] = table
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        if self._gauge is not None:
+            self._gauge.set(len(self._entries))
+
+    def reset(self) -> None:
+        """Drop every cached table (e.g. between layers or requests)."""
+        self._entries.clear()
+        if self._gauge is not None:
+            self._gauge.set(0)
+
+
+def _sparse_partial(
+    columns: Sequence[tuple],
+    out_dim: int,
+    n_sq: int,
+    window_bits: int,
+    backend: BigintBackend | None = None,
+    cache: PowerCache | None = None,
+    stats: dict | None = None,
+) -> list[int]:
+    """Bias-free sparse matvec over pre-indexed plan columns.
+
+    ``columns`` pairs each input ciphertext with its
+    :class:`~repro.crypto.sparse.SparseMatvecPlan` column — the
+    distinct nonzero weights and the output rows using each.  Zero
+    weights were dropped when the plan was built, so this loop touches
+    only surviving (ciphertext, weight) pairs: one exponentiation per
+    distinct pair, one modular multiply per additional use.  With a
+    ``cache``, fixed-base tables persist across calls keyed by the
+    ciphertext value (inverse tables under the negated key).
+
+    ``stats`` uses the same keys as :func:`_matvec_partial` plus
+    ``reuse_mults`` (multiplies served by the per-cluster dedup).
+    """
+    if backend is None:
+        backend = resolve_backend("python")
+    powmod = backend.powmod
+    modulus = backend.wrap(n_sq)
+    out = [1] * out_dim
+    for base, groups in columns:
+        max_bits = max(abs(groups[0][0]),
+                       abs(groups[-1][0])).bit_length()
+        positions = -(-max_bits // window_bits)
+        build_cost = positions * ((1 << window_bits) - 2 + window_bits)
+        saving_per_use = max(1, max_bits - positions)
+        amortized_uses = len(groups) * (POWER_CACHE_ASSUMED_REUSE
+                                        if cache is not None else 1)
+        use_table = amortized_uses * saving_per_use > build_cost
+        pos_table = cache.peek(base) if cache is not None else None
+        if pos_table is None and use_table:
+            pos_table = PowerTable(base, n_sq, max_bits, window_bits,
+                                   backend=backend)
+            if cache is not None:
+                cache.put(base, pos_table)
+            if stats is not None:
+                stats["tables_built"] += 1
+        if stats is not None:
+            stats["columns_table" if pos_table is not None
+                  else "columns_plain"] += 1
+        neg_table = None
+        neg_checked = False
+        inv_base = None
+        for w, rows in groups:
+            if w > 0:
+                v = (pos_table.pow(w) if pos_table is not None
+                     else powmod(base, w, n_sq))
+            else:
+                if not neg_checked:
+                    neg_checked = True
+                    if cache is not None:
+                        neg_table = cache.peek(-base)
+                    if neg_table is None and use_table:
+                        inv_base = backend.invert(base, n_sq)
+                        neg_table = PowerTable(inv_base, n_sq, max_bits,
+                                               window_bits,
+                                               backend=backend)
+                        if cache is not None:
+                            cache.put(-base, neg_table)
+                        if stats is not None:
+                            stats["tables_built"] += 1
+                if neg_table is not None:
+                    v = neg_table.pow(-w)
+                else:
+                    if inv_base is None:
+                        inv_base = backend.invert(base, n_sq)
+                    v = powmod(inv_base, -w, n_sq)
+            if stats is not None:
+                stats["table_pows" if (pos_table if w > 0 else neg_table)
+                      is not None else "plain_pows"] += 1
+                stats["reuse_mults"] += len(rows) - 1
+            for j in rows:
+                out[j] = out[j] * v % modulus
+    return [int(v) for v in out]
 
 
 # ----------------------------------------------------------------------
@@ -294,10 +498,13 @@ class BlindingPool:
         executor_fn=None,
         obs: Observability | None = None,
         dispatch_min_items: int = DEFAULT_DISPATCH_MIN_ITEMS,
+        backend: BigintBackend | None = None,
     ):
         self.public_key = public_key
         self.target_size = max(0, target_size)
         self.dispatch_min_items = max(1, dispatch_min_items)
+        self.backend = backend if backend is not None \
+            else resolve_backend("python")
         self._rng = rng
         self._factors: deque[int] = deque()
         # Instrumentation handles are resolved once here so the hot
@@ -348,17 +555,20 @@ class BlindingPool:
     def _compute(self, rs: list[int]) -> list[int]:
         n = self.public_key.n
         n_sq = self.public_key.n_squared
+        name = self.backend.name
         if self._crt is not None:
             self._m_crt.inc(len(rs))
             p_sq, q_sq, exp_p, exp_q, q_sq_inv = self._crt
-            return _pow_chunk_crt((rs, p_sq, q_sq, exp_p, exp_q, q_sq_inv))
+            return _pow_chunk_crt(
+                (rs, p_sq, q_sq, exp_p, exp_q, q_sq_inv, name)
+            )
         self._m_plain.inc(len(rs))
         executor = self._executor_fn() if self._executor_fn else None
         if executor is not None and len(rs) >= self.dispatch_min_items:
             return _run_chunked(executor, _pow_chunk, rs,
-                                (n, n_sq), registry=self._registry,
+                                (n, n_sq, name), registry=self._registry,
                                 op="blinding")
-        return _pow_chunk((rs, n, n_sq))
+        return _pow_chunk((rs, n, n_sq, name))
 
     def refill(self, count: int | None = None) -> None:
         """Synchronously add ``count`` fresh factors (default: top up
@@ -480,6 +690,12 @@ class PaillierEngine:
             :data:`DEFAULT_DISPATCH_MIN_ITEMS`).  ``force_parallel``
             drops it to 1 so tests can exercise the process path with
             tiny batches.
+        backend: bigint backend name (``"auto"``/``"python"``/
+            ``"gmpy2"``) or a :class:`~repro.crypto.backend
+            .BigintBackend` instance.  All backends are bit-identical;
+            ``auto`` picks gmpy2 when importable.
+        power_cache_entries: LRU bound on the cross-call fixed-base
+            power cache used by the compressed matvec paths.
     """
 
     def __init__(
@@ -495,6 +711,8 @@ class PaillierEngine:
         force_parallel: bool = False,
         obs: Observability | None = None,
         dispatch_min_items: int | None = None,
+        backend: str | BigintBackend = "auto",
+        power_cache_entries: int = DEFAULT_POWER_CACHE_ENTRIES,
     ):
         if workers < 0:
             raise CryptoError(f"workers must be >= 0, got {workers}")
@@ -513,6 +731,7 @@ class PaillierEngine:
         self.window_bits = window_bits
         self.dispatch_min_items = (1 if force_parallel
                                    else dispatch_min_items)
+        self.backend = resolve_backend(backend)
         self.obs = obs if obs is not None else OBS_OFF
         # Process dispatch on a box with fewer cores than workers just
         # time-slices the same arithmetic plus fork/pickle overhead, so
@@ -529,9 +748,14 @@ class PaillierEngine:
             public_key, rng, target_size=pool_size,
             private_key=private_key, executor_fn=self._maybe_executor,
             obs=self.obs, dispatch_min_items=self.dispatch_min_items,
+            backend=self.backend,
         )
         # Batch-size histograms, resolved once (no-ops when disabled).
         registry = self.obs.registry
+        self.power_cache = PowerCache(
+            power_cache_entries,
+            gauge=registry.gauge("paillier_power_cache_entries"),
+        )
         self._m_encrypt_batch = registry.histogram(
             "paillier_batch_items", buckets=SIZE_BUCKETS, op="encrypt"
         )
@@ -553,6 +777,13 @@ class PaillierEngine:
         self._m_packed_matvec = registry.counter(
             "paillier_packed_ops", op="fc_matvec"
         )
+        self._m_zero_skipped = registry.counter(
+            "paillier_compress_zero_skipped"
+        )
+        self._m_compress_ops = {
+            op: registry.counter("paillier_compress_ops", op=op)
+            for op in ("fc_matvec", "conv_im2col")
+        }
 
     # -- lifecycle ------------------------------------------------------
 
@@ -668,6 +899,7 @@ class PaillierEngine:
                 self.public_key.n, priv.p, priv.q,
                 priv.p * priv.p, priv.q * priv.q,
                 priv._h_p, priv._h_q, priv._q_inv_p,
+                self.backend.name,
             )
             return _run_chunked(
                 executor, _decrypt_chunk, ciphertexts, extra,
@@ -699,12 +931,14 @@ class PaillierEngine:
         # Element-wise is the diagonal matvec; reuse the kernel without
         # building the dense diagonal when run inline.
         n_sq = self.public_key.n_squared
+        powmod = self.backend.powmod
+        invert = self.backend.invert
         out = []
         for c, w in zip(ciphertexts, weights):
             if w < 0:
-                out.append(pow(invmod(c, n_sq), -w, n_sq))
+                out.append(powmod(invert(c, n_sq), -w, n_sq))
             else:
-                out.append(pow(c, w, n_sq))
+                out.append(powmod(c, w, n_sq))
         return out
 
     def matvec(
@@ -751,6 +985,7 @@ class PaillierEngine:
                     [row[start:stop] for row in rows],
                     n_sq,
                     self.window_bits,
+                    self.backend.name,
                 ))
             if self.obs.enabled:
                 registry = self.obs.registry
@@ -775,7 +1010,7 @@ class PaillierEngine:
                   "dedup_hits": 0}
                  if self.obs.enabled else None)
         partial = _matvec_partial(cells, rows, n_sq, self.window_bits,
-                                  stats=stats)
+                                  stats=stats, backend=self.backend)
         if stats is not None:
             registry = self.obs.registry
             for key, value in stats.items():
@@ -783,6 +1018,164 @@ class PaillierEngine:
                     registry.counter(f"paillier_power_cache_{key}") \
                         .inc(value)
         return [b * v % n_sq for b, v in zip(bias, partial)]
+
+    # -- compression-aware paths ----------------------------------------
+
+    def fc_matvec(
+        self,
+        cells: Sequence[int],
+        weights=None,
+        bias: Sequence[int] | None = None,
+        *,
+        plan: SparseMatvecPlan | None = None,
+    ) -> list[int]:
+        """Compression-aware ``y = W x + b`` for a fully-connected layer.
+
+        Identical semantics to :meth:`matvec`, but evaluated through a
+        :class:`~repro.crypto.sparse.SparseMatvecPlan`: zero weights
+        are skipped outright (counted in
+        ``paillier_compress_zero_skipped``), each distinct (ciphertext,
+        cluster) pair is exponentiated once, and fixed-base tables
+        persist across calls in the engine's bounded
+        :class:`PowerCache`.  Pass a prebuilt ``plan`` to skip the
+        per-call index build (the production path builds one per layer
+        at rewrite time); otherwise one is derived from ``weights``.
+        Bit-identical to :meth:`matvec` on the surviving weights.
+        """
+        return self._compressed_matvec(cells, weights, bias, plan,
+                                       op="fc_matvec")
+
+    def conv_im2col(
+        self,
+        cells: Sequence[int],
+        weights=None,
+        bias: Sequence[int] | None = None,
+        *,
+        plan: SparseMatvecPlan | None = None,
+    ) -> list[int]:
+        """Compression-aware convolution over an im2col weight matrix.
+
+        The matrix rows are output positions and the columns im2col
+        patches, exactly as :func:`repro.scaling.fixed_point
+        ._conv_as_matrix` lays them out.  Convolutions benefit twice:
+        the same kernel weight recurs across every output position
+        (cluster dedup) and pruned kernels zero whole diagonals
+        (sparsity).  Same engine semantics as :meth:`fc_matvec`.
+        """
+        return self._compressed_matvec(cells, weights, bias, plan,
+                                       op="conv_im2col")
+
+    def _compressed_matvec(self, cells, weights, bias, plan, op):
+        cells = list(cells)
+        bias = list(bias) if bias is not None else []
+        if plan is None:
+            if weights is None:
+                raise CryptoError(
+                    "compressed matvec needs weights or a prebuilt plan"
+                )
+            plan = SparseMatvecPlan.from_dense(weights)
+        if plan.in_dim != len(cells):
+            raise CryptoError(
+                f"plan input size {plan.in_dim} != cells {len(cells)}"
+            )
+        if plan.out_dim != len(bias):
+            raise CryptoError(
+                f"plan output size {plan.out_dim} != bias {len(bias)}"
+            )
+        n_sq = self.public_key.n_squared
+        self._m_matvec_cells.observe(len(cells))
+        self._m_compress_ops[op].inc()
+        skipped = plan.total - plan.nnz
+        if skipped:
+            self._m_zero_skipped.inc(skipped)
+        columns = [(cells[i], groups) for i, groups in plan.columns]
+        executor = self._maybe_executor()
+        if executor is not None \
+                and len(columns) >= self.dispatch_min_items:
+            # Worker processes cannot share the engine's power cache;
+            # each chunk builds (and drops) its own tables.
+            workers = executor._max_workers
+            per = -(-len(columns) // workers)
+            jobs = [
+                (columns[start:start + per], plan.out_dim, n_sq,
+                 self.window_bits, self.backend.name)
+                for start in range(0, len(columns), per)
+            ]
+            if self.obs.enabled:
+                registry = self.obs.registry
+                registry.counter("paillier_dispatch_chunks",
+                                 op=op).inc(len(jobs))
+                size_histogram = registry.histogram(
+                    "paillier_dispatch_chunk_items",
+                    buckets=SIZE_BUCKETS, op=op,
+                )
+                for job in jobs:
+                    size_histogram.observe(len(job[0]))
+            partials = list(executor.map(_sparse_chunk, jobs))
+            modulus = self.backend.wrap(n_sq)
+            out = list(bias)
+            for part in partials:
+                out = [int(acc * v % modulus)
+                       for acc, v in zip(out, part)]
+            return out
+        stats = ({"columns_table": 0, "columns_plain": 0,
+                  "tables_built": 0, "table_pows": 0, "plain_pows": 0,
+                  "reuse_mults": 0}
+                 if self.obs.enabled else None)
+        partial = _sparse_partial(
+            columns, plan.out_dim, n_sq, self.window_bits,
+            backend=self.backend, cache=self.power_cache, stats=stats,
+        )
+        if stats is not None:
+            registry = self.obs.registry
+            for key, value in stats.items():
+                if value:
+                    registry.counter(f"paillier_power_cache_{key}") \
+                        .inc(value)
+        modulus = self.backend.wrap(n_sq)
+        return [int(b * v % modulus) for b, v in zip(bias, partial)]
+
+    def reset_power_cache(self) -> None:
+        """Drop all cross-call fixed-base tables (frees their memory
+        and zeroes the ``paillier_power_cache_entries`` gauge)."""
+        self.power_cache.reset()
+
+    # -- homomorphic addition -------------------------------------------
+
+    def add_dispatch(self, count: int) -> bool:
+        """Whether :meth:`add_many` would process-dispatch ``count``
+        adds.  An add is one modular multiply — far below the pow-bound
+        work ``dispatch_min_items`` was calibrated against — so the
+        break-even batch is ``dispatch_min_items *``
+        :data:`ADD_DISPATCH_FACTOR` (1 under ``force_parallel``)."""
+        if self.effective_workers <= 1:
+            return False
+        if self.dispatch_min_items <= 1:
+            return count >= 1
+        return count >= self.dispatch_min_items * ADD_DISPATCH_FACTOR
+
+    def add_many(self, lefts: Sequence[int],
+                 rights: Sequence[int]) -> list[int]:
+        """Pairwise homomorphic addition of raw ciphertexts
+        (``E(a) * E(b) = E(a + b)``), process-dispatched only above
+        the :meth:`add_dispatch` break-even."""
+        if len(lefts) != len(rights):
+            raise CryptoError("add_many length mismatch")
+        n_sq = self.public_key.n_squared
+        if self.add_dispatch(len(lefts)):
+            executor = self._maybe_executor()
+            if executor is not None:
+                pairs = list(zip(lefts, rights))
+                return _run_chunked(
+                    executor, _mulmod_chunk, pairs,
+                    (n_sq, self.backend.name),
+                    registry=self.obs.registry if self.obs.enabled
+                    else None,
+                    op="add",
+                )
+        modulus = self.backend.wrap(n_sq)
+        return [int(a * b % modulus)
+                for a, b in zip(lefts, rights)]
 
     # -- lane-packed fast paths -----------------------------------------
 
@@ -858,6 +1251,7 @@ class PaillierEngine:
         *,
         input_offset: int | None = None,
         bias_offset: int | None = None,
+        plan: SparseMatvecPlan | None = None,
     ) -> list[int]:
         """Packed homomorphic ``y = W x + b``: one pow serves B lanes.
 
@@ -877,6 +1271,11 @@ class PaillierEngine:
             bias: raw packed ciphertexts of the bias (length =
                 out_dim) at per-lane offset ``bias_offset`` (default:
                 canonical).
+            plan: optional sparse plan — routes the product through
+                the compressed :meth:`fc_matvec` path (zero-skip,
+                cluster dedup, power cache) and takes the row weight
+                sums the rebias needs from the plan.  ``weights`` may
+                then be ``None``.
 
         Returns:
             raw packed output ciphertexts at the canonical offset.
@@ -885,14 +1284,19 @@ class PaillierEngine:
             raise KeyMismatchError(
                 "packer was built for a different public key"
             )
-        rows = _int_rows(weights)
-        out = self.matvec(cells, rows, bias)
+        if plan is not None:
+            out = self.fc_matvec(cells, weights, bias, plan=plan)
+            row_sums: Sequence[int] = plan.row_weight_sums
+        else:
+            rows = _int_rows(weights)
+            out = self.matvec(cells, rows, bias)
+            row_sums = [sum(row) for row in rows]
         in_off = packer.offset if input_offset is None else input_offset
         b_off = packer.offset if bias_offset is None else bias_offset
         target = packer.offset
         rebias = [
-            packer.rebias_residue(target - (in_off * sum(row) + b_off))
-            for row in rows
+            packer.rebias_residue(target - (in_off * row_sum + b_off))
+            for row_sum in row_sums
         ]
         out = self.add_plain_many(out, rebias)
         self._m_packed_matvec.inc(len(out))
@@ -935,6 +1339,8 @@ def default_engine(public_key: PaillierPublicKey) -> PaillierEngine:
             pool_size=DEFAULT_CONFIG.blinding_pool_size,
             window_bits=DEFAULT_CONFIG.power_window_bits,
             dispatch_min_items=DEFAULT_CONFIG.dispatch_min_items,
+            backend=DEFAULT_CONFIG.bigint_backend,
+            power_cache_entries=DEFAULT_CONFIG.power_cache_entries,
         )
         _default_engines[public_key.n] = engine
     return engine

@@ -5,6 +5,10 @@ C++ prototype: Miller–Rabin primality testing, probable-prime generation,
 modular inverses, lcm, and Chinese-remainder recombination.  Python's
 arbitrary-precision integers and three-argument ``pow`` do the heavy
 lifting; everything here is deterministic given an explicit RNG.
+
+Modular exponentiation and inversion route through the pluggable
+bigint backend (:mod:`repro.crypto.backend`): pure Python by default,
+GMP via gmpy2 where installed — bit-identical either way.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ import random
 from typing import Tuple
 
 from ..errors import CryptoError
+from .backend import active_backend
 
 # Small primes used to cheaply reject candidates before Miller-Rabin.
 _SMALL_PRIMES = (
@@ -50,13 +55,14 @@ def is_probable_prime(n: int, rng: random.Random | None = None) -> bool:
     while d % 2 == 0:
         d //= 2
         r += 1
+    backend = active_backend()
     for _ in range(_MILLER_RABIN_ROUNDS):
         a = rng.randrange(2, n - 1)
-        x = pow(a, d, n)
+        x = backend.powmod(a, d, n)
         if x == 1 or x == n - 1:
             continue
         for _ in range(r - 1):
-            x = pow(x, 2, n)
+            x = backend.mulmod(x, x, n)
             if x == n - 1:
                 break
         else:
@@ -92,10 +98,12 @@ def invmod(a: int, m: int) -> int:
     Raises:
         CryptoError: if ``a`` is not invertible mod ``m``.
     """
-    try:
-        return pow(a, -1, m)
-    except ValueError as exc:
-        raise CryptoError(f"{a} is not invertible modulo {m}") from exc
+    return active_backend().invert(a, m)
+
+
+def powmod(base: int, exponent: int, modulus: int) -> int:
+    """``base ** exponent mod modulus`` through the active backend."""
+    return active_backend().powmod(base, exponent, modulus)
 
 
 def lcm(a: int, b: int) -> int:

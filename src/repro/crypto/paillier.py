@@ -32,6 +32,7 @@ from ..errors import (
     KeyGenerationError,
     KeyMismatchError,
 )
+from .backend import active_backend
 from .math_utils import invmod, keypair_primes, sample_coprime
 
 
@@ -74,7 +75,7 @@ class PaillierPublicKey:
         # g^m = (1 + n)^m = 1 + n*m (mod n^2) because (n)^2 = 0 (mod n^2).
         g_m = (1 + self.n * plaintext) % n_sq
         r = sample_coprime(self.n, rng)
-        r_n = pow(r, self.n, n_sq)
+        r_n = active_backend().powmod(r, self.n, n_sq)
         return (g_m * r_n) % n_sq
 
     def raw_add(self, c1: int, c2: int) -> int:
@@ -90,7 +91,7 @@ class PaillierPublicKey:
         if w < 0:
             c = invmod(c, self.n_squared)
             w = -w
-        return pow(c, w, self.n_squared)
+        return active_backend().powmod(c, w, self.n_squared)
 
     def encrypt(self, plaintext: int, rng: random.Random) -> "EncryptedNumber":
         """Encrypt a residue and wrap it in an :class:`EncryptedNumber`."""
@@ -159,7 +160,7 @@ class PaillierPrivateKey:
     def _decrypt_mod_prime(
         self, ciphertext: int, prime: int, prime_squared: int, h: int
     ) -> int:
-        u = pow(ciphertext, prime - 1, prime_squared)
+        u = active_backend().powmod(ciphertext, prime - 1, prime_squared)
         l_value = (u - 1) // prime
         return (l_value * h) % prime
 

@@ -1,0 +1,197 @@
+"""Sparse, compression-aware matvec plans (the Popcorn direction).
+
+A pruned-and-clustered layer gives the Paillier engine two structural
+gifts:
+
+* **Sparsity** — zero weights need no work at all: no exponentiation,
+  no multiply, not even a scan.  A dense matvec kernel pays a Python
+  loop iteration per (row, column) cell just to discover the zeros;
+  at 70% sparsity that is 70% of the traversal wasted on every
+  request.
+* **Few distinct values** — weight clustering collapses a layer to k
+  distinct scalars, so within one column (one input ciphertext) the
+  same exponent recurs across many output rows.  Each distinct
+  (ciphertext, cluster) pair costs exactly one modular exponentiation;
+  every further use is a single modular multiply.
+
+:class:`SparseMatvecPlan` precomputes both structures **once per
+layer**: for every input column, the nonzero output rows grouped by
+their (clustered) weight value.  The engine's ``fc_matvec`` /
+``conv_im2col`` then iterate only nonzero (patch, weight) pairs, with
+the per-cluster dedup already materialized — no per-call dense scans,
+no per-call dictionaries.
+
+The plan is pure structure: it holds no ciphertexts and no key
+material, so one plan serves every request through a layer (and can be
+built next to the model, shipped with the stage assignment, or derived
+on the fly from a dense matrix).  Evaluation through a plan is
+bit-identical to the dense engine path on the surviving weights —
+modular products do not care about the order zeros were skipped in.
+
+:meth:`SparseMatvecPlan.compression_stats` exports the density and
+cluster structure as a :class:`repro.costs.CompressionStats`, which is
+how the planner's cost model learns that a compressed layer is cheap
+(:func:`repro.planner.profiling.profile_primitive_times`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..costs import CompressionStats
+from ..errors import CryptoError
+
+#: Type of one plan column: (input index, ((weight, (rows...)), ...)).
+PlanColumn = Tuple[int, Tuple[Tuple[int, Tuple[int, ...]], ...]]
+
+
+class SparseMatvecPlan:
+    """Per-layer sparse column index for compressed homomorphic matvecs.
+
+    Attributes:
+        in_dim, out_dim: dense shape of the underlying weight matrix.
+        columns: nonzero columns only; each entry is ``(i, groups)``
+            where ``groups`` is a tuple of ``(weight, rows)`` pairs —
+            the distinct nonzero weights of column ``i`` (ascending)
+            and the output rows using each.  Ascending weight order is
+            part of the plan's deterministic identity: two plans built
+            from equal matrices are equal structure.
+        nnz: number of nonzero weight cells.
+        distinct_values: number of distinct nonzero weight values in
+            the whole matrix (== cluster count for a clustered layer).
+        row_weight_sums: per-output-row sum of all weights (the packed
+            path's rebias needs it; zeros contribute nothing, so the
+            sparse sum equals the dense sum).
+        max_weight_bits: bit length of the largest |weight|.
+    """
+
+    __slots__ = ("in_dim", "out_dim", "columns", "nnz",
+                 "distinct_values", "distinct_pairs",
+                 "row_weight_sums", "max_weight_bits")
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        columns: Sequence[PlanColumn],
+        row_weight_sums: Sequence[int],
+    ):
+        if in_dim < 0 or out_dim < 0:
+            raise CryptoError("plan dimensions must be non-negative")
+        if len(row_weight_sums) != out_dim:
+            raise CryptoError(
+                f"row_weight_sums length {len(row_weight_sums)} != "
+                f"out_dim {out_dim}"
+            )
+        values: set[int] = set()
+        nnz = 0
+        pairs = 0
+        max_abs = 0
+        for i, groups in columns:
+            if not 0 <= i < in_dim:
+                raise CryptoError(f"plan column {i} out of range")
+            for weight, rows in groups:
+                if weight == 0:
+                    raise CryptoError("plan must not contain zero weights")
+                values.add(weight)
+                pairs += 1
+                nnz += len(rows)
+                max_abs = max(max_abs, abs(weight))
+                for j in rows:
+                    if not 0 <= j < out_dim:
+                        raise CryptoError(f"plan row {j} out of range")
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.columns = tuple(
+            (i, tuple((w, tuple(rows)) for w, rows in groups))
+            for i, groups in columns
+        )
+        self.nnz = nnz
+        self.distinct_values = len(values)
+        #: Total distinct (column, weight) pairs == exponentiations the
+        #: engine performs per evaluation of this plan.
+        self.distinct_pairs = pairs
+        self.row_weight_sums = tuple(int(s) for s in row_weight_sums)
+        self.max_weight_bits = max_abs.bit_length()
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, weights) -> "SparseMatvecPlan":
+        """Build the plan from a dense integer matrix (ndarray or
+        nested sequences; object dtype for arbitrary precision)."""
+        arr = np.asarray(weights)
+        if arr.ndim != 2:
+            raise CryptoError(
+                f"weights must be 2-D, got shape {arr.shape}"
+            )
+        rows = arr.tolist()
+        if arr.dtype == object:
+            rows = [[int(w) for w in row] for row in rows]
+        out_dim = len(rows)
+        in_dim = len(rows[0]) if rows else 0
+        columns: list[PlanColumn] = []
+        for i in range(in_dim):
+            by_weight: dict[int, list[int]] = {}
+            for j in range(out_dim):
+                w = rows[j][i]
+                if w:
+                    by_weight.setdefault(w, []).append(j)
+            if by_weight:
+                groups = tuple(
+                    (w, tuple(by_weight[w])) for w in sorted(by_weight)
+                )
+                columns.append((i, groups))
+        row_sums = [sum(row) for row in rows]
+        return cls(in_dim, out_dim, columns, row_sums)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Dense cell count of the underlying matrix."""
+        return self.in_dim * self.out_dim
+
+    @property
+    def density(self) -> float:
+        """Fraction of nonzero cells (1.0 for a dense matrix)."""
+        return self.nnz / self.total if self.total else 1.0
+
+    @property
+    def sparsity(self) -> float:
+        return 1.0 - self.density
+
+    @property
+    def distinct_per_column(self) -> float:
+        """Mean distinct weights per *nonzero* column — the number of
+        exponentiations one input ciphertext costs."""
+        if not self.columns:
+            return 0.0
+        return self.distinct_pairs / len(self.columns)
+
+    def compression_stats(self) -> CompressionStats:
+        """Export the structure the planner cost model consumes."""
+        return CompressionStats(
+            density=self.density,
+            clusters=self.distinct_values or None,
+            distinct_per_column=self.distinct_per_column or None,
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SparseMatvecPlan):
+            return NotImplemented
+        return (self.in_dim == other.in_dim
+                and self.out_dim == other.out_dim
+                and self.columns == other.columns)
+
+    def __hash__(self) -> int:
+        return hash((self.in_dim, self.out_dim, self.columns))
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseMatvecPlan(shape=({self.out_dim}, {self.in_dim}), "
+            f"nnz={self.nnz}/{self.total}, "
+            f"distinct_values={self.distinct_values})"
+        )

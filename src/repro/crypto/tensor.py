@@ -31,6 +31,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .engine import PaillierEngine
+    from .sparse import SparseMatvecPlan
 
 from ..errors import EncodingError, KeyMismatchError
 from .encoding import LanePacker, SignedEncoder
@@ -276,6 +277,7 @@ class EncryptedTensor:
         rng: random.Random | None = None,
         weight_exponent: int = 0,
         engine: "PaillierEngine | None" = None,
+        plan: "SparseMatvecPlan | None" = None,
     ) -> "EncryptedTensor":
         """Compute ``y = W x + b`` homomorphically (Eq. (3) of the paper).
 
@@ -293,10 +295,19 @@ class EncryptedTensor:
                 through its per-ciphertext power caches (and process
                 pool, if configured) instead of the scalar loop.  Both
                 paths produce identical ciphertexts.
+            plan: optional per-layer sparse plan for a pruned/clustered
+                weight matrix — routes through the engine's compressed
+                ``fc_matvec`` (zero-skip, cluster dedup, cross-call
+                power cache).  Implies the engine path (the shared
+                default engine is used when ``engine`` is omitted).
 
         Returns:
             encrypted vector of shape (out_dim,).
         """
+        if plan is not None and engine is None:
+            from .engine import default_engine
+
+            engine = default_engine(self.public_key)
         x = self.flatten()
         weights = np.asarray(weights)
         if weights.ndim != 2 or weights.shape[1] != x.size:
@@ -339,11 +350,13 @@ class EncryptedTensor:
                 ]
         cells = x.cells()
         if engine is not None:
-            raw = engine.matvec(
-                [c.ciphertext for c in cells],
-                weights,
-                [b.ciphertext for b in bias_cells],
-            )
+            raw_cells = [c.ciphertext for c in cells]
+            raw_bias = [b.ciphertext for b in bias_cells]
+            if plan is not None:
+                raw = engine.fc_matvec(raw_cells, weights, raw_bias,
+                                       plan=plan)
+            else:
+                raw = engine.matvec(raw_cells, weights, raw_bias)
             out_cells = [EncryptedNumber(self.public_key, c) for c in raw]
             return EncryptedTensor(
                 self.public_key, out_cells, (out_dim,), out_exponent
@@ -638,6 +651,7 @@ class PackedEncryptedTensor:
         rng: random.Random | None = None,
         weight_exponent: int = 0,
         engine: "PaillierEngine | None" = None,
+        plan: "SparseMatvecPlan | None" = None,
     ) -> "PackedEncryptedTensor":
         """Packed ``y = W x + b``: one matvec serves the whole batch.
 
@@ -651,6 +665,9 @@ class PackedEncryptedTensor:
             weight_exponent: fixed-point exponent the weights carry.
             engine: batched crypto engine; defaults to the shared
                 sequential engine for this key.
+            plan: optional per-layer sparse plan — the packed matvec
+                then runs through the compressed engine path and
+                rebiases from the plan's row weight sums.
         """
         from .engine import default_engine
 
@@ -689,6 +706,7 @@ class PackedEncryptedTensor:
             weights,
             [b.ciphertext for b in bias_cells],
             self.packer,
+            plan=plan,
         )
         out_cells = [EncryptedNumber(self.public_key, c) for c in raw]
         return PackedEncryptedTensor(

@@ -27,6 +27,13 @@ from .layers import (
 )
 from .model import Sequential
 from .metrics import accuracy, confusion_counts
+from .rewrite import (
+    LayerPruneStats,
+    PruneReport,
+    count_position_sensitive,
+    prune_model,
+    rewrite_for_privacy,
+)
 from .training import SGDTrainer, TrainingResult
 from . import model_zoo
 
@@ -48,6 +55,11 @@ __all__ = [
     "Sequential",
     "accuracy",
     "confusion_counts",
+    "LayerPruneStats",
+    "PruneReport",
+    "count_position_sensitive",
+    "prune_model",
+    "rewrite_for_privacy",
     "SGDTrainer",
     "TrainingResult",
     "model_zoo",

@@ -1,4 +1,4 @@
-"""Model rewriting for privacy readiness.
+"""Model rewriting for privacy readiness and compression.
 
 The zoo builds models privacy-ready, but a user bringing their own
 model may have MaxPool layers (position-sensitive, so incompatible with
@@ -11,15 +11,28 @@ rewritten model is a reasonable starting point; the paper's generality
 claim assumes models are trained (or fine-tuned) with the substitution
 in place, and :class:`repro.nn.training.SGDTrainer` can do that
 fine-tuning here.
+
+:func:`prune_model` is the compression-side rewrite (the Popcorn
+direction): magnitude-prune each linear layer under an accuracy budget.
+Every zeroed weight is a homomorphic scalar multiplication the
+encrypted path never performs — the engine's compressed matvecs
+(:meth:`repro.crypto.engine.PaillierEngine.fc_matvec` /
+:meth:`~repro.crypto.engine.PaillierEngine.conv_im2col`) skip zero
+weights outright — so pruning translates one-for-one into saved
+modular exponentiations.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Tuple
+
 import numpy as np
 
 from ..errors import ModelError
-from .layers import Layer, MaxPool2d
+from .layers import Conv2d, FullyConnected, Layer, MaxPool2d
 from .layers.pooling import maxpool_replacement
+from .metrics import top1_accuracy
 from .model import Sequential
 
 
@@ -68,6 +81,150 @@ def _clone_layer(layer: Layer) -> Layer:
         parameter[...] = source
     _restore_buffers(clone, _layer_buffers(layer))
     return clone
+
+
+@dataclass(frozen=True)
+class LayerPruneStats:
+    """Pruning outcome of one prunable (linear) layer."""
+
+    index: int
+    layer: str
+    total: int
+    pruned: int
+    threshold: float
+
+    @property
+    def density(self) -> float:
+        """Fraction of weights that survived."""
+        return 1.0 - self.pruned / self.total if self.total else 1.0
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """What :func:`prune_model` did and what it cost in accuracy."""
+
+    target_sparsity: float
+    applied_sparsity: float
+    layers: Tuple[LayerPruneStats, ...]
+    baseline_accuracy: float | None = None
+    pruned_accuracy: float | None = None
+
+    @property
+    def total(self) -> int:
+        return sum(stats.total for stats in self.layers)
+
+    @property
+    def pruned(self) -> int:
+        return sum(stats.pruned for stats in self.layers)
+
+    @property
+    def density(self) -> float:
+        total = self.total
+        return 1.0 - self.pruned / total if total else 1.0
+
+    @property
+    def accuracy_delta(self) -> float | None:
+        """Accuracy change caused by pruning (negative = loss)."""
+        if self.baseline_accuracy is None \
+                or self.pruned_accuracy is None:
+            return None
+        return self.pruned_accuracy - self.baseline_accuracy
+
+
+def _prune_at(model: Sequential, sparsity: float
+              ) -> tuple[Sequential, list[LayerPruneStats]]:
+    """Clone ``model`` with each linear layer magnitude-pruned to
+    (approximately) the given per-layer sparsity."""
+    pruned = Sequential(model.input_shape, name=f"{model.name}-pruned")
+    stats: list[LayerPruneStats] = []
+    for index, layer in enumerate(model.layers):
+        clone = _clone_layer(layer)
+        if sparsity > 0.0 and isinstance(clone,
+                                         (Conv2d, FullyConnected)):
+            weight = clone.weight
+            magnitudes = np.abs(weight).reshape(-1)
+            # quantile() on the sorted magnitudes is deterministic;
+            # ties at the threshold all prune (<=), which can only
+            # overshoot the target, never undershoot the budget check.
+            threshold = float(np.quantile(magnitudes, sparsity))
+            mask = np.abs(weight) <= threshold
+            weight[mask] = 0.0
+            stats.append(LayerPruneStats(
+                index=index,
+                layer=type(layer).__name__,
+                total=int(weight.size),
+                pruned=int(np.count_nonzero(mask)),
+                threshold=threshold,
+            ))
+        pruned.add(clone)
+    return pruned, stats
+
+
+def prune_model(
+    model: Sequential,
+    sparsity: float = 0.7,
+    *,
+    inputs: np.ndarray | None = None,
+    labels: np.ndarray | None = None,
+    accuracy_budget: float = 0.01,
+    backoff: float = 0.75,
+    min_sparsity: float = 0.05,
+) -> tuple[Sequential, PruneReport]:
+    """Magnitude-prune every linear layer under an accuracy budget.
+
+    Weights of each FullyConnected / Conv2d layer below that layer's
+    ``sparsity``-quantile magnitude are zeroed.  When evaluation data
+    is provided, the sparsity backs off geometrically (factor
+    ``backoff``) until the pruned model's top-1 accuracy is within
+    ``accuracy_budget`` of the original — falling back to no pruning
+    if even ``min_sparsity`` misses the budget — so the returned model
+    is always deployable.  Entirely deterministic: no RNG is involved.
+
+    Args:
+        model: source model (left untouched; layers are deep-copied).
+        sparsity: target fraction of weights to zero per linear layer.
+        inputs, labels: optional evaluation set for the budget check.
+        accuracy_budget: maximum tolerated top-1 accuracy drop
+            (fraction, e.g. 0.01 = one percentage point).
+        backoff: multiplicative sparsity reduction per failed attempt.
+        min_sparsity: below this level, give up and return unpruned.
+
+    Returns:
+        ``(pruned_model, report)``.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ModelError(
+            f"sparsity must be in [0, 1), got {sparsity}"
+        )
+    if not 0.0 < backoff < 1.0:
+        raise ModelError(f"backoff must be in (0, 1), got {backoff}")
+    if (inputs is None) != (labels is None):
+        raise ModelError(
+            "prune_model needs both inputs and labels, or neither"
+        )
+    baseline = None
+    if inputs is not None:
+        baseline = top1_accuracy(model.predict(inputs), labels)
+    level = sparsity
+    while True:
+        pruned, stats = _prune_at(model, level)
+        achieved = None
+        if baseline is not None and level > 0.0:
+            achieved = top1_accuracy(pruned.predict(inputs), labels)
+            if baseline - achieved > accuracy_budget:
+                level *= backoff
+                if level < min_sparsity:
+                    level = 0.0
+                continue
+        elif baseline is not None:
+            achieved = baseline
+        return pruned, PruneReport(
+            target_sparsity=sparsity,
+            applied_sparsity=level,
+            layers=tuple(stats),
+            baseline_accuracy=baseline,
+            pruned_accuracy=achieved,
+        )
 
 
 def count_position_sensitive(model: Sequential) -> int:

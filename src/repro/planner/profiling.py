@@ -22,7 +22,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from ..costs import CostModel
+from ..costs import CompressionStats, CostModel
 from ..errors import PlannerError
 from ..nn.layers import LayerKind
 from .primitive import MergedPrimitive
@@ -32,6 +32,7 @@ def profile_primitive_times(
     stages: Sequence[MergedPrimitive],
     cost_model: CostModel,
     scaling_decimals: int = 4,
+    compression: Sequence[CompressionStats | None] | None = None,
 ) -> List[float]:
     """Analytic T_i for each stage (seconds per input tensor).
 
@@ -45,18 +46,37 @@ def profile_primitive_times(
         cost_model: per-operation costs.
         scaling_decimals: the selected scaling exponent ``f`` (drives
             scalar-multiplication bit lengths).
+        compression: optional per-stage
+            :class:`~repro.costs.CompressionStats` (``None`` entries
+            for uncompressed stages).  A pruned/clustered linear stage
+            is charged only its surviving exponentiations — one per
+            (ciphertext, cluster) pair — plus one ciphertext-add-priced
+            multiply per deduplicated reuse, so stage assignment sees
+            compressed layers as the cheaper stages they really are.
     """
     if not stages:
         raise PlannerError("cannot profile an empty stage list")
+    if compression is not None and len(compression) != len(stages):
+        raise PlannerError(
+            f"compression entries ({len(compression)}) != stages "
+            f"({len(stages)})"
+        )
     scalar_bits = cost_model.scalar_bits_for_decimals(scaling_decimals)
     times: List[float] = []
-    for stage in stages:
+    for index, stage in enumerate(stages):
         counts = stage.op_counts()
+        stats = compression[index] if compression is not None else None
         if stage.kind is LayerKind.LINEAR:
+            muls = counts.ciphertext_muls
+            adds = counts.ciphertext_adds
+            if stats is not None:
+                muls = stats.exponentiations(counts.ciphertext_muls,
+                                             counts.input_size)
+                adds += stats.reuse_mults(counts.ciphertext_muls,
+                                          counts.input_size)
             total = (
-                counts.ciphertext_muls * cost_model.ciphertext_mul(
-                    scalar_bits)
-                + counts.ciphertext_adds * cost_model.ciphertext_add
+                muls * cost_model.ciphertext_mul(scalar_bits)
+                + adds * cost_model.ciphertext_add
                 + counts.input_size * cost_model.permute_element
                 + counts.output_size * cost_model.permute_element
             )

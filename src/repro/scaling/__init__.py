@@ -13,6 +13,13 @@ from .parameter_scaling import (
     scaling_factor_sweep,
     select_scaling_factor,
 )
+from .clustering import (
+    DEFAULT_CLUSTERS,
+    ClusterReport,
+    LayerClusterStats,
+    cluster_model,
+    cluster_values,
+)
 from .fixed_point import scale_to_int, ScaledAffine, scaled_affine_for_layer
 from .headroom import (
     HeadroomReport,
@@ -30,6 +37,11 @@ __all__ = [
     "scale_to_int",
     "ScaledAffine",
     "scaled_affine_for_layer",
+    "DEFAULT_CLUSTERS",
+    "ClusterReport",
+    "LayerClusterStats",
+    "cluster_model",
+    "cluster_values",
     "HeadroomReport",
     "LanePlan",
     "analyze_headroom",

@@ -1,0 +1,230 @@
+"""Weight clustering: collapse each layer to few distinct values.
+
+The compression-aware Paillier path (:mod:`repro.crypto.sparse`) pays
+one modular exponentiation per distinct (ciphertext, weight) pair and
+a single modular multiply for every further use.  Clustering a layer's
+weights to ``k`` shared values therefore caps the exponentiations an
+input ciphertext can cost at ``k`` — for a conv layer whose im2col
+matrix reuses each kernel weight at every output position, this is the
+difference between "one pow per output position" and "one pow per
+cluster".
+
+Determinism is a hard requirement here (the planner, the property
+tests, and any two stage replicas must quantize a layer identically),
+so the k-means implementation is seeded end to end and breaks every
+tie stably:
+
+* k-means++ initialization draws from ``numpy.random.default_rng`` on
+  the caller's seed (per-layer seeds are derived as ``seed + index``
+  so reordering unrelated layers does not reshuffle clusters);
+* Lloyd assignment uses ``argmin`` over ``(distance, center index)``,
+  which resolves equidistant points to the lowest-indexed center;
+* empty clusters keep their previous center;
+* centers are sorted ascending before the final assignment, so the
+  returned palette is a canonical form independent of init order.
+
+Zero weights are never clustered: a zero is pruning's work product and
+must stay exactly zero for the sparse engine path to skip it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, ModelError
+from ..nn.layers import Conv2d, FullyConnected
+from ..nn.metrics import top1_accuracy
+from ..nn.model import Sequential
+from ..nn.rewrite import _clone_layer
+
+#: Default number of shared weight values per layer.  16 clusters keep
+#: zoo-model accuracy within noise while capping per-ciphertext
+#: exponentiations at 16 (Popcorn uses comparable palettes).
+DEFAULT_CLUSTERS = 16
+
+
+def cluster_values(
+    values: np.ndarray,
+    clusters: int,
+    seed: int = 0,
+    iterations: int = 25,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic 1-D k-means quantization.
+
+    Args:
+        values: 1-D float array to quantize.
+        clusters: number of shared values (``k``).
+        seed: RNG seed for k-means++ initialization.
+        iterations: maximum Lloyd iterations.
+
+    Returns:
+        ``(quantized, centers)`` — ``quantized`` has ``values``'s shape
+        with every entry replaced by its cluster center; ``centers``
+        is sorted ascending and deduplicated.
+    """
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if clusters < 1:
+        raise ConfigurationError(
+            f"clusters must be >= 1, got {clusters}"
+        )
+    if iterations < 1:
+        raise ConfigurationError(
+            f"iterations must be >= 1, got {iterations}"
+        )
+    if values.size == 0:
+        return values.copy(), np.empty(0)
+    unique = np.unique(values)
+    if unique.size <= clusters:
+        # Fewer distinct values than clusters: the identity quantizer
+        # is exact and trivially deterministic.
+        return values.copy(), unique
+    centers = _kmeans_pp_init(values, clusters,
+                              np.random.default_rng(seed))
+    for _ in range(iterations):
+        # Row-wise |v - c| with argmin resolves ties to the
+        # lowest-indexed center (numpy guarantees first occurrence).
+        assign = np.argmin(np.abs(values[:, None] - centers[None, :]),
+                           axis=1)
+        updated = centers.copy()
+        for index in range(clusters):
+            members = values[assign == index]
+            if members.size:
+                updated[index] = members.mean()
+        if np.array_equal(updated, centers):
+            break
+        centers = updated
+    centers = np.unique(centers)
+    assign = np.argmin(np.abs(values[:, None] - centers[None, :]),
+                       axis=1)
+    return centers[assign], centers
+
+
+def _kmeans_pp_init(values: np.ndarray, clusters: int,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Seeded k-means++ over 1-D values (deterministic per seed)."""
+    centers = np.empty(clusters)
+    centers[0] = values[int(rng.integers(values.size))]
+    d2 = (values - centers[0]) ** 2
+    for index in range(1, clusters):
+        total = d2.sum()
+        if total <= 0.0:
+            # All remaining points coincide with a chosen center;
+            # replicate it (dedup happens after Lloyd).
+            centers[index:] = centers[index - 1]
+            break
+        # Inverse-CDF sampling on a single uniform draw keeps the
+        # choice deterministic and independent of numpy's choice()
+        # implementation details.
+        cumulative = np.cumsum(d2 / total)
+        draw = float(rng.random())
+        centers[index] = values[
+            int(np.searchsorted(cumulative, draw, side="right"))
+        ]
+        d2 = np.minimum(d2, (values - centers[index]) ** 2)
+    return centers
+
+
+@dataclass(frozen=True)
+class LayerClusterStats:
+    """Clustering outcome of one linear layer."""
+
+    index: int
+    layer: str
+    total: int
+    nonzero: int
+    clusters: int
+    #: Mean |w - q(w)| over the clustered (nonzero) weights.
+    quantization_error: float
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """What :func:`cluster_model` did and what it cost in accuracy."""
+
+    requested_clusters: int
+    seed: int
+    layers: Tuple[LayerClusterStats, ...]
+    baseline_accuracy: float | None = None
+    clustered_accuracy: float | None = None
+
+    @property
+    def accuracy_delta(self) -> float | None:
+        """Accuracy change caused by clustering (negative = loss)."""
+        if self.baseline_accuracy is None \
+                or self.clustered_accuracy is None:
+            return None
+        return self.clustered_accuracy - self.baseline_accuracy
+
+
+def cluster_model(
+    model: Sequential,
+    clusters: int = DEFAULT_CLUSTERS,
+    *,
+    seed: int = 0,
+    inputs: np.ndarray | None = None,
+    labels: np.ndarray | None = None,
+    iterations: int = 25,
+) -> Tuple[Sequential, ClusterReport]:
+    """Cluster every linear layer's nonzero weights to shared values.
+
+    Layers are deep-copied; zeros (pruned weights) are preserved
+    exactly.  Layer ``i`` clusters under seed ``seed + i``, so the
+    result is a pure function of (model weights, clusters, seed).
+
+    Args:
+        model: source model (left untouched).
+        clusters: shared values per layer.
+        seed: master seed; per-layer seeds derive from it.
+        inputs, labels: optional evaluation set — when given, the
+            report carries before/after top-1 accuracy.
+        iterations: maximum Lloyd iterations per layer.
+
+    Returns:
+        ``(clustered_model, report)``.
+    """
+    if (inputs is None) != (labels is None):
+        raise ModelError(
+            "cluster_model needs both inputs and labels, or neither"
+        )
+    baseline = None
+    if inputs is not None:
+        baseline = top1_accuracy(model.predict(inputs), labels)
+    clustered = Sequential(model.input_shape,
+                           name=f"{model.name}-clustered")
+    stats: list[LayerClusterStats] = []
+    for index, layer in enumerate(model.layers):
+        clone = _clone_layer(layer)
+        if isinstance(clone, (Conv2d, FullyConnected)):
+            weight = clone.weight
+            flat = weight.reshape(-1)
+            nonzero = flat != 0.0
+            values = flat[nonzero]
+            quantized, centers = cluster_values(
+                values, clusters, seed=seed + index,
+                iterations=iterations,
+            )
+            error = (float(np.mean(np.abs(values - quantized)))
+                     if values.size else 0.0)
+            flat[nonzero] = quantized
+            stats.append(LayerClusterStats(
+                index=index,
+                layer=type(layer).__name__,
+                total=int(flat.size),
+                nonzero=int(values.size),
+                clusters=int(centers.size),
+                quantization_error=error,
+            ))
+        clustered.add(clone)
+    achieved = None
+    if baseline is not None:
+        achieved = top1_accuracy(clustered.predict(inputs), labels)
+    return clustered, ClusterReport(
+        requested_clusters=clusters,
+        seed=seed,
+        layers=tuple(stats),
+        baseline_accuracy=baseline,
+        clustered_accuracy=achieved,
+    )

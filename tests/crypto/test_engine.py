@@ -318,3 +318,64 @@ class TestDefaultEngine:
             for v in values.reshape(-1)
         ]
         assert [c.ciphertext for c in tensor.cells()] == expected
+
+
+class TestAddMany:
+    def test_scalar_path_matches_reference(self, keypair):
+        pub, priv = keypair
+        engine = PaillierEngine(pub, seed=2)
+        lefts = engine.raw_encrypt_many([1, 2, 3])
+        rights = engine.raw_encrypt_many([10, 20, 30])
+        n_sq = pub.n_squared
+        assert engine.add_many(lefts, rights) \
+            == [a * b % n_sq for a, b in zip(lefts, rights)]
+
+    def test_length_mismatch_rejected(self, keypair):
+        pub, _ = keypair
+        engine = PaillierEngine(pub, seed=2)
+        with pytest.raises(CryptoError):
+            engine.add_many([1, 2], [3])
+
+    def test_dispatch_break_even_is_add_specific(self, keypair):
+        """Adds are one modular multiply each, so the process-pool
+        break-even sits ADD_DISPATCH_FACTOR above the pow-bound one."""
+        from repro.crypto.engine import ADD_DISPATCH_FACTOR
+
+        pub, _ = keypair
+        engine = PaillierEngine(pub, seed=2, workers=2)
+        try:
+            # Single-core CI clamps effective_workers to 1; the
+            # break-even rule is what's under test, so un-clamp it.
+            engine.effective_workers = 2
+            threshold = engine.dispatch_min_items * ADD_DISPATCH_FACTOR
+            assert not engine.add_dispatch(threshold - 1)
+            assert engine.add_dispatch(threshold)
+        finally:
+            engine.close()
+
+    def test_sequential_engine_never_dispatches(self, keypair):
+        pub, _ = keypair
+        engine = PaillierEngine(pub, seed=2)
+        assert not engine.add_dispatch(10 ** 9)
+
+    def test_force_parallel_dispatches_any_batch(self, keypair):
+        pub, _ = keypair
+        engine = PaillierEngine(pub, seed=2, workers=2,
+                                force_parallel=True)
+        try:
+            assert engine.add_dispatch(1)
+        finally:
+            engine.close()
+
+    def test_pooled_path_bit_identical(self, keypair):
+        pub, _ = keypair
+        sequential = PaillierEngine(pub, seed=2)
+        pooled = PaillierEngine(pub, seed=2, workers=2,
+                                force_parallel=True)
+        try:
+            lefts = sequential.raw_encrypt_many(list(range(20)))
+            rights = sequential.raw_encrypt_many(list(range(20, 40)))
+            assert pooled.add_many(lefts, rights) \
+                == sequential.add_many(lefts, rights)
+        finally:
+            pooled.close()

@@ -1,0 +1,303 @@
+"""Unit tests for the compression-aware engine path.
+
+Covers the three pieces introduced by the compressed matvecs:
+
+* :class:`SparseMatvecPlan` — the once-per-layer sparse column index;
+* :class:`PowerCache` — the bounded cross-call LRU of fixed-base
+  tables (including a soak hammer that asserts the bound holds);
+* :meth:`PaillierEngine.fc_matvec` / ``conv_im2col`` — bit-identity
+  with the dense engine path on surviving weights, zero-skip counters,
+  and process-pool dispatch.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.crypto.engine import (
+    PaillierEngine,
+    PowerCache,
+    PowerTable,
+)
+from repro.crypto.sparse import SparseMatvecPlan
+from repro.errors import CryptoError
+from repro.observability import Observability
+
+
+WEIGHTS = [
+    [3, 0, -2, 0],
+    [0, 0, -2, 5],
+    [3, 0, 0, 0],
+]
+
+
+class TestSparseMatvecPlan:
+    def test_from_dense_structure(self):
+        plan = SparseMatvecPlan.from_dense(WEIGHTS)
+        assert (plan.out_dim, plan.in_dim) == (3, 4)
+        # Column 1 is all zero and must not appear at all.
+        assert [i for i, _ in plan.columns] == [0, 2, 3]
+        as_dict = dict(plan.columns)
+        assert as_dict[0] == ((3, (0, 2)),)
+        assert as_dict[2] == ((-2, (0, 1)),)
+        assert as_dict[3] == ((5, (1,)),)
+        assert plan.nnz == 5
+        assert plan.total == 12
+        assert plan.distinct_values == 3
+        assert plan.distinct_pairs == 3
+        assert plan.row_weight_sums == (1, 3, 3)
+        assert plan.max_weight_bits == 3
+
+    def test_groups_sorted_ascending_by_weight(self):
+        plan = SparseMatvecPlan.from_dense([[7], [-7], [2]])
+        ((_, groups),) = plan.columns
+        assert [w for w, _ in groups] == [-7, 2, 7]
+
+    def test_density_and_distinct_per_column(self):
+        plan = SparseMatvecPlan.from_dense(WEIGHTS)
+        assert plan.density == pytest.approx(5 / 12)
+        assert plan.sparsity == pytest.approx(7 / 12)
+        assert plan.distinct_per_column == pytest.approx(1.0)
+
+    def test_compression_stats_export(self):
+        stats = SparseMatvecPlan.from_dense(WEIGHTS).compression_stats()
+        assert stats.density == pytest.approx(5 / 12)
+        assert stats.clusters == 3
+        assert stats.distinct_per_column == pytest.approx(1.0)
+
+    def test_equality_and_hash_are_structural(self):
+        a = SparseMatvecPlan.from_dense(WEIGHTS)
+        b = SparseMatvecPlan.from_dense(np.array(WEIGHTS))
+        c = SparseMatvecPlan.from_dense([[1, 0], [0, 1]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_object_dtype_matrix(self):
+        big = 10 ** 30
+        plan = SparseMatvecPlan.from_dense(
+            np.array([[big, 0], [0, -big]], dtype=object))
+        assert plan.distinct_values == 2
+        assert plan.max_weight_bits == big.bit_length()
+
+    def test_zero_weight_group_rejected(self):
+        with pytest.raises(CryptoError):
+            SparseMatvecPlan(1, 1, [(0, ((0, (0,)),))], [0])
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(CryptoError):
+            SparseMatvecPlan(1, 1, [(1, ((2, (0,)),))], [2])
+        with pytest.raises(CryptoError):
+            SparseMatvecPlan(1, 1, [(0, ((2, (1,)),))], [2])
+
+    def test_row_sums_length_checked(self):
+        with pytest.raises(CryptoError):
+            SparseMatvecPlan(1, 2, [], [0])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(CryptoError):
+            SparseMatvecPlan.from_dense([1, 2, 3])
+
+
+class TestPowerCache:
+    MOD = 97 * 101
+
+    def table(self, base):
+        return PowerTable(base, self.MOD, max_bits=8, window_bits=2)
+
+    def test_put_peek_roundtrip(self):
+        cache = PowerCache(max_entries=4)
+        table = self.table(5)
+        cache.put(5, table)
+        assert cache.peek(5) is table
+        assert (cache.hits, cache.misses) == (1, 0)
+        assert cache.peek(6) is None
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_lru_eviction_order(self):
+        cache = PowerCache(max_entries=2)
+        cache.put(1, self.table(2))
+        cache.put(2, self.table(3))
+        assert cache.peek(1) is not None  # refresh 1; 2 is now LRU
+        cache.put(3, self.table(5))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.peek(2) is None
+        assert cache.peek(1) is not None
+        assert cache.peek(3) is not None
+
+    def test_bound_enforced(self):
+        cache = PowerCache(max_entries=3)
+        for key in range(50):
+            cache.put(key, self.table(key % 7 + 2))
+            assert len(cache) <= 3
+        assert cache.evictions == 47
+
+    def test_reset_clears_and_zeroes_gauge(self):
+        obs = Observability()
+        gauge = obs.registry.gauge("paillier_power_cache_entries")
+        cache = PowerCache(max_entries=4, gauge=gauge)
+        for key in range(4):
+            cache.put(key, self.table(key + 2))
+        assert gauge.value == 4
+        cache.reset()
+        assert len(cache) == 0
+        assert gauge.value == 0
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(CryptoError):
+            PowerCache(max_entries=0)
+
+
+def encrypt_cells(engine, values, seed=7):
+    return engine.raw_encrypt_many(values, rng=random.Random(seed))
+
+
+class TestCompressedMatvec:
+    """fc_matvec / conv_im2col == matvec, bit for bit."""
+
+    def setup_engine(self, keypair, **kwargs):
+        pub, priv = keypair
+        return PaillierEngine(pub, private_key=priv, seed=3, **kwargs)
+
+    def test_fc_matvec_bit_identical_to_dense(self, keypair):
+        engine = self.setup_engine(keypair)
+        cells = encrypt_cells(engine, [11, 22, 33, 44])
+        bias = encrypt_cells(engine, [1, 2, 3], seed=9)
+        dense = engine.matvec(cells, WEIGHTS, bias)
+        compressed = engine.fc_matvec(cells, WEIGHTS, bias)
+        assert compressed == dense
+
+    def test_conv_im2col_bit_identical_to_dense(self, keypair):
+        engine = self.setup_engine(keypair)
+        rng = np.random.default_rng(0)
+        weights = rng.integers(-4, 5, size=(6, 9))
+        weights[rng.random(weights.shape) < 0.6] = 0
+        cells = encrypt_cells(engine, list(range(1, 10)))
+        bias = encrypt_cells(engine, [5] * 6, seed=11)
+        assert engine.conv_im2col(cells, weights, bias) \
+            == engine.matvec(cells, weights, bias)
+
+    def test_prebuilt_plan_matches_on_the_fly(self, keypair):
+        engine = self.setup_engine(keypair)
+        cells = encrypt_cells(engine, [7, 8, 9, 10])
+        bias = encrypt_cells(engine, [0, 0, 0], seed=13)
+        plan = SparseMatvecPlan.from_dense(WEIGHTS)
+        assert engine.fc_matvec(cells, plan=plan, bias=bias) \
+            == engine.fc_matvec(cells, WEIGHTS, bias)
+
+    def test_decrypts_to_plaintext_math(self, keypair):
+        engine = self.setup_engine(keypair)
+        x = [11, 22, 33, 44]
+        b = [1, 2, 3]
+        cells = encrypt_cells(engine, x)
+        bias = encrypt_cells(engine, b, seed=9)
+        out = engine.fc_matvec(cells, WEIGHTS, bias)
+        n = engine.public_key.n
+        expected = [
+            (sum(w * v for w, v in zip(row, x)) + bi) % n
+            for row, bi in zip(WEIGHTS, b)
+        ]
+        assert engine.raw_decrypt_many(out) == expected
+
+    def test_missing_weights_and_plan_rejected(self, keypair):
+        engine = self.setup_engine(keypair)
+        with pytest.raises(CryptoError):
+            engine.fc_matvec([1, 2], bias=[1])
+
+    def test_dimension_mismatches_rejected(self, keypair):
+        engine = self.setup_engine(keypair)
+        plan = SparseMatvecPlan.from_dense(WEIGHTS)
+        cells = encrypt_cells(engine, [1, 2, 3, 4])
+        with pytest.raises(CryptoError):
+            engine.fc_matvec(cells[:2], plan=plan, bias=[1, 1, 1])
+        with pytest.raises(CryptoError):
+            engine.fc_matvec(cells, plan=plan, bias=[1])
+
+    def test_zero_skip_counter(self, keypair):
+        pub, priv = keypair
+        engine = PaillierEngine(pub, private_key=priv, seed=3,
+                                obs=Observability())
+        cells = encrypt_cells(engine, [1, 2, 3, 4])
+        bias = encrypt_cells(engine, [0, 0, 0], seed=5)
+        engine.fc_matvec(cells, WEIGHTS, bias)
+        registry = engine.obs.registry
+        skipped = registry.counter("paillier_compress_zero_skipped")
+        assert skipped.value == 12 - 5
+        ops = registry.counter("paillier_compress_ops", op="fc_matvec")
+        assert ops.value == 1
+
+    def test_pool_dispatch_bit_identical(self, keypair):
+        sequential = self.setup_engine(keypair)
+        pooled = self.setup_engine(keypair, workers=2,
+                                   force_parallel=True)
+        try:
+            rng = np.random.default_rng(1)
+            weights = rng.integers(-3, 4, size=(8, 8))
+            weights[rng.random(weights.shape) < 0.5] = 0
+            cells = encrypt_cells(sequential, list(range(8)))
+            bias = encrypt_cells(sequential, [9] * 8, seed=21)
+            assert pooled.fc_matvec(cells, weights, bias) \
+                == sequential.fc_matvec(cells, weights, bias)
+        finally:
+            pooled.close()
+
+    def test_all_zero_matrix_returns_bias(self, keypair):
+        engine = self.setup_engine(keypair)
+        cells = encrypt_cells(engine, [1, 2])
+        bias = encrypt_cells(engine, [4, 5, 6], seed=2)
+        out = engine.fc_matvec(cells, [[0, 0]] * 3, bias)
+        assert engine.raw_decrypt_many(out) == [4, 5, 6]
+
+
+class TestEnginePowerCache:
+    def test_cache_bound_holds_under_hammer(self, keypair):
+        """Soak hammer: thousands of distinct ciphertexts through the
+        compressed path must never grow the cache past its bound."""
+        pub, priv = keypair
+        engine = PaillierEngine(
+            pub, private_key=priv, seed=3, power_cache_entries=8,
+            obs=Observability(),
+        )
+        # 20-bit clustered weights, two clusters per column: big
+        # exponents with enough per-column reuse that the break-even
+        # favors building (and caching) fixed-base tables.
+        heavy = 1 << 20
+        weights = [[heavy - 1, 0], [heavy - 3, 0],
+                   [0, heavy - 5], [0, heavy - 7]]
+        plan = SparseMatvecPlan.from_dense(weights)
+        rng = random.Random(99)
+        for round_number in range(30):
+            cells = engine.raw_encrypt_many(
+                [rng.randrange(pub.n), rng.randrange(pub.n)])
+            engine.fc_matvec(cells, plan=plan, bias=[1, 1, 1, 1])
+            assert len(engine.power_cache) <= 8
+        assert engine.power_cache.evictions > 0
+        gauge = engine.obs.registry.gauge("paillier_power_cache_entries")
+        assert gauge.value == len(engine.power_cache)
+        engine.reset_power_cache()
+        assert len(engine.power_cache) == 0
+        assert gauge.value == 0
+
+    def test_repeat_calls_hit_the_cache(self, keypair):
+        pub, priv = keypair
+        engine = PaillierEngine(pub, private_key=priv, seed=3)
+        heavy = 1 << 20
+        weights = [[heavy - 1, 0], [heavy - 3, 0],
+                   [0, heavy - 5], [0, heavy - 7]]
+        cells = encrypt_cells(engine, [5, 6])
+        bias = encrypt_cells(engine, [0, 0, 0, 0], seed=4)
+        first = engine.fc_matvec(cells, weights, bias)
+        hits_before = engine.power_cache.hits
+        second = engine.fc_matvec(cells, weights, bias)
+        assert second == first
+        assert engine.power_cache.hits > hits_before
+
+    def test_default_engine_uses_config_knobs(self, keypair):
+        from repro.config import DEFAULT_CONFIG
+        from repro.crypto.engine import default_engine
+
+        engine = default_engine(keypair[0])
+        assert engine.power_cache.max_entries \
+            == DEFAULT_CONFIG.power_cache_entries

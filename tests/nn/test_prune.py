@@ -1,0 +1,113 @@
+"""Unit tests for magnitude pruning under an accuracy budget."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn import prune_model
+from repro.nn.layers import FullyConnected, ReLU, SoftMax
+from repro.nn.model import Sequential
+
+
+def small_model(seed=0):
+    rng = np.random.default_rng(seed)
+    model = Sequential((6,), name="prune-me")
+    model.add(FullyConnected(6, 8))
+    model.add(ReLU())
+    model.add(FullyConnected(8, 3))
+    model.add(SoftMax())
+    for layer in model.layers:
+        for param in layer.params():
+            param[...] = rng.standard_normal(param.shape)
+    return model
+
+
+class TestPruneModel:
+    def test_target_sparsity_reached_per_layer(self):
+        model = small_model()
+        pruned, report = prune_model(model, sparsity=0.5)
+        assert report.applied_sparsity == 0.5
+        assert len(report.layers) == 2
+        for stats in report.layers:
+            achieved = stats.pruned / stats.total
+            # quantile ties may overshoot, never undershoot
+            assert achieved >= 0.5 - 1e-9
+        for layer in pruned.layers:
+            if isinstance(layer, FullyConnected):
+                zeros = np.count_nonzero(layer.weight == 0.0)
+                assert zeros >= 0.5 * layer.weight.size
+
+    def test_small_magnitudes_pruned_first(self):
+        model = small_model()
+        pruned, report = prune_model(model, sparsity=0.5)
+        for original, clone, stats in zip(model.layers[::2],
+                                          pruned.layers[::2],
+                                          report.layers):
+            survivors = np.abs(original.weight)[clone.weight != 0.0]
+            if survivors.size:
+                assert survivors.min() >= stats.threshold - 1e-12
+
+    def test_source_model_untouched(self):
+        model = small_model()
+        before = [p.copy() for layer in model.layers
+                  for p in layer.params()]
+        prune_model(model, sparsity=0.7)
+        after = [p for layer in model.layers for p in layer.params()]
+        for a, b in zip(before, after):
+            assert np.array_equal(a, b)
+
+    def test_deterministic(self):
+        a, _ = prune_model(small_model(), sparsity=0.6)
+        b, _ = prune_model(small_model(), sparsity=0.6)
+        for la, lb in zip(a.layers, b.layers):
+            for pa, pb in zip(la.params(), lb.params()):
+                assert np.array_equal(pa, pb)
+
+    def test_predictions_preserved_at_zero_sparsity(self):
+        model = small_model()
+        pruned, report = prune_model(model, sparsity=0.0)
+        x = np.random.default_rng(3).standard_normal((4, 6))
+        assert np.allclose(model.predict(x), pruned.predict(x))
+        assert report.pruned == 0
+
+    def test_report_totals_and_density(self):
+        _, report = prune_model(small_model(), sparsity=0.5)
+        assert report.total == 6 * 8 + 8 * 3
+        assert report.density == pytest.approx(
+            1.0 - report.pruned / report.total)
+
+    def test_zero_budget_never_loses_accuracy(self, trained_breast,
+                                              breast_dataset):
+        """A budget of zero must yield a model at least as accurate as
+        the baseline — backing off (possibly to no pruning at all)."""
+        pruned, report = prune_model(
+            trained_breast, sparsity=0.9,
+            inputs=breast_dataset.test_x, labels=breast_dataset.test_y,
+            accuracy_budget=0.0,
+        )
+        assert report.applied_sparsity <= 0.9
+        assert report.baseline_accuracy is not None
+        assert report.accuracy_delta is not None
+        assert report.accuracy_delta >= -1e-12
+
+    def test_budget_keeps_accuracy_within_tolerance(self, trained_breast,
+                                                    breast_dataset):
+        _, report = prune_model(
+            trained_breast, sparsity=0.7,
+            inputs=breast_dataset.test_x, labels=breast_dataset.test_y,
+            accuracy_budget=0.02,
+        )
+        assert report.accuracy_delta >= -0.02 - 1e-12
+        assert 0.0 <= report.applied_sparsity <= 0.7
+
+    def test_bad_arguments_rejected(self):
+        model = small_model()
+        with pytest.raises(ModelError):
+            prune_model(model, sparsity=1.0)
+        with pytest.raises(ModelError):
+            prune_model(model, sparsity=-0.1)
+        with pytest.raises(ModelError):
+            prune_model(model, sparsity=0.5, backoff=1.0)
+        with pytest.raises(ModelError):
+            prune_model(model, sparsity=0.5,
+                        inputs=np.zeros((1, 6)), labels=None)

@@ -76,3 +76,52 @@ class TestLiveProfile:
         small = profile_live(stages_fixture(4), repeats=30)
         large = profile_live(stages_fixture(16384), repeats=30)
         assert sum(large) > sum(small)
+
+
+class TestCompressionAwareProfile:
+    def test_compressed_linear_stage_is_cheaper(self):
+        from repro.costs import CompressionStats
+
+        stages = stages_fixture()
+        dense = profile_primitive_times(stages, CostModel.reference(), 4)
+        stats = [CompressionStats(density=0.3, clusters=8), None,
+                 None, None]
+        compressed = profile_primitive_times(
+            stages, CostModel.reference(), 4, compression=stats)
+        assert compressed[0] < dense[0]          # compressed FC stage
+        assert compressed[1] == pytest.approx(dense[1])  # untouched
+
+    def test_plan_derived_stats_match_hand_built(self):
+        """A real plan's exported stats flow through the profiler."""
+        import numpy as np
+
+        from repro.crypto.sparse import SparseMatvecPlan
+
+        rng = np.random.default_rng(0)
+        weights = rng.integers(-3, 4, size=(16, 8))
+        weights[rng.random(weights.shape) < 0.7] = 0
+        plan = SparseMatvecPlan.from_dense(weights)
+        stages = stages_fixture()
+        stats = [plan.compression_stats(), None, None, None]
+        times = profile_primitive_times(
+            stages, CostModel.reference(), 4, compression=stats)
+        dense = profile_primitive_times(stages, CostModel.reference(), 4)
+        assert times[0] < dense[0]
+
+    def test_dense_stats_change_nothing(self):
+        from repro.costs import CompressionStats
+
+        stages = stages_fixture()
+        dense = profile_primitive_times(stages, CostModel.reference(), 4)
+        neutral = profile_primitive_times(
+            stages, CostModel.reference(), 4,
+            compression=[CompressionStats()] * len(stages))
+        assert neutral == pytest.approx(dense)
+
+    def test_length_mismatch_rejected(self):
+        from repro.costs import CompressionStats
+
+        with pytest.raises(PlannerError):
+            profile_primitive_times(
+                stages_fixture(), CostModel.reference(), 4,
+                compression=[CompressionStats()])

@@ -1,0 +1,175 @@
+"""Property-based tests for the compression-aware engine path.
+
+The load-bearing claim of the compressed matvecs: for ANY integer
+weight matrix — dense, pruned, clustered, signed, degenerate — the
+sparse-plan evaluation is **bit-identical** to the dense engine path
+on the same ciphertexts, scalar and packed alike.  Hypothesis drives
+random matrices, sparsity patterns, and cluster palettes through
+:meth:`fc_matvec` / :meth:`conv_im2col` / :meth:`fc_matvec_packed`
+and compares raw ciphertexts (not just decoded values).
+"""
+
+import random
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.encoding import LanePacker
+from repro.crypto.engine import PaillierEngine
+from repro.crypto.paillier import generate_keypair
+from repro.crypto.sparse import SparseMatvecPlan
+from repro.scaling import cluster_values
+
+PUBLIC, PRIVATE = generate_keypair(128, seed=2024)
+
+dims = st.integers(min_value=1, max_value=5)
+seeds = st.integers(min_value=0, max_value=2 ** 31)
+#: Weight cells: signed, zero-heavy (pruning look-alike patterns).
+weight_cells = st.one_of(
+    st.just(0),
+    st.integers(min_value=-(10 ** 4), max_value=10 ** 4),
+)
+#: Small palettes imitate clustering: few distinct signed values.
+palettes = st.lists(
+    st.integers(min_value=-(10 ** 5), max_value=10 ** 5).filter(bool),
+    min_size=1, max_size=3, unique=True,
+)
+
+
+def make_engine():
+    return PaillierEngine(PUBLIC, private_key=PRIVATE, seed=3)
+
+
+def matrix_from(data, out_dim, in_dim, cells=weight_cells):
+    rows = data.draw(st.lists(
+        st.lists(cells, min_size=in_dim, max_size=in_dim),
+        min_size=out_dim, max_size=out_dim,
+    ))
+    return rows
+
+
+def encrypt(engine, values, seed):
+    return engine.raw_encrypt_many(values, rng=random.Random(seed))
+
+
+class TestCompressedMatchesDense:
+    @settings(max_examples=25, deadline=None)
+    @given(out_dim=dims, in_dim=dims, seed=seeds, data=st.data())
+    def test_fc_matvec_bit_identical(self, out_dim, in_dim, seed,
+                                     data):
+        weights = matrix_from(data, out_dim, in_dim)
+        engine = make_engine()
+        rng = random.Random(seed)
+        cells = encrypt(engine,
+                        [rng.randrange(PUBLIC.n)
+                         for _ in range(in_dim)], seed)
+        bias = encrypt(engine,
+                       [rng.randrange(PUBLIC.n)
+                        for _ in range(out_dim)], seed + 1)
+        assert engine.fc_matvec(cells, weights, bias) \
+            == engine.matvec(cells, weights, bias)
+
+    @settings(max_examples=25, deadline=None)
+    @given(out_dim=dims, in_dim=dims, seed=seeds, data=st.data())
+    def test_conv_im2col_bit_identical(self, out_dim, in_dim, seed,
+                                       data):
+        """Clustered palette weights (the conv regime: few distinct
+        values repeated across output positions)."""
+        palette = data.draw(palettes)
+        weights = matrix_from(
+            data, out_dim, in_dim,
+            cells=st.one_of(st.just(0), st.sampled_from(palette)),
+        )
+        engine = make_engine()
+        rng = random.Random(seed)
+        cells = encrypt(engine,
+                        [rng.randrange(PUBLIC.n)
+                         for _ in range(in_dim)], seed)
+        bias = encrypt(engine,
+                       [rng.randrange(PUBLIC.n)
+                        for _ in range(out_dim)], seed + 1)
+        assert engine.conv_im2col(cells, weights, bias) \
+            == engine.matvec(cells, weights, bias)
+
+    @settings(max_examples=15, deadline=None)
+    @given(out_dim=dims, in_dim=dims, seed=seeds, data=st.data())
+    def test_prebuilt_plan_equals_from_dense(self, out_dim, in_dim,
+                                             seed, data):
+        weights = matrix_from(data, out_dim, in_dim)
+        engine = make_engine()
+        cells = encrypt(engine, list(range(1, in_dim + 1)), seed)
+        bias = encrypt(engine, [0] * out_dim, seed + 1)
+        plan = SparseMatvecPlan.from_dense(weights)
+        assert engine.fc_matvec(cells, plan=plan, bias=bias) \
+            == engine.fc_matvec(cells, weights, bias)
+
+    @settings(max_examples=15, deadline=None)
+    @given(out_dim=dims, in_dim=dims, seed=seeds, data=st.data())
+    def test_power_cache_reuse_stays_bit_identical(self, out_dim,
+                                                   in_dim, seed, data):
+        """A warm cache must return the same ciphertexts as a cold
+        one — cached tables are pure precomputation."""
+        weights = matrix_from(data, out_dim, in_dim)
+        engine = make_engine()
+        cells = encrypt(engine,
+                        [seed % PUBLIC.n] * in_dim, seed)
+        bias = encrypt(engine, [1] * out_dim, seed + 1)
+        cold = engine.fc_matvec(cells, weights, bias)
+        warm = engine.fc_matvec(cells, weights, bias)
+        engine.reset_power_cache()
+        reset = engine.fc_matvec(cells, weights, bias)
+        assert cold == warm == reset
+
+
+class TestPackedCompressed:
+    @settings(max_examples=20, deadline=None)
+    @given(out_dim=dims, in_dim=dims, seed=seeds, data=st.data())
+    def test_fc_matvec_packed_plan_bit_identical(self, out_dim, in_dim,
+                                                 seed, data):
+        """The packed plan path (compressed product + plan row sums)
+        equals the dense packed path, ciphertext for ciphertext."""
+        weights = matrix_from(
+            data, out_dim, in_dim,
+            cells=st.one_of(st.just(0),
+                            st.integers(min_value=-9, max_value=9)),
+        )
+        packer = LanePacker(PUBLIC, lanes=2, mag_bits=16,
+                            guard_bits=24)
+        engine = make_engine()
+        rng = random.Random(seed)
+        bound = 1 << 8
+        batches = [[rng.randrange(-bound, bound) for _ in range(2)]
+                   for _ in range(in_dim)]
+        bias_batches = [[rng.randrange(-bound, bound)
+                         for _ in range(2)] for _ in range(out_dim)]
+        cells = engine.raw_encrypt_many(
+            [packer.pack(b) for b in batches], random.Random(seed))
+        bias = engine.raw_encrypt_many(
+            [packer.pack(b) for b in bias_batches],
+            random.Random(seed + 1))
+        dense = engine.fc_matvec_packed(cells, weights, bias, packer)
+        plan = SparseMatvecPlan.from_dense(weights)
+        compressed = engine.fc_matvec_packed(
+            cells, None, bias, packer, plan=plan)
+        assert compressed == dense
+        # and the lanes decode to the plaintext affine
+        decoded = [packer.unpack(r, count=2)
+                   for r in engine.raw_decrypt_many(compressed)]
+        expected = (np.array(weights) @ np.array(batches)
+                    + np.array(bias_batches))
+        assert decoded == expected.tolist()
+
+
+class TestClusteringFeedsThePlan:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds, data=st.data())
+    def test_clustered_matrix_caps_plan_clusters(self, seed, data):
+        values = data.draw(st.lists(
+            st.integers(min_value=-100, max_value=100),
+            min_size=4, max_size=30,
+        ))
+        arr = np.array(values, dtype=np.float64)
+        quantized, centers = cluster_values(arr, 4, seed=seed % 1000)
+        matrix = np.rint(quantized).astype(np.int64).reshape(1, -1)
+        plan = SparseMatvecPlan.from_dense(matrix)
+        assert plan.distinct_values <= len(centers)

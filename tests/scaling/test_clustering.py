@@ -1,0 +1,153 @@
+"""Unit tests for deterministic weight clustering.
+
+Determinism is the load-bearing property: any two processes (planner,
+stage replicas, property tests) must quantize a layer to bit-identical
+weights given the same (values, clusters, seed), or the engine's
+bit-identity guarantees collapse.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ModelError
+from repro.nn.layers import Conv2d, Flatten, FullyConnected, ReLU
+from repro.nn.model import Sequential
+from repro.scaling import (
+    DEFAULT_CLUSTERS,
+    cluster_model,
+    cluster_values,
+)
+
+
+class TestClusterValues:
+    def test_deterministic_across_calls(self):
+        values = np.random.default_rng(0).standard_normal(500)
+        a_q, a_c = cluster_values(values, 8, seed=5)
+        b_q, b_c = cluster_values(values.copy(), 8, seed=5)
+        assert np.array_equal(a_q, b_q)
+        assert np.array_equal(a_c, b_c)
+
+    def test_different_seeds_may_differ_but_stay_valid(self):
+        values = np.random.default_rng(1).standard_normal(300)
+        for seed in (0, 1, 2):
+            quantized, centers = cluster_values(values, 4, seed=seed)
+            assert set(np.unique(quantized)) <= set(centers)
+            assert len(centers) <= 4
+
+    def test_centers_sorted_and_unique(self):
+        values = np.random.default_rng(2).standard_normal(200)
+        _, centers = cluster_values(values, 6, seed=0)
+        assert np.array_equal(centers, np.unique(centers))
+
+    def test_identity_when_few_distinct_values(self):
+        values = np.array([1.0, 2.0, 1.0, 2.0, 3.0])
+        quantized, centers = cluster_values(values, 8, seed=0)
+        assert np.array_equal(quantized, values)
+        assert np.array_equal(centers, [1.0, 2.0, 3.0])
+
+    def test_every_value_maps_to_nearest_center(self):
+        values = np.random.default_rng(3).standard_normal(400)
+        quantized, centers = cluster_values(values, 5, seed=1)
+        nearest = centers[
+            np.argmin(np.abs(values[:, None] - centers[None, :]), axis=1)
+        ]
+        assert np.array_equal(quantized, nearest)
+
+    def test_quantization_reduces_distinct_values(self):
+        values = np.random.default_rng(4).standard_normal(1000)
+        quantized, centers = cluster_values(values, 16, seed=0)
+        assert len(np.unique(quantized)) <= 16
+        assert values.shape == quantized.shape
+
+    def test_empty_input(self):
+        quantized, centers = cluster_values(np.empty(0), 4)
+        assert quantized.size == 0
+        assert centers.size == 0
+
+    def test_constant_input(self):
+        values = np.full(50, 3.25)
+        quantized, centers = cluster_values(values, 4, seed=0)
+        assert np.array_equal(quantized, values)
+        assert np.array_equal(centers, [3.25])
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cluster_values(np.ones(3), 0)
+        with pytest.raises(ConfigurationError):
+            cluster_values(np.ones(3), 2, iterations=0)
+
+
+def conv_fc_model():
+    rng = np.random.default_rng(7)
+    model = Sequential((1, 6, 6), name="cluster-me")
+    model.add(Conv2d(1, 2, kernel=3, rng=rng))
+    model.add(ReLU())
+    model.add(Flatten())
+    model.add(FullyConnected(2 * 4 * 4, 3, rng=rng))
+    for layer in model.layers:
+        for param in layer.params():
+            param[...] = rng.standard_normal(param.shape)
+    return model
+
+
+class TestClusterModel:
+    def test_deterministic_under_master_seed(self):
+        a, _ = cluster_model(conv_fc_model(), 4, seed=9)
+        b, _ = cluster_model(conv_fc_model(), 4, seed=9)
+        for la, lb in zip(a.layers, b.layers):
+            for pa, pb in zip(la.params(), lb.params()):
+                assert np.array_equal(pa, pb)
+
+    def test_each_layer_capped_at_k_distinct(self):
+        clustered, report = cluster_model(conv_fc_model(), 4, seed=0)
+        assert report.requested_clusters == 4
+        for layer, stats in zip(
+                [l for l in clustered.layers
+                 if isinstance(l, (Conv2d, FullyConnected))],
+                report.layers):
+            nonzero = layer.weight[layer.weight != 0.0]
+            assert len(np.unique(nonzero)) <= 4
+            assert stats.clusters <= 4
+
+    def test_zeros_survive_clustering(self):
+        model = conv_fc_model()
+        fc = model.layers[-1]
+        fc.weight[0, :10] = 0.0
+        clustered, _ = cluster_model(model, 4, seed=0)
+        assert np.array_equal(clustered.layers[-1].weight[0, :10] == 0.0,
+                              np.full(10, True))
+        # and no new zeros are introduced
+        assert np.count_nonzero(clustered.layers[-1].weight == 0.0) \
+            == np.count_nonzero(fc.weight == 0.0)
+
+    def test_source_model_untouched(self):
+        model = conv_fc_model()
+        before = [p.copy() for layer in model.layers
+                  for p in layer.params()]
+        cluster_model(model, 4, seed=0)
+        for a, b in zip(before, [p for layer in model.layers
+                                 for p in layer.params()]):
+            assert np.array_equal(a, b)
+
+    def test_bias_not_clustered(self):
+        model = conv_fc_model()
+        clustered, _ = cluster_model(model, 2, seed=0)
+        assert np.array_equal(model.layers[-1].bias,
+                              clustered.layers[-1].bias)
+
+    def test_accuracy_reported_when_data_given(self):
+        model = conv_fc_model()
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal((12, 1, 6, 6))
+        y = rng.integers(0, 3, size=12)
+        _, report = cluster_model(model, DEFAULT_CLUSTERS, seed=0,
+                                  inputs=x, labels=y)
+        assert report.baseline_accuracy is not None
+        assert report.clustered_accuracy is not None
+        assert report.accuracy_delta \
+            == report.clustered_accuracy - report.baseline_accuracy
+
+    def test_inputs_without_labels_rejected(self):
+        with pytest.raises(ModelError):
+            cluster_model(conv_fc_model(), 4,
+                          inputs=np.zeros((1, 1, 6, 6)), labels=None)
