@@ -13,6 +13,11 @@ Public API tour:
 * ``repro.protocol`` — the Figure 3 collaborative workflow (roles,
   sessions, transcripts).
 * ``repro.stream`` — the real threaded stream-processing runtime.
+* ``repro.net`` — the networked twin: framed TCP transport, remote
+  stage workers, coordinator with heartbeat failover.
+* ``repro.serve`` — the multi-tenant serving gateway: HTTP front
+  door, bounded job manager, per-tenant keypairs on a shared fleet.
+* ``repro.soak`` — sustained mixed-load harness with leak sentinels.
 * ``repro.simulate`` — the calibrated discrete-event simulator.
 * ``repro.baselines`` — PlainBase/CipherBase and the EzPC-style 2PC
   engine (secret sharing + garbled circuits).

@@ -30,9 +30,19 @@ Commands:
   over localhost TCP; ``--verify`` checks the results are bit-identical
   to the in-process pipeline, ``--kill-one`` kills a worker mid-stream
   to exercise failover.
+* ``serve-http [--listen HOST:PORT] [--mode local|fleet] ...`` — run
+  the multi-tenant serving gateway (docs/SERVING.md): an async HTTP
+  front door with admission control, per-job state tracking, and
+  per-tenant Paillier keypairs over one shared worker fleet; prints
+  ``gateway listening on HOST:PORT`` once bound.
+* ``loadgen [--tenants N] [--requests R] [--url URL] ...`` — drive N
+  concurrent tenants against a gateway (self-hosted unless ``--url``)
+  and write ``BENCH_serve.json``: req/s, latency percentiles, exact
+  shed/terminal accounting, and cross-tenant decrypt probes.
 * ``soak [--duration S] [--seed N] [--scenarios LIST] [--out PATH]``
   — run the heavy-traffic soak harness (docs/SOAK.md): mixed
-  single/packed/faulted/chaos/kill workloads with leak sentinels,
+  single/packed/faulted/chaos/kill/serve workloads with leak
+  sentinels,
   writing ``BENCH_soak.json``; exits non-zero on any leaked
   thread/fd, RSS growth over tolerance, output drift, or unexpected
   dead letter.
@@ -386,7 +396,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     time.sleep(args.kill_delay)
                     victim.kill()
 
-                threading.Thread(target=_assassin, daemon=True).start()
+                threading.Thread(target=_assassin, daemon=True,
+                                 name="repro-serve-assassin").start()
                 print(f"will kill worker pid {victim.pid} after "
                       f"{args.kill_delay}s")
             try:
@@ -439,6 +450,100 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 process.wait(timeout=5)
             except Exception:
                 process.kill()
+
+
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    import time
+
+    from .config import RuntimeConfig
+    from .errors import ReproError
+    from .serve import ServeGateway, build_serve_model
+
+    try:
+        host, _, port_text = args.listen.rpartition(":")
+        host = host or "127.0.0.1"
+        port = int(port_text)
+        model, decimals, _shape = build_serve_model(args.model)
+        config = RuntimeConfig(
+            key_size=args.key_size, seed=args.seed,
+        ).with_serve(
+            queue_capacity=args.queue_capacity,
+            workers=args.job_workers,
+            tenant_quota=args.tenant_quota,
+            default_deadline=args.deadline,
+        )
+    except (ValueError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    fleet = []
+    gateway = None
+    try:
+        addresses = None
+        if args.mode == "fleet":
+            from .net import WorkerServer
+
+            for _ in range(args.fleet_workers):
+                fleet.append(WorkerServer())
+            addresses = [server.start() for server in fleet]
+            print(f"fleet: {len(fleet)} shared TCP workers on "
+                  + ", ".join(f"{h}:{p}" for h, p in addresses))
+        gateway = ServeGateway(
+            model, decimals, config, mode=args.mode,
+            worker_addresses=addresses, host=host, port=port,
+        )
+        bound_host, bound_port = gateway.start()
+        # The exact line loadgen (and any orchestrator) parses to
+        # learn an ephemeral port.
+        print(f"gateway listening on {bound_host}:{bound_port}",
+              flush=True)
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if gateway is not None:
+            gateway.close()
+        for server in fleet:
+            server.stop()
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .serve import LoadgenOptions, run_loadgen
+    from .serve.loadgen import render_report
+
+    try:
+        options = LoadgenOptions(
+            tenants=args.tenants,
+            requests=args.requests,
+            mode=args.mode,
+            fleet_workers=args.fleet_workers,
+            key_size=args.key_size,
+            seed=args.seed,
+            deadline=args.deadline,
+            queue_capacity=args.queue_capacity,
+            serve_workers=args.job_workers,
+            tenant_quota=args.tenant_quota,
+            url=args.url,
+            out=args.out,
+            model=args.model,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = run_loadgen(options, progress=print)
+    except ReproError as exc:
+        print(f"fatal: {exc}", file=sys.stderr)
+        return 1
+    print(render_report(report))
+    if options.out:
+        print(f"wrote {options.out}")
+    violations = report.get("cross_tenant_decrypts") or 0
+    return 0 if report["accounting_ok"] and violations == 0 else 1
 
 
 def _cmd_soak(args: argparse.Namespace) -> int:
@@ -649,6 +754,86 @@ def main(argv: list[str] | None = None) -> int:
                        help="seconds before --kill-one strikes")
     serve.set_defaults(func=_cmd_serve)
 
+    serve_http = subparsers.add_parser(
+        "serve-http",
+        help="run the multi-tenant serving gateway: async HTTP front "
+             "door, admission control, per-tenant keypairs "
+             "(docs/SERVING.md)",
+    )
+    serve_http.add_argument("--listen", default="127.0.0.1:0",
+                            help="HOST:PORT to bind (port 0 picks a "
+                                 "free port; default 127.0.0.1:0)")
+    serve_http.add_argument("--mode", choices=("local", "fleet"),
+                            default="local",
+                            help="run stages in-process (local) or on "
+                                 "a shared TCP worker fleet")
+    serve_http.add_argument("--fleet-workers", type=int, default=2,
+                            dest="fleet_workers",
+                            help="shared TCP workers in fleet mode "
+                                 "(default: 2)")
+    serve_http.add_argument("--model", default="tiny",
+                            help="'tiny' (untrained conv, fast) or a "
+                                 "Table III model key")
+    serve_http.add_argument("--key-size", type=int, default=128,
+                            dest="key_size")
+    serve_http.add_argument("--seed", type=int, default=11,
+                            help="master seed; per-tenant keypairs "
+                                 "derive from it and the tenant name")
+    serve_http.add_argument("--queue-capacity", type=int, default=32,
+                            dest="queue_capacity",
+                            help="bounded request queue depth before "
+                                 "shedding (default: 32)")
+    serve_http.add_argument("--job-workers", type=int, default=4,
+                            dest="job_workers",
+                            help="job-worker threads draining the "
+                                 "queue (default: 4)")
+    serve_http.add_argument("--tenant-quota", type=int, default=8,
+                            dest="tenant_quota",
+                            help="per-tenant in-flight job ceiling "
+                                 "(default: 8)")
+    serve_http.add_argument("--deadline", type=float, default=30.0,
+                            help="default end-to-end job deadline in "
+                                 "seconds (0 disables; default: 30)")
+    serve_http.set_defaults(func=_cmd_serve_http)
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="drive N concurrent tenants against a serving gateway "
+             "and write BENCH_serve.json (docs/SERVING.md)",
+    )
+    loadgen.add_argument("--tenants", type=int, default=4,
+                         help="concurrent tenants (default: 4)")
+    loadgen.add_argument("--requests", type=int, default=6,
+                         help="requests per tenant, submitted as a "
+                              "burst (default: 6 — deliberately over "
+                              "the default tenant quota)")
+    loadgen.add_argument("--mode", choices=("local", "fleet"),
+                         default="fleet",
+                         help="self-hosted gateway flavour (default: "
+                              "fleet — a shared 2-worker TCP fleet)")
+    loadgen.add_argument("--fleet-workers", type=int, default=2,
+                         dest="fleet_workers")
+    loadgen.add_argument("--url", default=None,
+                         help="drive an external gateway at this base "
+                              "URL instead of self-hosting (skips the "
+                              "key isolation probes)")
+    loadgen.add_argument("--model", default="tiny")
+    loadgen.add_argument("--key-size", type=int, default=128,
+                         dest="key_size")
+    loadgen.add_argument("--seed", type=int, default=11)
+    loadgen.add_argument("--deadline", type=float, default=None,
+                         help="per-request deadline in seconds")
+    loadgen.add_argument("--queue-capacity", type=int, default=8,
+                         dest="queue_capacity")
+    loadgen.add_argument("--job-workers", type=int, default=2,
+                         dest="job_workers")
+    loadgen.add_argument("--tenant-quota", type=int, default=4,
+                         dest="tenant_quota")
+    loadgen.add_argument("--out", default="BENCH_serve.json",
+                         help="report path (default: "
+                              "BENCH_serve.json)")
+    loadgen.set_defaults(func=_cmd_loadgen)
+
     soak = subparsers.add_parser(
         "soak",
         help="run the heavy-traffic soak harness with leak sentinels "
@@ -661,9 +846,9 @@ def main(argv: list[str] | None = None) -> int:
     soak.add_argument("--seed", type=int, default=7,
                       help="master seed for the schedule, fault plans "
                            "and chaos scripts (default: 7)")
-    soak.add_argument("--scenarios", default=None,
+    soak.add_argument("--scenarios", "--scenario", default=None,
                       help="comma-separated subset of "
-                           "single,packed,faulted,chaos,kill "
+                           "single,packed,faulted,chaos,kill,serve "
                            "(default: all)")
     soak.add_argument("--key-size", type=int, default=128,
                       dest="key_size",

@@ -150,6 +150,25 @@ class RuntimeConfig:
         All ``chaos_*`` rates default to 0.0: chaos is off unless a
         knob is raised (``with_chaos``); handshake frames are always
         exempt so a chaos-enabled run can still connect.
+
+        serve_queue_capacity: bounded request-queue depth of the
+            serving gateway's job manager (:mod:`repro.serve`).  A
+            submit that finds the queue full is **shed** (HTTP 503 +
+            ``Retry-After``) instead of queued — admission control
+            before queues blow up.
+        serve_workers: job-worker threads draining the gateway queue
+            (the shared execution slots all tenants multiplex onto).
+        serve_tenant_quota: per-tenant in-flight job ceiling (queued +
+            running).  A tenant at quota has further submits shed with
+            reason ``quota`` while other tenants keep being admitted.
+        serve_max_tenants: hard cap on registered tenants; each tenant
+            costs a Paillier keypair and isolated provider state.
+        serve_default_deadline: end-to-end job deadline in seconds
+            (queue wait + service) applied when a request does not
+            carry its own; a job that blows it lands in the DEADLINE
+            terminal state.  ``0`` disables the default deadline.
+        serve_retry_after: the ``Retry-After`` hint (seconds) the
+            gateway attaches to shed responses.
     """
 
     key_size: int = DEFAULT_KEY_SIZE
@@ -184,6 +203,12 @@ class RuntimeConfig:
     chaos_dup_heartbeat_rate: float = 0.0
     chaos_slow_read_rate: float = 0.0
     chaos_slow_read_seconds: float = 0.02
+    serve_queue_capacity: int = 32
+    serve_workers: int = 4
+    serve_tenant_quota: int = 8
+    serve_max_tenants: int = 16
+    serve_default_deadline: float = 30.0
+    serve_retry_after: float = 1.0
 
     def __post_init__(self) -> None:
         if self.key_size < 64:
@@ -296,6 +321,22 @@ class RuntimeConfig:
                     f"{knob} must be non-negative seconds, got "
                     f"{getattr(self, knob)}"
                 )
+        for knob in ("serve_queue_capacity", "serve_workers",
+                     "serve_tenant_quota", "serve_max_tenants"):
+            if getattr(self, knob) < 1:
+                raise ConfigurationError(
+                    f"{knob} must be >= 1, got {getattr(self, knob)}"
+                )
+        if self.serve_default_deadline < 0:
+            raise ConfigurationError(
+                "serve_default_deadline must be non-negative seconds "
+                f"(0 disables), got {self.serve_default_deadline}"
+            )
+        if self.serve_retry_after <= 0:
+            raise ConfigurationError(
+                "serve_retry_after must be positive seconds, got "
+                f"{self.serve_retry_after}"
+            )
 
     def with_key_size(self, key_size: int) -> "RuntimeConfig":
         """Return a copy of this config with a different key size."""
@@ -400,6 +441,29 @@ class RuntimeConfig:
             "chaos_dup_heartbeat_rate": dup_heartbeat_rate,
             "chaos_slow_read_rate": slow_read_rate,
             "chaos_slow_read_seconds": slow_read_seconds,
+        }
+        return replace(self, **{key: value
+                                for key, value in updates.items()
+                                if value is not None})
+
+    def with_serve(
+        self,
+        queue_capacity: int | None = None,
+        workers: int | None = None,
+        tenant_quota: int | None = None,
+        max_tenants: int | None = None,
+        default_deadline: float | None = None,
+        retry_after: float | None = None,
+    ) -> "RuntimeConfig":
+        """Return a copy with the serving-gateway knobs replaced
+        (omitted ones keep their current values)."""
+        updates = {
+            "serve_queue_capacity": queue_capacity,
+            "serve_workers": workers,
+            "serve_tenant_quota": tenant_quota,
+            "serve_max_tenants": max_tenants,
+            "serve_default_deadline": default_deadline,
+            "serve_retry_after": retry_after,
         }
         return replace(self, **{key: value
                                 for key, value in updates.items()

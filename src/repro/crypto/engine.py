@@ -619,7 +619,7 @@ class BlindingPool:
                     self._stop.wait(poll_seconds)
 
         self._producer = threading.Thread(
-            target=run, name="paillier-blinding-pool", daemon=True
+            target=run, name="repro-paillier-blinding-pool", daemon=True
         )
         self._producer.start()
 

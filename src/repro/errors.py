@@ -133,6 +133,21 @@ class ObservabilityError(ReproError):
     malformed histogram buckets)."""
 
 
+class ServeError(ReproError):
+    """The multi-tenant serving gateway was misused or failed
+    (docs/SERVING.md)."""
+
+
+class JobStateError(ServeError):
+    """An illegal job state transition was attempted (the per-job
+    state machine only admits the documented edges)."""
+
+
+class TenantError(ServeError):
+    """A tenant operation failed: unknown tenant, tenant cap reached,
+    or a cross-tenant access attempt."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was misconfigured."""
 

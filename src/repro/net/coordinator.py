@@ -284,6 +284,7 @@ class Coordinator:
         restart_budget: int = 2,
         sink_timeout: float = 300.0,
         obs: Observability | None = None,
+        tenant: str = "default",
     ):
         servers = plan.cluster.servers
         if len(workers) != len(servers):
@@ -324,9 +325,13 @@ class Coordinator:
         self._channel_capacity = channel_capacity
         self._restart_budget = restart_budget
         self._sink_timeout = sink_timeout
+        #: Tenant name carried in every handshake: workers host one
+        #: isolated session per tenant, so many coordinators (one per
+        #: tenant, each with its own keypair) can share a fleet.
+        self.tenant = tenant
         self._specs = {
             role: build_worker_spec(model_provider, data_provider,
-                                    plan, role)
+                                    plan, role, tenant=tenant)
             for role in (ROLE_MODEL, ROLE_DATA)
         }
         self.handles = [
@@ -410,7 +415,7 @@ class Coordinator:
         for handle in self.handles:
             thread = threading.Thread(
                 target=self._probe_loop, args=(handle,),
-                name=f"coordinator-heartbeat-{handle.server_id}",
+                name=f"repro-coordinator-heartbeat-{handle.server_id}",
                 daemon=True,
             )
             self._monitors.append(thread)
@@ -493,7 +498,7 @@ class Coordinator:
             thread = threading.Thread(
                 target=self._recovery_loop,
                 args=(handle, recovery_generation),
-                name=f"coordinator-recover-{handle.server_id}",
+                name=f"repro-coordinator-recover-{handle.server_id}",
                 daemon=True,
             )
             with self._lock:
@@ -593,12 +598,22 @@ class Coordinator:
             for stage in self.plan.stages
         ]
 
-    def run_stream(self, inputs: Sequence[np.ndarray]) -> StreamStats:
+    def run_stream(
+        self,
+        inputs: Sequence[np.ndarray],
+        request_deadline: float | None = None,
+    ) -> StreamStats:
         """Stream inputs through the remote cluster.
 
         Identical contract to the in-process
         :meth:`~repro.stream.pipeline.Pipeline.run_stream` — it *is*
         that method, running over remote stage proxies.
+
+        Args:
+            request_deadline: per-request deadline for this stream
+                only, overriding the constructor's (the serving
+                gateway threads each job's remaining budget through
+                here).
         """
         if not self._connected:
             self.connect()
@@ -608,7 +623,9 @@ class Coordinator:
             self.plan,
             channel_capacity=self._channel_capacity,
             retry_policy=self._retry_policy,
-            request_deadline=self._request_deadline,
+            request_deadline=(request_deadline
+                              if request_deadline is not None
+                              else self._request_deadline),
             restart_budget=self._restart_budget,
             sink_timeout=self._sink_timeout,
             executors=self.executors(),

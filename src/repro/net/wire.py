@@ -100,13 +100,20 @@ def config_from_wire(state: dict) -> RuntimeConfig:
 
 
 def build_worker_spec(model_provider, data_provider, plan,
-                      role: str) -> dict:
+                      role: str, tenant: str = "default") -> dict:
     """The handshake spec for one worker of the given role.
 
     Contains everything a fresh process needs to rebuild its stage
     executors: the runtime config, stage geometry, and the role's
     state (affines + public key for model workers; private key +
     activation specs + value decimals for data workers).
+
+    ``tenant`` names the isolated session the worker should serve this
+    connection under: one worker process hosts many tenants' stage
+    state side by side (each with its own keypair), which is how the
+    serving gateway multiplexes tenants onto one shared fleet.  The
+    worker pins each tenant to the keypair of its first handshake and
+    refuses a re-handshake under a different modulus.
     """
     if role not in (ROLE_MODEL, ROLE_DATA):
         raise TransportError(f"unknown worker role {role!r}")
@@ -131,6 +138,7 @@ def build_worker_spec(model_provider, data_provider, plan,
     spec = {
         "version": VERSION,
         "role": role,
+        "tenant": tenant,
         "num_stages": len(plan.stages),
         "use_tensor_partitioning": plan.use_tensor_partitioning,
         "config": config_to_wire(model_provider.config),

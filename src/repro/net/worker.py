@@ -84,7 +84,12 @@ _DATA_ENGINE_SALT = 0x4450E
 
 
 class _Session:
-    """Per-worker stage state rebuilt from the handshake spec."""
+    """Per-tenant stage state rebuilt from one handshake spec.
+
+    One worker process hosts any number of sessions side by side —
+    keyed by tenant name, each with its own keypair and executors —
+    but only ever of **one role** (the server pins the role, not the
+    session)."""
 
     def __init__(self, spec: dict, obs: Observability):
         if spec.get("version") != VERSION:
@@ -96,8 +101,11 @@ class _Session:
         if role not in (ROLE_MODEL, ROLE_DATA):
             raise HandshakeError(f"unknown worker role {role!r}")
         self.role = role
+        self.tenant = str(spec.get("tenant", "default"))
         self.spec = spec
         self.obs = obs
+        self.m_tasks = obs.registry.counter("net_worker_tasks",
+                                            tenant=self.tenant)
         try:
             self.config = config_from_wire(spec["config"])
             self.public_key = public_key_from_json(spec["public_key"])
@@ -223,13 +231,16 @@ class WorkerServer:
         self._listener.bind((host, port))
         self._listener.listen(16)
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
-        self._session: _Session | None = None
+        #: Per-tenant sessions; the *role* is pinned server-wide (one
+        #: process never holds both model parameters and a private
+        #: key), the *keypair* is pinned per tenant.
+        self._sessions: dict[str, _Session] = {}
+        self._role: str | None = None
         self._session_lock = threading.Lock()
         self._connections: list[Connection] = []
         self._connections_lock = threading.Lock()
         self._stopped = threading.Event()
         self._accept_thread: threading.Thread | None = None
-        self._m_tasks = self.obs.registry.counter("net_worker_tasks")
 
     # -- lifecycle -----------------------------------------------------
 
@@ -237,7 +248,7 @@ class WorkerServer:
         """Serve in a background thread; returns the bound address."""
         self._accept_thread = threading.Thread(
             target=self._accept_loop,
-            name=f"worker-{self.address[1]}", daemon=True,
+            name=f"repro-worker-{self.address[1]}", daemon=True,
         )
         self._accept_thread.start()
         return self.address
@@ -273,8 +284,9 @@ class WorkerServer:
             for connection in connections:
                 connection.close()
         with self._session_lock:
-            if self._session is not None:
-                self._session.shutdown()
+            for session in self._sessions.values():
+                session.shutdown()
+            self._sessions.clear()
         thread = self._accept_thread
         if thread is not None and thread is not threading.current_thread():
             thread.join(timeout=5.0)
@@ -299,7 +311,7 @@ class WorkerServer:
                 self._connections.append(connection)
             threading.Thread(
                 target=self._serve_connection, args=(connection,),
-                name=f"worker-conn-{self.address[1]}", daemon=True,
+                name=f"repro-worker-conn-{self.address[1]}", daemon=True,
             ).start()
 
     def _handshake(self, connection: Connection) -> _Session | None:
@@ -309,20 +321,39 @@ class WorkerServer:
                 f"expected hello, got {envelope.kind}"
             )
         spec = envelope.header
+        tenant = str(spec.get("tenant", "default"))
         with self._session_lock:
-            session = self._session
-            if session is None:
-                session = _Session(spec, self.obs)
-                self._session = session
-            elif session.role != spec.get("role"):
+            if self._role is not None \
+                    and self._role != spec.get("role"):
                 raise HandshakeError(
-                    f"worker is pinned to role {session.role!r}; "
+                    f"worker is pinned to role {self._role!r}; "
                     f"refusing a {spec.get('role')!r} handshake "
                     "(privacy separation)"
                 )
+            session = self._sessions.get(tenant)
+            if session is None:
+                session = _Session(spec, self.obs)
+                self._sessions[tenant] = session
+                self._role = session.role
+            else:
+                try:
+                    offered_n = public_key_from_json(
+                        spec["public_key"]
+                    ).n
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise HandshakeError(
+                        f"malformed public key in re-handshake: {exc}"
+                    ) from exc
+                if session.public_key.n != offered_n:
+                    raise HandshakeError(
+                        f"tenant {tenant!r} is pinned to a different "
+                        "keypair on this worker; refusing the "
+                        "handshake (tenant isolation)"
+                    )
         connection.send(Envelope(KIND_WELCOME, header={
             "version": VERSION,
             "role": session.role,
+            "tenant": session.tenant,
             "port": self.address[1],
         }))
         return session
@@ -383,7 +414,7 @@ class WorkerServer:
                 stage=stage_index,
             ):
                 item = executor.process(item)
-            self._m_tasks.inc()
+            session.m_tasks.inc()
             return result_envelope(item)
         except Exception as exc:  # noqa: BLE001 - classified for the wire
             if isinstance(exc, TransientStageError):

@@ -1,0 +1,388 @@
+"""Job lifecycle for the serving gateway: FSM, tracker, worker fleet.
+
+Every request admitted through the gateway becomes a :class:`Job`
+stepping through a small state machine::
+
+    QUEUED ──> RUNNING ──> DONE
+       │          ├──────> FAILED
+       │          └──────> DEADLINE
+       ├──> SHED                (admission control refused it)
+       ├──> DEADLINE            (expired while still queued)
+       └──> FAILED              (gateway shutdown drained the queue)
+
+Terminal states (``DONE`` / ``FAILED`` / ``SHED`` / ``DEADLINE``)
+absorb: any further transition raises
+:class:`~repro.errors.JobStateError`, so a job can never be
+double-terminal and the accounting identity *accepted + shed ==
+submitted* holds exactly under any interleaving (the concurrency test
+battery hammers this).
+
+The :class:`JobManager` owns a bounded queue plus a fixed fleet of
+worker threads (``repro-serve-worker-<i>``).  Admission control sheds
+instead of queueing when the queue is at
+:attr:`~repro.config.RuntimeConfig.serve_queue_capacity` or the
+tenant is at :attr:`~repro.config.RuntimeConfig.serve_tenant_quota`
+in-flight jobs — the gateway maps a shed job to HTTP 503 +
+``Retry-After``.  Queue pops skip tenants that already have a job
+running, so one chatty tenant cannot head-of-line-block the fleet
+(per-tenant runs are serialized anyway: a tenant's pipeline state is
+single-job).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from typing import Callable, Dict, List, Optional
+
+from ..errors import DeadlineExceededError, JobStateError, ServeError
+from ..observability import OBS_OFF, Observability
+
+#: Job states (values are the wire/JSON form).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+SHED = "shed"
+DEADLINE = "deadline"
+
+#: The only legal edges of the job state machine.
+LEGAL_TRANSITIONS: Dict[str, frozenset] = {
+    QUEUED: frozenset({RUNNING, SHED, DEADLINE, FAILED}),
+    RUNNING: frozenset({DONE, FAILED, DEADLINE}),
+    DONE: frozenset(),
+    FAILED: frozenset(),
+    SHED: frozenset(),
+    DEADLINE: frozenset(),
+}
+
+#: States with no outgoing edges.
+TERMINAL_STATES = frozenset({DONE, FAILED, SHED, DEADLINE})
+
+
+class Job:
+    """One inference request moving through the gateway.
+
+    Attributes:
+        job_id: opaque unique id handed back to the client.
+        tenant: owning tenant name; status reads from any other
+            tenant are refused by the gateway.
+        payload: the raw input tensor (opaque to this module).
+        deadline: absolute monotonic time after which the job is
+            dead (None = no deadline).
+        state: current FSM state; mutate only via :meth:`transition`.
+        result: the runner's result payload, set before ``DONE``.
+        error: repr of the failure, set before ``FAILED`` /
+            ``DEADLINE``.
+    """
+
+    __slots__ = (
+        "job_id", "tenant", "payload", "deadline", "state", "result",
+        "error", "submitted_unix", "submitted_monotonic",
+        "started_monotonic", "finished_monotonic", "queue_seconds",
+        "service_seconds", "_lock",
+    )
+
+    def __init__(self, tenant: str, payload,
+                 deadline: float | None = None,
+                 job_id: str | None = None):
+        self.job_id = job_id if job_id is not None else uuid.uuid4().hex
+        self.tenant = tenant
+        self.payload = payload
+        self.deadline = deadline
+        self.state = QUEUED
+        self.result = None
+        self.error: str | None = None
+        self.submitted_unix = time.time()
+        self.submitted_monotonic = time.monotonic()
+        self.started_monotonic: float | None = None
+        self.finished_monotonic: float | None = None
+        self.queue_seconds: float | None = None
+        self.service_seconds: float | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def transition(self, new_state: str) -> None:
+        """Step the FSM; raises :class:`JobStateError` on any edge
+        not in :data:`LEGAL_TRANSITIONS` (including *any* transition
+        out of a terminal state)."""
+        if new_state not in LEGAL_TRANSITIONS:
+            raise JobStateError(
+                f"job {self.job_id}: unknown state {new_state!r}"
+            )
+        with self._lock:
+            if new_state not in LEGAL_TRANSITIONS[self.state]:
+                raise JobStateError(
+                    f"job {self.job_id}: illegal transition "
+                    f"{self.state} -> {new_state}"
+                )
+            now = time.monotonic()
+            if new_state == RUNNING:
+                self.started_monotonic = now
+                self.queue_seconds = now - self.submitted_monotonic
+            elif new_state in TERMINAL_STATES:
+                self.finished_monotonic = now
+                if self.state == RUNNING:
+                    self.service_seconds = now - self.started_monotonic
+                elif self.queue_seconds is None:
+                    self.queue_seconds = now - self.submitted_monotonic
+            self.state = new_state
+
+    def to_dict(self) -> dict:
+        """JSON-safe status document (the ``GET /v1/jobs/<id>`` body).
+        The result payload is only present once the job is ``DONE``."""
+        doc = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "terminal": self.terminal,
+            "submitted_unix": self.submitted_unix,
+            "queue_seconds": self.queue_seconds,
+            "service_seconds": self.service_seconds,
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.state == DONE and self.result is not None:
+            doc["result"] = self.result
+        return doc
+
+
+class JobTracker:
+    """Thread-safe registry of every job ever submitted.
+
+    Nothing is evicted during a gateway's lifetime — the accounting
+    tests read totals from here, and a lost job would silently break
+    the *accepted + shed == submitted* identity.
+    """
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+
+    def add(self, job: Job) -> None:
+        with self._lock:
+            if job.job_id in self._jobs:
+                raise ServeError(f"duplicate job id {job.job_id}")
+            self._jobs[job.job_id] = job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counts(self) -> Dict[str, int]:
+        """Current job count per state."""
+        counts: Dict[str, int] = {}
+        for job in self.jobs():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    def all_terminal(self) -> bool:
+        return all(job.terminal for job in self.jobs())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+
+class JobManager:
+    """Bounded admission queue + fixed worker fleet over a runner.
+
+    Args:
+        runner: ``runner(job) -> result-dict``; raise
+            :class:`~repro.errors.DeadlineExceededError` for a blown
+            deadline (-> ``DEADLINE``), anything else fails the job
+            (-> ``FAILED``).  Called on fleet threads, one job per
+            tenant at a time.
+        config: supplies the ``serve_*`` knobs (queue capacity, fleet
+            size, per-tenant quota, default deadline).
+        obs: observability sinks; per-tenant counters
+            (``serve_jobs_submitted`` / ``serve_jobs_shed`` /
+            ``serve_jobs_terminal``), queue/service histograms, and
+            the queue-depth gauge land in its registry.
+        tracker: inject a shared tracker (defaults to a fresh one).
+    """
+
+    def __init__(self, runner: Callable[[Job], Optional[dict]],
+                 config, obs: Observability | None = None,
+                 tracker: JobTracker | None = None):
+        self._runner = runner
+        self.config = config
+        self.obs = obs if obs is not None else OBS_OFF
+        self.tracker = tracker if tracker is not None else JobTracker()
+        self._queue: List[Job] = []
+        self._cond = threading.Condition()
+        self._inflight: Dict[str, int] = {}
+        self._running_tenants: set = set()
+        self._stopping = False
+        self._threads: List[threading.Thread] = []
+        self._m_depth = self.obs.registry.gauge("serve_queue_depth")
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker fleet (``serve_workers`` threads)."""
+        if self._threads:
+            return
+        for index in range(self.config.serve_workers):
+            thread = threading.Thread(
+                target=self._work, daemon=True,
+                name=f"repro-serve-worker-{index}",
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Stop admission, fail every still-queued job
+        (``error="gateway shutdown"``), and join the fleet.  Jobs
+        already running finish normally."""
+        with self._cond:
+            if self._stopping:
+                return
+            self._stopping = True
+            drained = list(self._queue)
+            self._queue.clear()
+            self._m_depth.set(0)
+            for job in drained:
+                job.error = "gateway shutdown"
+                job.transition(FAILED)
+                self._finish_locked(job)
+            self._cond.notify_all()
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = max(0.0, deadline - time.monotonic())
+            thread.join(timeout=remaining)
+        self._threads = []
+
+    # -- admission -----------------------------------------------------
+
+    def submit(self, tenant: str, payload,
+               deadline_seconds: float | None = None) -> Job:
+        """Admit (or shed) one request; always returns a tracked job.
+
+        The returned job is ``QUEUED`` when admitted and ``SHED``
+        when the queue is full, the tenant is at its quota, or the
+        manager is shutting down — the caller inspects ``job.state``
+        (the gateway turns ``SHED`` into 503 + ``Retry-After``).
+
+        Args:
+            deadline_seconds: end-to-end budget from now; defaults to
+                ``config.serve_default_deadline`` (0 disables).
+        """
+        if deadline_seconds is None:
+            deadline_seconds = self.config.serve_default_deadline
+        absolute = (time.monotonic() + deadline_seconds
+                    if deadline_seconds and deadline_seconds > 0
+                    else None)
+        job = Job(tenant, payload, deadline=absolute)
+        self.tracker.add(job)
+        self.obs.registry.counter(
+            "serve_jobs_submitted", tenant=tenant
+        ).inc()
+        with self._cond:
+            quota = self._inflight.get(tenant, 0)
+            if (self._stopping
+                    or len(self._queue) >= self.config.serve_queue_capacity
+                    or quota >= self.config.serve_tenant_quota):
+                job.error = ("gateway shutting down" if self._stopping
+                             else "admission control: over capacity")
+                job.transition(SHED)
+                self.obs.registry.counter(
+                    "serve_jobs_shed", tenant=tenant
+                ).inc()
+                self._record_terminal(job)
+                return job
+            self._inflight[tenant] = quota + 1
+            self._queue.append(job)
+            self._m_depth.set(len(self._queue))
+            self._cond.notify()
+        return job
+
+    def inflight(self, tenant: str) -> int:
+        """Queued + running jobs for one tenant (quota accounting)."""
+        with self._cond:
+            return self._inflight.get(tenant, 0)
+
+    # -- fleet ---------------------------------------------------------
+
+    def _next_job(self) -> Job | None:
+        """Pop the next runnable job, expiring stale ones on the way.
+
+        Skips jobs whose tenant already has one running (per-tenant
+        serialization without head-of-line blocking); returns None
+        only when the manager is stopping and the queue is drained.
+        """
+        with self._cond:
+            while True:
+                if self._stopping and not self._queue:
+                    return None
+                now = time.monotonic()
+                picked = None
+                for index, job in enumerate(self._queue):
+                    if job.tenant in self._running_tenants:
+                        continue
+                    picked = index
+                    break
+                if picked is None:
+                    self._cond.wait(0.05)
+                    continue
+                job = self._queue.pop(picked)
+                self._m_depth.set(len(self._queue))
+                if job.deadline is not None and now >= job.deadline:
+                    job.error = "deadline expired in queue"
+                    job.transition(DEADLINE)
+                    self._finish_locked(job)
+                    continue
+                self._running_tenants.add(job.tenant)
+                job.transition(RUNNING)
+                return job
+
+    def _work(self) -> None:
+        while True:
+            job = self._next_job()
+            if job is None:
+                return
+            outcome, result, error = DONE, None, None
+            try:
+                result = self._runner(job)
+            except DeadlineExceededError as exc:
+                outcome, error = DEADLINE, repr(exc)
+            except Exception as exc:  # noqa: BLE001 - fleet must survive
+                outcome, error = FAILED, repr(exc)
+            with self._cond:
+                self._running_tenants.discard(job.tenant)
+                job.result = result
+                if error is not None:
+                    job.error = error
+                job.transition(outcome)
+                self._finish_locked(job)
+
+    def _finish_locked(self, job: Job) -> None:
+        """Quota release + terminal metrics; caller holds the cond."""
+        remaining = self._inflight.get(job.tenant, 0) - 1
+        if remaining > 0:
+            self._inflight[job.tenant] = remaining
+        else:
+            self._inflight.pop(job.tenant, None)
+        self._record_terminal(job)
+        self._cond.notify_all()
+
+    def _record_terminal(self, job: Job) -> None:
+        registry = self.obs.registry
+        registry.counter("serve_jobs_terminal", tenant=job.tenant,
+                         state=job.state).inc()
+        if job.queue_seconds is not None:
+            registry.histogram("serve_queue_seconds",
+                               tenant=job.tenant
+                               ).observe(job.queue_seconds)
+        if job.service_seconds is not None:
+            registry.histogram("serve_service_seconds",
+                               tenant=job.tenant
+                               ).observe(job.service_seconds)

@@ -1,0 +1,284 @@
+"""Per-tenant crypto isolation over one shared worker fleet.
+
+Each tenant gets a :class:`TenantRuntime`: its **own Paillier
+keypair** (the tenant's config seed is derived from the gateway's
+master seed and the tenant name, and
+:class:`~repro.protocol.roles.DataProvider` derives the keypair from
+the seed), its own obfuscator state, its own stage plan, and — in
+fleet mode — its own :class:`~repro.net.coordinator.Coordinator`
+handshaking the *shared* workers under its tenant name.  Workers host
+one isolated session per tenant (role pinned per process, keypair
+pinned per tenant; see :mod:`repro.net.worker`), so tenant A's
+private key never touches tenant B's ciphertexts anywhere in the
+system.
+
+The :class:`TenantRegistry` bounds how many tenants a gateway will
+ever hold (:attr:`~repro.config.RuntimeConfig.serve_max_tenants`) and
+validates names before they become metric labels or URL components.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import zlib
+from dataclasses import replace
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import DeadlineExceededError, ServeError, TenantError
+from ..observability import OBS_OFF, Observability
+from ..planner.allocation import allocate_even
+from ..planner.plan import ClusterSpec
+from ..protocol.roles import DataProvider, ModelProvider
+from ..stream.pipeline import Pipeline, StreamStats
+from ..stream.retry import REASON_DEADLINE, RetryPolicy
+from .jobs import Job
+
+#: Tenant names become metric labels, URL components, and handshake
+#: header fields — keep them to a safe charset.
+_TENANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+#: Seed salt separating loadgen/test probe RNGs from tenant streams.
+_PROBE_SALT = 0x7E57
+
+
+def tenant_seed(master_seed: int, name: str) -> int:
+    """The config seed for one tenant: master seed folded with a hash
+    of the tenant name.  Distinct names yield distinct seeds (hence
+    distinct Paillier keypairs) with overwhelming probability; the
+    mapping is deterministic so a restarted gateway re-derives the
+    same keys."""
+    return master_seed ^ zlib.crc32(name.encode("utf-8"))
+
+
+class TenantRuntime:
+    """One tenant's isolated serving state.
+
+    Args:
+        name: validated tenant name.
+        model / decimals: the shared served model (architecture and
+            weights are the *gateway's*, not per-tenant) and its
+            scaling exponent.
+        config: the gateway config; this runtime replaces its seed
+            with :func:`tenant_seed`, which re-keys the tenant's
+            DataProvider, obfuscator, and every derived RNG stream.
+        cluster: cluster spec shared by every tenant (it mirrors the
+            one worker fleet).
+        mode: ``"local"`` executes stages in-process (a fresh
+            pipeline per job over persistent providers); ``"fleet"``
+            ships stages to the shared TCP workers through a
+            per-tenant coordinator.
+        worker_addresses: fleet mode's ``(host, port)`` per cluster
+            server, in server-id order.
+        obs: the gateway-wide observability sinks.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        model,
+        decimals: int,
+        config,
+        cluster: ClusterSpec,
+        mode: str = "local",
+        worker_addresses: Sequence[tuple] | None = None,
+        obs: Observability | None = None,
+    ):
+        if mode not in ("local", "fleet"):
+            raise TenantError(f"unknown tenant mode {mode!r}")
+        self.name = name
+        self.mode = mode
+        self.obs = obs if obs is not None else OBS_OFF
+        self.config = replace(config, seed=tenant_seed(config.seed,
+                                                       name))
+        self.model_provider = ModelProvider(
+            model, decimals=decimals, config=self.config, obs=self.obs
+        )
+        self.data_provider = DataProvider(
+            value_decimals=decimals, config=self.config, obs=self.obs
+        )
+        self.plan = allocate_even(self.model_provider.stages,
+                                  cluster).plan
+        self.jobs_run = 0
+        # One job at a time per tenant: the providers' obfuscator and
+        # engine state are session-scoped, not concurrency-safe.  The
+        # job manager already serializes per tenant; this lock is the
+        # enforcement, not a hint.
+        self._lock = threading.Lock()
+        self._coordinator = None
+        if mode == "fleet":
+            from ..net.coordinator import Coordinator
+
+            if worker_addresses is None:
+                raise TenantError(
+                    "fleet mode needs worker addresses"
+                )
+            self._coordinator = Coordinator(
+                self.model_provider,
+                self.data_provider,
+                self.plan,
+                [tuple(address) for address in worker_addresses],
+                # Generous retries: a killed fleet worker heals via
+                # reconnect in well under this window, so a job in
+                # flight during the death completes instead of
+                # dead-lettering.
+                retry_policy=RetryPolicy(
+                    max_retries=6, base_delay=0.05,
+                    jitter_seed=self.config.seed ^ 0x10AD,
+                ),
+                obs=self.obs,
+                tenant=name,
+            )
+
+    @property
+    def public_key(self):
+        return self.data_provider.public_key
+
+    @property
+    def private_key(self):
+        """This tenant's private key — exposed for the isolation
+        tests and loadgen cross-tenant decrypt probes only; nothing
+        in the serving path reads it."""
+        return self.data_provider._private_key
+
+    def run(self, job: Job) -> dict:
+        """Execute one job end-to-end; returns the result payload.
+
+        Raises :class:`DeadlineExceededError` when the job's budget
+        is already (or becomes) blown — the remaining budget is
+        threaded into the pipeline as its per-request deadline, so
+        the stream runtime's own deadline/dead-letter machinery does
+        the enforcement mid-flight.
+        """
+        import time
+
+        remaining = None
+        if job.deadline is not None:
+            remaining = job.deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    f"job {job.job_id} blew its deadline before "
+                    "execution"
+                )
+        payload = np.asarray(job.payload, dtype=np.float64)
+        with self._lock:
+            stats = self._run_stream([payload], remaining)
+            self.jobs_run += 1
+        if stats.dead_letters:
+            letter = stats.dead_letters[0]
+            if letter.reason == REASON_DEADLINE:
+                raise DeadlineExceededError(letter.describe())
+            raise ServeError(
+                f"tenant {self.name}: {letter.describe()}"
+            )
+        result = stats.results[0]
+        return {
+            "prediction": int(result.prediction),
+            "probabilities": [float(p)
+                              for p in result.probabilities],
+        }
+
+    def _run_stream(self, inputs: List[np.ndarray],
+                    request_deadline: float | None) -> StreamStats:
+        if self._coordinator is not None:
+            return self._coordinator.run_stream(
+                inputs, request_deadline=request_deadline
+            )
+        pipeline = Pipeline(
+            self.model_provider,
+            self.data_provider,
+            self.plan,
+            retry_policy=RetryPolicy(
+                max_retries=3, base_delay=0.01,
+                jitter_seed=self.config.seed ^ 0x10AD,
+            ),
+            request_deadline=request_deadline,
+            obs=self.obs,
+        )
+        return pipeline.run_stream(inputs)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._coordinator is not None:
+                self._coordinator.close()
+                self._coordinator = None
+
+
+class TenantRegistry:
+    """Bounded name -> :class:`TenantRuntime` registry.
+
+    Tenants are created on first use (``ensure``), up to
+    ``config.serve_max_tenants``; lookups for unknown tenants raise
+    :class:`TenantError` so the gateway can 404/403 precisely.
+    """
+
+    def __init__(
+        self,
+        model,
+        decimals: int,
+        config,
+        cluster: ClusterSpec | None = None,
+        mode: str = "local",
+        worker_addresses: Sequence[tuple] | None = None,
+        obs: Observability | None = None,
+    ):
+        self._model = model
+        self._decimals = decimals
+        self.config = config
+        self.cluster = (cluster if cluster is not None
+                        else ClusterSpec.homogeneous(1, 1, 2))
+        self.mode = mode
+        self._worker_addresses = worker_addresses
+        self.obs = obs if obs is not None else OBS_OFF
+        self._tenants: Dict[str, TenantRuntime] = {}
+        self._lock = threading.Lock()
+
+    def ensure(self, name: str) -> TenantRuntime:
+        """The runtime for ``name``, creating it on first use."""
+        if not isinstance(name, str) or not _TENANT_NAME.match(name):
+            raise TenantError(
+                f"invalid tenant name {name!r} (want "
+                "[A-Za-z0-9][A-Za-z0-9_.-]{0,63})"
+            )
+        with self._lock:
+            runtime = self._tenants.get(name)
+            if runtime is not None:
+                return runtime
+            if len(self._tenants) >= self.config.serve_max_tenants:
+                raise TenantError(
+                    f"tenant cap reached "
+                    f"({self.config.serve_max_tenants}); refusing "
+                    f"new tenant {name!r}"
+                )
+            runtime = TenantRuntime(
+                name, self._model, self._decimals, self.config,
+                self.cluster, mode=self.mode,
+                worker_addresses=self._worker_addresses,
+                obs=self.obs,
+            )
+            self._tenants[name] = runtime
+            self.obs.registry.gauge("serve_tenants").set(
+                len(self._tenants)
+            )
+            return runtime
+
+    def get(self, name: str) -> TenantRuntime:
+        """The runtime for an *existing* tenant (no creation)."""
+        with self._lock:
+            runtime = self._tenants.get(name)
+        if runtime is None:
+            raise TenantError(f"unknown tenant {name!r}")
+        return runtime
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def close(self) -> None:
+        with self._lock:
+            tenants = list(self._tenants.values())
+            self._tenants.clear()
+        for runtime in tenants:
+            runtime.close()

@@ -1,6 +1,6 @@
 """The soak driver: mixed workloads under a deterministic schedule.
 
-Five scenarios cover the runtime's load-bearing surfaces:
+Six scenarios cover the runtime's load-bearing surfaces:
 
 ========== ==========================================================
 ``single``  per-sample :class:`~repro.protocol.InferenceSession` runs
@@ -13,6 +13,12 @@ Five scenarios cover the runtime's load-bearing surfaces:
             heal via reconnect-with-backoff, never the restart budget
 ``kill``    a model worker hard-killed mid-stream, respawned within
             budget; recovery time (death to live replacement) sampled
+``serve``   the multi-tenant HTTP gateway over a shared 2-worker
+            fleet: two tenants submit over HTTP every iteration, a
+            fleet worker is hard-killed mid-job on a cadence and
+            healed by binding a fresh worker to the same port
+            (reconnect-with-backoff, zero restart budget); every job
+            must reach ``done`` and reproduce the reference
 ========== ==========================================================
 
 The driver round-robins a seeded weighted schedule until the duration
@@ -41,11 +47,12 @@ from ..stream.retry import RetryPolicy
 from .sentinels import LeakSentinel, RssWatermark
 
 #: Scenario registry order doubles as the deterministic schedule base.
-SCENARIO_NAMES = ("single", "packed", "faulted", "chaos", "kill")
+SCENARIO_NAMES = ("single", "packed", "faulted", "chaos", "kill",
+                  "serve")
 
 #: Relative schedule weights (kill/packed are the heavy iterations).
 _WEIGHTS = {"single": 3, "packed": 1, "faulted": 2, "chaos": 2,
-            "kill": 1}
+            "kill": 1, "serve": 2}
 
 #: Seed salt for the harness's own RNG streams.
 _SOAK_SALT = 0x50AC
@@ -114,6 +121,12 @@ class SoakReport:
             + ", ".join(f"{k}={v}" for k, v in sorted(
                 doc["chaos"].items()))
         )
+        serve = doc.get("serve") or {}
+        if serve:
+            lines.append(
+                f"serve gateway: {serve['jobs_done']} job(s) done, "
+                f"{serve['worker_kills']} fleet worker kill(s) healed"
+            )
         lines.append(
             f"channel depth high-water: "
             f"{doc['channel_depth_high_water']:.0f}"
@@ -603,7 +616,7 @@ class _NetKillScenario(_Scenario):
                 time.sleep(0.005)
 
         watcher = threading.Thread(target=watch_recovery,
-                                   name="soak-kill-watcher")
+                                   name="repro-soak-kill-watcher")
         try:
             with coordinator:
                 watcher.start()
@@ -644,12 +657,153 @@ class _NetKillScenario(_Scenario):
         self._close_engines(self._model_provider, self._data_provider)
 
 
+class _ServeGatewayScenario(_Scenario):
+    """The multi-tenant serving gateway under periodic worker kills.
+
+    The full serving stack runs across every iteration: a shared
+    2-worker TCP fleet, one HTTP gateway, two tenants with distinct
+    Paillier keypairs.  Each iteration submits one job per tenant over
+    real HTTP and polls both to a terminal state; on a fixed cadence a
+    fleet worker (alternating roles) is hard-killed *after* the
+    submits land — mid-job — and healed by binding a fresh
+    :class:`~repro.net.worker.WorkerServer` to the **same port**, so
+    the per-tenant coordinators recover through reconnect-with-backoff
+    (the re-handshake re-provisions the tenant sessions) without
+    touching any restart budget.  Every job must end ``done`` with
+    output bit-identical to the first iteration's reference, and the
+    job tracker must hold no non-terminal job between iterations.
+    """
+
+    name = "serve"
+    _TENANTS = ("soak-a", "soak-b")
+    _KILL_EVERY = 3  # hard-kill a fleet worker every Nth iteration
+
+    def setup(self) -> None:
+        from ..net import WorkerServer
+        from ..serve.gateway import ServeGateway, build_serve_model
+        from ..serve.loadgen import _Client
+
+        model, decimals, input_shape = build_serve_model("tiny")
+        config = RuntimeConfig(
+            key_size=self.options.key_size, seed=self.options.seed,
+        ).with_net(
+            heartbeat_interval=0.1, heartbeat_timeout=1.0,
+        ).with_reconnect(
+            attempts=6, base_delay=0.02, max_delay=0.2,
+        ).with_serve(
+            queue_capacity=16, workers=2, tenant_quota=8,
+        )
+        self._fleet = [WorkerServer(), WorkerServer()]
+        addresses = [server.start() for server in self._fleet]
+        self._gateway = ServeGateway(
+            model, decimals, config, mode="fleet",
+            worker_addresses=addresses, obs=self.obs,
+        )
+        host, port = self._gateway.start()
+        self._client = _Client(f"http://{host}:{port}")
+        rng = np.random.default_rng(self.options.seed + 3)
+        self._inputs = {
+            name: rng.uniform(0, 1, input_shape).tolist()
+            for name in self._TENANTS
+        }
+        self._reference: Dict[str, np.ndarray] | None = None
+        self.kills = 0
+        self.jobs_done = 0
+
+    def _kill_and_rebind(self) -> None:
+        from ..net import WorkerServer
+
+        victim_index = self.kills % len(self._fleet)
+        victim = self._fleet[victim_index]
+        host, port = victim.address
+        victim.stop(abort=True)
+        replacement = WorkerServer(host=host, port=port)
+        replacement.start()
+        self._fleet[victim_index] = replacement
+        self.kills += 1
+
+    def run_once(self, iteration: int) -> int:
+        from ..serve.jobs import DONE, TERMINAL_STATES
+
+        # Never kill on the warm-up iteration (the reference freeze
+        # must see an undisturbed fleet).
+        kill_now = (self.iterations > 0
+                    and self.iterations % self._KILL_EVERY == 0)
+        start = time.perf_counter()
+        jobs = []
+        for name in self._TENANTS:
+            status, body, _headers = self._client.post(
+                "/v1/infer",
+                {"tenant": name, "input": self._inputs[name]},
+            )
+            if status != 202:
+                raise SoakCheckError(
+                    f"serve: submit for {name} -> HTTP {status}: "
+                    f"{body.get('error')}"
+                )
+            jobs.append((name, body["job_id"]))
+        if kill_now:
+            self._kill_and_rebind()
+        outputs: Dict[str, np.ndarray] = {}
+        poll_deadline = time.monotonic() + 30.0
+        for name, job_id in jobs:
+            while True:
+                if time.monotonic() > poll_deadline:
+                    raise SoakCheckError(
+                        f"serve: job {job_id} ({name}) not terminal "
+                        "within 30s"
+                    )
+                status, body, _headers = self._client.get(
+                    f"/v1/jobs/{job_id}?tenant={name}"
+                )
+                if status != 200:
+                    raise SoakCheckError(
+                        f"serve: poll {job_id} -> HTTP {status}"
+                    )
+                if body["state"] in TERMINAL_STATES:
+                    break
+                time.sleep(0.02)
+            if body["state"] != DONE:
+                raise SoakCheckError(
+                    f"serve: job {job_id} ({name}) ended "
+                    f"{body['state']!r}"
+                    + (f": {body['error']}" if body.get("error")
+                       else "")
+                )
+            outputs[name] = np.asarray(
+                body["result"]["probabilities"]
+            )
+        elapsed = time.perf_counter() - start
+        self.latencies.extend([elapsed / len(jobs)] * len(jobs))
+        self.jobs_done += len(jobs)
+        if not self._gateway.manager.tracker.all_terminal():
+            raise SoakCheckError(
+                "serve: a non-terminal job is stuck in the tracker "
+                "after its iteration drained"
+            )
+        if self._reference is None:
+            self._reference = outputs
+        else:
+            self._check_identical(
+                self.name,
+                [self._reference[name] for name in self._TENANTS],
+                [outputs[name] for name in self._TENANTS],
+            )
+        return len(jobs)
+
+    def teardown(self) -> None:
+        self._gateway.close()
+        for server in self._fleet:
+            server.stop(abort=True)
+
+
 _SCENARIO_CLASSES = {
     "single": _SingleShotScenario,
     "packed": _PackedScenario,
     "faulted": _FaultedPipelineScenario,
     "chaos": _NetChaosScenario,
     "kill": _NetKillScenario,
+    "serve": _ServeGatewayScenario,
 }
 
 
@@ -733,6 +887,9 @@ def run_soak(options: SoakOptions,
     kill_scenario = next(
         (s for s in ready if s.name == "kill"), None
     )
+    serve_scenario = next(
+        (s for s in ready if s.name == "serve"), None
+    )
     recovery_times = (kill_scenario.recovery_times
                       if kill_scenario else [])
     depth_high_water = max(
@@ -783,6 +940,9 @@ def run_soak(options: SoakOptions,
                        if chaos_scenario else 0),
         "chaos": (chaos_scenario.chaos_stats
                   if chaos_scenario else {}),
+        "serve": ({"jobs_done": serve_scenario.jobs_done,
+                   "worker_kills": serve_scenario.kills}
+                  if serve_scenario else {}),
         "channel_depth_high_water": depth_high_water,
         "leaks": {
             "threads": leak_report.leaked_threads,

@@ -112,7 +112,7 @@ class LinearStageExecutor:
         self._engine: PaillierEngine | None = None
         self._pool = ThreadPoolExecutor(
             max_workers=threads,
-            thread_name_prefix=f"linear-{stage_index}",
+            thread_name_prefix=f"repro-linear-{stage_index}",
         )
         # Static-bias encryption cache (model weights never change):
         # keyed by (affine index, input exponent); lane-packed items
@@ -255,7 +255,7 @@ class NonLinearStageExecutor:
         self._engine = engine
         self._pool = ThreadPoolExecutor(
             max_workers=threads,
-            thread_name_prefix=f"nonlinear-{stage_index}",
+            thread_name_prefix=f"repro-nonlinear-{stage_index}",
         )
         if not final and any(a == "softmax" for a in self.activations):
             raise ProtocolError(

@@ -308,7 +308,7 @@ class Pipeline:
                 pass
 
         producer = threading.Thread(
-            target=admit, name="stream-source", daemon=True
+            target=admit, name="repro-stream-source", daemon=True
         )
         start_wall = time.perf_counter()
         supervisor.start()

@@ -99,7 +99,8 @@ class Supervisor:
         self._stop = threading.Event()
         self._started = False
         self._thread = threading.Thread(
-            target=self._monitor, name="stream-supervisor", daemon=True
+            target=self._monitor, name="repro-stream-supervisor",
+            daemon=True
         )
 
     # -- lifecycle -----------------------------------------------------

@@ -129,8 +129,13 @@ class StageWorker:
                                        stage=stage_label)
         self._m_retries = registry.counter("stream_retries",
                                            stage=stage_label)
+        # Thread names carry the package-wide ``repro-`` prefix so
+        # leak-sentinel and soak reports attribute every thread to its
+        # subsystem; ``name`` stays as given for diagnostics.
         self._thread = threading.Thread(
-            target=self._run, name=name, daemon=True
+            target=self._run, daemon=True,
+            name=(name if name.startswith("repro-")
+                  else f"repro-{name}"),
         )
 
     # -- introspection -------------------------------------------------

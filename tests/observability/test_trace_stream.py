@@ -23,7 +23,7 @@ FAST_RETRIES = RetryPolicy(max_retries=3, base_delay=0.002,
 
 
 def _stream_threads():
-    prefixes = ("stage-", "stream-")
+    prefixes = ("repro-stage-", "repro-stream-")
     return [t.name for t in threading.enumerate()
             if t.name.startswith(prefixes)]
 

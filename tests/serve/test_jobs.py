@@ -1,0 +1,322 @@
+"""Job FSM, tracker, and admission-control concurrency battery.
+
+The load-bearing invariant under any interleaving:
+``accepted + shed == submitted`` with every job reaching exactly one
+terminal state — the hammer test drives a thread storm at a tiny
+queue/quota and then audits the tracker against it.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.errors import (
+    DeadlineExceededError,
+    JobStateError,
+    ServeError,
+)
+from repro.serve import (
+    DEADLINE,
+    DONE,
+    FAILED,
+    Job,
+    JobManager,
+    JobTracker,
+    LEGAL_TRANSITIONS,
+    QUEUED,
+    RUNNING,
+    SHED,
+    TERMINAL_STATES,
+)
+
+
+def _wait_all_terminal(tracker, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if tracker.all_terminal():
+            return True
+        time.sleep(0.01)
+    return tracker.all_terminal()
+
+
+class TestJobFSM:
+    def test_happy_path_records_timings(self):
+        job = Job("t", payload=[1.0])
+        assert job.state == QUEUED and not job.terminal
+        job.transition(RUNNING)
+        assert job.queue_seconds is not None
+        job.result = {"prediction": 1}
+        job.transition(DONE)
+        assert job.terminal
+        assert job.service_seconds is not None
+
+    def test_queued_cannot_jump_to_done(self):
+        job = Job("t", payload=None)
+        with pytest.raises(JobStateError, match="illegal transition"):
+            job.transition(DONE)
+
+    @pytest.mark.parametrize("terminal", sorted(TERMINAL_STATES))
+    def test_terminal_states_absorb(self, terminal):
+        job = Job("t", payload=None)
+        if terminal in (DONE,):
+            job.transition(RUNNING)
+        job.transition(terminal)
+        for next_state in LEGAL_TRANSITIONS:
+            with pytest.raises(JobStateError):
+                job.transition(next_state)
+
+    def test_unknown_state_rejected(self):
+        job = Job("t", payload=None)
+        with pytest.raises(JobStateError, match="unknown state"):
+            job.transition("exploded")
+
+    def test_to_dict_hides_result_until_done(self):
+        job = Job("t", payload=None)
+        job.result = {"prediction": 2}
+        assert "result" not in job.to_dict()
+        job.transition(RUNNING)
+        job.transition(DONE)
+        doc = job.to_dict()
+        assert doc["result"] == {"prediction": 2}
+        assert doc["state"] == DONE and doc["terminal"]
+
+    def test_to_dict_carries_error(self):
+        job = Job("t", payload=None)
+        job.error = "boom"
+        job.transition(FAILED)
+        assert job.to_dict()["error"] == "boom"
+
+
+class TestJobTracker:
+    def test_duplicate_id_rejected(self):
+        tracker = JobTracker()
+        job = Job("t", payload=None)
+        tracker.add(job)
+        with pytest.raises(ServeError, match="duplicate job id"):
+            tracker.add(Job("t", payload=None, job_id=job.job_id))
+
+    def test_counts_and_terminal(self):
+        tracker = JobTracker()
+        first, second = Job("a", None), Job("b", None)
+        tracker.add(first)
+        tracker.add(second)
+        assert len(tracker) == 2
+        assert not tracker.all_terminal()
+        first.transition(SHED)
+        second.transition(RUNNING)
+        second.transition(DONE)
+        assert tracker.all_terminal()
+        assert tracker.counts() == {SHED: 1, DONE: 1}
+        assert tracker.get(first.job_id) is first
+        assert tracker.get("nope") is None
+
+
+def _manager(runner, queue_capacity=8, workers=2, tenant_quota=4,
+             default_deadline=30.0):
+    config = RuntimeConfig().with_serve(
+        queue_capacity=queue_capacity, workers=workers,
+        tenant_quota=tenant_quota, default_deadline=default_deadline,
+    )
+    return JobManager(runner, config)
+
+
+class TestAdmissionControl:
+    def test_quota_sheds_excess(self):
+        release = threading.Event()
+
+        def runner(job):
+            release.wait(10.0)
+            return {"ok": True}
+
+        manager = _manager(runner, tenant_quota=2, queue_capacity=8)
+        manager.start()
+        try:
+            jobs = [manager.submit("t", i) for i in range(5)]
+            states = [job.state for job in jobs]
+            assert states.count(SHED) == 3
+            release.set()
+            assert _wait_all_terminal(manager.tracker)
+            assert manager.tracker.counts() == {DONE: 2, SHED: 3}
+        finally:
+            release.set()
+            manager.shutdown()
+
+    def test_queue_capacity_sheds(self):
+        release = threading.Event()
+
+        def runner(job):
+            release.wait(10.0)
+            return {}
+
+        # Capacity 1, one worker: job 0 runs, job 1 fills the queue,
+        # the rest shed regardless of tenant.
+        manager = _manager(runner, queue_capacity=1,
+                           workers=1, tenant_quota=10)
+        manager.start()
+        try:
+            first = manager.submit("t0", 0)
+            deadline = time.monotonic() + 10.0
+            while (first.state == QUEUED
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert first.state == RUNNING
+            filler = manager.submit("t1", 1)
+            assert filler.state == QUEUED
+            late = [manager.submit("late", i) for i in range(2)]
+            assert all(job.state == SHED for job in late)
+            release.set()
+            assert _wait_all_terminal(manager.tracker)
+            counts = manager.tracker.counts()
+            assert counts == {DONE: 2, SHED: 2}
+        finally:
+            release.set()
+            manager.shutdown()
+
+    def test_shutdown_fails_queued_jobs(self):
+        release = threading.Event()
+
+        def runner(job):
+            release.wait(10.0)
+            return {}
+
+        manager = _manager(runner, workers=1, queue_capacity=8,
+                           tenant_quota=8)
+        manager.start()
+        manager.submit("t", 0)          # occupies the worker
+        queued = manager.submit("u", 1)  # waits in the queue
+        time.sleep(0.1)
+        release.set()
+        manager.shutdown()
+        assert queued.state == FAILED
+        assert queued.error == "gateway shutdown"
+        # Shut-down manager sheds instead of queueing.
+        post = manager.submit("t", 2)
+        assert post.state == SHED
+
+    def test_deadline_expires_in_queue(self):
+        release = threading.Event()
+
+        def runner(job):
+            release.wait(10.0)
+            return {}
+
+        manager = _manager(runner, workers=1, queue_capacity=8,
+                           tenant_quota=8)
+        manager.start()
+        try:
+            manager.submit("t", 0)  # occupies the only worker
+            doomed = manager.submit("u", 1, deadline_seconds=0.05)
+            time.sleep(0.2)
+            release.set()
+            assert _wait_all_terminal(manager.tracker)
+            assert doomed.state == DEADLINE
+            assert "expired in queue" in doomed.error
+        finally:
+            release.set()
+            manager.shutdown()
+
+    def test_runner_exceptions_map_to_states(self):
+        def runner(job):
+            if job.payload == "deadline":
+                raise DeadlineExceededError("too slow")
+            if job.payload == "boom":
+                raise ValueError("boom")
+            return {"ok": True}
+
+        manager = _manager(runner)
+        manager.start()
+        try:
+            jobs = {
+                payload: manager.submit("t", payload)
+                for payload in ("deadline", "boom", "fine")
+            }
+            assert _wait_all_terminal(manager.tracker)
+            assert jobs["deadline"].state == DEADLINE
+            assert jobs["boom"].state == FAILED
+            assert "ValueError" in jobs["boom"].error
+            assert jobs["fine"].state == DONE
+        finally:
+            manager.shutdown()
+
+
+class TestPerTenantSerialization:
+    def test_one_job_per_tenant_at_a_time(self):
+        active = {}
+        overlaps = []
+        lock = threading.Lock()
+
+        def runner(job):
+            with lock:
+                if active.get(job.tenant):
+                    overlaps.append(job.tenant)
+                active[job.tenant] = True
+            time.sleep(0.02)
+            with lock:
+                active[job.tenant] = False
+            return {}
+
+        manager = _manager(runner, workers=4, queue_capacity=32,
+                           tenant_quota=8)
+        manager.start()
+        try:
+            for round_index in range(4):
+                for tenant in ("a", "b", "c"):
+                    manager.submit(tenant, round_index)
+            assert _wait_all_terminal(manager.tracker)
+            assert not overlaps
+            assert manager.tracker.counts() == {DONE: 12}
+        finally:
+            manager.shutdown()
+
+
+class TestHammer:
+    """Thread storm at tiny capacity: the accounting identity must
+    hold exactly and no job may be lost or double-terminal."""
+
+    def test_accepted_plus_shed_equals_submitted(self):
+        def runner(job):
+            time.sleep(0.002)
+            return {"ok": True}
+
+        manager = _manager(runner, queue_capacity=4, workers=3,
+                           tenant_quota=2)
+        manager.start()
+        submitted_per_thread = 25
+        tenants = ("a", "b", "c", "d")
+        results = {name: [] for name in tenants}
+
+        def storm(name):
+            for index in range(submitted_per_thread):
+                results[name].append(manager.submit(name, index))
+
+        threads = [
+            threading.Thread(target=storm, args=(name,),
+                             name=f"repro-test-hammer-{name}")
+            for name in tenants
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert _wait_all_terminal(manager.tracker)
+        finally:
+            manager.shutdown()
+
+        submitted = submitted_per_thread * len(tenants)
+        all_jobs = [job for batch in results.values()
+                    for job in batch]
+        assert len(all_jobs) == submitted
+        assert len(manager.tracker) == submitted  # no job lost
+        shed = sum(1 for job in all_jobs if job.state == SHED)
+        accepted = submitted - shed
+        counts = manager.tracker.counts()
+        # Exactly one terminal state per job, and they add up.
+        assert sum(counts.values()) == submitted
+        assert set(counts) <= TERMINAL_STATES
+        assert counts.get(SHED, 0) == shed
+        assert counts.get(DONE, 0) == accepted
+        # Quota means shedding definitely happened at this scale.
+        assert shed > 0 and accepted > 0

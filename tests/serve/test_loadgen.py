@@ -1,0 +1,83 @@
+"""Loadgen end-to-end: self-hosted gateway, exact accounting, the
+``serve/1`` report schema, and zero cross-tenant decrypts."""
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import LoadgenOptions, run_loadgen
+from repro.serve.loadgen import SCHEMA, render_report
+
+
+class TestOptions:
+    def test_rejects_empty_campaign(self):
+        with pytest.raises(ServeError):
+            LoadgenOptions(tenants=0)
+        with pytest.raises(ServeError):
+            LoadgenOptions(requests=0)
+        with pytest.raises(ServeError):
+            LoadgenOptions(mode="cloud")
+
+
+class TestLocalCampaign:
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("serve") / "BENCH_serve.json"
+        options = LoadgenOptions(
+            tenants=2, requests=2, mode="local", key_size=128,
+            seed=9, tenant_quota=4, queue_capacity=8,
+            serve_workers=2, out=str(out),
+        )
+        return run_loadgen(options), out
+
+    def test_accounting_exact(self, report):
+        result, _ = report
+        assert result["accounting_ok"], result["errors"]
+        assert result["accepted"] + result["shed"] \
+            == result["submitted"]
+        assert result["submitted"] == 4
+        assert result["server"]["all_terminal"]
+        assert result["server"]["jobs"] == result["submitted"]
+
+    def test_zero_cross_tenant_decrypts(self, report):
+        result, _ = report
+        assert result["cross_tenant_decrypts"] == 0
+        assert result["isolation"]["attempts"] == 2
+        assert result["isolation"]["self_decrypt_ok"]
+
+    def test_schema(self, report):
+        result, out = report
+        doc = json.loads(out.read_text())
+        assert doc == result
+        assert doc["schema"] == SCHEMA
+        for key in ("mode", "tenants", "requests_per_tenant",
+                    "submitted", "accepted", "shed", "outcomes",
+                    "accounting_ok", "wall_seconds", "req_per_s",
+                    "latency_ms", "isolation", "config", "server"):
+            assert key in doc, f"missing {key} in BENCH_serve.json"
+        assert doc["latency_ms"]["p50"] <= doc["latency_ms"]["p99"]
+        assert doc["req_per_s"] > 0
+
+    def test_render(self, report):
+        result, _ = report
+        text = render_report(result)
+        assert "accounting" in text and "exact" in text
+        assert "isolation: 0 cross-tenant decrypts" in text
+
+
+class TestOversubscribed:
+    def test_quota_sheds_and_accounting_holds(self):
+        """A burst beyond the per-tenant quota must shed — and the
+        identity still holds exactly."""
+        options = LoadgenOptions(
+            tenants=2, requests=5, mode="local", key_size=128,
+            seed=13, tenant_quota=2, queue_capacity=16,
+            serve_workers=2, out=None,
+        )
+        result = run_loadgen(options)
+        assert result["accounting_ok"], result["errors"]
+        assert result["shed"] > 0
+        assert result["accepted"] + result["shed"] \
+            == result["submitted"] == 10
+        assert result["outcomes"].get("done") == result["accepted"]

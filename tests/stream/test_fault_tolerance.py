@@ -114,7 +114,8 @@ class TestStandaloneWorkerRetries:
 
 
 def _stream_threads():
-    prefixes = ("stage-", "stream-supervisor", "stream-source")
+    prefixes = ("repro-stage-", "repro-stream-supervisor",
+                "repro-stream-source")
     return [t.name for t in threading.enumerate()
             if t.name.startswith(prefixes)]
 
