@@ -169,6 +169,25 @@ class RuntimeConfig:
             terminal state.  ``0`` disables the default deadline.
         serve_retry_after: the ``Retry-After`` hint (seconds) the
             gateway attaches to shed responses.
+        serve_tenant_allowlist: when non-empty, only these tenant
+            names may be created — first-use registration of any
+            other name is refused with a non-retryable 4xx.  Empty
+            (the default) keeps registration open, which is fine for
+            tests and trusted networks but lets any client burn
+            tenant slots (and Paillier keygens) on junk names.
+        serve_tenant_idle_seconds: evict the least-recently-used
+            *idle* tenant (no job queued or running) once it has been
+            unused this many seconds **and** the tenant table is full
+            — so a name-spray cannot permanently brick registration.
+            0 (the default) never evicts: a full table is permanent
+            until restart.
+        serve_job_history: retained *terminal* jobs per gateway.  The
+            tracker folds older terminal jobs into monotonic per-state
+            counters (the ``accepted + shed == submitted`` identity
+            stays exact forever) but frees their payloads/results, so
+            a long-running gateway's memory is bounded by traffic
+            rate, not lifetime.  Status polls for evicted job ids
+            return 404.
     """
 
     key_size: int = DEFAULT_KEY_SIZE
@@ -209,6 +228,9 @@ class RuntimeConfig:
     serve_max_tenants: int = 16
     serve_default_deadline: float = 30.0
     serve_retry_after: float = 1.0
+    serve_tenant_allowlist: tuple = ()
+    serve_tenant_idle_seconds: float = 0.0
+    serve_job_history: int = 4096
 
     def __post_init__(self) -> None:
         if self.key_size < 64:
@@ -337,6 +359,27 @@ class RuntimeConfig:
                 "serve_retry_after must be positive seconds, got "
                 f"{self.serve_retry_after}"
             )
+        # The allowlist crosses the wire as a JSON array; normalize it
+        # back to a tuple so the frozen dataclass stays hashable.
+        object.__setattr__(self, "serve_tenant_allowlist",
+                           tuple(self.serve_tenant_allowlist))
+        for entry in self.serve_tenant_allowlist:
+            if not isinstance(entry, str) or not entry:
+                raise ConfigurationError(
+                    "serve_tenant_allowlist entries must be non-empty "
+                    f"strings, got {entry!r}"
+                )
+        if self.serve_tenant_idle_seconds < 0:
+            raise ConfigurationError(
+                "serve_tenant_idle_seconds must be non-negative "
+                f"seconds (0 disables), got "
+                f"{self.serve_tenant_idle_seconds}"
+            )
+        if self.serve_job_history < 1:
+            raise ConfigurationError(
+                "serve_job_history must be >= 1, got "
+                f"{self.serve_job_history}"
+            )
 
     def with_key_size(self, key_size: int) -> "RuntimeConfig":
         """Return a copy of this config with a different key size."""
@@ -454,6 +497,9 @@ class RuntimeConfig:
         max_tenants: int | None = None,
         default_deadline: float | None = None,
         retry_after: float | None = None,
+        tenant_allowlist: tuple | None = None,
+        tenant_idle_seconds: float | None = None,
+        job_history: int | None = None,
     ) -> "RuntimeConfig":
         """Return a copy with the serving-gateway knobs replaced
         (omitted ones keep their current values)."""
@@ -464,6 +510,9 @@ class RuntimeConfig:
             "serve_max_tenants": max_tenants,
             "serve_default_deadline": default_deadline,
             "serve_retry_after": retry_after,
+            "serve_tenant_allowlist": tenant_allowlist,
+            "serve_tenant_idle_seconds": tenant_idle_seconds,
+            "serve_job_history": job_history,
         }
         return replace(self, **{key: value
                                 for key, value in updates.items()

@@ -148,6 +148,14 @@ class TenantError(ServeError):
     or a cross-tenant access attempt."""
 
 
+class TenantRejectedError(TenantError):
+    """Tenant registration was refused as a *non-retryable* condition:
+    the name is not on the configured allowlist, or the tenant table
+    is full and nothing is evictable.  The gateway maps this to a 4xx
+    without ``Retry-After`` — retrying the same request cannot
+    succeed until an operator (or idle eviction) frees a slot."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was misconfigured."""
 

@@ -112,8 +112,11 @@ def build_worker_spec(model_provider, data_provider, plan,
     connection under: one worker process hosts many tenants' stage
     state side by side (each with its own keypair), which is how the
     serving gateway multiplexes tenants onto one shared fleet.  The
-    worker pins each tenant to the keypair of its first handshake and
-    refuses a re-handshake under a different modulus.
+    worker pins each tenant to a digest of its first handshake spec:
+    a re-handshake under a different modulus is refused (tenant
+    isolation), while one with the same keypair but a changed config
+    or stage geometry rebuilds the tenant's session so stale
+    executors never serve a reconfigured coordinator.
     """
     if role not in (ROLE_MODEL, ROLE_DATA):
         raise TransportError(f"unknown worker role {role!r}")

@@ -29,6 +29,8 @@ failover path, where inversion must be idempotent.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 import socket
 import threading
@@ -83,6 +85,22 @@ _EXECUTOR_RNG_SALT = 0x57
 _DATA_ENGINE_SALT = 0x4450E
 
 
+def _spec_digest(spec: dict) -> str:
+    """Canonical digest of one handshake spec.
+
+    A tenant session is pinned to this digest, not just its keypair:
+    a re-handshake whose config or stage geometry changed (gateway
+    reconfigured/redeployed against a live fleet) must rebuild the
+    session's executors rather than silently compute with stale
+    plans.  The spec is JSON-safe by construction (it crossed the
+    wire as an envelope header), so sorted-key JSON is canonical.
+    """
+    return hashlib.sha256(
+        json.dumps(spec, sort_keys=True,
+                   separators=(",", ":")).encode("utf-8")
+    ).hexdigest()
+
+
 class _Session:
     """Per-tenant stage state rebuilt from one handshake spec.
 
@@ -103,6 +121,7 @@ class _Session:
         self.role = role
         self.tenant = str(spec.get("tenant", "default"))
         self.spec = spec
+        self.spec_digest = _spec_digest(spec)
         self.obs = obs
         self.m_tasks = obs.registry.counter("net_worker_tasks",
                                             tenant=self.tenant)
@@ -233,7 +252,10 @@ class WorkerServer:
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
         #: Per-tenant sessions; the *role* is pinned server-wide (one
         #: process never holds both model parameters and a private
-        #: key), the *keypair* is pinned per tenant.
+        #: key), the handshake *spec digest* is pinned per tenant: an
+        #: identical re-handshake reuses the session, the same keypair
+        #: with a changed spec rebuilds it, a different keypair is
+        #: refused.
         self._sessions: dict[str, _Session] = {}
         self._role: str | None = None
         self._session_lock = threading.Lock()
@@ -335,7 +357,7 @@ class WorkerServer:
                 session = _Session(spec, self.obs)
                 self._sessions[tenant] = session
                 self._role = session.role
-            else:
+            elif session.spec_digest != _spec_digest(spec):
                 try:
                     offered_n = public_key_from_json(
                         spec["public_key"]
@@ -350,6 +372,16 @@ class WorkerServer:
                         "keypair on this worker; refusing the "
                         "handshake (tenant isolation)"
                     )
+                # Same tenant, same keypair, different spec: the
+                # coordinator was reconfigured (config knobs, stage
+                # geometry).  Reusing the old executors would compute
+                # with stale plans, so rebuild the session instead.
+                session.shutdown()
+                session = _Session(spec, self.obs)
+                self._sessions[tenant] = session
+                self.obs.registry.counter(
+                    "net_worker_session_rebuilt", tenant=tenant
+                ).inc()
         connection.send(Envelope(KIND_WELCOME, header={
             "version": VERSION,
             "role": session.role,

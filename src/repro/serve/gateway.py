@@ -4,8 +4,11 @@ Endpoints (JSON in/out; see docs/SERVING.md for full shapes):
 
 * ``POST /v1/infer`` — body ``{"tenant", "input", "deadline"?}``;
   202 + ``{"job_id", ...}`` on admission, **503 +** ``Retry-After``
-  when admission control sheds the request, 400 on malformed input,
-  404 on an unknown route.
+  when admission control sheds the request (a *transient* capacity
+  condition), **403 without** ``Retry-After`` when tenant
+  registration is refused outright (name off the allowlist, tenant
+  table full — retrying cannot help), 400 on malformed input, 404 on
+  an unknown route.
 * ``GET /v1/jobs/<id>?tenant=<name>`` — job status document; 403
   when the job belongs to a different tenant (cross-tenant status
   reads are refused, and counted), 404 when unknown.
@@ -27,7 +30,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Sequence
 from urllib.parse import parse_qs, urlparse
 
-from ..errors import ReproError, ServeError, TenantError
+from ..errors import (
+    ReproError,
+    ServeError,
+    TenantError,
+    TenantRejectedError,
+)
 from ..observability import NULL_TRACER, Observability
 from ..planner.plan import ClusterSpec
 from .jobs import JobManager, SHED
@@ -105,18 +113,16 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             job = gateway.submit(tenant, values, deadline)
+        except TenantRejectedError as exc:
+            # Allowlist miss or a full tenant table: retrying cannot
+            # succeed, so no Retry-After — 403, not 503.
+            self._reply(403, {"error": str(exc)})
+            return
+        except TenantError as exc:
+            self._reply(400, {"error": str(exc)})
+            return
         except ReproError as exc:
-            if not isinstance(exc, TenantError):
-                self._reply(500, {"error": repr(exc)})
-                return
-            # Tenant-cap refusals are a capacity condition like a
-            # full queue; bad names are the client's fault.
-            if "cap reached" in str(exc):
-                self._reply(503, {"error": str(exc)}, headers={
-                    "Retry-After": _retry_after(gateway),
-                })
-            else:
-                self._reply(400, {"error": str(exc)})
+            self._reply(500, {"error": repr(exc)})
             return
         if job.state == SHED:
             self._reply(503, job.to_dict(), headers={
@@ -222,6 +228,10 @@ class ServeGateway:
         )
         self.manager = JobManager(self._run_job, config,
                                   obs=self.obs)
+        # Idle eviction must never reap a tenant with a job queued or
+        # running; quota accounting is the authoritative signal.
+        self.registry.in_use = \
+            lambda name: self.manager.inflight(name) > 0
         self._httpd = _GatewayHTTPServer((host, port), _Handler)
         self._httpd.gateway = self
         self.address: tuple[str, int] = \

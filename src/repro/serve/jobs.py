@@ -34,7 +34,8 @@ from __future__ import annotations
 import threading
 import time
 import uuid
-from typing import Callable, Dict, List, Optional
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
 
 from ..errors import DeadlineExceededError, JobStateError, ServeError
 from ..observability import OBS_OFF, Observability
@@ -152,15 +153,26 @@ class Job:
 
 
 class JobTracker:
-    """Thread-safe registry of every job ever submitted.
+    """Thread-safe registry of every job ever submitted, with a
+    bounded terminal-job history.
 
-    Nothing is evicted during a gateway's lifetime — the accounting
-    tests read totals from here, and a lost job would silently break
-    the *accepted + shed == submitted* identity.
+    A serving gateway runs indefinitely, so the tracker cannot retain
+    every job forever: with ``max_terminal`` set (the JobManager
+    passes ``config.serve_job_history``), the oldest *terminal* jobs
+    beyond the cap are evicted — their state is folded into monotonic
+    eviction counters first, so :meth:`counts` and :func:`len` keep
+    the *accepted + shed == submitted* identity exact for the
+    gateway's whole lifetime while memory stays bounded by the cap.
+    Non-terminal jobs are never evicted.  A status poll for an
+    evicted job id returns None (the gateway answers 404).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_terminal: int | None = None) -> None:
         self._jobs: Dict[str, Job] = {}
+        self._terminal_order: Deque[str] = deque()
+        self._evicted_counts: Dict[str, int] = {}
+        self._evicted = 0
+        self._max_terminal = max_terminal
         self._lock = threading.Lock()
 
     def add(self, job: Job) -> None:
@@ -169,18 +181,46 @@ class JobTracker:
                 raise ServeError(f"duplicate job id {job.job_id}")
             self._jobs[job.job_id] = job
 
+    def note_terminal(self, job: Job) -> None:
+        """Record that a tracked job reached a terminal state.
+
+        Releases the job's request payload (it can never run again)
+        and, when a history cap is set, evicts the oldest terminal
+        jobs beyond it into the monotonic eviction counters.
+        """
+        job.payload = None
+        if self._max_terminal is None:
+            return
+        with self._lock:
+            if job.job_id not in self._jobs:
+                return
+            self._terminal_order.append(job.job_id)
+            while len(self._terminal_order) > self._max_terminal:
+                old_id = self._terminal_order.popleft()
+                old = self._jobs.pop(old_id, None)
+                if old is not None:
+                    self._evicted_counts[old.state] = \
+                        self._evicted_counts.get(old.state, 0) + 1
+                    self._evicted += 1
+
     def get(self, job_id: str) -> Job | None:
         with self._lock:
             return self._jobs.get(job_id)
 
     def jobs(self) -> List[Job]:
+        """The *retained* jobs (evicted ones live on only in
+        :meth:`counts`)."""
         with self._lock:
             return list(self._jobs.values())
 
     def counts(self) -> Dict[str, int]:
-        """Current job count per state."""
-        counts: Dict[str, int] = {}
-        for job in self.jobs():
+        """Job count per state — retained jobs by their current state
+        plus every evicted job by its terminal state, so totals cover
+        the gateway's whole lifetime."""
+        with self._lock:
+            counts = dict(self._evicted_counts)
+            jobs = list(self._jobs.values())
+        for job in jobs:
             counts[job.state] = counts.get(job.state, 0) + 1
         return counts
 
@@ -188,8 +228,10 @@ class JobTracker:
         return all(job.terminal for job in self.jobs())
 
     def __len__(self) -> int:
+        """Every job ever tracked (retained + evicted) — the
+        denominator of the accounting identity."""
         with self._lock:
-            return len(self._jobs)
+            return len(self._jobs) + self._evicted
 
 
 class JobManager:
@@ -207,7 +249,9 @@ class JobManager:
             (``serve_jobs_submitted`` / ``serve_jobs_shed`` /
             ``serve_jobs_terminal``), queue/service histograms, and
             the queue-depth gauge land in its registry.
-        tracker: inject a shared tracker (defaults to a fresh one).
+        tracker: inject a shared tracker (defaults to a fresh one
+            whose terminal-job history is bounded by
+            ``config.serve_job_history``).
     """
 
     def __init__(self, runner: Callable[[Job], Optional[dict]],
@@ -216,7 +260,9 @@ class JobManager:
         self._runner = runner
         self.config = config
         self.obs = obs if obs is not None else OBS_OFF
-        self.tracker = tracker if tracker is not None else JobTracker()
+        self.tracker = (tracker if tracker is not None
+                        else JobTracker(
+                            max_terminal=config.serve_job_history))
         self._queue: List[Job] = []
         self._cond = threading.Condition()
         self._inflight: Dict[str, int] = {}
@@ -375,6 +421,7 @@ class JobManager:
         self._cond.notify_all()
 
     def _record_terminal(self, job: Job) -> None:
+        self.tracker.note_terminal(job)
         registry = self.obs.registry
         registry.counter("serve_jobs_terminal", tenant=job.tenant,
                          state=job.state).inc()

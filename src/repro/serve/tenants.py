@@ -19,15 +19,21 @@ validates names before they become metric labels or URL components.
 
 from __future__ import annotations
 
+import hashlib
 import re
 import threading
-import zlib
+import time
 from dataclasses import replace
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
-from ..errors import DeadlineExceededError, ServeError, TenantError
+from ..errors import (
+    DeadlineExceededError,
+    ServeError,
+    TenantError,
+    TenantRejectedError,
+)
 from ..observability import OBS_OFF, Observability
 from ..planner.allocation import allocate_even
 from ..planner.plan import ClusterSpec
@@ -45,12 +51,23 @@ _PROBE_SALT = 0x7E57
 
 
 def tenant_seed(master_seed: int, name: str) -> int:
-    """The config seed for one tenant: master seed folded with a hash
-    of the tenant name.  Distinct names yield distinct seeds (hence
-    distinct Paillier keypairs) with overwhelming probability; the
-    mapping is deterministic so a restarted gateway re-derives the
-    same keys."""
-    return master_seed ^ zlib.crc32(name.encode("utf-8"))
+    """The config seed for one tenant: a cryptographic hash of the
+    master seed and the tenant name.
+
+    Collision resistance is a *security* requirement here, not a
+    nicety: tenant names are attacker-chosen (any client can register
+    one on first use), and two names with the same seed would derive
+    the **same Paillier keypair** — the colliding tenant's
+    DataProvider would hold the victim's private key.  A non-crypto
+    checksum (the original implementation used CRC32) lets an
+    adversary compute a colliding name outright, so the seed is the
+    first 64 bits of SHA-256 over ``"{master_seed}:{name}"``.  The
+    mapping stays deterministic, so a restarted gateway re-derives
+    the same keys."""
+    digest = hashlib.sha256(
+        f"{master_seed}:{name}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 class TenantRuntime:
@@ -102,6 +119,9 @@ class TenantRuntime:
         self.plan = allocate_even(self.model_provider.stages,
                                   cluster).plan
         self.jobs_run = 0
+        #: Monotonic timestamp of creation / last job, read by the
+        #: registry's idle-eviction scan.
+        self.last_used = time.monotonic()
         # One job at a time per tenant: the providers' obfuscator and
         # engine state are session-scoped, not concurrency-safe.  The
         # job manager already serializes per tenant; this lock is the
@@ -152,8 +172,6 @@ class TenantRuntime:
         the stream runtime's own deadline/dead-letter machinery does
         the enforcement mid-flight.
         """
-        import time
-
         remaining = None
         if job.deadline is not None:
             remaining = job.deadline - time.monotonic()
@@ -164,8 +182,10 @@ class TenantRuntime:
                 )
         payload = np.asarray(job.payload, dtype=np.float64)
         with self._lock:
+            self.last_used = time.monotonic()
             stats = self._run_stream([payload], remaining)
             self.jobs_run += 1
+            self.last_used = time.monotonic()
         if stats.dead_letters:
             letter = stats.dead_letters[0]
             if letter.reason == REASON_DEADLINE:
@@ -206,12 +226,38 @@ class TenantRuntime:
                 self._coordinator = None
 
 
+class _Creation:
+    """Per-name latch for a tenant runtime being built outside the
+    registry lock; waiters block on ``event`` and re-raise ``error``
+    when the creator failed."""
+
+    __slots__ = ("event", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.error: BaseException | None = None
+
+
 class TenantRegistry:
     """Bounded name -> :class:`TenantRuntime` registry.
 
     Tenants are created on first use (``ensure``), up to
     ``config.serve_max_tenants``; lookups for unknown tenants raise
     :class:`TenantError` so the gateway can 404/403 precisely.
+
+    Registration hardening (all knobs on the config):
+
+    * ``serve_tenant_allowlist`` — when non-empty, names off the list
+      are refused with :class:`TenantRejectedError` *before* any
+      keygen is spent on them.
+    * ``serve_tenant_idle_seconds`` — when the table is full, the
+      least-recently-used tenant that is idle past this threshold
+      (and has no job in flight, per the injected :attr:`in_use`
+      predicate) is evicted to make room; 0 disables eviction and a
+      full table stays full.
+    * Runtime construction (Paillier keygen, fleet handshakes) runs
+      **outside** the registry lock behind a per-name latch, so one
+      new tenant's keygen never stalls ``get`` for every running job.
     """
 
     def __init__(
@@ -233,36 +279,110 @@ class TenantRegistry:
         self._worker_addresses = worker_addresses
         self.obs = obs if obs is not None else OBS_OFF
         self._tenants: Dict[str, TenantRuntime] = {}
+        self._pending: Dict[str, _Creation] = {}
         self._lock = threading.Lock()
+        #: Injected by the gateway: ``in_use(name)`` is True while the
+        #: tenant has any job queued or running, which vetoes idle
+        #: eviction.  None = only the runtime's own run-lock is
+        #: checked.
+        self.in_use: Callable[[str], bool] | None = None
 
     def ensure(self, name: str) -> TenantRuntime:
-        """The runtime for ``name``, creating it on first use."""
+        """The runtime for ``name``, creating it on first use.
+
+        The expensive construction (keygen, fleet handshakes) happens
+        outside the registry lock; concurrent ``ensure`` calls for the
+        same name share one construction, and calls for *other*
+        names — including plain ``get`` from the job workers — never
+        block behind it.
+        """
         if not isinstance(name, str) or not _TENANT_NAME.match(name):
             raise TenantError(
                 f"invalid tenant name {name!r} (want "
                 "[A-Za-z0-9][A-Za-z0-9_.-]{0,63})"
             )
-        with self._lock:
-            runtime = self._tenants.get(name)
-            if runtime is not None:
-                return runtime
-            if len(self._tenants) >= self.config.serve_max_tenants:
+        allowlist = self.config.serve_tenant_allowlist
+        if allowlist and name not in allowlist:
+            raise TenantRejectedError(
+                f"tenant {name!r} is not on the allowlist; "
+                "registration refused"
+            )
+        while True:
+            evicted = None
+            with self._lock:
+                runtime = self._tenants.get(name)
+                if runtime is not None:
+                    return runtime
+                latch = self._pending.get(name)
+                if latch is None:
+                    occupied = len(self._tenants) + len(self._pending)
+                    if occupied >= self.config.serve_max_tenants:
+                        evicted = self._pick_idle_locked()
+                        if evicted is None:
+                            raise TenantRejectedError(
+                                f"tenant cap reached "
+                                f"({self.config.serve_max_tenants}) "
+                                f"and no tenant is evictable; "
+                                f"refusing new tenant {name!r}"
+                            )
+                        del self._tenants[evicted.name]
+                    latch = _Creation()
+                    self._pending[name] = latch
+                    break
+            # Someone else is mid-keygen for this name: wait off-lock,
+            # then re-read (success) or re-raise (their failure).
+            latch.event.wait()
+            if latch.error is not None:
                 raise TenantError(
-                    f"tenant cap reached "
-                    f"({self.config.serve_max_tenants}); refusing "
-                    f"new tenant {name!r}"
-                )
+                    f"tenant {name!r} failed to initialize: "
+                    f"{latch.error!r}"
+                ) from latch.error
+        if evicted is not None:
+            evicted.close()
+            self.obs.registry.counter("serve_tenants_evicted").inc()
+        try:
             runtime = TenantRuntime(
                 name, self._model, self._decimals, self.config,
                 self.cluster, mode=self.mode,
                 worker_addresses=self._worker_addresses,
                 obs=self.obs,
             )
+        except BaseException as exc:
+            with self._lock:
+                self._pending.pop(name, None)
+            latch.error = exc
+            latch.event.set()
+            raise
+        with self._lock:
+            self._pending.pop(name, None)
             self._tenants[name] = runtime
             self.obs.registry.gauge("serve_tenants").set(
                 len(self._tenants)
             )
-            return runtime
+        latch.event.set()
+        return runtime
+
+    def _pick_idle_locked(self) -> TenantRuntime | None:
+        """The least-recently-used evictable tenant, or None.
+
+        Evictable = idle past ``serve_tenant_idle_seconds`` (0 = the
+        feature is off), not mid-job on its own run lock, and not in
+        use per the gateway's quota accounting.  Caller holds the
+        registry lock."""
+        idle_after = self.config.serve_tenant_idle_seconds
+        if idle_after <= 0:
+            return None
+        now = time.monotonic()
+        candidates = [
+            runtime for runtime in self._tenants.values()
+            if now - runtime.last_used >= idle_after
+            and not runtime._lock.locked()
+            and not (self.in_use is not None
+                     and self.in_use(runtime.name))
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda r: r.last_used)
 
     def get(self, name: str) -> TenantRuntime:
         """The runtime for an *existing* tenant (no creation)."""

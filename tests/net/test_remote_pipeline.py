@@ -160,6 +160,90 @@ class TestHandshake:
         first.close()
         second.close()
 
+    def test_rehandshake_same_key_changed_spec_rebuilds_session(
+            self, make_providers, make_plan, net_config, worker_farm):
+        """A tenant session is pinned to the whole handshake spec, not
+        just the keypair: a re-handshake with the same key but a
+        changed config must rebuild the worker-side session instead of
+        silently reusing stale executors."""
+        import copy
+
+        plan = make_plan(ClusterSpec.homogeneous(1, 1, 2))
+        model_provider, data_provider = make_providers()
+        model_provider.register_public_key(data_provider.public_key)
+        servers, addresses = worker_farm(WorkerServer())
+        host, port = addresses[0]
+        spec = build_worker_spec(model_provider, data_provider,
+                                 plan, ROLE_MODEL)
+        first = dial(host, port)
+        assert first.request(Envelope(KIND_HELLO, spec),
+                             timeout=5).kind == KIND_WELCOME
+        original = servers[0]._sessions["default"]
+        changed = copy.deepcopy(spec)
+        changed["config"]["net_request_timeout"] = 77.0
+        second = dial(host, port)
+        reply = second.request(Envelope(KIND_HELLO, changed),
+                               timeout=5)
+        assert reply.kind == KIND_WELCOME
+        rebuilt = servers[0]._sessions["default"]
+        assert rebuilt is not original
+        assert rebuilt.config.net_request_timeout == 77.0
+        first.close()
+        second.close()
+
+    def test_rehandshake_identical_spec_reuses_session(
+            self, make_providers, make_plan, worker_farm):
+        plan = make_plan(ClusterSpec.homogeneous(1, 1, 2))
+        model_provider, data_provider = make_providers()
+        model_provider.register_public_key(data_provider.public_key)
+        servers, addresses = worker_farm(WorkerServer())
+        host, port = addresses[0]
+        spec = build_worker_spec(model_provider, data_provider,
+                                 plan, ROLE_MODEL)
+        connections = []
+        for _ in range(2):
+            connection = dial(host, port)
+            assert connection.request(Envelope(KIND_HELLO, spec),
+                                      timeout=5).kind == KIND_WELCOME
+            connections.append(connection)
+        assert len(servers[0]._sessions) == 1
+        for connection in connections:
+            connection.close()
+
+    def test_rehandshake_different_key_refused(
+            self, net_model, make_plan, net_config, worker_farm):
+        """Same tenant, different keypair: refused outright (tenant
+        isolation), never rebuilt."""
+        from repro.protocol import DataProvider, ModelProvider
+
+        plan = make_plan(ClusterSpec.homogeneous(1, 1, 2))
+        specs = []
+        for seed in (78, 79):
+            config = net_config.with_seed(seed)
+            model_provider = ModelProvider(net_model, decimals=2,
+                                           config=config)
+            data_provider = DataProvider(value_decimals=2,
+                                         config=config)
+            model_provider.register_public_key(
+                data_provider.public_key
+            )
+            specs.append(build_worker_spec(
+                model_provider, data_provider, plan, ROLE_MODEL
+            ))
+        assert specs[0]["public_key"] != specs[1]["public_key"]
+        _, addresses = worker_farm(WorkerServer())
+        host, port = addresses[0]
+        first = dial(host, port)
+        assert first.request(Envelope(KIND_HELLO, specs[0]),
+                             timeout=5).kind == KIND_WELCOME
+        second = dial(host, port)
+        refusal = second.request(Envelope(KIND_HELLO, specs[1]),
+                                 timeout=5)
+        assert refusal.kind == KIND_ERROR
+        assert "different keypair" in refusal.header["message"]
+        first.close()
+        second.close()
+
     def test_model_spec_never_carries_the_private_key(
             self, make_providers, make_plan):
         plan = make_plan(ClusterSpec.homogeneous(1, 1, 2))

@@ -157,6 +157,51 @@ class TestShedding:
                                   job_id)["state"] == "done"
 
 
+class TestTenantRejection:
+    """Registration refusals are permanent conditions: 403 with no
+    Retry-After, unlike the retryable 503 shed path."""
+
+    def test_full_tenant_table_403_without_retry_after(self):
+        model, decimals, input_shape = build_serve_model("tiny")
+        config = RuntimeConfig(key_size=KEY_SIZE, seed=SEED) \
+            .with_serve(workers=1, max_tenants=1)
+        with ServeGateway(model, decimals, config) as gateway:
+            host, port = gateway.address
+            client = _Client(f"http://{host}:{port}")
+            rng = np.random.default_rng(SEED)
+            sample = rng.uniform(0, 1, input_shape).tolist()
+            status, _, _ = client.post(
+                "/v1/infer", {"tenant": "first", "input": sample}
+            )
+            assert status == 202
+            status, body, headers = client.post(
+                "/v1/infer", {"tenant": "second", "input": sample}
+            )
+            assert status == 403
+            assert "cap reached" in body["error"]
+            assert "Retry-After" not in headers
+
+    def test_allowlist_miss_403(self):
+        model, decimals, input_shape = build_serve_model("tiny")
+        config = RuntimeConfig(key_size=KEY_SIZE, seed=SEED) \
+            .with_serve(workers=1, tenant_allowlist=("vip",))
+        with ServeGateway(model, decimals, config) as gateway:
+            host, port = gateway.address
+            client = _Client(f"http://{host}:{port}")
+            rng = np.random.default_rng(SEED)
+            sample = rng.uniform(0, 1, input_shape).tolist()
+            status, _, _ = client.post(
+                "/v1/infer", {"tenant": "vip", "input": sample}
+            )
+            assert status == 202
+            status, body, headers = client.post(
+                "/v1/infer", {"tenant": "intruder", "input": sample}
+            )
+            assert status == 403
+            assert "allowlist" in body["error"]
+            assert "Retry-After" not in headers
+
+
 class TestMetricsEndpoint:
     def test_prometheus_exposition(self, gateway, client):
         import urllib.request

@@ -112,6 +112,44 @@ class TestJobTracker:
         assert tracker.get(first.job_id) is first
         assert tracker.get("nope") is None
 
+    def test_bounded_history_keeps_the_identity_exact(self):
+        """Terminal jobs beyond the cap are evicted, but counts() and
+        len() still cover the tracker's whole lifetime — the identity
+        stays auditable while memory stays bounded."""
+        tracker = JobTracker(max_terminal=2)
+        jobs = []
+        for index in range(5):
+            job = Job("t", payload=[float(index)])
+            tracker.add(job)
+            job.transition(RUNNING)
+            job.transition(DONE)
+            tracker.note_terminal(job)
+            jobs.append(job)
+        assert len(tracker) == 5            # retained + evicted
+        assert len(tracker.jobs()) == 2     # memory is bounded
+        assert tracker.counts() == {DONE: 5}
+        assert tracker.all_terminal()
+        # The oldest ids are gone (a status poll would 404) ...
+        assert tracker.get(jobs[0].job_id) is None
+        assert tracker.get(jobs[2].job_id) is None
+        # ... the newest survive, with payloads released.
+        assert tracker.get(jobs[4].job_id) is jobs[4]
+        assert all(job.payload is None for job in jobs)
+
+    def test_non_terminal_jobs_are_never_evicted(self):
+        tracker = JobTracker(max_terminal=1)
+        live = Job("t", payload=[1.0])
+        tracker.add(live)
+        for _ in range(3):
+            job = Job("t", payload=None)
+            tracker.add(job)
+            job.transition(SHED)
+            tracker.note_terminal(job)
+        assert tracker.get(live.job_id) is live
+        assert live.payload == [1.0]
+        assert not tracker.all_terminal()
+        assert sum(tracker.counts().values()) == 4
+
 
 def _manager(runner, queue_capacity=8, workers=2, tenant_quota=4,
              default_deadline=30.0):
@@ -239,6 +277,31 @@ class TestAdmissionControl:
             assert jobs["fine"].state == DONE
         finally:
             manager.shutdown()
+
+
+class TestManagerHistory:
+    def test_manager_releases_payloads_and_bounds_history(self):
+        """The manager's tracker must not retain payloads (or more
+        than serve_job_history terminal jobs) on a long-running
+        gateway, while the accounting identity survives eviction."""
+        config = RuntimeConfig().with_serve(
+            queue_capacity=8, workers=2, tenant_quota=8,
+            job_history=3,
+        )
+        manager = JobManager(lambda job: {"ok": True}, config)
+        manager.start()
+        try:
+            jobs = [manager.submit("t", [float(i)])
+                    for i in range(10)]
+            assert _wait_all_terminal(manager.tracker)
+        finally:
+            manager.shutdown()
+        assert all(job.payload is None for job in jobs)
+        assert len(manager.tracker.jobs()) <= 3
+        assert len(manager.tracker) == 10
+        counts = manager.tracker.counts()
+        assert sum(counts.values()) == 10
+        assert set(counts) <= TERMINAL_STATES
 
 
 class TestPerTenantSerialization:

@@ -7,11 +7,15 @@ tenant's private key — recovery must be impossible (an exception or
 garbage, never the plaintext).
 """
 
+import threading
+import time
+import zlib
+
 import numpy as np
 import pytest
 
 from repro.config import RuntimeConfig
-from repro.errors import TenantError
+from repro.errors import TenantError, TenantRejectedError
 from repro.observability import NULL_TRACER, Observability
 from repro.serve import (
     DONE,
@@ -54,6 +58,25 @@ class TestTenantSeeds:
     def test_master_seed_matters(self):
         assert tenant_seed(7, "alice") != tenant_seed(8, "alice")
 
+    def test_seed_fits_rng_inputs(self):
+        seed = tenant_seed(20240519, "alice")
+        assert 0 <= seed < 2 ** 64
+
+    def test_crc32_collisions_do_not_collide_seeds(self):
+        """Tenant names are attacker-chosen, so the seed derivation
+        must survive adversarial collisions in weak checksums: these
+        two valid tenant names CRC32-collide (found by birthday
+        search), so the original ``master_seed ^ crc32(name)``
+        derivation would have handed both tenants the **same Paillier
+        keypair**.  The cryptographic derivation must keep their
+        seeds distinct."""
+        first, second = "t-79462e94d11d", "t-4eaac92ea841"
+        assert (zlib.crc32(first.encode("utf-8"))
+                == zlib.crc32(second.encode("utf-8")))
+        for master_seed in (7, 20240519):
+            assert (tenant_seed(master_seed, first)
+                    != tenant_seed(master_seed, second))
+
 
 class TestTenantRegistry:
     def test_ensure_is_idempotent(self, registry):
@@ -84,6 +107,123 @@ class TestTenantRegistry:
         bob = registry.ensure("bob")
         assert alice.public_key.n != bob.public_key.n
         assert alice.config.seed != bob.config.seed
+
+    def test_cap_refusal_is_non_retryable(self, registry):
+        for index in range(4):
+            registry.ensure(f"t{index}")
+        with pytest.raises(TenantRejectedError):
+            registry.ensure("overflow")
+
+    def test_concurrent_ensure_shares_one_runtime(self, served):
+        model, decimals, _ = served
+        config = RuntimeConfig(key_size=KEY_SIZE, seed=SEED)
+        registry = TenantRegistry(model, decimals, config)
+        runtimes = []
+        barrier = threading.Barrier(4)
+
+        def race():
+            barrier.wait()
+            runtimes.append(registry.ensure("shared"))
+
+        threads = [
+            threading.Thread(target=race,
+                             name=f"repro-test-ensure-{i}")
+            for i in range(4)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(runtimes) == 4
+            assert all(r is runtimes[0] for r in runtimes)
+        finally:
+            registry.close()
+
+    def test_failed_creation_does_not_poison_the_slot(self, served):
+        """A runtime that fails to construct must release its pending
+        slot: later ensures re-attempt (and re-fail) instead of
+        deadlocking or permanently occupying the table."""
+        model, decimals, _ = served
+        config = RuntimeConfig(key_size=KEY_SIZE, seed=SEED)
+        # Fleet mode without worker addresses fails inside the
+        # TenantRuntime constructor, after the slot is reserved.
+        registry = TenantRegistry(model, decimals, config,
+                                  mode="fleet",
+                                  worker_addresses=None)
+        for _ in range(2):
+            with pytest.raises(TenantError,
+                               match="worker addresses"):
+                registry.ensure("doomed")
+        assert registry.names() == []
+        registry.close()
+
+
+class TestTenantAllowlist:
+    def test_allowlist_refuses_unlisted_names(self, served):
+        model, decimals, _ = served
+        config = RuntimeConfig(key_size=KEY_SIZE, seed=SEED) \
+            .with_serve(tenant_allowlist=("alice", "bob"))
+        registry = TenantRegistry(model, decimals, config)
+        try:
+            assert registry.ensure("alice").name == "alice"
+            with pytest.raises(TenantRejectedError,
+                               match="not on the allowlist"):
+                registry.ensure("mallory")
+            # The refused name burned no slot (and no keygen).
+            assert registry.names() == ["alice"]
+        finally:
+            registry.close()
+
+
+class TestIdleEviction:
+    def _registry(self, served, **serve_kwargs):
+        model, decimals, _ = served
+        config = RuntimeConfig(key_size=KEY_SIZE, seed=SEED) \
+            .with_serve(**serve_kwargs)
+        return TenantRegistry(model, decimals, config)
+
+    def test_full_table_evicts_lru_idle_tenant(self, served):
+        registry = self._registry(
+            served, max_tenants=2, tenant_idle_seconds=0.01,
+        )
+        try:
+            registry.ensure("old")
+            time.sleep(0.02)
+            registry.ensure("young")
+            time.sleep(0.02)
+            registry.ensure("new")  # evicts "old" (LRU idle)
+            assert registry.names() == ["new", "young"]
+            with pytest.raises(TenantError, match="unknown tenant"):
+                registry.get("old")
+        finally:
+            registry.close()
+
+    def test_in_use_tenants_are_never_evicted(self, served):
+        registry = self._registry(
+            served, max_tenants=2, tenant_idle_seconds=0.01,
+        )
+        try:
+            registry.ensure("busy")
+            registry.ensure("idle")
+            time.sleep(0.02)
+            registry.in_use = lambda name: name == "busy"
+            registry.ensure("new")  # must pick "idle", not "busy"
+            assert registry.names() == ["busy", "new"]
+        finally:
+            registry.close()
+
+    def test_eviction_disabled_keeps_table_full(self, served):
+        registry = self._registry(served, max_tenants=2)
+        try:
+            registry.ensure("a")
+            registry.ensure("b")
+            time.sleep(0.02)
+            with pytest.raises(TenantRejectedError,
+                               match="cap reached"):
+                registry.ensure("c")
+        finally:
+            registry.close()
 
 
 class TestCrossTenantIsolation:
