@@ -17,7 +17,9 @@ Commands:
   vs unpacked batched inference and writes ``BENCH_packing.json``.
   With ``--compress [--sparsity F] [--clusters K]`` it benchmarks the
   compression-aware engine paths (dense vs pruned vs clustered vs
-  gmpy2 bigint backend) and writes ``BENCH_compress.json``.
+  gmpy2 bigint backend) and writes ``BENCH_compress.json``;
+  ``--session`` adds dense-vs-compressed end-to-end session rows
+  (in-process, threaded stream, and TCP fleet, bit-identity gated).
 * ``metrics [--workload session|stream] [--format json|prometheus]
   [--traces]`` — run a small workload with observability enabled
   (docs/OBSERVABILITY.md) and dump the metrics registry, optionally
@@ -168,6 +170,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             model_key=None if args.no_accuracy
             else args.compress_model,
         )
+        if args.session:
+            from .bench import (
+                render_compress_session_bench,
+                run_compress_session_bench,
+            )
+
+            # --no-accuracy keeps the session leg CI-sized too: the
+            # untrained tiny model has no evaluation data, so the
+            # accuracy gate is moot and nothing trains.
+            results["session"] = run_compress_session_bench(
+                key_sizes=key_sizes,
+                seed=args.seed,
+                repeats=args.repeats,
+                sparsity=args.sparsity,
+                clusters=args.clusters,
+                model_key="tiny" if args.no_accuracy
+                else args.session_model,
+            )
+            print(render_compress_session_bench(results["session"]))
         write_bench_json(results, out)
         print(render_compress_bench(results))
         print(f"wrote {out}")
@@ -471,25 +492,35 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
             workers=args.job_workers,
             tenant_quota=args.tenant_quota,
             default_deadline=args.deadline,
+            tenant_rps=args.tenant_rps,
         )
+        if args.compress:
+            config = config.with_compress(enabled=True)
     except (ValueError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     fleet = []
     gateway = None
+    # One registry for the whole process, shared by the gateway and
+    # any in-process fleet workers, so /metrics carries worker-side
+    # series (per-tenant power-cache gauges, session rebuilds) too.
+    from .observability import NULL_TRACER, Observability
+
+    obs = Observability(enabled=True, tracer=NULL_TRACER)
     try:
         addresses = None
         if args.mode == "fleet":
             from .net import WorkerServer
 
             for _ in range(args.fleet_workers):
-                fleet.append(WorkerServer())
+                fleet.append(WorkerServer(obs=obs))
             addresses = [server.start() for server in fleet]
             print(f"fleet: {len(fleet)} shared TCP workers on "
                   + ", ".join(f"{h}:{p}" for h, p in addresses))
         gateway = ServeGateway(
             model, decimals, config, mode=args.mode,
             worker_addresses=addresses, host=host, port=port,
+            obs=obs,
         )
         bound_host, bound_port = gateway.start()
         # The exact line loadgen (and any orchestrator) parses to
@@ -679,6 +710,16 @@ def main(argv: list[str] | None = None) -> int:
                        dest="compress_model",
                        help="model-zoo key for the --compress accuracy "
                             "delta (default: breast)")
+    bench.add_argument("--session", action="store_true",
+                       help="with --compress: also benchmark dense vs "
+                            "compressed end-to-end sessions across "
+                            "the in-process, threaded-stream, and TCP "
+                            "runtimes (bit-identity gated)")
+    bench.add_argument("--session-model", default="mnist-1",
+                       dest="session_model",
+                       help="model-zoo key for the --session leg "
+                            "(default: mnist-1, whose wide linear "
+                            "layers dominate end-to-end cost)")
     bench.add_argument("--no-accuracy", action="store_true",
                        dest="no_accuracy",
                        help="skip the model-zoo accuracy measurement "
@@ -794,6 +835,16 @@ def main(argv: list[str] | None = None) -> int:
     serve_http.add_argument("--deadline", type=float, default=30.0,
                             help="default end-to-end job deadline in "
                                  "seconds (0 disables; default: 30)")
+    serve_http.add_argument("--tenant-rps", type=int, default=0,
+                            dest="tenant_rps",
+                            help="per-tenant requests-per-second "
+                                 "ceiling; over-limit submits get "
+                                 "429 + Retry-After (0 disables; "
+                                 "default: 0)")
+    serve_http.add_argument("--compress", action="store_true",
+                            help="serve the pruned+clustered model "
+                                 "(compress_* config defaults) "
+                                 "instead of the dense one")
     serve_http.set_defaults(func=_cmd_serve_http)
 
     loadgen = subparsers.add_parser(

@@ -531,6 +531,15 @@ DEFAULT_COMPRESS_CLUSTERS = 8
 #: model to train).
 DEFAULT_COMPRESS_MODEL = "breast"
 
+#: Model-zoo key used for the *session* leg.  The end-to-end cost of a
+#: session is input encryption + per-activation decrypt/re-encrypt +
+#: linear matvecs; compression only touches the last term, so a model
+#: whose linear layers dominate (wide input, ~109K weight cells here)
+#: is the honest way to show what compression buys end-to-end.  The
+#: breast model (30 inputs) is crypto-overhead-bound and would show a
+#: speedup near 1x no matter how good the kernels are.
+DEFAULT_COMPRESS_SESSION_MODEL = "mnist-1"
+
 
 def _compress_matrices(weight: np.ndarray, sparsity: float,
                        clusters: int, seed: int
@@ -779,6 +788,310 @@ def run_compress_bench(
             model_key, sparsity, clusters, seed
         )
     return results
+
+
+def _session_model(model_key: str, seed: int):
+    """``(model, decimals, eval_inputs, eval_labels, sample)`` for the
+    session-level compression bench.
+
+    ``"tiny"`` is the untrained 1-conv+2-FC smoke model (no training
+    cost, no accuracy data — the CI-sized leg); any other key is a
+    trained Table III model whose test split doubles as the accuracy
+    gate's evaluation set.
+    """
+    if model_key == "tiny":
+        from .nn import model_zoo
+
+        model = model_zoo.conv_fc(
+            (1, 8, 8), 3, conv_channels=(2,), fc_hidden=8, seed=3,
+            name="bench-tiny",
+        )
+        rng = np.random.default_rng(seed)
+        return model, 2, None, None, rng.uniform(0, 1, (1, 8, 8))
+    from .experiments.common import prepare_model
+
+    prepared = prepare_model(model_key, seed=seed)
+    dataset = prepared.dataset
+    return (prepared.model, prepared.decimals, dataset.test_x,
+            dataset.test_y, dataset.test_x[0])
+
+
+def run_compress_session_bench(
+    key_sizes: Sequence[int] = DEFAULT_COMPRESS_KEY_SIZES,
+    seed: int = 0,
+    repeats: int = 1,
+    sparsity: float = DEFAULT_COMPRESS_SPARSITY,
+    clusters: int = DEFAULT_COMPRESS_CLUSTERS,
+    model_key: str = DEFAULT_COMPRESS_SESSION_MODEL,
+    accuracy_budget: float = 0.01,
+) -> dict:
+    """Dense vs compressed *end-to-end inference* per key size.
+
+    Where :func:`run_compress_bench` times isolated engine kernels,
+    this leg times whole sessions: the same input runs through the
+    in-process :class:`~repro.protocol.session.InferenceSession`, the
+    threaded :class:`~repro.stream.pipeline.Pipeline`, and a real TCP
+    fleet (:class:`~repro.net.coordinator.Coordinator` + two in-thread
+    :class:`~repro.net.worker.WorkerServer`\\ s) — once on the dense
+    model and once on its pruned+clustered twin, whose
+    :class:`~repro.crypto.sparse.SparseMatvecPlan`\\ s the providers
+    build and thread through every runtime automatically.
+
+    Two gates run before anything is recorded:
+
+    * accuracy budget — when ``model_key`` has evaluation data, the
+      compressed model's top-1 accuracy must sit within
+      ``accuracy_budget`` of the dense baseline (prune backoff plus an
+      explicit post-clustering check);
+    * bit identity — each runtime's compressed probabilities must be
+      byte-for-byte the in-process compressed reference's (and dense
+      runtimes the dense reference's): three transports, one result.
+
+    Stage assignment is load-balanced with the planner's
+    compression-aware cost profile, so the compressed plan sees its
+    linear stages as the cheaper stages they really are.
+
+    Two methodology points keep the comparison honest:
+
+    * the **dense** variant's matvec plans are stripped before any
+      spec or executor is built — a trained model's scaled weights are
+      often sparse enough that :func:`plan_if_worthwhile` fires on the
+      "dense" model too, which would silently benchmark compressed
+      against compressed (the stripped plans flow everywhere: the
+      in-process session, the threaded pipeline, and the TCP handshake
+      spec all read them from the provider);
+    * the blinding-factor pool is sized to cover every warm-up and
+      timed run, mirroring :func:`run_paillier_bench` — the pool is
+      the paper's offline phase, and both variants draw from equally
+      prefilled pools so no lazy mid-run refill pollutes either side.
+    """
+    from .config import RuntimeConfig
+    from .costs import CostModel
+    from .net import Coordinator, WorkerServer
+    from .nn.rewrite import prune_model
+    from .planner.allocation import allocate_load_balanced
+    from .planner.plan import ClusterSpec
+    from .planner.profiling import profile_primitive_times
+    from .protocol import DataProvider, InferenceSession, ModelProvider
+    from .scaling.clustering import cluster_model
+    from .stream import Pipeline, RetryPolicy
+
+    if repeats < 1:
+        raise ReproError("repeats must be >= 1")
+    model, decimals, eval_x, eval_y, sample = _session_model(
+        model_key, seed
+    )
+    pruned, prune_report = prune_model(
+        model, sparsity, inputs=eval_x, labels=eval_y,
+        accuracy_budget=accuracy_budget,
+    )
+    compressed, cluster_report = cluster_model(
+        pruned, clusters, seed=seed, inputs=eval_x, labels=eval_y,
+    )
+    compression: dict = {
+        "model": model_key,
+        "decimals": decimals,
+        "target_sparsity": sparsity,
+        "applied_sparsity": prune_report.applied_sparsity,
+        "clusters": clusters,
+        "baseline_accuracy": prune_report.baseline_accuracy,
+        "compressed_accuracy": cluster_report.clustered_accuracy,
+        "accuracy_budget": accuracy_budget,
+    }
+    if prune_report.baseline_accuracy is not None \
+            and cluster_report.clustered_accuracy is not None:
+        drop = (prune_report.baseline_accuracy
+                - cluster_report.clustered_accuracy)
+        compression["accuracy_drop"] = drop
+        if drop > accuracy_budget + 1e-12:
+            raise ReproError(
+                f"compressed model accuracy dropped {drop:.4f}, over "
+                f"the {accuracy_budget} budget; refusing to benchmark "
+                "an undeployable model"
+            )
+        compression["accuracy_gate_passed"] = True
+    cluster = ClusterSpec.homogeneous(1, 1, 2)
+    cost_model = CostModel.reference()
+    retry_policy = RetryPolicy(max_retries=3, base_delay=0.02)
+
+    def model_provider_for(variant_model, config, planned):
+        model_provider = ModelProvider(variant_model, decimals=decimals,
+                                       config=config)
+        if not planned:
+            # The dense baseline must run the dense kernels even when
+            # its scaled weights happen to be plan-worthy; blanking
+            # the plans here flows through the session, the pipeline,
+            # and the handshake spec alike.
+            for stage_plan in model_provider._linear_plans.values():
+                stage_plan.matvec_plans[:] = \
+                    [None] * len(stage_plan.matvec_plans)
+        return model_provider
+
+    # Offline-phase pool sizing: one run draws a blinding factor per
+    # input cell (encryption) plus one per stage-output cell
+    # (re-encryption of permuted activations), so cover the warm-up
+    # and every timed run with a margin run to spare.
+    cells_per_run = int(np.asarray(sample).size) + sum(
+        int(np.prod(stage.primitives[-1].output_shape))
+        for stage in model_provider_for(
+            model, RuntimeConfig(seed=seed), True).stages
+    )
+    pool_size = (repeats + 2) * cells_per_run
+    results: dict = {
+        "benchmark": "compress_session",
+        "seed": seed,
+        "repeats": repeats,
+        "blinding_pool_size": pool_size,
+        "compression": compression,
+        "key_sizes": {},
+    }
+
+    def providers(variant_model, config, planned):
+        data_provider = DataProvider(value_decimals=decimals,
+                                     config=config)
+        return (model_provider_for(variant_model, config, planned),
+                data_provider)
+
+    def plan_for(variant_model, config, planned):
+        model_provider = model_provider_for(variant_model, config,
+                                            planned)
+        times = profile_primitive_times(
+            model_provider.stages, cost_model, decimals,
+            compression=model_provider.compression_stats(),
+        )
+        return allocate_load_balanced(model_provider.stages, times,
+                                      cluster).plan
+
+    def run_in_process(variant_model, config, planned):
+        session = InferenceSession(
+            *providers(variant_model, config, planned)
+        )
+        probabilities = session.run(sample).probabilities
+        seconds = _timed(lambda: session.run(sample), repeats)
+        return probabilities, seconds
+
+    def checked_stream(runner, what):
+        # Guard every run, timed ones included: a dead-lettered
+        # stream returns instantly and would otherwise be recorded
+        # as an impossibly fast (and empty) "result".
+        stats = runner([sample])
+        if stats.dead_letters or not stats.results:
+            raise ReproError(
+                f"{what} bench run dead-lettered: {stats.dead_letters}"
+            )
+        return stats
+
+    def run_threaded(variant_model, config, planned, plan):
+        pipeline = Pipeline(
+            *providers(variant_model, config, planned), plan
+        )
+        stats = checked_stream(pipeline.run_stream, "threaded")
+        probabilities = stats.results[0].probabilities
+        seconds = _timed(
+            lambda: checked_stream(pipeline.run_stream, "threaded"),
+            repeats,
+        )
+        return probabilities, seconds
+
+    def run_tcp(variant_model, config, planned, plan):
+        servers = [WorkerServer(), WorkerServer()]
+        addresses = [server.start() for server in servers]
+        try:
+            with Coordinator(*providers(variant_model, config,
+                                        planned), plan,
+                             addresses,
+                             retry_policy=retry_policy) as coord:
+                stats = checked_stream(coord.run_stream, "TCP")
+                probabilities = stats.results[0].probabilities
+                seconds = _timed(
+                    lambda: checked_stream(coord.run_stream, "TCP"),
+                    repeats,
+                )
+        finally:
+            for server in servers:
+                server.stop(abort=True)
+        return probabilities, seconds
+
+    from .crypto import resolve_backend
+
+    for key_size in key_sizes:
+        config = RuntimeConfig(key_size=key_size, seed=seed,
+                               blinding_pool_size=pool_size)
+        row: dict = {"backend": resolve_backend(
+                         config.bigint_backend).name,
+                     "runtimes": {}}
+        references: dict = {}
+        for variant, variant_model in (("dense", model),
+                                       ("compressed", compressed)):
+            planned = variant == "compressed"
+            plan = plan_for(variant_model, config, planned)
+            ref, in_process_s = run_in_process(
+                variant_model, config, planned
+            )
+            references[variant] = ref
+            threaded_p, threaded_s = run_threaded(
+                variant_model, config, planned, plan
+            )
+            tcp_p, tcp_s = run_tcp(variant_model, config, planned, plan)
+            for runtime, probabilities in (("threaded", threaded_p),
+                                           ("tcp", tcp_p)):
+                if not np.array_equal(probabilities, ref):
+                    raise ReproError(
+                        f"{variant} {runtime} probabilities diverged "
+                        "from the in-process reference; refusing to "
+                        "benchmark a wrong runtime"
+                    )
+            row["runtimes"][variant] = {
+                "in_process_seconds": in_process_s,
+                "threaded_seconds": threaded_s,
+                "tcp_seconds": tcp_s,
+                "bit_identical": True,
+            }
+        for runtime in ("in_process", "threaded", "tcp"):
+            dense_s = row["runtimes"]["dense"][f"{runtime}_seconds"]
+            compressed_s = \
+                row["runtimes"]["compressed"][f"{runtime}_seconds"]
+            row["runtimes"].setdefault("speedup", {})[runtime] = (
+                dense_s / compressed_s if compressed_s > 0
+                else float("inf")
+            )
+        row["predictions_match"] = bool(
+            int(np.argmax(references["dense"]))
+            == int(np.argmax(references["compressed"]))
+        )
+        results["key_sizes"][str(key_size)] = row
+    return results
+
+
+def render_compress_session_bench(results: dict) -> str:
+    """Human-readable summary of a session-level compression bench."""
+    compression = results["compression"]
+    lines = [
+        f"Compressed-session benchmark (model={compression['model']}, "
+        f"applied sparsity={compression['applied_sparsity']:.2f}, "
+        f"clusters={compression['clusters']})",
+        f"{'key':>6} {'runtime':<12} {'dense s':>10} "
+        f"{'compressed s':>13} {'speedup':>9}",
+    ]
+    for key_size, row in sorted(results["key_sizes"].items(),
+                                key=lambda kv: int(kv[0])):
+        for runtime in ("in_process", "threaded", "tcp"):
+            dense_s = row["runtimes"]["dense"][f"{runtime}_seconds"]
+            compressed_s = \
+                row["runtimes"]["compressed"][f"{runtime}_seconds"]
+            speedup = row["runtimes"]["speedup"][runtime]
+            lines.append(
+                f"{key_size:>6} {runtime:<12} {dense_s:>10.3f} "
+                f"{compressed_s:>13.3f} {speedup:>8.2f}x"
+            )
+    if compression.get("accuracy_gate_passed"):
+        lines.append(
+            f"accuracy gate: {compression['baseline_accuracy']:.4f} -> "
+            f"{compression['compressed_accuracy']:.4f} "
+            f"(drop {compression['accuracy_drop']:+.4f} within "
+            f"{compression['accuracy_budget']} budget)"
+        )
+    return "\n".join(lines)
 
 
 def render_compress_bench(results: dict) -> str:

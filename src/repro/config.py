@@ -188,6 +188,36 @@ class RuntimeConfig:
             a long-running gateway's memory is bounded by traffic
             rate, not lifetime.  Status polls for evicted job ids
             return 404.
+        serve_tenant_rps: per-tenant request-rate ceiling at the
+            gateway front door, in admitted requests per one-second
+            sliding window (:class:`repro.protocol.ratelimit
+            .RateLimiter`).  An over-limit submit gets HTTP 429 +
+            ``Retry-After`` *before* any tenant runtime work happens.
+            0 (the default) disables rate limiting.
+        serve_compress_tenants: with ``compress_enabled``, restricts
+            the compressed model to these tenant names — everyone
+            else keeps the dense model (per-tenant opt-in).  Empty
+            (the default) serves the compressed model to every
+            tenant once ``compress_enabled`` is set.
+        compress_enabled: serve the pruned + clustered form of the
+            model (:func:`repro.nn.rewrite.prune_model` +
+            :func:`repro.scaling.clustering.cluster_model`) instead
+            of the dense one.  Compressed layers automatically get
+            per-layer :class:`~repro.crypto.sparse.SparseMatvecPlan`
+            structures at session setup, which every linear-stage
+            runtime (in-process, threaded stream, TCP fleet) routes
+            through the engine's compressed kernels — bit-identical
+            to the dense path on the surviving weights.
+        compress_sparsity: target fraction of weights pruned to zero
+            per layer when ``compress_enabled``.
+        compress_clusters: distinct weight values per layer after
+            clustering when ``compress_enabled``.
+        compress_accuracy_budget: largest accuracy drop (fraction)
+            the compressed model may cost versus the dense baseline.
+            Enforced wherever labeled evaluation data is available
+            (the bench gate, and serving when the gateway is handed
+            an eval set); pruning backs off its sparsity target to
+            stay inside the budget.
     """
 
     key_size: int = DEFAULT_KEY_SIZE
@@ -231,6 +261,12 @@ class RuntimeConfig:
     serve_tenant_allowlist: tuple = ()
     serve_tenant_idle_seconds: float = 0.0
     serve_job_history: int = 4096
+    serve_tenant_rps: int = 0
+    serve_compress_tenants: tuple = ()
+    compress_enabled: bool = False
+    compress_sparsity: float = 0.7
+    compress_clusters: int = 8
+    compress_accuracy_budget: float = 0.01
 
     def __post_init__(self) -> None:
         if self.key_size < 64:
@@ -380,6 +416,35 @@ class RuntimeConfig:
                 "serve_job_history must be >= 1, got "
                 f"{self.serve_job_history}"
             )
+        if self.serve_tenant_rps < 0:
+            raise ConfigurationError(
+                "serve_tenant_rps must be non-negative "
+                f"(0 disables), got {self.serve_tenant_rps}"
+            )
+        # Like the allowlist: crosses the wire as a JSON array.
+        object.__setattr__(self, "serve_compress_tenants",
+                           tuple(self.serve_compress_tenants))
+        for entry in self.serve_compress_tenants:
+            if not isinstance(entry, str) or not entry:
+                raise ConfigurationError(
+                    "serve_compress_tenants entries must be non-empty "
+                    f"strings, got {entry!r}"
+                )
+        if not 0.0 <= self.compress_sparsity < 1.0:
+            raise ConfigurationError(
+                "compress_sparsity must be in [0, 1), got "
+                f"{self.compress_sparsity}"
+            )
+        if self.compress_clusters < 1:
+            raise ConfigurationError(
+                "compress_clusters must be >= 1, got "
+                f"{self.compress_clusters}"
+            )
+        if self.compress_accuracy_budget < 0:
+            raise ConfigurationError(
+                "compress_accuracy_budget must be non-negative, got "
+                f"{self.compress_accuracy_budget}"
+            )
 
     def with_key_size(self, key_size: int) -> "RuntimeConfig":
         """Return a copy of this config with a different key size."""
@@ -500,6 +565,7 @@ class RuntimeConfig:
         tenant_allowlist: tuple | None = None,
         tenant_idle_seconds: float | None = None,
         job_history: int | None = None,
+        tenant_rps: int | None = None,
     ) -> "RuntimeConfig":
         """Return a copy with the serving-gateway knobs replaced
         (omitted ones keep their current values)."""
@@ -513,6 +579,28 @@ class RuntimeConfig:
             "serve_tenant_allowlist": tenant_allowlist,
             "serve_tenant_idle_seconds": tenant_idle_seconds,
             "serve_job_history": job_history,
+            "serve_tenant_rps": tenant_rps,
+        }
+        return replace(self, **{key: value
+                                for key, value in updates.items()
+                                if value is not None})
+
+    def with_compress(
+        self,
+        enabled: bool | None = None,
+        sparsity: float | None = None,
+        clusters: int | None = None,
+        accuracy_budget: float | None = None,
+        tenants: tuple | None = None,
+    ) -> "RuntimeConfig":
+        """Return a copy with the model-compression knobs replaced
+        (omitted ones keep their current values)."""
+        updates = {
+            "compress_enabled": enabled,
+            "compress_sparsity": sparsity,
+            "compress_clusters": clusters,
+            "compress_accuracy_budget": accuracy_budget,
+            "serve_compress_tenants": tenants,
         }
         return replace(self, **{key: value
                                 for key, value in updates.items()

@@ -95,12 +95,13 @@ DEFAULT_POWER_CACHE_ENTRIES = 512
 #: batch is correspondingly larger.
 ADD_DISPATCH_FACTOR = 32
 
-#: Expected number of calls a cached fixed-base table serves.  A
-#: clustered column has few distinct weights, so a table rarely pays
-#: for itself within ONE call — but with the cross-call
-#: :class:`PowerCache` the build amortizes over every later call that
-#: reuses the ciphertext (multi-layer fan-out, repeated evaluation),
-#: so the sparse path's build threshold is relaxed by this factor.
+#: Historical break-even relaxation for the sparse path's table
+#: builds.  Kept for API compatibility; the sparse kernel now counts
+#: the actual intra-call uses of each ciphertext base instead of
+#: assuming cross-call cache reuse — protocol requests re-randomize
+#: every ciphertext, so an assumed-reuse factor systematically
+#: overbuilt tables on FC layers (one column per base, never reused)
+#: and thrashed the LRU that conv's genuine im2col reuse depends on.
 POWER_CACHE_ASSUMED_REUSE = 4
 
 #: Default process-dispatch break-even threshold: below this many items
@@ -408,29 +409,56 @@ def _sparse_partial(
     distinct nonzero weights and the output rows using each.  Zero
     weights were dropped when the plan was built, so this loop touches
     only surviving (ciphertext, weight) pairs: one exponentiation per
-    distinct pair, one modular multiply per additional use.  With a
-    ``cache``, fixed-base tables persist across calls keyed by the
-    ciphertext value (inverse tables under the negated key).
+    distinct pair, one modular multiply per additional use.
+
+    Negative weights never cost a modular inversion per column: their
+    ``base^|w|`` contributions accumulate into a per-row denominator
+    and each output row pays at most ONE inversion at the end —
+    ``num * den^-1`` is the same group element however the inverse
+    factors were interleaved, so the result stays bit-identical while
+    an inversion (~an order of magnitude pricier than a small pow)
+    moves from per-(column, sign) to per-row.  With a ``cache``,
+    positive fixed-base tables persist across calls keyed by the
+    ciphertext value; inverse tables no longer exist.
 
     ``stats`` uses the same keys as :func:`_matvec_partial` plus
     ``reuse_mults`` (multiplies served by the per-cluster dedup).
     """
     if backend is None:
         backend = resolve_backend("python")
-    powmod = backend.powmod
     modulus = backend.wrap(n_sq)
     out = [1] * out_dim
+    den = [1] * out_dim
+    # Exact intra-call amortization: one ciphertext value serves many
+    # plan columns in a conv im2col matrix (one per kernel position it
+    # lands in) but exactly one column in an FC layer — and bases are
+    # fresh per request (re-randomized ciphertexts), so cross-call
+    # cache hits cannot be assumed into the break-even.  Count this
+    # call's uses per base up front; a windowed table is built only
+    # when those uses beat the plain strategy below, which keeps
+    # single-use FC columns from flooding the LRU with tables the
+    # conv-style genuine reuse depends on.
+    base_uses: dict[int, int] = {}
+    base_cols: dict[int, int] = {}
+    for base, groups in columns:
+        base_uses[base] = base_uses.get(base, 0) + len(groups)
+        base_cols[base] = base_cols.get(base, 0) + 1
     for base, groups in columns:
         max_bits = max(abs(groups[0][0]),
                        abs(groups[-1][0])).bit_length()
         positions = -(-max_bits // window_bits)
         build_cost = positions * ((1 << window_bits) - 2 + window_bits)
-        saving_per_use = max(1, max_bits - positions)
-        amortized_uses = len(groups) * (POWER_CACHE_ASSUMED_REUSE
-                                        if cache is not None else 1)
-        use_table = amortized_uses * saving_per_use > build_cost
+        if cache is not None:
+            uses, cols = base_uses[base], base_cols[base]
+        else:
+            uses, cols = len(groups), 1
+        # The plain strategy is a shared squaring chain per column
+        # (max_bits squarings, then ~popcount multiplies per weight);
+        # build a table only when this call's uses amortize it.
+        chain_cost = cols * max_bits + uses * ((max_bits + 1) // 2)
+        table_cost = build_cost + uses * positions
         pos_table = cache.peek(base) if cache is not None else None
-        if pos_table is None and use_table:
+        if pos_table is None and table_cost < chain_cost:
             pos_table = PowerTable(base, n_sq, max_bits, window_bits,
                                    backend=backend)
             if cache is not None:
@@ -440,40 +468,36 @@ def _sparse_partial(
         if stats is not None:
             stats["columns_table" if pos_table is not None
                   else "columns_plain"] += 1
-        neg_table = None
-        neg_checked = False
-        inv_base = None
+        chain: list | None = None
         for w, rows in groups:
-            if w > 0:
-                v = (pos_table.pow(w) if pos_table is not None
-                     else powmod(base, w, n_sq))
+            e = -w if w < 0 else w
+            if pos_table is not None:
+                v = pos_table.pow(e)
             else:
-                if not neg_checked:
-                    neg_checked = True
-                    if cache is not None:
-                        neg_table = cache.peek(-base)
-                    if neg_table is None and use_table:
-                        inv_base = backend.invert(base, n_sq)
-                        neg_table = PowerTable(inv_base, n_sq, max_bits,
-                                               window_bits,
-                                               backend=backend)
-                        if cache is not None:
-                            cache.put(-base, neg_table)
-                        if stats is not None:
-                            stats["tables_built"] += 1
-                if neg_table is not None:
-                    v = neg_table.pow(-w)
-                else:
-                    if inv_base is None:
-                        inv_base = backend.invert(base, n_sq)
-                    v = powmod(inv_base, -w, n_sq)
+                if chain is None:
+                    g = backend.wrap(base) % modulus
+                    chain = [g]
+                    for _ in range(max_bits - 1):
+                        g = g * g % modulus
+                        chain.append(g)
+                v = 1
+                index = 0
+                while e:
+                    if e & 1:
+                        v = v * chain[index] % modulus
+                    index += 1
+                    e >>= 1
             if stats is not None:
-                stats["table_pows" if (pos_table if w > 0 else neg_table)
-                      is not None else "plain_pows"] += 1
+                stats["table_pows" if pos_table is not None
+                      else "plain_pows"] += 1
                 stats["reuse_mults"] += len(rows) - 1
+            target = den if w < 0 else out
             for j in rows:
-                out[j] = out[j] * v % modulus
-    return [int(v) for v in out]
+                target[j] = target[j] * v % modulus
+    invert = backend.invert
+    return [int(num) if d == 1
+            else int(num * invert(d, n_sq) % modulus)
+            for num, d in zip(out, den)]
 
 
 # ----------------------------------------------------------------------
@@ -696,6 +720,11 @@ class PaillierEngine:
             ``auto`` picks gmpy2 when importable.
         power_cache_entries: LRU bound on the cross-call fixed-base
             power cache used by the compressed matvec paths.
+        power_cache_labels: metric labels attached to the
+            ``paillier_power_cache_entries`` gauge — fleet workers
+            label each session engine's cache (``worker=``,
+            ``tenant=``) so per-tenant cache sizes stay separable in
+            a shared registry.  Empty labels keep the plain gauge.
     """
 
     def __init__(
@@ -713,6 +742,7 @@ class PaillierEngine:
         dispatch_min_items: int | None = None,
         backend: str | BigintBackend = "auto",
         power_cache_entries: int = DEFAULT_POWER_CACHE_ENTRIES,
+        power_cache_labels: dict | None = None,
     ):
         if workers < 0:
             raise CryptoError(f"workers must be >= 0, got {workers}")
@@ -754,7 +784,8 @@ class PaillierEngine:
         registry = self.obs.registry
         self.power_cache = PowerCache(
             power_cache_entries,
-            gauge=registry.gauge("paillier_power_cache_entries"),
+            gauge=registry.gauge("paillier_power_cache_entries",
+                                 **(power_cache_labels or {})),
         )
         self._m_encrypt_batch = registry.histogram(
             "paillier_batch_items", buckets=SIZE_BUCKETS, op="encrypt"

@@ -46,6 +46,35 @@ from ..errors import CryptoError
 #: Type of one plan column: (input index, ((weight, (rows...)), ...)).
 PlanColumn = Tuple[int, Tuple[Tuple[int, Tuple[int, ...]], ...]]
 
+#: Structural break-even gates for :func:`plan_if_worthwhile`.  A
+#: compressed evaluation only clearly beats the dense matvec when a
+#: real fraction of the cells vanish, or when cluster dedup removes at
+#: least half the exponentiations; near break-even the dense path's
+#: thread partitioning and simplicity win, and accidental small-int
+#: weight collisions in an uncompressed model must not reroute it.
+WORTHWHILE_MIN_SPARSITY = 0.25
+WORTHWHILE_MAX_PAIR_RATIO = 0.5
+
+
+def plan_if_worthwhile(weights) -> "SparseMatvecPlan | None":
+    """A :class:`SparseMatvecPlan` for ``weights`` when its structure
+    makes the compressed kernel the clear winner, else ``None``.
+
+    This is the session-setup gate: :class:`~repro.protocol.roles
+    .ModelProvider` calls it once per linear layer, so pruned or
+    clustered models automatically run compressed everywhere a linear
+    stage executes, while dense models keep the dense kernels (and
+    their tensor partitioning) untouched.
+    """
+    plan = SparseMatvecPlan.from_dense(weights)
+    if plan.nnz == 0:
+        return plan
+    if plan.sparsity >= WORTHWHILE_MIN_SPARSITY:
+        return plan
+    if plan.distinct_pairs <= WORTHWHILE_MAX_PAIR_RATIO * plan.nnz:
+        return plan
+    return None
+
 
 class SparseMatvecPlan:
     """Per-layer sparse column index for compressed homomorphic matvecs.
@@ -86,12 +115,19 @@ class SparseMatvecPlan:
                 f"out_dim {out_dim}"
             )
         values: set[int] = set()
+        seen_columns: set[int] = set()
         nnz = 0
         pairs = 0
         max_abs = 0
         for i, groups in columns:
             if not 0 <= i < in_dim:
                 raise CryptoError(f"plan column {i} out of range")
+            if i in seen_columns:
+                # A repeated column would silently apply that input
+                # twice — reject it here, where a tampered wire plan
+                # surfaces as a clean decode error.
+                raise CryptoError(f"plan column {i} appears twice")
+            seen_columns.add(i)
             for weight, rows in groups:
                 if weight == 0:
                     raise CryptoError("plan must not contain zero weights")

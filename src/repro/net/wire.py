@@ -20,6 +20,7 @@ import dataclasses
 import numpy as np
 
 from ..config import RuntimeConfig
+from ..crypto.sparse import SparseMatvecPlan
 from ..crypto.serialize import (
     any_tensor_from_bytes,
     any_tensor_to_bytes,
@@ -27,6 +28,7 @@ from ..crypto.serialize import (
     public_key_to_json,
 )
 from ..errors import (
+    CryptoError,
     PoisonedRequestError,
     TransientStageError,
     TransportError,
@@ -88,6 +90,52 @@ def affine_from_wire(state: dict) -> ScaledAffine:
         raise TransportError(f"affine record missing {exc}") from exc
 
 
+def plan_to_wire(plan: SparseMatvecPlan) -> dict:
+    """JSON-safe form of one layer's sparse matvec plan.
+
+    Weights are scaled int64 values and row sums stay within Python
+    int range, so everything rides as plain JSON integers; the nested
+    column structure mirrors :class:`~repro.crypto.sparse.PlanColumn`
+    exactly (column index, then ``(weight, rows)`` groups in the
+    plan's canonical ascending-weight order, so the wire form is as
+    deterministic as the plan identity it encodes).
+    """
+    return {
+        "in_dim": plan.in_dim,
+        "out_dim": plan.out_dim,
+        "columns": [
+            [i, [[w, list(rows)] for w, rows in groups]]
+            for i, groups in plan.columns
+        ],
+        "row_weight_sums": list(plan.row_weight_sums),
+    }
+
+
+def plan_from_wire(state: dict) -> SparseMatvecPlan:
+    """Rebuild a sparse matvec plan from its wire form.
+
+    The plan constructor re-validates the full structure (dimension
+    bounds, row/column ranges, no zero weights), so a malformed or
+    tampered handshake section fails here as a
+    :class:`~repro.errors.TransportError` instead of poisoning a
+    session's linear kernels.
+    """
+    try:
+        columns = tuple(
+            (int(i), tuple((int(w), tuple(int(r) for r in rows))
+                           for w, rows in groups))
+            for i, groups in state["columns"]
+        )
+        return SparseMatvecPlan(
+            int(state["in_dim"]),
+            int(state["out_dim"]),
+            columns,
+            [int(s) for s in state["row_weight_sums"]],
+        )
+    except (CryptoError, KeyError, TypeError, ValueError) as exc:
+        raise TransportError(f"malformed matvec plan: {exc}") from exc
+
+
 def config_to_wire(config: RuntimeConfig) -> dict:
     return dataclasses.asdict(config)
 
@@ -129,10 +177,19 @@ def build_worker_spec(model_provider, data_provider, plan,
             "threads": plan.threads_for(stage.index),
         }
         if role == ROLE_MODEL and kind == "linear":
+            stage_plan = model_provider._linear_plans[stage.index]
             entry["affines"] = [
                 affine_to_wire(affine)
-                for affine in
-                model_provider._linear_plans[stage.index].affines
+                for affine in stage_plan.affines
+            ]
+            # Compressed layers ship their sparse plans so remote
+            # executors hit the same kernels bit-identically; a plan
+            # change (re-pruned / re-clustered tenant model) changes
+            # the spec digest, which forces the worker's pinned
+            # session to rebuild instead of serving stale structure.
+            entry["matvec_plans"] = [
+                None if plan is None else plan_to_wire(plan)
+                for plan in stage_plan.matvec_plans
             ]
         if role == ROLE_DATA and kind == "nonlinear":
             entry["activations"] = \

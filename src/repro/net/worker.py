@@ -75,6 +75,7 @@ from .wire import (
     config_from_wire,
     error_envelope,
     item_from_task,
+    plan_from_wire,
     result_envelope,
 )
 
@@ -109,7 +110,8 @@ class _Session:
     but only ever of **one role** (the server pins the role, not the
     session)."""
 
-    def __init__(self, spec: dict, obs: Observability):
+    def __init__(self, spec: dict, obs: Observability,
+                 worker_label: str = ""):
         if spec.get("version") != VERSION:
             raise HandshakeError(
                 f"coordinator speaks version {spec.get('version')}, "
@@ -123,6 +125,12 @@ class _Session:
         self.spec = spec
         self.spec_digest = _spec_digest(spec)
         self.obs = obs
+        # Engines built for this session label their power-cache gauge
+        # so one shared registry (the serving gateway's) can tell each
+        # worker's per-tenant caches apart — and the tenancy tests can
+        # assert no fixed-base table ever crosses a tenant boundary.
+        self._engine_labels = {"worker": worker_label,
+                               "tenant": self.tenant}
         self.m_tasks = obs.registry.counter("net_worker_tasks",
                                             tenant=self.tenant)
         try:
@@ -159,6 +167,9 @@ class _Session:
                 seed=self.config.seed ^ _DATA_ENGINE_SALT,
                 obs=obs,
                 dispatch_min_items=self.config.dispatch_min_items,
+                backend=self.config.bigint_backend,
+                power_cache_entries=self.config.power_cache_entries,
+                power_cache_labels=self._engine_labels,
             )
             self._engine.prefill()
 
@@ -184,6 +195,7 @@ class _Session:
             stage = self._stage_spec(stage_index)
             threads = int(stage.get("threads", 1))
             if self.role == ROLE_MODEL:
+                wire_plans = stage.get("matvec_plans")
                 executor = LinearStageExecutor(
                     stage_index,
                     [affine_from_wire(a) for a in stage["affines"]],
@@ -200,6 +212,14 @@ class _Session:
                     final=stage_index == self.num_stages - 2,
                     config=self.config,
                     obs=self.obs,
+                    # Reconstructed sparse plans route this worker's
+                    # compressed layers through the same kernels the
+                    # in-process runtime uses (bit-identical results).
+                    plans=(None if wire_plans is None else [
+                        None if p is None else plan_from_wire(p)
+                        for p in wire_plans
+                    ]),
+                    engine_labels=self._engine_labels,
                 )
             else:
                 executor = NonLinearStageExecutor(
@@ -354,7 +374,8 @@ class WorkerServer:
                 )
             session = self._sessions.get(tenant)
             if session is None:
-                session = _Session(spec, self.obs)
+                session = _Session(spec, self.obs,
+                                   worker_label=str(self.address[1]))
                 self._sessions[tenant] = session
                 self._role = session.role
             elif session.spec_digest != _spec_digest(spec):
@@ -377,7 +398,8 @@ class WorkerServer:
                 # geometry).  Reusing the old executors would compute
                 # with stale plans, so rebuild the session instead.
                 session.shutdown()
-                session = _Session(spec, self.obs)
+                session = _Session(spec, self.obs,
+                                   worker_label=str(self.address[1]))
                 self._sessions[tenant] = session
                 self.obs.registry.counter(
                     "net_worker_session_rebuilt", tenant=tenant

@@ -24,8 +24,10 @@ from typing import List, Sequence
 import numpy as np
 
 from ..config import DEFAULT_CONFIG, RuntimeConfig
+from ..costs import CompressionStats
 from ..crypto.encoding import LanePacker
 from ..crypto.engine import PaillierEngine
+from ..crypto.sparse import SparseMatvecPlan, plan_if_worthwhile
 from ..observability import Observability
 from ..crypto.paillier import PaillierPublicKey, generate_keypair
 from ..crypto.tensor import EncryptedTensor, PackedEncryptedTensor
@@ -47,10 +49,22 @@ FINAL_ACTIVATIONS = ("softmax",)
 
 @dataclass
 class LinearStagePlan:
-    """The model provider's prepared form of one linear stage."""
+    """The model provider's prepared form of one linear stage.
+
+    ``matvec_plans`` is parallel to ``affines``: the per-layer
+    :class:`~repro.crypto.sparse.SparseMatvecPlan` when the scaled
+    weight matrix's structure (pruning sparsity, cluster dedup) makes
+    the engine's compressed kernels the clear winner, else ``None``
+    for the dense path.  Built once at session setup and carried by
+    every runtime — in-process sessions, the threaded stream
+    executors, and (serialized into the handshake spec) remote
+    workers — so all of them hit identical kernels.
+    """
 
     stage: MergedPrimitive
     affines: List[ScaledAffine] = field(default_factory=list)
+    matvec_plans: List[SparseMatvecPlan | None] = \
+        field(default_factory=list)
 
 
 class ModelProvider:
@@ -91,11 +105,13 @@ class ModelProvider:
                         # ciphertext stream.
                         shape = primitive.output_shape
                         continue
-                    plan.affines.append(
-                        scaled_affine_for_layer(
-                            primitive.layer, primitive.input_shape,
-                            decimals,
-                        )
+                    affine = scaled_affine_for_layer(
+                        primitive.layer, primitive.input_shape,
+                        decimals,
+                    )
+                    plan.affines.append(affine)
+                    plan.matvec_plans.append(
+                        plan_if_worthwhile(affine.weight)
                     )
                     shape = primitive.output_shape
                 self._linear_plans[stage.index] = plan
@@ -142,6 +158,8 @@ class ModelProvider:
                 seed=self.config.seed ^ 0x4D50E,
                 obs=self.obs,
                 dispatch_min_items=self.config.dispatch_min_items,
+                backend=self.config.bigint_backend,
+                power_cache_entries=self.config.power_cache_entries,
             )
 
     def nonlinear_activations(self, stage_index: int) -> List[str]:
@@ -155,6 +173,37 @@ class ModelProvider:
             raise ProtocolError(f"stage {stage_index} is not non-linear")
         return [activation_spec(primitive.layer)
                 for primitive in stage.primitives]
+
+    def compression_stats(self) -> List[CompressionStats | None]:
+        """Per-stage compression structure for the planner cost model.
+
+        One entry per merged stage (aligned with :attr:`stages`):
+        ``None`` for non-linear stages and for linear stages running
+        the dense path, else a :class:`~repro.costs.CompressionStats`
+        aggregated over the stage's planned affines — feed the list to
+        :func:`repro.planner.profiling.profile_primitive_times` so
+        stage assignment charges compressed layers their surviving
+        exponentiations instead of the dense count.
+        """
+        out: List[CompressionStats | None] = []
+        for stage in self.stages:
+            stage_plan = self._linear_plans.get(stage.index)
+            plans = ([p for p in stage_plan.matvec_plans
+                      if p is not None]
+                     if stage_plan is not None else [])
+            if not plans:
+                out.append(None)
+                continue
+            total = sum(p.total for p in plans)
+            nnz = sum(p.nnz for p in plans)
+            ncols = sum(len(p.columns) for p in plans)
+            pairs = sum(p.distinct_pairs for p in plans)
+            out.append(CompressionStats(
+                density=(nnz / total if total else 1.0),
+                clusters=max(p.distinct_values for p in plans) or None,
+                distinct_per_column=(pairs / ncols if ncols else None),
+            ))
+        return out
 
     def process_linear_stage(
         self,
@@ -207,6 +256,7 @@ class ModelProvider:
                 self._rng,
                 weight_exponent=affine.decimals,
                 engine=self.engine,
+                plan=plan.matvec_plans[affine_index],
             )
         if final:
             self.obs.registry.histogram(
@@ -328,6 +378,7 @@ class ModelProvider:
                 self._rng,
                 weight_exponent=affine.decimals,
                 engine=self.engine,
+                plan=plan.matvec_plans[affine_index],
             )
         histogram = self.obs.registry.histogram(
             "protocol_linear_stage_seconds", stage=str(stage_index)
@@ -378,6 +429,8 @@ class DataProvider:
             seed=config.seed ^ 0x4450E,
             obs=self.obs,
             dispatch_min_items=config.dispatch_min_items,
+            backend=config.bigint_backend,
+            power_cache_entries=config.power_cache_entries,
         )
         # The paper's offline phase: precompute the blinding-factor
         # pool now, before any request arrives, so online encryption

@@ -38,6 +38,7 @@ from ..errors import (
 )
 from ..observability import NULL_TRACER, Observability
 from ..planner.plan import ClusterSpec
+from ..protocol.ratelimit import RateLimiter, RateLimitExceeded
 from .jobs import JobManager, SHED
 from .tenants import TenantRegistry
 
@@ -113,6 +114,12 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             job = gateway.submit(tenant, values, deadline)
+        except RateLimitExceeded as exc:
+            # Transient by definition — the window slides open within
+            # a second, so 429 with a Retry-After of one window.
+            self._reply(429, {"error": str(exc)},
+                        headers={"Retry-After": "1"})
+            return
         except TenantRejectedError as exc:
             # Allowlist miss or a full tenant table: retrying cannot
             # succeed, so no Retry-After — 403, not 503.
@@ -206,11 +213,17 @@ class ServeGateway:
         host: str = "127.0.0.1",
         port: int = 0,
         obs: Observability | None = None,
+        eval_data=None,
     ):
         self.config = config
         self.obs = obs if obs is not None else Observability(
             enabled=True, tracer=NULL_TRACER
         )
+        # Per-tenant sliding-window rate limiters (serve_tenant_rps;
+        # created lazily per registered tenant, so the map is bounded
+        # by serve_max_tenants).
+        self._limiters: dict[str, RateLimiter] = {}
+        self._limiter_lock = threading.Lock()
         if cluster is None and mode == "fleet":
             if not worker_addresses or len(worker_addresses) < 2:
                 raise ServeError(
@@ -225,6 +238,7 @@ class ServeGateway:
         self.registry = TenantRegistry(
             model, decimals, config, cluster=cluster, mode=mode,
             worker_addresses=worker_addresses, obs=self.obs,
+            eval_data=eval_data,
         )
         self.manager = JobManager(self._run_job, config,
                                   obs=self.obs)
@@ -254,7 +268,34 @@ class ServeGateway:
         full tenant table.
         """
         self.registry.ensure(tenant)
+        self._admit_rate(tenant)
         return self.manager.submit(tenant, values, deadline_seconds)
+
+    def _admit_rate(self, tenant: str) -> None:
+        """Per-tenant sliding-window rate limiting (serve_tenant_rps).
+
+        Runs *after* :meth:`TenantRegistry.ensure` so only registered
+        tenants ever get a limiter — the map stays bounded by
+        ``serve_max_tenants``.  Over-limit submits raise
+        :class:`~repro.protocol.ratelimit.RateLimitExceeded` (the HTTP
+        handler maps it to 429 + ``Retry-After``), counted per tenant
+        in ``serve_rate_limited``.
+        """
+        rps = getattr(self.config, "serve_tenant_rps", 0)
+        if rps <= 0:
+            return
+        with self._limiter_lock:
+            limiter = self._limiters.get(tenant)
+            if limiter is None:
+                limiter = RateLimiter(rps, 1.0)
+                self._limiters[tenant] = limiter
+        try:
+            limiter.admit()
+        except RateLimitExceeded:
+            self.obs.registry.counter(
+                "serve_rate_limited", tenant=tenant
+            ).inc()
+            raise
 
     # -- lifecycle -----------------------------------------------------
 

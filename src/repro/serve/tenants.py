@@ -50,6 +50,60 @@ _TENANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
 _PROBE_SALT = 0x7E57
 
 
+def compress_served_model(model, config, eval_data=None):
+    """The pruned + clustered form of the served model, plus a report.
+
+    Runs :func:`repro.nn.rewrite.prune_model` at
+    ``config.compress_sparsity`` then
+    :func:`repro.scaling.clustering.cluster_model` at
+    ``config.compress_clusters`` — deterministic under the gateway's
+    master seed, so a restarted gateway re-derives byte-identical
+    weights (and therefore identical handshake spec digests on the
+    fleet).  With ``eval_data`` (an ``(inputs, labels)`` pair) the
+    pruning pass backs off to stay inside
+    ``config.compress_accuracy_budget`` and the combined dense-vs-
+    compressed accuracy drop is gated — a budget-blowing compression
+    raises :class:`~repro.errors.ServeError` at startup instead of
+    silently serving a degraded model.  Without eval data (e.g. the
+    untrained ``tiny`` smoke model) compression is structural only
+    and the budget is enforced where data exists (the bench gate).
+    """
+    from ..nn.rewrite import prune_model
+    from ..scaling.clustering import cluster_model
+
+    inputs = labels = None
+    if eval_data is not None:
+        inputs, labels = eval_data
+    pruned, prune_report = prune_model(
+        model, config.compress_sparsity,
+        inputs=inputs, labels=labels,
+        accuracy_budget=config.compress_accuracy_budget,
+    )
+    clustered, cluster_report = cluster_model(
+        pruned, config.compress_clusters,
+        seed=config.seed,
+        inputs=inputs, labels=labels,
+    )
+    report = {
+        "target_sparsity": config.compress_sparsity,
+        "applied_sparsity": prune_report.applied_sparsity,
+        "clusters": config.compress_clusters,
+        "baseline_accuracy": prune_report.baseline_accuracy,
+        "compressed_accuracy": cluster_report.clustered_accuracy,
+    }
+    if (prune_report.baseline_accuracy is not None
+            and cluster_report.clustered_accuracy is not None):
+        drop = (prune_report.baseline_accuracy
+                - cluster_report.clustered_accuracy)
+        report["accuracy_drop"] = drop
+        if drop > config.compress_accuracy_budget + 1e-12:
+            raise ServeError(
+                f"compressed model blows the accuracy budget: drop "
+                f"{drop:.4f} > {config.compress_accuracy_budget}"
+            )
+    return clustered, report
+
+
 def tenant_seed(master_seed: int, name: str) -> int:
     """The config seed for one tenant: a cryptographic hash of the
     master seed and the tenant name.
@@ -269,10 +323,21 @@ class TenantRegistry:
         mode: str = "local",
         worker_addresses: Sequence[tuple] | None = None,
         obs: Observability | None = None,
+        eval_data=None,
     ):
         self._model = model
         self._decimals = decimals
         self.config = config
+        #: Compression report when ``config.compress_enabled`` (the
+        #: pruned + clustered model is derived once, eagerly, and
+        #: shared by every opted-in tenant — each tenant still builds
+        #: its own keys, plans, and provider state from it).
+        self.compression: dict | None = None
+        self._compressed_model = None
+        if getattr(config, "compress_enabled", False):
+            self._compressed_model, self.compression = \
+                compress_served_model(model, config,
+                                      eval_data=eval_data)
         self.cluster = (cluster if cluster is not None
                         else ClusterSpec.homogeneous(1, 1, 2))
         self.mode = mode
@@ -342,8 +407,8 @@ class TenantRegistry:
             self.obs.registry.counter("serve_tenants_evicted").inc()
         try:
             runtime = TenantRuntime(
-                name, self._model, self._decimals, self.config,
-                self.cluster, mode=self.mode,
+                name, self._model_for(name), self._decimals,
+                self.config, self.cluster, mode=self.mode,
                 worker_addresses=self._worker_addresses,
                 obs=self.obs,
             )
@@ -361,6 +426,18 @@ class TenantRegistry:
             )
         latch.event.set()
         return runtime
+
+    def _model_for(self, name: str):
+        """The model this tenant serves: the compressed form when
+        compression is on and the tenant is opted in
+        (``serve_compress_tenants`` empty = every tenant), else the
+        dense original."""
+        if self._compressed_model is None:
+            return self._model
+        chosen = getattr(self.config, "serve_compress_tenants", ())
+        if chosen and name not in chosen:
+            return self._model
+        return self._compressed_model
 
     def _pick_idle_locked(self) -> TenantRuntime | None:
         """The least-recently-used evictable tenant, or None.

@@ -18,6 +18,7 @@ import numpy as np
 from ..config import DEFAULT_CONFIG, RuntimeConfig
 from ..crypto.engine import PaillierEngine
 from ..crypto.paillier import PaillierPrivateKey
+from ..crypto.sparse import SparseMatvecPlan
 from ..crypto.tensor import EncryptedTensor, PackedEncryptedTensor
 from ..errors import ProtocolError, StreamError
 from ..nn.layers import LayerKind
@@ -81,7 +82,20 @@ def _with_cells(template, cells):
 
 
 class LinearStageExecutor:
-    """Model-provider stage: inverse-obfuscate, affine(s), obfuscate."""
+    """Model-provider stage: inverse-obfuscate, affine(s), obfuscate.
+
+    ``plans`` (parallel to ``affines``; ``None`` entries or ``None``
+    outright mean dense) carries each layer's
+    :class:`~repro.crypto.sparse.SparseMatvecPlan`.  A planned affine
+    runs whole-layer through the engine's compressed ``fc_matvec`` —
+    bit-identical to the dense path — instead of being thread-
+    partitioned: row-block subtasks would fragment exactly the
+    column-level dedup the plan exists for, and the engine brings its
+    own process-pool dispatch for large plans.  ``engine_labels``
+    (e.g. ``{"worker": ..., "tenant": ...}``) label the lazily-built
+    engine's ``paillier_power_cache_entries`` gauge so a fleet
+    worker's caches are attributable per tenant in /metrics.
+    """
 
     def __init__(
         self,
@@ -94,11 +108,20 @@ class LinearStageExecutor:
         final: bool,
         config: RuntimeConfig = DEFAULT_CONFIG,
         obs=None,
+        plans: Sequence[SparseMatvecPlan | None] | None = None,
+        engine_labels: dict | None = None,
     ):
         if threads < 1:
             raise StreamError("executor needs >= 1 thread")
         self.stage_index = stage_index
         self.affines = list(affines)
+        self.plans = (list(plans) if plans is not None
+                      else [None] * len(self.affines))
+        if len(self.plans) != len(self.affines):
+            raise StreamError(
+                f"got {len(self.plans)} matvec plans for "
+                f"{len(self.affines)} affines"
+            )
         self.obfuscator = obfuscator
         self.threads = threads
         self.use_partitioning = use_partitioning
@@ -106,14 +129,15 @@ class LinearStageExecutor:
         self._rng = rng
         self._config = config
         self._obs = obs
+        self._engine_labels = dict(engine_labels or {})
         # Batched crypto engine, created lazily once the first item
         # reveals the session's public key (the model provider side
         # never holds the private key, so no CRT here).
         self._engine: PaillierEngine | None = None
-        self._pool = ThreadPoolExecutor(
-            max_workers=threads,
-            thread_name_prefix=f"repro-linear-{stage_index}",
-        )
+        # Lazily (re)created: a drained pipeline shuts the pool down,
+        # but executors outlive streams — a reused Pipeline must get a
+        # fresh pool, not "cannot schedule new futures after shutdown".
+        self._pool: ThreadPoolExecutor | None = None
         # Static-bias encryption cache (model weights never change):
         # keyed by (affine index, input exponent); lane-packed items
         # use a separate cache keyed additionally by lane geometry.
@@ -130,6 +154,9 @@ class LinearStageExecutor:
                 seed=self._config.seed ^ (0x57E << 8) ^ self.stage_index,
                 obs=self._obs,
                 dispatch_min_items=self._config.dispatch_min_items,
+                backend=self._config.bigint_backend,
+                power_cache_entries=self._config.power_cache_entries,
+                power_cache_labels=self._engine_labels,
             )
         return self._engine
 
@@ -143,7 +170,8 @@ class LinearStageExecutor:
             )
         current = _with_cells(item.tensor, cells)
         for affine_index, affine in enumerate(self.affines):
-            current = self._apply_affine(affine_index, affine, current)
+            current = self._apply_affine(affine_index, affine, current,
+                                         self.plans[affine_index])
         if self.final:
             item.tensor = current
             item.obfuscation_round = None
@@ -179,12 +207,9 @@ class LinearStageExecutor:
 
     def _apply_affine(
         self, affine_index: int, affine: ScaledAffine,
-        tensor: EncryptedTensor
+        tensor: EncryptedTensor,
+        plan: SparseMatvecPlan | None = None,
     ) -> EncryptedTensor:
-        tasks = partition_affine(
-            affine, self.threads,
-            input_partitioning=self.use_partitioning,
-        )
         packed = isinstance(tensor, PackedEncryptedTensor)
         if packed:
             encrypted_bias = self._packed_bias(affine_index, affine,
@@ -203,6 +228,28 @@ class LinearStageExecutor:
 
         engine = self._engine_for(tensor.public_key)
 
+        if plan is not None:
+            # Compressed layer: run whole through the engine's sparse
+            # kernel (partitioned row blocks would split the plan's
+            # per-column dedup; the engine dispatches large plans to
+            # its own process pool).  Bit-identical to the task path.
+            out = tensor.affine(
+                affine.weight,
+                encrypted_bias,
+                self._rng,
+                weight_exponent=affine.decimals,
+                engine=engine,
+                plan=plan,
+            )
+            if out.exponent != out_exponent:
+                raise StreamError("affine exponent bookkeeping mismatch")
+            return out
+
+        tasks = partition_affine(
+            affine, self.threads,
+            input_partitioning=self.use_partitioning,
+        )
+
         def run_task(task):
             sub_input = tensor.gather(task.input_indices)
             return sub_input.affine(
@@ -216,6 +263,11 @@ class LinearStageExecutor:
         if len(tasks) == 1:
             parts = [run_task(tasks[0])]
         else:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.threads,
+                    thread_name_prefix=f"repro-linear-{self.stage_index}",
+                )
             parts = list(self._pool.map(run_task, tasks))
         combined = (PackedEncryptedTensor if packed
                     else EncryptedTensor).concatenate(parts)
@@ -224,7 +276,9 @@ class LinearStageExecutor:
         return combined
 
     def shutdown(self) -> None:
-        self._pool.shutdown(wait=False)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
 
 
 class NonLinearStageExecutor:
@@ -253,10 +307,8 @@ class NonLinearStageExecutor:
         # The data provider's engine (CRT blinding pool + batched
         # decryption); shared across stages like the private key is.
         self._engine = engine
-        self._pool = ThreadPoolExecutor(
-            max_workers=threads,
-            thread_name_prefix=f"repro-nonlinear-{stage_index}",
-        )
+        # Lazily (re)created across streams; see LinearStageExecutor.
+        self._pool: ThreadPoolExecutor | None = None
         if not final and any(a == "softmax" for a in self.activations):
             raise ProtocolError(
                 "SoftMax only allowed in the final stage (Section III-C)"
@@ -277,7 +329,7 @@ class NonLinearStageExecutor:
         if len(tasks) == 1:
             pieces = [decrypt_task(tasks[0])]
         else:
-            pieces = list(self._pool.map(decrypt_task, tasks))
+            pieces = list(self._pool_for().map(decrypt_task, tasks))
         # Packed pieces are (batch, k) blocks: join along positions.
         flat = np.concatenate(pieces, axis=-1)
         for activation in self.activations:
@@ -315,15 +367,25 @@ class NonLinearStageExecutor:
         if len(tasks) == 1:
             parts = [encrypt_task(tasks[0])]
         else:
-            parts = list(self._pool.map(encrypt_task, tasks))
+            parts = list(self._pool_for().map(encrypt_task, tasks))
         item.tensor = (PackedEncryptedTensor if packed
                        else EncryptedTensor).concatenate(parts)
         # The tensor stays in permuted order; the obfuscation round id
         # is carried through untouched for the next linear stage.
         return item
 
+    def _pool_for(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.threads,
+                thread_name_prefix=f"repro-nonlinear-{self.stage_index}",
+            )
+        return self._pool
+
     def shutdown(self) -> None:
-        self._pool.shutdown(wait=False)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
 
 
 def build_executors(
@@ -361,6 +423,7 @@ def build_executors(
                     final=final and stage.index == num_stages - 2,
                     config=model_provider.config,
                     obs=obs,
+                    plans=stage_plan.matvec_plans,
                 )
             )
         else:

@@ -260,18 +260,19 @@ class TestEnginePowerCache:
             pub, private_key=priv, seed=3, power_cache_entries=8,
             obs=Observability(),
         )
-        # 20-bit clustered weights, two clusters per column: big
-        # exponents with enough per-column reuse that the break-even
-        # favors building (and caching) fixed-base tables.
+        # 20-bit clustered weights, sixteen clusters per column: big
+        # exponents with enough *intra-call* per-column reuse that the
+        # break-even favors building (and caching) fixed-base tables
+        # over the shared squaring chain.
         heavy = 1 << 20
-        weights = [[heavy - 1, 0], [heavy - 3, 0],
-                   [0, heavy - 5], [0, heavy - 7]]
+        col = [heavy - k for k in range(1, 32, 2)]
+        weights = [[w, 0] for w in col] + [[0, w] for w in col]
         plan = SparseMatvecPlan.from_dense(weights)
         rng = random.Random(99)
         for round_number in range(30):
             cells = engine.raw_encrypt_many(
                 [rng.randrange(pub.n), rng.randrange(pub.n)])
-            engine.fc_matvec(cells, plan=plan, bias=[1, 1, 1, 1])
+            engine.fc_matvec(cells, plan=plan, bias=[1] * 32)
             assert len(engine.power_cache) <= 8
         assert engine.power_cache.evictions > 0
         gauge = engine.obs.registry.gauge("paillier_power_cache_entries")
@@ -284,10 +285,10 @@ class TestEnginePowerCache:
         pub, priv = keypair
         engine = PaillierEngine(pub, private_key=priv, seed=3)
         heavy = 1 << 20
-        weights = [[heavy - 1, 0], [heavy - 3, 0],
-                   [0, heavy - 5], [0, heavy - 7]]
+        col = [heavy - k for k in range(1, 32, 2)]
+        weights = [[w, 0] for w in col] + [[0, w] for w in col]
         cells = encrypt_cells(engine, [5, 6])
-        bias = encrypt_cells(engine, [0, 0, 0, 0], seed=4)
+        bias = encrypt_cells(engine, [0] * 32, seed=4)
         first = engine.fc_matvec(cells, weights, bias)
         hits_before = engine.power_cache.hits
         second = engine.fc_matvec(cells, weights, bias)

@@ -1,0 +1,164 @@
+"""Power-cache tenancy: fixed-base tables never cross tenant walls.
+
+A fleet worker hosts many tenants' sessions side by side.  Each
+session's engines must own their own :class:`PowerCache` — a shared
+table would leak one tenant's ciphertext-derived bases into another's
+timing/metrics surface — and the ``paillier_power_cache_entries``
+gauge must be labelled per (worker, tenant) so /metrics attributes
+every cache to its owner.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.crypto.serialize import (
+    any_tensor_from_bytes,
+    any_tensor_to_bytes,
+)
+from repro.crypto.tensor import EncryptedTensor
+from repro.net import WorkerServer, build_worker_spec
+from repro.net.transport import (
+    KIND_HELLO,
+    KIND_RESULT,
+    KIND_TASK,
+    KIND_WELCOME,
+    Envelope,
+    dial,
+)
+from repro.net.wire import ROLE_DATA, ROLE_MODEL
+from repro.nn import model_zoo
+from repro.nn.layers import LayerKind
+from repro.observability import Observability
+from repro.planner.allocation import allocate_even
+from repro.planner.plan import ClusterSpec
+from repro.protocol import DataProvider, ModelProvider
+
+TENANTS = ("acme", "globex")
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    return model_zoo.conv_fc(
+        (1, 8, 8), 3, conv_channels=(2,), fc_hidden=8, seed=3,
+        name="tenancy-tiny",
+    )
+
+
+def _tenant_spec(model, tenant, seed, role):
+    config = RuntimeConfig(key_size=128, seed=seed)
+    model_provider = ModelProvider(model, decimals=2, config=config)
+    data_provider = DataProvider(value_decimals=2, config=config)
+    model_provider.register_public_key(data_provider.public_key)
+    plan = allocate_even(model_provider.stages,
+                         ClusterSpec.homogeneous(1, 1, 2)).plan
+    spec = build_worker_spec(model_provider, data_provider, plan,
+                             role, tenant=tenant)
+    return spec, model_provider, data_provider, plan
+
+
+class TestDataRoleEngines:
+    def test_per_tenant_data_engines_and_caches_are_distinct(
+            self, tiny_model):
+        obs = Observability(enabled=True)
+        server = WorkerServer(obs=obs)
+        host, port = server.start()
+        connections = []
+        try:
+            for offset, tenant in enumerate(TENANTS):
+                spec, _, _, _ = _tenant_spec(
+                    tiny_model, tenant, seed=60 + offset,
+                    role=ROLE_DATA,
+                )
+                connection = dial(host, port)
+                connections.append(connection)
+                assert connection.request(
+                    Envelope(KIND_HELLO, spec), timeout=5
+                ).kind == KIND_WELCOME
+            sessions = [server._sessions[t] for t in TENANTS]
+            engines = [s._engine for s in sessions]
+            assert engines[0] is not engines[1]
+            assert engines[0].power_cache is not engines[1].power_cache
+            gauges = {
+                (g["labels"].get("tenant"), g["labels"].get("worker"))
+                for g in obs.registry.snapshot()["gauges"]
+                if g["name"] == "paillier_power_cache_entries"
+            }
+            for tenant in TENANTS:
+                assert (tenant, str(port)) in gauges
+        finally:
+            for connection in connections:
+                connection.close()
+            server.stop(abort=True)
+
+
+class TestModelRoleEngines:
+    def test_per_tenant_executor_engines_never_share_caches(
+            self, tiny_model):
+        """Model-side executor engines are lazy — run one linear task
+        per tenant, then check the materialized engines and their
+        fixed-base caches are per-tenant objects, with both tenants'
+        gauges exposed in the shared registry."""
+        obs = Observability(enabled=True)
+        server = WorkerServer(obs=obs)
+        host, port = server.start()
+        connections = []
+        try:
+            stage_index = None
+            for offset, tenant in enumerate(TENANTS):
+                spec, model_provider, data_provider, plan = \
+                    _tenant_spec(tiny_model, tenant, seed=70 + offset,
+                                 role=ROLE_MODEL)
+                linear = [s.index for s in plan.stages
+                          if s.kind is LayerKind.LINEAR]
+                stage_index = linear[-1]
+                affine = model_provider._linear_plans[stage_index] \
+                    .affines[0]
+                in_dim = affine.weight.shape[1]
+                x = np.arange(in_dim) % 5
+                tensor = EncryptedTensor.encrypt(
+                    x, data_provider.public_key, exponent=0,
+                    engine=data_provider.engine,
+                )
+                connection = dial(host, port)
+                connections.append(connection)
+                assert connection.request(
+                    Envelope(KIND_HELLO, spec), timeout=5
+                ).kind == KIND_WELCOME
+                reply = connection.request(Envelope(
+                    KIND_TASK,
+                    {"request_id": offset,
+                     "stage_index": stage_index,
+                     "obfuscation_round": None,
+                     "trace_id": None, "trace_parent": None},
+                    payload=any_tensor_to_bytes(tensor),
+                ), timeout=10)
+                assert reply.kind == KIND_RESULT
+                out = any_tensor_from_bytes(
+                    reply.payload, data_provider.public_key
+                )
+                expected = affine.apply_plain(x, input_exponent=0)
+                assert np.array_equal(
+                    out.decrypt(data_provider._private_key), expected
+                )
+            engines = [
+                server._sessions[t]._executors[stage_index]._engine
+                for t in TENANTS
+            ]
+            assert None not in engines
+            assert engines[0] is not engines[1]
+            assert engines[0].power_cache is not engines[1].power_cache
+            # Different keypairs: a shared cache could not even be
+            # correct, but the isolation must hold structurally.
+            assert engines[0].public_key.n != engines[1].public_key.n
+            gauges = {
+                (g["labels"].get("tenant"), g["labels"].get("worker"))
+                for g in obs.registry.snapshot()["gauges"]
+                if g["name"] == "paillier_power_cache_entries"
+            }
+            for tenant in TENANTS:
+                assert (tenant, str(port)) in gauges
+        finally:
+            for connection in connections:
+                connection.close()
+            server.stop(abort=True)

@@ -84,6 +84,28 @@ class TestPipelineCorrectness:
         assert "bottleneck" in report
         assert "req/s" in report
 
+    def test_pipeline_reusable_across_streams(self,
+                                              breast_pipeline_parts,
+                                              breast_dataset):
+        """Regression: run_stream's drain shuts each executor's thread
+        pool down, but the executors outlive the stream — a second
+        run_stream on the same Pipeline dead-lettered every request
+        with 'cannot schedule new futures after shutdown' wherever a
+        stage partitioned into more than one task.  Pools are now
+        recreated lazily per stream."""
+        _, model_provider, data_provider, plan = breast_pipeline_parts
+        pipeline = Pipeline(model_provider, data_provider, plan)
+        inputs = list(breast_dataset.test_x[:2])
+        first = pipeline.run_stream(inputs)
+        second = pipeline.run_stream(inputs)
+        assert not first.dead_letters and not second.dead_letters
+        assert len(second.results) == len(inputs)
+        first_by_id = sorted(first.results, key=lambda r: r.request_id)
+        second_by_id = sorted(second.results,
+                              key=lambda r: r.request_id)
+        assert [r.prediction for r in second_by_id] \
+            == [r.prediction for r in first_by_id]
+
     def test_empty_stream_rejected(self, breast_pipeline_parts):
         _, model_provider, data_provider, plan = breast_pipeline_parts
         pipeline = Pipeline(model_provider, data_provider, plan)
