@@ -20,13 +20,21 @@ Commands:
   gmpy2 bigint backend) and writes ``BENCH_compress.json``;
   ``--session`` adds dense-vs-compressed end-to-end session rows
   (in-process, threaded stream, and TCP fleet, bit-identity gated).
+  With ``--elastic`` it benchmarks the elastic fleet instead
+  (docs/ELASTIC.md) — throughput before/during/after a live worker
+  join, a telemetry-driven rebalance, a hard worker kill, and a
+  drain, bit-identity gated — writing ``BENCH_elastic.json``.
 * ``metrics [--workload session|stream] [--format json|prometheus]
   [--traces]`` — run a small workload with observability enabled
   (docs/OBSERVABILITY.md) and dump the metrics registry, optionally
   followed by the reconstructed span trees.
-* ``worker --listen HOST:PORT`` — run one remote stage worker serving
-  framed TCP (docs/DISTRIBUTED.md); prints ``worker listening on
-  HOST:PORT`` once bound (port 0 picks a free port).
+* ``worker --listen HOST:PORT [--join HOST:PORT --role R]`` — run one
+  remote stage worker serving framed TCP (docs/DISTRIBUTED.md);
+  prints ``worker listening on HOST:PORT`` once bound (port 0 picks a
+  free port).  ``--join`` additionally registers the worker with a
+  running elastic coordinator's membership listener mid-stream
+  (docs/ELASTIC.md), printing ``joined fleet as server ID (epoch
+  E)``.
 * ``serve --workers N [--verify] [--kill-one]`` — spawn N local worker
   processes, deploy a plan across them, and stream encrypted inference
   over localhost TCP; ``--verify`` checks the results are bit-identical
@@ -43,7 +51,7 @@ Commands:
   shed/terminal accounting, and cross-tenant decrypt probes.
 * ``soak [--duration S] [--seed N] [--scenarios LIST] [--out PATH]``
   — run the heavy-traffic soak harness (docs/SOAK.md): mixed
-  single/packed/faulted/chaos/kill/serve workloads with leak
+  single/packed/faulted/chaos/kill/serve/elastic workloads with leak
   sentinels,
   writing ``BENCH_soak.json``; exits non-zero on any leaked
   thread/fd, RSS growth over tolerance, output drift, or unexpected
@@ -154,6 +162,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: bad --key-sizes {args.key_sizes!r}",
               file=sys.stderr)
         return 2
+    if args.elastic:
+        from .bench import render_elastic_bench, run_elastic_bench
+
+        out = args.out
+        if out == "BENCH_paillier.json":
+            out = "BENCH_elastic.json"
+        results = run_elastic_bench(
+            key_size=min(key_sizes),
+            seed=args.seed,
+            samples=args.elastic_samples,
+            progress=print,
+        )
+        write_bench_json(results, out)
+        print(render_elastic_bench(results))
+        print(f"wrote {out}")
+        return 0 if results["ok"] else 1
     if args.compress:
         from .bench import render_compress_bench, run_compress_bench
 
@@ -307,7 +331,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    from .errors import TransportError
+    from .errors import ClusterMembershipError, TransportError
     from .net import WorkerServer
 
     try:
@@ -324,6 +348,34 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     # The exact line the serve command (and any orchestrator) parses
     # to learn an ephemeral port.
     print(f"worker listening on {host}:{port}", flush=True)
+    if args.join:
+        # Register with a running elastic coordinator's membership
+        # listener (docs/ELASTIC.md).  The accept loop must already be
+        # serving — the coordinator dials back — so start it in the
+        # background and idle on the main thread.
+        import time
+
+        try:
+            join_host, _, join_port = args.join.rpartition(":")
+            server.start()
+            reply = server.join_fleet(
+                join_host or "127.0.0.1", int(join_port),
+                args.role, cores=args.cores,
+            )
+        except (ValueError, ClusterMembershipError,
+                TransportError) as exc:
+            print(f"error: cannot join fleet at {args.join!r}: {exc}",
+                  file=sys.stderr)
+            server.stop()
+            return 1
+        print(f"joined fleet as server {reply['server_id']} "
+              f"(epoch {reply['epoch']})", flush=True)
+        try:
+            while server.running:
+                time.sleep(0.5)
+        except KeyboardInterrupt:
+            server.stop()
+        return 0
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -561,6 +613,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             url=args.url,
             out=args.out,
             model=args.model,
+            submit_retries=args.submit_retries,
+            retry_after_cap=args.retry_after_cap,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -720,6 +774,17 @@ def main(argv: list[str] | None = None) -> int:
                        help="model-zoo key for the --session leg "
                             "(default: mnist-1, whose wide linear "
                             "layers dominate end-to-end cost)")
+    bench.add_argument("--elastic", action="store_true",
+                       help="run the elastic-fleet benchmark instead: "
+                            "throughput before/during/after a live "
+                            "join, rebalance, kill and drain (writes "
+                            "BENCH_elastic.json unless --out is "
+                            "given; uses the smallest --key-sizes "
+                            "entry)")
+    bench.add_argument("--elastic-samples", type=int, default=6,
+                       dest="elastic_samples",
+                       help="requests per streaming phase for "
+                            "--elastic (default: 6)")
     bench.add_argument("--no-accuracy", action="store_true",
                        dest="no_accuracy",
                        help="skip the model-zoo accuracy measurement "
@@ -766,6 +831,17 @@ def main(argv: list[str] | None = None) -> int:
                         default=64 * 1024 * 1024,
                         dest="max_frame_bytes",
                         help="transport frame ceiling in bytes")
+    worker.add_argument("--join", default=None,
+                        help="HOST:PORT of a running elastic "
+                             "coordinator's membership listener to "
+                             "register with (docs/ELASTIC.md)")
+    worker.add_argument("--role", choices=("model", "data"),
+                        default="model",
+                        help="cluster role to join as (default: "
+                             "model)")
+    worker.add_argument("--cores", type=int, default=2,
+                        help="advertised core count for the planner "
+                             "(default: 2)")
     worker.set_defaults(func=_cmd_worker)
 
     serve = subparsers.add_parser(
@@ -883,6 +959,14 @@ def main(argv: list[str] | None = None) -> int:
     loadgen.add_argument("--out", default="BENCH_serve.json",
                          help="report path (default: "
                               "BENCH_serve.json)")
+    loadgen.add_argument("--submit-retries", type=int, default=2,
+                         dest="submit_retries",
+                         help="extra submit attempts after a 429/503 "
+                              "carrying Retry-After (default: 2)")
+    loadgen.add_argument("--retry-after-cap", type=float, default=2.0,
+                         dest="retry_after_cap",
+                         help="per-sleep bound in seconds on an "
+                              "honored Retry-After (default: 2.0)")
     loadgen.set_defaults(func=_cmd_loadgen)
 
     soak = subparsers.add_parser(
@@ -899,8 +983,8 @@ def main(argv: list[str] | None = None) -> int:
                            "and chaos scripts (default: 7)")
     soak.add_argument("--scenarios", "--scenario", default=None,
                       help="comma-separated subset of "
-                           "single,packed,faulted,chaos,kill,serve "
-                           "(default: all)")
+                           "single,packed,faulted,chaos,kill,serve,"
+                           "elastic (default: all)")
     soak.add_argument("--key-size", type=int, default=128,
                       dest="key_size",
                       help="Paillier key size for the non-packed "

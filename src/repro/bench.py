@@ -1139,6 +1139,290 @@ def render_compress_bench(results: dict) -> str:
     return "\n".join(lines)
 
 
+def run_elastic_bench(
+    key_size: int = 128,
+    seed: int = 0,
+    samples: int = 6,
+    join_cores: int = 6,
+    progress=lambda text: None,
+) -> dict:
+    """End-to-end elastic-fleet benchmark: the BENCH_elastic.json leg.
+
+    Walks one fleet through its whole elastic lifecycle
+    (docs/ELASTIC.md) and records throughput at every step:
+
+    1. **before** — a 2-worker fleet (one model, one data role)
+       streams ``samples`` encrypted requests.
+    2. **during_join** — the same stream runs again while a third
+       worker registers over the wire (``join_fleet`` against the
+       membership listener, mid-stream).
+    3. **rebalance** — a :class:`~repro.cluster.rebalancer.Rebalancer`
+       reads the queue-depth high-water marks and measured service
+       times the streams left behind and must apply a plan that moves
+       stages onto the joined member (it advertises ``join_cores``
+       cores against the originals' two, so water-filling provably
+       prefers it).
+    4. **after_join** — streams on the new plan; the per-worker
+       labeled ``net_stage_roundtrip_seconds`` series must show the
+       joined member doing real work.
+    5. **during_kill** — an original model worker is hard-killed
+       mid-stream; heartbeat failover must finish the stream with
+       zero dead letters.
+    6. **after_drain** — the dead member's slot is drained
+       (``drain_member``), and a final stream runs on the shrunk
+       fleet.
+
+    Every streamed phase is gated on zero dead letters and
+    bit-identity with an in-process reference pipeline; ``ok`` in the
+    returned document ands all gates together (the CLI exits non-zero
+    when it is False).
+    """
+    import threading
+
+    from .cluster import ElasticCoordinator, Rebalancer
+    from .config import RuntimeConfig
+    from .net import WorkerServer
+    from .nn import model_zoo
+    from .observability import NULL_TRACER, Observability
+    from .planner.allocation import allocate_even
+    from .planner.plan import ClusterSpec
+    from .protocol import DataProvider, ModelProvider
+    from .stream import Pipeline, RetryPolicy
+
+    if samples < 2:
+        raise ReproError("the elastic bench needs >= 2 samples "
+                         "(joins and kills land mid-stream)")
+    model = model_zoo.conv_fc(
+        (1, 8, 8), 3, conv_channels=(2,), fc_hidden=8, seed=3,
+        name="elastic-bench",
+    )
+    decimals = 2
+    config = RuntimeConfig(
+        key_size=key_size, seed=seed,
+    ).with_net(
+        heartbeat_interval=0.2, heartbeat_timeout=2.0,
+    ).with_cluster(
+        backlog_high=1.0, backlog_low=0.0, rebalance_cooldown=0.0,
+        min_service_samples=1,
+    )
+    obs = Observability(enabled=True, tracer=NULL_TRACER)
+    rng = np.random.default_rng(seed)
+    inputs = [rng.uniform(0, 1, (1, 8, 8)) for _ in range(samples)]
+
+    def providers(with_obs):
+        return (
+            ModelProvider(model, decimals=decimals, config=config,
+                          obs=obs if with_obs else None),
+            DataProvider(value_decimals=decimals, config=config,
+                         obs=obs if with_obs else None),
+        )
+
+    # The seed fleet: one model worker, one data worker, two cores
+    # each (the 8-stage tiny model needs capacity >= 4 per role for
+    # the even baseline to be feasible).
+    cluster = ClusterSpec.homogeneous(1, 1, 2)
+    model_provider, data_provider = providers(True)
+    plan = allocate_even(model_provider.stages, cluster).plan
+    reference = {
+        r.request_id: r.probabilities
+        for r in Pipeline(*providers(False), plan)
+        .run_stream(inputs).results
+    }
+
+    results: dict = {
+        "benchmark": "elastic",
+        "schema": "elastic/1",
+        "key_size": key_size,
+        "seed": seed,
+        "samples": samples,
+        "phases": {},
+        "ok": True,
+    }
+
+    def record_phase(name: str, stats) -> None:
+        identical = all(
+            np.array_equal(r.probabilities, reference[r.request_id])
+            for r in stats.results
+        ) and len(stats.results) == len(inputs)
+        row = {
+            "wall_seconds": stats.wall_time,
+            "completed": len(stats.results),
+            "req_per_s": (len(stats.results) / stats.wall_time
+                          if stats.wall_time > 0 else 0.0),
+            "dead_letters": len(stats.dead_letters),
+            "bit_identical": identical,
+        }
+        results["phases"][name] = row
+        if stats.dead_letters or not identical:
+            results["ok"] = False
+        progress(f"  {name}: {row['req_per_s']:.2f} req/s, "
+                 f"{row['dead_letters']} dead letters, "
+                 f"bit-identical={identical}")
+
+    servers = [WorkerServer(obs=obs), WorkerServer(obs=obs)]
+    addresses = [server.start() for server in servers]
+    spare = WorkerServer(obs=obs)
+    spare_address = spare.start()
+    coordinator = ElasticCoordinator(
+        model_provider, data_provider, plan, addresses,
+        retry_policy=RetryPolicy(max_retries=3, base_delay=0.05),
+    )
+    try:
+        with coordinator:
+            results["epoch_initial"] = coordinator.state.epoch
+            progress("phase: before (2-worker fleet)")
+            record_phase("before", coordinator.run_stream(inputs))
+
+            # Join over the wire, mid-stream: the stream runs in the
+            # background while the spare dials the membership
+            # listener and the coordinator dials back.
+            progress("phase: during_join (third worker joins live)")
+            membership_host, membership_port = \
+                coordinator.membership_address
+            stream_box: dict = {}
+
+            def _stream():
+                stream_box["stats"] = coordinator.run_stream(inputs)
+
+            streamer = threading.Thread(
+                target=_stream, name="repro-elastic-bench-stream",
+            )
+            streamer.start()
+            time.sleep(0.2)
+            announce = spare.join_fleet(
+                membership_host, membership_port, "model",
+                cores=join_cores,
+            )
+            streamer.join()
+            record_phase("during_join", stream_box["stats"])
+            joined_id = announce["server_id"]
+            results["join"] = {
+                "server_id": joined_id,
+                "epoch": announce["epoch"],
+                "role": announce["role"],
+                "cores": join_cores,
+            }
+
+            # Telemetry-driven re-plan: the high-water queue depths
+            # and measured service times from the first two streams
+            # must push stages onto the joined (bigger) member.
+            old_assignments = {a.stage_index: a.server_id
+                               for a in coordinator.plan.assignments}
+            rebalancer = Rebalancer(coordinator, watermark="high")
+            applied = rebalancer.step()
+            new_assignments = {a.stage_index: a.server_id
+                               for a in coordinator.plan.assignments}
+            moved = sorted(
+                stage for stage, server in new_assignments.items()
+                if old_assignments[stage] != server
+            )
+            on_joined = sorted(
+                stage for stage, server in new_assignments.items()
+                if server == joined_id
+            )
+            results["rebalance"] = {
+                "applied": applied,
+                "moved_stages": moved,
+                "stages_on_joined": on_joined,
+                "peak_backlog": max(
+                    rebalancer.backlog_by_stage().values(),
+                    default=0.0,
+                ),
+            }
+            if not applied or not on_joined:
+                results["ok"] = False
+            progress(f"rebalance: applied={applied}, moved stages "
+                     f"{moved} (on joined member: {on_joined})")
+
+            progress("phase: after_join (re-planned fleet)")
+            record_phase("after_join", coordinator.run_stream(inputs))
+            joined_roundtrips = sum(
+                hist.count for labels, hist in obs.registry.find(
+                    "histogram", "net_stage_roundtrip_seconds")
+                if labels.get("worker") == str(joined_id)
+            )
+            results["join"]["labeled_roundtrips"] = joined_roundtrips
+            if not joined_roundtrips:
+                results["ok"] = False
+
+            # Hard-kill an original model worker mid-stream: the
+            # heartbeat failover (not the drain path) must carry the
+            # stream home.
+            progress("phase: during_kill (worker 0 hard-killed)")
+            assassin = threading.Timer(
+                0.2, lambda: servers[0].stop(abort=True)
+            )
+            assassin.start()
+            try:
+                record_phase("during_kill",
+                             coordinator.run_stream(inputs))
+            finally:
+                assassin.join()
+
+            # Retire the dead slot for real: the drain re-plans
+            # around it and quiesces whatever is left.
+            drain_epoch = coordinator.drain_member(0)
+            results["drain"] = {
+                "server_id": 0,
+                "epoch": drain_epoch,
+                "present_members": len(
+                    coordinator.state.snapshot().present()
+                ),
+            }
+            progress(f"drained server 0 (epoch {drain_epoch})")
+            progress("phase: after_drain (shrunk fleet)")
+            record_phase("after_drain",
+                         coordinator.run_stream(inputs))
+            results["epoch_final"] = coordinator.state.epoch
+    finally:
+        for server in servers + [spare]:
+            server.stop(abort=True)
+    return results
+
+
+def render_elastic_bench(results: dict) -> str:
+    """Human-readable summary of an elastic BENCH document."""
+    lines = [
+        f"Elastic fleet benchmark (key={results['key_size']}, "
+        f"{results['samples']} requests per phase)",
+        f"{'phase':<14} {'req/s':>8} {'wall s':>8} "
+        f"{'dead':>5} {'bit-identical':>14}",
+    ]
+    for name in ("before", "during_join", "after_join",
+                 "during_kill", "after_drain"):
+        row = results["phases"].get(name)
+        if row is None:
+            continue
+        lines.append(
+            f"{name:<14} {row['req_per_s']:>8.2f} "
+            f"{row['wall_seconds']:>8.2f} {row['dead_letters']:>5} "
+            f"{str(row['bit_identical']):>14}"
+        )
+    join = results.get("join", {})
+    rebalance = results.get("rebalance", {})
+    if join:
+        lines.append(
+            f"join: server {join['server_id']} "
+            f"({join['cores']} cores) at epoch {join['epoch']}, "
+            f"{join.get('labeled_roundtrips', 0)} labeled "
+            "round trips after re-plan"
+        )
+    if rebalance:
+        lines.append(
+            f"rebalance: applied={rebalance['applied']}, stages "
+            f"{rebalance['moved_stages']} moved "
+            f"(peak backlog {rebalance['peak_backlog']:.1f})"
+        )
+    if results.get("drain"):
+        lines.append(
+            f"drain: server {results['drain']['server_id']} retired "
+            f"at epoch {results['drain']['epoch']}, "
+            f"{results['drain']['present_members']} members remain"
+        )
+    lines.append("verdict: " + ("OK" if results["ok"] else "BROKEN"))
+    return "\n".join(lines)
+
+
 def write_bench_json(results: dict, path: str) -> None:
     """Write a BENCH JSON document (stable formatting for diffs)."""
     with open(path, "w") as handle:

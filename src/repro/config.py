@@ -218,6 +218,21 @@ class RuntimeConfig:
             (the bench gate, and serving when the gateway is handed
             an eval set); pruning backs off its sparsity target to
             stay inside the budget.
+        cluster_backlog_high: per-stage queue depth at which the
+            :class:`~repro.cluster.rebalancer.Rebalancer` triggers an
+            online re-plan (docs/ELASTIC.md).
+        cluster_backlog_low: depth the backlog must fall below before
+            the trigger re-arms (hysteresis; must be <= the high
+            threshold).
+        cluster_rebalance_cooldown: minimum seconds between two
+            applied re-plans, so a noisy gauge cannot thrash plans.
+        cluster_rebalance_interval: period of the rebalancer's
+            background control loop when started as a thread.
+        cluster_min_service_samples: observations a stage's
+            service-time histogram needs before its measured mean is
+            trusted as a planner input.
+        cluster_join_timeout: deadline for the join/announce round
+            trip against the coordinator's membership listener.
     """
 
     key_size: int = DEFAULT_KEY_SIZE
@@ -267,6 +282,12 @@ class RuntimeConfig:
     compress_sparsity: float = 0.7
     compress_clusters: int = 8
     compress_accuracy_budget: float = 0.01
+    cluster_backlog_high: float = 8.0
+    cluster_backlog_low: float = 2.0
+    cluster_rebalance_cooldown: float = 5.0
+    cluster_rebalance_interval: float = 1.0
+    cluster_min_service_samples: int = 3
+    cluster_join_timeout: float = 10.0
 
     def __post_init__(self) -> None:
         if self.key_size < 64:
@@ -445,6 +466,42 @@ class RuntimeConfig:
                 "compress_accuracy_budget must be non-negative, got "
                 f"{self.compress_accuracy_budget}"
             )
+        if self.cluster_backlog_high <= 0:
+            raise ConfigurationError(
+                "cluster_backlog_high must be positive, got "
+                f"{self.cluster_backlog_high}"
+            )
+        if self.cluster_backlog_low < 0:
+            raise ConfigurationError(
+                "cluster_backlog_low must be non-negative, got "
+                f"{self.cluster_backlog_low}"
+            )
+        if self.cluster_backlog_low > self.cluster_backlog_high:
+            raise ConfigurationError(
+                "cluster_backlog_low must be <= cluster_backlog_high "
+                f"({self.cluster_backlog_low} > "
+                f"{self.cluster_backlog_high})"
+            )
+        if self.cluster_rebalance_cooldown < 0:
+            raise ConfigurationError(
+                "cluster_rebalance_cooldown must be non-negative "
+                f"seconds, got {self.cluster_rebalance_cooldown}"
+            )
+        if self.cluster_rebalance_interval <= 0:
+            raise ConfigurationError(
+                "cluster_rebalance_interval must be positive seconds, "
+                f"got {self.cluster_rebalance_interval}"
+            )
+        if self.cluster_min_service_samples < 1:
+            raise ConfigurationError(
+                "cluster_min_service_samples must be >= 1, got "
+                f"{self.cluster_min_service_samples}"
+            )
+        if self.cluster_join_timeout <= 0:
+            raise ConfigurationError(
+                "cluster_join_timeout must be positive seconds, got "
+                f"{self.cluster_join_timeout}"
+            )
 
     def with_key_size(self, key_size: int) -> "RuntimeConfig":
         """Return a copy of this config with a different key size."""
@@ -601,6 +658,29 @@ class RuntimeConfig:
             "compress_clusters": clusters,
             "compress_accuracy_budget": accuracy_budget,
             "serve_compress_tenants": tenants,
+        }
+        return replace(self, **{key: value
+                                for key, value in updates.items()
+                                if value is not None})
+
+    def with_cluster(
+        self,
+        backlog_high: float | None = None,
+        backlog_low: float | None = None,
+        rebalance_cooldown: float | None = None,
+        rebalance_interval: float | None = None,
+        min_service_samples: int | None = None,
+        join_timeout: float | None = None,
+    ) -> "RuntimeConfig":
+        """Return a copy with the elastic-fleet knobs replaced
+        (omitted ones keep their current values)."""
+        updates = {
+            "cluster_backlog_high": backlog_high,
+            "cluster_backlog_low": backlog_low,
+            "cluster_rebalance_cooldown": rebalance_cooldown,
+            "cluster_rebalance_interval": rebalance_interval,
+            "cluster_min_service_samples": min_service_samples,
+            "cluster_join_timeout": join_timeout,
         }
         return replace(self, **{key: value
                                 for key, value in updates.items()

@@ -156,6 +156,17 @@ class TenantRejectedError(TenantError):
     succeed until an operator (or idle eviction) frees a slot."""
 
 
+class ClusterError(ReproError):
+    """The elastic-fleet subsystem was misused or failed
+    (docs/ELASTIC.md)."""
+
+
+class ClusterMembershipError(ClusterError):
+    """A membership operation was refused: joining a fleet that is not
+    accepting members, draining an unknown member, or draining the
+    last worker of a role (which would strand that role's stages)."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was misconfigured."""
 

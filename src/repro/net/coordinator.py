@@ -105,6 +105,10 @@ class WorkerHandle:
         self.role = role
         self.address = address
         self.alive = False
+        #: Set while an elastic coordinator drains this member out of
+        #: the fleet (docs/ELASTIC.md): the slot takes no failover
+        #: traffic and its failures spawn no recovery loop.
+        self.draining = False
         self.generation = 0
         self.restarts = 0
         self.reconnects = 0
@@ -211,6 +215,24 @@ class RemoteStageExecutor:
         self._m_reassigned = coordinator.obs.registry.counter(
             "net_inflight_reassigned", stage=str(stage_index)
         )
+        # Per-worker twins of the roundtrip histogram, so backlog and
+        # latency attribute to a specific member (the unlabeled-by-
+        # worker aggregate above stays for dashboard compatibility).
+        self._worker_roundtrips: dict[str, object] = {}
+        #: Server id of the worker that served the most recent item;
+        #: the stream's :class:`~repro.stream.worker.StageWorker`
+        #: mirrors it onto a worker-labeled queue-depth gauge.
+        self.worker_label: str | None = None
+
+    def _roundtrip_for(self, label: str):
+        hist = self._worker_roundtrips.get(label)
+        if hist is None:
+            hist = self.coordinator.obs.registry.histogram(
+                "net_stage_roundtrip_seconds",
+                stage=str(self.stage_index), worker=label,
+            )
+            self._worker_roundtrips[label] = hist
+        return hist
 
     def _channel_for(self, handle: WorkerHandle) -> RemoteChannel:
         key = (handle.server_id, handle.generation)
@@ -226,6 +248,8 @@ class RemoteStageExecutor:
         handle = self.coordinator.pick_worker(self.role,
                                               self.stage_index)
         generation = handle.generation
+        label = str(handle.server_id)
+        self.worker_label = label
         channel = self._channel_for(handle)
         start = time.perf_counter()
         try:
@@ -239,7 +263,9 @@ class RemoteStageExecutor:
                 f"stage {self.stage_index} round trip to "
                 f"{handle.describe()} failed: {exc}"
             ) from exc
-        self._m_roundtrip.observe(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        self._m_roundtrip.observe(elapsed)
+        self._roundtrip_for(label).observe(elapsed)
         return item
 
     def shutdown(self) -> None:
@@ -409,17 +435,25 @@ class Coordinator:
         if self._connected:
             return
         for handle in self.handles:
-            self._attach(handle)
+            if not handle.draining:
+                self._attach(handle)
         self._connected = True
         self._stop_monitor.clear()
         for handle in self.handles:
-            thread = threading.Thread(
-                target=self._probe_loop, args=(handle,),
-                name=f"repro-coordinator-heartbeat-{handle.server_id}",
-                daemon=True,
-            )
-            self._monitors.append(thread)
-            thread.start()
+            if not handle.draining:
+                self._start_probe(handle)
+
+    def _start_probe(self, handle: WorkerHandle) -> None:
+        """Start one heartbeat probe thread for a handle (called from
+        :meth:`connect` for the initial fleet, and again for each
+        member an elastic coordinator admits mid-stream)."""
+        thread = threading.Thread(
+            target=self._probe_loop, args=(handle,),
+            name=f"repro-coordinator-heartbeat-{handle.server_id}",
+            daemon=True,
+        )
+        self._monitors.append(thread)
+        thread.start()
 
     def _probe_loop(self, handle: WorkerHandle) -> None:
         interval = self.config.net_heartbeat_interval
@@ -428,6 +462,8 @@ class Coordinator:
         )
         nonce = 0
         while not self._stop_monitor.wait(interval):
+            if handle.draining:
+                return  # the member left the fleet; nothing to probe
             control = handle.control
             if not handle.alive or control is None:
                 continue
@@ -484,7 +520,8 @@ class Coordinator:
             handle.alive = False
             handle.generation += 1
             recovery_generation = handle.generation
-            recover = not self._stop_monitor.is_set()
+            recover = (not self._stop_monitor.is_set()
+                       and not handle.draining)
         self._m_deaths.inc()
         self.obs.tracer.event(
             "worker-death", server=handle.server_id, role=handle.role
@@ -575,10 +612,11 @@ class Coordinator:
         assigned = self.plan.assignments[stage_index].server_id
         with self._lock:
             preferred = self.handles[assigned]
-            if preferred.alive:
+            if preferred.alive and not preferred.draining:
                 return preferred
             for handle in self.handles:
-                if handle.role == role and handle.alive:
+                if handle.role == role and handle.alive \
+                        and not handle.draining:
                     return handle
         raise TransientStageError(
             f"no live {role} worker for stage {stage_index} "

@@ -10,7 +10,10 @@ payload bytes.  All integers are big-endian.
 
 Envelope kinds mirror the protocol's message types: ``hello`` /
 ``welcome`` (handshake), ``task`` / ``result`` / ``error`` (stage
-work), ``heartbeat`` / ``heartbeat-ack`` (liveness), ``shutdown``.
+work), ``heartbeat`` / ``heartbeat-ack`` (liveness), ``shutdown``,
+and the membership trio ``join`` / ``leave`` / ``announce``
+(docs/ELASTIC.md) spoken against the coordinator's membership
+listener rather than a worker.
 
 Both directions enforce a hard frame-size ceiling
 (:attr:`~repro.config.RuntimeConfig.net_max_frame_bytes`): oversized
@@ -51,6 +54,9 @@ KIND_ERROR = "error"
 KIND_HEARTBEAT = "heartbeat"
 KIND_HEARTBEAT_ACK = "heartbeat-ack"
 KIND_SHUTDOWN = "shutdown"
+KIND_JOIN = "join"
+KIND_LEAVE = "leave"
+KIND_ANNOUNCE = "announce"
 
 _KIND_TO_BYTE = {
     KIND_HELLO: 1,
@@ -61,6 +67,9 @@ _KIND_TO_BYTE = {
     KIND_HEARTBEAT: 6,
     KIND_HEARTBEAT_ACK: 7,
     KIND_SHUTDOWN: 8,
+    KIND_JOIN: 9,
+    KIND_LEAVE: 10,
+    KIND_ANNOUNCE: 11,
 }
 _BYTE_TO_KIND = {byte: kind for kind, byte in _KIND_TO_BYTE.items()}
 

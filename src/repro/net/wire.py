@@ -37,7 +37,10 @@ from ..nn.layers import LayerKind
 from ..scaling.fixed_point import ScaledAffine
 from ..stream.executors import StreamItem
 from .transport import (
+    KIND_ANNOUNCE,
     KIND_ERROR,
+    KIND_JOIN,
+    KIND_LEAVE,
     KIND_RESULT,
     KIND_TASK,
     VERSION,
@@ -355,3 +358,91 @@ def raise_remote_error(envelope: Envelope) -> None:
     if classification == CLASS_PERMANENT:
         raise PoisonedRequestError(message)
     raise RuntimeError(message)
+
+
+# -- membership traffic (docs/ELASTIC.md) -------------------------------
+#
+# Spoken worker -> coordinator against the coordinator's membership
+# listener, not against a worker's task port.  ``join`` advertises the
+# worker's own listen address (the coordinator dials *back* with the
+# normal hello handshake); ``announce`` is the coordinator's reply for
+# both joins and leaves, carrying the new membership epoch.
+
+
+def join_envelope(host: str, port: int, role: str,
+                  cores: int) -> Envelope:
+    """A worker's request to join a running fleet."""
+    if role not in (ROLE_MODEL, ROLE_DATA):
+        raise TransportError(f"unknown worker role {role!r}")
+    return Envelope(KIND_JOIN, header={
+        "version": VERSION,
+        "host": str(host),
+        "port": int(port),
+        "role": role,
+        "cores": int(cores),
+    })
+
+
+def join_from_envelope(envelope: Envelope) -> tuple:
+    """``(host, port, role, cores)`` from a join envelope, validated."""
+    header = envelope.header
+    try:
+        host = str(header["host"])
+        port = int(header["port"])
+        role = header["role"]
+        cores = int(header["cores"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TransportError(f"malformed join envelope: {exc}") from exc
+    if header.get("version") != VERSION:
+        raise TransportError(
+            f"join speaks protocol version {header.get('version')} "
+            f"(speaking {VERSION})"
+        )
+    if role not in (ROLE_MODEL, ROLE_DATA):
+        raise TransportError(f"unknown worker role {role!r}")
+    if not 0 < port < 65536:
+        raise TransportError(f"join advertises invalid port {port}")
+    if cores < 1:
+        raise TransportError(f"join advertises {cores} cores")
+    return host, port, role, cores
+
+
+def leave_envelope(server_id: int) -> Envelope:
+    """A request to drain one member out of the fleet."""
+    return Envelope(KIND_LEAVE, header={
+        "version": VERSION,
+        "server_id": int(server_id),
+    })
+
+
+def leave_from_envelope(envelope: Envelope) -> int:
+    try:
+        return int(envelope.header["server_id"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TransportError(f"malformed leave envelope: {exc}") from exc
+
+
+def announce_envelope(epoch: int, server_id: int, role: str,
+                      status: str) -> Envelope:
+    """The coordinator's membership reply (join ack / leave ack)."""
+    return Envelope(KIND_ANNOUNCE, header={
+        "epoch": int(epoch),
+        "server_id": int(server_id),
+        "role": role,
+        "status": status,
+    })
+
+
+def announce_from_envelope(envelope: Envelope) -> dict:
+    header = envelope.header
+    try:
+        return {
+            "epoch": int(header["epoch"]),
+            "server_id": int(header["server_id"]),
+            "role": str(header["role"]),
+            "status": str(header["status"]),
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TransportError(
+            f"malformed announce envelope: {exc}"
+        ) from exc

@@ -42,6 +42,7 @@ from ..crypto.serialize import (
     public_key_from_json,
 )
 from ..errors import (
+    ClusterMembershipError,
     HandshakeError,
     PoisonedRequestError,
     ProtocolError,
@@ -55,6 +56,8 @@ from ..stream.executors import (
     NonLinearStageExecutor,
 )
 from .transport import (
+    KIND_ANNOUNCE,
+    KIND_ERROR,
     KIND_HEARTBEAT,
     KIND_HEARTBEAT_ACK,
     KIND_HELLO,
@@ -64,6 +67,7 @@ from .transport import (
     VERSION,
     Connection,
     Envelope,
+    dial,
 )
 from .wire import (
     CLASS_PERMANENT,
@@ -72,9 +76,12 @@ from .wire import (
     ROLE_DATA,
     ROLE_MODEL,
     affine_from_wire,
+    announce_from_envelope,
     config_from_wire,
     error_envelope,
     item_from_task,
+    join_envelope,
+    leave_envelope,
     plan_from_wire,
     result_envelope,
 )
@@ -336,6 +343,68 @@ class WorkerServer:
     @property
     def running(self) -> bool:
         return not self._stopped.is_set()
+
+    # -- elastic membership (docs/ELASTIC.md) --------------------------
+
+    def _membership_roundtrip(self, host: str, port: int, envelope,
+                              timeout: float | None) -> dict:
+        """One envelope round trip against a membership listener."""
+        connection = dial(
+            host, port,
+            max_frame_bytes=self._max_frame_bytes,
+            obs=self.obs, peer="membership",
+        )
+        try:
+            reply = connection.request(envelope, timeout=timeout)
+        finally:
+            connection.close()
+        if reply.kind == KIND_ERROR:
+            raise ClusterMembershipError(
+                f"membership request refused: "
+                f"{reply.header.get('message')}"
+            )
+        if reply.kind != KIND_ANNOUNCE:
+            raise TransportError(
+                f"expected an announce envelope, got {reply.kind}"
+            )
+        return announce_from_envelope(reply)
+
+    def join_fleet(self, host: str, port: int, role: str,
+                   cores: int = 2,
+                   timeout: float | None = None) -> dict:
+        """Register this (already started) worker with a running
+        elastic coordinator's membership listener.
+
+        Advertises this server's own listen address; the coordinator
+        dials back with the normal hello handshake — which is why the
+        accept loop must already be running (:meth:`start` or
+        :meth:`serve_forever`).
+
+        Returns the announce document:
+        ``{"epoch", "server_id", "role", "status"}``.
+        """
+        if self._stopped.is_set():
+            raise ClusterMembershipError(
+                "cannot join a fleet after stop()"
+            )
+        return self._membership_roundtrip(
+            host, port,
+            join_envelope(self.address[0], self.address[1], role,
+                          cores),
+            timeout if timeout is not None
+            else DEFAULT_CONFIG.cluster_join_timeout,
+        )
+
+    def leave_fleet(self, host: str, port: int, server_id: int,
+                    timeout: float | None = None) -> dict:
+        """Ask the coordinator to drain this worker's slot out of the
+        fleet (graceful departure; the process keeps serving whatever
+        is still in flight until the drain quiesces it)."""
+        return self._membership_roundtrip(
+            host, port, leave_envelope(server_id),
+            timeout if timeout is not None
+            else DEFAULT_CONFIG.cluster_join_timeout,
+        )
 
     # -- serving -------------------------------------------------------
 

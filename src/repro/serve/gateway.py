@@ -297,6 +297,19 @@ class ServeGateway:
             ).inc()
             raise
 
+    # -- elastic fleet (docs/ELASTIC.md) -------------------------------
+
+    def grow_fleet(self, address: tuple, role: str = "model",
+                   cores: int = 2) -> int:
+        """Admit one worker into the shared fleet, live, for every
+        tenant (and every future tenant).  Returns the server id."""
+        return self.registry.grow(address, role, cores=cores)
+
+    def shrink_fleet(self, server_id: int) -> None:
+        """Drain one shared-fleet worker out of every tenant's
+        coordinator; its slot id is retired, never reused."""
+        self.registry.shrink(server_id)
+
     # -- lifecycle -----------------------------------------------------
 
     def start(self) -> tuple[str, int]:

@@ -9,8 +9,12 @@ job to a terminal state, and writing ``BENCH_serve.json``
 
 * throughput (completed req/s) and client-observed latency
   percentiles;
-* exact admission accounting: ``accepted + shed == submitted`` with
-  every accepted job terminal;
+* exact admission accounting: ``accepted + shed + rate_limited ==
+  submitted`` with every accepted job terminal;
+* honest backpressure handling: 429/503 replies that carry a
+  ``Retry-After`` header are retried after the advertised delay
+  (bounded by ``submit_retries`` attempts and ``retry_after_cap``
+  seconds per sleep), and every retry is counted in the report;
 * cross-tenant isolation probes (self-hosted only): for each
   adjacent tenant pair, a ciphertext encrypted under tenant A's
   public key is attacked with tenant B's private key — any
@@ -59,6 +63,8 @@ class LoadgenOptions:
     model: str = "tiny"
     poll_interval: float = 0.05
     poll_timeout: float = 120.0
+    submit_retries: int = 2     # extra attempts after a 429/503
+    retry_after_cap: float = 2.0  # per-sleep bound on Retry-After
 
     def __post_init__(self):
         if self.tenants < 1 or self.requests < 1:
@@ -67,6 +73,10 @@ class LoadgenOptions:
             )
         if self.mode not in ("local", "fleet"):
             raise ServeError(f"unknown loadgen mode {self.mode!r}")
+        if self.submit_retries < 0 or self.retry_after_cap < 0:
+            raise ServeError(
+                "submit_retries and retry_after_cap must be >= 0"
+            )
 
 
 class _Client:
@@ -112,6 +122,9 @@ class _TenantOutcome:
     submitted: int = 0
     accepted: int = 0
     shed: int = 0
+    rate_limited: int = 0     # requests whose final reply was a 429
+    retries: int = 0          # extra POSTs driven by Retry-After
+    shed_posts: int = 0       # every 503 seen, including retried ones
     states: Dict[str, int] = None
     latencies: List[float] = None
     errors: List[str] = None
@@ -120,6 +133,45 @@ class _TenantOutcome:
         self.states = {}
         self.latencies = []
         self.errors = []
+
+
+def _retry_after_seconds(headers: dict) -> float | None:
+    """The ``Retry-After`` delay, or ``None`` when absent/garbage."""
+    for name, value in headers.items():
+        if str(name).lower() == "retry-after":
+            try:
+                return max(0.0, float(value))
+            except (TypeError, ValueError):
+                return None
+    return None
+
+
+def _submit(client: _Client, doc: dict, options: LoadgenOptions,
+            outcome: _TenantOutcome) -> tuple[int, dict]:
+    """POST one request, honoring ``Retry-After`` on 429/503.
+
+    The gateway's contract is that those two statuses are *transient*
+    (shed queue slot, closed rate window) and always carry a
+    ``Retry-After`` header; anything without the header is final.
+    Retries are bounded (``submit_retries`` attempts, each sleep
+    capped at ``retry_after_cap`` seconds) so an overloaded server
+    cannot stall the generator, and counted in the outcome.
+    """
+    attempts = 0
+    while True:
+        status, body, headers = client.post("/v1/infer", doc)
+        if status == 503:
+            outcome.shed_posts += 1
+        if status not in (429, 503):
+            return status, body
+        if attempts >= options.submit_retries:
+            return status, body
+        delay = _retry_after_seconds(headers)
+        if delay is None:
+            return status, body
+        attempts += 1
+        outcome.retries += 1
+        time.sleep(min(delay, options.retry_after_cap))
 
 
 def _drive_tenant(client: _Client, tenant: str, inputs,
@@ -131,13 +183,15 @@ def _drive_tenant(client: _Client, tenant: str, inputs,
         if options.deadline is not None:
             doc["deadline"] = options.deadline
         started = time.monotonic()
-        status, body, _headers = client.post("/v1/infer", doc)
+        status, body = _submit(client, doc, options, outcome)
         outcome.submitted += 1
         if status == 202:
             outcome.accepted += 1
             pending.append((body["job_id"], started))
         elif status == 503:
             outcome.shed += 1
+        elif status == 429:
+            outcome.rate_limited += 1
         else:
             outcome.errors.append(
                 f"submit -> HTTP {status}: {body.get('error')}"
@@ -280,6 +334,9 @@ def run_loadgen(options: LoadgenOptions,
         submitted = sum(o.submitted for o in outcomes.values())
         accepted = sum(o.accepted for o in outcomes.values())
         shed = sum(o.shed for o in outcomes.values())
+        rate_limited = sum(o.rate_limited for o in outcomes.values())
+        retries = sum(o.retries for o in outcomes.values())
+        shed_posts = sum(o.shed_posts for o in outcomes.values())
         states: Dict[str, int] = {}
         latencies: List[float] = []
         errors: List[str] = []
@@ -293,7 +350,7 @@ def run_loadgen(options: LoadgenOptions,
             count for state, count in states.items()
             if state in TERMINAL_STATES
         )
-        accounting_ok = (accepted + shed == submitted
+        accounting_ok = (accepted + shed + rate_limited == submitted
                          and terminal_observed == accepted
                          and not errors)
         done = states.get("done", 0)
@@ -310,6 +367,8 @@ def run_loadgen(options: LoadgenOptions,
             "submitted": submitted,
             "accepted": accepted,
             "shed": shed,
+            "rate_limited": rate_limited,
+            "retries": retries,
             "outcomes": states,
             "accounting_ok": accounting_ok,
             "errors": errors,
@@ -340,6 +399,8 @@ def run_loadgen(options: LoadgenOptions,
         if gateway is not None:
             # Server-side cross-check: the tracker must agree with
             # the client's accounting and hold no non-terminal job.
+            # Every 202 and every 503 (retried ones included) made a
+            # tracked job; 429s never reached the job manager.
             tracker = gateway.manager.tracker
             report["server"] = {
                 "jobs": len(tracker),
@@ -348,7 +409,7 @@ def run_loadgen(options: LoadgenOptions,
             }
             report["accounting_ok"] = (
                 report["accounting_ok"]
-                and len(tracker) == submitted
+                and len(tracker) == accepted + shed_posts
                 and tracker.all_terminal()
             )
         if options.out:
@@ -374,6 +435,8 @@ def render_report(report: dict) -> str:
         f"{report['accepted']} accepted, {report['shed']} shed "
         f"in {report['wall_seconds']:.2f}s",
         f"  outcomes: {report['outcomes']}",
+        f"  backpressure: {report.get('retries', 0)} Retry-After "
+        f"retries, {report.get('rate_limited', 0)} rate-limited",
         f"  throughput: {report['req_per_s']:.2f} done req/s",
     ]
     if latency["p50"] is not None:
@@ -382,8 +445,8 @@ def render_report(report: dict) -> str:
             f"p99 {latency['p99']:.0f} ms"
         )
     accounting = "exact" if report["accounting_ok"] else "BROKEN"
-    lines.append(f"  accounting (accepted + shed == submitted, all "
-                 f"terminal): {accounting}")
+    lines.append(f"  accounting (accepted + shed + rate-limited == "
+                 f"submitted, all terminal): {accounting}")
     if report.get("isolation") is not None:
         isolation = report["isolation"]
         lines.append(

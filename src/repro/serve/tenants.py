@@ -36,7 +36,7 @@ from ..errors import (
 )
 from ..observability import OBS_OFF, Observability
 from ..planner.allocation import allocate_even
-from ..planner.plan import ClusterSpec
+from ..planner.plan import ClusterSpec, ServerSpec
 from ..protocol.roles import DataProvider, ModelProvider
 from ..stream.pipeline import Pipeline, StreamStats
 from ..stream.retry import REASON_DEADLINE, RetryPolicy
@@ -156,6 +156,7 @@ class TenantRuntime:
         mode: str = "local",
         worker_addresses: Sequence[tuple] | None = None,
         obs: Observability | None = None,
+        departed: Sequence[int] = (),
     ):
         if mode not in ("local", "fleet"):
             raise TenantError(f"unknown tenant mode {mode!r}")
@@ -183,13 +184,16 @@ class TenantRuntime:
         self._lock = threading.Lock()
         self._coordinator = None
         if mode == "fleet":
-            from ..net.coordinator import Coordinator
+            from ..cluster import ElasticCoordinator
 
             if worker_addresses is None:
                 raise TenantError(
                     "fleet mode needs worker addresses"
                 )
-            self._coordinator = Coordinator(
+            # Elastic so the gateway can grow/shrink the shared fleet
+            # under load; membership joins arrive through the registry
+            # API, not the wire, so no per-tenant listener is opened.
+            self._coordinator = ElasticCoordinator(
                 self.model_provider,
                 self.data_provider,
                 self.plan,
@@ -204,7 +208,40 @@ class TenantRuntime:
                 ),
                 obs=self.obs,
                 tenant=name,
+                membership=False,
             )
+            # A tenant created after a shrink inherits the full
+            # (append-only) address list; draining the departed slots
+            # up front re-plans around them and keeps connect() from
+            # dialing workers that are gone.
+            for server_id in departed:
+                self._coordinator.drain_member(server_id)
+            self.plan = self._coordinator.plan
+
+    # -- elastic fleet (docs/ELASTIC.md) -------------------------------
+
+    def admit_worker(self, address: tuple, role: str,
+                     cores: int = 2) -> None:
+        """Admit one shared-fleet worker into this tenant's
+        coordinator (live: jobs mid-flight keep streaming)."""
+        if self._coordinator is None:
+            raise TenantError(
+                f"tenant {self.name!r} runs in local mode; there is "
+                "no fleet to grow"
+            )
+        self._coordinator.admit_join(address, role, cores=cores)
+        self.plan = self._coordinator.plan
+
+    def drain_worker(self, server_id: int) -> None:
+        """Drain one shared-fleet member out of this tenant's
+        coordinator (re-plans around it, quiesces its connections)."""
+        if self._coordinator is None:
+            raise TenantError(
+                f"tenant {self.name!r} runs in local mode; there is "
+                "no fleet to shrink"
+            )
+        self._coordinator.drain_member(server_id)
+        self.plan = self._coordinator.plan
 
     @property
     def public_key(self):
@@ -341,7 +378,12 @@ class TenantRegistry:
         self.cluster = (cluster if cluster is not None
                         else ClusterSpec.homogeneous(1, 1, 2))
         self.mode = mode
-        self._worker_addresses = worker_addresses
+        self._worker_addresses = (list(worker_addresses)
+                                  if worker_addresses is not None
+                                  else None)
+        #: Server ids drained out of the shared fleet; slots are
+        #: append-only, so departed ids are masked rather than reused.
+        self._departed: set[int] = set()
         self.obs = obs if obs is not None else OBS_OFF
         self._tenants: Dict[str, TenantRuntime] = {}
         self._pending: Dict[str, _Creation] = {}
@@ -405,12 +447,18 @@ class TenantRegistry:
         if evicted is not None:
             evicted.close()
             self.obs.registry.counter("serve_tenants_evicted").inc()
+        with self._lock:
+            cluster = self.cluster
+            addresses = (list(self._worker_addresses)
+                         if self._worker_addresses is not None
+                         else None)
+            departed = tuple(sorted(self._departed))
         try:
             runtime = TenantRuntime(
                 name, self._model_for(name), self._decimals,
-                self.config, self.cluster, mode=self.mode,
-                worker_addresses=self._worker_addresses,
-                obs=self.obs,
+                self.config, cluster, mode=self.mode,
+                worker_addresses=addresses,
+                obs=self.obs, departed=departed,
             )
         except BaseException as exc:
             with self._lock:
@@ -460,6 +508,81 @@ class TenantRegistry:
         if not candidates:
             return None
         return min(candidates, key=lambda r: r.last_used)
+
+    # -- elastic fleet (docs/ELASTIC.md) -------------------------------
+
+    def grow(self, address: tuple, role: str,
+             cores: int = 2) -> int:
+        """Admit one worker into every tenant's fleet.
+
+        Appends the worker to the registry's cluster and address list
+        (so tenants created later see it from birth) and fans the
+        admit out to every existing tenant's coordinator — live; jobs
+        in flight keep streaming.  Returns the new server id.
+        """
+        if self.mode != "fleet":
+            raise ServeError("grow() only applies to fleet mode")
+        address = (str(address[0]), int(address[1]))
+        with self._lock:
+            addresses = self._worker_addresses or []
+            server_id = len(addresses)
+            addresses.append(address)
+            self._worker_addresses = addresses
+            self.cluster = ClusterSpec(
+                self.cluster.servers
+                + (ServerSpec(server_id, int(cores), role),),
+                self.cluster.hyperthreading,
+            )
+            tenants = list(self._tenants.values())
+        for runtime in tenants:
+            runtime.admit_worker(address, role, cores=cores)
+        self.obs.registry.counter("serve_fleet_grown").inc()
+        self._refresh_fleet_gauge()
+        return server_id
+
+    def shrink(self, server_id: int) -> None:
+        """Drain one worker out of every tenant's fleet.
+
+        The slot's id stays reserved (append-only ids); tenants
+        created later drain it at construction so they never dial
+        the departed worker.
+        """
+        if self.mode != "fleet":
+            raise ServeError("shrink() only applies to fleet mode")
+        with self._lock:
+            known = len(self._worker_addresses or [])
+            if not 0 <= server_id < known:
+                raise ServeError(
+                    f"no fleet worker with server id {server_id}"
+                )
+            if server_id in self._departed:
+                raise ServeError(
+                    f"fleet worker {server_id} already drained"
+                )
+            target = self.cluster.servers[server_id]
+            survivors = [
+                server for server in self.cluster.servers
+                if server.server_id != server_id
+                and server.server_id not in self._departed
+            ]
+            if not any(server.role == target.role
+                       for server in survivors):
+                raise ServeError(
+                    f"cannot drain the last {target.role} worker "
+                    f"(server {server_id})"
+                )
+            self._departed.add(server_id)
+            tenants = list(self._tenants.values())
+        for runtime in tenants:
+            runtime.drain_worker(server_id)
+        self.obs.registry.counter("serve_fleet_shrunk").inc()
+        self._refresh_fleet_gauge()
+
+    def _refresh_fleet_gauge(self) -> None:
+        with self._lock:
+            present = (len(self._worker_addresses or [])
+                       - len(self._departed))
+        self.obs.registry.gauge("serve_fleet_size").set(present)
 
     def get(self, name: str) -> TenantRuntime:
         """The runtime for an *existing* tenant (no creation)."""

@@ -19,6 +19,14 @@ Six scenarios cover the runtime's load-bearing surfaces:
             healed by binding a fresh worker to the same port
             (reconnect-with-backoff, zero restart budget); every job
             must reach ``done`` and reproduce the reference
+``elastic`` a persistent :class:`~repro.cluster.ElasticCoordinator`
+            under seeded membership churn (docs/ELASTIC.md): on a
+            cadence a fresh worker joins over the wire and is
+            re-planned into the fleet, streams run against the grown
+            fleet, then the member drains back out and its process
+            stops immediately (leak sentinels see no drift); zero
+            dead letters, zero restarts, bit-identical outputs across
+            every epoch
 ========== ==========================================================
 
 The driver round-robins a seeded weighted schedule until the duration
@@ -48,11 +56,11 @@ from .sentinels import LeakSentinel, RssWatermark
 
 #: Scenario registry order doubles as the deterministic schedule base.
 SCENARIO_NAMES = ("single", "packed", "faulted", "chaos", "kill",
-                  "serve")
+                  "serve", "elastic")
 
 #: Relative schedule weights (kill/packed are the heavy iterations).
 _WEIGHTS = {"single": 3, "packed": 1, "faulted": 2, "chaos": 2,
-            "kill": 1, "serve": 2}
+            "kill": 1, "serve": 2, "elastic": 2}
 
 #: Seed salt for the harness's own RNG streams.
 _SOAK_SALT = 0x50AC
@@ -126,6 +134,13 @@ class SoakReport:
             lines.append(
                 f"serve gateway: {serve['jobs_done']} job(s) done, "
                 f"{serve['worker_kills']} fleet worker kill(s) healed"
+            )
+        elastic = doc.get("elastic") or {}
+        if elastic:
+            lines.append(
+                f"elastic fleet: {elastic['joins']} join(s), "
+                f"{elastic['drains']} drain(s), final epoch "
+                f"{elastic['final_epoch']}"
             )
         lines.append(
             f"channel depth high-water: "
@@ -797,6 +812,146 @@ class _ServeGatewayScenario(_Scenario):
             server.stop(abort=True)
 
 
+class _ElasticScenario(_Scenario):
+    """Membership churn on a persistent elastic coordinator.
+
+    One :class:`~repro.cluster.ElasticCoordinator` lives across every
+    iteration.  On a fixed cadence an iteration *churns*: a fresh
+    model worker registers over the wire (``join_fleet`` against the
+    membership listener), the fleet re-plans onto it, the stream runs
+    on the grown fleet, and the member is drained back out — its
+    process stopped immediately, so the leak sentinels would catch a
+    connection or thread left behind by the drain.  Server ids are
+    append-only, so the epoch and cluster table grow monotonically
+    while every output stays bit-identical to the in-process
+    reference and no restart budget is ever consumed.
+    """
+
+    name = "elastic"
+    _CHURN_EVERY = 2  # join+drain on every Nth iteration
+
+    def setup(self) -> None:
+        from ..cluster import ElasticCoordinator
+        from ..net import WorkerServer
+        from ..nn import model_zoo
+        from ..planner.allocation import allocate_even
+        from ..planner.plan import ClusterSpec
+        from ..protocol import DataProvider, ModelProvider
+        from ..stream import Pipeline
+
+        model = model_zoo.conv_fc(
+            (1, 8, 8), 3, conv_channels=(2,), fc_hidden=8,
+            seed=3, name="soak-conv",
+        )
+        config = RuntimeConfig(
+            key_size=self.options.key_size, seed=self.options.seed,
+        ).with_net(
+            heartbeat_interval=0.2, heartbeat_timeout=3.0,
+        ).with_reconnect(
+            attempts=4, base_delay=0.02, max_delay=0.2,
+        )
+
+        def providers(cfg):
+            return (
+                ModelProvider(model, decimals=2, config=cfg),
+                DataProvider(value_decimals=2, config=cfg),
+            )
+
+        cluster = ClusterSpec.homogeneous(1, 1, 2)
+        self._model_provider, self._data_provider = providers(config)
+        plan = allocate_even(
+            self._model_provider.stages, cluster
+        ).plan
+        rng = np.random.default_rng(self.options.seed + 4)
+        self._inputs = [rng.uniform(0, 1, (1, 8, 8))
+                        for _ in range(3)]
+        ref_model, ref_data = providers(config)
+        ref_stats = Pipeline(ref_model, ref_data, plan).run_stream(
+            self._inputs
+        )
+        self._reference = {r.request_id: r.probabilities
+                           for r in ref_stats.results}
+        self._close_engines(ref_model, ref_data)
+
+        self._servers = [WorkerServer(), WorkerServer()]
+        addresses = [server.start() for server in self._servers]
+        self._coordinator = ElasticCoordinator(
+            self._model_provider, self._data_provider, plan,
+            addresses,
+            retry_policy=RetryPolicy(
+                max_retries=6, base_delay=0.05,
+                jitter_seed=self.options.seed ^ _SOAK_SALT,
+            ),
+            obs=self.obs,
+        )
+        self._coordinator.connect()
+        self.joins = 0
+        self.drains = 0
+
+    def run_once(self, iteration: int) -> int:
+        from ..net import WorkerServer
+
+        # Never churn on the warm-up iteration: the reference freeze
+        # must see the seed fleet.
+        churn = (self.iterations > 0
+                 and self.iterations % self._CHURN_EVERY == 0)
+        spare = None
+        spare_id = None
+        if churn:
+            spare = WorkerServer()
+            spare.start()
+            host, port = self._coordinator.membership_address
+            reply = spare.join_fleet(host, port, "model", cores=4)
+            spare_id = reply["server_id"]
+            self.joins += 1
+            # Route real work onto the member: re-plan the grown
+            # fleet (the joined 4-core worker out-bids the 2-core
+            # original for linear stages).
+            self._coordinator.apply_plan(
+                self._coordinator.allocation_for()
+            )
+        start = time.perf_counter()
+        stats = self._coordinator.run_stream(self._inputs)
+        elapsed = time.perf_counter() - start
+        if stats.dead_letters:
+            raise SoakCheckError(
+                f"elastic: {len(stats.dead_letters)} unexpected dead "
+                "letter(s) across membership churn: "
+                + stats.dead_letters[0].describe()
+            )
+        for handle in self._coordinator.handles:
+            if handle.restarts:
+                raise SoakCheckError(
+                    "elastic: membership churn consumed the restart "
+                    f"budget on {handle.describe()} — joins and "
+                    "drains must never look like failures"
+                )
+        count = len(stats.results)
+        self.latencies.extend([elapsed / count] * count)
+        self._check_identical(
+            self.name,
+            [self._reference[i] for i in sorted(self._reference)],
+            [r.probabilities
+             for r in sorted(stats.results,
+                             key=lambda r: r.request_id)],
+        )
+        if churn:
+            self._coordinator.drain_member(spare_id)
+            spare.stop(abort=True)  # sentinels must see no residue
+            self.drains += 1
+        return count
+
+    @property
+    def final_epoch(self) -> int:
+        return self._coordinator.state.epoch
+
+    def teardown(self) -> None:
+        self._coordinator.close()
+        for server in self._servers:
+            server.stop(abort=True)
+        self._close_engines(self._model_provider, self._data_provider)
+
+
 _SCENARIO_CLASSES = {
     "single": _SingleShotScenario,
     "packed": _PackedScenario,
@@ -804,6 +959,7 @@ _SCENARIO_CLASSES = {
     "chaos": _NetChaosScenario,
     "kill": _NetKillScenario,
     "serve": _ServeGatewayScenario,
+    "elastic": _ElasticScenario,
 }
 
 
@@ -890,6 +1046,9 @@ def run_soak(options: SoakOptions,
     serve_scenario = next(
         (s for s in ready if s.name == "serve"), None
     )
+    elastic_scenario = next(
+        (s for s in ready if s.name == "elastic"), None
+    )
     recovery_times = (kill_scenario.recovery_times
                       if kill_scenario else [])
     depth_high_water = max(
@@ -943,6 +1102,10 @@ def run_soak(options: SoakOptions,
         "serve": ({"jobs_done": serve_scenario.jobs_done,
                    "worker_kills": serve_scenario.kills}
                   if serve_scenario else {}),
+        "elastic": ({"joins": elastic_scenario.joins,
+                     "drains": elastic_scenario.drains,
+                     "final_epoch": elastic_scenario.final_epoch}
+                    if elastic_scenario else {}),
         "channel_depth_high_water": depth_high_water,
         "leaks": {
             "threads": leak_report.leaked_threads,

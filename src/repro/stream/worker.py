@@ -129,6 +129,13 @@ class StageWorker:
                                        stage=stage_label)
         self._m_retries = registry.counter("stream_retries",
                                            stage=stage_label)
+        # Per-worker twins of the queue gauge: remote executors report
+        # which cluster member served the last item (worker_label), so
+        # backlog attributes to a specific member while the unlabeled
+        # aggregate above keeps feeding existing dashboards.
+        self._registry = registry
+        self._stage_label = stage_label
+        self._worker_queues: dict[str, object] = {}
         # Thread names carry the package-wide ``repro-`` prefix so
         # leak-sentinel and soak reports attribute every thread to its
         # subsystem; ``name`` stays as given for diagnostics.
@@ -303,7 +310,18 @@ class StageWorker:
                     break
                 self.inflight = item
                 self.inflight_processed = False
-                self._m_queue.set(self.inbound.approx_size())
+                depth = self.inbound.approx_size()
+                self._m_queue.set(depth)
+                label = getattr(self.executor, "worker_label", None)
+                if label is not None:
+                    gauge = self._worker_queues.get(label)
+                    if gauge is None:
+                        gauge = self._registry.gauge(
+                            "stream_queue_depth",
+                            stage=self._stage_label, worker=label,
+                        )
+                        self._worker_queues[label] = gauge
+                    gauge.set(depth)
                 if getattr(item, "fault", None) is not None:
                     self.inflight_processed = True
                     self._forward(item)  # tombstone pass-through

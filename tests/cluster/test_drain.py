@@ -1,0 +1,89 @@
+"""Drain-and-migrate: quiesce, replay, zero dead letters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusterMembershipError
+from repro.net import WorkerServer
+
+
+class TestDrain:
+    def test_drain_migrates_work_bit_identically(
+            self, make_elastic, worker_farm, cluster_inputs,
+            reference_results):
+        coordinator, _servers, plan = make_elastic()
+        reference = reference_results(plan)
+        (_big,), (address,) = worker_farm(WorkerServer())
+        handle, _ = coordinator.admit_join(address, "model", cores=6)
+        coordinator.apply_plan(coordinator.allocation_for())
+
+        epoch = coordinator.drain_member(0)
+        assert epoch == 4  # two seed joins + admit + leave
+        assert coordinator.state.has_left(0)
+        drained = coordinator.handles[0]
+        assert drained.draining and not drained.alive
+        # Every stage moved off the drained member; the original data
+        # worker and the joined model worker carry the fleet.
+        assignees = {a.server_id for a in coordinator.plan.assignments}
+        assert 0 not in assignees
+        assert handle.server_id in assignees
+
+        stats = coordinator.run_stream(cluster_inputs)
+        assert not stats.dead_letters
+        assert len(stats.results) == len(cluster_inputs)
+        for result in stats.results:
+            assert np.array_equal(result.probabilities,
+                                  reference[result.request_id])
+        # Zero restart budget consumed: a drain is not a failure.
+        assert all(h.restarts == 0 for h in coordinator.handles)
+
+    def test_drain_mid_stream_replays_in_flight_items(
+            self, make_elastic, worker_farm, cluster_inputs,
+            reference_results):
+        import threading
+
+        coordinator, _servers, plan = make_elastic()
+        reference = reference_results(plan)
+        (_big,), (address,) = worker_farm(WorkerServer())
+        coordinator.admit_join(address, "model", cores=6)
+
+        box = {}
+
+        def stream():
+            box["stats"] = coordinator.run_stream(cluster_inputs)
+
+        streamer = threading.Thread(target=stream)
+        streamer.start()
+        # Drain the original model worker while items are in flight:
+        # racing items replay on the new assignee, zero dead letters.
+        coordinator.drain_member(0)
+        streamer.join()
+        stats = box["stats"]
+        assert not stats.dead_letters
+        assert len(stats.results) == len(cluster_inputs)
+        for result in stats.results:
+            assert np.array_equal(result.probabilities,
+                                  reference[result.request_id])
+
+    def test_drain_last_of_a_role_refused(self, make_elastic):
+        coordinator, _servers, _plan = make_elastic()
+        with pytest.raises(ClusterMembershipError):
+            coordinator.drain_member(0)  # the only model worker
+        with pytest.raises(ClusterMembershipError):
+            coordinator.drain_member(1)  # the only data worker
+        # Nothing changed: both members still present, plan intact.
+        assert coordinator.state.epoch == 2
+        assert len(coordinator.state.snapshot().present()) == 2
+
+    def test_double_drain_refused(self, make_elastic, worker_farm):
+        coordinator, _servers, _plan = make_elastic()
+        (_big,), (address,) = worker_farm(WorkerServer())
+        coordinator.admit_join(address, "model", cores=4)
+        coordinator.drain_member(0)
+        with pytest.raises(ClusterMembershipError):
+            coordinator.drain_member(0)
+
+    def test_drain_unknown_id_refused(self, make_elastic):
+        coordinator, _servers, _plan = make_elastic()
+        with pytest.raises(ClusterMembershipError):
+            coordinator.drain_member(9)

@@ -1,0 +1,113 @@
+"""The generation guard racing membership changes (satellite: a stale
+epoch-N failure report must never evict the epoch-N+1 member)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.net import WorkerServer
+
+
+def _wait_until(predicate, timeout=10.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    pytest.fail(f"timed out waiting for {message}")
+
+
+class TestStaleFailureReports:
+    def test_stale_report_after_recovery_is_a_no_op(
+            self, make_elastic, cluster_inputs, reference_results):
+        """Failure observed at generation 0, recovery bumps to 1 —
+        a late duplicate report quoting generation 0 must not
+        re-kill the healed member."""
+        coordinator, _servers, plan = make_elastic()
+        reference = reference_results(plan)
+        handle = coordinator.handles[0]
+        assert handle.generation == 0
+
+        # A real failure: connections cut, recovery reconnects (the
+        # worker process never died, so reconnect heals at zero
+        # restart cost).
+        coordinator.report_failure(handle, 0)
+        _wait_until(lambda: handle.alive and handle.generation == 1,
+                    message="recovery to generation 1")
+        deaths_after_first = coordinator._m_deaths.value
+
+        # The stale duplicate: same handle, old generation.
+        coordinator.report_failure(handle, 0)
+        time.sleep(0.1)
+        assert handle.alive, "stale report re-killed a healed member"
+        assert handle.generation == 1
+        assert coordinator._m_deaths.value == deaths_after_first
+        assert handle.restarts == 0
+
+        stats = coordinator.run_stream(cluster_inputs)
+        assert not stats.dead_letters
+        for result in stats.results:
+            assert np.array_equal(result.probabilities,
+                                  reference[result.request_id])
+
+    def test_stale_report_races_concurrent_join(
+            self, make_elastic, worker_farm, cluster_inputs,
+            reference_results):
+        """The satellite's exact race: a failure report for epoch N
+        lands while a join is minting epoch N+1.  The join's member
+        must stay attached, un-evicted, and un-re-dialed."""
+        coordinator, _servers, plan = make_elastic()
+        reference = reference_results(plan)
+        victim = coordinator.handles[0]
+        observed_generation = victim.generation
+
+        # The failure is observed...
+        coordinator.report_failure(victim, observed_generation)
+        # ...and while recovery runs, a join lands (epoch 2 -> 3).
+        (_big,), (address,) = worker_farm(WorkerServer())
+        joined, join_epoch = coordinator.admit_join(
+            address, "model", cores=6
+        )
+        assert join_epoch == 3
+        _wait_until(lambda: victim.alive, message="victim recovery")
+        joined_generation = joined.generation
+        joined_reconnects = coordinator._m_reconnects.value
+
+        # The stale epoch-N report arrives after the join: it quotes
+        # the victim's old generation and must touch *neither* slot.
+        coordinator.report_failure(victim, observed_generation)
+        time.sleep(0.1)
+        assert victim.alive and victim.generation \
+            == observed_generation + 1
+        assert joined.alive, "stale report evicted the joined member"
+        assert joined.generation == joined_generation
+        assert not joined.draining
+        assert coordinator._m_reconnects.value == joined_reconnects, \
+            "stale report re-dialed a member it never referred to"
+        member = coordinator.state.snapshot().member(joined.server_id)
+        assert member.present
+
+        # The fleet still computes the same answers.
+        coordinator.apply_plan(coordinator.allocation_for())
+        stats = coordinator.run_stream(cluster_inputs)
+        assert not stats.dead_letters
+        for result in stats.results:
+            assert np.array_equal(result.probabilities,
+                                  reference[result.request_id])
+
+    def test_report_for_draining_member_spawns_no_recovery(
+            self, make_elastic, worker_farm):
+        coordinator, _servers, _plan = make_elastic()
+        (_big,), (address,) = worker_farm(WorkerServer())
+        coordinator.admit_join(address, "model", cores=4)
+        coordinator.drain_member(0)
+        drained = coordinator.handles[0]
+        generation = drained.generation
+        recoveries_before = len(coordinator._recoveries)
+
+        coordinator.report_failure(drained, generation)
+        time.sleep(0.1)
+        assert not drained.alive
+        assert len(coordinator._recoveries) == recoveries_before, \
+            "a drained member's failure report spawned recovery"

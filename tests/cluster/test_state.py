@@ -1,0 +1,70 @@
+"""ClusterState: the epoch-numbered member table."""
+
+import pytest
+
+from repro.cluster import ClusterState
+from repro.errors import ClusterMembershipError
+
+
+class TestClusterState:
+    def test_joins_bump_the_epoch_monotonically(self):
+        state = ClusterState()
+        assert state.epoch == 0
+        assert state.apply_join(0, "model", ("h", 1), 2) == 1
+        assert state.apply_join(1, "data", ("h", 2), 2) == 2
+        snapshot = state.snapshot()
+        assert snapshot.epoch == 2
+        assert [m.server_id for m in snapshot.present()] == [0, 1]
+
+    def test_double_join_of_a_present_member_refused(self):
+        state = ClusterState()
+        state.apply_join(0, "model", ("h", 1), 2)
+        with pytest.raises(ClusterMembershipError):
+            state.apply_join(0, "model", ("h", 1), 2)
+
+    def test_leave_keeps_the_slot_but_marks_the_span(self):
+        state = ClusterState()
+        state.apply_join(0, "model", ("h", 1), 2)
+        state.apply_join(1, "data", ("h", 2), 2)
+        epoch = state.apply_leave(0)
+        assert epoch == 3
+        assert state.has_left(0)
+        assert not state.has_left(1)
+        snapshot = state.snapshot()
+        # Append-only: the departed member keeps its row...
+        assert len(snapshot.members) == 2
+        member = snapshot.member(0)
+        assert member.left_epoch == 3
+        assert not member.present
+        # ...but only the survivor is present.
+        assert [m.server_id for m in snapshot.present()] == [1]
+
+    def test_leave_of_unknown_or_departed_member_refused(self):
+        state = ClusterState()
+        state.apply_join(0, "model", ("h", 1), 2)
+        with pytest.raises(ClusterMembershipError):
+            state.apply_leave(7)
+        state.apply_leave(0)
+        with pytest.raises(ClusterMembershipError):
+            state.apply_leave(0)
+
+    def test_snapshot_is_immutable_under_later_mutation(self):
+        state = ClusterState()
+        state.apply_join(0, "model", ("h", 1), 2)
+        before = state.snapshot()
+        state.apply_join(1, "data", ("h", 2), 2)
+        state.apply_leave(0)
+        assert before.epoch == 1
+        assert len(before.members) == 1
+        assert before.member(0).present
+
+    def test_snapshot_member_lookup_raises_on_unknown_id(self):
+        state = ClusterState()
+        with pytest.raises(ClusterMembershipError):
+            state.snapshot().member(3)
+
+    def test_member_describe_mentions_identity_and_span(self):
+        state = ClusterState()
+        state.apply_join(0, "model", ("h", 9), 4)
+        text = state.snapshot().member(0).describe()
+        assert "model" in text and "h:9" in text
